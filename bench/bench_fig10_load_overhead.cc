@@ -1,0 +1,50 @@
+// Figure 10 reproduction: loading-time overhead of the auxiliary
+// structures, as slowdown relative to the compliant (no-index) load.
+//
+// Expected shape: overhead grows monotonically across levels; index
+// construction (CSR multimaps over lineitem) dominates; dictionaries add
+// a further increment driven by the string-heavy columns.
+#include "bench_util.h"
+
+int main() {
+  using namespace lb2;
+  double sf = bench::ScaleFactor();
+  struct Level {
+    const char* name;
+    tpch::LoadOptions opts;
+  };
+  Level levels[] = {
+      {"compliant", {}},
+      {"idx", {.pk_fk_indexes = true}},
+      {"idx-date", {.pk_fk_indexes = true, .date_indexes = true}},
+      {"idx-date-str",
+       {.pk_fk_indexes = true, .date_indexes = true, .string_dicts = true}},
+  };
+
+  std::printf("Figure 10: loading overhead by optimization level (SF %.3f)\n",
+              sf);
+  // Base load time measured once so slowdowns reflect only aux-structure
+  // construction, not generation noise.
+  double base_gen = bench::MedianMs([&] {
+    rt::Database db;
+    return tpch::Generate(sf, 20260705, &db);
+  });
+  bench::Table t({"level", "aux_ms", "total_ms", "slowdown", "aux_bytes"});
+  for (const Level& level : levels) {
+    int64_t aux_bytes = 0;
+    double aux_ms = bench::MedianMs([&] {
+      rt::Database db;
+      tpch::Generate(sf, 20260705, &db);
+      double ms = tpch::BuildAuxStructures(level.opts, &db);
+      aux_bytes = db.AuxMemoryBytes();
+      return ms;
+    });
+    char slowdown[32];
+    std::snprintf(slowdown, sizeof(slowdown), "%.2fx",
+                  (base_gen + aux_ms) / base_gen);
+    t.AddRow({level.name, bench::Ms(aux_ms), bench::Ms(base_gen + aux_ms),
+              slowdown, std::to_string(aux_bytes)});
+  }
+  t.Print();
+  return 0;
+}

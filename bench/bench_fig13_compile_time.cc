@@ -1,0 +1,49 @@
+// Figure 13 reproduction (Appendix A.1): per-query code generation and C
+// compilation times, compliant and optimized configurations, plus the
+// template expander for reference.
+//
+// Expected shape: generation is milliseconds (single pass over the staged
+// interpreter); the external C compiler dominates; both grow with operator
+// count (Q2, Q5, Q8, Q21 are the widest plans).
+#include "bench_util.h"
+#include "compile/lb2_compiler.h"
+#include "compile/template_compiler.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace lb2;
+  rt::Database db;
+  tpch::LoadOptions load{.pk_fk_indexes = true,
+                         .date_indexes = true,
+                         .string_dicts = true};
+  bench::SetupDatabase(&db, load);
+  double sf = bench::ScaleFactor();
+
+  std::printf("Figure 13: code generation + C compilation time (ms)\n");
+  bench::Table t({"query", "lb2_gen", "lb2_cc", "opt_gen", "opt_cc",
+                  "tmpl_gen", "tmpl_cc", "lb2_src_kb"});
+  for (int qn = 1; qn <= tpch::NumQueries(); ++qn) {
+    tpch::QueryOptions base;
+    base.scale_factor = sf;
+    tpch::QueryOptions opt = base;
+    opt.use_indexes = true;
+    opt.use_date_index = true;
+
+    auto cq = compile::CompileQuery(tpch::BuildQuery(qn, base), db, {},
+                                    "f13c" + std::to_string(qn));
+    engine::EngineOptions dict;
+    dict.use_dict = true;
+    auto oq = compile::CompileQuery(tpch::BuildQuery(qn, opt), db, dict,
+                                    "f13o" + std::to_string(qn));
+    auto tq = compile::CompileTemplateQuery(tpch::BuildQuery(qn, base), db,
+                                            "f13t" + std::to_string(qn));
+    char kb[32];
+    std::snprintf(kb, sizeof(kb), "%.1f", cq.source().size() / 1024.0);
+    t.AddRow({"Q" + std::to_string(qn), bench::Ms(cq.codegen_ms()),
+              bench::Ms(cq.compile_ms()), bench::Ms(oq.codegen_ms()),
+              bench::Ms(oq.compile_ms()), bench::Ms(tq.codegen_ms()),
+              bench::Ms(tq.compile_ms()), kb});
+  }
+  t.Print();
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 9 reproduction: runtime with the non-TPC-H-compliant
+// optimizations enabled — primary/foreign-key index joins (idx), date
+// indexes (idx-date), and string dictionaries (idx-date-str).
+//
+// Expected shape: idx helps join-heavy queries (Q3, Q5, Q10, Q21, Q22);
+// date indexing helps range-filtered scans (Q3, Q6, Q12, Q14, Q15, Q20);
+// dictionaries help string-predicate queries (Q1 group keys, Q12, Q14,
+// Q16, Q19).
+#include "bench_util.h"
+#include "compile/lb2_compiler.h"
+#include "tpch/queries.h"
+
+int main() {
+  using namespace lb2;
+  rt::Database db;
+  tpch::LoadOptions load{.pk_fk_indexes = true,
+                         .date_indexes = true,
+                         .string_dicts = true};
+  bench::SetupDatabase(&db, load);
+  double sf = bench::ScaleFactor();
+
+  std::printf("Figure 9: runtime with index optimizations (ms, median of %d)\n",
+              bench::Repeats());
+  bench::Table t({"query", "lb2", "lb2-idx", "lb2-idx-date",
+                  "lb2-idx-date-str"});
+  for (int qn = 1; qn <= tpch::NumQueries(); ++qn) {
+    tpch::QueryOptions base;
+    base.scale_factor = sf;
+    tpch::QueryOptions idx = base;
+    idx.use_indexes = true;
+    tpch::QueryOptions idx_date = idx;
+    idx_date.use_date_index = true;
+
+    auto compliant =
+        compile::CompileQuery(tpch::BuildQuery(qn, base), db, {},
+                              "f9c" + std::to_string(qn));
+    auto with_idx =
+        compile::CompileQuery(tpch::BuildQuery(qn, idx), db, {},
+                              "f9i" + std::to_string(qn));
+    auto with_date =
+        compile::CompileQuery(tpch::BuildQuery(qn, idx_date), db, {},
+                              "f9d" + std::to_string(qn));
+    engine::EngineOptions dict;
+    dict.use_dict = true;
+    auto with_str =
+        compile::CompileQuery(tpch::BuildQuery(qn, idx_date), db, dict,
+                              "f9s" + std::to_string(qn));
+
+    t.AddRow({"Q" + std::to_string(qn),
+              bench::Ms(bench::MedianMs([&] { return compliant.Run().exec_ms; })),
+              bench::Ms(bench::MedianMs([&] { return with_idx.Run().exec_ms; })),
+              bench::Ms(bench::MedianMs([&] { return with_date.Run().exec_ms; })),
+              bench::Ms(bench::MedianMs([&] { return with_str.Run().exec_ms; }))});
+  }
+  t.Print();
+  return 0;
+}

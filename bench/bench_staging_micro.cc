@@ -1,0 +1,95 @@
+// Google-benchmark micro-benchmarks for the staging substrate itself:
+// how fast is a single generation pass? These quantify the "codegen is
+// cheap, the C compiler dominates" claim behind Figure 13.
+#include <benchmark/benchmark.h>
+
+#include "compile/lb2_compiler.h"
+#include "engine/exec.h"
+#include "engine/stage_backend.h"
+#include "stage/control.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace {
+
+using namespace lb2;  // NOLINT
+
+rt::Database* BenchDb() {
+  static rt::Database* db = [] {
+    auto* d = new rt::Database();
+    tpch::Generate(0.001, 7, d);
+    return d;
+  }();
+  return db;
+}
+
+/// Staging only: run the staged interpreter and emit C text (no cc).
+void BM_StageAndEmitQ1(benchmark::State& state) {
+  rt::Database& db = *BenchDb();
+  tpch::QueryOptions qo;
+  qo.scale_factor = 0.001;
+  auto q = tpch::BuildQuery(1, qo);
+  for (auto _ : state) {
+    stage::CodegenContext ctx;
+    rt::EnvLayout env;
+    stage::CodegenScope scope(&ctx);
+    engine::StageBackend b(&ctx, &env, &db);
+    engine::QueryCtx<engine::StageBackend> qctx;
+    qctx.b = &b;
+    qctx.db = &db;
+    ctx.BeginFunction("int64_t", "lb2_query",
+                      {{"void**", "env"}, {"lb2_out*", "out"}}, false);
+    b.BindEntryParams();
+    engine::DriveQuery(b, qctx, q, {});
+    ctx.EndFunction();
+    std::string src = ctx.module().Emit();
+    benchmark::DoNotOptimize(src.data());
+  }
+}
+BENCHMARK(BM_StageAndEmitQ1);
+
+/// Rep<T> arithmetic throughput: staged operations per second.
+void BM_RepArithmetic(benchmark::State& state) {
+  for (auto _ : state) {
+    stage::CodegenContext ctx;
+    stage::CodegenScope scope(&ctx);
+    ctx.BeginFunction("void", "f", {{"int64_t", "n"}});
+    stage::Rep<int64_t> acc = stage::Rep<int64_t>::FromRef("n");
+    for (int i = 0; i < 100; ++i) acc = acc * 3 + 1;
+    stage::Return(acc);
+    ctx.EndFunction();
+    benchmark::DoNotOptimize(&ctx);
+  }
+}
+BENCHMARK(BM_RepArithmetic);
+
+/// Constant folding: the same chain over constants emits nothing.
+void BM_RepConstantFolding(benchmark::State& state) {
+  for (auto _ : state) {
+    stage::CodegenContext ctx;
+    stage::CodegenScope scope(&ctx);
+    ctx.BeginFunction("void", "f", {});
+    stage::Rep<int64_t> acc(1);
+    for (int i = 0; i < 100; ++i) acc = acc * 3 + 1;
+    ctx.EndFunction();
+    if (!ctx.module().functions()[0]->body.empty()) std::abort();
+  }
+}
+BENCHMARK(BM_RepConstantFolding);
+
+/// Interpreted execution of Q6 (for contrast with staged emission cost).
+void BM_InterpQ6(benchmark::State& state) {
+  rt::Database& db = *BenchDb();
+  tpch::QueryOptions qo;
+  qo.scale_factor = 0.001;
+  auto q = tpch::BuildQuery(6, qo);
+  for (auto _ : state) {
+    auto r = engine::ExecuteInterp(q, db);
+    benchmark::DoNotOptimize(r.rows);
+  }
+}
+BENCHMARK(BM_InterpQ6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

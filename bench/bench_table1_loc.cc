@@ -1,0 +1,30 @@
+// Table 1 reproduction (Appendix A.2): lines of code per optimization —
+// the paper's productivity argument that LB2-style optimizations are
+// implemented with ordinary high-level code, not compiler passes.
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.h"
+#include "util/loc.h"
+
+int main() {
+  const char* root = std::getenv("LB2_REPO_ROOT");
+  std::string repo = root != nullptr ? root : ".";
+  if (lb2::CountDirLoc(repo + "/src") == 0) repo = "..";     // from build/
+  if (lb2::CountDirLoc(repo + "/src") == 0) repo = "../..";  // from build/bench/
+  if (lb2::CountDirLoc(repo + "/src") == 0) {
+    std::printf("Table 1: set LB2_REPO_ROOT to the repository root\n");
+    return 1;
+  }
+  std::printf("Table 1: lines of code per optimization (this repository)\n");
+  lb2::bench::Table t({"component", "loc"});
+  for (const auto& row : lb2::Table1Breakdown(repo)) {
+    t.AddRow({row.label, std::to_string(row.lines)});
+  }
+  t.Print();
+  std::printf(
+      "\nEach optimization is an ordinary class/flag in the engine — no\n"
+      "analysis or rewrite passes (compare the paper's Table 1, where the\n"
+      "multi-pass system needs 2-8x the code per optimization).\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Shared helpers for the figure-reproduction benchmarks: database setup,
+// repeat-and-take-median measurement, and paper-style table printing.
+//
+// Scale factor defaults to 0.02 (container-friendly); override with the
+// LB2_SF environment variable. Repeats default to 3 (LB2_REPS).
+#ifndef LB2_BENCH_BENCH_UTIL_H_
+#define LB2_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "tpch/dbgen.h"
+#include "util/time.h"
+
+namespace lb2::bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("LB2_SF");
+  return env != nullptr ? std::atof(env) : 0.02;
+}
+
+inline int Repeats() {
+  const char* env = std::getenv("LB2_REPS");
+  return env != nullptr ? std::max(1, std::atoi(env)) : 3;
+}
+
+/// Median of `reps` runs of `run_ms` (which returns milliseconds).
+inline double MedianMs(const std::function<double()>& run_ms,
+                       int reps = Repeats()) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) samples.push_back(run_ms());
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Generates the benchmark database (and prints its shape).
+inline void SetupDatabase(rt::Database* db, const tpch::LoadOptions& load,
+                          double sf = ScaleFactor()) {
+  double gen_ms = tpch::Generate(sf, /*seed=*/20260705, db);
+  double aux_ms = tpch::BuildAuxStructures(load, db);
+  std::printf("# TPC-H SF %.3f: lineitem=%lld orders=%lld "
+              "(generate %.0f ms, aux structures %.0f ms)\n",
+              sf, static_cast<long long>(db->table("lineitem").num_rows()),
+              static_cast<long long>(db->table("orders").num_rows()), gen_ms,
+              aux_ms);
+}
+
+/// Fixed-width table printing.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i) width[i] = headers_[i].size();
+    for (const auto& r : rows_) {
+      for (size_t i = 0; i < r.size(); ++i) {
+        width[i] = std::max(width[i], r[i].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (size_t i = 0; i < cells.size(); ++i) {
+        std::printf("%s%*s", i ? "  " : "", static_cast<int>(width[i]),
+                    cells[i].c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Ms(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f", v);
+  return buf;
+}
+
+}  // namespace lb2::bench
+
+#endif  // LB2_BENCH_BENCH_UTIL_H_

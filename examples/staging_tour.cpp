@@ -1,0 +1,84 @@
+// A tour of the staging substrate — the paper's Section 2 and Appendix B
+// material, executable:
+//
+//   1. power/MyInt: specializing an ordinary recursive function over a
+//      symbolic argument produces straight-line code (the first Futamura
+//      projection in four lines).
+//   2. The Appendix B.2 aggregate query, showing the residual C that the
+//      Record/HashMap abstractions dissolve into.
+#include <cstdio>
+
+#include "compile/lb2_compiler.h"
+#include "plan/plan.h"
+#include "runtime/database.h"
+#include "stage/control.h"
+#include "stage/jit.h"
+#include "stage/rep.h"
+
+using namespace lb2;         // NOLINT
+using namespace lb2::stage;  // NOLINT
+
+// The paper's power function, written once. With a plain int exponent and
+// a staged base, the recursion unrolls at generation time: the `if` below
+// is a *generation-time* branch, so none of it survives into the code.
+Rep<int64_t> Power(Rep<int64_t> x, int n) {
+  if (n == 0) return Rep<int64_t>(1);
+  return x * Power(x, n - 1);
+}
+
+void TourPower() {
+  std::printf("== 1. Futamura in four lines: specializing power(x, 4)\n\n");
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("int64_t", "power4", {{"int64_t", "in"}},
+                    /*is_static=*/false);
+  Return(Power(Rep<int64_t>::FromRef("in"), 4));
+  ctx.EndFunction();
+
+  // Show only the function we generated (the module carries a prelude).
+  std::string src = ctx.module().Emit();
+  size_t pos = src.rfind("int64_t power4");
+  std::printf("%s\n", src.substr(pos).c_str());
+
+  auto mod = Jit::Compile(ctx.module(), "tour_power");
+  using PowerFn = int64_t (*)(int64_t);
+  auto fn = reinterpret_cast<PowerFn>(mod->entry("power4"));
+  std::printf("power4(3) = %lld, power4(5) = %lld\n\n",
+              static_cast<long long>(fn(3)), static_cast<long long>(fn(5)));
+}
+
+void TourAggregate() {
+  std::printf(
+      "== 2. Appendix B.2: the aggregate query end to end\n\n"
+      "   select edname, count(*) from Emp group by edname\n\n");
+  rt::Database db;
+  rt::Table& emp = db.AddTable(
+      "Emp", schema::Schema{{"eid", schema::FieldKind::kInt64},
+                            {"edname", schema::FieldKind::kString}});
+  const char* names[] = {"compilers", "databases", "systems"};
+  for (int i = 0; i < 12; ++i) {
+    emp.column("eid").AppendInt64(i);
+    emp.column("edname").AppendString(names[i % 3]);
+    emp.RowAppended();
+  }
+  emp.Finalize();
+
+  plan::Query q{{}, plan::OrderBy(
+                        plan::GroupBy(plan::Scan("Emp"), {"edname"},
+                                      {plan::Col("edname")},
+                                      {plan::CountStar("cnt")}),
+                        {{"edname", true}})};
+  auto cq = compile::CompileQuery(q, db, {}, "tour_agg");
+  std::printf("query result:\n%s\n", cq.Run().text.c_str());
+  std::printf(
+      "generated C (%zu bytes) — note: no Record or HashMap types appear;\n"
+      "the abstractions dissolved into mallocs and flat-array operations:\n\n"
+      "%s\n",
+      cq.source().size(), cq.source().c_str());
+}
+
+int main() {
+  TourPower();
+  TourAggregate();
+  return 0;
+}

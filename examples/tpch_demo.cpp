@@ -1,0 +1,86 @@
+// TPC-H scoreboard: generates a database, runs selected queries on every
+// engine and optimization level, verifies they agree, and prints timings.
+//
+//   ./tpch_demo                 # Q1 Q3 Q6 Q13 at SF 0.01
+//   ./tpch_demo 0.05 1 5 19     # SF 0.05, queries 1, 5, 19
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "compile/lb2_compiler.h"
+#include "compile/template_compiler.h"
+#include "engine/exec.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "util/time.h"
+#include "volcano/volcano.h"
+
+using namespace lb2;  // NOLINT
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  std::vector<int> queries;
+  for (int i = 2; i < argc; ++i) queries.push_back(std::atoi(argv[i]));
+  if (queries.empty()) queries = {1, 3, 6, 13};
+
+  rt::Database db;
+  std::printf("generating TPC-H SF %.3f...\n", sf);
+  tpch::Generate(sf, 42, &db);
+  tpch::LoadOptions load{.pk_fk_indexes = true,
+                         .date_indexes = true,
+                         .string_dicts = true};
+  tpch::BuildAuxStructures(load, &db);
+  std::printf("lineitem: %lld rows\n\n",
+              static_cast<long long>(db.table("lineitem").num_rows()));
+
+  for (int qn : queries) {
+    tpch::QueryOptions base;
+    base.scale_factor = sf;
+    tpch::QueryOptions opt = base;
+    opt.use_indexes = true;
+    opt.use_date_index = true;
+
+    auto q = tpch::BuildQuery(qn, base);
+    std::printf("=== Q%d\n", qn);
+
+    Stopwatch w;
+    std::string oracle = volcano::Execute(q, db);
+    double volcano_ms = w.ElapsedMs();
+    bool ordered = tpch::OrderSensitive(q);
+
+    auto interp = engine::ExecuteInterp(q, db);
+    auto tq = compile::CompileTemplateQuery(q, db, "demo_t");
+    auto tq_run = tq.Run();
+    auto cq = compile::CompileQuery(q, db, {}, "demo_c");
+    auto cq_run = cq.Run();
+    engine::EngineOptions dict;
+    dict.use_dict = true;
+    auto oq = compile::CompileQuery(tpch::BuildQuery(qn, opt), db, dict,
+                                    "demo_o");
+    auto oq_run = oq.Run();
+
+    auto check = [&](const char* name, const std::string& text) {
+      std::string diff = tpch::DiffResults(oracle, text, ordered);
+      if (!diff.empty()) {
+        std::printf("  %s DISAGREES with the oracle!\n  %s\n", name,
+                    diff.c_str());
+      }
+    };
+    check("interp", interp.text);
+    check("template", tq_run.text);
+    check("lb2", cq_run.text);
+    check("lb2-opt", oq_run.text);
+
+    std::printf("  volcano interpreter   %10.2f ms\n", volcano_ms);
+    std::printf("  data-centric interp   %10.2f ms\n", interp.exec_ms);
+    std::printf("  template compiler     %10.2f ms  (+%.0f ms compile)\n",
+                tq_run.exec_ms, tq.compile_ms());
+    std::printf("  LB2 compiled          %10.2f ms  (+%.0f ms compile)\n",
+                cq_run.exec_ms, cq.compile_ms());
+    std::printf("  LB2 + idx/date/dict   %10.2f ms\n", oq_run.exec_ms);
+    std::printf("  all engines agree on %lld rows\n\n",
+                static_cast<long long>(cq_run.rows));
+  }
+  return 0;
+}

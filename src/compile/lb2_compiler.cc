@@ -1,0 +1,57 @@
+#include "compile/lb2_compiler.h"
+
+#include "engine/stage_backend.h"
+#include "plan/validate.h"
+#include "util/time.h"
+
+namespace lb2::compile {
+
+CompiledQuery::RunResult CompiledQuery::Run() const {
+  stage::QueryOut out;
+  int64_t rows = fn_(const_cast<void**>(env_.data()), &out);
+  RunResult r;
+  r.rows = rows;
+  r.exec_ms = out.exec_ms;
+  if (out.data != nullptr) {
+    r.text.assign(out.data, static_cast<size_t>(out.len));
+    free(out.data);
+  }
+  return r;
+}
+
+CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,
+                           const engine::EngineOptions& opts,
+                           const std::string& tag) {
+  plan::ValidateQuery(q, db);
+
+  Stopwatch staging_timer;
+  stage::CodegenContext ctx;
+  rt::EnvLayout env;
+  {
+    stage::CodegenScope scope(&ctx);
+    engine::StageBackend b(&ctx, &env, &db);
+    engine::QueryCtx<engine::StageBackend> qctx;
+    qctx.b = &b;
+    qctx.db = &db;
+    qctx.copts.use_dict = opts.use_dict;
+
+    ctx.BeginFunction("int64_t", "lb2_query",
+                      {{"void**", "env"}, {"lb2_out*", "out"}},
+                      /*is_static=*/false);
+    b.BindEntryParams();
+    engine::DriveQuery(b, qctx, q, opts);
+    b.FreeOwnedAllocations();
+    stage::Stmt("return g_out->rows;");
+    ctx.EndFunction();
+  }
+  double staging_ms = staging_timer.ElapsedMs();
+
+  CompiledQuery cq;
+  cq.mod_ = stage::Jit::Compile(ctx.module(), tag);
+  cq.fn_ = cq.mod_->entry("lb2_query");
+  cq.env_ = env.Materialize(db);
+  cq.codegen_ms_ = staging_ms + cq.mod_->codegen_ms();
+  return cq;
+}
+
+}  // namespace lb2::compile

@@ -1,0 +1,28 @@
+// The pure template-expansion compiler — the baseline the paper's Section 4
+// opens with ("as a first idea we could perform coarse-grained code
+// generation at the operator level") and then criticizes: each operator is
+// a C string template with placeholders, tuples are generic slot arrays,
+// and pipeline breakers use a *generic* chained hash table with per-row
+// heap allocation (the GLib-class library the paper contrasts against).
+//
+// Deliberately not built on the staging substrate: no Rep<T>, no constant
+// folding, no data-structure specialization, no layout choices, no index /
+// dictionary / parallel support. Comparing this engine against LB2
+// reproduces the paper's "template expansion vs. optimized programmatic
+// specialization" axis (Figures 8/9).
+#ifndef LB2_COMPILE_TEMPLATE_COMPILER_H_
+#define LB2_COMPILE_TEMPLATE_COMPILER_H_
+
+#include "compile/lb2_compiler.h"
+
+namespace lb2::compile {
+
+/// Compiles `q` with operator-level template expansion. The result object
+/// is interchangeable with CompileQuery's.
+CompiledQuery CompileTemplateQuery(const plan::Query& q,
+                                   const rt::Database& db,
+                                   const std::string& tag = "tq");
+
+}  // namespace lb2::compile
+
+#endif  // LB2_COMPILE_TEMPLATE_COMPILER_H_

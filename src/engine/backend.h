@@ -1,0 +1,48 @@
+// The Backend concept: the axis along which one engine becomes two.
+//
+// The data-centric operators in ops.h are written ONCE against a backend
+// parameter B. Instantiated with InterpBackend, scalar types are native
+// (int64_t, double, ...), control-flow combinators execute their bodies, and
+// the operator tree is a query *interpreter*. Instantiated with
+// StageBackend, scalars are staged Rep<T> values, the combinators emit C,
+// and running the very same operator code performs the first Futamura
+// projection: the residual program is the compiled query.
+//
+// A backend provides:
+//   Scalar types      I64, F64, Bool, I32, Str {ptr, len}
+//   Arrays            Arr<T>, AllocArr/AllocZeroArr/ArrGet/ArrSet
+//   Mutable cells     Cell<T>, NewCell/Get/Set
+//   Control flow      If, IfElse, For, While, Loop/Break (break must be in
+//                     tail position of its branch — see hashmap.h)
+//   Casts             CastF64/CastI64/BoolToI64
+//   Strings           StrEqV, StrCmp3, StrEqConst, StrStartsWithConst,
+//                     StrEndsWithConst, StrContainsConst, StrLikeConst,
+//                     SubstrConst, DictDecode
+//   Hashing           HashI64, HashStr, HashCombine
+//   Table access      TableRows (a generation-time constant for the staged
+//                     backend!), Column → ColAcc handles
+//   Output            BeginRow/EmitI64/EmitF64/EmitDate/EmitStr/EndRow
+//   Timing            StartTimer/StopTimer
+//
+// This header only documents the concept; see interp_backend.h and
+// stage_backend.h for the two implementations.
+#ifndef LB2_ENGINE_BACKEND_H_
+#define LB2_ENGINE_BACKEND_H_
+
+#include <cstdint>
+
+#include "runtime/database.h"
+#include "schema/schema.h"
+
+namespace lb2::engine {
+
+/// Per-backend column access handle tag; each backend defines its own
+/// ColAcc type. Options shared by both backends when resolving columns.
+struct ColumnOptions {
+  /// Prefer the dictionary-code representation when the column has one.
+  bool use_dict = false;
+};
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_BACKEND_H_

@@ -1,0 +1,20 @@
+#include "engine/exec.h"
+
+#include "engine/interp_backend.h"
+#include "plan/validate.h"
+
+namespace lb2::engine {
+
+InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
+                           const EngineOptions& opts) {
+  plan::ValidateQuery(q, db);
+  InterpBackend b(&db);
+  QueryCtx<InterpBackend> qctx;
+  qctx.b = &b;
+  qctx.db = &db;
+  qctx.copts.use_dict = opts.use_dict;
+  DriveQuery(b, qctx, q, opts);
+  return {b.output(), b.rows(), b.exec_ms()};
+}
+
+}  // namespace lb2::engine

@@ -1,0 +1,209 @@
+// Plan → operator tree construction and the query driver, shared by the
+// interpreter (InterpBackend) and the compiler (StageBackend). The driver
+// *is* the "staged interpreter" of Figure 2c: run it with real values and it
+// evaluates the query; run it with symbolic values and it emits the query's
+// C program.
+#ifndef LB2_ENGINE_EXEC_H_
+#define LB2_ENGINE_EXEC_H_
+
+#include <string>
+
+#include "engine/hoist.h"
+#include "engine/index_ops.h"
+#include "engine/ops.h"
+#include "engine/parallel.h"
+
+namespace lb2::engine {
+
+/// Knobs shared by the interpreted and compiled engines.
+struct EngineOptions {
+  /// Use dictionary codes for dictionary-encoded columns (requires the
+  /// database to have been loaded with string_dicts).
+  bool use_dict = false;
+  /// Paper §4.4: allocate operator state before the timed region.
+  bool hoist_alloc = true;
+  /// Paper §4.1: materialize join build sides row-wise (default) or
+  /// column-wise (ablation).
+  bool row_layout_joins = true;
+  /// Number of worker threads for parallel pipelines (compiled engine only;
+  /// 1 = sequential code).
+  int num_threads = 1;
+};
+
+template <typename B>
+DictVec OutputDicts(QueryCtx<B>* ctx, const plan::PlanRef& p);
+
+/// Builds the operator tree for `p`. Honors JoinImpl flags (index joins).
+template <typename B>
+OpPtr<B> BuildOp(QueryCtx<B>* ctx, const plan::PlanRef& p) {
+  using plan::OpType;
+  const rt::Database& db = *ctx->db;
+  schema::Schema out = plan::OutputSchema(p, db);
+
+  // Dictionary propagation for this node's output.
+  auto child_op = [&](int i) { return BuildOp<B>(ctx, p->children[i]); };
+
+  switch (p->type) {
+    case OpType::kScan: {
+      const rt::Table& t = db.table(p->table);
+      DictVec dicts;
+      for (int i = 0; i < out.size(); ++i) {
+        const rt::Column& c = t.column(i);
+        dicts.push_back(ctx->copts.use_dict && c.has_dict() ? c.dict()
+                                                            : nullptr);
+      }
+      return std::make_unique<ScanOp<B>>(ctx, *p, out, dicts);
+    }
+    case OpType::kSelect:
+      return std::make_unique<SelectOp<B>>(ctx, *p, child_op(0));
+    case OpType::kProject: {
+      auto child = child_op(0);
+      DictVec dicts;
+      for (const auto& e : p->exprs) {
+        const rt::Dictionary* d = nullptr;
+        if (e->op == plan::ExprOp::kColRef) {
+          int i = child->schema().IndexOf(e->str);
+          d = child->dicts()[static_cast<size_t>(i)];
+        }
+        dicts.push_back(d);
+      }
+      return std::make_unique<ProjectOp<B>>(ctx, *p, std::move(child), out,
+                                            dicts);
+    }
+    case OpType::kHashJoin: {
+      if (p->join_impl != plan::JoinImpl::kHash) {
+        // Build side replaced by index probes into its base table.
+        schema::Schema lschema = plan::OutputSchema(p->children[0], db);
+        DictVec ldicts = OutputDicts<B>(ctx, p->children[0]);
+        return std::make_unique<IndexJoinOp<B>>(
+            ctx, *p, p->children[0], lschema, ldicts, child_op(1));
+      }
+      int64_t bound = plan::RowBound(p->children[0], db);
+      return std::make_unique<HashJoinOp<B>>(ctx, *p, child_op(0),
+                                             child_op(1), bound);
+    }
+    case OpType::kSemiJoin:
+    case OpType::kAntiJoin: {
+      if (p->join_impl != plan::JoinImpl::kHash) {
+        schema::Schema rschema = plan::OutputSchema(p->children[1], db);
+        DictVec rdicts = OutputDicts<B>(ctx, p->children[1]);
+        return std::make_unique<IndexSemiAntiJoinOp<B>>(
+            ctx, *p, child_op(0), p->children[1], rschema, rdicts);
+      }
+      int64_t bound = plan::RowBound(p->children[1], db);
+      return std::make_unique<SemiAntiJoinOp<B>>(ctx, *p, child_op(0),
+                                                 child_op(1), bound);
+    }
+    case OpType::kLeftCountJoin: {
+      int64_t bound = plan::RowBound(p->children[1], db);
+      return std::make_unique<LeftCountJoinOp<B>>(ctx, *p, child_op(0),
+                                                  child_op(1), bound);
+    }
+    case OpType::kGroupAgg: {
+      auto child = child_op(0);
+      DictVec dicts;
+      for (size_t i = 0; i < p->group_exprs.size(); ++i) {
+        const rt::Dictionary* d = nullptr;
+        if (p->group_exprs[i]->op == plan::ExprOp::kColRef) {
+          int ci = child->schema().IndexOf(p->group_exprs[i]->str);
+          d = child->dicts()[static_cast<size_t>(ci)];
+        }
+        dicts.push_back(d);
+      }
+      for (size_t i = 0; i < p->aggs.size(); ++i) dicts.push_back(nullptr);
+      int64_t capacity = plan::RowBound(p, db);
+      return std::make_unique<GroupAggOp<B>>(ctx, *p, std::move(child), out,
+                                             dicts, capacity);
+    }
+    case OpType::kScalarAgg:
+      return std::make_unique<ScalarAggOp<B>>(ctx, *p, child_op(0), out);
+    case OpType::kSort: {
+      int64_t bound = plan::RowBound(p->children[0], db);
+      return std::make_unique<SortOp<B>>(ctx, *p, child_op(0), bound);
+    }
+    case OpType::kLimit:
+      return std::make_unique<LimitOp<B>>(ctx, *p, child_op(0));
+  }
+  LB2_CHECK(false);
+  return nullptr;
+}
+
+/// Output dictionary vector of a plan without building its operators (used
+/// for index-join build sides, whose operator tree is never constructed).
+template <typename B>
+DictVec OutputDicts(QueryCtx<B>* ctx, const plan::PlanRef& p) {
+  // Cheap route: build the op tree and read its dicts. Index-join build
+  // sides are tiny chains, so this costs nothing at generation time.
+  return BuildOp<B>(ctx, p)->dicts();
+}
+
+/// Emits one result row in the canonical '|'-separated format.
+template <typename B>
+void PrintRecord(B& b, const Record<B>& rec, const schema::Schema& schema) {
+  for (int i = 0; i < schema.size(); ++i) {
+    if (i > 0) b.EmitSep();
+    const Value<B>& v = rec.value(i);
+    using K = schema::FieldKind;
+    switch (schema.field(i).kind) {
+      case K::kInt64: b.EmitI64(AsI64(b, v)); break;
+      case K::kDouble: b.EmitF64(AsF64(b, v)); break;
+      case K::kDate: b.EmitDate(AsI64(b, v)); break;
+      case K::kString: b.EmitStr(AsRawStr(b, v)); break;
+    }
+  }
+  b.EndRow();
+}
+
+/// Runs (or stages) a whole query: scalar subqueries first, then the main
+/// pipeline, printing rows through the backend's output sink. Timer
+/// placement implements the §4.4 code-motion experiment.
+template <typename B>
+void DriveQuery(B& b, QueryCtx<B>& qctx, const plan::Query& q,
+                const EngineOptions& opts) {
+  qctx.join_layout = opts.row_layout_joins ? BufferLayout::kRow
+                                           : BufferLayout::kColumnar;
+  if (opts.num_threads > 1) {
+    qctx.num_threads = opts.num_threads;
+    AnalyzeParallel(q.root, &qctx.par_nodes);
+  }
+  if (!q.scalar_subqueries.empty()) {
+    qctx.scalars.arr = b.template AllocArr<double>(
+        typename B::I64(static_cast<int64_t>(q.scalar_subqueries.size())));
+  }
+  // Scalar subqueries run sequentially — they may share plan nodes with the
+  // (marked) main spine, and their sinks are not lane-aware.
+  int main_threads = qctx.num_threads;
+  qctx.num_threads = 1;
+  for (size_t i = 0; i < q.scalar_subqueries.size(); ++i) {
+    auto op = BuildOp<B>(&qctx, q.scalar_subqueries[i]);
+    auto dl = op->Prepare();
+    dl([&](const Record<B>& rec) {
+      b.ArrSet(qctx.scalars.arr, typename B::I64(static_cast<int64_t>(i)),
+               AsF64(b, rec.value(0)));
+    });
+  }
+  qctx.num_threads = main_threads;
+  auto root = BuildOp<B>(&qctx, q.root);
+  RunWithAllocationPolicy(
+      b, opts.hoist_alloc, [&] { return root->Prepare(); },
+      [&](const typename Op<B>::DataLoop& dl) {
+        dl([&](const Record<B>& rec) {
+          PrintRecord(b, rec, root->schema());
+        });
+      });
+}
+
+/// Interpreted execution result.
+struct InterpResult {
+  std::string text;
+  int64_t rows = 0;
+  double exec_ms = 0.0;
+};
+
+/// Runs `q` on the data-centric interpreter (the InterpBackend engine).
+InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
+                           const EngineOptions& opts = {});
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_EXEC_H_

@@ -1,0 +1,28 @@
+// Code motion via the exec signature (paper §4.4 / Figure 7).
+//
+// Operators allocate their data structures in Prepare() and return the
+// data path as a function, so the caller chooses what happens between
+// allocation and the main loops — here, where the timer starts. With
+// hoisting on, allocation cost is off the measured critical path (the
+// paper\'s optimized skeleton a2/c2); with it off, the timer brackets
+// allocation too (skeleton a1/c1), which the ablation bench quantifies.
+#ifndef LB2_ENGINE_HOIST_H_
+#define LB2_ENGINE_HOIST_H_
+
+namespace lb2::engine {
+
+/// Runs prepare (allocation) and the returned data path with the timer
+/// placed per the hoisting policy.
+template <typename B, typename PrepareFn, typename RunFn>
+void RunWithAllocationPolicy(B& b, bool hoist_alloc, PrepareFn prepare,
+                             RunFn run) {
+  if (!hoist_alloc) b.StartTimer();
+  auto data_loop = prepare();
+  if (hoist_alloc) b.StartTimer();
+  run(data_loop);
+  b.StopTimer();
+}
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_HOIST_H_

@@ -1,0 +1,66 @@
+// Parallel-plan analysis (paper §4.5): which nodes of a plan run inside a
+// pthread parallel region. The spine walks from the root aggregation
+// toward its source scan, following the probe sides of joins: the scan
+// partitions its row range across threads, stateless operators and
+// read-only join probes run unchanged inside workers, and the sink
+// aggregation keeps one hash-table lane per thread which is merged after
+// the region (see hashmap.h / ops.h). Build sides always run sequentially
+// before the region starts.
+#ifndef LB2_ENGINE_PARALLEL_H_
+#define LB2_ENGINE_PARALLEL_H_
+
+#include <set>
+
+#include "plan/plan.h"
+
+namespace lb2::engine {
+
+/// Walks from a pipeline sink toward its source and marks the source Scan
+/// for partitioned execution. Returns false (and marks nothing) when the
+/// source is not a partitionable base scan (e.g. another aggregate).
+inline bool MarkParSpine(const plan::PlanRef& p,
+                         std::set<const plan::PlanNode*>* out) {
+  switch (p->type) {
+    case plan::OpType::kScan:
+      out->insert(p.get());
+      return true;
+    case plan::OpType::kSelect:
+    case plan::OpType::kProject:
+      return MarkParSpine(p->children[0], out);
+    case plan::OpType::kHashJoin:
+      // Builds run sequentially before the region; probes are read-only.
+      return MarkParSpine(p->children[1], out);
+    case plan::OpType::kSemiJoin:
+    case plan::OpType::kAntiJoin:
+    case plan::OpType::kLeftCountJoin:
+      return MarkParSpine(p->children[0], out);
+    default:
+      return false;  // aggregates/sorts cannot source a partitioned loop
+  }
+}
+
+/// Marks the root aggregation and its feeding pipeline for parallel
+/// execution. Only aggregate-rooted pipelines parallelize (their output
+/// loop and everything above runs sequentially on collapsed data).
+inline void AnalyzeParallel(const plan::PlanRef& root,
+                            std::set<const plan::PlanNode*>* out) {
+  const plan::PlanRef* p = &root;
+  while ((*p)->type == plan::OpType::kSort ||
+         (*p)->type == plan::OpType::kLimit ||
+         (*p)->type == plan::OpType::kProject ||
+         (*p)->type == plan::OpType::kSelect) {
+    p = &(*p)->children[0];
+  }
+  if ((*p)->type == plan::OpType::kGroupAgg ||
+      (*p)->type == plan::OpType::kScalarAgg) {
+    std::set<const plan::PlanNode*> marks;
+    if (MarkParSpine((*p)->children[0], &marks)) {
+      marks.insert(p->get());
+      out->insert(marks.begin(), marks.end());
+    }
+  }
+}
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_PARALLEL_H_

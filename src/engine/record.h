@@ -1,0 +1,65 @@
+// Record<B>: a generation-time-only tuple abstraction (paper §4.1). A
+// record is a schema plus one Value<B> per field; no `new Record(...)` ever
+// reaches generated code — records dissolve entirely into operations on the
+// scalar values they carry.
+#ifndef LB2_ENGINE_RECORD_H_
+#define LB2_ENGINE_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/value.h"
+#include "schema/schema.h"
+#include "util/check.h"
+
+namespace lb2::engine {
+
+template <typename B>
+class Record {
+ public:
+  Record() = default;
+
+  void Add(const schema::Field& f, Value<B> v) {
+    schema_.Add(f);
+    values_.push_back(std::move(v));
+  }
+
+  int size() const { return schema_.size(); }
+  const schema::Schema& schema() const { return schema_; }
+  const schema::Field& field(int i) const { return schema_.field(i); }
+  const Value<B>& value(int i) const {
+    return values_[static_cast<size_t>(i)];
+  }
+
+  const Value<B>& Get(const std::string& name) const {
+    int i = schema_.IndexOf(name);
+    LB2_CHECK_MSG(i >= 0, ("record has no field " + name + " in " +
+                           schema_.ToString())
+                              .c_str());
+    return values_[static_cast<size_t>(i)];
+  }
+
+  /// Concatenation (the `merge` of the paper's hash join).
+  static Record Concat(const Record& a, const Record& b) {
+    Record out = a;
+    for (int i = 0; i < b.size(); ++i) out.Add(b.field(i), b.value(i));
+    return out;
+  }
+
+  /// Projection to the named fields, in order.
+  Record Slice(const std::vector<std::string>& names) const {
+    Record out;
+    for (const auto& n : names) {
+      out.Add(schema_.Get(n), Get(n));
+    }
+    return out;
+  }
+
+ private:
+  schema::Schema schema_;
+  std::vector<Value<B>> values_;
+};
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_RECORD_H_

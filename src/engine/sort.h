@@ -1,0 +1,94 @@
+// Backend-specific sorting of materialized buffers (the one operator piece
+// that is intrinsically backend-shaped): the interpreter backend sorts a
+// permutation with std::sort; the staged backend *generates* a comparator
+// function specialized to the sort keys' physical layout and calls qsort.
+// Both append a final index tiebreak so tied rows order identically across
+// engines. Dictionary-encoded keys compare by code — dictionary order is
+// lexicographic by construction.
+#ifndef LB2_ENGINE_SORT_H_
+#define LB2_ENGINE_SORT_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "engine/buffer.h"
+#include "engine/interp_backend.h"
+#include "engine/stage_backend.h"
+#include "plan/plan.h"
+
+namespace lb2::engine {
+
+template <typename B>
+struct Sorter;
+
+template <>
+struct Sorter<InterpBackend> {
+  static void SortPerm(InterpBackend& b,
+                       const ColumnarBuffer<InterpBackend>& buf,
+                       InterpBackend::Arr<int64_t> perm, int64_t n,
+                       const std::vector<plan::SortKey>& keys) {
+    std::vector<int> idx;
+    idx.reserve(keys.size());
+    for (const auto& k : keys) idx.push_back(buf.schema().IndexOf(k.name));
+    auto& p = *perm;
+    std::sort(p.begin(), p.begin() + n,
+              [&](int64_t x, int64_t y) {
+                for (size_t k = 0; k < keys.size(); ++k) {
+                  int32_t c = ValCmp3(b, buf.ReadField(b, x, idx[k]),
+                                      buf.ReadField(b, y, idx[k]));
+                  if (c != 0) return keys[k].asc ? c < 0 : c > 0;
+                }
+                return x < y;
+              });
+  }
+};
+
+template <>
+struct Sorter<StageBackend> {
+  static void SortPerm(StageBackend& b,
+                       const ColumnarBuffer<StageBackend>& buf,
+                       StageBackend::Arr<int64_t> perm, StageBackend::I64 n,
+                       const std::vector<plan::SortKey>& keys) {
+    auto* ctx = b.ctx();
+    std::string fn = ctx->Fresh("lb2_cmp");
+    ctx->BeginFunction("int", fn,
+                       {{"const void*", "pa"}, {"const void*", "pb"}});
+    stage::Stmt("int64_t ia = *(const int64_t*)pa;");
+    stage::Stmt("int64_t ib = *(const int64_t*)pb;");
+    for (const auto& key : keys) {
+      int i = buf.schema().IndexOf(key.name);
+      const auto& col = buf.col(i);
+      const char* lt = key.asc ? "-1" : "1";
+      const char* gt = key.asc ? "1" : "-1";
+      switch (buf.Phys(i)) {
+        case PhysKind::kI64:
+        case PhysKind::kDictCode:
+          stage::Stmt("{ int64_t va = " + col.i64.ref() +
+                      "[ia], vb = " + col.i64.ref() +
+                      "[ib]; if (va < vb) return " + lt +
+                      "; if (va > vb) return " + std::string(gt) + "; }");
+          break;
+        case PhysKind::kF64:
+          stage::Stmt("{ double va = " + col.f64.ref() +
+                      "[ia], vb = " + col.f64.ref() +
+                      "[ib]; if (va < vb) return " + lt +
+                      "; if (va > vb) return " + std::string(gt) + "; }");
+          break;
+        case PhysKind::kStr:
+          stage::Stmt("{ int32_t c = lb2_str_cmp(" + col.sp.ref() + "[ia], " +
+                      col.sl.ref() + "[ia], " + col.sp.ref() + "[ib], " +
+                      col.sl.ref() + "[ib]); if (c) return " +
+                      (key.asc ? "c" : "-c") + "; }");
+          break;
+      }
+    }
+    stage::Stmt("return ia < ib ? -1 : (ia > ib ? 1 : 0);");
+    ctx->EndFunction();
+    stage::Stmt("qsort(" + perm.ref() + ", (size_t)" + n.ref() +
+                ", sizeof(int64_t), " + fn + ");");
+  }
+};
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_SORT_H_

@@ -1,0 +1,462 @@
+// StageBackend: the "future-stage" backend. Values are symbolic Rep<T>s,
+// control-flow combinators emit C, and allocation helpers create file-scope
+// globals in the generated translation unit (so generated sort comparators
+// and thread entry points can reach them). Running the shared operator code
+// under this backend *is* the compiler: interpreter + symbolic input =
+// residual program (the first Futamura projection).
+#ifndef LB2_ENGINE_STAGE_BACKEND_H_
+#define LB2_ENGINE_STAGE_BACKEND_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "engine/backend.h"
+#include "runtime/database.h"
+#include "runtime/env.h"
+#include "stage/control.h"
+#include "stage/rep.h"
+#include "util/check.h"
+
+namespace lb2::engine {
+
+class StageBackend {
+ public:
+  using I64 = stage::Rep<int64_t>;
+  using F64 = stage::Rep<double>;
+  using Bool = stage::Rep<bool>;
+  using I32 = stage::Rep<int32_t>;
+  struct Str {
+    stage::Rep<const char*> p;
+    stage::Rep<int32_t> n;
+  };
+  template <typename T>
+  using Arr = stage::Rep<T*>;
+  template <typename T>
+  using Cell = std::shared_ptr<stage::Var<T>>;
+
+  StageBackend(stage::CodegenContext* ctx, rt::EnvLayout* env,
+               const rt::Database* db)
+      : ctx_(ctx), env_(env), db_(db) {
+    ctx_->DeclareGlobal("static void** g_env;");
+    ctx_->DeclareGlobal("static lb2_out* g_out;");
+  }
+
+  static constexpr bool kIsStaged = true;
+
+  /// Emitted once at the top of the query entry function.
+  void BindEntryParams() {
+    stage::Stmt("g_env = env;");
+    stage::Stmt("g_out = out;");
+  }
+
+  // -- Control flow ---------------------------------------------------------
+  template <typename F>
+  void If(Bool c, F f) {
+    stage::If(c, f);
+  }
+  template <typename F, typename G>
+  void IfElse(Bool c, F f, G g) {
+    stage::IfElse(c, f, g);
+  }
+  template <typename F>
+  void For(I64 lo, I64 hi, F f) {
+    stage::For(lo, hi, f);
+  }
+  template <typename C, typename F>
+  void While(C cond, F body) {
+    stage::While(cond, body);
+  }
+  template <typename F>
+  void Loop(F body) {
+    stage::Loop(body);
+  }
+  void Break() { stage::Break(); }
+
+  // -- Parallelism (§4.5) ----------------------------------------------------
+  /// Emits a pthread parallel region: `body(tid)` is staged into a worker
+  /// function invoked by `n_threads` threads. Engine state reachable from
+  /// workers must be file-scope (AllocArr guarantees this); Cells created
+  /// *inside* the body are worker-local.
+  template <typename F>
+  void ParallelRegion(int n_threads, F body) {
+    LB2_CHECK_MSG(!in_parallel_, "nested parallel regions are not supported");
+    std::string fn = ctx_->Fresh("lb2_worker");
+    ctx_->BeginFunction("void*", fn, {{"void*", "arg"}});
+    in_parallel_ = true;
+    cur_tid_ = stage::Bind<int64_t>("(int64_t)(intptr_t)arg");
+    body(cur_tid_);
+    in_parallel_ = false;
+    cur_tid_ = I64(0);
+    stage::Stmt("return (void*)0;");
+    ctx_->EndFunction();
+    std::string n = std::to_string(n_threads);
+    stage::Stmt("{ pthread_t lb2_th[" + n + "]; int lb2_t;");
+    stage::Stmt("for (lb2_t = 0; lb2_t < " + n +
+                "; lb2_t++) pthread_create(&lb2_th[lb2_t], 0, " + fn +
+                ", (void*)(intptr_t)lb2_t);");
+    stage::Stmt("for (lb2_t = 0; lb2_t < " + n +
+                "; lb2_t++) pthread_join(lb2_th[lb2_t], 0); }");
+  }
+  /// The executing worker's thread id (0 outside parallel regions).
+  I64 CurTid() const { return cur_tid_; }
+
+  // -- Casts ----------------------------------------------------------------
+  F64 CastF64(I64 v) { return stage::CastRep<double>(v); }
+  I64 CastI64(F64 v) { return stage::CastRep<int64_t>(v); }
+  I64 BoolToI64(Bool v) { return stage::CastRep<int64_t>(v); }
+  Bool I64ToBool(I64 v) { return v != I64(0); }
+  I32 CastI32(I64 v) { return stage::CastRep<int32_t>(v); }
+  I64 I32ToI64(I32 v) { return stage::CastRep<int64_t>(v); }
+  // Bit/pointer casts for row-layout slot storage (prelude helpers are
+  // memcpy-based, i.e. well-defined type punning).
+  I64 F64Bits(F64 v) { return stage::Call<int64_t>("lb2_d2i", v); }
+  F64 BitsF64(I64 v) { return stage::Call<double>("lb2_i2d", v); }
+  I64 PtrBits(stage::Rep<const char*> p) {
+    return stage::Bind<int64_t>("(int64_t)(intptr_t)" + p.ref());
+  }
+  stage::Rep<const char*> BitsPtr(I64 v) {
+    return stage::Bind<const char*>("(const char*)(intptr_t)" + v.ref());
+  }
+
+  // -- Cells ----------------------------------------------------------------
+  template <typename T>
+  Cell<T> NewCell(stage::Rep<T> init) {
+    return std::make_shared<stage::Var<T>>(init);
+  }
+  template <typename T>
+  stage::Rep<T> Get(const Cell<T>& c) {
+    return c->Get();
+  }
+  template <typename T>
+  void Set(const Cell<T>& c, stage::Rep<T> v) {
+    c->Set(v);
+  }
+
+  // -- Arrays (file-scope globals in the generated TU) -----------------------
+  template <typename T>
+  Arr<T> AllocArr(I64 n) {
+    std::string name = ctx_->Fresh("g");
+    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
+    stage::Stmt(name + " = (" + stage::CType<T*>() + ")malloc((size_t)(" +
+                n.ref() + ") * sizeof(" + stage::CType<T>() + "));");
+    owned_allocs_.push_back(name);
+    return Arr<T>::FromRef(name);
+  }
+  template <typename T>
+  Arr<T> AllocZeroArr(I64 n) {
+    std::string name = ctx_->Fresh("g");
+    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
+    stage::Stmt(name + " = (" + stage::CType<T*>() + ")calloc((size_t)(" +
+                n.ref() + "), sizeof(" + stage::CType<T>() + "));");
+    owned_allocs_.push_back(name);
+    return Arr<T>::FromRef(name);
+  }
+
+  /// Frees every engine allocation (emitted by the compiler before the
+  /// query function returns, so a CompiledQuery can be Run() repeatedly
+  /// without growing the heap).
+  void FreeOwnedAllocations() {
+    for (const auto& name : owned_allocs_) {
+      stage::Stmt("free((void*)" + name + "); " + name + " = 0;");
+    }
+  }
+  template <typename T>
+  stage::Rep<T> ArrGet(const Arr<T>& a, I64 i) {
+    return stage::Load<T>(a, i);
+  }
+  template <typename T>
+  void ArrSet(const Arr<T>& a, I64 i, std::type_identity_t<stage::Rep<T>> v) {
+    stage::Store<T>(a, i, v);
+  }
+
+  // -- Strings ----------------------------------------------------------------
+  Bool StrEqV(Str a, Str b) {
+    return stage::Call<bool>("lb2_str_eq", a.p, a.n, b.p, b.n);
+  }
+  I32 StrCmp3(Str a, Str b) {
+    return stage::Call<int32_t>("lb2_str_cmp", a.p, a.n, b.p, b.n);
+  }
+  Bool StrEqConst(Str a, const std::string& lit) {
+    return stage::Call<bool>("lb2_str_eq", a.p, a.n, StrLit(lit),
+                             I32(static_cast<int32_t>(lit.size())));
+  }
+  Bool StrStartsWithConst(Str a, const std::string& p) {
+    return stage::Call<bool>("lb2_starts_with", a.p, a.n, StrLit(p),
+                             I32(static_cast<int32_t>(p.size())));
+  }
+  Bool StrEndsWithConst(Str a, const std::string& p) {
+    return stage::Call<bool>("lb2_ends_with", a.p, a.n, StrLit(p),
+                             I32(static_cast<int32_t>(p.size())));
+  }
+  Bool StrContainsConst(Str a, const std::string& p) {
+    return stage::Call<bool>("lb2_contains", a.p, a.n, StrLit(p),
+                             I32(static_cast<int32_t>(p.size())));
+  }
+  Bool StrLikeConst(Str a, const std::string& pattern) {
+    return stage::Call<bool>("lb2_like", a.p, a.n, StrLit(pattern),
+                             I32(static_cast<int32_t>(pattern.size())));
+  }
+  Str SubstrConst(Str a, int64_t pos, int64_t len) {
+    // Offsets are static; clamp like the interpreter does.
+    I32 p32 = stage::Bind<int32_t>(
+        "(" + a.n.ref() + " < " + std::to_string(pos) + " ? " + a.n.ref() +
+        " : " + std::to_string(pos) + ")");
+    I32 l32 = stage::Bind<int32_t>(
+        "((" + a.n.ref() + " - " + p32.ref() + ") < " + std::to_string(len) +
+        " ? (" + a.n.ref() + " - " + p32.ref() + ") : " +
+        std::to_string(len) + ")");
+    auto ptr = stage::Bind<const char*>("(" + a.p.ref() + " + " + p32.ref() +
+                                        ")");
+    return {ptr, l32};
+  }
+  Str ConstStr(const std::string& lit) { return {StrLit(lit), I32(static_cast<int32_t>(lit.size()))}; }
+  I64 SelI64(Bool c, I64 a, I64 b) { return stage::Select(c, a, b); }
+  F64 SelF64(Bool c, F64 a, F64 b) { return stage::Select(c, a, b); }
+  Str DictDecode(const rt::Dictionary* dict, I64 code) {
+    auto [pslot, lslot] = DictSlots(dict);
+    auto pa = stage::Bind<const char**>(
+        "(const char**)g_env[" + std::to_string(pslot) + "]");
+    auto la = stage::Bind<int32_t*>("(int32_t*)g_env[" +
+                                    std::to_string(lslot) + "]");
+    return {stage::Load<const char*>(pa, code),
+            stage::Load<int32_t>(la, code)};
+  }
+
+  // -- Hashing ------------------------------------------------------------------
+  I64 HashI64(I64 v) { return stage::Call<int64_t>("lb2_hash_i64", v); }
+  I64 HashStr(Str s) {
+    return stage::Call<int64_t>("lb2_hash_str", s.p, s.n);
+  }
+  I64 HashCombine(I64 a, I64 b) {
+    return stage::Call<int64_t>("lb2_hash_combine", a, b);
+  }
+
+  // -- Table access ----------------------------------------------------------
+  struct ColAcc {
+    schema::FieldKind kind;
+    bool use_dict = false;
+    // Only the handles matching `kind`/`use_dict` are bound.
+    stage::Rep<int64_t*> i64;
+    stage::Rep<double*> f64;
+    stage::Rep<int32_t*> i32;  // dates and dictionary codes
+    stage::Rep<const char**> sp;
+    stage::Rep<int32_t*> sl;
+  };
+
+  /// Row counts are known when the query is compiled — they become
+  /// generation-time constants (and loop bounds fold accordingly).
+  I64 TableRows(const std::string& table) {
+    return I64(db_->table(table).num_rows());
+  }
+
+  ColAcc Column(const std::string& table, const std::string& col,
+                const ColumnOptions& opts) {
+    const rt::Column& c = db_->table(table).column(col);
+    ColAcc acc;
+    acc.kind = c.kind();
+    acc.use_dict = opts.use_dict && c.has_dict();
+    std::string key = "col:" + table + ":" + col;
+    using schema::FieldKind;
+    if (acc.use_dict) {
+      acc.i32 = BindEnv<int32_t>(key + ":dictcode", [&c](const rt::Database&) {
+        return static_cast<const void*>(c.dict_codes());
+      });
+      return acc;
+    }
+    switch (c.kind()) {
+      case FieldKind::kInt64:
+        acc.i64 = BindEnv<int64_t>(key, [&c](const rt::Database&) {
+          return static_cast<const void*>(c.i64_data());
+        });
+        break;
+      case FieldKind::kDouble:
+        acc.f64 = BindEnv<double>(key, [&c](const rt::Database&) {
+          return static_cast<const void*>(c.f64_data());
+        });
+        break;
+      case FieldKind::kDate:
+        acc.i32 = BindEnv<int32_t>(key, [&c](const rt::Database&) {
+          return static_cast<const void*>(c.date_data());
+        });
+        break;
+      case FieldKind::kString:
+        acc.sp = BindEnv<const char*>(key + ":p", [&c](const rt::Database&) {
+          return static_cast<const void*>(c.str_ptr_data());
+        });
+        acc.sl = BindEnv<int32_t>(key + ":l", [&c](const rt::Database&) {
+          return static_cast<const void*>(c.str_len_data());
+        });
+        break;
+    }
+    return acc;
+  }
+  I64 ColI64(const ColAcc& a, I64 row) { return stage::Load<int64_t>(a.i64, row); }
+  F64 ColF64(const ColAcc& a, I64 row) { return stage::Load<double>(a.f64, row); }
+  I64 ColDate(const ColAcc& a, I64 row) {
+    return stage::CastRep<int64_t>(stage::Load<int32_t>(a.i32, row));
+  }
+  Str ColStr(const ColAcc& a, I64 row) {
+    return {stage::Load<const char*>(a.sp, row),
+            stage::Load<int32_t>(a.sl, row)};
+  }
+  I64 ColDictCode(const ColAcc& a, I64 row) {
+    return stage::CastRep<int64_t>(stage::Load<int32_t>(a.i32, row));
+  }
+
+  // -- Auxiliary index access ---------------------------------------------------
+  struct PkAcc {
+    int64_t min_key, max_key;
+    stage::Rep<int32_t*> pos;
+  };
+  struct FkAcc {
+    int64_t min_key, max_key;
+    stage::Rep<int64_t*> offsets;
+    stage::Rep<int32_t*> rows;
+  };
+  struct DateAcc {
+    const rt::DateIndex* idx;
+    stage::Rep<int64_t*> offsets;
+    stage::Rep<int32_t*> rows;
+  };
+  PkAcc Pk(const std::string& table, const std::string& col) {
+    const auto* idx = db_->pk_index(table, col);
+    LB2_CHECK_MSG(idx != nullptr, ("missing pk index " + table).c_str());
+    return {idx->min_key, idx->max_key,
+            BindEnv<int32_t>("pk:" + table + ":" + col,
+                             [idx](const rt::Database&) {
+                               return static_cast<const void*>(
+                                   idx->pos.data());
+                             })};
+  }
+  FkAcc Fk(const std::string& table, const std::string& col) {
+    const auto* idx = db_->fk_index(table, col);
+    LB2_CHECK_MSG(idx != nullptr, ("missing fk index " + table).c_str());
+    std::string key = "fk:" + table + ":" + col;
+    return {idx->min_key, idx->max_key,
+            BindEnv<int64_t>(key + ":off",
+                             [idx](const rt::Database&) {
+                               return static_cast<const void*>(
+                                   idx->offsets.data());
+                             }),
+            BindEnv<int32_t>(key + ":rows", [idx](const rt::Database&) {
+              return static_cast<const void*>(idx->rows.data());
+            })};
+  }
+  DateAcc DateIdx(const std::string& table, const std::string& col) {
+    const auto* idx = db_->date_index(table, col);
+    LB2_CHECK_MSG(idx != nullptr, ("missing date index " + table).c_str());
+    std::string key = "dateidx:" + table + ":" + col;
+    return {idx,
+            BindEnv<int64_t>(key + ":off",
+                             [idx](const rt::Database&) {
+                               return static_cast<const void*>(
+                                   idx->offsets.data());
+                             }),
+            BindEnv<int32_t>(key + ":rows", [idx](const rt::Database&) {
+              return static_cast<const void*>(idx->rows.data());
+            })};
+  }
+  I64 PkLookup(const PkAcc& a, I64 key) {
+    auto pos = NewCell(I64(-1));
+    stage::If(key >= a.min_key && key <= a.max_key, [&] {
+      pos->Set(stage::CastRep<int64_t>(
+          stage::Load<int32_t>(a.pos, key - a.min_key)));
+    });
+    return pos->Get();
+  }
+  std::pair<I64, I64> FkRange(const FkAcc& a, I64 key) {
+    auto begin = NewCell(I64(0));
+    auto end = NewCell(I64(0));
+    stage::If(key >= a.min_key && key <= a.max_key, [&] {
+      I64 s = key - a.min_key;
+      begin->Set(stage::Load<int64_t>(a.offsets, s));
+      end->Set(stage::Load<int64_t>(a.offsets, s + 1));
+    });
+    return {begin->Get(), end->Get()};
+  }
+  I64 FkRow(const FkAcc& a, I64 pos) {
+    return stage::CastRep<int64_t>(stage::Load<int32_t>(a.rows, pos));
+  }
+  std::pair<I64, I64> DateBucketSpan(const DateAcc& a, int64_t date_lo,
+                                     int64_t date_hi) {
+    // Bucket bounds are compile-time constants; only two loads remain.
+    int32_t b_lo = a.idx->BucketOf(static_cast<int32_t>(date_lo));
+    int32_t b_hi = a.idx->BucketOf(static_cast<int32_t>(date_hi));
+    return {stage::Load<int64_t>(a.offsets, I64(b_lo)),
+            stage::Load<int64_t>(a.offsets, I64(b_hi + 1))};
+  }
+  I64 DateIdxRow(const DateAcc& a, I64 pos) {
+    return stage::CastRep<int64_t>(stage::Load<int32_t>(a.rows, pos));
+  }
+
+  // -- Output ---------------------------------------------------------------
+  void EmitI64(I64 v) { stage::CallVoid("lb2_out_i64", GOut(), v); }
+  void EmitF64(F64 v) { stage::CallVoid("lb2_out_f64", GOut(), v); }
+  void EmitDate(I64 v) { stage::CallVoid("lb2_out_date", GOut(), v); }
+  void EmitStr(Str s) { stage::CallVoid("lb2_out_str", GOut(), s.p, s.n); }
+  void EmitSep() { stage::Stmt("lb2_out_char(g_out, '|');"); }
+  void EndRow() {
+    stage::Stmt("lb2_out_char(g_out, '\\n');");
+    stage::Stmt("g_out->rows++;");
+  }
+
+  // -- Timing ---------------------------------------------------------------
+  void StartTimer() { stage::Stmt("double lb2_tstart = lb2_now_ms();"); }
+  void StopTimer() {
+    stage::Stmt("g_out->exec_ms = lb2_now_ms() - lb2_tstart;");
+  }
+
+  const rt::Database* db() const { return db_; }
+  stage::CodegenContext* ctx() { return ctx_; }
+
+ private:
+  stage::Rep<const char*> StrLit(const std::string& s) {
+    return stage::Rep<const char*>::FromRef(stage::CStringLit(s));
+  }
+  static stage::Rep<char*> GOut() {
+    return stage::Rep<char*>::FromRef("g_out");
+  }
+  /// Environment pointers are bound to file-scope globals (assigned where
+  /// the bind is staged, normally the entry prologue) so worker functions
+  /// and sort comparators can reference them. Rebinding the same key reuses
+  /// the same global.
+  template <typename T>
+  stage::Rep<T*> BindEnv(const std::string& key, rt::EnvLayout::Resolver r) {
+    int slot = env_->SlotFor(key, std::move(r));
+    auto it = env_globals_.find(slot);
+    if (it != env_globals_.end()) {
+      return stage::Rep<T*>::FromRef(it->second);
+    }
+    std::string name = ctx_->Fresh("gc");
+    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
+    stage::Stmt(name + " = (" + stage::CType<T*>() + ")g_env[" +
+                std::to_string(slot) + "];");
+    env_globals_.emplace(slot, name);
+    return stage::Rep<T*>::FromRef(name);
+  }
+  std::pair<int, int> DictSlots(const rt::Dictionary* dict) {
+    std::string key = "dict:" + std::to_string(
+        reinterpret_cast<uintptr_t>(dict));
+    int p = env_->SlotFor(key + ":p", [dict](const rt::Database&) {
+      return static_cast<const void*>(dict->ptr_data());
+    });
+    int l = env_->SlotFor(key + ":l", [dict](const rt::Database&) {
+      return static_cast<const void*>(dict->len_data());
+    });
+    return {p, l};
+  }
+
+  stage::CodegenContext* ctx_;
+  rt::EnvLayout* env_;
+  const rt::Database* db_;
+  bool in_parallel_ = false;
+  I64 cur_tid_ = I64(0);
+  std::map<int, std::string> env_globals_;
+  std::vector<std::string> owned_allocs_;
+};
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_STAGE_BACKEND_H_

@@ -1,0 +1,168 @@
+// Value<B>: a backend-typed scalar with its generation-time kind.
+//
+// The kind (int/double/string/date, dictionary-encoded or not) is *static* —
+// it exists only while the engine runs/stages — so all dispatch on it
+// disappears from generated code; only operations on the underlying
+// B-scalars remain. This mirrors the paper's Field/Value split (§4.1).
+#ifndef LB2_ENGINE_VALUE_H_
+#define LB2_ENGINE_VALUE_H_
+
+#include <variant>
+
+#include "engine/backend.h"
+#include "runtime/dictionary.h"
+#include "schema/field.h"
+#include "util/check.h"
+
+namespace lb2::engine {
+
+/// String payload: either a raw (ptr, len) pair or a dictionary code.
+template <typename B>
+struct SVal {
+  typename B::Str s{};
+  typename B::I64 code{};
+  bool is_dict = false;
+  const rt::Dictionary* dict = nullptr;
+};
+
+template <typename B>
+struct Value {
+  // Exactly one of these is meaningful, per `tag`.
+  std::variant<typename B::I64, typename B::F64, typename B::Bool, SVal<B>>
+      v;
+
+  bool is_i64() const { return v.index() == 0; }
+  bool is_f64() const { return v.index() == 1; }
+  bool is_bool() const { return v.index() == 2; }
+  bool is_str() const { return v.index() == 3; }
+
+  typename B::I64 i64() const { return std::get<0>(v); }
+  typename B::F64 f64() const { return std::get<1>(v); }
+  typename B::Bool b() const { return std::get<2>(v); }
+  const SVal<B>& str() const { return std::get<3>(v); }
+
+  static Value I64(typename B::I64 x) { return {x}; }
+  static Value F64(typename B::F64 x) { return {x}; }
+  static Value Bool(typename B::Bool x) { return {x}; }
+  static Value Str(typename B::Str s) {
+    SVal<B> sv;
+    sv.s = s;
+    return {sv};
+  }
+  static Value DictStr(typename B::I64 code, const rt::Dictionary* dict) {
+    SVal<B> sv;
+    sv.code = code;
+    sv.is_dict = true;
+    sv.dict = dict;
+    return {sv};
+  }
+};
+
+/// Numeric widening: any numeric/bool value as F64.
+template <typename B>
+typename B::F64 AsF64(B& b, const Value<B>& v) {
+  if (v.is_f64()) return v.f64();
+  if (v.is_i64()) return b.CastF64(v.i64());
+  if (v.is_bool()) return b.CastF64(b.BoolToI64(v.b()));
+  LB2_CHECK_MSG(false, "string used as number");
+  return typename B::F64(0.0);
+}
+
+template <typename B>
+typename B::I64 AsI64(B& b, const Value<B>& v) {
+  if (v.is_i64()) return v.i64();
+  if (v.is_bool()) return b.BoolToI64(v.b());
+  if (v.is_f64()) return b.CastI64(v.f64());
+  LB2_CHECK_MSG(false, "string used as integer");
+  return typename B::I64(0);
+}
+
+template <typename B>
+typename B::Bool AsBool(B& b, const Value<B>& v) {
+  if (v.is_bool()) return v.b();
+  return b.I64ToBool(AsI64(b, v));
+}
+
+/// Raw string bytes (decoding a dictionary value if needed).
+template <typename B>
+typename B::Str AsRawStr(B& b, const Value<B>& v) {
+  LB2_CHECK(v.is_str());
+  const SVal<B>& s = v.str();
+  if (s.is_dict) return b.DictDecode(s.dict, s.code);
+  return s.s;
+}
+
+/// Equality between two values of the same logical kind. Two strings
+/// sharing a dictionary compare as integers (the dictionary-compression
+/// payoff); mismatched representations fall back to byte comparison.
+template <typename B>
+typename B::Bool ValEq(B& b, const Value<B>& x, const Value<B>& y) {
+  if (x.is_str()) {
+    LB2_CHECK(y.is_str());
+    const SVal<B>& sx = x.str();
+    const SVal<B>& sy = y.str();
+    if (sx.is_dict && sy.is_dict && sx.dict == sy.dict) {
+      return sx.code == sy.code;
+    }
+    return b.StrEqV(AsRawStr(b, x), AsRawStr(b, y));
+  }
+  if (x.is_i64() && y.is_i64()) return x.i64() == y.i64();
+  if (x.is_bool() && y.is_bool()) {
+    return b.BoolToI64(x.b()) == b.BoolToI64(y.b());
+  }
+  return AsF64(b, x) == AsF64(b, y);
+}
+
+/// Three-way comparison as I32 (-1/0/1) for sort and min/max; numeric kinds
+/// compare numerically, strings lexicographically (codes if dict-shared).
+template <typename B>
+typename B::I32 ValCmp3(B& b, const Value<B>& x, const Value<B>& y) {
+  using I32 = typename B::I32;
+  if (x.is_str()) {
+    const SVal<B>& sx = x.str();
+    const SVal<B>& sy = y.str();
+    if (sx.is_dict && sy.is_dict && sx.dict == sy.dict) {
+      // Dictionary codes are rank-ordered: compare directly.
+      auto lt = sx.code < sy.code;
+      auto gt = sx.code > sy.code;
+      return b.CastI32(b.BoolToI64(gt) - b.BoolToI64(lt));
+    }
+    return b.StrCmp3(AsRawStr(b, x), AsRawStr(b, y));
+  }
+  if (x.is_i64() && y.is_i64()) {
+    auto lt = x.i64() < y.i64();
+    auto gt = x.i64() > y.i64();
+    return b.CastI32(b.BoolToI64(gt) - b.BoolToI64(lt));
+  }
+  auto xf = AsF64(b, x);
+  auto yf = AsF64(b, y);
+  auto lt = xf < yf;
+  auto gt = xf > yf;
+  return b.CastI32(b.BoolToI64(gt) - b.BoolToI64(lt));
+}
+
+template <typename B>
+typename B::I64 ValHash(B& b, const Value<B>& v) {
+  if (v.is_str()) {
+    const SVal<B>& s = v.str();
+    if (s.is_dict) return b.HashI64(s.code);
+    return b.HashStr(s.s);
+  }
+  if (v.is_f64()) {
+    // Hash doubles through their integer truncation — group-by keys are
+    // never doubles in practice, but stay total.
+    return b.HashI64(b.CastI64(v.f64()));
+  }
+  return b.HashI64(AsI64(b, v));
+}
+
+/// value + value with int/double promotion.
+template <typename B>
+Value<B> ValAdd(B& b, const Value<B>& x, const Value<B>& y) {
+  if (x.is_i64() && y.is_i64()) return Value<B>::I64(x.i64() + y.i64());
+  return Value<B>::F64(AsF64(b, x) + AsF64(b, y));
+}
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_VALUE_H_

@@ -1,0 +1,322 @@
+#include "plan/expr.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::plan {
+
+namespace {
+
+ExprRef Make(ExprOp op, std::vector<ExprRef> children = {}) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  e->children = std::move(children);
+  return e;
+}
+
+}  // namespace
+
+ExprRef Col(const std::string& name) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kColRef;
+  e->str = name;
+  return e;
+}
+
+ExprRef I(int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kIntConst;
+  e->i64 = v;
+  return e;
+}
+
+ExprRef D(double v) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kDoubleConst;
+  e->f64 = v;
+  return e;
+}
+
+ExprRef S(const std::string& v) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kStrConst;
+  e->str = v;
+  return e;
+}
+
+ExprRef B(bool v) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kBoolConst;
+  e->i64 = v ? 1 : 0;
+  return e;
+}
+
+ExprRef Dt(const std::string& iso) { return DtRaw(ParseDate(iso)); }
+
+ExprRef DtRaw(int64_t yyyymmdd) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kDateConst;
+  e->i64 = yyyymmdd;
+  return e;
+}
+
+ExprRef Add(ExprRef a, ExprRef b) { return Make(ExprOp::kAdd, {a, b}); }
+ExprRef Sub(ExprRef a, ExprRef b) { return Make(ExprOp::kSub, {a, b}); }
+ExprRef Mul(ExprRef a, ExprRef b) { return Make(ExprOp::kMul, {a, b}); }
+ExprRef Div(ExprRef a, ExprRef b) { return Make(ExprOp::kDiv, {a, b}); }
+
+ExprRef Eq(ExprRef a, ExprRef b) { return Make(ExprOp::kEq, {a, b}); }
+ExprRef Ne(ExprRef a, ExprRef b) { return Make(ExprOp::kNe, {a, b}); }
+ExprRef Lt(ExprRef a, ExprRef b) { return Make(ExprOp::kLt, {a, b}); }
+ExprRef Le(ExprRef a, ExprRef b) { return Make(ExprOp::kLe, {a, b}); }
+ExprRef Gt(ExprRef a, ExprRef b) { return Make(ExprOp::kGt, {a, b}); }
+ExprRef Ge(ExprRef a, ExprRef b) { return Make(ExprOp::kGe, {a, b}); }
+
+ExprRef And(ExprRef a, ExprRef b) { return Make(ExprOp::kAnd, {a, b}); }
+ExprRef Or(ExprRef a, ExprRef b) { return Make(ExprOp::kOr, {a, b}); }
+ExprRef Not(ExprRef a) { return Make(ExprOp::kNot, {a}); }
+
+ExprRef And(std::vector<ExprRef> cs) {
+  LB2_CHECK(!cs.empty());
+  ExprRef acc = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) acc = And(acc, cs[i]);
+  return acc;
+}
+
+ExprRef Or(std::vector<ExprRef> cs) {
+  LB2_CHECK(!cs.empty());
+  ExprRef acc = cs[0];
+  for (size_t i = 1; i < cs.size(); ++i) acc = Or(acc, cs[i]);
+  return acc;
+}
+
+ExprRef Between(ExprRef x, ExprRef lo, ExprRef hi) {
+  return And(Ge(x, lo), Le(x, hi));
+}
+
+namespace {
+
+ExprRef StrOp(ExprOp op, ExprRef s, const std::string& lit) {
+  auto e = std::make_shared<Expr>();
+  e->op = op;
+  e->children = {s};
+  e->str = lit;
+  return e;
+}
+
+}  // namespace
+
+ExprRef StartsWith(ExprRef s, const std::string& p) {
+  return StrOp(ExprOp::kStartsWith, s, p);
+}
+ExprRef EndsWith(ExprRef s, const std::string& p) {
+  return StrOp(ExprOp::kEndsWith, s, p);
+}
+ExprRef Contains(ExprRef s, const std::string& p) {
+  return StrOp(ExprOp::kContains, s, p);
+}
+
+ExprRef Like(ExprRef s, const std::string& pattern) {
+  // Lower the three common shapes at plan-build time — this is static
+  // information, so the general matcher never reaches generated code for
+  // them (cf. paper §4.3 on dictionary-aware string operations).
+  size_t n = pattern.size();
+  bool inner_wild =
+      pattern.find_first_of("%_", 1) < n - 1;  // wildcards strictly inside
+  if (n >= 2 && pattern.back() == '%' && pattern.front() != '%' &&
+      !inner_wild && pattern.find('_') == std::string::npos) {
+    return StartsWith(s, pattern.substr(0, n - 1));
+  }
+  if (n >= 2 && pattern.front() == '%' && pattern.back() != '%' &&
+      !inner_wild && pattern.find('_') == std::string::npos) {
+    return EndsWith(s, pattern.substr(1));
+  }
+  if (n >= 3 && pattern.front() == '%' && pattern.back() == '%' &&
+      pattern.find_first_of("%_", 1) == n - 1) {
+    return Contains(s, pattern.substr(1, n - 2));
+  }
+  return StrOp(ExprOp::kLike, s, pattern);
+}
+
+ExprRef NotLike(ExprRef s, const std::string& pattern) {
+  return Not(Like(s, pattern));
+}
+
+ExprRef InStr(ExprRef s, std::vector<std::string> values) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kInStr;
+  e->children = {s};
+  e->str_list = std::move(values);
+  return e;
+}
+
+ExprRef InInt(ExprRef s, std::vector<int64_t> values) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kInInt;
+  e->children = {s};
+  e->int_list = std::move(values);
+  return e;
+}
+
+ExprRef Case(ExprRef cond, ExprRef then, ExprRef els) {
+  return Make(ExprOp::kCase, {cond, then, els});
+}
+
+ExprRef Year(ExprRef date) { return Make(ExprOp::kYear, {date}); }
+
+ExprRef Substring(ExprRef s, int64_t pos, int64_t len) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kSubstring;
+  e->children = {s};
+  e->i64 = pos;
+  e->i64b = len;
+  return e;
+}
+
+ExprRef ScalarRef(int64_t index) {
+  auto e = std::make_shared<Expr>();
+  e->op = ExprOp::kScalarRef;
+  e->i64 = index;
+  return e;
+}
+
+schema::FieldKind InferKind(const ExprRef& e, const schema::Schema& input) {
+  using K = schema::FieldKind;
+  switch (e->op) {
+    case ExprOp::kColRef: return input.Get(e->str).kind;
+    case ExprOp::kIntConst: return K::kInt64;
+    case ExprOp::kDoubleConst: return K::kDouble;
+    case ExprOp::kStrConst: return K::kString;
+    case ExprOp::kBoolConst: return K::kInt64;
+    case ExprOp::kDateConst: return K::kDate;
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv: {
+      K a = InferKind(e->children[0], input);
+      K b = InferKind(e->children[1], input);
+      LB2_CHECK_MSG(a != K::kString && b != K::kString,
+                    "arithmetic on strings");
+      if (e->op == ExprOp::kDiv) return K::kDouble;
+      return (a == K::kDouble || b == K::kDouble) ? K::kDouble : K::kInt64;
+    }
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe:
+    case ExprOp::kAnd:
+    case ExprOp::kOr:
+    case ExprOp::kNot:
+    case ExprOp::kLike:
+    case ExprOp::kNotLike:
+    case ExprOp::kStartsWith:
+    case ExprOp::kEndsWith:
+    case ExprOp::kContains:
+    case ExprOp::kInStr:
+    case ExprOp::kInInt:
+      return K::kInt64;  // booleans are int64 0/1 at the plan level
+    case ExprOp::kCase: {
+      K t = InferKind(e->children[1], input);
+      K f = InferKind(e->children[2], input);
+      if (t == f) return t;
+      LB2_CHECK_MSG(t != K::kString && f != K::kString,
+                    "CASE branches mix string and non-string");
+      return K::kDouble;
+    }
+    case ExprOp::kYear: return K::kInt64;
+    case ExprOp::kSubstring: return K::kString;
+    case ExprOp::kScalarRef: return K::kDouble;  // scalar subqueries: numeric
+  }
+  LB2_CHECK(false);
+  return K::kInt64;
+}
+
+std::string ExprToString(const ExprRef& e) {
+  switch (e->op) {
+    case ExprOp::kColRef: return e->str;
+    case ExprOp::kIntConst: return std::to_string(e->i64);
+    case ExprOp::kDoubleConst: return FormatDouble(e->f64);
+    case ExprOp::kStrConst: return "'" + e->str + "'";
+    case ExprOp::kBoolConst: return e->i64 ? "true" : "false";
+    case ExprOp::kDateConst: return DateToString(static_cast<int32_t>(e->i64));
+    case ExprOp::kAdd:
+      return "(" + ExprToString(e->children[0]) + " + " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kSub:
+      return "(" + ExprToString(e->children[0]) + " - " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kMul:
+      return "(" + ExprToString(e->children[0]) + " * " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kDiv:
+      return "(" + ExprToString(e->children[0]) + " / " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kEq:
+      return "(" + ExprToString(e->children[0]) + " = " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kNe:
+      return "(" + ExprToString(e->children[0]) + " <> " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kLt:
+      return "(" + ExprToString(e->children[0]) + " < " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kLe:
+      return "(" + ExprToString(e->children[0]) + " <= " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kGt:
+      return "(" + ExprToString(e->children[0]) + " > " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kGe:
+      return "(" + ExprToString(e->children[0]) + " >= " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kAnd:
+      return "(" + ExprToString(e->children[0]) + " and " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kOr:
+      return "(" + ExprToString(e->children[0]) + " or " +
+             ExprToString(e->children[1]) + ")";
+    case ExprOp::kNot: return "not " + ExprToString(e->children[0]);
+    case ExprOp::kLike:
+      return ExprToString(e->children[0]) + " like '" + e->str + "'";
+    case ExprOp::kNotLike:
+      return ExprToString(e->children[0]) + " not like '" + e->str + "'";
+    case ExprOp::kStartsWith:
+      return ExprToString(e->children[0]) + " like '" + e->str + "%'";
+    case ExprOp::kEndsWith:
+      return ExprToString(e->children[0]) + " like '%" + e->str + "'";
+    case ExprOp::kContains:
+      return ExprToString(e->children[0]) + " like '%" + e->str + "%'";
+    case ExprOp::kInStr: {
+      std::string out = ExprToString(e->children[0]) + " in (";
+      for (size_t i = 0; i < e->str_list.size(); ++i) {
+        if (i) out += ", ";
+        out += "'" + e->str_list[i] + "'";
+      }
+      return out + ")";
+    }
+    case ExprOp::kInInt: {
+      std::string out = ExprToString(e->children[0]) + " in (";
+      for (size_t i = 0; i < e->int_list.size(); ++i) {
+        if (i) out += ", ";
+        out += std::to_string(e->int_list[i]);
+      }
+      return out + ")";
+    }
+    case ExprOp::kCase:
+      return "case when " + ExprToString(e->children[0]) + " then " +
+             ExprToString(e->children[1]) + " else " +
+             ExprToString(e->children[2]) + " end";
+    case ExprOp::kYear:
+      return "year(" + ExprToString(e->children[0]) + ")";
+    case ExprOp::kSubstring:
+      return "substring(" + ExprToString(e->children[0]) + ", " +
+             std::to_string(e->i64 + 1) + ", " + std::to_string(e->i64b) + ")";
+    case ExprOp::kScalarRef:
+      return "$scalar" + std::to_string(e->i64);
+  }
+  return "?";
+}
+
+}  // namespace lb2::plan

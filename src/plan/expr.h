@@ -1,0 +1,115 @@
+// Scalar expression trees for physical plans.
+//
+// Expressions are built by the query front-end (tpch/queries.cc or the SQL
+// binder) and consumed by every engine: the Volcano interpreter evaluates
+// them directly; the LB2 engine evaluates them over staged values, which
+// specializes them into straight-line C.
+#ifndef LB2_PLAN_EXPR_H_
+#define LB2_PLAN_EXPR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "schema/schema.h"
+
+namespace lb2::plan {
+
+enum class ExprOp {
+  kColRef,      // name
+  kIntConst,    // i64
+  kDoubleConst, // f64
+  kStrConst,    // str
+  kBoolConst,   // i64 (0/1)
+  kDateConst,   // i64 = yyyymmdd
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr, kNot,
+  kLike,        // str = pattern
+  kNotLike,
+  kStartsWith,  // str = prefix
+  kEndsWith,
+  kContains,
+  kInStr,       // str_list
+  kInInt,       // int_list
+  kCase,        // children: cond, then, else
+  kYear,        // year(date) -> int64
+  kSubstring,   // i64 = 0-based pos, i64b = len (static offsets)
+  kScalarRef,   // i64 = index into the query's scalar-subquery results
+};
+
+struct Expr;
+using ExprRef = std::shared_ptr<const Expr>;
+
+struct Expr {
+  ExprOp op;
+  std::vector<ExprRef> children;
+
+  std::string str;                  // colref name / string const / pattern
+  int64_t i64 = 0;
+  int64_t i64b = 0;
+  double f64 = 0.0;
+  std::vector<std::string> str_list;
+  std::vector<int64_t> int_list;
+};
+
+// -- Factory helpers (the plan-construction vocabulary) ---------------------
+
+ExprRef Col(const std::string& name);
+ExprRef I(int64_t v);
+ExprRef D(double v);
+ExprRef S(const std::string& v);
+ExprRef B(bool v);
+/// Date literal from "YYYY-MM-DD".
+ExprRef Dt(const std::string& iso);
+/// Date literal from the int32 yyyymmdd encoding.
+ExprRef DtRaw(int64_t yyyymmdd);
+
+ExprRef Add(ExprRef a, ExprRef b);
+ExprRef Sub(ExprRef a, ExprRef b);
+ExprRef Mul(ExprRef a, ExprRef b);
+ExprRef Div(ExprRef a, ExprRef b);
+
+ExprRef Eq(ExprRef a, ExprRef b);
+ExprRef Ne(ExprRef a, ExprRef b);
+ExprRef Lt(ExprRef a, ExprRef b);
+ExprRef Le(ExprRef a, ExprRef b);
+ExprRef Gt(ExprRef a, ExprRef b);
+ExprRef Ge(ExprRef a, ExprRef b);
+
+ExprRef And(ExprRef a, ExprRef b);
+ExprRef And(std::vector<ExprRef> cs);
+ExprRef Or(ExprRef a, ExprRef b);
+ExprRef Or(std::vector<ExprRef> cs);
+ExprRef Not(ExprRef a);
+/// a <= x && x <= b (dates and numerics).
+ExprRef Between(ExprRef x, ExprRef lo, ExprRef hi);
+
+/// LIKE over a column. Patterns of the form "p%", "%s", "%m%" are
+/// recognized at plan-build time and lowered to the cheaper
+/// StartsWith/EndsWith/Contains forms; anything else stays a general LIKE.
+ExprRef Like(ExprRef s, const std::string& pattern);
+ExprRef NotLike(ExprRef s, const std::string& pattern);
+ExprRef StartsWith(ExprRef s, const std::string& prefix);
+ExprRef EndsWith(ExprRef s, const std::string& suffix);
+ExprRef Contains(ExprRef s, const std::string& infix);
+
+ExprRef InStr(ExprRef s, std::vector<std::string> values);
+ExprRef InInt(ExprRef s, std::vector<int64_t> values);
+
+ExprRef Case(ExprRef cond, ExprRef then, ExprRef els);
+ExprRef Year(ExprRef date);
+ExprRef Substring(ExprRef s, int64_t pos, int64_t len);
+ExprRef ScalarRef(int64_t index);
+
+/// Result kind of `e` against `input` (aborts on type errors). Date-typed
+/// subexpressions participate in comparisons/arithmetic as int64.
+schema::FieldKind InferKind(const ExprRef& e, const schema::Schema& input);
+
+/// Human-readable rendering for tests and EXPLAIN-style output.
+std::string ExprToString(const ExprRef& e);
+
+}  // namespace lb2::plan
+
+#endif  // LB2_PLAN_EXPR_H_

@@ -1,0 +1,193 @@
+#include "plan/plan.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::plan {
+
+namespace {
+
+std::shared_ptr<PlanNode> Make(OpType type, std::vector<PlanRef> children) {
+  auto n = std::make_shared<PlanNode>();
+  n->type = type;
+  n->children = std::move(children);
+  return n;
+}
+
+}  // namespace
+
+PlanRef Scan(const std::string& table) {
+  auto n = Make(OpType::kScan, {});
+  n->table = table;
+  return n;
+}
+
+PlanRef ScanDateIdx(const std::string& table, const std::string& date_col,
+                    int64_t date_lo, int64_t date_hi) {
+  auto n = Make(OpType::kScan, {});
+  n->table = table;
+  n->date_index_col = date_col;
+  n->date_lo = date_lo;
+  n->date_hi = date_hi;
+  return n;
+}
+
+PlanRef Filter(PlanRef child, ExprRef pred) {
+  auto n = Make(OpType::kSelect, {std::move(child)});
+  n->predicate = std::move(pred);
+  return n;
+}
+
+PlanRef Project(PlanRef child, std::vector<std::string> names,
+                std::vector<ExprRef> exprs) {
+  LB2_CHECK(names.size() == exprs.size());
+  auto n = Make(OpType::kProject, {std::move(child)});
+  n->names = std::move(names);
+  n->exprs = std::move(exprs);
+  return n;
+}
+
+PlanRef KeepCols(PlanRef child, const std::vector<std::string>& cols) {
+  std::vector<std::string> names;
+  std::vector<ExprRef> exprs;
+  for (const auto& c : cols) {
+    size_t eq = c.find('=');
+    if (eq == std::string::npos) {
+      names.push_back(c);
+      exprs.push_back(Col(c));
+    } else {
+      names.push_back(c.substr(0, eq));
+      exprs.push_back(Col(c.substr(eq + 1)));
+    }
+  }
+  return Project(std::move(child), std::move(names), std::move(exprs));
+}
+
+namespace {
+
+PlanRef MakeJoin(OpType type, PlanRef l, PlanRef r,
+                 std::vector<std::string> lk, std::vector<std::string> rk,
+                 ExprRef residual, JoinImpl impl) {
+  LB2_CHECK(lk.size() == rk.size() && !lk.empty());
+  auto n = Make(type, {std::move(l), std::move(r)});
+  n->left_keys = std::move(lk);
+  n->right_keys = std::move(rk);
+  n->predicate = std::move(residual);
+  n->join_impl = impl;
+  return n;
+}
+
+}  // namespace
+
+PlanRef Join(PlanRef l, PlanRef r, std::vector<std::string> lk,
+             std::vector<std::string> rk, ExprRef residual, JoinImpl impl) {
+  return MakeJoin(OpType::kHashJoin, std::move(l), std::move(r),
+                  std::move(lk), std::move(rk), std::move(residual), impl);
+}
+
+PlanRef SemiJoin(PlanRef l, PlanRef r, std::vector<std::string> lk,
+                 std::vector<std::string> rk, ExprRef residual,
+                 JoinImpl impl) {
+  return MakeJoin(OpType::kSemiJoin, std::move(l), std::move(r),
+                  std::move(lk), std::move(rk), std::move(residual), impl);
+}
+
+PlanRef AntiJoin(PlanRef l, PlanRef r, std::vector<std::string> lk,
+                 std::vector<std::string> rk, ExprRef residual,
+                 JoinImpl impl) {
+  return MakeJoin(OpType::kAntiJoin, std::move(l), std::move(r),
+                  std::move(lk), std::move(rk), std::move(residual), impl);
+}
+
+PlanRef LeftCountJoin(PlanRef l, PlanRef r, std::vector<std::string> lk,
+                      std::vector<std::string> rk,
+                      const std::string& count_name) {
+  auto n = MakeJoin(OpType::kLeftCountJoin, std::move(l), std::move(r),
+                    std::move(lk), std::move(rk), nullptr, JoinImpl::kHash);
+  const_cast<PlanNode*>(n.get())->count_name = count_name;
+  return n;
+}
+
+PlanRef GroupBy(PlanRef child, std::vector<std::string> group_names,
+                std::vector<ExprRef> group_exprs, std::vector<AggSpec> aggs,
+                int64_t capacity_hint,
+                const std::string& capacity_hint_table) {
+  LB2_CHECK(group_names.size() == group_exprs.size());
+  auto n = Make(OpType::kGroupAgg, {std::move(child)});
+  n->group_names = std::move(group_names);
+  n->group_exprs = std::move(group_exprs);
+  n->aggs = std::move(aggs);
+  n->capacity_hint = capacity_hint;
+  n->capacity_hint_table = capacity_hint_table;
+  return n;
+}
+
+PlanRef ScalarAggPlan(PlanRef child, std::vector<AggSpec> aggs) {
+  auto n = Make(OpType::kScalarAgg, {std::move(child)});
+  n->aggs = std::move(aggs);
+  return n;
+}
+
+PlanRef OrderBy(PlanRef child, std::vector<SortKey> keys) {
+  auto n = Make(OpType::kSort, {std::move(child)});
+  n->sort_keys = std::move(keys);
+  return n;
+}
+
+PlanRef Limit(PlanRef child, int64_t count) {
+  auto n = Make(OpType::kLimit, {std::move(child)});
+  n->limit = count;
+  return n;
+}
+
+std::string PlanToString(const PlanRef& p, int indent) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string head;
+  switch (p->type) {
+    case OpType::kScan:
+      head = "Scan(" + p->table + ")";
+      if (!p->date_index_col.empty()) {
+        head += StrPrintf(" via date index %s in [%s, %s]",
+                          p->date_index_col.c_str(),
+                          DateToString(static_cast<int32_t>(p->date_lo)).c_str(),
+                          DateToString(static_cast<int32_t>(p->date_hi)).c_str());
+      }
+      break;
+    case OpType::kSelect:
+      head = "Select(" + ExprToString(p->predicate) + ")";
+      break;
+    case OpType::kProject: {
+      head = "Project(";
+      for (size_t i = 0; i < p->names.size(); ++i) {
+        if (i) head += ", ";
+        head += p->names[i];
+      }
+      head += ")";
+      break;
+    }
+    case OpType::kHashJoin: head = "HashJoin"; break;
+    case OpType::kSemiJoin: head = "SemiJoin"; break;
+    case OpType::kAntiJoin: head = "AntiJoin"; break;
+    case OpType::kLeftCountJoin: head = "LeftCountJoin"; break;
+    case OpType::kGroupAgg: head = "GroupAgg"; break;
+    case OpType::kScalarAgg: head = "ScalarAgg"; break;
+    case OpType::kSort: head = "Sort"; break;
+    case OpType::kLimit: head = "Limit(" + std::to_string(p->limit) + ")"; break;
+  }
+  if (p->type == OpType::kHashJoin || p->type == OpType::kSemiJoin ||
+      p->type == OpType::kAntiJoin || p->type == OpType::kLeftCountJoin) {
+    head += "(";
+    for (size_t i = 0; i < p->left_keys.size(); ++i) {
+      if (i) head += ", ";
+      head += p->left_keys[i] + "=" + p->right_keys[i];
+    }
+    head += ")";
+    if (p->join_impl == JoinImpl::kPkIndex) head += " [pk-index]";
+    if (p->join_impl == JoinImpl::kFkIndex) head += " [fk-index]";
+  }
+  std::string out = pad + head + "\n";
+  for (const auto& c : p->children) out += PlanToString(c, indent + 1);
+  return out;
+}
+
+}  // namespace lb2::plan

@@ -1,0 +1,159 @@
+// Physical plan nodes. The plan is the *static input* of the Futamura
+// projection: every engine in the repository — Volcano interpreter,
+// data-centric interpreter, template-expansion compiler, LB2 compiler —
+// consumes exactly this representation.
+#ifndef LB2_PLAN_PLAN_H_
+#define LB2_PLAN_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+#include "schema/schema.h"
+
+namespace lb2::plan {
+
+enum class OpType {
+  kScan,           // base table (optionally via a date index)
+  kSelect,         // filter
+  kProject,        // expressions -> named columns
+  kHashJoin,       // inner equi-join, builds on the LEFT child
+  kSemiJoin,       // left rows with >=1 right match (builds on the RIGHT)
+  kAntiJoin,       // left rows with no right match
+  kLeftCountJoin,  // left outer "group join": left row + match count
+  kGroupAgg,       // hash group-by with aggregates
+  kScalarAgg,      // aggregates without grouping (single output row)
+  kSort,           // order by
+  kLimit,          // first N rows
+};
+
+enum class AggKind { kSum, kMin, kMax, kCountStar };
+
+struct AggSpec {
+  AggKind kind;
+  ExprRef expr;          // ignored for kCountStar
+  std::string out_name;
+};
+
+struct SortKey {
+  std::string name;
+  bool asc = true;
+};
+
+/// How an equi-join is executed (paper §4.3: index joins are a *plan-level*
+/// decision in LB2, not inferred from low-level code as in DBLAB).
+enum class JoinImpl {
+  kHash,     // build a hash table from the build-side pipeline
+  kPkIndex,  // unique-key index on the build side's base table
+  kFkIndex,  // multimap index on the build side's base table
+};
+
+struct PlanNode;
+using PlanRef = std::shared_ptr<const PlanNode>;
+
+struct PlanNode {
+  OpType type;
+  std::vector<PlanRef> children;
+
+  // kScan
+  std::string table;
+  /// When set, scan through the month-bucketed date index on this column,
+  /// restricted to buckets intersecting [date_lo, date_hi] (yyyymmdd).
+  std::string date_index_col;
+  int64_t date_lo = 0, date_hi = 0;
+
+  // kSelect, and optional residual predicate for joins (evaluated on the
+  // concatenated left++right record).
+  ExprRef predicate;
+
+  // kProject
+  std::vector<ExprRef> exprs;
+  std::vector<std::string> names;
+
+  // joins: equi-key column names, pairwise
+  std::vector<std::string> left_keys, right_keys;
+  JoinImpl join_impl = JoinImpl::kHash;
+  std::string count_name;  // kLeftCountJoin output column
+
+  // kGroupAgg / kScalarAgg
+  std::vector<ExprRef> group_exprs;
+  std::vector<std::string> group_names;
+  std::vector<AggSpec> aggs;
+  /// Upper bound on distinct groups (sizes the open-addressing table);
+  /// 0 means "use the input row bound".
+  int64_t capacity_hint = 0;
+  /// Alternative bound: the row count of this base table at compile time
+  /// (e.g. group-by-custkey is bounded by |customer|). Combined with
+  /// capacity_hint by taking the minimum of all applicable bounds.
+  std::string capacity_hint_table;
+
+  // kSort
+  std::vector<SortKey> sort_keys;
+
+  // kLimit
+  int64_t limit = 0;
+};
+
+// -- Plan construction helpers ----------------------------------------------
+
+PlanRef Scan(const std::string& table);
+PlanRef ScanDateIdx(const std::string& table, const std::string& date_col,
+                    int64_t date_lo, int64_t date_hi);
+PlanRef Filter(PlanRef child, ExprRef pred);
+PlanRef Project(PlanRef child, std::vector<std::string> names,
+                std::vector<ExprRef> exprs);
+/// Projection keeping the given input columns (optionally renamed via
+/// "new=old" entries).
+PlanRef KeepCols(PlanRef child, const std::vector<std::string>& cols);
+PlanRef Join(PlanRef build_left, PlanRef probe_right,
+             std::vector<std::string> left_keys,
+             std::vector<std::string> right_keys, ExprRef residual = nullptr,
+             JoinImpl impl = JoinImpl::kHash);
+PlanRef SemiJoin(PlanRef keep_left, PlanRef exists_right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys,
+                 ExprRef residual = nullptr, JoinImpl impl = JoinImpl::kHash);
+PlanRef AntiJoin(PlanRef keep_left, PlanRef absent_right,
+                 std::vector<std::string> left_keys,
+                 std::vector<std::string> right_keys,
+                 ExprRef residual = nullptr, JoinImpl impl = JoinImpl::kHash);
+PlanRef LeftCountJoin(PlanRef left, PlanRef right,
+                      std::vector<std::string> left_keys,
+                      std::vector<std::string> right_keys,
+                      const std::string& count_name);
+PlanRef GroupBy(PlanRef child, std::vector<std::string> group_names,
+                std::vector<ExprRef> group_exprs, std::vector<AggSpec> aggs,
+                int64_t capacity_hint = 0,
+                const std::string& capacity_hint_table = "");
+PlanRef ScalarAggPlan(PlanRef child, std::vector<AggSpec> aggs);
+PlanRef OrderBy(PlanRef child, std::vector<SortKey> keys);
+PlanRef Limit(PlanRef child, int64_t n);
+
+inline AggSpec Sum(ExprRef e, const std::string& name) {
+  return {AggKind::kSum, std::move(e), name};
+}
+inline AggSpec Min(ExprRef e, const std::string& name) {
+  return {AggKind::kMin, std::move(e), name};
+}
+inline AggSpec Max(ExprRef e, const std::string& name) {
+  return {AggKind::kMax, std::move(e), name};
+}
+inline AggSpec CountStar(const std::string& name) {
+  return {AggKind::kCountStar, nullptr, name};
+}
+
+/// A complete query: optional scalar subqueries (evaluated first, usable in
+/// the main plan via ScalarRef(i)), then the main plan whose output is
+/// printed column by column, '|'-separated.
+struct Query {
+  std::vector<PlanRef> scalar_subqueries;  // each must be a 1-row plan
+  PlanRef root;
+};
+
+/// Renders the operator tree (indented, one op per line) for tests/EXPLAIN.
+std::string PlanToString(const PlanRef& p, int indent = 0);
+
+}  // namespace lb2::plan
+
+#endif  // LB2_PLAN_PLAN_H_

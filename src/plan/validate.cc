@@ -1,0 +1,158 @@
+#include "plan/validate.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lb2::plan {
+
+using schema::FieldKind;
+using schema::Schema;
+
+namespace {
+
+FieldKind AggResultKind(const AggSpec& a, const Schema& input) {
+  switch (a.kind) {
+    case AggKind::kCountStar: return FieldKind::kInt64;
+    case AggKind::kSum:
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      FieldKind k = InferKind(a.expr, input);
+      LB2_CHECK_MSG(k != FieldKind::kString, "aggregate over strings");
+      return k == FieldKind::kDate ? FieldKind::kDate : k;
+    }
+  }
+  return FieldKind::kInt64;
+}
+
+void CheckJoinKeys(const PlanNode& n, const Schema& left,
+                   const Schema& right) {
+  for (size_t i = 0; i < n.left_keys.size(); ++i) {
+    const auto& lf = left.Get(n.left_keys[i]);
+    const auto& rf = right.Get(n.right_keys[i]);
+    LB2_CHECK_MSG(lf.kind == rf.kind, ("join key kind mismatch: " + lf.name +
+                                       " vs " + rf.name)
+                                          .c_str());
+  }
+}
+
+}  // namespace
+
+Schema OutputSchema(const PlanRef& p, const rt::Database& db) {
+  switch (p->type) {
+    case OpType::kScan:
+      return db.table(p->table).schema();
+    case OpType::kSelect: {
+      Schema in = OutputSchema(p->children[0], db);
+      LB2_CHECK_MSG(InferKind(p->predicate, in) != FieldKind::kString,
+                    "string-valued predicate");
+      return in;
+    }
+    case OpType::kProject: {
+      Schema in = OutputSchema(p->children[0], db);
+      Schema out;
+      for (size_t i = 0; i < p->exprs.size(); ++i) {
+        out.Add({p->names[i], InferKind(p->exprs[i], in)});
+      }
+      return out;
+    }
+    case OpType::kHashJoin: {
+      Schema l = OutputSchema(p->children[0], db);
+      Schema r = OutputSchema(p->children[1], db);
+      CheckJoinKeys(*p, l, r);
+      Schema out = l.Concat(r);
+      if (p->predicate) (void)InferKind(p->predicate, out);
+      return out;
+    }
+    case OpType::kSemiJoin:
+    case OpType::kAntiJoin: {
+      Schema l = OutputSchema(p->children[0], db);
+      Schema r = OutputSchema(p->children[1], db);
+      CheckJoinKeys(*p, l, r);
+      if (p->predicate) (void)InferKind(p->predicate, l.Concat(r));
+      return l;
+    }
+    case OpType::kLeftCountJoin: {
+      Schema l = OutputSchema(p->children[0], db);
+      Schema r = OutputSchema(p->children[1], db);
+      CheckJoinKeys(*p, l, r);
+      Schema out = l;
+      out.Add({p->count_name, FieldKind::kInt64});
+      return out;
+    }
+    case OpType::kGroupAgg: {
+      Schema in = OutputSchema(p->children[0], db);
+      Schema out;
+      for (size_t i = 0; i < p->group_exprs.size(); ++i) {
+        out.Add({p->group_names[i], InferKind(p->group_exprs[i], in)});
+      }
+      for (const auto& a : p->aggs) {
+        out.Add({a.out_name, AggResultKind(a, in)});
+      }
+      return out;
+    }
+    case OpType::kScalarAgg: {
+      Schema in = OutputSchema(p->children[0], db);
+      Schema out;
+      for (const auto& a : p->aggs) {
+        out.Add({a.out_name, AggResultKind(a, in)});
+      }
+      return out;
+    }
+    case OpType::kSort: {
+      Schema in = OutputSchema(p->children[0], db);
+      for (const auto& k : p->sort_keys) (void)in.Get(k.name);
+      return in;
+    }
+    case OpType::kLimit:
+      return OutputSchema(p->children[0], db);
+  }
+  LB2_CHECK(false);
+  return {};
+}
+
+int64_t RowBound(const PlanRef& p, const rt::Database& db) {
+  switch (p->type) {
+    case OpType::kScan:
+      return db.table(p->table).num_rows();
+    case OpType::kSelect:
+    case OpType::kProject:
+    case OpType::kSort:
+      return RowBound(p->children[0], db);
+    case OpType::kLimit:
+      return std::min(p->limit, RowBound(p->children[0], db));
+    case OpType::kSemiJoin:
+    case OpType::kAntiJoin:
+    case OpType::kLeftCountJoin:
+      return RowBound(p->children[0], db);
+    case OpType::kHashJoin:
+      // Key-foreign-key equi-joins (all of TPC-H) produce at most one match
+      // per probe row per build key; the sum of both sides dominates that.
+      return RowBound(p->children[0], db) + RowBound(p->children[1], db);
+    case OpType::kGroupAgg: {
+      int64_t bound = RowBound(p->children[0], db);
+      if (p->capacity_hint > 0) bound = std::min(bound, p->capacity_hint);
+      if (!p->capacity_hint_table.empty()) {
+        bound = std::min(bound, db.table(p->capacity_hint_table).num_rows());
+      }
+      return bound;
+    }
+    case OpType::kScalarAgg:
+      return 1;
+  }
+  LB2_CHECK(false);
+  return 0;
+}
+
+void ValidateQuery(const Query& q, const rt::Database& db) {
+  for (const auto& sub : q.scalar_subqueries) {
+    Schema s = OutputSchema(sub, db);
+    LB2_CHECK_MSG(s.size() == 1, "scalar subquery must have one column");
+    LB2_CHECK_MSG(s.field(0).kind == FieldKind::kInt64 ||
+                      s.field(0).kind == FieldKind::kDouble,
+                  "scalar subquery must be numeric");
+  }
+  (void)OutputSchema(q.root, db);
+}
+
+}  // namespace lb2::plan

@@ -1,0 +1,27 @@
+// Schema inference and structural validation of physical plans. Run once
+// before execution/compilation; all engines rely on the inferred schemas.
+#ifndef LB2_PLAN_VALIDATE_H_
+#define LB2_PLAN_VALIDATE_H_
+
+#include "plan/plan.h"
+#include "runtime/database.h"
+#include "schema/schema.h"
+
+namespace lb2::plan {
+
+/// Output schema of `p` against the given database's base tables. Aborts
+/// (with a message naming the offending op) on type or name errors, so a
+/// plan that validates can be staged without generating ill-typed C.
+schema::Schema OutputSchema(const PlanRef& p, const rt::Database& db);
+
+/// Upper bound on the number of rows `p` can produce — used to size the
+/// (non-growing, open-addressing) hash tables the engine specializes.
+int64_t RowBound(const PlanRef& p, const rt::Database& db);
+
+/// Validates the whole query, including scalar subqueries (each must
+/// produce exactly one numeric column).
+void ValidateQuery(const Query& q, const rt::Database& db);
+
+}  // namespace lb2::plan
+
+#endif  // LB2_PLAN_VALIDATE_H_

@@ -1,0 +1,59 @@
+#include "runtime/column.h"
+
+#include "util/check.h"
+
+namespace lb2::rt {
+
+using schema::FieldKind;
+
+int64_t Column::size() const {
+  switch (kind_) {
+    case FieldKind::kInt64: return static_cast<int64_t>(i64_.size());
+    case FieldKind::kDouble: return static_cast<int64_t>(f64_.size());
+    case FieldKind::kDate: return static_cast<int64_t>(date_.size());
+    case FieldKind::kString: return static_cast<int64_t>(str_len_.size());
+  }
+  return 0;
+}
+
+void Column::AppendInt64(int64_t v) {
+  LB2_CHECK(kind_ == FieldKind::kInt64);
+  i64_.push_back(v);
+}
+
+void Column::AppendDouble(double v) {
+  LB2_CHECK(kind_ == FieldKind::kDouble);
+  f64_.push_back(v);
+}
+
+void Column::AppendDate(int32_t yyyymmdd) {
+  LB2_CHECK(kind_ == FieldKind::kDate);
+  date_.push_back(yyyymmdd);
+}
+
+void Column::AppendString(std::string_view s) {
+  LB2_CHECK(kind_ == FieldKind::kString);
+  LB2_CHECK_MSG(!finalized_, "append after Finalize()");
+  str_off_.push_back(static_cast<int64_t>(arena_.size()));
+  str_len_.push_back(static_cast<int32_t>(s.size()));
+  arena_.append(s);
+}
+
+void Column::Finalize() {
+  if (kind_ != FieldKind::kString || finalized_) return;
+  finalized_ = true;
+  arena_.shrink_to_fit();
+  str_ptr_.reserve(str_off_.size());
+  for (size_t i = 0; i < str_off_.size(); ++i) {
+    str_ptr_.push_back(arena_.data() + str_off_[i]);
+  }
+}
+
+void Column::SetDict(const Dictionary* dict, std::vector<int32_t> codes) {
+  LB2_CHECK(kind_ == FieldKind::kString);
+  LB2_CHECK(static_cast<int64_t>(codes.size()) == size());
+  dict_ = dict;
+  dict_codes_ = std::move(codes);
+}
+
+}  // namespace lb2::rt

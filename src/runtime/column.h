@@ -1,0 +1,79 @@
+// Runtime (host-side) column storage: the loaded database the generated
+// code reads. Column-oriented, with a string arena per column so string
+// cells are stable (ptr, len) views for the lifetime of the table.
+#ifndef LB2_RUNTIME_COLUMN_H_
+#define LB2_RUNTIME_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "schema/field.h"
+
+namespace lb2::rt {
+
+class Dictionary;
+
+/// One materialized column. Only the member matching `kind` is populated.
+class Column {
+ public:
+  explicit Column(schema::FieldKind kind) : kind_(kind) {}
+
+  schema::FieldKind kind() const { return kind_; }
+  int64_t size() const;
+
+  // -- Loading (append) --------------------------------------------------
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendDate(int32_t yyyymmdd);
+  void AppendString(std::string_view s);
+
+  /// Must be called once after loading a string column: pins the arena and
+  /// materializes the (ptr, len) views generated code indexes into.
+  void Finalize();
+
+  // -- Reading -----------------------------------------------------------
+  int64_t Int64At(int64_t row) const { return i64_[static_cast<size_t>(row)]; }
+  double DoubleAt(int64_t row) const { return f64_[static_cast<size_t>(row)]; }
+  int32_t DateAt(int64_t row) const { return date_[static_cast<size_t>(row)]; }
+  std::string_view StringAt(int64_t row) const {
+    return {str_ptr_[static_cast<size_t>(row)],
+            static_cast<size_t>(str_len_[static_cast<size_t>(row)])};
+  }
+
+  // -- Raw pointers for the JIT environment -------------------------------
+  const int64_t* i64_data() const { return i64_.data(); }
+  const double* f64_data() const { return f64_.data(); }
+  const int32_t* date_data() const { return date_.data(); }
+  const char* const* str_ptr_data() const { return str_ptr_.data(); }
+  const int32_t* str_len_data() const { return str_len_.data(); }
+
+  // -- Dictionary encoding (optional, built by Database) ------------------
+  bool has_dict() const { return dict_ != nullptr; }
+  const Dictionary* dict() const { return dict_; }
+  const int32_t* dict_codes() const { return dict_codes_.data(); }
+  int32_t DictCodeAt(int64_t row) const {
+    return dict_codes_[static_cast<size_t>(row)];
+  }
+  /// Attaches a dictionary and the per-row code vector (see Dictionary).
+  void SetDict(const Dictionary* dict, std::vector<int32_t> codes);
+
+ private:
+  schema::FieldKind kind_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<int32_t> date_;
+  // Strings: arena + offsets during load; views after Finalize().
+  std::string arena_;
+  std::vector<int64_t> str_off_;
+  std::vector<int32_t> str_len_;
+  std::vector<const char*> str_ptr_;
+  bool finalized_ = false;
+  const Dictionary* dict_ = nullptr;
+  std::vector<int32_t> dict_codes_;
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_COLUMN_H_

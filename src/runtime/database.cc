@@ -1,0 +1,105 @@
+#include "runtime/database.h"
+
+#include "util/check.h"
+
+namespace lb2::rt {
+
+Table& Database::AddTable(const std::string& name, schema::Schema schema) {
+  LB2_CHECK_MSG(!HasTable(name), ("duplicate table " + name).c_str());
+  auto [it, ok] =
+      tables_.emplace(name, std::make_unique<Table>(std::move(schema)));
+  return *it->second;
+}
+
+Table& Database::table(const std::string& name) {
+  auto it = tables_.find(name);
+  LB2_CHECK_MSG(it != tables_.end(), ("no table " + name).c_str());
+  return *it->second;
+}
+
+const Table& Database::table(const std::string& name) const {
+  return const_cast<Database*>(this)->table(name);
+}
+
+const PkIndex& Database::BuildPkIndex(const std::string& table_name,
+                                      const std::string& col) {
+  auto key = Key(table_name, col);
+  auto it = pk_.find(key);
+  if (it == pk_.end()) {
+    it = pk_.emplace(key, PkIndex::Build(table(table_name), col)).first;
+  }
+  return it->second;
+}
+
+const FkIndex& Database::BuildFkIndex(const std::string& table_name,
+                                      const std::string& col) {
+  auto key = Key(table_name, col);
+  auto it = fk_.find(key);
+  if (it == fk_.end()) {
+    it = fk_.emplace(key, FkIndex::Build(table(table_name), col)).first;
+  }
+  return it->second;
+}
+
+const DateIndex& Database::BuildDateIndex(const std::string& table_name,
+                                          const std::string& col) {
+  auto key = Key(table_name, col);
+  auto it = date_.find(key);
+  if (it == date_.end()) {
+    it = date_.emplace(key, DateIndex::Build(table(table_name), col)).first;
+  }
+  return it->second;
+}
+
+const Dictionary& Database::BuildDictionary(const std::string& table_name,
+                                            const std::string& col) {
+  auto key = Key(table_name, col);
+  auto it = dict_.find(key);
+  if (it == dict_.end()) {
+    Column& c = table(table_name).column(col);
+    std::vector<std::string_view> values;
+    values.reserve(static_cast<size_t>(c.size()));
+    for (int64_t i = 0; i < c.size(); ++i) values.push_back(c.StringAt(i));
+    std::vector<int32_t> codes;
+    auto dict = std::make_unique<Dictionary>();
+    dict->BuildFrom(values, &codes);
+    c.SetDict(dict.get(), std::move(codes));
+    it = dict_.emplace(key, std::move(dict)).first;
+  }
+  return *it->second;
+}
+
+const PkIndex* Database::pk_index(const std::string& table,
+                                  const std::string& col) const {
+  auto it = pk_.find(Key(table, col));
+  return it == pk_.end() ? nullptr : &it->second;
+}
+
+const FkIndex* Database::fk_index(const std::string& table,
+                                  const std::string& col) const {
+  auto it = fk_.find(Key(table, col));
+  return it == fk_.end() ? nullptr : &it->second;
+}
+
+const DateIndex* Database::date_index(const std::string& table,
+                                      const std::string& col) const {
+  auto it = date_.find(Key(table, col));
+  return it == date_.end() ? nullptr : &it->second;
+}
+
+const Dictionary* Database::dictionary(const std::string& table,
+                                       const std::string& col) const {
+  auto it = dict_.find(Key(table, col));
+  return it == dict_.end() ? nullptr : it->second.get();
+}
+
+int64_t Database::AuxMemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& [k, v] : pk_) total += v.MemoryBytes();
+  for (const auto& [k, v] : fk_) total += v.MemoryBytes();
+  for (const auto& [k, v] : date_) total += v.MemoryBytes();
+  for (const auto& [k, v] : dict_) total += v->MemoryBytes();
+  return total;
+}
+
+}  // namespace lb2::rt

@@ -1,0 +1,68 @@
+// Database: named tables plus the optional auxiliary structures (indexes,
+// dictionaries, date partitions) that the non-TPC-H-compliant optimization
+// levels build at load time (paper §5.2 / Figure 10).
+#ifndef LB2_RUNTIME_DATABASE_H_
+#define LB2_RUNTIME_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "runtime/dictionary.h"
+#include "runtime/index.h"
+#include "runtime/table.h"
+
+namespace lb2::rt {
+
+class Database {
+ public:
+  Table& AddTable(const std::string& name, schema::Schema schema);
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+  Table& table(const std::string& name);
+  const Table& table(const std::string& name) const;
+  const std::map<std::string, std::unique_ptr<Table>>& tables() const {
+    return tables_;
+  }
+
+  // -- Index / dictionary construction ("loading-time" work) -------------
+  const PkIndex& BuildPkIndex(const std::string& table,
+                              const std::string& col);
+  const FkIndex& BuildFkIndex(const std::string& table,
+                              const std::string& col);
+  const DateIndex& BuildDateIndex(const std::string& table,
+                                  const std::string& col);
+  /// Dictionary-encodes a string column in place (column keeps its raw
+  /// strings too; generated code may use either representation).
+  const Dictionary& BuildDictionary(const std::string& table,
+                                    const std::string& col);
+
+  // -- Lookup (null when absent) -----------------------------------------
+  const PkIndex* pk_index(const std::string& table,
+                          const std::string& col) const;
+  const FkIndex* fk_index(const std::string& table,
+                          const std::string& col) const;
+  const DateIndex* date_index(const std::string& table,
+                              const std::string& col) const;
+  const Dictionary* dictionary(const std::string& table,
+                               const std::string& col) const;
+
+  /// Total bytes in auxiliary structures (loading-overhead bench).
+  int64_t AuxMemoryBytes() const;
+
+ private:
+  static std::string Key(const std::string& table, const std::string& col) {
+    return table + "." + col;
+  }
+
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::map<std::string, PkIndex> pk_;
+  std::map<std::string, FkIndex> fk_;
+  std::map<std::string, DateIndex> date_;
+  std::map<std::string, std::unique_ptr<Dictionary>> dict_;
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_DATABASE_H_

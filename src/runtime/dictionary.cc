@@ -1,0 +1,75 @@
+#include "runtime/dictionary.h"
+
+#include <algorithm>
+#include <map>
+
+namespace lb2::rt {
+
+void Dictionary::BuildFrom(const std::vector<std::string_view>& values,
+                           std::vector<int32_t>* codes_out) {
+  // Distinct + sort. std::map keeps this simple and deterministic.
+  std::map<std::string_view, int32_t> distinct;
+  for (auto v : values) distinct.emplace(v, 0);
+  Dictionary& d = *this;
+  int64_t arena_bytes = 0;
+  for (auto& [v, code] : distinct) arena_bytes += static_cast<int64_t>(v.size());
+  d.arena_.reserve(static_cast<size_t>(arena_bytes));
+  std::vector<int64_t> offsets;
+  offsets.reserve(distinct.size());
+  int32_t next = 0;
+  for (auto& [v, code] : distinct) {
+    code = next++;
+    offsets.push_back(static_cast<int64_t>(d.arena_.size()));
+    d.lens_.push_back(static_cast<int32_t>(v.size()));
+    d.arena_.append(v);
+  }
+  d.ptrs_.reserve(offsets.size());
+  for (int64_t off : offsets) d.ptrs_.push_back(d.arena_.data() + off);
+
+  codes_out->clear();
+  codes_out->reserve(values.size());
+  for (auto v : values) codes_out->push_back(distinct.find(v)->second);
+}
+
+int32_t Dictionary::CodeOf(std::string_view value) const {
+  int32_t lo = 0, hi = size();
+  while (lo < hi) {
+    int32_t mid = lo + (hi - lo) / 2;
+    if (Decode(mid) < value) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo < size() && Decode(lo) == value) return lo;
+  return -1;
+}
+
+std::pair<int32_t, int32_t> Dictionary::PrefixRange(
+    std::string_view prefix) const {
+  auto lower = [&](std::string_view needle, bool upper_bound) {
+    int32_t lo = 0, hi = size();
+    while (lo < hi) {
+      int32_t mid = lo + (hi - lo) / 2;
+      std::string_view v = Decode(mid);
+      bool less;
+      if (upper_bound) {
+        // First entry that does NOT have the prefix and sorts after it.
+        less = v.substr(0, needle.size()) <= needle;
+      } else {
+        less = v < needle;
+      }
+      if (less) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  };
+  int32_t lo = lower(prefix, /*upper_bound=*/false);
+  int32_t hi = lower(prefix, /*upper_bound=*/true);
+  return {lo, hi};
+}
+
+}  // namespace lb2::rt

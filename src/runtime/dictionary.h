@@ -1,0 +1,66 @@
+// Sorted string dictionary (paper §4.3, "String Dictionaries").
+//
+// Codes are ranks in sorted order, so:
+//   * equality against a constant folds to one integer compare,
+//   * prefix predicates fold to a [lo, hi) code-range compare,
+//   * ORDER BY / GROUP BY on the column can use codes directly
+//     (code order == lexicographic order).
+// Lookups against constants happen at *query compile* time; only integer
+// comparisons remain in generated code.
+#ifndef LB2_RUNTIME_DICTIONARY_H_
+#define LB2_RUNTIME_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lb2::rt {
+
+class Dictionary {
+ public:
+  Dictionary() = default;
+  // The decode table points into the arena, so the object must not move.
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+
+  /// Builds this dictionary (must be empty) over the distinct values of
+  /// `values` and fills a per-row code vector aligned with the input.
+  void BuildFrom(const std::vector<std::string_view>& values,
+                 std::vector<int32_t>* codes_out);
+
+  int32_t size() const { return static_cast<int32_t>(ptrs_.size()); }
+
+  /// Exact-match code, or -1 if the constant is not in the dictionary
+  /// (in which case an equality predicate is statically false).
+  int32_t CodeOf(std::string_view value) const;
+
+  /// Codes of all entries with the given prefix form the range [lo, hi).
+  /// Empty range means the predicate is statically false.
+  std::pair<int32_t, int32_t> PrefixRange(std::string_view prefix) const;
+
+  std::string_view Decode(int32_t code) const {
+    return {ptrs_[static_cast<size_t>(code)],
+            static_cast<size_t>(lens_[static_cast<size_t>(code)])};
+  }
+
+  // Raw decode tables for the JIT environment.
+  const char* const* ptr_data() const { return ptrs_.data(); }
+  const int32_t* len_data() const { return lens_.data(); }
+
+  /// Bytes used by the dictionary store (for the loading-overhead bench).
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(arena_.size() +
+                                ptrs_.size() * (sizeof(char*) + 4));
+  }
+
+ private:
+  std::string arena_;
+  std::vector<const char*> ptrs_;  // sorted
+  std::vector<int32_t> lens_;
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_DICTIONARY_H_

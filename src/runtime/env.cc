@@ -1,0 +1,23 @@
+#include "runtime/env.h"
+
+namespace lb2::rt {
+
+int EnvLayout::SlotFor(const std::string& key, Resolver resolver) {
+  auto it = slots_.find(key);
+  if (it != slots_.end()) return it->second;
+  int slot = static_cast<int>(resolvers_.size());
+  slots_.emplace(key, slot);
+  resolvers_.push_back(std::move(resolver));
+  return slot;
+}
+
+std::vector<void*> EnvLayout::Materialize(const Database& db) const {
+  std::vector<void*> env;
+  env.reserve(resolvers_.size());
+  for (const auto& r : resolvers_) {
+    env.push_back(const_cast<void*>(r(db)));
+  }
+  return env;
+}
+
+}  // namespace lb2::rt

@@ -1,0 +1,41 @@
+// EnvLayout: the contract between staged code generation and the host.
+//
+// While the staged interpreter runs, the stage backend asks for pointers
+// into the loaded database (column data, index arrays, dictionary decode
+// tables). Each distinct request gets a stable slot in a `void**`
+// environment plus a resolver closure; after compilation the host calls
+// Materialize() to produce the actual argument vector for the query
+// function. Scalars known at compile time (row counts, key ranges) are
+// embedded in the generated code as literals and never pass through here.
+#ifndef LB2_RUNTIME_ENV_H_
+#define LB2_RUNTIME_ENV_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/database.h"
+
+namespace lb2::rt {
+
+class EnvLayout {
+ public:
+  using Resolver = std::function<const void*(const Database&)>;
+
+  /// Returns the slot for `key`, registering `resolver` on first use.
+  int SlotFor(const std::string& key, Resolver resolver);
+
+  int size() const { return static_cast<int>(resolvers_.size()); }
+
+  /// Builds the argument vector for a loaded database.
+  std::vector<void*> Materialize(const Database& db) const;
+
+ private:
+  std::map<std::string, int> slots_;
+  std::vector<Resolver> resolvers_;
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_ENV_H_

@@ -1,0 +1,111 @@
+#include "runtime/index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace lb2::rt {
+
+namespace {
+
+std::pair<int64_t, int64_t> KeyRange(const Column& col) {
+  LB2_CHECK(col.kind() == schema::FieldKind::kInt64);
+  int64_t lo = INT64_MAX, hi = INT64_MIN;
+  for (int64_t i = 0; i < col.size(); ++i) {
+    int64_t k = col.Int64At(i);
+    lo = std::min(lo, k);
+    hi = std::max(hi, k);
+  }
+  if (col.size() == 0) return {0, -1};
+  return {lo, hi};
+}
+
+}  // namespace
+
+PkIndex PkIndex::Build(const Table& table, const std::string& key_col) {
+  const Column& col = table.column(key_col);
+  PkIndex idx;
+  std::tie(idx.min_key, idx.max_key) = KeyRange(col);
+  if (idx.max_key < idx.min_key) return idx;
+  idx.pos.assign(static_cast<size_t>(idx.max_key - idx.min_key + 1), -1);
+  for (int64_t i = 0; i < col.size(); ++i) {
+    int64_t slot = col.Int64At(i) - idx.min_key;
+    LB2_CHECK_MSG(idx.pos[static_cast<size_t>(slot)] == -1,
+                  "duplicate key in PkIndex");
+    idx.pos[static_cast<size_t>(slot)] = static_cast<int32_t>(i);
+  }
+  return idx;
+}
+
+FkIndex FkIndex::Build(const Table& table, const std::string& key_col) {
+  const Column& col = table.column(key_col);
+  FkIndex idx;
+  std::tie(idx.min_key, idx.max_key) = KeyRange(col);
+  if (idx.max_key < idx.min_key) {
+    idx.offsets.assign(1, 0);
+    return idx;
+  }
+  size_t domain = static_cast<size_t>(idx.max_key - idx.min_key + 1);
+  idx.offsets.assign(domain + 2, 0);
+  for (int64_t i = 0; i < col.size(); ++i) {
+    ++idx.offsets[static_cast<size_t>(col.Int64At(i) - idx.min_key) + 2];
+  }
+  for (size_t i = 2; i < idx.offsets.size(); ++i) {
+    idx.offsets[i] += idx.offsets[i - 1];
+  }
+  idx.rows.resize(static_cast<size_t>(col.size()));
+  for (int64_t i = 0; i < col.size(); ++i) {
+    size_t slot = static_cast<size_t>(col.Int64At(i) - idx.min_key) + 1;
+    idx.rows[static_cast<size_t>(idx.offsets[slot]++)] =
+        static_cast<int32_t>(i);
+  }
+  idx.offsets.pop_back();
+  return idx;
+}
+
+int32_t DateIndex::BucketOf(int32_t yyyymmdd) const {
+  int32_t ym = (yyyymmdd / 10000) * 12 + (yyyymmdd / 100) % 100 - 1;
+  int32_t b = ym - min_ym;
+  if (b < 0) return 0;
+  if (b >= num_buckets) return num_buckets - 1;
+  return b;
+}
+
+DateIndex DateIndex::Build(const Table& table, const std::string& date_col) {
+  const Column& col = table.column(date_col);
+  LB2_CHECK(col.kind() == schema::FieldKind::kDate);
+  DateIndex idx;
+  if (col.size() == 0) {
+    idx.num_buckets = 1;
+    idx.offsets.assign(2, 0);
+    return idx;
+  }
+  int32_t lo = INT32_MAX, hi = INT32_MIN;
+  auto ym_of = [](int32_t d) {
+    return (d / 10000) * 12 + (d / 100) % 100 - 1;
+  };
+  for (int64_t i = 0; i < col.size(); ++i) {
+    int32_t ym = ym_of(col.DateAt(i));
+    lo = std::min(lo, ym);
+    hi = std::max(hi, ym);
+  }
+  idx.min_ym = lo;
+  idx.num_buckets = hi - lo + 1;
+  idx.offsets.assign(static_cast<size_t>(idx.num_buckets) + 2, 0);
+  for (int64_t i = 0; i < col.size(); ++i) {
+    ++idx.offsets[static_cast<size_t>(ym_of(col.DateAt(i)) - lo) + 2];
+  }
+  for (size_t i = 2; i < idx.offsets.size(); ++i) {
+    idx.offsets[i] += idx.offsets[i - 1];
+  }
+  idx.rows.resize(static_cast<size_t>(col.size()));
+  for (int64_t i = 0; i < col.size(); ++i) {
+    size_t slot = static_cast<size_t>(ym_of(col.DateAt(i)) - lo) + 1;
+    idx.rows[static_cast<size_t>(idx.offsets[slot]++)] =
+        static_cast<int32_t>(i);
+  }
+  idx.offsets.pop_back();
+  return idx;
+}
+
+}  // namespace lb2::rt

@@ -1,0 +1,66 @@
+// Auxiliary index structures (paper §4.3). Built at load time by the host;
+// generated code reads their flat arrays through the JIT environment.
+//
+//  * PkIndex:   dense unique-key → row position array.
+//  * FkIndex:   CSR multimap key → {row positions} (foreign-key side).
+//  * DateIndex: rows bucketed by calendar month of a date column; a range
+//    predicate on the column scans only the matching buckets.
+#ifndef LB2_RUNTIME_INDEX_H_
+#define LB2_RUNTIME_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/table.h"
+
+namespace lb2::rt {
+
+/// Unique-key index: pos[key - min_key] = row, or -1 when no such key.
+struct PkIndex {
+  int64_t min_key = 0;
+  int64_t max_key = -1;
+  std::vector<int32_t> pos;
+
+  static PkIndex Build(const Table& table, const std::string& key_col);
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(pos.size()) * 4;
+  }
+};
+
+/// Multimap index in CSR form: rows with key k live at
+/// rows[offsets[k-min] .. offsets[k-min+1]).
+struct FkIndex {
+  int64_t min_key = 0;
+  int64_t max_key = -1;
+  std::vector<int64_t> offsets;  // size (max-min+2)
+  std::vector<int32_t> rows;
+
+  static FkIndex Build(const Table& table, const std::string& key_col);
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(offsets.size()) * 8 +
+           static_cast<int64_t>(rows.size()) * 4;
+  }
+};
+
+/// Month-partitioned permutation of a table by a date column. Bucket b
+/// (months since min month) holds rows[offsets[b] .. offsets[b+1]).
+struct DateIndex {
+  int32_t min_ym = 0;  // year * 12 + (month - 1)
+  int32_t num_buckets = 0;
+  std::vector<int64_t> offsets;  // size num_buckets + 1
+  std::vector<int32_t> rows;
+
+  static DateIndex Build(const Table& table, const std::string& date_col);
+
+  /// Bucket index for a yyyymmdd date, clamped to the index range.
+  int32_t BucketOf(int32_t yyyymmdd) const;
+
+  int64_t MemoryBytes() const {
+    return static_cast<int64_t>(offsets.size()) * 8 +
+           static_cast<int64_t>(rows.size()) * 4;
+  }
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_INDEX_H_

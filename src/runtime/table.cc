@@ -1,0 +1,44 @@
+#include "runtime/table.h"
+
+#include "util/check.h"
+
+namespace lb2::rt {
+
+Table::Table(schema::Schema schema) : schema_(std::move(schema)) {
+  cols_.reserve(static_cast<size_t>(schema_.size()));
+  for (const auto& f : schema_.fields()) {
+    cols_.push_back(std::make_unique<Column>(f.kind));
+  }
+}
+
+Column& Table::column(const std::string& name) {
+  int i = schema_.IndexOf(name);
+  LB2_CHECK_MSG(i >= 0, ("no column " + name).c_str());
+  return *cols_[static_cast<size_t>(i)];
+}
+
+const Column& Table::column(const std::string& name) const {
+  return const_cast<Table*>(this)->column(name);
+}
+
+void Table::Finalize() {
+  for (auto& c : cols_) {
+    c->Finalize();
+    LB2_CHECK(c->size() == num_rows_);
+  }
+}
+
+int64_t Table::MemoryBytes() const {
+  int64_t total = 0;
+  for (const auto& c : cols_) {
+    switch (c->kind()) {
+      case schema::FieldKind::kInt64: total += c->size() * 8; break;
+      case schema::FieldKind::kDouble: total += c->size() * 8; break;
+      case schema::FieldKind::kDate: total += c->size() * 4; break;
+      case schema::FieldKind::kString: total += c->size() * 16; break;
+    }
+  }
+  return total;
+}
+
+}  // namespace lb2::rt

@@ -1,0 +1,44 @@
+// A loaded table: schema + columns.
+#ifndef LB2_RUNTIME_TABLE_H_
+#define LB2_RUNTIME_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/column.h"
+#include "schema/schema.h"
+
+namespace lb2::rt {
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(schema::Schema schema);
+
+  const schema::Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+
+  Column& column(int i) { return *cols_[static_cast<size_t>(i)]; }
+  const Column& column(int i) const { return *cols_[static_cast<size_t>(i)]; }
+  Column& column(const std::string& name);
+  const Column& column(const std::string& name) const;
+
+  /// Loader bookkeeping: call once per appended row.
+  void RowAppended() { ++num_rows_; }
+
+  /// Pins string arenas; must be called once after loading.
+  void Finalize();
+
+  /// Approximate resident bytes (for the loading bench).
+  int64_t MemoryBytes() const;
+
+ private:
+  schema::Schema schema_;
+  std::vector<std::unique_ptr<Column>> cols_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace lb2::rt
+
+#endif  // LB2_RUNTIME_TABLE_H_

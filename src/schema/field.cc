@@ -1,0 +1,15 @@
+#include "schema/field.h"
+
+namespace lb2::schema {
+
+const char* FieldKindName(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInt64: return "int64";
+    case FieldKind::kDouble: return "double";
+    case FieldKind::kDate: return "date";
+    case FieldKind::kString: return "string";
+  }
+  return "?";
+}
+
+}  // namespace lb2::schema

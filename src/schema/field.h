@@ -1,0 +1,31 @@
+// Logical field types. Dates are int32 yyyymmdd; decimals are doubles (the
+// same representation choices LB2 and DBLAB make, per Section 5.1 of the
+// paper).
+#ifndef LB2_SCHEMA_FIELD_H_
+#define LB2_SCHEMA_FIELD_H_
+
+#include <string>
+
+namespace lb2::schema {
+
+enum class FieldKind {
+  kInt64,   // integers and keys
+  kDouble,  // decimals
+  kDate,    // int32 yyyymmdd
+  kString,  // variable-length byte string
+};
+
+/// Returns a short human-readable name ("int64", "string", ...).
+const char* FieldKindName(FieldKind kind);
+
+/// One named, typed attribute.
+struct Field {
+  std::string name;
+  FieldKind kind;
+
+  bool operator==(const Field& other) const = default;
+};
+
+}  // namespace lb2::schema
+
+#endif  // LB2_SCHEMA_FIELD_H_

@@ -1,0 +1,649 @@
+#include "sql/sql.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "plan/validate.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::sql {
+
+using plan::AggKind;
+using plan::AggSpec;
+using plan::ExprOp;
+using plan::ExprRef;
+using plan::PlanRef;
+
+namespace {
+
+/// TU-local parse failure signal; caught in the public entry points.
+struct ParseError {
+  std::string message;
+};
+
+[[noreturn]] void Fail(const std::string& message) {
+  throw ParseError{message};
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kSymbol, kEnd };
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;      // identifier (upper-cased copy in `upper`) / symbol
+  std::string upper;
+  double number = 0;
+  bool is_float = false;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { Advance(); }
+
+  const Token& Peek() const { return tok_; }
+
+  Token Next() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+
+  bool AcceptKeyword(const char* kw) {
+    if (tok_.kind == TokKind::kIdent && tok_.upper == kw) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) Fail(std::string("expected ") + kw);
+  }
+
+  bool AcceptSymbol(const char* s) {
+    if (tok_.kind == TokKind::kSymbol && tok_.text == s) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  void ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) {
+      Fail(std::string("expected '") + s + "' before '" + tok_.text + "'");
+    }
+  }
+
+  bool PeekKeyword(const char* kw) const {
+    return tok_.kind == TokKind::kIdent && tok_.upper == kw;
+  }
+
+ private:
+  void Advance() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    tok_ = Token{};
+    if (pos_ >= text_.size()) {
+      tok_.kind = TokKind::kEnd;
+      tok_.text = "<end>";
+      return;
+    }
+    char c = text_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        ++pos_;
+      }
+      tok_.kind = TokKind::kIdent;
+      tok_.text = text_.substr(start, pos_ - start);
+      tok_.upper = tok_.text;
+      std::transform(tok_.upper.begin(), tok_.upper.end(),
+                     tok_.upper.begin(), ::toupper);
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool is_float = false;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '.')) {
+        is_float |= text_[pos_] == '.';
+        ++pos_;
+      }
+      tok_.kind = TokKind::kNumber;
+      tok_.text = text_.substr(start, pos_ - start);
+      tok_.number = std::stod(tok_.text);
+      tok_.is_float = is_float;
+      return;
+    }
+    if (c == '\'') {
+      ++pos_;
+      size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '\'') ++pos_;
+      if (pos_ >= text_.size()) Fail("unterminated string literal");
+      tok_.kind = TokKind::kString;
+      tok_.text = text_.substr(start, pos_ - start);
+      ++pos_;
+      return;
+    }
+    // Multi-character comparison symbols first.
+    for (const char* sym : {"<=", ">=", "<>", "!="}) {
+      if (text_.compare(pos_, 2, sym) == 0) {
+        tok_.kind = TokKind::kSymbol;
+        tok_.text = sym;
+        pos_ += 2;
+        return;
+      }
+    }
+    tok_.kind = TokKind::kSymbol;
+    tok_.text = std::string(1, c);
+    ++pos_;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  Token tok_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser + binder
+// ---------------------------------------------------------------------------
+
+struct SelectItem {
+  ExprRef expr;
+  std::string name;
+};
+
+class Parser {
+ public:
+  Parser(const std::string& text, const rt::Database& db)
+      : lex_(text), db_(&db) {}
+
+  plan::Query Parse() {
+    lex_.ExpectKeyword("SELECT");
+    ParseSelectList();
+    lex_.ExpectKeyword("FROM");
+    ParseFromList();
+    if (lex_.AcceptKeyword("WHERE")) where_ = ParseExpr();
+    if (lex_.AcceptKeyword("GROUP")) {
+      lex_.ExpectKeyword("BY");
+      do {
+        group_exprs_.push_back(ParseExpr());
+      } while (lex_.AcceptSymbol(","));
+    }
+    if (lex_.AcceptKeyword("ORDER")) {
+      lex_.ExpectKeyword("BY");
+      do {
+        ExprRef e = ParseExpr();
+        bool asc = true;
+        if (lex_.AcceptKeyword("DESC")) {
+          asc = false;
+        } else {
+          lex_.AcceptKeyword("ASC");
+        }
+        order_.push_back({e, asc});
+      } while (lex_.AcceptSymbol(","));
+    }
+    if (lex_.AcceptKeyword("LIMIT")) {
+      Token t = lex_.Next();
+      if (t.kind != TokKind::kNumber || t.is_float) Fail("LIMIT wants an int");
+      limit_ = static_cast<int64_t>(t.number);
+    }
+    if (lex_.Peek().kind != TokKind::kEnd) {
+      Fail("trailing input: '" + lex_.Peek().text + "'");
+    }
+    return Bind();
+  }
+
+ private:
+  // -- Expression grammar ----------------------------------------------------
+
+  ExprRef ParseExpr() { return ParseOr(); }
+
+  ExprRef ParseOr() {
+    ExprRef e = ParseAnd();
+    while (lex_.AcceptKeyword("OR")) e = plan::Or(e, ParseAnd());
+    return e;
+  }
+
+  ExprRef ParseAnd() {
+    ExprRef e = ParseNot();
+    while (lex_.AcceptKeyword("AND")) e = plan::And(e, ParseNot());
+    return e;
+  }
+
+  ExprRef ParseNot() {
+    if (lex_.AcceptKeyword("NOT")) return plan::Not(ParseNot());
+    return ParseComparison();
+  }
+
+  ExprRef ParseComparison() {
+    ExprRef e = ParseAdditive();
+    if (lex_.AcceptKeyword("BETWEEN")) {
+      ExprRef lo = ParseAdditive();
+      lex_.ExpectKeyword("AND");
+      ExprRef hi = ParseAdditive();
+      return plan::Between(e, lo, hi);
+    }
+    bool negate = false;
+    if (lex_.PeekKeyword("NOT")) {
+      // NOT LIKE / NOT IN
+      lex_.Next();
+      negate = true;
+    }
+    if (lex_.AcceptKeyword("LIKE")) {
+      Token pat = lex_.Next();
+      if (pat.kind != TokKind::kString) Fail("LIKE wants a string pattern");
+      ExprRef like = plan::Like(e, pat.text);
+      return negate ? plan::Not(like) : like;
+    }
+    if (lex_.AcceptKeyword("IN")) {
+      lex_.ExpectSymbol("(");
+      std::vector<std::string> strs;
+      std::vector<int64_t> ints;
+      bool is_str = lex_.Peek().kind == TokKind::kString;
+      do {
+        Token v = lex_.Next();
+        if (is_str) {
+          if (v.kind != TokKind::kString) Fail("mixed IN list");
+          strs.push_back(v.text);
+        } else {
+          if (v.kind != TokKind::kNumber) Fail("IN wants literals");
+          ints.push_back(static_cast<int64_t>(v.number));
+        }
+      } while (lex_.AcceptSymbol(","));
+      lex_.ExpectSymbol(")");
+      ExprRef in = is_str ? plan::InStr(e, strs) : plan::InInt(e, ints);
+      return negate ? plan::Not(in) : in;
+    }
+    if (negate) Fail("expected LIKE or IN after NOT");
+    static const std::pair<const char*, ExprRef (*)(ExprRef, ExprRef)>
+        kCmps[] = {{"=", plan::Eq},  {"<>", plan::Ne}, {"!=", plan::Ne},
+                   {"<=", plan::Le}, {">=", plan::Ge}, {"<", plan::Lt},
+                   {">", plan::Gt}};
+    for (const auto& [sym, make] : kCmps) {
+      if (lex_.AcceptSymbol(sym)) return make(e, ParseAdditive());
+    }
+    return e;
+  }
+
+  ExprRef ParseAdditive() {
+    ExprRef e = ParseMultiplicative();
+    for (;;) {
+      if (lex_.AcceptSymbol("+")) {
+        e = plan::Add(e, ParseMultiplicative());
+      } else if (lex_.AcceptSymbol("-")) {
+        e = plan::Sub(e, ParseMultiplicative());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprRef ParseMultiplicative() {
+    ExprRef e = ParsePrimary();
+    for (;;) {
+      if (lex_.AcceptSymbol("*")) {
+        e = plan::Mul(e, ParsePrimary());
+      } else if (lex_.AcceptSymbol("/")) {
+        e = plan::Div(e, ParsePrimary());
+      } else {
+        return e;
+      }
+    }
+  }
+
+  ExprRef ParsePrimary() {
+    if (lex_.AcceptSymbol("(")) {
+      ExprRef e = ParseExpr();
+      lex_.ExpectSymbol(")");
+      return e;
+    }
+    if (lex_.AcceptSymbol("-")) {
+      Token t = lex_.Next();
+      if (t.kind != TokKind::kNumber) Fail("expected number after '-'");
+      return t.is_float ? plan::D(-t.number)
+                        : plan::I(-static_cast<int64_t>(t.number));
+    }
+    Token t = lex_.Next();
+    switch (t.kind) {
+      case TokKind::kNumber:
+        return t.is_float ? plan::D(t.number)
+                          : plan::I(static_cast<int64_t>(t.number));
+      case TokKind::kString:
+        return plan::S(t.text);
+      case TokKind::kIdent:
+        return ParseIdentExpr(t);
+      default:
+        Fail("unexpected token '" + t.text + "'");
+    }
+  }
+
+  /// Identifier-led expressions: literals (DATE '...'), function calls,
+  /// CASE, aggregates, and (possibly qualified) column references.
+  ExprRef ParseIdentExpr(const Token& t) {
+    const std::string& kw = t.upper;
+    if (kw == "DATE") {
+      Token d = lex_.Next();
+      if (d.kind != TokKind::kString) Fail("DATE wants 'YYYY-MM-DD'");
+      return plan::Dt(d.text);
+    }
+    if (kw == "CASE") {
+      lex_.ExpectKeyword("WHEN");
+      ExprRef cond = ParseExpr();
+      lex_.ExpectKeyword("THEN");
+      ExprRef then = ParseExpr();
+      lex_.ExpectKeyword("ELSE");
+      ExprRef els = ParseExpr();
+      lex_.ExpectKeyword("END");
+      return plan::Case(cond, then, els);
+    }
+    if (kw == "EXTRACT") {
+      lex_.ExpectSymbol("(");
+      lex_.ExpectKeyword("YEAR");
+      lex_.ExpectKeyword("FROM");
+      ExprRef e = ParseExpr();
+      lex_.ExpectSymbol(")");
+      return plan::Year(e);
+    }
+    if (kw == "YEAR") {
+      lex_.ExpectSymbol("(");
+      ExprRef e = ParseExpr();
+      lex_.ExpectSymbol(")");
+      return plan::Year(e);
+    }
+    if (kw == "SUBSTRING") {
+      lex_.ExpectSymbol("(");
+      ExprRef e = ParseExpr();
+      lex_.ExpectSymbol(",");
+      Token pos = lex_.Next();
+      lex_.ExpectSymbol(",");
+      Token len = lex_.Next();
+      lex_.ExpectSymbol(")");
+      if (pos.kind != TokKind::kNumber || len.kind != TokKind::kNumber) {
+        Fail("SUBSTRING wants literal offsets");
+      }
+      // SQL is 1-based; the plan op is 0-based.
+      return plan::Substring(e, static_cast<int64_t>(pos.number) - 1,
+                             static_cast<int64_t>(len.number));
+    }
+    if (kw == "COUNT" || kw == "SUM" || kw == "MIN" || kw == "MAX" ||
+        kw == "AVG") {
+      return ParseAggregate(kw);
+    }
+    // Qualified column: table.column — schemas have unique names, so the
+    // qualifier only needs to exist.
+    if (lex_.AcceptSymbol(".")) {
+      Token col = lex_.Next();
+      if (col.kind != TokKind::kIdent) Fail("expected column after '.'");
+      return plan::Col(col.text);
+    }
+    return plan::Col(t.text);
+  }
+
+  ExprRef ParseAggregate(const std::string& kw) {
+    lex_.ExpectSymbol("(");
+    std::string name = "agg" + std::to_string(aggs_.size());
+    if (kw == "COUNT") {
+      // COUNT(*) and COUNT(expr) coincide without NULLs.
+      if (!lex_.AcceptSymbol("*")) (void)ParseExpr();
+      lex_.ExpectSymbol(")");
+      aggs_.push_back(plan::CountStar(name));
+      return plan::Col(name);
+    }
+    ExprRef arg = ParseExpr();
+    lex_.ExpectSymbol(")");
+    if (kw == "SUM") {
+      aggs_.push_back(plan::Sum(arg, name));
+      return plan::Col(name);
+    }
+    if (kw == "MIN") {
+      aggs_.push_back(plan::Min(arg, name));
+      return plan::Col(name);
+    }
+    if (kw == "MAX") {
+      aggs_.push_back(plan::Max(arg, name));
+      return plan::Col(name);
+    }
+    // AVG(x) = SUM(x) / COUNT(*), composed after aggregation.
+    std::string cnt = "agg" + std::to_string(aggs_.size() + 1);
+    aggs_.push_back(plan::Sum(arg, name));
+    aggs_.push_back(plan::CountStar(cnt));
+    return plan::Div(plan::Col(name), plan::Col(cnt));
+  }
+
+  // -- Clause parsing ----------------------------------------------------------
+
+  void ParseSelectList() {
+    do {
+      ExprRef e = ParseExpr();
+      std::string name;
+      if (lex_.AcceptKeyword("AS")) {
+        Token t = lex_.Next();
+        if (t.kind != TokKind::kIdent) Fail("expected alias after AS");
+        name = t.text;
+      } else if (e->op == ExprOp::kColRef) {
+        name = e->str;
+      } else {
+        name = "col" + std::to_string(select_.size());
+      }
+      select_.push_back({e, name});
+    } while (lex_.AcceptSymbol(","));
+  }
+
+  void ParseFromList() {
+    do {
+      Token t = lex_.Next();
+      if (t.kind != TokKind::kIdent) Fail("expected table name");
+      if (!db_->HasTable(t.text)) Fail("unknown table " + t.text);
+      tables_.push_back(t.text);
+      // Optional alias, accepted and ignored (column names are unique).
+      if (lex_.Peek().kind == TokKind::kIdent && !lex_.PeekKeyword("WHERE") &&
+          !lex_.PeekKeyword("GROUP") && !lex_.PeekKeyword("ORDER") &&
+          !lex_.PeekKeyword("LIMIT")) {
+        lex_.Next();
+      }
+    } while (lex_.AcceptSymbol(","));
+  }
+
+  // -- Binding -----------------------------------------------------------------
+
+  /// Collects the column names an expression references.
+  static void CollectCols(const ExprRef& e, std::vector<std::string>* out) {
+    if (e->op == ExprOp::kColRef) out->push_back(e->str);
+    for (const auto& c : e->children) CollectCols(c, out);
+  }
+
+  /// True if every column of `e` exists in `schema`.
+  static bool BoundBy(const ExprRef& e, const schema::Schema& schema) {
+    std::vector<std::string> cols;
+    CollectCols(e, &cols);
+    for (const auto& c : cols) {
+      if (!schema.Has(c)) return false;
+    }
+    return true;
+  }
+
+  static void SplitConjuncts(const ExprRef& e, std::vector<ExprRef>* out) {
+    if (e->op == ExprOp::kAnd) {
+      SplitConjuncts(e->children[0], out);
+      SplitConjuncts(e->children[1], out);
+      return;
+    }
+    out->push_back(e);
+  }
+
+  plan::Query Bind() {
+    std::vector<ExprRef> conjuncts;
+    if (where_ != nullptr) SplitConjuncts(where_, &conjuncts);
+
+    // Per-table single-table filters push onto the scans.
+    std::vector<PlanRef> scans;
+    for (const auto& t : tables_) {
+      PlanRef p = plan::Scan(t);
+      const schema::Schema& s = db_->table(t).schema();
+      for (auto it = conjuncts.begin(); it != conjuncts.end();) {
+        if (BoundBy(*it, s)) {
+          p = plan::Filter(p, *it);
+          it = conjuncts.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      scans.push_back(p);
+    }
+
+    // Join left to right on available equi-join conjuncts.
+    PlanRef p = scans[0];
+    schema::Schema bound = db_->table(tables_[0]).schema();
+    for (size_t t = 1; t < tables_.size(); ++t) {
+      const schema::Schema& ts = db_->table(tables_[t]).schema();
+      std::vector<std::string> lk, rk;
+      for (auto it = conjuncts.begin(); it != conjuncts.end();) {
+        const ExprRef& c = *it;
+        bool taken = false;
+        if (c->op == ExprOp::kEq &&
+            c->children[0]->op == ExprOp::kColRef &&
+            c->children[1]->op == ExprOp::kColRef) {
+          const std::string& a = c->children[0]->str;
+          const std::string& b = c->children[1]->str;
+          if (bound.Has(a) && ts.Has(b)) {
+            lk.push_back(a);
+            rk.push_back(b);
+            taken = true;
+          } else if (bound.Has(b) && ts.Has(a)) {
+            lk.push_back(b);
+            rk.push_back(a);
+            taken = true;
+          }
+        }
+        it = taken ? conjuncts.erase(it) : it + 1;
+      }
+      if (lk.empty()) {
+        Fail("no equi-join condition connecting table " + tables_[t]);
+      }
+      p = plan::Join(p, scans[t], lk, rk);
+      bound = bound.Concat(ts);
+    }
+
+    // Residual multi-table predicates after all joins.
+    for (const auto& c : conjuncts) {
+      if (!BoundBy(c, bound)) Fail("unbound columns in WHERE predicate");
+      p = plan::Filter(p, c);
+    }
+
+    // Aggregation. Group expressions that are not plain columns are given
+    // synthesized names; select/order expressions matching them textually
+    // are rewritten to reference the group output.
+    std::vector<std::pair<std::string, std::string>> group_bindings;
+    if (!group_exprs_.empty() || !aggs_.empty()) {
+      std::vector<std::string> names;
+      std::vector<ExprRef> exprs;
+      for (size_t i = 0; i < group_exprs_.size(); ++i) {
+        const ExprRef& g = group_exprs_[i];
+        std::string name = g->op == ExprOp::kColRef
+                               ? g->str
+                               : "g" + std::to_string(i);
+        names.push_back(name);
+        exprs.push_back(g);
+        group_bindings.emplace_back(plan::ExprToString(g), name);
+      }
+      if (group_exprs_.empty()) {
+        p = plan::ScalarAggPlan(p, aggs_);
+      } else {
+        p = plan::GroupBy(p, names, exprs, aggs_);
+      }
+    }
+
+    // Final projection to the select list.
+    std::vector<std::string> names;
+    std::vector<ExprRef> exprs;
+    for (const auto& item : select_) {
+      names.push_back(item.name);
+      exprs.push_back(RewriteGroups(item.expr, group_bindings));
+    }
+    p = plan::Project(p, names, exprs);
+
+    // ORDER BY: items must name a select output (alias or identical text).
+    if (!order_.empty()) {
+      std::vector<plan::SortKey> keys;
+      for (const auto& [e, asc] : order_) {
+        std::string want = plan::ExprToString(e);
+        std::string name;
+        for (const auto& item : select_) {
+          if (item.name == want ||
+              plan::ExprToString(item.expr) == want) {
+            name = item.name;
+            break;
+          }
+        }
+        if (name.empty()) Fail("ORDER BY item must appear in SELECT: " + want);
+        keys.push_back({name, asc});
+      }
+      p = plan::OrderBy(p, keys);
+    }
+    if (limit_ > 0) p = plan::Limit(p, limit_);
+
+    plan::Query q{{}, p};
+    plan::ValidateQuery(q, *db_);  // surface binding errors eagerly
+    return q;
+  }
+
+  /// Replaces subtrees textually equal to a group expression with a
+  /// reference to the group output column.
+  static ExprRef RewriteGroups(
+      const ExprRef& e,
+      const std::vector<std::pair<std::string, std::string>>& bindings) {
+    std::string text = plan::ExprToString(e);
+    for (const auto& [gtext, name] : bindings) {
+      if (text == gtext) return plan::Col(name);
+    }
+    if (e->children.empty()) return e;
+    auto copy = std::make_shared<plan::Expr>(*e);
+    for (auto& c : copy->children) c = RewriteGroups(c, bindings);
+    return copy;
+  }
+
+  Lexer lex_;
+  const rt::Database* db_;
+  std::vector<SelectItem> select_;
+  std::vector<std::string> tables_;
+  ExprRef where_;
+  std::vector<ExprRef> group_exprs_;
+  std::vector<AggSpec> aggs_;
+  std::vector<std::pair<ExprRef, bool>> order_;
+  int64_t limit_ = 0;
+};
+
+}  // namespace
+
+bool ParseQueryOrError(const std::string& text, const rt::Database& db,
+                       plan::Query* out, std::string* error) {
+  try {
+    Parser parser(text, db);
+    *out = parser.Parse();
+    return true;
+  } catch (const ParseError& e) {
+    if (error != nullptr) *error = e.message;
+    return false;
+  }
+}
+
+plan::Query ParseQuery(const std::string& text, const rt::Database& db) {
+  plan::Query q;
+  std::string error;
+  if (!ParseQueryOrError(text, db, &q, &error)) {
+    LB2_CHECK_MSG(false, ("SQL: " + error).c_str());
+  }
+  return q;
+}
+
+}  // namespace lb2::sql

@@ -1,0 +1,42 @@
+// A SQL front-end for the analytic subset the engine executes:
+//
+//   SELECT expr [AS name], ...
+//   FROM table [, table ...]
+//   [WHERE predicate]              -- equi-join conjuncts become joins
+//   [GROUP BY expr, ...]
+//   [ORDER BY expr [ASC|DESC], ...]
+//   [LIMIT n]
+//
+// Expressions: arithmetic, comparisons, AND/OR/NOT, LIKE / NOT LIKE,
+// IN (...), BETWEEN, CASE WHEN ... THEN ... ELSE ... END,
+// EXTRACT(YEAR FROM d) / YEAR(d), SUBSTRING(s, pos, len), DATE 'YYYY-MM-DD',
+// aggregates COUNT(*), SUM, MIN, MAX, AVG.
+//
+// The paper's LB2 takes physical plans as input (plans come from a query
+// optimizer it deliberately does not rebuild); this front-end is the
+// minimal bridge that makes the library usable end to end. Binding is
+// syntax-directed: FROM tables are joined left to right using the WHERE
+// clause's equi-join conjuncts, remaining conjuncts become filters pushed
+// to the earliest point where their columns are bound.
+#ifndef LB2_SQL_SQL_H_
+#define LB2_SQL_SQL_H_
+
+#include <string>
+
+#include "plan/plan.h"
+#include "runtime/database.h"
+
+namespace lb2::sql {
+
+/// Parses and binds `text` against `db`'s catalog. Aborts with a message
+/// naming the offending token/column on malformed input (this is a research
+/// front-end; see ParseQueryOrError for a non-aborting variant).
+plan::Query ParseQuery(const std::string& text, const rt::Database& db);
+
+/// Non-aborting variant: returns false and fills *error instead.
+bool ParseQueryOrError(const std::string& text, const rt::Database& db,
+                       plan::Query* out, std::string* error);
+
+}  // namespace lb2::sql
+
+#endif  // LB2_SQL_SQL_H_

@@ -1,0 +1,7 @@
+#include "stage/builder.h"
+
+namespace lb2::stage {
+
+thread_local CodegenContext* CodegenContext::current_ = nullptr;
+
+}  // namespace lb2::stage

@@ -1,0 +1,134 @@
+// CodegenContext: the mutable state threaded through a staged evaluation.
+//
+// Staged operations (rep.h, control.h) emit C statements into the context's
+// current function as a side effect of running, mirroring the paper's
+// `println`-based MyInt example, with fresh-name generation and scoped
+// indentation for readable output. A thread-local "current context" lets
+// overloaded operators emit without an explicit context parameter.
+#ifndef LB2_STAGE_BUILDER_H_
+#define LB2_STAGE_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "stage/ir.h"
+#include "util/check.h"
+
+namespace lb2::stage {
+
+class CodegenContext {
+ public:
+  CodegenContext() = default;
+  CodegenContext(const CodegenContext&) = delete;
+  CodegenContext& operator=(const CodegenContext&) = delete;
+
+  /// Returns a fresh C identifier ("x0", "x1", ...).
+  std::string Fresh(const char* prefix = "x") {
+    return std::string(prefix) + std::to_string(counter_++);
+  }
+
+  /// Emits one statement line into the current function at current indent.
+  void EmitLine(const std::string& line) {
+    LB2_CHECK_MSG(!fn_stack_.empty(), "EmitLine outside of a function");
+    fn_stack_.back()->body.push_back(Indent() + line);
+  }
+
+  /// Emits a `/* ... */` comment line (useful landmarks in generated code).
+  void Comment(const std::string& text) { EmitLine("/* " + text + " */"); }
+
+  /// Opens a block: emits `head {` and increases indentation.
+  void Open(const std::string& head) {
+    EmitLine(head + " {");
+    ++indent_;
+  }
+
+  /// Closes the innermost block.
+  void Close(const std::string& tail = "}") {
+    LB2_CHECK(indent_ > 0);
+    --indent_;
+    EmitLine(tail);
+  }
+
+  /// Transitions between sibling blocks, e.g. `} else {`: the line is
+  /// emitted at the enclosing indent, then the block level is restored.
+  void Reopen(const std::string& line) {
+    LB2_CHECK(indent_ > 0);
+    --indent_;
+    EmitLine(line);
+    ++indent_;
+  }
+
+  /// Starts a new top-level C function; statements go there until
+  /// EndFunction. Functions may be started while another is in progress
+  /// (e.g. sort comparators, thread entry points); emission resumes in the
+  /// enclosing function afterwards.
+  CFunction* BeginFunction(
+      const std::string& return_type, const std::string& name,
+      const std::vector<std::pair<std::string, std::string>>& params,
+      bool is_static = true) {
+    CFunction* f = module_.AddFunction();
+    f->return_type = return_type;
+    f->name = name;
+    f->params = params;
+    f->is_static = is_static;
+    fn_stack_.push_back(f);
+    indent_stack_.push_back(indent_);
+    indent_ = 1;
+    return f;
+  }
+
+  void EndFunction() {
+    LB2_CHECK(!fn_stack_.empty());
+    fn_stack_.pop_back();
+    indent_ = indent_stack_.back();
+    indent_stack_.pop_back();
+  }
+
+  /// Adds a file-scope declaration, e.g. `static int64_t* g_agg;`.
+  void DeclareGlobal(const std::string& decl) { module_.AddGlobal(decl); }
+
+  /// Adds a struct definition at file scope.
+  void DeclareStruct(const std::string& def) { module_.AddStruct(def); }
+
+  CModule& module() { return module_; }
+
+  /// The context staged operators currently emit into. Set via
+  /// CodegenScope; aborts if none is active.
+  static CodegenContext* Current() {
+    LB2_CHECK_MSG(current_ != nullptr, "no active CodegenContext");
+    return current_;
+  }
+
+  static bool HasCurrent() { return current_ != nullptr; }
+
+ private:
+  friend class CodegenScope;
+
+  std::string Indent() const { return std::string(2 * indent_, ' '); }
+
+  static thread_local CodegenContext* current_;
+
+  CModule module_;
+  std::vector<CFunction*> fn_stack_;
+  std::vector<int> indent_stack_;
+  int indent_ = 1;
+  int counter_ = 0;
+};
+
+/// RAII activation of a CodegenContext for the staged operators.
+class CodegenScope {
+ public:
+  explicit CodegenScope(CodegenContext* ctx) : prev_(CodegenContext::current_) {
+    CodegenContext::current_ = ctx;
+  }
+  ~CodegenScope() { CodegenContext::current_ = prev_; }
+  CodegenScope(const CodegenScope&) = delete;
+  CodegenScope& operator=(const CodegenScope&) = delete;
+
+ private:
+  CodegenContext* prev_;
+};
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_BUILDER_H_

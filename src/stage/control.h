@@ -1,0 +1,119 @@
+// Staged control flow: overloaded `if`/`while`/`for` combinators over
+// Rep<bool>, the staged analogue of LMS's control-flow virtualization.
+//
+// Crucially, a *constant* condition is decided at generation time and only
+// the taken branch is staged — this is where interpreter dispatch on the
+// (static) query disappears from the generated code, i.e. the first
+// Futamura projection at work.
+#ifndef LB2_STAGE_CONTROL_H_
+#define LB2_STAGE_CONTROL_H_
+
+#include <functional>
+
+#include "stage/rep.h"
+
+namespace lb2::stage {
+
+/// if (c) { then() }
+inline void If(const Rep<bool>& c, const std::function<void()>& then) {
+  if (c.is_const()) {
+    if (c.const_value()) then();
+    return;
+  }
+  auto* ctx = CodegenContext::Current();
+  ctx->Open("if (" + c.ref() + ")");
+  then();
+  ctx->Close();
+}
+
+/// if (c) { then() } else { els() }
+inline void IfElse(const Rep<bool>& c, const std::function<void()>& then,
+                   const std::function<void()>& els) {
+  if (c.is_const()) {
+    if (c.const_value()) {
+      then();
+    } else {
+      els();
+    }
+    return;
+  }
+  auto* ctx = CodegenContext::Current();
+  ctx->Open("if (" + c.ref() + ")");
+  then();
+  ctx->Reopen("} else {");
+  els();
+  ctx->Close();
+}
+
+/// Value-producing conditional: T result = c ? then() : els(), staged.
+template <typename T>
+Rep<T> IfVal(const Rep<bool>& c, const std::function<Rep<T>()>& then,
+             const std::function<Rep<T>()>& els) {
+  if (c.is_const()) return c.const_value() ? then() : els();
+  Var<T> out;
+  IfElse(
+      c, [&] { out.Set(then()); }, [&] { out.Set(els()); });
+  return out.Get();
+}
+
+/// Cheap ternary when both sides are already-computed values.
+template <typename T>
+Rep<T> Select(const Rep<bool>& c, const Rep<T>& a, const Rep<T>& b) {
+  if (c.is_const()) return c.const_value() ? a : b;
+  return Bind<T>("(" + c.ref() + " ? " + a.ref() + " : " + b.ref() + ")");
+}
+
+/// while-loop whose condition may itself need staged statements:
+/// emitted as `for(;;) { <cond stmts>; if(!c) break; <body> }`.
+inline void While(const std::function<Rep<bool>()>& cond,
+                  const std::function<void()>& body) {
+  auto* ctx = CodegenContext::Current();
+  ctx->Open("for (;;)");
+  Rep<bool> c = cond();
+  if (c.is_const()) {
+    LB2_CHECK_MSG(!c.const_value(),
+                  "staging an unconditionally infinite While loop");
+    ctx->EmitLine("break;");
+  } else {
+    ctx->EmitLine("if (!(" + c.ref() + ")) break;");
+    body();
+  }
+  ctx->Close();
+}
+
+/// Infinite loop; terminate with Break() inside `body`.
+inline void Loop(const std::function<void()>& body) {
+  auto* ctx = CodegenContext::Current();
+  ctx->Open("for (;;)");
+  body();
+  ctx->Close();
+}
+
+/// for (int64_t i = lo; i < hi; ++i) body(i)
+inline void For(const Rep<int64_t>& lo, const Rep<int64_t>& hi,
+                const std::function<void(Rep<int64_t>)>& body) {
+  auto* ctx = CodegenContext::Current();
+  std::string i = ctx->Fresh("i");
+  ctx->Open("for (int64_t " + i + " = " + lo.ref() + "; " + i + " < " +
+            hi.ref() + "; " + i + "++)");
+  body(Rep<int64_t>::FromRef(i));
+  ctx->Close();
+}
+
+inline void Break() { Stmt("break;"); }
+inline void Continue() { Stmt("continue;"); }
+
+template <typename T>
+void Return(const Rep<T>& v) {
+  Stmt("return " + v.ref() + ";");
+}
+inline void ReturnVoid() { Stmt("return;"); }
+
+/// Emits a landmark comment into the generated code.
+inline void Comment(const std::string& text) {
+  CodegenContext::Current()->Comment(text);
+}
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_CONTROL_H_

@@ -1,0 +1,59 @@
+#include "stage/ir.h"
+
+#include "stage/prelude.h"
+
+namespace lb2::stage {
+
+std::string CFunction::Signature() const {
+  std::string sig;
+  if (is_static) sig += "static ";
+  sig += return_type + " " + name + "(";
+  if (params.empty()) {
+    sig += "void";
+  } else {
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) sig += ", ";
+      sig += params[i].first + " " + params[i].second;
+    }
+  }
+  sig += ")";
+  return sig;
+}
+
+CModule::~CModule() {
+  for (CFunction* f : functions_) delete f;
+}
+
+std::string CModule::Emit() const {
+  std::string out;
+  out.reserve(1 << 16);
+  out += kCPrelude;
+  out += "\n";
+  for (const auto& s : structs_) {
+    out += s;
+    out += "\n";
+  }
+  for (const auto& g : globals_) {
+    out += g;
+    out += "\n";
+  }
+  out += "\n";
+  // Forward declarations so generation order never matters.
+  for (const CFunction* f : functions_) {
+    out += f->Signature();
+    out += ";\n";
+  }
+  out += "\n";
+  for (const CFunction* f : functions_) {
+    out += f->Signature();
+    out += " {\n";
+    for (const auto& line : f->body) {
+      out += line;
+      out += "\n";
+    }
+    out += "}\n\n";
+  }
+  return out;
+}
+
+}  // namespace lb2::stage

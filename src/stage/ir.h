@@ -1,0 +1,61 @@
+// The "intermediate representation" of the staging substrate.
+//
+// Faithful to the paper's architecture, there are no IR-to-IR passes: staged
+// operations append C statements directly while the (staged) query
+// interpreter runs, so a CModule is just the accumulated target program —
+// a prelude, file-scope declarations, and a list of C functions. Emission
+// (cgen.cc) is a straight serialization, i.e. the whole compiler is a single
+// generation pass (Section 4 of the paper).
+#ifndef LB2_STAGE_IR_H_
+#define LB2_STAGE_IR_H_
+
+#include <string>
+#include <vector>
+
+namespace lb2::stage {
+
+/// One generated C function: signature plus body lines (pre-indented).
+struct CFunction {
+  std::string return_type;
+  std::string name;
+  // (c type, parameter name) pairs.
+  std::vector<std::pair<std::string, std::string>> params;
+  std::vector<std::string> body;
+  bool is_static = true;
+
+  std::string Signature() const;
+};
+
+/// A complete generated translation unit.
+class CModule {
+ public:
+  /// Adds a file-scope declaration (globals, typedefs).
+  void AddGlobal(std::string decl) { globals_.push_back(std::move(decl)); }
+
+  /// Adds a struct definition (emitted before globals).
+  void AddStruct(std::string def) { structs_.push_back(std::move(def)); }
+
+  CFunction* AddFunction() {
+    functions_.push_back(new CFunction());
+    return functions_.back();
+  }
+
+  const std::vector<CFunction*>& functions() const { return functions_; }
+
+  /// Serializes the module to compilable C source (prelude included).
+  std::string Emit() const;
+
+  ~CModule();
+  CModule() = default;
+  CModule(const CModule&) = delete;
+  CModule& operator=(const CModule&) = delete;
+
+ private:
+  std::vector<std::string> structs_;
+  std::vector<std::string> globals_;
+  std::vector<CFunction*> functions_;
+};
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_IR_H_

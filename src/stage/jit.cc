@@ -1,0 +1,106 @@
+#include "stage/jit.h"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "util/check.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace lb2::stage {
+
+namespace {
+
+std::atomic<int> g_jit_counter{0};
+
+std::string TempDir() {
+  const char* env = std::getenv("LB2_JIT_DIR");
+  return env != nullptr ? env : "/tmp";
+}
+
+}  // namespace
+
+JitModule::~JitModule() {
+  if (handle_ != nullptr) dlclose(handle_);
+  if (std::getenv("LB2_KEEP_JIT") == nullptr) {
+    if (!c_path_.empty()) std::remove(c_path_.c_str());
+    if (!so_path_.empty()) std::remove(so_path_.c_str());
+  }
+}
+
+JitModule::QueryFn JitModule::entry(const std::string& name) const {
+  void* sym = dlsym(handle_, name.c_str());
+  LB2_CHECK_MSG(sym != nullptr, ("missing JIT symbol " + name).c_str());
+  return reinterpret_cast<QueryFn>(sym);
+}
+
+std::string Jit::CompilerCommand() {
+  const char* env = std::getenv("LB2_CC");
+  return env != nullptr ? env : "cc";
+}
+
+std::unique_ptr<JitModule> Jit::Compile(const CModule& module,
+                                        const std::string& tag,
+                                        const std::string& extra_flags) {
+  Stopwatch emit_timer;
+  std::string source = module.Emit();
+  double emit_ms = emit_timer.ElapsedMs();
+  auto out = CompileSource(source, tag, extra_flags);
+  out->codegen_ms_ = emit_ms;
+  return out;
+}
+
+std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
+                                              const std::string& tag,
+                                              const std::string& extra_flags) {
+  auto out = std::unique_ptr<JitModule>(new JitModule());
+  out->source_ = source;
+
+  int id = g_jit_counter.fetch_add(1);
+  std::string base = StrPrintf("%s/lb2_%s_%d_%d", TempDir().c_str(),
+                               tag.c_str(), static_cast<int>(getpid()), id);
+  out->c_path_ = base + ".c";
+  out->so_path_ = base + ".so";
+
+  {
+    std::ofstream f(out->c_path_);
+    LB2_CHECK_MSG(f.good(), ("cannot write " + out->c_path_).c_str());
+    f << out->source_;
+  }
+
+  std::string cmd = CompilerCommand() + " -O2 -fPIC -shared " + extra_flags +
+                    " -o " + out->so_path_ + " " + out->c_path_ +
+                    " -lpthread -lm 2> " + base + ".err";
+  Stopwatch cc_timer;
+  int rc = std::system(cmd.c_str());
+  out->compile_ms_ = cc_timer.ElapsedMs();
+  if (rc != 0) {
+    std::string err;
+    {
+      std::ifstream ef(base + ".err");
+      err.assign(std::istreambuf_iterator<char>(ef),
+                 std::istreambuf_iterator<char>());
+    }
+    std::fprintf(stderr,
+                 "generated-code compile failed (%s):\n%s\n"
+                 "source kept at %s\n",
+                 cmd.c_str(), err.c_str(), out->c_path_.c_str());
+    std::abort();
+  }
+  std::remove((base + ".err").c_str());
+
+  out->handle_ = dlopen(out->so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  LB2_CHECK_MSG(out->handle_ != nullptr, dlerror());
+  return out;
+}
+
+// Layout contract with the generated `lb2_out` struct in prelude.h.
+static_assert(sizeof(QueryOut) == 40, "QueryOut layout drifted from prelude");
+static_assert(offsetof(QueryOut, rows) == 24, "QueryOut layout drifted");
+
+}  // namespace lb2::stage

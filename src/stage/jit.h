@@ -1,0 +1,82 @@
+// Runtime compilation of generated C: write the translation unit, invoke the
+// system C compiler, dlopen the shared object, resolve the query entry
+// point. This is the last leg of the Futamura pipeline — the staged
+// interpreter produced a C program; here it becomes native code.
+#ifndef LB2_STAGE_JIT_H_
+#define LB2_STAGE_JIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "stage/ir.h"
+
+namespace lb2::stage {
+
+/// Mirror of the generated `lb2_out` struct (see prelude.h). The layouts
+/// must match; a static_assert in jit.cc guards the contract.
+struct QueryOut {
+  char* data = nullptr;
+  int64_t len = 0;
+  int64_t cap = 0;
+  int64_t rows = 0;
+  double exec_ms = 0.0;
+};
+
+/// A loaded query library. Owns the dlopen handle and the on-disk artifacts;
+/// both are released on destruction.
+class JitModule {
+ public:
+  using QueryFn = int64_t (*)(void** env, QueryOut* out);
+
+  ~JitModule();
+  JitModule(const JitModule&) = delete;
+  JitModule& operator=(const JitModule&) = delete;
+
+  /// Resolves an exported symbol; aborts if missing.
+  QueryFn entry(const std::string& name) const;
+
+  /// Generated C source (kept for inspection / the examples).
+  const std::string& source() const { return source_; }
+
+  /// Time spent emitting C text, and time spent in the external compiler.
+  double codegen_ms() const { return codegen_ms_; }
+  double compile_ms() const { return compile_ms_; }
+
+  const std::string& c_path() const { return c_path_; }
+
+ private:
+  friend class Jit;
+  JitModule() = default;
+
+  void* handle_ = nullptr;
+  std::string source_;
+  std::string c_path_;
+  std::string so_path_;
+  double codegen_ms_ = 0.0;
+  double compile_ms_ = 0.0;
+};
+
+/// Front door: compiles a CModule with the system C compiler.
+class Jit {
+ public:
+  /// Compiler command; overridable via the LB2_CC environment variable.
+  static std::string CompilerCommand();
+
+  /// Emits, compiles (-O2 by default) and loads `module`. `tag` names the
+  /// temp files for debuggability. Aborts with the compiler diagnostics on
+  /// failure — a compile error in generated code is a bug in this library.
+  static std::unique_ptr<JitModule> Compile(const CModule& module,
+                                            const std::string& tag,
+                                            const std::string& extra_flags = "");
+
+  /// Same pipeline for an already-rendered C translation unit (used by the
+  /// template-expansion compiler, which produces raw text).
+  static std::unique_ptr<JitModule> CompileSource(const std::string& source,
+                                                  const std::string& tag,
+                                                  const std::string& extra_flags = "");
+};
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_JIT_H_

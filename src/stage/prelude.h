@@ -1,0 +1,157 @@
+// The C runtime prelude embedded into every generated translation unit.
+//
+// These are the few "library" pieces the generated code calls into rather
+// than inlining: the growable output buffer, string helpers (hashing,
+// comparison, LIKE), and timing. Everything data-structure-shaped (hash
+// tables, buffers, indexes) is specialized away at generation time and never
+// appears here — that is the point of the paper.
+#ifndef LB2_STAGE_PRELUDE_H_
+#define LB2_STAGE_PRELUDE_H_
+
+namespace lb2::stage {
+
+inline constexpr const char* kCPrelude = R"PRELUDE(
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <stdint.h>
+#include <stdbool.h>
+#include <pthread.h>
+#include <sys/time.h>
+
+typedef struct {
+  char* data;
+  int64_t len;
+  int64_t cap;
+  int64_t rows;
+  double exec_ms;
+} lb2_out;
+
+static void lb2_out_reserve(lb2_out* o, int64_t extra) {
+  if (o->len + extra <= o->cap) return;
+  int64_t cap = o->cap ? o->cap * 2 : 4096;
+  while (cap < o->len + extra) cap *= 2;
+  o->data = (char*)realloc(o->data, (size_t)cap);
+  o->cap = cap;
+}
+
+static void lb2_out_str(lb2_out* o, const char* s, int64_t n) {
+  lb2_out_reserve(o, n);
+  memcpy(o->data + o->len, s, (size_t)n);
+  o->len += n;
+}
+
+static void lb2_out_cstr(lb2_out* o, const char* s) {
+  lb2_out_str(o, s, (int64_t)strlen(s));
+}
+
+static void lb2_out_i64(lb2_out* o, int64_t v) {
+  char buf[32];
+  int n = snprintf(buf, sizeof(buf), "%lld", (long long)v);
+  lb2_out_str(o, buf, n);
+}
+
+static void lb2_out_f64(lb2_out* o, double v) {
+  char buf[64];
+  int n = snprintf(buf, sizeof(buf), "%.4f", v);
+  lb2_out_str(o, buf, n);
+}
+
+static void lb2_out_date(lb2_out* o, int64_t yyyymmdd) {
+  char buf[16];
+  int n = snprintf(buf, sizeof(buf), "%04d-%02d-%02d",
+                   (int)(yyyymmdd / 10000), (int)((yyyymmdd / 100) % 100),
+                   (int)(yyyymmdd % 100));
+  lb2_out_str(o, buf, n);
+}
+
+static void lb2_out_char(lb2_out* o, char c) { lb2_out_str(o, &c, 1); }
+
+static int64_t lb2_hash_i64(int64_t v) {
+  uint64_t z = (uint64_t)v * 0x9e3779b97f4a7c15ULL;
+  z ^= z >> 32;
+  return (int64_t)z;
+}
+
+static int64_t lb2_hash_str(const char* s, int32_t n) {
+  uint64_t h = 5381;
+  for (int32_t i = 0; i < n; i++) h = ((h << 5) + h) + (uint8_t)s[i];
+  return (int64_t)h;
+}
+
+static int64_t lb2_hash_combine(int64_t a, int64_t b) {
+  uint64_t h = (uint64_t)a;
+  h ^= (uint64_t)b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return (int64_t)h;
+}
+
+static bool lb2_str_eq(const char* a, int32_t an, const char* b, int32_t bn) {
+  return an == bn && memcmp(a, b, (size_t)an) == 0;
+}
+
+static int32_t lb2_str_cmp(const char* a, int32_t an, const char* b,
+                           int32_t bn) {
+  int32_t n = an < bn ? an : bn;
+  int c = memcmp(a, b, (size_t)n);
+  if (c != 0) return c < 0 ? -1 : 1;
+  return an == bn ? 0 : (an < bn ? -1 : 1);
+}
+
+static bool lb2_starts_with(const char* s, int32_t n, const char* p,
+                            int32_t pn) {
+  return n >= pn && memcmp(s, p, (size_t)pn) == 0;
+}
+
+static bool lb2_ends_with(const char* s, int32_t n, const char* p,
+                          int32_t pn) {
+  return n >= pn && memcmp(s + (n - pn), p, (size_t)pn) == 0;
+}
+
+static bool lb2_contains(const char* s, int32_t n, const char* p, int32_t pn) {
+  if (pn == 0) return true;
+  for (int32_t i = 0; i + pn <= n; i++) {
+    if (s[i] == p[0] && memcmp(s + i, p, (size_t)pn) == 0) return true;
+  }
+  return false;
+}
+
+/* SQL LIKE with %% and _ wildcards (iterative backtracking matcher). */
+static bool lb2_like(const char* s, int32_t n, const char* p, int32_t pn) {
+  int32_t si = 0, pi = 0, star_p = -1, star_s = 0;
+  while (si < n) {
+    if (pi < pn && (p[pi] == '_' || p[pi] == s[si])) {
+      si++; pi++;
+    } else if (pi < pn && p[pi] == '%') {
+      star_p = pi++; star_s = si;
+    } else if (star_p >= 0) {
+      pi = star_p + 1; si = ++star_s;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pn && p[pi] == '%') pi++;
+  return pi == pn;
+}
+
+static int64_t lb2_d2i(double v) {
+  int64_t out;
+  memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+static double lb2_i2d(int64_t v) {
+  double out;
+  memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+static double lb2_now_ms(void) {
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return (double)tv.tv_sec * 1000.0 + (double)tv.tv_usec / 1000.0;
+}
+)PRELUDE";
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_PRELUDE_H_

@@ -1,0 +1,371 @@
+// Rep<T>: the staged (symbolic) value type — the paper's `MyInt` / LMS's
+// `Rep[T]` realized with C++ operator overloading.
+//
+// A Rep<T> names a value of C type T in the *generated* program. Operating
+// on Reps emits C statements into the active CodegenContext and returns a
+// Rep naming the result; constants fold at generation time, so expressions
+// whose inputs are static never reach the generated code. This file is the
+// entire "staging framework" the engine builds on.
+#ifndef LB2_STAGE_REP_H_
+#define LB2_STAGE_REP_H_
+
+#include <cstdint>
+#include <string>
+#include <type_traits>
+
+#include "stage/builder.h"
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::stage {
+
+// ---------------------------------------------------------------------------
+// C type names for the supported staged types.
+// ---------------------------------------------------------------------------
+
+template <typename T>
+struct CTypeName;
+
+template <> struct CTypeName<void> {
+  static std::string Str() { return "void"; }
+};
+template <> struct CTypeName<bool> {
+  static std::string Str() { return "bool"; }
+};
+template <> struct CTypeName<char> {
+  static std::string Str() { return "char"; }
+};
+template <> struct CTypeName<int32_t> {
+  static std::string Str() { return "int32_t"; }
+};
+template <> struct CTypeName<int64_t> {
+  static std::string Str() { return "int64_t"; }
+};
+template <> struct CTypeName<double> {
+  static std::string Str() { return "double"; }
+};
+template <typename T> struct CTypeName<T*> {
+  static std::string Str() { return CTypeName<T>::Str() + "*"; }
+};
+template <typename T> struct CTypeName<const T> {
+  static std::string Str() { return "const " + CTypeName<T>::Str(); }
+};
+
+template <typename T>
+std::string CType() {
+  return CTypeName<T>::Str();
+}
+
+// ---------------------------------------------------------------------------
+// Literal rendering.
+// ---------------------------------------------------------------------------
+
+/// Renders a host constant as a C literal of the matching type.
+template <typename T>
+std::string Lit(T v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_same_v<T, double>) {
+    std::string s = StrPrintf("%.17g", v);
+    // Ensure the literal parses as a double, not an int.
+    if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+    return s;
+  } else if constexpr (std::is_same_v<T, int64_t>) {
+    return std::to_string(v) + "LL";
+  } else if constexpr (std::is_integral_v<T>) {
+    return std::to_string(v);
+  } else {
+    static_assert(!sizeof(T*), "no literal form for this staged type");
+  }
+}
+
+/// Escapes a host string as a C string literal (quotes included).
+inline std::string CStringLit(std::string_view s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Rep<T>
+// ---------------------------------------------------------------------------
+
+template <typename T>
+class Rep {
+ public:
+  /// Default-constructed Reps are only placeholders; using one in generated
+  /// code is a bug caught by the sentinel ref.
+  Rep() : ref_("LB2_UNDEF") {}
+
+  /// Implicit lift of a host constant into the generated program. Constants
+  /// stay symbolic (no code emitted) and participate in folding.
+  Rep(T v) : ref_(Lit<T>(v)), is_const_(true), const_val_(v) {}  // NOLINT
+
+  /// Wraps an existing C expression/variable name.
+  static Rep FromRef(std::string ref) {
+    Rep r;
+    r.ref_ = std::move(ref);
+    return r;
+  }
+
+  const std::string& ref() const { return ref_; }
+  bool is_const() const { return is_const_; }
+  T const_value() const {
+    LB2_CHECK(is_const_);
+    return const_val_;
+  }
+
+ private:
+  std::string ref_;
+  bool is_const_ = false;
+  T const_val_{};
+};
+
+// Pointer-typed Reps carry no constant payload.
+template <typename T>
+class Rep<T*> {
+ public:
+  Rep() : ref_("LB2_UNDEF") {}
+  static Rep FromRef(std::string ref) {
+    Rep r;
+    r.ref_ = std::move(ref);
+    return r;
+  }
+  /// The generated NULL pointer.
+  static Rep Null() { return FromRef("((" + CType<T*>() + ")0)"); }
+  const std::string& ref() const { return ref_; }
+  bool is_const() const { return false; }
+
+ private:
+  std::string ref_;
+};
+
+/// Binds a C expression to a fresh variable of type T and returns its Rep.
+template <typename T>
+Rep<T> Bind(const std::string& expr) {
+  auto* ctx = CodegenContext::Current();
+  std::string name = ctx->Fresh();
+  ctx->EmitLine(CType<T>() + " " + name + " = " + expr + ";");
+  return Rep<T>::FromRef(name);
+}
+
+/// Emits a statement (no value).
+inline void Stmt(const std::string& line) {
+  CodegenContext::Current()->EmitLine(line);
+}
+
+// ---------------------------------------------------------------------------
+// Operators. Each either folds (both sides constant) or emits one binding.
+// ---------------------------------------------------------------------------
+
+template <typename R, typename T, typename F>
+Rep<R> BinOp(const char* op, const Rep<T>& a, const Rep<T>& b, F fold,
+             bool fold_ok = true) {
+  if (fold_ok && a.is_const() && b.is_const()) {
+    return Rep<R>(fold(a.const_value(), b.const_value()));
+  }
+  return Bind<R>("(" + a.ref() + " " + op + " " + b.ref() + ")");
+}
+
+#define LB2_ARITH_OP(op)                                                     \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<T> operator op(const Rep<T>& a, const Rep<T>& b) {                    \
+    return BinOp<T>(#op, a, b,                                               \
+                    [](T x, T y) { return static_cast<T>(x op y); });        \
+  }                                                                          \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<T> operator op(const Rep<T>& a, std::type_identity_t<T> b) { return a op Rep<T>(b); }        \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<T> operator op(std::type_identity_t<T> a, const Rep<T>& b) { return Rep<T>(a) op b; }
+
+LB2_ARITH_OP(+)
+LB2_ARITH_OP(-)
+LB2_ARITH_OP(*)
+#undef LB2_ARITH_OP
+
+// Division and modulo never fold a constant zero divisor.
+template <typename T>
+  requires std::is_arithmetic_v<T>
+Rep<T> operator/(const Rep<T>& a, const Rep<T>& b) {
+  bool safe = !b.is_const() || b.const_value() != T{};
+  return BinOp<T>("/", a, b, [](T x, T y) { return static_cast<T>(x / y); },
+                  safe && a.is_const() && b.is_const());
+}
+template <typename T>
+  requires std::is_arithmetic_v<T>
+Rep<T> operator/(const Rep<T>& a, std::type_identity_t<T> b) { return a / Rep<T>(b); }
+template <typename T>
+  requires std::is_arithmetic_v<T>
+Rep<T> operator/(std::type_identity_t<T> a, const Rep<T>& b) { return Rep<T>(a) / b; }
+
+template <typename T>
+  requires std::is_integral_v<T>
+Rep<T> operator%(const Rep<T>& a, const Rep<T>& b) {
+  bool safe = !b.is_const() || b.const_value() != T{};
+  return BinOp<T>("%", a, b, [](T x, T y) { return static_cast<T>(x % y); },
+                  safe && a.is_const() && b.is_const());
+}
+template <typename T>
+  requires std::is_integral_v<T>
+Rep<T> operator%(const Rep<T>& a, std::type_identity_t<T> b) { return a % Rep<T>(b); }
+
+template <typename T>
+  requires std::is_integral_v<T>
+Rep<T> operator&(const Rep<T>& a, const Rep<T>& b) {
+  return BinOp<T>("&", a, b, [](T x, T y) { return static_cast<T>(x & y); });
+}
+template <typename T>
+  requires std::is_integral_v<T>
+Rep<T> operator&(const Rep<T>& a, std::type_identity_t<T> b) { return a & Rep<T>(b); }
+
+#define LB2_CMP_OP(op)                                                       \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<bool> operator op(const Rep<T>& a, const Rep<T>& b) {                 \
+    return BinOp<bool>(#op, a, b, [](T x, T y) { return x op y; });          \
+  }                                                                          \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<bool> operator op(const Rep<T>& a, std::type_identity_t<T> b) { return a op Rep<T>(b); }     \
+  template <typename T>                                                      \
+    requires std::is_arithmetic_v<T>                                         \
+  Rep<bool> operator op(std::type_identity_t<T> a, const Rep<T>& b) { return Rep<T>(a) op b; }
+
+LB2_CMP_OP(==)
+LB2_CMP_OP(!=)
+LB2_CMP_OP(<)
+LB2_CMP_OP(<=)
+LB2_CMP_OP(>)
+LB2_CMP_OP(>=)
+#undef LB2_CMP_OP
+
+// Logical connectives. No short-circuiting: operands are already staged.
+inline Rep<bool> operator&&(const Rep<bool>& a, const Rep<bool>& b) {
+  if (a.is_const()) return a.const_value() ? b : Rep<bool>(false);
+  if (b.is_const()) return b.const_value() ? a : Rep<bool>(false);
+  return Bind<bool>("(" + a.ref() + " && " + b.ref() + ")");
+}
+inline Rep<bool> operator||(const Rep<bool>& a, const Rep<bool>& b) {
+  if (a.is_const()) return a.const_value() ? Rep<bool>(true) : b;
+  if (b.is_const()) return b.const_value() ? Rep<bool>(true) : a;
+  return Bind<bool>("(" + a.ref() + " || " + b.ref() + ")");
+}
+inline Rep<bool> operator!(const Rep<bool>& a) {
+  if (a.is_const()) return Rep<bool>(!a.const_value());
+  return Bind<bool>("(!" + a.ref() + ")");
+}
+
+/// Generated-type cast.
+template <typename To, typename From>
+Rep<To> CastRep(const Rep<From>& v) {
+  if constexpr (std::is_arithmetic_v<To> && std::is_arithmetic_v<From>) {
+    if (v.is_const()) return Rep<To>(static_cast<To>(v.const_value()));
+  }
+  return Bind<To>("((" + CType<To>() + ")" + v.ref() + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Mutable staged locals.
+// ---------------------------------------------------------------------------
+
+/// A named mutable variable in the generated program.
+template <typename T>
+class Var {
+ public:
+  explicit Var(const Rep<T>& init) {
+    auto* ctx = CodegenContext::Current();
+    name_ = ctx->Fresh("v");
+    ctx->EmitLine(CType<T>() + " " + name_ + " = " + init.ref() + ";");
+  }
+  Var() : Var(Rep<T>::FromRef("{0}")) {}
+
+  Rep<T> Get() const { return Rep<T>::FromRef(name_); }
+  operator Rep<T>() const { return Get(); }  // NOLINT: deliberate sugar
+
+  void Set(const Rep<T>& v) { Stmt(name_ + " = " + v.ref() + ";"); }
+  void Add(const Rep<T>& v) { Stmt(name_ + " += " + v.ref() + ";"); }
+  void Inc() { Stmt(name_ + "++;"); }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+// ---------------------------------------------------------------------------
+// Memory: staged arrays via raw pointers (exactly what LB2 generates).
+// ---------------------------------------------------------------------------
+
+template <typename T>
+Rep<T*> Malloc(const Rep<int64_t>& n) {
+  return Bind<T*>("(" + CType<T*>() + ")malloc((size_t)(" + n.ref() +
+                  ") * sizeof(" + CType<T>() + "))");
+}
+
+template <typename T>
+Rep<T*> Calloc(const Rep<int64_t>& n) {
+  return Bind<T*>("(" + CType<T*>() + ")calloc((size_t)(" + n.ref() +
+                  "), sizeof(" + CType<T>() + "))");
+}
+
+template <typename T>
+void Free(const Rep<T*>& p) {
+  Stmt("free((void*)" + p.ref() + ");");
+}
+
+template <typename T>
+Rep<T> Load(const Rep<T*>& base, const Rep<int64_t>& idx) {
+  return Bind<T>(base.ref() + "[" + idx.ref() + "]");
+}
+
+template <typename T>
+void Store(const Rep<T*>& base, const Rep<int64_t>& idx, const Rep<T>& v) {
+  Stmt(base.ref() + "[" + idx.ref() + "] = " + v.ref() + ";");
+}
+
+template <typename T>
+Rep<T*> PtrOffset(const Rep<T*>& base, const Rep<int64_t>& idx) {
+  return Bind<T*>("(" + base.ref() + " + " + idx.ref() + ")");
+}
+
+// ---------------------------------------------------------------------------
+// Calls into prelude/helper functions.
+// ---------------------------------------------------------------------------
+
+inline void JoinArgRefs(std::string*) {}
+template <typename A, typename... Rest>
+void JoinArgRefs(std::string* out, const A& a, const Rest&... rest) {
+  if (!out->empty()) *out += ", ";
+  *out += a.ref();
+  JoinArgRefs(out, rest...);
+}
+
+template <typename R, typename... Args>
+Rep<R> Call(const std::string& fn, const Args&... args) {
+  std::string arglist;
+  JoinArgRefs(&arglist, args...);
+  return Bind<R>(fn + "(" + arglist + ")");
+}
+
+template <typename... Args>
+void CallVoid(const std::string& fn, const Args&... args) {
+  std::string arglist;
+  JoinArgRefs(&arglist, args...);
+  Stmt(fn + "(" + arglist + ");");
+}
+
+}  // namespace lb2::stage
+
+#endif  // LB2_STAGE_REP_H_

@@ -1,0 +1,82 @@
+#include "tpch/answers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/str.h"
+
+namespace lb2::tpch {
+
+bool OrderSensitive(const plan::Query& q) {
+  const plan::PlanNode* p = q.root.get();
+  while (p->type == plan::OpType::kLimit ||
+         p->type == plan::OpType::kProject) {
+    p = p->children[0].get();
+  }
+  return p->type == plan::OpType::kSort;
+}
+
+std::string SortLines(const std::string& text) {
+  auto lines = SplitString(text, '\n');
+  if (!lines.empty() && lines.back().empty()) lines.pop_back();
+  std::sort(lines.begin(), lines.end());
+  std::string out = JoinStrings(lines, "\n");
+  if (!out.empty()) out += '\n';
+  return out;
+}
+
+namespace {
+
+bool ParseNumber(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool FieldsMatch(const std::string& a, const std::string& b, double eps) {
+  if (a == b) return true;
+  double x, y;
+  if (ParseNumber(a, &x) && ParseNumber(b, &y)) {
+    double scale = std::max({1.0, std::fabs(x), std::fabs(y)});
+    return std::fabs(x - y) <= eps * scale;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string DiffResults(const std::string& expected, const std::string& got,
+                        bool order_sensitive, double eps) {
+  std::string e = order_sensitive ? expected : SortLines(expected);
+  std::string g = order_sensitive ? got : SortLines(got);
+  auto el = SplitString(e, '\n');
+  auto gl = SplitString(g, '\n');
+  if (!el.empty() && el.back().empty()) el.pop_back();
+  if (!gl.empty() && gl.back().empty()) gl.pop_back();
+  if (el.size() != gl.size()) {
+    return StrPrintf("row count mismatch: expected %zu rows, got %zu",
+                     el.size(), gl.size());
+  }
+  for (size_t i = 0; i < el.size(); ++i) {
+    auto ef = SplitString(el[i], '|');
+    auto gf = SplitString(gl[i], '|');
+    if (ef.size() != gf.size()) {
+      return StrPrintf("row %zu: field count mismatch\n  expected: %s\n  got: %s",
+                       i, el[i].c_str(), gl[i].c_str());
+    }
+    for (size_t f = 0; f < ef.size(); ++f) {
+      if (!FieldsMatch(ef[f], gf[f], eps)) {
+        return StrPrintf(
+            "row %zu field %zu mismatch\n  expected: %s\n  got:      %s", i,
+            f, el[i].c_str(), gl[i].c_str());
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace lb2::tpch

@@ -1,0 +1,29 @@
+// Cross-engine result comparison. Engines agree on the canonical row
+// format ('|' fields, %.4f doubles, ISO dates); unordered queries may emit
+// rows in different orders, so comparison sorts lines first unless the
+// query is order-sensitive. Numeric fields compare with a small relative
+// epsilon to absorb harmless floating-point reassociation.
+#ifndef LB2_TPCH_ANSWERS_H_
+#define LB2_TPCH_ANSWERS_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace lb2::tpch {
+
+/// True if the query's output order is defined (root is Sort, or Limit over
+/// Sort).
+bool OrderSensitive(const plan::Query& q);
+
+/// Lines sorted lexicographically (for unordered comparison).
+std::string SortLines(const std::string& text);
+
+/// Compares two result texts; returns an empty string when they match, or a
+/// human-readable diff summary naming the first mismatch.
+std::string DiffResults(const std::string& expected, const std::string& got,
+                        bool order_sensitive, double eps = 1e-6);
+
+}  // namespace lb2::tpch
+
+#endif  // LB2_TPCH_ANSWERS_H_

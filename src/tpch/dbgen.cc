@@ -1,0 +1,399 @@
+#include "tpch/dbgen.h"
+
+#include <cmath>
+
+#include "tpch/text.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace lb2::tpch {
+
+using schema::Field;
+using schema::FieldKind;
+using schema::Schema;
+
+namespace {
+
+constexpr FieldKind kI = FieldKind::kInt64;
+constexpr FieldKind kF = FieldKind::kDouble;
+constexpr FieldKind kD = FieldKind::kDate;
+constexpr FieldKind kS = FieldKind::kString;
+
+// The pivot date the spec uses to derive return flags / line status.
+constexpr int32_t kCurrentDate = 19950617;
+constexpr int32_t kMinOrderDate = 19920101;
+constexpr int32_t kMaxOrderDate = 19980802;
+
+/// All days in [kMinOrderDate, kMaxOrderDate], for uniform date picks.
+const std::vector<int32_t>& OrderDates() {
+  static const auto* kDays = [] {
+    auto* v = new std::vector<int32_t>();
+    for (int32_t d = kMinOrderDate; d <= kMaxOrderDate;
+         d = DateAddDays(d, 1)) {
+      v->push_back(d);
+    }
+    return v;
+  }();
+  return *kDays;
+}
+
+int32_t RandomOrderDate(Rng& rng) {
+  const auto& days = OrderDates();
+  return days[static_cast<size_t>(
+      rng.Uniform(0, static_cast<int64_t>(days.size()) - 1))];
+}
+
+template <typename T>
+const T& Pick(Rng& rng, const std::vector<T>& v) {
+  return v[static_cast<size_t>(
+      rng.Uniform(0, static_cast<int64_t>(v.size()) - 1))];
+}
+
+double Money(double v) { return std::round(v * 100.0) / 100.0; }
+
+}  // namespace
+
+Schema TableSchema(const std::string& name) {
+  if (name == "region") {
+    return {{"r_regionkey", kI}, {"r_name", kS}, {"r_comment", kS}};
+  }
+  if (name == "nation") {
+    return {{"n_nationkey", kI},
+            {"n_name", kS},
+            {"n_regionkey", kI},
+            {"n_comment", kS}};
+  }
+  if (name == "supplier") {
+    return {{"s_suppkey", kI},   {"s_name", kS},    {"s_address", kS},
+            {"s_nationkey", kI}, {"s_phone", kS},   {"s_acctbal", kF},
+            {"s_comment", kS}};
+  }
+  if (name == "part") {
+    return {{"p_partkey", kI},   {"p_name", kS},  {"p_mfgr", kS},
+            {"p_brand", kS},     {"p_type", kS},  {"p_size", kI},
+            {"p_container", kS}, {"p_retailprice", kF}, {"p_comment", kS}};
+  }
+  if (name == "partsupp") {
+    return {{"ps_partkey", kI},
+            {"ps_suppkey", kI},
+            {"ps_availqty", kI},
+            {"ps_supplycost", kF},
+            {"ps_comment", kS}};
+  }
+  if (name == "customer") {
+    return {{"c_custkey", kI},   {"c_name", kS},  {"c_address", kS},
+            {"c_nationkey", kI}, {"c_phone", kS}, {"c_acctbal", kF},
+            {"c_mktsegment", kS}, {"c_comment", kS}};
+  }
+  if (name == "orders") {
+    return {{"o_orderkey", kI},      {"o_custkey", kI},
+            {"o_orderstatus", kS},   {"o_totalprice", kF},
+            {"o_orderdate", kD},     {"o_orderpriority", kS},
+            {"o_clerk", kS},         {"o_shippriority", kI},
+            {"o_comment", kS}};
+  }
+  if (name == "lineitem") {
+    return {{"l_orderkey", kI},   {"l_partkey", kI},
+            {"l_suppkey", kI},    {"l_linenumber", kI},
+            {"l_quantity", kF},   {"l_extendedprice", kF},
+            {"l_discount", kF},   {"l_tax", kF},
+            {"l_returnflag", kS}, {"l_linestatus", kS},
+            {"l_shipdate", kD},   {"l_commitdate", kD},
+            {"l_receiptdate", kD}, {"l_shipinstruct", kS},
+            {"l_shipmode", kS},   {"l_comment", kS}};
+  }
+  LB2_CHECK_MSG(false, ("unknown TPC-H table " + name).c_str());
+  return {};
+}
+
+const std::vector<std::string>& TableNames() {
+  static const auto* kNames = new std::vector<std::string>{
+      "region",   "nation", "supplier", "part",
+      "partsupp", "customer", "orders", "lineitem"};
+  return *kNames;
+}
+
+namespace {
+
+struct Counts {
+  int64_t suppliers;
+  int64_t parts;
+  int64_t customers;
+  int64_t orders;
+};
+
+Counts ScaleCounts(double sf) {
+  auto scaled = [&](double base, int64_t floor_rows) {
+    return std::max(floor_rows, static_cast<int64_t>(base * sf));
+  };
+  Counts c;
+  c.suppliers = scaled(10000, 10);
+  c.parts = scaled(200000, 40);
+  c.customers = scaled(150000, 30);
+  c.orders = c.customers * 10;
+  return c;
+}
+
+/// The spec's retail price formula.
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + ((partkey / 10) % 20001) + 100.0 * (partkey % 1000)) /
+         100.0;
+}
+
+/// The i-th (0..3) supplier of a part, spec-style, guaranteed distinct:
+/// the stride is adjusted so {0, s, 2s, 3s} are distinct mod S.
+int64_t PartSupplier(int64_t partkey0, int i, int64_t num_suppliers) {
+  int64_t step =
+      (num_suppliers / 4 + partkey0 / num_suppliers) % num_suppliers;
+  if (step < 1) step = 1;
+  for (;; ++step) {
+    bool distinct = true;
+    for (int a = 1; a <= 3; ++a) {
+      if ((a * step) % num_suppliers == 0) distinct = false;
+    }
+    if (distinct) break;
+  }
+  return (partkey0 + i * step) % num_suppliers + 1;
+}
+
+void GenRegion(rt::Database* db, Rng& rng) {
+  rt::Table& t = db->AddTable("region", TableSchema("region"));
+  const auto& regions = Regions();
+  for (size_t i = 0; i < regions.size(); ++i) {
+    t.column("r_regionkey").AppendInt64(static_cast<int64_t>(i));
+    t.column("r_name").AppendString(regions[i]);
+    t.column("r_comment").AppendString(RandomComment(rng, 60));
+    t.RowAppended();
+  }
+  t.Finalize();
+}
+
+void GenNation(rt::Database* db, Rng& rng) {
+  rt::Table& t = db->AddTable("nation", TableSchema("nation"));
+  const auto& nations = Nations();
+  for (size_t i = 0; i < nations.size(); ++i) {
+    t.column("n_nationkey").AppendInt64(static_cast<int64_t>(i));
+    t.column("n_name").AppendString(nations[i].first);
+    t.column("n_regionkey").AppendInt64(nations[i].second);
+    t.column("n_comment").AppendString(RandomComment(rng, 70));
+    t.RowAppended();
+  }
+  t.Finalize();
+}
+
+void GenSupplier(rt::Database* db, Rng& rng, const Counts& c) {
+  rt::Table& t = db->AddTable("supplier", TableSchema("supplier"));
+  for (int64_t k = 1; k <= c.suppliers; ++k) {
+    int nation = static_cast<int>(rng.Uniform(0, 24));
+    t.column("s_suppkey").AppendInt64(k);
+    t.column("s_name").AppendString(StrPrintf("Supplier#%09lld",
+                                              static_cast<long long>(k)));
+    t.column("s_address").AppendString(RandomComment(rng, 15));
+    t.column("s_nationkey").AppendInt64(nation);
+    t.column("s_phone").AppendString(Phone(rng, nation));
+    t.column("s_acctbal").AppendDouble(Money(rng.UniformDouble(-999.99, 9999.99)));
+    // ~1% of suppliers carry the Q16 "Customer ... Complaints" pattern.
+    if (rng.Uniform(0, 99) == 0) {
+      t.column("s_comment").AppendString(
+          CommentWithPattern(rng, 45, "Customer", "Complaints"));
+    } else {
+      t.column("s_comment").AppendString(RandomComment(rng, 60));
+    }
+    t.RowAppended();
+  }
+  t.Finalize();
+}
+
+void GenPart(rt::Database* db, Rng& rng, const Counts& c) {
+  rt::Table& t = db->AddTable("part", TableSchema("part"));
+  for (int64_t k = 1; k <= c.parts; ++k) {
+    int mfgr = static_cast<int>(rng.Uniform(1, 5));
+    int brand = mfgr * 10 + static_cast<int>(rng.Uniform(1, 5));
+    std::string type = Pick(rng, TypeClasses()) + " " +
+                       Pick(rng, TypeAdjectives()) + " " +
+                       Pick(rng, TypeMaterials());
+    std::string container =
+        Pick(rng, ContainerSizes()) + " " + Pick(rng, ContainerKinds());
+    t.column("p_partkey").AppendInt64(k);
+    t.column("p_name").AppendString(PartName(rng));
+    t.column("p_mfgr").AppendString(StrPrintf("Manufacturer#%d", mfgr));
+    t.column("p_brand").AppendString(StrPrintf("Brand#%d", brand));
+    t.column("p_type").AppendString(type);
+    t.column("p_size").AppendInt64(rng.Uniform(1, 50));
+    t.column("p_container").AppendString(container);
+    t.column("p_retailprice").AppendDouble(RetailPrice(k));
+    t.column("p_comment").AppendString(RandomComment(rng, 15));
+    t.RowAppended();
+  }
+  t.Finalize();
+}
+
+void GenPartSupp(rt::Database* db, Rng& rng, const Counts& c) {
+  rt::Table& t = db->AddTable("partsupp", TableSchema("partsupp"));
+  for (int64_t p = 1; p <= c.parts; ++p) {
+    for (int i = 0; i < 4; ++i) {
+      t.column("ps_partkey").AppendInt64(p);
+      t.column("ps_suppkey").AppendInt64(PartSupplier(p - 1, i, c.suppliers));
+      t.column("ps_availqty").AppendInt64(rng.Uniform(1, 9999));
+      t.column("ps_supplycost").AppendDouble(
+          Money(rng.UniformDouble(1.0, 1000.0)));
+      t.column("ps_comment").AppendString(RandomComment(rng, 80));
+      t.RowAppended();
+    }
+  }
+  t.Finalize();
+}
+
+void GenCustomer(rt::Database* db, Rng& rng, const Counts& c) {
+  rt::Table& t = db->AddTable("customer", TableSchema("customer"));
+  for (int64_t k = 1; k <= c.customers; ++k) {
+    int nation = static_cast<int>(rng.Uniform(0, 24));
+    t.column("c_custkey").AppendInt64(k);
+    t.column("c_name").AppendString(StrPrintf("Customer#%09lld",
+                                              static_cast<long long>(k)));
+    t.column("c_address").AppendString(RandomComment(rng, 15));
+    t.column("c_nationkey").AppendInt64(nation);
+    t.column("c_phone").AppendString(Phone(rng, nation));
+    t.column("c_acctbal").AppendDouble(Money(rng.UniformDouble(-999.99, 9999.99)));
+    t.column("c_mktsegment").AppendString(Pick(rng, MarketSegments()));
+    t.column("c_comment").AppendString(RandomComment(rng, 70));
+    t.RowAppended();
+  }
+  t.Finalize();
+}
+
+void GenOrdersAndLineitem(rt::Database* db, Rng& rng, const Counts& c) {
+  rt::Table& o = db->AddTable("orders", TableSchema("orders"));
+  rt::Table& l = db->AddTable("lineitem", TableSchema("lineitem"));
+  int64_t clerks = std::max<int64_t>(c.orders / 1500, 1);
+  for (int64_t k = 1; k <= c.orders; ++k) {
+    // A third of customers (custkey % 3 == 0) never place orders — Q13's
+    // zero-order spike and Q22's anti-join depend on this.
+    int64_t cust;
+    do {
+      cust = rng.Uniform(1, c.customers);
+    } while (cust % 3 == 0);
+    int32_t odate = RandomOrderDate(rng);
+    int n_lines = static_cast<int>(rng.Uniform(1, 7));
+    double total = 0.0;
+    int f_lines = 0;
+    for (int ln = 1; ln <= n_lines; ++ln) {
+      int64_t part = rng.Uniform(1, c.parts);
+      int64_t supp =
+          PartSupplier(part - 1, static_cast<int>(rng.Uniform(0, 3)),
+                       c.suppliers);
+      double qty = static_cast<double>(rng.Uniform(1, 50));
+      double price = Money(qty * RetailPrice(part));
+      double disc = rng.Uniform(0, 10) / 100.0;
+      double tax = rng.Uniform(0, 8) / 100.0;
+      int32_t ship = DateAddDays(odate, static_cast<int>(rng.Uniform(1, 121)));
+      int32_t commit =
+          DateAddDays(odate, static_cast<int>(rng.Uniform(30, 90)));
+      int32_t receipt =
+          DateAddDays(ship, static_cast<int>(rng.Uniform(1, 30)));
+      const char* rflag = receipt <= kCurrentDate
+                              ? (rng.Uniform(0, 1) == 0 ? "R" : "A")
+                              : "N";
+      const char* status = ship > kCurrentDate ? "O" : "F";
+      if (status[0] == 'F') ++f_lines;
+      l.column("l_orderkey").AppendInt64(k);
+      l.column("l_partkey").AppendInt64(part);
+      l.column("l_suppkey").AppendInt64(supp);
+      l.column("l_linenumber").AppendInt64(ln);
+      l.column("l_quantity").AppendDouble(qty);
+      l.column("l_extendedprice").AppendDouble(price);
+      l.column("l_discount").AppendDouble(disc);
+      l.column("l_tax").AppendDouble(tax);
+      l.column("l_returnflag").AppendString(rflag);
+      l.column("l_linestatus").AppendString(status);
+      l.column("l_shipdate").AppendDate(ship);
+      l.column("l_commitdate").AppendDate(commit);
+      l.column("l_receiptdate").AppendDate(receipt);
+      l.column("l_shipinstruct").AppendString(Pick(rng, ShipInstructs()));
+      l.column("l_shipmode").AppendString(Pick(rng, ShipModes()));
+      l.column("l_comment").AppendString(RandomComment(rng, 25));
+      l.RowAppended();
+      total += price * (1.0 + tax) * (1.0 - disc);
+    }
+    const char* ostatus =
+        f_lines == n_lines ? "F" : (f_lines == 0 ? "O" : "P");
+    o.column("o_orderkey").AppendInt64(k);
+    o.column("o_custkey").AppendInt64(cust);
+    o.column("o_orderstatus").AppendString(ostatus);
+    o.column("o_totalprice").AppendDouble(Money(total));
+    o.column("o_orderdate").AppendDate(odate);
+    o.column("o_orderpriority").AppendString(Pick(rng, OrderPriorities()));
+    o.column("o_clerk").AppendString(StrPrintf(
+        "Clerk#%09lld", static_cast<long long>(rng.Uniform(1, clerks))));
+    o.column("o_shippriority").AppendInt64(0);
+    // ~1% of order comments match LIKE '%special%requests%' by
+    // construction (plus whatever the lexicon produces by chance).
+    if (rng.Uniform(0, 99) == 0) {
+      o.column("o_comment").AppendString(
+          CommentWithPattern(rng, 40, "special", "requests"));
+    } else {
+      o.column("o_comment").AppendString(RandomComment(rng, 50));
+    }
+    o.RowAppended();
+  }
+  o.Finalize();
+  l.Finalize();
+}
+
+}  // namespace
+
+double Generate(double scale_factor, uint64_t seed, rt::Database* db) {
+  Stopwatch timer;
+  Counts c = ScaleCounts(scale_factor);
+  Rng rng(seed);
+  GenRegion(db, rng);
+  GenNation(db, rng);
+  GenSupplier(db, rng, c);
+  GenPart(db, rng, c);
+  GenPartSupp(db, rng, c);
+  GenCustomer(db, rng, c);
+  GenOrdersAndLineitem(db, rng, c);
+  return timer.ElapsedMs();
+}
+
+double BuildAuxStructures(const LoadOptions& opts, rt::Database* db) {
+  Stopwatch timer;
+  if (opts.pk_fk_indexes) {
+    db->BuildPkIndex("region", "r_regionkey");
+    db->BuildPkIndex("nation", "n_nationkey");
+    db->BuildPkIndex("supplier", "s_suppkey");
+    db->BuildPkIndex("part", "p_partkey");
+    db->BuildPkIndex("customer", "c_custkey");
+    db->BuildPkIndex("orders", "o_orderkey");
+    db->BuildFkIndex("lineitem", "l_orderkey");
+    db->BuildFkIndex("lineitem", "l_partkey");
+    db->BuildFkIndex("orders", "o_custkey");
+    db->BuildFkIndex("partsupp", "ps_partkey");
+    db->BuildFkIndex("partsupp", "ps_suppkey");
+    db->BuildFkIndex("supplier", "s_nationkey");
+    db->BuildFkIndex("customer", "c_nationkey");
+  }
+  if (opts.date_indexes) {
+    db->BuildDateIndex("lineitem", "l_shipdate");
+    db->BuildDateIndex("lineitem", "l_receiptdate");
+    db->BuildDateIndex("orders", "o_orderdate");
+  }
+  if (opts.string_dicts) {
+    db->BuildDictionary("part", "p_brand");
+    db->BuildDictionary("part", "p_type");
+    db->BuildDictionary("part", "p_container");
+    db->BuildDictionary("lineitem", "l_returnflag");
+    db->BuildDictionary("lineitem", "l_linestatus");
+    db->BuildDictionary("lineitem", "l_shipmode");
+    db->BuildDictionary("lineitem", "l_shipinstruct");
+    db->BuildDictionary("orders", "o_orderpriority");
+    db->BuildDictionary("customer", "c_mktsegment");
+    db->BuildDictionary("nation", "n_name");
+    db->BuildDictionary("region", "r_name");
+  }
+  return timer.ElapsedMs();
+}
+
+}  // namespace lb2::tpch

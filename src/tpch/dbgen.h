@@ -1,0 +1,44 @@
+// In-memory TPC-H data generator (the dbgen substitute).
+//
+// Generates all eight tables with the spec's schemas, key relationships and
+// value distributions (uniform quantities/discounts, spec date ranges,
+// partsupp's four suppliers per part, line items priced off the part's
+// retail price, return flags derived from receipt dates, ...). Determinism:
+// the same (scale factor, seed) always produces the same database.
+//
+// Scale: SF 1.0 corresponds to the spec's 10k suppliers / 200k parts /
+// 150k customers / 1.5M orders / ~6M line items. Fractional scale factors
+// shrink proportionally with small floors so unit tests can run at
+// SF 0.001.
+#ifndef LB2_TPCH_DBGEN_H_
+#define LB2_TPCH_DBGEN_H_
+
+#include "runtime/database.h"
+
+namespace lb2::tpch {
+
+/// Schema of one TPC-H table ("lineitem", "orders", ...). Aborts on an
+/// unknown name.
+schema::Schema TableSchema(const std::string& name);
+
+/// All eight table names in generation (FK-dependency) order.
+const std::vector<std::string>& TableNames();
+
+/// Generates the full database into `db` (which must not already contain
+/// the tables). Returns generation time in milliseconds.
+double Generate(double scale_factor, uint64_t seed, rt::Database* db);
+
+/// The optimization levels of the paper's §5.2 experiment (Figure 9/10).
+struct LoadOptions {
+  bool pk_fk_indexes = false;   // *-idx
+  bool date_indexes = false;    // *-idx-date
+  bool string_dicts = false;    // *-idx-date-str
+};
+
+/// Builds the auxiliary structures for an optimization level; returns the
+/// build time in milliseconds (the Figure 10 loading overhead).
+double BuildAuxStructures(const LoadOptions& opts, rt::Database* db);
+
+}  // namespace lb2::tpch
+
+#endif  // LB2_TPCH_DBGEN_H_

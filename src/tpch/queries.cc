@@ -1,0 +1,534 @@
+#include "tpch/queries.h"
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::tpch {
+
+using namespace lb2::plan;  // NOLINT: the whole file is plan construction
+
+namespace {
+
+// Date-range helpers: encode the [lo, hi] yyyymmdd window both in the scan
+// (for the optional date index) and as an explicit residual predicate.
+constexpr int64_t kMinDate = 19920101;
+constexpr int64_t kMaxDate = 19990101;
+
+PlanRef DScan(const QueryOptions& o, const std::string& table,
+              const std::string& col, int64_t lo, int64_t hi) {
+  if (o.use_date_index) return ScanDateIdx(table, col, lo, hi);
+  return Scan(table);
+}
+
+JoinImpl Pk(const QueryOptions& o) {
+  return o.use_indexes ? JoinImpl::kPkIndex : JoinImpl::kHash;
+}
+JoinImpl Fk(const QueryOptions& o) {
+  return o.use_indexes ? JoinImpl::kFkIndex : JoinImpl::kHash;
+}
+
+/// revenue = l_extendedprice * (1 - l_discount)
+ExprRef Revenue() {
+  return Mul(Col("l_extendedprice"), Sub(D(1.0), Col("l_discount")));
+}
+
+Query Q1(const QueryOptions& o) {
+  int64_t cutoff = 19980902;  // date '1998-12-01' - interval '90' day
+  // No date-index scan here: the range keeps ~98% of lineitem, so walking
+  // the month-bucket permutation only destroys locality (the paper's
+  // partitioned layout replicates data physically, which ours does not).
+  auto filtered = Filter(Scan("lineitem"),
+                         Le(Col("l_shipdate"), DtRaw(cutoff)));
+  auto g = GroupBy(
+      filtered, {"l_returnflag", "l_linestatus"},
+      {Col("l_returnflag"), Col("l_linestatus")},
+      {Sum(Col("l_quantity"), "sum_qty"),
+       Sum(Col("l_extendedprice"), "sum_base_price"),
+       Sum(Revenue(), "sum_disc_price"),
+       Sum(Mul(Revenue(), Add(D(1.0), Col("l_tax"))), "sum_charge"),
+       Sum(Col("l_discount"), "sum_disc"), CountStar("count_order")},
+      /*capacity_hint=*/16);
+  auto p = Project(
+      g,
+      {"l_returnflag", "l_linestatus", "sum_qty", "sum_base_price",
+       "sum_disc_price", "sum_charge", "avg_qty", "avg_price", "avg_disc",
+       "count_order"},
+      {Col("l_returnflag"), Col("l_linestatus"), Col("sum_qty"),
+       Col("sum_base_price"), Col("sum_disc_price"), Col("sum_charge"),
+       Div(Col("sum_qty"), Col("count_order")),
+       Div(Col("sum_base_price"), Col("count_order")),
+       Div(Col("sum_disc"), Col("count_order")), Col("count_order")});
+  return {{}, OrderBy(p, {{"l_returnflag", true}, {"l_linestatus", true}})};
+}
+
+/// Europe suppliers joined through region/nation, plus their partsupp rows.
+PlanRef Q2EuropePartsupp() {
+  auto r = Filter(Scan("region"), Eq(Col("r_name"), S("EUROPE")));
+  auto n = Join(r, Scan("nation"), {"r_regionkey"}, {"n_regionkey"});
+  auto s = Join(n, Scan("supplier"), {"n_nationkey"}, {"s_nationkey"});
+  return Join(s, Scan("partsupp"), {"s_suppkey"}, {"ps_suppkey"});
+}
+
+Query Q2(const QueryOptions& o) {
+  auto min_cost =
+      GroupBy(Q2EuropePartsupp(), {"mc_partkey"}, {Col("ps_partkey")},
+              {Min(Col("ps_supplycost"), "min_cost")});
+  auto parts = Filter(Scan("part"),
+                      And(Eq(Col("p_size"), I(15)),
+                          EndsWith(Col("p_type"), "BRASS")));
+  // parts with their European minimum cost...
+  auto j1 = Join(parts, min_cost, {"p_partkey"}, {"mc_partkey"}, nullptr,
+                 Pk(o));
+  // ...matched back to the supplier(s) achieving it.
+  auto j2 = Join(j1, Q2EuropePartsupp(), {"p_partkey", "min_cost"},
+                 {"ps_partkey", "ps_supplycost"});
+  auto out = KeepCols(j2, {"s_acctbal", "s_name", "n_name", "p_partkey",
+                           "p_mfgr", "s_address", "s_phone", "s_comment"});
+  return {{}, Limit(OrderBy(out, {{"s_acctbal", false},
+                                  {"n_name", true},
+                                  {"s_name", true},
+                                  {"p_partkey", true}}),
+                    100)};
+}
+
+Query Q3(const QueryOptions& o) {
+  int64_t date = 19950315;
+  auto c = Filter(Scan("customer"), Eq(Col("c_mktsegment"), S("BUILDING")));
+  auto orders = Filter(DScan(o, "orders", "o_orderdate", kMinDate, date - 1),
+                       Lt(Col("o_orderdate"), DtRaw(date)));
+  auto j1 = Join(c, orders, {"c_custkey"}, {"o_custkey"}, nullptr, Pk(o));
+  auto l = Filter(DScan(o, "lineitem", "l_shipdate", date + 1, kMaxDate),
+                  Gt(Col("l_shipdate"), DtRaw(date)));
+  PlanRef j2;
+  if (o.use_indexes) {
+    // Index the lineitem side through the FK index on l_orderkey.
+    j2 = Join(Filter(Scan("lineitem"), Gt(Col("l_shipdate"), DtRaw(date))),
+              j1, {"l_orderkey"}, {"o_orderkey"}, nullptr, JoinImpl::kFkIndex);
+  } else {
+    j2 = Join(j1, l, {"o_orderkey"}, {"l_orderkey"});
+  }
+  auto g = GroupBy(j2, {"l_orderkey", "o_orderdate", "o_shippriority"},
+                   {Col("l_orderkey"), Col("o_orderdate"),
+                    Col("o_shippriority")},
+                   {Sum(Revenue(), "revenue")}, 0, "orders");
+  auto p = KeepCols(g, {"l_orderkey", "revenue", "o_orderdate",
+                        "o_shippriority"});
+  return {{}, Limit(OrderBy(p, {{"revenue", false},
+                                {"o_orderdate", true},
+                                {"l_orderkey", true}}),
+                    10)};
+}
+
+Query Q4(const QueryOptions& o) {
+  int64_t lo = 19930701, hi = 19930930;
+  auto orders = Filter(DScan(o, "orders", "o_orderdate", lo, hi),
+                       Between(Col("o_orderdate"), DtRaw(lo), DtRaw(hi)));
+  auto l = Filter(Scan("lineitem"),
+                  Lt(Col("l_commitdate"), Col("l_receiptdate")));
+  auto semi = SemiJoin(orders, l, {"o_orderkey"}, {"l_orderkey"}, nullptr,
+                       Fk(o));
+  auto g = GroupBy(semi, {"o_orderpriority"}, {Col("o_orderpriority")},
+                   {CountStar("order_count")}, /*capacity_hint=*/8);
+  return {{}, OrderBy(g, {{"o_orderpriority", true}})};
+}
+
+Query Q5(const QueryOptions& o) {
+  int64_t lo = 19940101, hi = 19941231;
+  auto r = Filter(Scan("region"), Eq(Col("r_name"), S("ASIA")));
+  auto n = Join(r, Scan("nation"), {"r_regionkey"}, {"n_regionkey"});
+  auto s = Join(n, Scan("supplier"), {"n_nationkey"}, {"s_nationkey"});
+  auto jsl = Join(s, Scan("lineitem"), {"s_suppkey"}, {"l_suppkey"});
+  auto orders = Filter(DScan(o, "orders", "o_orderdate", lo, hi),
+                       Between(Col("o_orderdate"), DtRaw(lo), DtRaw(hi)));
+  auto j2 = Join(orders, jsl, {"o_orderkey"}, {"l_orderkey"}, nullptr,
+                 Pk(o));
+  auto j3 = Join(Scan("customer"), j2, {"c_custkey", "c_nationkey"},
+                 {"o_custkey", "n_nationkey"});
+  auto g = GroupBy(j3, {"n_name"}, {Col("n_name")},
+                   {Sum(Revenue(), "revenue")}, /*capacity_hint=*/32);
+  return {{}, OrderBy(g, {{"revenue", false}})};
+}
+
+Query Q6(const QueryOptions& o) {
+  int64_t lo = 19940101, hi = 19941231;
+  auto l = Filter(
+      DScan(o, "lineitem", "l_shipdate", lo, hi),
+      And({Between(Col("l_shipdate"), DtRaw(lo), DtRaw(hi)),
+           Between(Col("l_discount"), D(0.0499), D(0.0701)),
+           Lt(Col("l_quantity"), D(24.0))}));
+  return {{}, ScalarAggPlan(
+                  l, {Sum(Mul(Col("l_extendedprice"), Col("l_discount")),
+                          "revenue")})};
+}
+
+Query Q7(const QueryOptions& o) {
+  int64_t lo = 19950101, hi = 19961231;
+  auto n1 = KeepCols(Filter(Scan("nation"),
+                            InStr(Col("n_name"), {"FRANCE", "GERMANY"})),
+                     {"supp_nation=n_name", "n1key=n_nationkey"});
+  auto s = Join(n1, Scan("supplier"), {"n1key"}, {"s_nationkey"});
+  auto l = Filter(DScan(o, "lineitem", "l_shipdate", lo, hi),
+                  Between(Col("l_shipdate"), DtRaw(lo), DtRaw(hi)));
+  auto j1 = Join(s, l, {"s_suppkey"}, {"l_suppkey"});
+  auto n2 = KeepCols(Filter(Scan("nation"),
+                            InStr(Col("n_name"), {"FRANCE", "GERMANY"})),
+                     {"cust_nation=n_name", "n2key=n_nationkey"});
+  auto c = Join(n2, Scan("customer"), {"n2key"}, {"c_nationkey"});
+  auto oc = Join(c, Scan("orders"), {"c_custkey"}, {"o_custkey"});
+  auto pairs =
+      Or(And(Eq(Col("supp_nation"), S("FRANCE")),
+             Eq(Col("cust_nation"), S("GERMANY"))),
+         And(Eq(Col("supp_nation"), S("GERMANY")),
+             Eq(Col("cust_nation"), S("FRANCE"))));
+  auto j2 = Join(oc, j1, {"o_orderkey"}, {"l_orderkey"}, pairs);
+  auto g = GroupBy(j2, {"supp_nation", "cust_nation", "l_year"},
+                   {Col("supp_nation"), Col("cust_nation"),
+                    Year(Col("l_shipdate"))},
+                   {Sum(Revenue(), "revenue")}, /*capacity_hint=*/64);
+  return {{}, OrderBy(g, {{"supp_nation", true},
+                          {"cust_nation", true},
+                          {"l_year", true}})};
+}
+
+Query Q8(const QueryOptions& o) {
+  int64_t lo = 19950101, hi = 19961231;
+  auto p = Filter(Scan("part"),
+                  Eq(Col("p_type"), S("ECONOMY ANODIZED STEEL")));
+  auto jp = Join(p, Scan("lineitem"), {"p_partkey"}, {"l_partkey"}, nullptr,
+                 Pk(o));
+  auto n2 = KeepCols(Scan("nation"), {"n2_name=n_name", "n2key=n_nationkey"});
+  auto s = Join(n2, Scan("supplier"), {"n2key"}, {"s_nationkey"});
+  auto j2 = Join(s, jp, {"s_suppkey"}, {"l_suppkey"});
+  auto r = Filter(Scan("region"), Eq(Col("r_name"), S("AMERICA")));
+  auto n1 = Join(r, Scan("nation"), {"r_regionkey"}, {"n_regionkey"});
+  auto c = Join(n1, Scan("customer"), {"n_nationkey"}, {"c_nationkey"});
+  auto orders = Filter(DScan(o, "orders", "o_orderdate", lo, hi),
+                       Between(Col("o_orderdate"), DtRaw(lo), DtRaw(hi)));
+  auto oc = Join(c, orders, {"c_custkey"}, {"o_custkey"});
+  auto j3 = Join(oc, j2, {"o_orderkey"}, {"l_orderkey"});
+  auto g = GroupBy(
+      j3, {"o_year"}, {Year(Col("o_orderdate"))},
+      {Sum(Case(Eq(Col("n2_name"), S("BRAZIL")), Revenue(), D(0.0)),
+           "brazil_rev"),
+       Sum(Revenue(), "total_rev")},
+      /*capacity_hint=*/8);
+  auto out = Project(g, {"o_year", "mkt_share"},
+                     {Col("o_year"), Div(Col("brazil_rev"),
+                                         Col("total_rev"))});
+  return {{}, OrderBy(out, {{"o_year", true}})};
+}
+
+Query Q9(const QueryOptions& o) {
+  auto p = Filter(Scan("part"), Contains(Col("p_name"), "green"));
+  auto jp = Join(p, Scan("lineitem"), {"p_partkey"}, {"l_partkey"}, nullptr,
+                 Pk(o));
+  auto jps = Join(Scan("partsupp"), jp, {"ps_partkey", "ps_suppkey"},
+                  {"l_partkey", "l_suppkey"});
+  auto s = Join(Scan("nation"), Scan("supplier"), {"n_nationkey"},
+                {"s_nationkey"});
+  auto js = Join(s, jps, {"s_suppkey"}, {"l_suppkey"});
+  auto jo = Join(Scan("orders"), js, {"o_orderkey"}, {"l_orderkey"}, nullptr,
+                 Pk(o));
+  auto amount = Sub(Revenue(), Mul(Col("ps_supplycost"), Col("l_quantity")));
+  auto g = GroupBy(jo, {"nation", "o_year"},
+                   {Col("n_name"), Year(Col("o_orderdate"))},
+                   {Sum(amount, "sum_profit")}, /*capacity_hint=*/256);
+  return {{}, OrderBy(g, {{"nation", true}, {"o_year", false}})};
+}
+
+Query Q10(const QueryOptions& o) {
+  int64_t lo = 19931001, hi = 19931231;
+  auto jn = Join(Scan("nation"), Scan("customer"), {"n_nationkey"},
+                 {"c_nationkey"});
+  auto orders = Filter(DScan(o, "orders", "o_orderdate", lo, hi),
+                       Between(Col("o_orderdate"), DtRaw(lo), DtRaw(hi)));
+  auto l = Filter(Scan("lineitem"), Eq(Col("l_returnflag"), S("R")));
+  auto jo = Join(orders, l, {"o_orderkey"}, {"l_orderkey"}, nullptr, Pk(o));
+  auto j = Join(jn, jo, {"c_custkey"}, {"o_custkey"});
+  auto g = GroupBy(j,
+                   {"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+                    "c_address", "c_comment"},
+                   {Col("c_custkey"), Col("c_name"), Col("c_acctbal"),
+                    Col("c_phone"), Col("n_name"), Col("c_address"),
+                    Col("c_comment")},
+                   {Sum(Revenue(), "revenue")}, 0, "customer");
+  auto out = KeepCols(g, {"c_custkey", "c_name", "revenue", "c_acctbal",
+                          "n_name", "c_address", "c_phone", "c_comment"});
+  return {{}, Limit(OrderBy(out, {{"revenue", false}, {"c_custkey", true}}),
+                    20)};
+}
+
+PlanRef Q11Germany() {
+  auto n = Filter(Scan("nation"), Eq(Col("n_name"), S("GERMANY")));
+  auto s = Join(n, Scan("supplier"), {"n_nationkey"}, {"s_nationkey"});
+  return Join(s, Scan("partsupp"), {"s_suppkey"}, {"ps_suppkey"});
+}
+
+Query Q11(const QueryOptions& o) {
+  auto value = Mul(Col("ps_supplycost"), Col("ps_availqty"));
+  double fraction = 0.0001 / std::max(o.scale_factor, 1e-4);
+  auto threshold =
+      Project(ScalarAggPlan(Q11Germany(), {Sum(value, "total")}),
+              {"threshold"}, {Mul(Col("total"), D(fraction))});
+  auto g = GroupBy(Q11Germany(), {"ps_partkey"}, {Col("ps_partkey")},
+                   {Sum(value, "value")}, 0, "part");
+  auto filtered = Filter(g, Gt(Col("value"), ScalarRef(0)));
+  return {{threshold}, OrderBy(filtered, {{"value", false},
+                                          {"ps_partkey", true}})};
+}
+
+Query Q12(const QueryOptions& o) {
+  int64_t lo = 19940101, hi = 19941231;
+  auto l = Filter(
+      DScan(o, "lineitem", "l_receiptdate", lo, hi),
+      And({InStr(Col("l_shipmode"), {"MAIL", "SHIP"}),
+           Lt(Col("l_commitdate"), Col("l_receiptdate")),
+           Lt(Col("l_shipdate"), Col("l_commitdate")),
+           Between(Col("l_receiptdate"), DtRaw(lo), DtRaw(hi))}));
+  auto j = Join(l, Scan("orders"), {"l_orderkey"}, {"o_orderkey"}, nullptr,
+                Fk(o));
+  auto high = InStr(Col("o_orderpriority"), {"1-URGENT", "2-HIGH"});
+  auto g = GroupBy(j, {"l_shipmode"}, {Col("l_shipmode")},
+                   {Sum(Case(high, I(1), I(0)), "high_line_count"),
+                    Sum(Case(high, I(0), I(1)), "low_line_count")},
+                   /*capacity_hint=*/8);
+  return {{}, OrderBy(g, {{"l_shipmode", true}})};
+}
+
+Query Q13(const QueryOptions& o) {
+  auto orders = Filter(Scan("orders"),
+                       NotLike(Col("o_comment"), "%special%requests%"));
+  auto counted = LeftCountJoin(Scan("customer"),
+                               KeepCols(orders, {"o_custkey"}),
+                               {"c_custkey"}, {"o_custkey"}, "c_count");
+  auto g = GroupBy(counted, {"c_count"}, {Col("c_count")},
+                   {CountStar("custdist")}, /*capacity_hint=*/256);
+  return {{}, OrderBy(g, {{"custdist", false}, {"c_count", false}})};
+}
+
+Query Q14(const QueryOptions& o) {
+  int64_t lo = 19950901, hi = 19950930;
+  auto l = Filter(DScan(o, "lineitem", "l_shipdate", lo, hi),
+                  Between(Col("l_shipdate"), DtRaw(lo), DtRaw(hi)));
+  auto j = Join(Scan("part"), l, {"p_partkey"}, {"l_partkey"}, nullptr,
+                Pk(o));
+  auto promo = StartsWith(Col("p_type"), "PROMO");
+  auto agg = ScalarAggPlan(
+      j, {Sum(Case(promo, Revenue(), D(0.0)), "promo"),
+          Sum(Revenue(), "total")});
+  auto out = Project(agg, {"promo_revenue"},
+                     {Div(Mul(D(100.0), Col("promo")), Col("total"))});
+  return {{}, out};
+}
+
+PlanRef Q15Revenue(const QueryOptions& o) {
+  int64_t lo = 19960101, hi = 19960331;
+  auto l = Filter(DScan(o, "lineitem", "l_shipdate", lo, hi),
+                  Between(Col("l_shipdate"), DtRaw(lo), DtRaw(hi)));
+  return GroupBy(l, {"supplier_no"}, {Col("l_suppkey")},
+                 {Sum(Revenue(), "total_revenue")}, 0, "supplier");
+}
+
+Query Q15(const QueryOptions& o) {
+  auto max_rev =
+      ScalarAggPlan(Q15Revenue(o), {Max(Col("total_revenue"), "m")});
+  auto top = Filter(Q15Revenue(o),
+                    Ge(Col("total_revenue"), ScalarRef(0)));
+  auto j = Join(Scan("supplier"), top, {"s_suppkey"}, {"supplier_no"},
+                nullptr, Pk(o));
+  auto out = KeepCols(j, {"s_suppkey", "s_name", "s_address", "s_phone",
+                          "total_revenue"});
+  return {{max_rev}, OrderBy(out, {{"s_suppkey", true}})};
+}
+
+Query Q16(const QueryOptions& o) {
+  auto excl = Filter(Scan("supplier"),
+                     Like(Col("s_comment"), "%Customer%Complaints%"));
+  auto ps = AntiJoin(Scan("partsupp"), excl, {"ps_suppkey"}, {"s_suppkey"},
+                     nullptr, Pk(o));
+  auto p = Filter(Scan("part"),
+                  And({Ne(Col("p_brand"), S("Brand#45")),
+                       Not(StartsWith(Col("p_type"), "MEDIUM POLISHED")),
+                       InInt(Col("p_size"), {49, 14, 23, 45, 19, 3, 36, 9})}));
+  auto j = Join(p, ps, {"p_partkey"}, {"ps_partkey"});
+  auto distinct = GroupBy(j, {"p_brand", "p_type", "p_size", "ps_suppkey"},
+                          {Col("p_brand"), Col("p_type"), Col("p_size"),
+                           Col("ps_suppkey")},
+                          {CountStar("dummy")}, 0, "partsupp");
+  auto g = GroupBy(distinct, {"p_brand", "p_type", "p_size"},
+                   {Col("p_brand"), Col("p_type"), Col("p_size")},
+                   {CountStar("supplier_cnt")});
+  return {{}, OrderBy(g, {{"supplier_cnt", false},
+                          {"p_brand", true},
+                          {"p_type", true},
+                          {"p_size", true}})};
+}
+
+Query Q17(const QueryOptions& o) {
+  auto p = Filter(Scan("part"), And(Eq(Col("p_brand"), S("Brand#23")),
+                                    Eq(Col("p_container"), S("MED BOX"))));
+  auto base = Join(p, Scan("lineitem"), {"p_partkey"}, {"l_partkey"},
+                   nullptr, Pk(o));
+  auto avg = Project(
+      GroupBy(base, {"a_partkey"}, {Col("p_partkey")},
+              {Sum(Col("l_quantity"), "sq"), CountStar("cnt")}, 0, "part"),
+      {"a_partkey", "qty_limit"},
+      {Col("a_partkey"), Mul(D(0.2), Div(Col("sq"), Col("cnt")))});
+  auto j = Join(avg, base, {"a_partkey"}, {"p_partkey"},
+                Lt(Col("l_quantity"), Col("qty_limit")));
+  auto agg =
+      ScalarAggPlan(j, {Sum(Col("l_extendedprice"), "total")});
+  auto out = Project(agg, {"avg_yearly"}, {Div(Col("total"), D(7.0))});
+  return {{}, out};
+}
+
+Query Q18(const QueryOptions& o) {
+  auto big = Filter(
+      Project(GroupBy(Scan("lineitem"), {"g_orderkey"}, {Col("l_orderkey")},
+                      {Sum(Col("l_quantity"), "sum_qty")}, 0, "orders"),
+              {"g_orderkey", "sum_qty"},
+              {Col("g_orderkey"), Col("sum_qty")}),
+      Gt(Col("sum_qty"), D(300.0)));
+  auto orders = SemiJoin(Scan("orders"), big, {"o_orderkey"},
+                         {"g_orderkey"});
+  auto jc = Join(Scan("customer"), orders, {"c_custkey"}, {"o_custkey"},
+                 nullptr, Pk(o));
+  auto jl = Join(jc, Scan("lineitem"), {"o_orderkey"}, {"l_orderkey"});
+  auto g = GroupBy(jl,
+                   {"c_name", "c_custkey", "o_orderkey", "o_orderdate",
+                    "o_totalprice"},
+                   {Col("c_name"), Col("c_custkey"), Col("o_orderkey"),
+                    Col("o_orderdate"), Col("o_totalprice")},
+                   {Sum(Col("l_quantity"), "sum_qty")}, 0, "orders");
+  return {{}, Limit(OrderBy(g, {{"o_totalprice", false},
+                                {"o_orderdate", true},
+                                {"o_orderkey", true}}),
+                    100)};
+}
+
+Query Q19(const QueryOptions& o) {
+  auto l = Filter(Scan("lineitem"),
+                  And(InStr(Col("l_shipmode"), {"AIR", "REG AIR"}),
+                      Eq(Col("l_shipinstruct"), S("DELIVER IN PERSON"))));
+  auto j = Join(Scan("part"), l, {"p_partkey"}, {"l_partkey"}, nullptr,
+                Pk(o));
+  auto branch = [&](const std::string& brand, std::vector<std::string> cont,
+                    double qlo, double qhi, int64_t shi) {
+    return And({Eq(Col("p_brand"), S(brand)),
+                InStr(Col("p_container"), std::move(cont)),
+                Ge(Col("l_quantity"), D(qlo)), Le(Col("l_quantity"), D(qhi)),
+                Between(Col("p_size"), I(1), I(shi))});
+  };
+  auto pred = Or({branch("Brand#12", {"SM CASE", "SM BOX", "SM PACK",
+                                      "SM PKG"}, 1, 11, 5),
+                  branch("Brand#23", {"MED BAG", "MED BOX", "MED PKG",
+                                      "MED PACK"}, 10, 20, 10),
+                  branch("Brand#34", {"LG CASE", "LG BOX", "LG PACK",
+                                      "LG PKG"}, 20, 30, 15)});
+  return {{}, ScalarAggPlan(Filter(j, pred), {Sum(Revenue(), "revenue")})};
+}
+
+Query Q20(const QueryOptions& o) {
+  int64_t lo = 19940101, hi = 19941231;
+  auto p = Filter(Scan("part"), StartsWith(Col("p_name"), "forest"));
+  auto l = Filter(DScan(o, "lineitem", "l_shipdate", lo, hi),
+                  Between(Col("l_shipdate"), DtRaw(lo), DtRaw(hi)));
+  auto sums = Project(
+      GroupBy(l, {"s_partkey", "s_suppkey"},
+              {Col("l_partkey"), Col("l_suppkey")},
+              {Sum(Col("l_quantity"), "sq")}, 0, "partsupp"),
+      {"s_partkey", "s_suppkey", "half_qty"},
+      {Col("s_partkey"), Col("s_suppkey"), Mul(D(0.5), Col("sq"))});
+  auto ps = SemiJoin(Scan("partsupp"), p, {"ps_partkey"}, {"p_partkey"},
+                     nullptr, Pk(o));
+  auto j = Join(sums, ps, {"s_partkey", "s_suppkey"},
+                {"ps_partkey", "ps_suppkey"},
+                Gt(Col("ps_availqty"), Col("half_qty")));
+  auto n = Filter(Scan("nation"), Eq(Col("n_name"), S("CANADA")));
+  auto s = Join(n, Scan("supplier"), {"n_nationkey"}, {"s_nationkey"});
+  auto out = SemiJoin(s, j, {"s_suppkey"}, {"ps_suppkey"});
+  return {{}, OrderBy(KeepCols(out, {"s_name", "s_address"}),
+                      {{"s_name", true}})};
+}
+
+Query Q21(const QueryOptions& o) {
+  auto n = Filter(Scan("nation"), Eq(Col("n_name"), S("SAUDI ARABIA")));
+  auto s = Join(n, Scan("supplier"), {"n_nationkey"}, {"s_nationkey"});
+  auto l1 = Filter(Scan("lineitem"),
+                   Gt(Col("l_receiptdate"), Col("l_commitdate")));
+  auto j1 = Join(s, l1, {"s_suppkey"}, {"l_suppkey"});
+  auto orders = Filter(Scan("orders"), Eq(Col("o_orderstatus"), S("F")));
+  auto jo = Join(orders, j1, {"o_orderkey"}, {"l_orderkey"}, nullptr, Pk(o));
+  auto l2 = KeepCols(Scan("lineitem"),
+                     {"l2_orderkey=l_orderkey", "l2_suppkey=l_suppkey"});
+  // The correlated exists/not-exists need the inner lineitem columns
+  // renamed (self-join), so the index variant keeps hash semi/anti joins
+  // here; the renamed projection is not an indexable base chain.
+  auto semi = SemiJoin(jo, l2, {"l_orderkey"}, {"l2_orderkey"},
+                       Ne(Col("l2_suppkey"), Col("l_suppkey")));
+  auto l3 = KeepCols(Filter(Scan("lineitem"),
+                            Gt(Col("l_receiptdate"), Col("l_commitdate"))),
+                     {"l3_orderkey=l_orderkey", "l3_suppkey=l_suppkey"});
+  auto anti = AntiJoin(semi, l3, {"l_orderkey"}, {"l3_orderkey"},
+                       Ne(Col("l3_suppkey"), Col("l_suppkey")));
+  auto g = GroupBy(anti, {"s_name"}, {Col("s_name")},
+                   {CountStar("numwait")}, 0, "supplier");
+  return {{}, Limit(OrderBy(g, {{"numwait", false}, {"s_name", true}}),
+                    100)};
+}
+
+Query Q22(const QueryOptions& o) {
+  std::vector<std::string> codes = {"13", "31", "23", "29", "30", "18", "17"};
+  auto cust = Project(
+      Filter(Scan("customer"),
+             InStr(Substring(Col("c_phone"), 0, 2), codes)),
+      {"cntrycode", "c_acctbal2", "c_custkey2"},
+      {Substring(Col("c_phone"), 0, 2), Col("c_acctbal"), Col("c_custkey")});
+  auto avg_bal = Project(
+      ScalarAggPlan(Filter(cust, Gt(Col("c_acctbal2"), D(0.0))),
+                    {Sum(Col("c_acctbal2"), "s"), CountStar("n")}),
+      {"avg_bal"}, {Div(Col("s"), Col("n"))});
+  auto rich = Filter(cust, Gt(Col("c_acctbal2"), ScalarRef(0)));
+  auto anti = AntiJoin(rich, KeepCols(Scan("orders"), {"o_custkey"}),
+                       {"c_custkey2"}, {"o_custkey"}, nullptr, Fk(o));
+  auto g = GroupBy(anti, {"cntrycode"}, {Col("cntrycode")},
+                   {CountStar("numcust"), Sum(Col("c_acctbal2"), "totacctbal")},
+                   /*capacity_hint=*/16);
+  return {{avg_bal}, OrderBy(g, {{"cntrycode", true}})};
+}
+
+}  // namespace
+
+int NumQueries() { return 22; }
+
+plan::Query BuildQuery(int q, const QueryOptions& opts) {
+  switch (q) {
+    case 1: return Q1(opts);
+    case 2: return Q2(opts);
+    case 3: return Q3(opts);
+    case 4: return Q4(opts);
+    case 5: return Q5(opts);
+    case 6: return Q6(opts);
+    case 7: return Q7(opts);
+    case 8: return Q8(opts);
+    case 9: return Q9(opts);
+    case 10: return Q10(opts);
+    case 11: return Q11(opts);
+    case 12: return Q12(opts);
+    case 13: return Q13(opts);
+    case 14: return Q14(opts);
+    case 15: return Q15(opts);
+    case 16: return Q16(opts);
+    case 17: return Q17(opts);
+    case 18: return Q18(opts);
+    case 19: return Q19(opts);
+    case 20: return Q20(opts);
+    case 21: return Q21(opts);
+    case 22: return Q22(opts);
+    default:
+      LB2_CHECK_MSG(false, "TPC-H query number must be 1..22");
+      return {};
+  }
+}
+
+}  // namespace lb2::tpch

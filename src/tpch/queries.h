@@ -1,0 +1,33 @@
+// Physical plans for all 22 TPC-H queries (spec default parameters).
+//
+// Plans are supplied explicitly, as in the paper's evaluation (LB2 and
+// DBLAB both take plans as input; HyPer/Postgres have their own
+// optimizers). QueryOptions selects the paper's §5.2 optimization levels:
+// index joins and date-index scans are *plan-level* decisions in LB2.
+#ifndef LB2_TPCH_QUERIES_H_
+#define LB2_TPCH_QUERIES_H_
+
+#include "plan/plan.h"
+
+namespace lb2::tpch {
+
+struct QueryOptions {
+  /// Use PK/FK index joins where the build side is a base-table chain
+  /// (requires LoadOptions.pk_fk_indexes).
+  bool use_indexes = false;
+  /// Scan date-filtered tables through month-bucket date indexes
+  /// (requires LoadOptions.date_indexes).
+  bool use_date_index = false;
+  /// Scale factor, used only for Q11's spec-defined fraction (0.0001/SF).
+  double scale_factor = 0.01;
+};
+
+/// Builds TPC-H query `q` (1-22). Aborts on out-of-range numbers.
+plan::Query BuildQuery(int q, const QueryOptions& opts = {});
+
+/// Number of queries (22).
+int NumQueries();
+
+}  // namespace lb2::tpch
+
+#endif  // LB2_TPCH_QUERIES_H_

@@ -1,0 +1,178 @@
+#include "tpch/text.h"
+
+#include "util/str.h"
+
+namespace lb2::tpch {
+
+const std::vector<std::string>& Colors() {
+  static const auto* kColors = new std::vector<std::string>{
+      "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+      "blanched", "blue", "blush", "brown", "burlywood", "burnished",
+      "chartreuse", "chiffon", "chocolate", "coral", "cornflower",
+      "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab",
+      "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost",
+      "goldenrod", "green", "grey", "honeydew", "hot", "hotpink", "indian",
+      "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light",
+      "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+      "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+      "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+      "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+      "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow",
+      "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet",
+      "wheat", "white"};
+  return *kColors;
+}
+
+const std::vector<std::string>& TypeClasses() {
+  static const auto* kV = new std::vector<std::string>{
+      "STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"};
+  return *kV;
+}
+
+const std::vector<std::string>& TypeAdjectives() {
+  static const auto* kV = new std::vector<std::string>{
+      "ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"};
+  return *kV;
+}
+
+const std::vector<std::string>& TypeMaterials() {
+  static const auto* kV = new std::vector<std::string>{
+      "TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+  return *kV;
+}
+
+const std::vector<std::string>& ContainerSizes() {
+  static const auto* kV = new std::vector<std::string>{
+      "SM", "LG", "MED", "JUMBO", "WRAP"};
+  return *kV;
+}
+
+const std::vector<std::string>& ContainerKinds() {
+  static const auto* kV = new std::vector<std::string>{
+      "CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"};
+  return *kV;
+}
+
+const std::vector<std::string>& MarketSegments() {
+  static const auto* kV = new std::vector<std::string>{
+      "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"};
+  return *kV;
+}
+
+const std::vector<std::string>& OrderPriorities() {
+  static const auto* kV = new std::vector<std::string>{
+      "1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"};
+  return *kV;
+}
+
+const std::vector<std::string>& ShipInstructs() {
+  static const auto* kV = new std::vector<std::string>{
+      "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"};
+  return *kV;
+}
+
+const std::vector<std::string>& ShipModes() {
+  static const auto* kV = new std::vector<std::string>{
+      "REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"};
+  return *kV;
+}
+
+const std::vector<std::pair<std::string, int>>& Nations() {
+  static const auto* kV = new std::vector<std::pair<std::string, int>>{
+      {"ALGERIA", 0},     {"ARGENTINA", 1}, {"BRAZIL", 1},
+      {"CANADA", 1},      {"EGYPT", 4},     {"ETHIOPIA", 0},
+      {"FRANCE", 3},      {"GERMANY", 3},   {"INDIA", 2},
+      {"INDONESIA", 2},   {"IRAN", 4},      {"IRAQ", 4},
+      {"JAPAN", 2},       {"JORDAN", 4},    {"KENYA", 0},
+      {"MOROCCO", 0},     {"MOZAMBIQUE", 0},{"PERU", 1},
+      {"CHINA", 2},       {"ROMANIA", 3},   {"SAUDI ARABIA", 4},
+      {"VIETNAM", 2},     {"RUSSIA", 3},    {"UNITED KINGDOM", 3},
+      {"UNITED STATES", 1}};
+  return *kV;
+}
+
+const std::vector<std::string>& Regions() {
+  static const auto* kV = new std::vector<std::string>{
+      "AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"};
+  return *kV;
+}
+
+namespace {
+
+const std::vector<std::string>& Lexicon() {
+  static const auto* kV = new std::vector<std::string>{
+      "furiously",  "quickly",   "carefully", "blithely",  "slyly",
+      "ironic",     "final",     "pending",   "regular",   "express",
+      "bold",       "even",      "silent",    "daring",    "unusual",
+      "accounts",   "packages",  "deposits",  "requests",  "instructions",
+      "foxes",      "pinto",     "beans",     "theodolites", "dependencies",
+      "platelets",  "ideas",     "asymptotes", "dolphins", "sheaves",
+      "sleep",      "wake",      "nag",       "haggle",    "cajole",
+      "integrate",  "boost",     "detect",    "engage",    "maintain",
+      "among",      "across",    "above",     "against",   "along",
+      "the",        "according", "to",        "special"};
+  return *kV;
+}
+
+void AppendWords(Rng& rng, int target_len, std::string* out) {
+  const auto& lex = Lexicon();
+  while (static_cast<int>(out->size()) < target_len) {
+    if (!out->empty()) out->push_back(' ');
+    out->append(lex[static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(lex.size()) - 1))]);
+  }
+}
+
+}  // namespace
+
+std::string RandomComment(Rng& rng, int target_len) {
+  std::string out;
+  out.reserve(static_cast<size_t>(target_len) + 12);
+  AppendWords(rng, target_len, &out);
+  return out;
+}
+
+std::string CommentWithPattern(Rng& rng, int target_len,
+                               const std::string& first,
+                               const std::string& second) {
+  std::string out;
+  out.reserve(static_cast<size_t>(target_len) + first.size() + second.size() +
+              16);
+  AppendWords(rng, target_len / 3, &out);
+  out.push_back(' ');
+  out.append(first);
+  AppendWords(rng, 2 * target_len / 3, &out);
+  out.push_back(' ');
+  out.append(second);
+  return out;
+}
+
+std::string PartName(Rng& rng) {
+  const auto& colors = Colors();
+  int64_t n = static_cast<int64_t>(colors.size());
+  // Five distinct color indices by rejection.
+  int64_t pick[5];
+  for (int i = 0; i < 5; ++i) {
+    bool dup;
+    do {
+      pick[i] = rng.Uniform(0, n - 1);
+      dup = false;
+      for (int j = 0; j < i; ++j) dup |= pick[j] == pick[i];
+    } while (dup);
+  }
+  std::string out = colors[static_cast<size_t>(pick[0])];
+  for (int i = 1; i < 5; ++i) {
+    out.push_back(' ');
+    out.append(colors[static_cast<size_t>(pick[i])]);
+  }
+  return out;
+}
+
+std::string Phone(Rng& rng, int nation_key) {
+  return StrPrintf("%d-%d-%d-%d", 10 + nation_key,
+                   static_cast<int>(rng.Uniform(100, 999)),
+                   static_cast<int>(rng.Uniform(100, 999)),
+                   static_cast<int>(rng.Uniform(1000, 9999)));
+}
+
+}  // namespace lb2::tpch

@@ -1,0 +1,55 @@
+// Word lists and text generation for the TPC-H data generator, following
+// the value sets of the TPC-H specification (colors, types, containers,
+// nations, ...). Comments are random word sequences from a lexicon, with
+// the spec's special patterns ("special ... requests",
+// "Customer ... Complaints") injected at the spec-like rates so Q13 and
+// Q16 keep their selectivity shape.
+#ifndef LB2_TPCH_TEXT_H_
+#define LB2_TPCH_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace lb2::tpch {
+
+/// The 92 P_NAME color words from the TPC-H spec.
+const std::vector<std::string>& Colors();
+
+/// TYPE syllables: class (6), adjective (5), material (5).
+const std::vector<std::string>& TypeClasses();
+const std::vector<std::string>& TypeAdjectives();
+const std::vector<std::string>& TypeMaterials();
+
+/// Container syllables: size (5) and kind (8).
+const std::vector<std::string>& ContainerSizes();
+const std::vector<std::string>& ContainerKinds();
+
+const std::vector<std::string>& MarketSegments();   // 5
+const std::vector<std::string>& OrderPriorities();  // 5
+const std::vector<std::string>& ShipInstructs();    // 4
+const std::vector<std::string>& ShipModes();        // 7
+
+/// The 25 spec nations as (name, region key) pairs, in nation-key order.
+const std::vector<std::pair<std::string, int>>& Nations();
+const std::vector<std::string>& Regions();  // 5
+
+/// Random comment of roughly `target_len` characters.
+std::string RandomComment(Rng& rng, int target_len);
+
+/// Comment guaranteed to match LIKE '%<first>%<second>%'.
+std::string CommentWithPattern(Rng& rng, int target_len,
+                               const std::string& first,
+                               const std::string& second);
+
+/// P_NAME: five distinct color words.
+std::string PartName(Rng& rng);
+
+/// Phone number "CC-ddd-ddd-dddd" with country code 10 + nation key
+/// (Q22 relies on the two leading digits).
+std::string Phone(Rng& rng, int nation_key);
+
+}  // namespace lb2::tpch
+
+#endif  // LB2_TPCH_TEXT_H_

@@ -1,0 +1,29 @@
+// Lightweight assertion macros used across the library.
+//
+// LB2_CHECK is active in all build types: invariant violations in a query
+// compiler produce silently wrong code, so we never compile checks out.
+#ifndef LB2_UTIL_CHECK_H_
+#define LB2_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define LB2_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "LB2_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define LB2_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "LB2_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                       \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#endif  // LB2_UTIL_CHECK_H_

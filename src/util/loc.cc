@@ -1,0 +1,76 @@
+#include "util/loc.h"
+
+#include <filesystem>
+#include <fstream>
+
+namespace lb2 {
+
+int64_t CountFileLoc(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return 0;
+  int64_t count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t i = line.find_first_not_of(" \t");
+    if (i == std::string::npos) continue;               // blank
+    if (line.compare(i, 2, "//") == 0) continue;        // comment-only
+    ++count;
+  }
+  return count;
+}
+
+int64_t CountDirLoc(const std::string& dir) {
+  namespace fs = std::filesystem;
+  int64_t total = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    auto ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc") total += CountFileLoc(it->path().string());
+  }
+  return total;
+}
+
+std::vector<LocEntry> Table1Breakdown(const std::string& repo_root) {
+  auto p = [&](const std::string& rel) { return repo_root + "/" + rel; };
+  std::vector<LocEntry> rows;
+  auto add_dir = [&](const std::string& label, const std::string& rel) {
+    rows.push_back({label, rel, CountDirLoc(p(rel))});
+  };
+  auto add_files = [&](const std::string& label,
+                       const std::vector<std::string>& rels) {
+    int64_t total = 0;
+    for (const auto& rel : rels) total += CountFileLoc(p(rel));
+    rows.push_back({label, rels.empty() ? "" : rels[0], total});
+  };
+  add_dir("Staging substrate (LMS equivalent)", "src/stage");
+  add_files("Base engine (ops, records, buffers, eval)",
+            {"src/engine/ops.h", "src/engine/record.h", "src/engine/value.h",
+             "src/engine/buffer.h", "src/engine/expr_eval.h",
+             "src/engine/exec.cc", "src/engine/exec.h",
+             "src/engine/backend.h", "src/engine/interp_backend.h",
+             "src/engine/stage_backend.h"});
+  add_files("Hash data structures",
+            {"src/engine/hashmap.h", "src/engine/multimap.h"});
+  add_files("Index data structures",
+            {"src/runtime/index.h", "src/runtime/index.cc"});
+  add_files("Indexing compilation (index join operators)",
+            {"src/engine/index_ops.h"});
+  add_files("String dictionary",
+            {"src/runtime/dictionary.h", "src/runtime/dictionary.cc"});
+  add_files("Memory allocation hoisting (code motion)",
+            {"src/engine/hoist.h"});
+  add_files("Parallelism (spine analysis; backend regions/lanes add ~120)",
+            {"src/engine/parallel.h"});
+  add_dir("Whole engine", "src/engine");
+  add_dir("Template-expansion compiler (baseline)", "src/compile");
+  add_dir("Volcano interpreter (baseline)", "src/volcano");
+  add_dir("SQL front-end", "src/sql");
+  add_dir("TPC-H substrate (dbgen + 22 plans)", "src/tpch");
+  add_dir("Whole repository (src)", "src");
+  return rows;
+}
+
+}  // namespace lb2

@@ -1,0 +1,32 @@
+// Lines-of-code accounting over the source tree. Reproduces the
+// productivity study in Table 1 of the paper (lines needed per
+// optimization) against this repository's own modules.
+#ifndef LB2_UTIL_LOC_H_
+#define LB2_UTIL_LOC_H_
+
+#include <string>
+#include <vector>
+
+namespace lb2 {
+
+struct LocEntry {
+  std::string label;   // e.g. "Index data structures"
+  std::string path;    // directory or file, relative to repo root
+  int64_t lines = 0;   // non-blank, non-comment lines
+};
+
+/// Counts non-blank, non-comment-only lines in one file. Returns 0 if the
+/// file cannot be opened.
+int64_t CountFileLoc(const std::string& path);
+
+/// Counts LoC over all .h/.cc files under `dir` (recursively).
+int64_t CountDirLoc(const std::string& dir);
+
+/// The Table-1 style breakdown for this repository: base engine plus each
+/// optimization's implementation site. `repo_root` is the directory that
+/// contains src/.
+std::vector<LocEntry> Table1Breakdown(const std::string& repo_root);
+
+}  // namespace lb2
+
+#endif  // LB2_UTIL_LOC_H_

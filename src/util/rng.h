@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation for the TPC-H data
+// generator. A small splitmix64-based generator keeps generated databases
+// reproducible across platforms and standard-library versions (std::mt19937
+// distributions are not portable).
+#ifndef LB2_UTIL_RNG_H_
+#define LB2_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace lb2 {
+
+/// Deterministic 64-bit RNG (splitmix64). Cheap to seed per column/row so
+/// table generation order never changes values.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Next() %
+                                     static_cast<uint64_t>(hi - lo + 1));
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * (Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lb2
+
+#endif  // LB2_UTIL_RNG_H_

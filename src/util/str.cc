@@ -1,0 +1,148 @@
+#include "util/str.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace lb2 {
+
+std::vector<std::string> SplitString(std::string_view text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string StrPrintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  LB2_CHECK(n >= 0);
+  std::string out(static_cast<size_t>(n), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  va_end(ap2);
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  // Iterative two-pointer matcher with backtracking over the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || pattern[p] == text[t])) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string_view::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+std::string FormatDouble(double v) { return StrPrintf("%.4f", v); }
+
+int32_t ParseDate(std::string_view iso) {
+  LB2_CHECK_MSG(iso.size() == 10 && iso[4] == '-' && iso[7] == '-',
+                std::string(iso).c_str());
+  auto digits = [&](size_t off, size_t len) {
+    int v = 0;
+    for (size_t i = off; i < off + len; ++i) {
+      LB2_CHECK(iso[i] >= '0' && iso[i] <= '9');
+      v = v * 10 + (iso[i] - '0');
+    }
+    return v;
+  };
+  return digits(0, 4) * 10000 + digits(5, 2) * 100 + digits(8, 2);
+}
+
+std::string DateToString(int32_t yyyymmdd) {
+  return StrPrintf("%04d-%02d-%02d", yyyymmdd / 10000,
+                   (yyyymmdd / 100) % 100, yyyymmdd % 100);
+}
+
+namespace {
+
+bool IsLeap(int y) { return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0; }
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeap(y)) return 29;
+  return kDays[m - 1];
+}
+
+}  // namespace
+
+int32_t DateAddMonths(int32_t yyyymmdd, int months) {
+  int y = yyyymmdd / 10000;
+  int m = (yyyymmdd / 100) % 100;
+  int d = yyyymmdd % 100;
+  int total = y * 12 + (m - 1) + months;
+  y = total / 12;
+  m = total % 12 + 1;
+  int dim = DaysInMonth(y, m);
+  if (d > dim) d = dim;
+  return y * 10000 + m * 100 + d;
+}
+
+int32_t DateAddDays(int32_t yyyymmdd, int days) {
+  int y = yyyymmdd / 10000;
+  int m = (yyyymmdd / 100) % 100;
+  int d = yyyymmdd % 100;
+  d += days;
+  while (d > DaysInMonth(y, m)) {
+    d -= DaysInMonth(y, m);
+    if (++m > 12) {
+      m = 1;
+      ++y;
+    }
+  }
+  while (d < 1) {
+    if (--m < 1) {
+      m = 12;
+      --y;
+    }
+    d += DaysInMonth(y, m);
+  }
+  return y * 10000 + m * 100 + d;
+}
+
+}  // namespace lb2

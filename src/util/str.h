@@ -1,0 +1,50 @@
+// Small string helpers shared across the library.
+#ifndef LB2_UTIL_STR_H_
+#define LB2_UTIL_STR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lb2 {
+
+/// Returns `text` split on `sep`, keeping empty pieces.
+std::vector<std::string> SplitString(std::string_view text, char sep);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrPrintf(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// SQL LIKE with '%' (any run) and '_' (any char) wildcards.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// Formats a double the way query results are printed (fixed, 4 decimals,
+/// trailing zeros kept so all engines agree byte-for-byte).
+std::string FormatDouble(double v);
+
+/// Parses a "YYYY-MM-DD" literal into the int32 yyyymmdd encoding used for
+/// dates throughout the engine. Aborts on malformed input.
+int32_t ParseDate(std::string_view iso);
+
+/// Renders an int32 yyyymmdd date back to "YYYY-MM-DD".
+std::string DateToString(int32_t yyyymmdd);
+
+/// Date arithmetic on the yyyymmdd encoding: adds a (possibly negative)
+/// number of months; day-of-month saturates to the month length.
+int32_t DateAddMonths(int32_t yyyymmdd, int months);
+
+/// Adds days to a yyyymmdd date (Gregorian, proleptic).
+int32_t DateAddDays(int32_t yyyymmdd, int days);
+
+}  // namespace lb2
+
+#endif  // LB2_UTIL_STR_H_

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers used by benchmarks and the JIT pipeline.
+#ifndef LB2_UTIL_TIME_H_
+#define LB2_UTIL_TIME_H_
+
+#include <chrono>
+
+namespace lb2 {
+
+/// Monotonic stopwatch; Elapsed* report time since construction or Reset().
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace lb2
+
+#endif  // LB2_UTIL_TIME_H_

@@ -1,0 +1,743 @@
+#include "volcano/volcano.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::volcano {
+
+using plan::AggKind;
+using plan::ExprOp;
+using plan::ExprRef;
+using plan::OpType;
+using plan::PlanRef;
+using schema::FieldKind;
+using schema::Schema;
+
+namespace {
+
+int64_t AsI64(const RtVal& v) {
+  if (std::holds_alternative<int64_t>(v)) return std::get<int64_t>(v);
+  LB2_CHECK_MSG(std::holds_alternative<double>(v), "expected numeric value");
+  return static_cast<int64_t>(std::get<double>(v));
+}
+
+double AsF64(const RtVal& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  return static_cast<double>(std::get<int64_t>(v));
+}
+
+std::string_view AsStr(const RtVal& v) {
+  LB2_CHECK_MSG(std::holds_alternative<std::string_view>(v),
+                "expected string value");
+  return std::get<std::string_view>(v);
+}
+
+bool BothInt(const RtVal& a, const RtVal& b) {
+  return std::holds_alternative<int64_t>(a) &&
+         std::holds_alternative<int64_t>(b);
+}
+
+RtVal Arith(ExprOp op, const RtVal& a, const RtVal& b) {
+  if (op == ExprOp::kDiv) return AsF64(a) / AsF64(b);
+  if (BothInt(a, b)) {
+    int64_t x = std::get<int64_t>(a), y = std::get<int64_t>(b);
+    switch (op) {
+      case ExprOp::kAdd: return x + y;
+      case ExprOp::kSub: return x - y;
+      case ExprOp::kMul: return x * y;
+      default: break;
+    }
+  }
+  double x = AsF64(a), y = AsF64(b);
+  switch (op) {
+    case ExprOp::kAdd: return x + y;
+    case ExprOp::kSub: return x - y;
+    case ExprOp::kMul: return x * y;
+    default: break;
+  }
+  LB2_CHECK(false);
+  return int64_t{0};
+}
+
+int Compare(const RtVal& a, const RtVal& b) {
+  if (std::holds_alternative<std::string_view>(a)) {
+    auto x = AsStr(a), y = AsStr(b);
+    int c = x.compare(y);
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (BothInt(a, b)) {
+    int64_t x = std::get<int64_t>(a), y = std::get<int64_t>(b);
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  double x = AsF64(a), y = AsF64(b);
+  return x < y ? -1 : (x > y ? 1 : 0);
+}
+
+}  // namespace
+
+RtVal EvalExpr(const ExprRef& e, const Schema& input, const RtTuple& tuple,
+               const ExecContext& ctx) {
+  switch (e->op) {
+    case ExprOp::kColRef: {
+      int i = input.IndexOf(e->str);
+      LB2_CHECK_MSG(i >= 0, ("unbound column " + e->str).c_str());
+      return tuple[static_cast<size_t>(i)];
+    }
+    case ExprOp::kIntConst:
+    case ExprOp::kBoolConst:
+    case ExprOp::kDateConst:
+      return e->i64;
+    case ExprOp::kDoubleConst:
+      return e->f64;
+    case ExprOp::kStrConst:
+      return std::string_view(e->str);
+    case ExprOp::kAdd:
+    case ExprOp::kSub:
+    case ExprOp::kMul:
+    case ExprOp::kDiv:
+      return Arith(e->op, EvalExpr(e->children[0], input, tuple, ctx),
+                   EvalExpr(e->children[1], input, tuple, ctx));
+    case ExprOp::kEq:
+    case ExprOp::kNe:
+    case ExprOp::kLt:
+    case ExprOp::kLe:
+    case ExprOp::kGt:
+    case ExprOp::kGe: {
+      int c = Compare(EvalExpr(e->children[0], input, tuple, ctx),
+                      EvalExpr(e->children[1], input, tuple, ctx));
+      switch (e->op) {
+        case ExprOp::kEq: return int64_t{c == 0};
+        case ExprOp::kNe: return int64_t{c != 0};
+        case ExprOp::kLt: return int64_t{c < 0};
+        case ExprOp::kLe: return int64_t{c <= 0};
+        case ExprOp::kGt: return int64_t{c > 0};
+        default: return int64_t{c >= 0};
+      }
+    }
+    case ExprOp::kAnd:
+      return int64_t{
+          AsI64(EvalExpr(e->children[0], input, tuple, ctx)) != 0 &&
+          AsI64(EvalExpr(e->children[1], input, tuple, ctx)) != 0};
+    case ExprOp::kOr:
+      return int64_t{
+          AsI64(EvalExpr(e->children[0], input, tuple, ctx)) != 0 ||
+          AsI64(EvalExpr(e->children[1], input, tuple, ctx)) != 0};
+    case ExprOp::kNot:
+      return int64_t{AsI64(EvalExpr(e->children[0], input, tuple, ctx)) == 0};
+    case ExprOp::kLike:
+      return int64_t{
+          LikeMatch(AsStr(EvalExpr(e->children[0], input, tuple, ctx)),
+                    e->str)};
+    case ExprOp::kNotLike:
+      return int64_t{
+          !LikeMatch(AsStr(EvalExpr(e->children[0], input, tuple, ctx)),
+                     e->str)};
+    case ExprOp::kStartsWith:
+      return int64_t{
+          StartsWith(AsStr(EvalExpr(e->children[0], input, tuple, ctx)),
+                     e->str)};
+    case ExprOp::kEndsWith:
+      return int64_t{
+          EndsWith(AsStr(EvalExpr(e->children[0], input, tuple, ctx)),
+                   e->str)};
+    case ExprOp::kContains: {
+      auto s = AsStr(EvalExpr(e->children[0], input, tuple, ctx));
+      return int64_t{s.find(e->str) != std::string_view::npos};
+    }
+    case ExprOp::kInStr: {
+      auto s = AsStr(EvalExpr(e->children[0], input, tuple, ctx));
+      for (const auto& v : e->str_list) {
+        if (s == v) return int64_t{1};
+      }
+      return int64_t{0};
+    }
+    case ExprOp::kInInt: {
+      int64_t s = AsI64(EvalExpr(e->children[0], input, tuple, ctx));
+      for (int64_t v : e->int_list) {
+        if (s == v) return int64_t{1};
+      }
+      return int64_t{0};
+    }
+    case ExprOp::kCase:
+      if (AsI64(EvalExpr(e->children[0], input, tuple, ctx)) != 0) {
+        return EvalExpr(e->children[1], input, tuple, ctx);
+      }
+      return EvalExpr(e->children[2], input, tuple, ctx);
+    case ExprOp::kYear:
+      return AsI64(EvalExpr(e->children[0], input, tuple, ctx)) / 10000;
+    case ExprOp::kSubstring: {
+      auto s = AsStr(EvalExpr(e->children[0], input, tuple, ctx));
+      size_t pos = std::min(static_cast<size_t>(e->i64), s.size());
+      size_t len = std::min(static_cast<size_t>(e->i64b), s.size() - pos);
+      return s.substr(pos, len);
+    }
+    case ExprOp::kScalarRef:
+      return ctx.scalars[static_cast<size_t>(e->i64)];
+  }
+  LB2_CHECK(false);
+  return int64_t{0};
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Operators
+// ---------------------------------------------------------------------------
+
+class ScanOp final : public Op {
+ public:
+  ScanOp(const plan::PlanNode& n, ExecContext* ctx)
+      : table_(&ctx->db->table(n.table)) {
+    schema_ = table_->schema();
+  }
+  void Open() override { row_ = 0; }
+  bool Next(RtTuple* out) override {
+    if (row_ >= table_->num_rows()) return false;
+    out->clear();
+    for (int i = 0; i < schema_.size(); ++i) {
+      const rt::Column& c = table_->column(i);
+      switch (schema_.field(i).kind) {
+        case FieldKind::kInt64: out->push_back(c.Int64At(row_)); break;
+        case FieldKind::kDouble: out->push_back(c.DoubleAt(row_)); break;
+        case FieldKind::kDate:
+          out->push_back(static_cast<int64_t>(c.DateAt(row_)));
+          break;
+        case FieldKind::kString: out->push_back(c.StringAt(row_)); break;
+      }
+    }
+    ++row_;
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  const rt::Table* table_;
+  int64_t row_ = 0;
+};
+
+class SelectOp final : public Op {
+ public:
+  SelectOp(const plan::PlanNode& n, std::unique_ptr<Op> child,
+           ExecContext* ctx)
+      : child_(std::move(child)), pred_(n.predicate), ctx_(ctx) {
+    schema_ = child_->schema();
+  }
+  void Open() override { child_->Open(); }
+  bool Next(RtTuple* out) override {
+    // The paper's Figure 3d loop: keep pulling until the predicate passes.
+    while (child_->Next(out)) {
+      if (AsI64(EvalExpr(pred_, schema_, *out, *ctx_)) != 0) return true;
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Op> child_;
+  ExprRef pred_;
+  ExecContext* ctx_;
+};
+
+class ProjectOp final : public Op {
+ public:
+  ProjectOp(const plan::PlanNode& n, std::unique_ptr<Op> child,
+            ExecContext* ctx)
+      : child_(std::move(child)), node_(&n), ctx_(ctx) {
+    for (size_t i = 0; i < n.exprs.size(); ++i) {
+      schema_.Add({n.names[i], InferKind(n.exprs[i], child_->schema())});
+    }
+  }
+  void Open() override { child_->Open(); }
+  bool Next(RtTuple* out) override {
+    RtTuple in;
+    if (!child_->Next(&in)) return false;
+    out->clear();
+    for (const auto& e : node_->exprs) {
+      out->push_back(EvalExpr(e, child_->schema(), in, *ctx_));
+    }
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Op> child_;
+  const plan::PlanNode* node_;
+  ExecContext* ctx_;
+};
+
+using Key = std::vector<RtVal>;
+
+struct KeyLess {
+  bool operator()(const Key& a, const Key& b) const {
+    for (size_t i = 0; i < a.size(); ++i) {
+      int c = Compare(a[i], b[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  }
+};
+
+Key MakeKey(const std::vector<std::string>& cols, const Schema& s,
+            const RtTuple& t) {
+  Key k;
+  k.reserve(cols.size());
+  for (const auto& c : cols) {
+    k.push_back(t[static_cast<size_t>(s.IndexOf(c))]);
+  }
+  return k;
+}
+
+/// Inner hash join; builds from the left child (like the paper's Figure 5).
+class HashJoinOp final : public Op {
+ public:
+  HashJoinOp(const plan::PlanNode& n, std::unique_ptr<Op> left,
+             std::unique_ptr<Op> right, ExecContext* ctx)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        node_(&n),
+        ctx_(ctx) {
+    schema_ = left_->schema().Concat(right_->schema());
+  }
+  void Open() override {
+    left_->Open();
+    RtTuple t;
+    while (left_->Next(&t)) {
+      table_[MakeKey(node_->left_keys, left_->schema(), t)].push_back(t);
+    }
+    left_->Close();
+    right_->Open();
+    matches_ = nullptr;
+    match_idx_ = 0;
+  }
+  bool Next(RtTuple* out) override {
+    for (;;) {
+      while (matches_ != nullptr && match_idx_ < matches_->size()) {
+        const RtTuple& l = (*matches_)[match_idx_++];
+        *out = l;
+        out->insert(out->end(), right_row_.begin(), right_row_.end());
+        if (node_->predicate == nullptr ||
+            AsI64(EvalExpr(node_->predicate, schema_, *out, *ctx_)) != 0) {
+          return true;
+        }
+      }
+      if (!right_->Next(&right_row_)) return false;
+      auto it = table_.find(
+          MakeKey(node_->right_keys, right_->schema(), right_row_));
+      matches_ = it == table_.end() ? nullptr : &it->second;
+      match_idx_ = 0;
+    }
+  }
+  void Close() override {
+    right_->Close();
+    table_.clear();
+  }
+
+ private:
+  std::unique_ptr<Op> left_;
+  std::unique_ptr<Op> right_;
+  const plan::PlanNode* node_;
+  ExecContext* ctx_;
+  std::map<Key, std::vector<RtTuple>, KeyLess> table_;
+  const std::vector<RtTuple>* matches_ = nullptr;
+  size_t match_idx_ = 0;
+  RtTuple right_row_;
+};
+
+/// Semi/anti join: builds from the right child, streams the left.
+class SemiAntiJoinOp final : public Op {
+ public:
+  SemiAntiJoinOp(const plan::PlanNode& n, std::unique_ptr<Op> left,
+                 std::unique_ptr<Op> right, ExecContext* ctx)
+      : left_(std::move(left)),
+        right_(std::move(right)),
+        node_(&n),
+        anti_(n.type == OpType::kAntiJoin),
+        ctx_(ctx) {
+    schema_ = left_->schema();
+    // The joint schema is only needed (and only well-formed — names may
+    // collide otherwise) when a correlated residual predicate exists.
+    if (n.predicate != nullptr) {
+      joint_ = left_->schema().Concat(right_->schema());
+    }
+  }
+  void Open() override {
+    right_->Open();
+    RtTuple t;
+    while (right_->Next(&t)) {
+      table_[MakeKey(node_->right_keys, right_->schema(), t)].push_back(t);
+    }
+    right_->Close();
+    left_->Open();
+  }
+  bool Next(RtTuple* out) override {
+    while (left_->Next(out)) {
+      bool exists = false;
+      auto it = table_.find(MakeKey(node_->left_keys, left_->schema(), *out));
+      if (it != table_.end()) {
+        if (node_->predicate == nullptr) {
+          exists = true;
+        } else {
+          for (const RtTuple& r : it->second) {
+            RtTuple joint = *out;
+            joint.insert(joint.end(), r.begin(), r.end());
+            if (AsI64(EvalExpr(node_->predicate, joint_, joint, *ctx_)) !=
+                0) {
+              exists = true;
+              break;
+            }
+          }
+        }
+      }
+      if (exists != anti_) return true;
+    }
+    return false;
+  }
+  void Close() override {
+    left_->Close();
+    table_.clear();
+  }
+
+ private:
+  std::unique_ptr<Op> left_;
+  std::unique_ptr<Op> right_;
+  const plan::PlanNode* node_;
+  bool anti_;
+  ExecContext* ctx_;
+  Schema joint_;
+  std::map<Key, std::vector<RtTuple>, KeyLess> table_;
+};
+
+/// Left outer "group join": left tuple + number of right matches.
+class LeftCountJoinOp final : public Op {
+ public:
+  LeftCountJoinOp(const plan::PlanNode& n, std::unique_ptr<Op> left,
+                  std::unique_ptr<Op> right)
+      : left_(std::move(left)), right_(std::move(right)), node_(&n) {
+    schema_ = left_->schema();
+    schema_.Add({n.count_name, FieldKind::kInt64});
+  }
+  void Open() override {
+    right_->Open();
+    RtTuple t;
+    while (right_->Next(&t)) {
+      ++counts_[MakeKey(node_->right_keys, right_->schema(), t)];
+    }
+    right_->Close();
+    left_->Open();
+  }
+  bool Next(RtTuple* out) override {
+    if (!left_->Next(out)) return false;
+    auto it = counts_.find(MakeKey(node_->left_keys, left_->schema(), *out));
+    out->push_back(it == counts_.end() ? int64_t{0} : it->second);
+    return true;
+  }
+  void Close() override {
+    left_->Close();
+    counts_.clear();
+  }
+
+ private:
+  std::unique_ptr<Op> left_;
+  std::unique_ptr<Op> right_;
+  const plan::PlanNode* node_;
+  std::map<Key, int64_t, KeyLess> counts_;
+};
+
+struct AggState {
+  std::vector<RtVal> accs;
+  std::vector<bool> seen;
+};
+
+class AggOpBase : public Op {
+ public:
+  AggOpBase(const plan::PlanNode& n, std::unique_ptr<Op> child,
+            ExecContext* ctx)
+      : child_(std::move(child)), node_(&n), ctx_(ctx) {}
+
+ protected:
+  void InitState(AggState* st) const {
+    st->accs.assign(node_->aggs.size(), int64_t{0});
+    st->seen.assign(node_->aggs.size(), false);
+  }
+
+  void Accumulate(const RtTuple& in, AggState* st) const {
+    const Schema& is = child_->schema();
+    for (size_t i = 0; i < node_->aggs.size(); ++i) {
+      const auto& a = node_->aggs[i];
+      RtVal& acc = st->accs[i];
+      switch (a.kind) {
+        case AggKind::kCountStar:
+          acc = AsI64(acc) + 1;
+          break;
+        case AggKind::kSum: {
+          RtVal v = EvalExpr(a.expr, is, in, *ctx_);
+          if (!st->seen[i]) {
+            acc = v;
+          } else {
+            acc = Arith(ExprOp::kAdd, acc, v);
+          }
+          break;
+        }
+        case AggKind::kMin:
+        case AggKind::kMax: {
+          RtVal v = EvalExpr(a.expr, is, in, *ctx_);
+          if (!st->seen[i]) {
+            acc = v;
+          } else {
+            int c = Compare(v, acc);
+            if ((a.kind == AggKind::kMin && c < 0) ||
+                (a.kind == AggKind::kMax && c > 0)) {
+              acc = v;
+            }
+          }
+          break;
+        }
+      }
+      st->seen[i] = true;
+    }
+  }
+
+  std::unique_ptr<Op> child_;
+  const plan::PlanNode* node_;
+  ExecContext* ctx_;
+};
+
+class GroupAggOp final : public AggOpBase {
+ public:
+  GroupAggOp(const plan::PlanNode& n, std::unique_ptr<Op> child,
+             ExecContext* ctx)
+      : AggOpBase(n, std::move(child), ctx) {
+    const Schema& is = child_->schema();
+    for (size_t i = 0; i < n.group_exprs.size(); ++i) {
+      schema_.Add({n.group_names[i], InferKind(n.group_exprs[i], is)});
+    }
+    for (const auto& a : n.aggs) {
+      FieldKind k = a.kind == AggKind::kCountStar
+                        ? FieldKind::kInt64
+                        : InferKind(a.expr, is);
+      schema_.Add({a.out_name, k});
+    }
+  }
+  void Open() override {
+    child_->Open();
+    RtTuple in;
+    while (child_->Next(&in)) {
+      Key key;
+      key.reserve(node_->group_exprs.size());
+      for (const auto& g : node_->group_exprs) {
+        key.push_back(EvalExpr(g, child_->schema(), in, *ctx_));
+      }
+      auto [it, inserted] = groups_.try_emplace(std::move(key));
+      if (inserted) InitState(&it->second);
+      Accumulate(in, &it->second);
+    }
+    child_->Close();
+    it_ = groups_.begin();
+  }
+  bool Next(RtTuple* out) override {
+    if (it_ == groups_.end()) return false;
+    *out = it_->first;
+    out->insert(out->end(), it_->second.accs.begin(), it_->second.accs.end());
+    ++it_;
+    return true;
+  }
+  void Close() override { groups_.clear(); }
+
+ private:
+  std::map<Key, AggState, KeyLess> groups_;
+  std::map<Key, AggState, KeyLess>::iterator it_;
+};
+
+class ScalarAggOp final : public AggOpBase {
+ public:
+  ScalarAggOp(const plan::PlanNode& n, std::unique_ptr<Op> child,
+              ExecContext* ctx)
+      : AggOpBase(n, std::move(child), ctx) {
+    const Schema& is = child_->schema();
+    for (const auto& a : n.aggs) {
+      FieldKind k = a.kind == AggKind::kCountStar
+                        ? FieldKind::kInt64
+                        : InferKind(a.expr, is);
+      schema_.Add({a.out_name, k});
+    }
+  }
+  void Open() override {
+    child_->Open();
+    InitState(&state_);
+    RtTuple in;
+    while (child_->Next(&in)) Accumulate(in, &state_);
+    child_->Close();
+    done_ = false;
+  }
+  bool Next(RtTuple* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = state_.accs;
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  AggState state_;
+  bool done_ = false;
+};
+
+class SortOp final : public Op {
+ public:
+  SortOp(const plan::PlanNode& n, std::unique_ptr<Op> child)
+      : child_(std::move(child)), node_(&n) {
+    schema_ = child_->schema();
+  }
+  void Open() override {
+    child_->Open();
+    rows_.clear();
+    RtTuple t;
+    while (child_->Next(&t)) rows_.push_back(t);
+    child_->Close();
+    std::vector<int> idx;
+    for (const auto& k : node_->sort_keys) {
+      idx.push_back(schema_.IndexOf(k.name));
+    }
+    std::stable_sort(rows_.begin(), rows_.end(),
+                     [&](const RtTuple& a, const RtTuple& b) {
+                       for (size_t i = 0; i < idx.size(); ++i) {
+                         int c = Compare(a[static_cast<size_t>(idx[i])],
+                                         b[static_cast<size_t>(idx[i])]);
+                         if (c != 0) {
+                           return node_->sort_keys[i].asc ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    pos_ = 0;
+  }
+  bool Next(RtTuple* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = rows_[pos_++];
+    return true;
+  }
+  void Close() override { rows_.clear(); }
+
+ private:
+  std::unique_ptr<Op> child_;
+  const plan::PlanNode* node_;
+  std::vector<RtTuple> rows_;
+  size_t pos_ = 0;
+};
+
+class LimitOp final : public Op {
+ public:
+  LimitOp(const plan::PlanNode& n, std::unique_ptr<Op> child)
+      : child_(std::move(child)), limit_(n.limit) {
+    schema_ = child_->schema();
+  }
+  void Open() override {
+    child_->Open();
+    count_ = 0;
+  }
+  bool Next(RtTuple* out) override {
+    if (count_ >= limit_) return false;
+    if (!child_->Next(out)) return false;
+    ++count_;
+    return true;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  std::unique_ptr<Op> child_;
+  int64_t limit_;
+  int64_t count_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Op> BuildOp(const PlanRef& p, ExecContext* ctx) {
+  switch (p->type) {
+    case OpType::kScan:
+      return std::make_unique<ScanOp>(*p, ctx);
+    case OpType::kSelect:
+      return std::make_unique<SelectOp>(*p, BuildOp(p->children[0], ctx),
+                                        ctx);
+    case OpType::kProject:
+      return std::make_unique<ProjectOp>(*p, BuildOp(p->children[0], ctx),
+                                         ctx);
+    case OpType::kHashJoin:
+      return std::make_unique<HashJoinOp>(*p, BuildOp(p->children[0], ctx),
+                                          BuildOp(p->children[1], ctx), ctx);
+    case OpType::kSemiJoin:
+    case OpType::kAntiJoin:
+      return std::make_unique<SemiAntiJoinOp>(
+          *p, BuildOp(p->children[0], ctx), BuildOp(p->children[1], ctx),
+          ctx);
+    case OpType::kLeftCountJoin:
+      return std::make_unique<LeftCountJoinOp>(
+          *p, BuildOp(p->children[0], ctx), BuildOp(p->children[1], ctx));
+    case OpType::kGroupAgg:
+      return std::make_unique<GroupAggOp>(*p, BuildOp(p->children[0], ctx),
+                                          ctx);
+    case OpType::kScalarAgg:
+      return std::make_unique<ScalarAggOp>(*p, BuildOp(p->children[0], ctx),
+                                           ctx);
+    case OpType::kSort:
+      return std::make_unique<SortOp>(*p, BuildOp(p->children[0], ctx));
+    case OpType::kLimit:
+      return std::make_unique<LimitOp>(*p, BuildOp(p->children[0], ctx));
+  }
+  LB2_CHECK(false);
+  return nullptr;
+}
+
+std::string FormatTuple(const RtTuple& t, const Schema& s) {
+  std::string out;
+  for (int i = 0; i < s.size(); ++i) {
+    if (i > 0) out += '|';
+    const RtVal& v = t[static_cast<size_t>(i)];
+    switch (s.field(i).kind) {
+      case FieldKind::kInt64:
+        out += std::to_string(AsI64(v));
+        break;
+      case FieldKind::kDouble:
+        out += FormatDouble(AsF64(v));
+        break;
+      case FieldKind::kDate:
+        out += DateToString(static_cast<int32_t>(AsI64(v)));
+        break;
+      case FieldKind::kString:
+        out += AsStr(v);
+        break;
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+std::string Execute(const plan::Query& q, const rt::Database& db) {
+  plan::ValidateQuery(q, db);
+  ExecContext ctx;
+  ctx.db = &db;
+  for (const auto& sub : q.scalar_subqueries) {
+    ExecContext sub_ctx;
+    sub_ctx.db = &db;
+    auto op = BuildOp(sub, &sub_ctx);
+    op->Open();
+    RtTuple t;
+    LB2_CHECK_MSG(op->Next(&t), "scalar subquery produced no row");
+    ctx.scalars.push_back(AsF64(t[0]));
+    RtTuple extra;
+    LB2_CHECK_MSG(!op->Next(&extra), "scalar subquery produced >1 row");
+    op->Close();
+  }
+  auto root = BuildOp(q.root, &ctx);
+  std::string out;
+  root->Open();
+  RtTuple t;
+  while (root->Next(&t)) out += FormatTuple(t, root->schema());
+  root->Close();
+  return out;
+}
+
+}  // namespace lb2::volcano

@@ -1,0 +1,68 @@
+// The iterator (Volcano) execution model — Figure 3 of the paper.
+//
+// A classic pull-based, tuple-at-a-time interpreter over the shared physical
+// plan representation: every operator implements Open/Next/Close, tuples are
+// boxed vectors of variant values, and expression evaluation dispatches on
+// the expression tree for every row. This engine plays the role of the
+// interpreted baseline (Postgres in the paper's Figure 8) and serves as the
+// reference oracle the compiled engines are differentially tested against.
+#ifndef LB2_VOLCANO_VOLCANO_H_
+#define LB2_VOLCANO_VOLCANO_H_
+
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "plan/plan.h"
+#include "plan/validate.h"
+#include "runtime/database.h"
+
+namespace lb2::volcano {
+
+/// A runtime value: int64 (also bools 0/1 and dates yyyymmdd), double, or a
+/// string view into the loaded database / a dictionary.
+using RtVal = std::variant<int64_t, double, std::string_view>;
+
+/// A materialized tuple.
+using RtTuple = std::vector<RtVal>;
+
+/// Evaluation context shared by the operator tree: the database and any
+/// precomputed scalar-subquery results.
+struct ExecContext {
+  const rt::Database* db = nullptr;
+  std::vector<double> scalars;
+};
+
+/// Abstract Volcano operator (Figure 3d).
+class Op {
+ public:
+  virtual ~Op() = default;
+  virtual void Open() = 0;
+  /// Produces the next tuple; returns false at end of stream.
+  virtual bool Next(RtTuple* out) = 0;
+  virtual void Close() = 0;
+  const schema::Schema& schema() const { return schema_; }
+
+ protected:
+  schema::Schema schema_;
+};
+
+/// Evaluates `e` against a tuple of `input` shape. Exposed for tests.
+RtVal EvalExpr(const plan::ExprRef& e, const schema::Schema& input,
+               const RtTuple& tuple, const ExecContext& ctx);
+
+/// Builds the operator tree for a plan. Exposed for tests; most callers use
+/// Execute().
+std::unique_ptr<Op> BuildOp(const plan::PlanRef& p, ExecContext* ctx);
+
+/// Runs a query start to finish and returns the '|'-separated result text
+/// (one line per row; doubles with 4 decimals, dates as YYYY-MM-DD).
+std::string Execute(const plan::Query& q, const rt::Database& db);
+
+/// Formats one tuple the way all engines print results.
+std::string FormatTuple(const RtTuple& t, const schema::Schema& s);
+
+}  // namespace lb2::volcano
+
+#endif  // LB2_VOLCANO_VOLCANO_H_

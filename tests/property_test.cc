@@ -1,0 +1,282 @@
+// Property-based tests:
+//
+//  * Randomized differential fuzzing: seeded random plans (filters,
+//    projections, group-bys, joins with random keys) over the TPC-H tables
+//    must produce identical results on the Volcano oracle, the data-centric
+//    interpreter, and the LB2 compiler.
+//  * LB2HashMap against a std::unordered_map model under random
+//    insert/update streams (including multi-lane merge).
+//  * Staged sort against std::sort on random key configurations.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <unordered_map>
+
+#include "compile/lb2_compiler.h"
+#include "engine/exec.h"
+#include "engine/interp_backend.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "volcano/volcano.h"
+
+namespace lb2 {
+namespace {
+
+using namespace lb2::plan;  // NOLINT
+
+class PropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 777, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static rt::Database* db_;
+};
+
+rt::Database* PropertyTest::db_ = nullptr;
+
+// ---------------------------------------------------------------------------
+// Random plan generator
+// ---------------------------------------------------------------------------
+
+struct RandomPlanner {
+  std::mt19937 rng;
+  explicit RandomPlanner(int seed) : rng(static_cast<unsigned>(seed)) {}
+
+  int Pick(int n) { return static_cast<int>(rng() % static_cast<unsigned>(n)); }
+
+  /// Random predicate over `s` (numeric and date columns only; always
+  /// satisfiable by construction).
+  ExprRef RandomPred(const schema::Schema& s) {
+    std::vector<int> numeric;
+    for (int i = 0; i < s.size(); ++i) {
+      if (s.field(i).kind != schema::FieldKind::kString) numeric.push_back(i);
+    }
+    if (numeric.empty()) return B(true);
+    const auto& f = s.field(numeric[static_cast<size_t>(
+        Pick(static_cast<int>(numeric.size())))]);
+    ExprRef col = Col(f.name);
+    switch (f.kind) {
+      case schema::FieldKind::kDate: {
+        int year = 1992 + Pick(7);
+        return Pick(2) ? Ge(col, DtRaw(year * 10000 + 101))
+                       : Lt(col, DtRaw(year * 10000 + 701));
+      }
+      case schema::FieldKind::kDouble: {
+        double thr = (Pick(100) + 1) * 37.5;
+        return Pick(2) ? Gt(col, D(thr)) : Le(col, D(thr));
+      }
+      default: {
+        int64_t thr = Pick(50) + 1;
+        switch (Pick(3)) {
+          case 0: return Gt(col, I(thr));
+          case 1: return Le(col, I(thr * 40));
+          default: return Ne(col, I(thr));
+        }
+      }
+    }
+  }
+
+  /// Random single-table pipeline: Scan + 0..2 filters + optional project.
+  PlanRef RandomPipeline(const rt::Database& db, const std::string& table) {
+    PlanRef p = Scan(table);
+    schema::Schema s = db.table(table).schema();
+    int filters = Pick(3);
+    for (int i = 0; i < filters; ++i) p = Filter(p, RandomPred(s));
+    if (Pick(2)) {
+      // Keep a random non-empty subset of columns (plus arithmetic).
+      std::vector<std::string> names;
+      std::vector<ExprRef> exprs;
+      for (int i = 0; i < s.size(); ++i) {
+        if (Pick(2) || (i == s.size() - 1 && names.empty())) {
+          names.push_back(s.field(i).name);
+          exprs.push_back(Col(s.field(i).name));
+        }
+      }
+      // One derived column when a numeric source exists.
+      for (int i = 0; i < s.size(); ++i) {
+        if (s.field(i).kind == schema::FieldKind::kDouble) {
+          names.push_back("derived");
+          exprs.push_back(Mul(Col(s.field(i).name), D(1.5)));
+          break;
+        }
+      }
+      p = Project(p, names, exprs);
+    }
+    return p;
+  }
+
+  /// Random aggregate over a pipeline.
+  Query RandomAggQuery(const rt::Database& db) {
+    const char* tables[] = {"lineitem", "orders", "customer", "part",
+                            "partsupp", "supplier"};
+    std::string table = tables[Pick(6)];
+    PlanRef p = RandomPipeline(db, table);
+    schema::Schema s = OutputSchema(p, db);
+    // Pick a group key (any kind) and numeric agg inputs.
+    int key = Pick(s.size());
+    std::vector<AggSpec> aggs = {CountStar("cnt")};
+    for (int i = 0; i < s.size(); ++i) {
+      if (s.field(i).kind == schema::FieldKind::kDouble && Pick(2)) {
+        aggs.push_back(Sum(Col(s.field(i).name), "s_" + s.field(i).name));
+      }
+      if (s.field(i).kind == schema::FieldKind::kInt64 && Pick(3) == 0) {
+        aggs.push_back(Min(Col(s.field(i).name), "mn_" + s.field(i).name));
+        aggs.push_back(Max(Col(s.field(i).name), "mx_" + s.field(i).name));
+      }
+    }
+    PlanRef g = GroupBy(p, {"k"}, {Col(s.field(key).name)}, aggs);
+    return {{}, g};
+  }
+};
+
+TEST_P(PropertyTest, RandomAggregatePlansAgreeAcrossEngines) {
+  RandomPlanner planner(GetParam() * 1009 + 7);
+  for (int round = 0; round < 3; ++round) {
+    Query q = planner.RandomAggQuery(*db_);
+    std::string oracle = volcano::Execute(q, *db_);
+    auto interp = engine::ExecuteInterp(q, *db_);
+    ASSERT_EQ(tpch::DiffResults(oracle, interp.text, false), "")
+        << "seed " << GetParam() << " round " << round;
+    auto cq = compile::CompileQuery(
+        q, *db_, {}, "prop" + std::to_string(GetParam()));
+    ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, false), "")
+        << "seed " << GetParam() << " round " << round;
+  }
+}
+
+TEST_P(PropertyTest, RandomJoinPlansAgreeAcrossEngines) {
+  RandomPlanner planner(GetParam() * 31 + 5);
+  // Join partsupp against part/supplier on their FK with random filters.
+  bool to_part = planner.Pick(2) == 1;
+  PlanRef build = planner.RandomPipeline(
+      *db_, to_part ? "part" : "supplier");
+  schema::Schema bs = OutputSchema(build, *db_);
+  std::string bkey = to_part ? "p_partkey" : "s_suppkey";
+  if (!bs.Has(bkey)) GTEST_SKIP() << "projection dropped the key";
+  PlanRef probe = Filter(Scan("partsupp"),
+                         planner.RandomPred(tpch::TableSchema("partsupp")));
+  Query q{{}, ScalarAggPlan(
+                  Join(build, probe, {bkey},
+                       {to_part ? "ps_partkey" : "ps_suppkey"}),
+                  {CountStar("n"), Sum(Col("ps_supplycost"), "sc")})};
+  std::string oracle = volcano::Execute(q, *db_);
+  auto interp = engine::ExecuteInterp(q, *db_);
+  EXPECT_EQ(tpch::DiffResults(oracle, interp.text, false), "");
+  auto cq = compile::CompileQuery(q, *db_, {},
+                                  "propj" + std::to_string(GetParam()));
+  EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text, false), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// LB2HashMap vs std::unordered_map model
+// ---------------------------------------------------------------------------
+
+class HashMapModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HashMapModelTest, MatchesStdUnorderedMap) {
+  std::mt19937 rng(static_cast<unsigned>(GetParam()));
+  rt::Database db;  // unused by the map, required by the backend
+  engine::InterpBackend b(&db);
+
+  schema::Schema key_schema{{"k", schema::FieldKind::kInt64}};
+  schema::Schema val_schema{{"sum", schema::FieldKind::kInt64},
+                            {"cnt", schema::FieldKind::kInt64}};
+  int lanes = 1 + static_cast<int>(rng() % 4);
+  int64_t distinct = 1 + static_cast<int64_t>(rng() % 500);
+  engine::LB2HashMap<engine::InterpBackend> hm;
+  hm.Init(b, key_schema, {nullptr}, val_schema, {nullptr, nullptr}, distinct,
+          lanes);
+
+  std::unordered_map<int64_t, std::pair<int64_t, int64_t>> model;
+  int n_ops = 2000;
+  for (int i = 0; i < n_ops; ++i) {
+    int64_t k = static_cast<int64_t>(rng() % static_cast<unsigned>(distinct));
+    int64_t v = static_cast<int64_t>(rng() % 1000);
+    int lane = static_cast<int>(rng() % static_cast<unsigned>(lanes));
+    engine::Record<engine::InterpBackend> key, init;
+    key.Add({"k", schema::FieldKind::kInt64},
+            engine::Value<engine::InterpBackend>::I64(k));
+    init.Add({"sum", schema::FieldKind::kInt64},
+             engine::Value<engine::InterpBackend>::I64(0));
+    init.Add({"cnt", schema::FieldKind::kInt64},
+             engine::Value<engine::InterpBackend>::I64(0));
+    hm.Update(b, lane, key, init, [&](const auto& cur) {
+      engine::Record<engine::InterpBackend> next;
+      next.Add({"sum", schema::FieldKind::kInt64},
+               engine::Value<engine::InterpBackend>::I64(
+                   cur.value(0).i64() + v));
+      next.Add({"cnt", schema::FieldKind::kInt64},
+               engine::Value<engine::InterpBackend>::I64(
+                   cur.value(1).i64() + 1));
+      return next;
+    });
+    auto& m = model[k];
+    m.first += v;
+    m.second += 1;
+  }
+
+  // Merge lanes (sum both fields) and compare with the model.
+  engine::Record<engine::InterpBackend> init;
+  init.Add({"sum", schema::FieldKind::kInt64},
+           engine::Value<engine::InterpBackend>::I64(0));
+  init.Add({"cnt", schema::FieldKind::kInt64},
+           engine::Value<engine::InterpBackend>::I64(0));
+  hm.MergeLanes(
+      b,
+      [&](const auto& cur, const auto& other) {
+        engine::Record<engine::InterpBackend> next;
+        next.Add({"sum", schema::FieldKind::kInt64},
+                 engine::Value<engine::InterpBackend>::I64(
+                     cur.value(0).i64() + other.value(0).i64()));
+        next.Add({"cnt", schema::FieldKind::kInt64},
+                 engine::Value<engine::InterpBackend>::I64(
+                     cur.value(1).i64() + other.value(1).i64()));
+        return next;
+      },
+      init);
+
+  std::unordered_map<int64_t, std::pair<int64_t, int64_t>> got;
+  hm.Foreach(b, [&](const auto& rec) {
+    got[rec.value(0).i64()] = {rec.value(1).i64(), rec.value(2).i64()};
+  });
+  ASSERT_EQ(got.size(), model.size());
+  for (const auto& [k, v] : model) {
+    ASSERT_TRUE(got.count(k)) << "missing key " << k;
+    EXPECT_EQ(got[k], v) << "key " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HashMapModelTest, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// Staged sort vs std::sort
+// ---------------------------------------------------------------------------
+
+TEST(SortPropertyTest, RandomOrderBysMatchOracle) {
+  rt::Database db;
+  tpch::Generate(0.002, 4242, &db);
+  std::mt19937 rng(99);
+  const schema::Schema ps = tpch::TableSchema("partsupp");
+  for (int round = 0; round < 6; ++round) {
+    std::vector<SortKey> keys;
+    int nk = 1 + static_cast<int>(rng() % 3);
+    for (int i = 0; i < nk; ++i) {
+      const auto& f = ps.field(static_cast<int>(rng() % 5));
+      keys.push_back({f.name, rng() % 2 == 0});
+    }
+    Query q{{}, Limit(OrderBy(Scan("partsupp"), keys), 50)};
+    std::string oracle = volcano::Execute(q, db);
+    auto cq = compile::CompileQuery(q, db, {}, "propsort");
+    // Order-sensitive comparison: the tiebreak contract makes engines
+    // agree on total order, not just the multiset.
+    EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace lb2

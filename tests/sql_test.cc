@@ -1,0 +1,179 @@
+// SQL front-end tests: parsed queries must produce exactly the results of
+// hand-built plans (and, for a selection of TPC-H queries written in SQL,
+// agree with the plan library in queries.cc). Parsed plans also compile.
+#include <gtest/gtest.h>
+
+#include "compile/lb2_compiler.h"
+#include "sql/sql.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "volcano/volcano.h"
+
+namespace lb2::sql {
+namespace {
+
+using namespace lb2::plan;  // NOLINT
+
+class SqlTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 808, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static void CheckSqlVsPlan(const std::string& text, const Query& expect) {
+    Query q = ParseQuery(text, *db_);
+    std::string got = volcano::Execute(q, *db_);
+    std::string want = volcano::Execute(expect, *db_);
+    EXPECT_EQ(tpch::DiffResults(want, got, tpch::OrderSensitive(expect)), "")
+        << text;
+    // Parsed plans must also go through the compiler.
+    auto cq = compile::CompileQuery(q, *db_, {}, "sql");
+    EXPECT_EQ(tpch::DiffResults(want, cq.Run().text,
+                                tpch::OrderSensitive(expect)),
+              "")
+        << "compiled: " << text;
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* SqlTest::db_ = nullptr;
+
+TEST_F(SqlTest, SelectProjectFilter) {
+  CheckSqlVsPlan(
+      "select n_name, n_regionkey * 2 as twice from nation "
+      "where n_nationkey < 5",
+      {{}, Project(Filter(Scan("nation"), Lt(Col("n_nationkey"), I(5))),
+                   {"n_name", "twice"},
+                   {Col("n_name"), Mul(Col("n_regionkey"), I(2))})});
+}
+
+TEST_F(SqlTest, WhereJoinBecomesHashJoin) {
+  Query q = ParseQuery(
+      "select n_name, r_name from nation, region "
+      "where n_regionkey = r_regionkey and r_name = 'ASIA'",
+      *db_);
+  // The join condition must have been lifted into a join operator, and the
+  // single-table filter pushed below it.
+  std::string plan_text = PlanToString(q.root);
+  EXPECT_NE(plan_text.find("HashJoin"), std::string::npos) << plan_text;
+
+  auto expect = KeepCols(
+      Join(Scan("nation"),
+           Filter(Scan("region"), Eq(Col("r_name"), S("ASIA"))),
+           {"n_regionkey"}, {"r_regionkey"}),
+      {"n_name", "r_name"});
+  CheckSqlVsPlan(
+      "select n_name, r_name from nation, region "
+      "where n_regionkey = r_regionkey and r_name = 'ASIA'",
+      {{}, expect});
+}
+
+TEST_F(SqlTest, ThreeWayJoin) {
+  CheckSqlVsPlan(
+      "select s_name, n_name, r_name from supplier, nation, region "
+      "where s_nationkey = n_nationkey and n_regionkey = r_regionkey "
+      "and r_name = 'EUROPE' order by s_name limit 5",
+      {{}, Limit(OrderBy(
+                     KeepCols(Join(Join(Scan("supplier"), Scan("nation"),
+                                        {"s_nationkey"}, {"n_nationkey"}),
+                                   Filter(Scan("region"),
+                                          Eq(Col("r_name"), S("EUROPE"))),
+                                   {"n_regionkey"}, {"r_regionkey"}),
+                              {"s_name", "n_name", "r_name"}),
+                     {{"s_name", true}}),
+                 5)});
+}
+
+TEST_F(SqlTest, GroupByWithAggregatesAndAvg) {
+  CheckSqlVsPlan(
+      "select c_mktsegment, count(*) as cnt, sum(c_acctbal) as bal, "
+      "avg(c_acctbal) as ab from customer group by c_mktsegment "
+      "order by c_mktsegment",
+      {{}, OrderBy(
+               Project(GroupBy(Scan("customer"), {"c_mktsegment"},
+                               {Col("c_mktsegment")},
+                               {CountStar("cnt"), Sum(Col("c_acctbal"), "bal"),
+                                Sum(Col("c_acctbal"), "s2"),
+                                CountStar("n2")}),
+                       {"c_mktsegment", "cnt", "bal", "ab"},
+                       {Col("c_mktsegment"), Col("cnt"), Col("bal"),
+                        Div(Col("s2"), Col("n2"))}),
+               {{"c_mktsegment", true}})});
+}
+
+TEST_F(SqlTest, ScalarAggregate) {
+  CheckSqlVsPlan(
+      "select sum(l_extendedprice * l_discount) as revenue from lineitem "
+      "where l_shipdate >= date '1994-01-01' "
+      "and l_shipdate < date '1995-01-01' "
+      "and l_discount between 0.05 and 0.07 and l_quantity < 24",
+      tpch::BuildQuery(6, {.scale_factor = 0.002}));
+}
+
+TEST_F(SqlTest, GroupByExpression) {
+  CheckSqlVsPlan(
+      "select year(o_orderdate) as yr, count(*) as n from orders "
+      "group by year(o_orderdate) order by yr",
+      {{}, OrderBy(GroupBy(Scan("orders"), {"g0"},
+                           {Year(Col("o_orderdate"))}, {CountStar("n")}),
+                   {{"g0", true}})});
+}
+
+TEST_F(SqlTest, TpchQ1InSql) {
+  // The full Q1 text (spec syntax, modulo the interval literal).
+  Query q = ParseQuery(
+      "select l_returnflag, l_linestatus, sum(l_quantity) as sum_qty, "
+      " sum(l_extendedprice) as sum_base_price, "
+      " sum(l_extendedprice * (1 - l_discount)) as sum_disc_price, "
+      " sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) as sum_charge, "
+      " avg(l_quantity) as avg_qty, avg(l_extendedprice) as avg_price, "
+      " avg(l_discount) as avg_disc, count(*) as count_order "
+      "from lineitem where l_shipdate <= date '1998-09-02' "
+      "group by l_returnflag, l_linestatus "
+      "order by l_returnflag, l_linestatus",
+      *db_);
+  std::string got = volcano::Execute(q, *db_);
+  std::string want =
+      volcano::Execute(tpch::BuildQuery(1, {.scale_factor = 0.002}), *db_);
+  EXPECT_EQ(tpch::DiffResults(want, got, true), "");
+}
+
+TEST_F(SqlTest, CaseLikeInSubstring) {
+  CheckSqlVsPlan(
+      "select substring(c_phone, 1, 2) as cc, "
+      " sum(case when c_acctbal > 0 then 1 else 0 end) as pos "
+      "from customer where c_mktsegment in ('BUILDING', 'MACHINERY') "
+      "and c_comment not like '%special%' group by substring(c_phone, 1, 2) "
+      "order by cc",
+      {{}, OrderBy(
+               GroupBy(Filter(Scan("customer"),
+                              And(InStr(Col("c_mktsegment"),
+                                        {"BUILDING", "MACHINERY"}),
+                                  NotLike(Col("c_comment"), "%special%"))),
+                       {"g0"}, {Substring(Col("c_phone"), 0, 2)},
+                       {Sum(Case(Gt(Col("c_acctbal"), D(0.0)), I(1), I(0)),
+                            "pos")}),
+               {{"g0", true}})});
+}
+
+TEST_F(SqlTest, ErrorsAreReported) {
+  plan::Query q;
+  std::string err;
+  EXPECT_FALSE(ParseQueryOrError("select from nation", *db_, &q, &err));
+  EXPECT_FALSE(
+      ParseQueryOrError("select x from no_such_table", *db_, &q, &err));
+  EXPECT_NE(err.find("no_such_table"), std::string::npos);
+  EXPECT_FALSE(ParseQueryOrError(
+      "select n_name from nation, region where n_nationkey > 0", *db_, &q,
+      &err));  // no join condition
+  EXPECT_NE(err.find("equi-join"), std::string::npos);
+  EXPECT_FALSE(ParseQueryOrError("select n_name from nation order by bogus",
+                                 *db_, &q, &err));
+}
+
+}  // namespace
+}  // namespace lb2::sql

@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "stage/control.h"
+#include "stage/jit.h"
+#include "stage/rep.h"
+
+namespace lb2::stage {
+namespace {
+
+using ::testing::Test;
+
+// Builds a module with one exported function `entry(void** env, lb2_out*)`
+// whose body is produced by `body`, then JIT-compiles it.
+std::unique_ptr<JitModule> BuildAndJit(
+    const std::string& tag, const std::function<void(CodegenContext*)>& body) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("int64_t", "entry",
+                    {{"void**", "env"}, {"lb2_out*", "out"}},
+                    /*is_static=*/false);
+  body(&ctx);
+  ctx.EndFunction();
+  return Jit::Compile(ctx.module(), tag);
+}
+
+int64_t RunI64(JitModule* m, void** env = nullptr) {
+  QueryOut out;
+  int64_t r = m->entry("entry")(env, &out);
+  free(out.data);
+  return r;
+}
+
+TEST(RepTest, ConstantFolding) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {});
+  Rep<int64_t> a = 6, b = 7;
+  Rep<int64_t> c = a * b;
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.const_value(), 42);
+  Rep<bool> t = a < b;
+  EXPECT_TRUE(t.is_const());
+  EXPECT_TRUE(t.const_value());
+  // Folded expressions emit no code.
+  ctx.EndFunction();
+  EXPECT_TRUE(ctx.module().functions()[0]->body.empty());
+}
+
+TEST(RepTest, DivisionByConstantZeroDoesNotFold) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {});
+  Rep<int64_t> a = 10, z = 0;
+  Rep<int64_t> d = a / z;  // must residualize, not crash the generator
+  EXPECT_FALSE(d.is_const());
+  ctx.EndFunction();
+}
+
+TEST(RepTest, MixedConstVarEmitsCode) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {{"int64_t", "n"}});
+  Rep<int64_t> n = Rep<int64_t>::FromRef("n");
+  Rep<int64_t> m = n + 1;
+  EXPECT_FALSE(m.is_const());
+  ctx.EndFunction();
+  ASSERT_EQ(ctx.module().functions()[0]->body.size(), 1u);
+  EXPECT_NE(ctx.module().functions()[0]->body[0].find("(n + 1LL)"),
+            std::string::npos);
+}
+
+TEST(RepTest, BooleanShortCircuitAtStageTime) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {{"bool", "p"}});
+  Rep<bool> p = Rep<bool>::FromRef("p");
+  Rep<bool> a = Rep<bool>(true) && p;
+  EXPECT_EQ(a.ref(), "p");
+  Rep<bool> b = Rep<bool>(false) && p;
+  EXPECT_TRUE(b.is_const());
+  EXPECT_FALSE(b.const_value());
+  Rep<bool> c = Rep<bool>(true) || p;
+  EXPECT_TRUE(c.is_const());
+  EXPECT_TRUE(c.const_value());
+  ctx.EndFunction();
+  EXPECT_TRUE(ctx.module().functions()[0]->body.empty());
+}
+
+TEST(ControlTest, ConstantConditionSpecializesAway) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {});
+  int then_runs = 0, else_runs = 0;
+  IfElse(
+      Rep<bool>(true), [&] { ++then_runs; }, [&] { ++else_runs; });
+  If(Rep<bool>(false), [&] { ++else_runs; });
+  EXPECT_EQ(then_runs, 1);
+  EXPECT_EQ(else_runs, 0);
+  ctx.EndFunction();
+  // No if-statements in the generated code at all.
+  EXPECT_TRUE(ctx.module().functions()[0]->body.empty());
+}
+
+// The paper's Section 2 example: specializing power(x, 4) must produce a
+// straight-line multiply chain, which we then compile and execute.
+TEST(FutamuraTest, PowerSpecialization) {
+  // The staged interpreter: an ordinary recursive power function over a
+  // symbolic base. The exponent is static and disappears.
+  std::function<Rep<int64_t>(Rep<int64_t>, int)> power =
+      [&](Rep<int64_t> x, int n) -> Rep<int64_t> {
+    if (n == 0) return Rep<int64_t>(1);
+    return x * power(x, n - 1);
+  };
+
+  auto mod = BuildAndJit("power", [&](CodegenContext* ctx) {
+    Rep<int64_t> in = Bind<int64_t>("(int64_t)(intptr_t)env[0]");
+    Return(power(in, 4));
+  });
+  // Residual code is multiplications only: no loop, no recursion. The
+  // prelude contains loops, so only inspect the emitted entry function,
+  // which is the last definition in the module.
+  size_t entry_def = mod->source().rfind("int64_t entry(");
+  ASSERT_NE(entry_def, std::string::npos);
+  std::string_view body = std::string_view(mod->source()).substr(entry_def);
+  EXPECT_EQ(body.find("for ("), std::string_view::npos);
+  EXPECT_EQ(body.find("while"), std::string_view::npos);
+  EXPECT_NE(body.find("*"), std::string_view::npos);
+  void* env[1] = {reinterpret_cast<void*>(static_cast<intptr_t>(3))};
+  EXPECT_EQ(RunI64(mod.get(), env), 81);
+  void* env2[1] = {reinterpret_cast<void*>(static_cast<intptr_t>(5))};
+  EXPECT_EQ(RunI64(mod.get(), env2), 625);
+}
+
+TEST(JitTest, LoopSumWithVar) {
+  auto mod = BuildAndJit("loopsum", [&](CodegenContext* ctx) {
+    Var<int64_t> acc(Rep<int64_t>(0));
+    For(0, 100, [&](Rep<int64_t> i) { acc.Add(i); });
+    Return(acc.Get());
+  });
+  EXPECT_EQ(RunI64(mod.get()), 4950);
+}
+
+TEST(JitTest, WhileAndBreak) {
+  auto mod = BuildAndJit("whilebrk", [&](CodegenContext* ctx) {
+    Var<int64_t> n(Rep<int64_t>(1));
+    While([&] { return n.Get() < 1000; }, [&] { n.Set(n.Get() * 2); });
+    Return(n.Get());
+  });
+  EXPECT_EQ(RunI64(mod.get()), 1024);
+}
+
+TEST(JitTest, LoopWithExplicitBreak) {
+  auto mod = BuildAndJit("loopbrk", [&](CodegenContext* ctx) {
+    Var<int64_t> n(Rep<int64_t>(0));
+    Loop([&] {
+      n.Inc();
+      If(n.Get() >= 7, [] { Break(); });
+    });
+    Return(n.Get());
+  });
+  EXPECT_EQ(RunI64(mod.get()), 7);
+}
+
+TEST(JitTest, MallocLoadStore) {
+  auto mod = BuildAndJit("mem", [&](CodegenContext* ctx) {
+    Rep<int64_t*> arr = Malloc<int64_t>(10);
+    For(0, 10, [&](Rep<int64_t> i) { Store<int64_t>(arr, i, i * i); });
+    Var<int64_t> acc(Rep<int64_t>(0));
+    For(0, 10, [&](Rep<int64_t> i) { acc.Add(Load<int64_t>(arr, i)); });
+    Free(arr);
+    Return(acc.Get());
+  });
+  EXPECT_EQ(RunI64(mod.get()), 285);
+}
+
+TEST(JitTest, IfValSelect) {
+  auto mod = BuildAndJit("ifval", [&](CodegenContext* ctx) {
+    Rep<int64_t> x = Bind<int64_t>("(int64_t)(intptr_t)env[0]");
+    Rep<int64_t> y = IfVal<int64_t>(
+        x > 10, [&] { return x * 2; }, [&] { return x + 100; });
+    Rep<int64_t> z = Select(y % 2 == Rep<int64_t>(0), y, y + 1);
+    Return(z);
+  });
+  void* env[1] = {reinterpret_cast<void*>(static_cast<intptr_t>(20))};
+  EXPECT_EQ(RunI64(mod.get(), env), 40);
+  void* env2[1] = {reinterpret_cast<void*>(static_cast<intptr_t>(3))};
+  EXPECT_EQ(RunI64(mod.get(), env2), 104);  // 103 rounded up to even
+}
+
+TEST(JitTest, PreludeStringHelpers) {
+  auto mod = BuildAndJit("strhelpers", [&](CodegenContext* ctx) {
+    Rep<const char*> s = Rep<const char*>::FromRef(CStringLit("greenway"));
+    Rep<const char*> p = Rep<const char*>::FromRef(CStringLit("%green%"));
+    Rep<bool> m = Call<bool>("lb2_like", s, Rep<int32_t>(8), p,
+                             Rep<int32_t>(7));
+    Rep<bool> sw = Call<bool>("lb2_starts_with", s, Rep<int32_t>(8),
+                              Rep<const char*>::FromRef(CStringLit("gre")),
+                              Rep<int32_t>(3));
+    Return(CastRep<int64_t>(m) * 10 + CastRep<int64_t>(sw));
+  });
+  EXPECT_EQ(RunI64(mod.get()), 11);
+}
+
+TEST(JitTest, OutputBuffer) {
+  auto mod = BuildAndJit("outbuf", [&](CodegenContext* ctx) {
+    Rep<char*> o = Rep<char*>::FromRef("(char*)out");
+    (void)o;
+    Stmt("lb2_out_cstr(out, \"k|\");");
+    Stmt("lb2_out_i64(out, 42);");
+    Stmt("lb2_out_char(out, '|');");
+    Stmt("lb2_out_f64(out, 2.5);");
+    Stmt("lb2_out_char(out, '|');");
+    Stmt("lb2_out_date(out, 19980902);");
+    Stmt("lb2_out_char(out, '\\n');");
+    Stmt("out->rows = 1;");
+    Return(Rep<int64_t>(1));
+  });
+  QueryOut out;
+  int64_t r = mod->entry("entry")(nullptr, &out);
+  EXPECT_EQ(r, 1);
+  EXPECT_EQ(out.rows, 1);
+  ASSERT_NE(out.data, nullptr);
+  std::string text(out.data, static_cast<size_t>(out.len));
+  EXPECT_EQ(text, "k|42|2.5000|1998-09-02\n");
+  free(out.data);
+}
+
+TEST(JitTest, NestedFunctions) {
+  // A helper function generated mid-way through another function's body
+  // (the mechanism behind sort comparators and thread entry points).
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("int64_t", "entry",
+                    {{"void**", "env"}, {"lb2_out*", "out"}},
+                    /*is_static=*/false);
+  Var<int64_t> acc(Rep<int64_t>(0));
+  // Begin a second function while `entry` is in progress.
+  ctx.BeginFunction("int64_t", "twice", {{"int64_t", "v"}});
+  Return(Rep<int64_t>::FromRef("v") * 2);
+  ctx.EndFunction();
+  acc.Set(Call<int64_t>("twice", Rep<int64_t>(21)));
+  Return(acc.Get());
+  ctx.EndFunction();
+  auto mod = Jit::Compile(ctx.module(), "nested");
+  EXPECT_EQ(RunI64(mod.get()), 42);
+}
+
+TEST(JitTest, CompileTimesRecorded) {
+  auto mod = BuildAndJit("times", [&](CodegenContext* ctx) {
+    Return(Rep<int64_t>(1));
+  });
+  EXPECT_GE(mod->codegen_ms(), 0.0);
+  EXPECT_GT(mod->compile_ms(), 0.0);
+}
+
+TEST(EmitTest, GeneratedSourceIsReadable) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.BeginFunction("void", "f", {{"int64_t", "n"}});
+  Comment("hot loop");
+  For(0, Rep<int64_t>::FromRef("n"), [&](Rep<int64_t> i) {
+    If(i % Rep<int64_t>(2) == Rep<int64_t>(0), [&] { Stmt("(void)0;"); });
+  });
+  ctx.EndFunction();
+  std::string src = ctx.module().Emit();
+  EXPECT_NE(src.find("/* hot loop */"), std::string::npos);
+  EXPECT_NE(src.find("for (int64_t"), std::string::npos);
+  // Braces balance.
+  EXPECT_EQ(std::count(src.begin(), src.end(), '{'),
+            std::count(src.begin(), src.end(), '}'));
+}
+
+}  // namespace
+}  // namespace lb2::stage

@@ -1,0 +1,62 @@
+// The template-expansion compiler must agree with the oracle on all 22
+// TPC-H queries (compliant plans), and its generated code must show the
+// generic-library signature the paper criticizes (chained nodes, per-row
+// copies) rather than LB2's specialized flat arrays.
+#include <gtest/gtest.h>
+
+#include "compile/template_compiler.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "volcano/volcano.h"
+
+namespace lb2::compile {
+namespace {
+
+class TemplateCompilerTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 31337, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static rt::Database* db_;
+};
+
+rt::Database* TemplateCompilerTest::db_ = nullptr;
+
+TEST_P(TemplateCompilerTest, MatchesOracle) {
+  int qn = GetParam();
+  tpch::QueryOptions qo;
+  qo.scale_factor = 0.002;
+  auto q = tpch::BuildQuery(qn, qo);
+  std::string oracle = volcano::Execute(q, *db_);
+  auto cq = CompileTemplateQuery(q, *db_, "tq" + std::to_string(qn));
+  EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text,
+                              tpch::OrderSensitive(q)),
+            "")
+      << "template-compiled Q" << qn;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TemplateCompilerTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+TEST(TemplateCompilerCodeTest, UsesGenericStructures) {
+  rt::Database db;
+  tpch::Generate(0.002, 1, &db);
+  tpch::QueryOptions qo;
+  qo.scale_factor = 0.002;
+  auto cq = CompileTemplateQuery(tpch::BuildQuery(1, qo), db, "tqspec");
+  // The generic chained hash table and per-row heap copies are present —
+  // the exact inefficiencies the paper's Section 4 attributes to pure
+  // template expansion.
+  EXPECT_NE(cq.source().find("lb2t_ht_new"), std::string::npos);
+  EXPECT_NE(cq.source().find("lb2t_row_copy"), std::string::npos);
+  EXPECT_NE(cq.source().find("lb2t_node"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lb2::compile

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "tpch/dbgen.h"
+#include "util/str.h"
+
+namespace lb2::tpch {
+namespace {
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    Generate(/*scale_factor=*/0.002, /*seed=*/42, db_);
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+  static rt::Database* db_;
+};
+
+rt::Database* DbgenTest::db_ = nullptr;
+
+TEST_F(DbgenTest, AllTablesPresentWithExpectedCardinalities) {
+  for (const auto& name : TableNames()) {
+    ASSERT_TRUE(db_->HasTable(name)) << name;
+    EXPECT_EQ(db_->table(name).schema(), TableSchema(name)) << name;
+  }
+  EXPECT_EQ(db_->table("region").num_rows(), 5);
+  EXPECT_EQ(db_->table("nation").num_rows(), 25);
+  int64_t suppliers = db_->table("supplier").num_rows();
+  int64_t parts = db_->table("part").num_rows();
+  int64_t customers = db_->table("customer").num_rows();
+  int64_t orders = db_->table("orders").num_rows();
+  int64_t lineitems = db_->table("lineitem").num_rows();
+  EXPECT_GE(suppliers, 10);
+  EXPECT_EQ(db_->table("partsupp").num_rows(), 4 * parts);
+  EXPECT_EQ(orders, 10 * customers);
+  EXPECT_GE(lineitems, orders);       // >= 1 line per order
+  EXPECT_LE(lineitems, 7 * orders);   // <= 7 lines per order
+}
+
+TEST_F(DbgenTest, Deterministic) {
+  rt::Database other;
+  Generate(0.002, 42, &other);
+  const auto& a = db_->table("lineitem");
+  const auto& b = other.table("lineitem");
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (int64_t i = 0; i < a.num_rows(); i += 97) {
+    EXPECT_EQ(a.column("l_orderkey").Int64At(i),
+              b.column("l_orderkey").Int64At(i));
+    EXPECT_EQ(a.column("l_comment").StringAt(i),
+              b.column("l_comment").StringAt(i));
+    EXPECT_EQ(a.column("l_extendedprice").DoubleAt(i),
+              b.column("l_extendedprice").DoubleAt(i));
+  }
+}
+
+TEST_F(DbgenTest, DifferentSeedsDiffer) {
+  rt::Database other;
+  Generate(0.002, 43, &other);
+  const auto& a = db_->table("orders");
+  const auto& b = other.table("orders");
+  int diff = 0;
+  for (int64_t i = 0; i < std::min(a.num_rows(), b.num_rows()); ++i) {
+    diff += a.column("o_custkey").Int64At(i) !=
+            b.column("o_custkey").Int64At(i);
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST_F(DbgenTest, ForeignKeysResolve) {
+  const auto& l = db_->table("lineitem");
+  int64_t orders = db_->table("orders").num_rows();
+  int64_t parts = db_->table("part").num_rows();
+  std::set<std::pair<int64_t, int64_t>> ps_keys;
+  const auto& ps = db_->table("partsupp");
+  for (int64_t i = 0; i < ps.num_rows(); ++i) {
+    ps_keys.emplace(ps.column("ps_partkey").Int64At(i),
+                    ps.column("ps_suppkey").Int64At(i));
+  }
+  EXPECT_EQ(ps_keys.size(), static_cast<size_t>(ps.num_rows()))
+      << "partsupp (partkey, suppkey) must be unique";
+  for (int64_t i = 0; i < l.num_rows(); ++i) {
+    int64_t ok = l.column("l_orderkey").Int64At(i);
+    ASSERT_GE(ok, 1);
+    ASSERT_LE(ok, orders);
+    int64_t pk = l.column("l_partkey").Int64At(i);
+    ASSERT_GE(pk, 1);
+    ASSERT_LE(pk, parts);
+    ASSERT_TRUE(ps_keys.count({pk, l.column("l_suppkey").Int64At(i)}))
+        << "lineitem (partkey, suppkey) must exist in partsupp";
+  }
+}
+
+TEST_F(DbgenTest, DatesAreConsistent) {
+  const auto& l = db_->table("lineitem");
+  for (int64_t i = 0; i < l.num_rows(); ++i) {
+    int32_t ship = l.column("l_shipdate").DateAt(i);
+    int32_t receipt = l.column("l_receiptdate").DateAt(i);
+    EXPECT_LT(ship, receipt);
+    EXPECT_GE(ship / 10000, 1992);
+    EXPECT_LE(receipt / 10000, 1999);
+  }
+}
+
+TEST_F(DbgenTest, SomeCustomersHaveNoOrders) {
+  std::set<int64_t> with_orders;
+  const auto& o = db_->table("orders");
+  for (int64_t i = 0; i < o.num_rows(); ++i) {
+    int64_t ck = o.column("o_custkey").Int64At(i);
+    EXPECT_NE(ck % 3, 0);
+    with_orders.insert(ck);
+  }
+  EXPECT_LT(static_cast<int64_t>(with_orders.size()),
+            db_->table("customer").num_rows());
+}
+
+TEST_F(DbgenTest, StringDomainsMatchSpec) {
+  const auto& p = db_->table("part");
+  int promo = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    auto type = p.column("p_type").StringAt(i);
+    auto brand = p.column("p_brand").StringAt(i);
+    EXPECT_TRUE(StartsWith(brand, "Brand#"));
+    promo += StartsWith(type, "PROMO");
+  }
+  // PROMO is 1 of 6 type classes.
+  EXPECT_GT(promo, 0);
+  EXPECT_LT(promo, p.num_rows() / 2);
+
+  int green = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    green += LikeMatch(p.column("p_name").StringAt(i), "%green%");
+  }
+  EXPECT_GT(green, 0) << "Q9 needs parts with 'green' in the name";
+}
+
+TEST_F(DbgenTest, OrderCommentPatternRate) {
+  const auto& o = db_->table("orders");
+  int matches = 0;
+  for (int64_t i = 0; i < o.num_rows(); ++i) {
+    matches += LikeMatch(o.column("o_comment").StringAt(i),
+                         "%special%requests%");
+  }
+  // Injected at ~1% plus chance matches; Q13's excluded population must be
+  // non-empty but small.
+  EXPECT_GT(matches, 0);
+  EXPECT_LT(matches, o.num_rows() / 5);
+}
+
+TEST_F(DbgenTest, AuxStructuresBuild) {
+  rt::Database db;
+  Generate(0.002, 7, &db);
+  LoadOptions opts{.pk_fk_indexes = true,
+                   .date_indexes = true,
+                   .string_dicts = true};
+  double ms = BuildAuxStructures(opts, &db);
+  EXPECT_GE(ms, 0.0);
+  ASSERT_NE(db.pk_index("orders", "o_orderkey"), nullptr);
+  ASSERT_NE(db.fk_index("lineitem", "l_orderkey"), nullptr);
+  ASSERT_NE(db.date_index("lineitem", "l_shipdate"), nullptr);
+  ASSERT_NE(db.dictionary("part", "p_brand"), nullptr);
+  EXPECT_GT(db.AuxMemoryBytes(), 0);
+
+  // PK index: every key resolves to the right row.
+  const auto* pk = db.pk_index("orders", "o_orderkey");
+  const auto& o = db.table("orders");
+  for (int64_t i = 0; i < o.num_rows(); i += 53) {
+    int64_t key = o.column("o_orderkey").Int64At(i);
+    EXPECT_EQ(pk->pos[static_cast<size_t>(key - pk->min_key)], i);
+  }
+
+  // FK index: CSR segments cover exactly the matching rows.
+  const auto* fk = db.fk_index("lineitem", "l_orderkey");
+  const auto& l = db.table("lineitem");
+  int64_t covered = 0;
+  for (int64_t k = fk->min_key; k <= fk->max_key; ++k) {
+    size_t s = static_cast<size_t>(k - fk->min_key);
+    for (int64_t j = fk->offsets[s]; j < fk->offsets[s + 1]; ++j) {
+      EXPECT_EQ(l.column("l_orderkey").Int64At(fk->rows[static_cast<size_t>(j)]),
+                k);
+      ++covered;
+    }
+  }
+  EXPECT_EQ(covered, l.num_rows());
+
+  // Date index: buckets partition the table.
+  const auto* di = db.date_index("lineitem", "l_shipdate");
+  EXPECT_EQ(static_cast<int64_t>(di->rows.size()), l.num_rows());
+  EXPECT_EQ(di->offsets.back(), l.num_rows());
+}
+
+TEST_F(DbgenTest, DictionaryRoundTrip) {
+  rt::Database db;
+  Generate(0.002, 7, &db);
+  db.BuildDictionary("lineitem", "l_shipmode");
+  const auto* dict = db.dictionary("lineitem", "l_shipmode");
+  ASSERT_NE(dict, nullptr);
+  EXPECT_EQ(dict->size(), 7);  // 7 ship modes
+  const auto& col = db.table("lineitem").column("l_shipmode");
+  for (int64_t i = 0; i < col.size(); i += 11) {
+    EXPECT_EQ(dict->Decode(col.DictCodeAt(i)), col.StringAt(i));
+  }
+  // Codes are sorted: MAIL < RAIL etc.
+  EXPECT_LT(dict->CodeOf("AIR"), dict->CodeOf("TRUCK"));
+  EXPECT_EQ(dict->CodeOf("NOSUCH"), -1);
+  auto [lo, hi] = dict->PrefixRange("R");
+  for (int32_t c = lo; c < hi; ++c) {
+    EXPECT_TRUE(StartsWith(dict->Decode(c), "R"));
+  }
+  EXPECT_EQ(hi - lo, 2);  // RAIL, REG AIR
+}
+
+}  // namespace
+}  // namespace lb2::tpch

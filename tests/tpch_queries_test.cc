@@ -1,0 +1,96 @@
+// Integration tests: all 22 TPC-H queries, executed by the Volcano
+// interpreter (oracle), the data-centric interpreter, and the LB2 compiler,
+// at every optimization level (compliant / indexes / indexes+date /
+// indexes+date+dictionaries). Every engine and level must agree.
+#include <gtest/gtest.h>
+
+#include "compile/lb2_compiler.h"
+#include "engine/exec.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "volcano/volcano.h"
+
+namespace lb2::tpch {
+namespace {
+
+constexpr double kScaleFactor = 0.002;
+
+class TpchQueryTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    Generate(kScaleFactor, 2026, db_);
+    LoadOptions all{.pk_fk_indexes = true,
+                    .date_indexes = true,
+                    .string_dicts = true};
+    BuildAuxStructures(all, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static rt::Database* db_;
+};
+
+rt::Database* TpchQueryTest::db_ = nullptr;
+
+TEST_P(TpchQueryTest, AllEnginesAllLevelsAgree) {
+  int qn = GetParam();
+  QueryOptions base;
+  base.scale_factor = kScaleFactor;
+  plan::Query compliant = BuildQuery(qn, base);
+  std::string oracle = volcano::Execute(compliant, *db_);
+  bool ordered = OrderSensitive(compliant);
+  // Threshold-style queries (Q11 value fraction, Q18 qty > 300, Q20 excess
+  // stock) can legitimately select nothing at this tiny scale factor; all
+  // others must produce rows.
+  if (qn != 11 && qn != 18 && qn != 20) {
+    EXPECT_FALSE(oracle.empty()) << "query " << qn << " returned nothing";
+  }
+
+  // Data-centric interpreter, compliant plan.
+  auto interp = engine::ExecuteInterp(compliant, *db_);
+  EXPECT_EQ(DiffResults(oracle, interp.text, ordered), "")
+      << "Q" << qn << " interp";
+
+  // Compiled, compliant plan.
+  std::string tag = "q" + std::to_string(qn);
+  auto cq = compile::CompileQuery(compliant, *db_, {}, tag);
+  EXPECT_EQ(DiffResults(oracle, cq.Run().text, ordered), "")
+      << "Q" << qn << " compiled";
+
+  // Compiled with index joins.
+  QueryOptions idx = base;
+  idx.use_indexes = true;
+  auto q_idx = BuildQuery(qn, idx);
+  auto cq_idx = compile::CompileQuery(q_idx, *db_, {}, tag + "i");
+  EXPECT_EQ(DiffResults(oracle, cq_idx.Run().text, ordered), "")
+      << "Q" << qn << " compiled+idx";
+
+  // Compiled with index joins + date indexes.
+  QueryOptions idx_date = idx;
+  idx_date.use_date_index = true;
+  auto q_idxd = BuildQuery(qn, idx_date);
+  auto cq_idxd = compile::CompileQuery(q_idxd, *db_, {}, tag + "id");
+  EXPECT_EQ(DiffResults(oracle, cq_idxd.Run().text, ordered), "")
+      << "Q" << qn << " compiled+idx+date";
+
+  // Compiled with everything plus string dictionaries.
+  engine::EngineOptions dict_opts;
+  dict_opts.use_dict = true;
+  auto cq_all = compile::CompileQuery(q_idxd, *db_, dict_opts, tag + "ids");
+  EXPECT_EQ(DiffResults(oracle, cq_all.Run().text, ordered), "")
+      << "Q" << qn << " compiled+idx+date+dict";
+
+  // Dictionary option on the interpreter too.
+  auto interp_dict = engine::ExecuteInterp(compliant, *db_, dict_opts);
+  EXPECT_EQ(DiffResults(oracle, interp_dict.text, ordered), "")
+      << "Q" << qn << " interp+dict";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQueries, TpchQueryTest,
+                         ::testing::Range(1, 23),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace lb2::tpch

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/str.h"
+
+namespace lb2 {
+namespace {
+
+TEST(StrTest, SplitJoin) {
+  auto parts = SplitString("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings(parts, "|"), "a|b||c");
+  EXPECT_EQ(SplitString("", ',').size(), 1u);
+}
+
+TEST(StrTest, StrPrintf) {
+  EXPECT_EQ(StrPrintf("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrPrintf("%.2f", 1.005), "1.00");
+}
+
+TEST(StrTest, Affixes) {
+  EXPECT_TRUE(StartsWith("PROMO BURNISHED", "PROMO"));
+  EXPECT_FALSE(StartsWith("PRO", "PROMO"));
+  EXPECT_TRUE(EndsWith("ECONOMY BRUSHED TIN", "TIN"));
+  EXPECT_FALSE(EndsWith("TIN", "BRUSHED TIN"));
+}
+
+TEST(LikeTest, Basics) {
+  EXPECT_TRUE(LikeMatch("greenway", "%green%"));
+  EXPECT_TRUE(LikeMatch("green", "green"));
+  EXPECT_FALSE(LikeMatch("gren", "green"));
+  EXPECT_TRUE(LikeMatch("abc", "a_c"));
+  EXPECT_FALSE(LikeMatch("abbc", "a_c"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  EXPECT_TRUE(LikeMatch("special packages requests",
+                        "%special%requests%"));
+  EXPECT_FALSE(LikeMatch("specialrequest", "%special%requests%"));
+  EXPECT_TRUE(LikeMatch("xxmediumxxpolishedxx", "%medium%polished%"));
+  EXPECT_FALSE(LikeMatch("xxpolishedxxmediumxx", "%medium%polished%"));
+}
+
+TEST(LikeTest, BacktrackingStress) {
+  // Patterns that defeat naive greedy matchers.
+  EXPECT_TRUE(LikeMatch("aaaaaaaaab", "%a%b"));
+  EXPECT_TRUE(LikeMatch("abababab", "%ab%ab%ab%"));
+  EXPECT_FALSE(LikeMatch("abababa", "%ab%ab%abb%"));
+}
+
+TEST(DateTest, ParseFormatRoundTrip) {
+  EXPECT_EQ(ParseDate("1998-09-02"), 19980902);
+  EXPECT_EQ(DateToString(19980902), "1998-09-02");
+  EXPECT_EQ(ParseDate("1992-01-01"), 19920101);
+}
+
+TEST(DateTest, AddMonths) {
+  EXPECT_EQ(DateAddMonths(19950101, 3), 19950401);
+  EXPECT_EQ(DateAddMonths(19951101, 3), 19960201);
+  EXPECT_EQ(DateAddMonths(19950131, 1), 19950228);
+  EXPECT_EQ(DateAddMonths(19960131, 1), 19960229);  // leap year
+  EXPECT_EQ(DateAddMonths(19950401, -3), 19950101);
+  EXPECT_EQ(DateAddMonths(19950101, 12), 19960101);
+}
+
+TEST(DateTest, AddDays) {
+  EXPECT_EQ(DateAddDays(19980901, 1), 19980902);
+  EXPECT_EQ(DateAddDays(19981231, 1), 19990101);
+  EXPECT_EQ(DateAddDays(19980902, -90), 19980604);
+  EXPECT_EQ(DateAddDays(19960228, 1), 19960229);
+  EXPECT_EQ(DateAddDays(19950228, 1), 19950301);
+}
+
+TEST(RngTest, DeterministicAndInRange) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = r.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+    double d = r.UniformDouble(0.02, 0.09);
+    EXPECT_GE(d, 0.02);
+    EXPECT_LT(d, 0.09);
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace lb2

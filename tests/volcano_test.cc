@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "plan/plan.h"
+#include "tpch/dbgen.h"
+#include "tpch/text.h"
+#include "util/str.h"
+#include "volcano/volcano.h"
+
+namespace lb2::volcano {
+namespace {
+
+using namespace lb2::plan;  // NOLINT: test readability
+
+class VolcanoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 1234, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static rt::Database* db_;
+};
+
+rt::Database* VolcanoTest::db_ = nullptr;
+
+TEST_F(VolcanoTest, ScanProducesAllRows) {
+  Query q{{}, KeepCols(Scan("region"), {"r_regionkey", "r_name"})};
+  std::string out = Execute(q, *db_);
+  auto lines = SplitString(out, '\n');
+  ASSERT_EQ(lines.size(), 6u);  // 5 rows + trailing empty
+  EXPECT_EQ(lines[0], "0|AFRICA");
+  EXPECT_EQ(lines[4], "4|MIDDLE EAST");
+}
+
+TEST_F(VolcanoTest, SelectFilters) {
+  Query q{{}, KeepCols(Filter(Scan("nation"), Eq(Col("n_name"), S("GERMANY"))),
+                       {"n_nationkey", "n_regionkey"})};
+  EXPECT_EQ(Execute(q, *db_), "7|3\n");
+}
+
+TEST_F(VolcanoTest, ProjectComputesExpressions) {
+  Query q{{}, Project(Filter(Scan("nation"), Lt(Col("n_nationkey"), I(2))),
+                      {"twice", "is_africa"},
+                      {Mul(Col("n_nationkey"), I(2)),
+                       Eq(Col("n_regionkey"), I(0))})};
+  EXPECT_EQ(Execute(q, *db_), "0|1\n2|0\n");
+}
+
+TEST_F(VolcanoTest, JoinNationRegion) {
+  Query q{{}, KeepCols(
+                  Join(Scan("region"), Scan("nation"), {"r_regionkey"},
+                       {"n_regionkey"}),
+                  {"n_name", "r_name"})};
+  std::string out = Execute(q, *db_);
+  auto lines = SplitString(out, '\n');
+  EXPECT_EQ(lines.size(), 26u);  // 25 nations
+  // Every line must pair a nation with its spec region.
+  std::map<std::string, std::string> expect;
+  for (const auto& [nation, rk] : tpch::Nations()) {
+    expect[nation] = tpch::Regions()[static_cast<size_t>(rk)];
+  }
+  for (size_t i = 0; i + 1 < lines.size(); ++i) {
+    auto parts = SplitString(lines[i], '|');
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(expect.at(parts[0]), parts[1]) << lines[i];
+  }
+}
+
+TEST_F(VolcanoTest, JoinResidualPredicate) {
+  // Join nations to nations on region, keeping only pairs with n1 < n2.
+  auto n1 = KeepCols(Scan("nation"), {"k1=n_nationkey", "r1=n_regionkey"});
+  auto n2 = KeepCols(Scan("nation"), {"k2=n_nationkey", "r2=n_regionkey"});
+  Query q{{}, ScalarAggPlan(Join(n1, n2, {"r1"}, {"r2"},
+                                 Lt(Col("k1"), Col("k2"))),
+                            {CountStar("n")})};
+  // 25 nations over 5 regions of 5: per region C(5,2) = 10 pairs.
+  EXPECT_EQ(Execute(q, *db_), "50\n");
+}
+
+TEST_F(VolcanoTest, GroupAggMatchesHandComputation) {
+  Query q{{}, OrderBy(GroupBy(Scan("customer"), {"seg"},
+                              {Col("c_mktsegment")},
+                              {CountStar("cnt"), Sum(Col("c_acctbal"), "bal")}),
+                      {{"seg", true}})};
+  std::string out = Execute(q, *db_);
+  // Hand computation straight off the column data.
+  std::map<std::string, std::pair<int64_t, double>> expect;
+  const auto& c = db_->table("customer");
+  for (int64_t i = 0; i < c.num_rows(); ++i) {
+    auto& e = expect[std::string(c.column("c_mktsegment").StringAt(i))];
+    e.first += 1;
+    e.second += c.column("c_acctbal").DoubleAt(i);
+  }
+  std::string want;
+  for (const auto& [seg, v] : expect) {
+    want += seg + "|" + std::to_string(v.first) + "|" +
+            FormatDouble(v.second) + "\n";
+  }
+  EXPECT_EQ(out, want);
+}
+
+TEST_F(VolcanoTest, MinMaxAggregates) {
+  Query q{{}, ScalarAggPlan(Scan("part"),
+                            {Min(Col("p_size"), "minsz"),
+                             Max(Col("p_size"), "maxsz"),
+                             Min(Col("p_retailprice"), "minp")})};
+  const auto& p = db_->table("part");
+  int64_t mn = 1000, mx = -1;
+  double mnp = 1e18;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    mn = std::min(mn, p.column("p_size").Int64At(i));
+    mx = std::max(mx, p.column("p_size").Int64At(i));
+    mnp = std::min(mnp, p.column("p_retailprice").DoubleAt(i));
+  }
+  EXPECT_EQ(Execute(q, *db_), std::to_string(mn) + "|" + std::to_string(mx) +
+                                  "|" + FormatDouble(mnp) + "\n");
+}
+
+TEST_F(VolcanoTest, SortAscDescAndLimit) {
+  Query q{{}, Limit(OrderBy(KeepCols(Scan("nation"),
+                                     {"n_regionkey", "n_name"}),
+                            {{"n_regionkey", true}, {"n_name", false}}),
+                    3)};
+  std::string out = Execute(q, *db_);
+  auto lines = SplitString(out, '\n');
+  ASSERT_EQ(lines.size(), 4u);
+  // Region 0 nations, names descending: MOZAMBIQUE, MOROCCO, KENYA.
+  EXPECT_EQ(lines[0], "0|MOZAMBIQUE");
+  EXPECT_EQ(lines[1], "0|MOROCCO");
+  EXPECT_EQ(lines[2], "0|KENYA");
+}
+
+TEST_F(VolcanoTest, SemiAndAntiJoinPartition) {
+  // customers with orders + customers without orders == all customers.
+  auto orders = KeepCols(Scan("orders"), {"o_custkey"});
+  Query semi{{}, ScalarAggPlan(SemiJoin(Scan("customer"), orders,
+                                        {"c_custkey"}, {"o_custkey"}),
+                               {CountStar("n")})};
+  Query anti{{}, ScalarAggPlan(AntiJoin(Scan("customer"), orders,
+                                        {"c_custkey"}, {"o_custkey"}),
+                               {CountStar("n")})};
+  int64_t with = std::stoll(Execute(semi, *db_));
+  int64_t without = std::stoll(Execute(anti, *db_));
+  EXPECT_GT(with, 0);
+  EXPECT_GT(without, 0);
+  EXPECT_EQ(with + without, db_->table("customer").num_rows());
+}
+
+TEST_F(VolcanoTest, LeftCountJoinMatchesGroupBy) {
+  Query q{{}, ScalarAggPlan(
+                  LeftCountJoin(Scan("customer"),
+                                KeepCols(Scan("orders"), {"o_custkey"}),
+                                {"c_custkey"}, {"o_custkey"}, "c_count"),
+                  {Sum(Col("c_count"), "total")})};
+  EXPECT_EQ(Execute(q, *db_),
+            std::to_string(db_->table("orders").num_rows()) + "\n");
+}
+
+TEST_F(VolcanoTest, ScalarSubqueryFeedsPredicate) {
+  // Parts larger than the average size.
+  Query q{{Project(ScalarAggPlan(Scan("part"),
+                                 {Sum(Col("p_size"), "s"),
+                                  CountStar("n")}),
+                   {"avg"}, {Div(Col("s"), Col("n"))})},
+          ScalarAggPlan(
+              Filter(Scan("part"), Gt(Col("p_size"), ScalarRef(0))),
+              {CountStar("n")})};
+  const auto& p = db_->table("part");
+  double sum = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    sum += static_cast<double>(p.column("p_size").Int64At(i));
+  }
+  double avg = sum / static_cast<double>(p.num_rows());
+  int64_t want = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    want += static_cast<double>(p.column("p_size").Int64At(i)) > avg;
+  }
+  EXPECT_EQ(Execute(q, *db_), std::to_string(want) + "\n");
+}
+
+TEST_F(VolcanoTest, StringPredicates) {
+  Query q{{}, ScalarAggPlan(
+                  Filter(Scan("part"), Like(Col("p_name"), "%green%")),
+                  {CountStar("n")})};
+  const auto& p = db_->table("part");
+  int64_t want = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    want += LikeMatch(p.column("p_name").StringAt(i), "%green%");
+  }
+  EXPECT_EQ(Execute(q, *db_), std::to_string(want) + "\n");
+
+  Query q2{{}, ScalarAggPlan(Filter(Scan("part"),
+                                    InStr(Col("p_container"),
+                                          {"SM CASE", "SM BOX"})),
+                             {CountStar("n")})};
+  int64_t want2 = 0;
+  for (int64_t i = 0; i < p.num_rows(); ++i) {
+    auto cont = p.column("p_container").StringAt(i);
+    want2 += cont == "SM CASE" || cont == "SM BOX";
+  }
+  EXPECT_EQ(Execute(q2, *db_), std::to_string(want2) + "\n");
+}
+
+TEST_F(VolcanoTest, CaseYearSubstring) {
+  Query q{{}, Limit(Project(Scan("orders"), {"yr", "flag", "cc"},
+                            {Year(Col("o_orderdate")),
+                             Case(Eq(Col("o_shippriority"), I(0)), D(1.0),
+                                  D(0.0)),
+                             Substring(Col("o_clerk"), 0, 5)}),
+                    1)};
+  std::string out = Execute(q, *db_);
+  auto fields = SplitString(SplitString(out, '\n')[0], '|');
+  ASSERT_EQ(fields.size(), 3u);
+  int year = std::stoi(fields[0]);
+  EXPECT_GE(year, 1992);
+  EXPECT_LE(year, 1998);
+  EXPECT_EQ(fields[1], "1.0000");
+  EXPECT_EQ(fields[2], "Clerk");
+}
+
+TEST_F(VolcanoTest, DatePredicates) {
+  Query q{{}, ScalarAggPlan(
+                  Filter(Scan("orders"),
+                         And(Ge(Col("o_orderdate"), Dt("1994-01-01")),
+                             Lt(Col("o_orderdate"), Dt("1995-01-01")))),
+                  {CountStar("n")})};
+  const auto& o = db_->table("orders");
+  int64_t want = 0;
+  for (int64_t i = 0; i < o.num_rows(); ++i) {
+    int32_t d = o.column("o_orderdate").DateAt(i);
+    want += d >= 19940101 && d < 19950101;
+  }
+  EXPECT_GT(want, 0);
+  EXPECT_EQ(Execute(q, *db_), std::to_string(want) + "\n");
+}
+
+}  // namespace
+}  // namespace lb2::volcano
