@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_volcano_vs_dc.dir/bench_fig4_volcano_vs_dc.cc.o"
+  "CMakeFiles/bench_fig4_volcano_vs_dc.dir/bench_fig4_volcano_vs_dc.cc.o.d"
+  "bench_fig4_volcano_vs_dc"
+  "bench_fig4_volcano_vs_dc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_volcano_vs_dc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_tpch_compliant.dir/bench_fig8_tpch_compliant.cc.o"
+  "CMakeFiles/bench_fig8_tpch_compliant.dir/bench_fig8_tpch_compliant.cc.o.d"
+  "bench_fig8_tpch_compliant"
+  "bench_fig8_tpch_compliant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_tpch_compliant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

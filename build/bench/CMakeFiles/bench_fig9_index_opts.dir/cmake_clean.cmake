@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_index_opts.dir/bench_fig9_index_opts.cc.o"
+  "CMakeFiles/bench_fig9_index_opts.dir/bench_fig9_index_opts.cc.o.d"
+  "bench_fig9_index_opts"
+  "bench_fig9_index_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_index_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staging_micro.dir/bench_staging_micro.cc.o"
+  "CMakeFiles/bench_staging_micro.dir/bench_staging_micro.cc.o.d"
+  "bench_staging_micro"
+  "bench_staging_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staging_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/staging_tour.dir/staging_tour.cpp.o"
+  "CMakeFiles/staging_tour.dir/staging_tour.cpp.o.d"
+  "staging_tour"
+  "staging_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staging_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

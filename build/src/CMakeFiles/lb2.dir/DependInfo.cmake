@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compile/lb2_compiler.cc" "src/CMakeFiles/lb2.dir/compile/lb2_compiler.cc.o" "gcc" "src/CMakeFiles/lb2.dir/compile/lb2_compiler.cc.o.d"
+  "/root/repo/src/compile/template_compiler.cc" "src/CMakeFiles/lb2.dir/compile/template_compiler.cc.o" "gcc" "src/CMakeFiles/lb2.dir/compile/template_compiler.cc.o.d"
+  "/root/repo/src/engine/exec.cc" "src/CMakeFiles/lb2.dir/engine/exec.cc.o" "gcc" "src/CMakeFiles/lb2.dir/engine/exec.cc.o.d"
+  "/root/repo/src/plan/expr.cc" "src/CMakeFiles/lb2.dir/plan/expr.cc.o" "gcc" "src/CMakeFiles/lb2.dir/plan/expr.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "src/CMakeFiles/lb2.dir/plan/plan.cc.o" "gcc" "src/CMakeFiles/lb2.dir/plan/plan.cc.o.d"
+  "/root/repo/src/plan/validate.cc" "src/CMakeFiles/lb2.dir/plan/validate.cc.o" "gcc" "src/CMakeFiles/lb2.dir/plan/validate.cc.o.d"
+  "/root/repo/src/runtime/column.cc" "src/CMakeFiles/lb2.dir/runtime/column.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/column.cc.o.d"
+  "/root/repo/src/runtime/database.cc" "src/CMakeFiles/lb2.dir/runtime/database.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/database.cc.o.d"
+  "/root/repo/src/runtime/dictionary.cc" "src/CMakeFiles/lb2.dir/runtime/dictionary.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/dictionary.cc.o.d"
+  "/root/repo/src/runtime/env.cc" "src/CMakeFiles/lb2.dir/runtime/env.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/env.cc.o.d"
+  "/root/repo/src/runtime/index.cc" "src/CMakeFiles/lb2.dir/runtime/index.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/index.cc.o.d"
+  "/root/repo/src/runtime/table.cc" "src/CMakeFiles/lb2.dir/runtime/table.cc.o" "gcc" "src/CMakeFiles/lb2.dir/runtime/table.cc.o.d"
+  "/root/repo/src/schema/field.cc" "src/CMakeFiles/lb2.dir/schema/field.cc.o" "gcc" "src/CMakeFiles/lb2.dir/schema/field.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/CMakeFiles/lb2.dir/schema/schema.cc.o" "gcc" "src/CMakeFiles/lb2.dir/schema/schema.cc.o.d"
+  "/root/repo/src/sql/sql.cc" "src/CMakeFiles/lb2.dir/sql/sql.cc.o" "gcc" "src/CMakeFiles/lb2.dir/sql/sql.cc.o.d"
+  "/root/repo/src/stage/builder.cc" "src/CMakeFiles/lb2.dir/stage/builder.cc.o" "gcc" "src/CMakeFiles/lb2.dir/stage/builder.cc.o.d"
+  "/root/repo/src/stage/ir.cc" "src/CMakeFiles/lb2.dir/stage/ir.cc.o" "gcc" "src/CMakeFiles/lb2.dir/stage/ir.cc.o.d"
+  "/root/repo/src/stage/jit.cc" "src/CMakeFiles/lb2.dir/stage/jit.cc.o" "gcc" "src/CMakeFiles/lb2.dir/stage/jit.cc.o.d"
+  "/root/repo/src/tpch/answers.cc" "src/CMakeFiles/lb2.dir/tpch/answers.cc.o" "gcc" "src/CMakeFiles/lb2.dir/tpch/answers.cc.o.d"
+  "/root/repo/src/tpch/dbgen.cc" "src/CMakeFiles/lb2.dir/tpch/dbgen.cc.o" "gcc" "src/CMakeFiles/lb2.dir/tpch/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/CMakeFiles/lb2.dir/tpch/queries.cc.o" "gcc" "src/CMakeFiles/lb2.dir/tpch/queries.cc.o.d"
+  "/root/repo/src/tpch/text.cc" "src/CMakeFiles/lb2.dir/tpch/text.cc.o" "gcc" "src/CMakeFiles/lb2.dir/tpch/text.cc.o.d"
+  "/root/repo/src/util/loc.cc" "src/CMakeFiles/lb2.dir/util/loc.cc.o" "gcc" "src/CMakeFiles/lb2.dir/util/loc.cc.o.d"
+  "/root/repo/src/util/str.cc" "src/CMakeFiles/lb2.dir/util/str.cc.o" "gcc" "src/CMakeFiles/lb2.dir/util/str.cc.o.d"
+  "/root/repo/src/volcano/volcano.cc" "src/CMakeFiles/lb2.dir/volcano/volcano.cc.o" "gcc" "src/CMakeFiles/lb2.dir/volcano/volcano.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblb2.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/template_compiler_test.dir/template_compiler_test.cc.o"
+  "CMakeFiles/template_compiler_test.dir/template_compiler_test.cc.o.d"
+  "template_compiler_test"
+  "template_compiler_test.pdb"
+  "template_compiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/template_compiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_dbgen_test.dir/tpch_dbgen_test.cc.o"
+  "CMakeFiles/tpch_dbgen_test.dir/tpch_dbgen_test.cc.o.d"
+  "tpch_dbgen_test"
+  "tpch_dbgen_test.pdb"
+  "tpch_dbgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_dbgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

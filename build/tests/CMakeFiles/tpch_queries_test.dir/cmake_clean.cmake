@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cc.o"
+  "CMakeFiles/tpch_queries_test.dir/tpch_queries_test.cc.o.d"
+  "tpch_queries_test"
+  "tpch_queries_test.pdb"
+  "tpch_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpch_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/volcano_test.dir/volcano_test.cc.o"
+  "CMakeFiles/volcano_test.dir/volcano_test.cc.o.d"
+  "volcano_test"
+  "volcano_test.pdb"
+  "volcano_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/volcano_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
