@@ -1,0 +1,121 @@
+// Query-service amortization benchmark: what the compiled-query cache buys
+// a server replaying TPC-H plan shapes (Q1, Q6, Q13).
+//
+//   cold    — full generate + external cc + dlopen + execute per request
+//             (the Figure-10 per-query overhead, paid every time)
+//   warm    — cache hit: execute the already-loaded shared object
+//   interp  — the data-centric interpreter (the hybrid fallback path)
+//   mixed   — warm multi-client throughput at 1/4/8 threads, clients
+//             round-robining over the three shapes
+//
+// The compile-amortization win is (cold - warm); the hybrid-dispatch
+// headroom is (interp vs warm). Emit JSON next to the Fig-10 numbers with:
+//
+//   ./bench_service_throughput --benchmark_out=bench_service.json \
+//                              --benchmark_out_format=json
+//
+// Scale factor: LB2_SF (default 0.02), as for the figure benchmarks.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <memory>
+
+#include "engine/exec.h"
+#include "service/service.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace lb2 {
+namespace {
+
+constexpr int kQueries[] = {1, 6, 13};
+
+double ScaleFactor() {
+  const char* env = std::getenv("LB2_SF");
+  return env != nullptr ? std::atof(env) : 0.02;
+}
+
+struct Harness {
+  rt::Database db;
+  std::unique_ptr<service::QueryService> svc;
+  plan::Query queries[3];
+
+  Harness() {
+    double sf = ScaleFactor();
+    tpch::Generate(sf, /*seed=*/20260705, &db);
+    tpch::QueryOptions qopts;
+    qopts.scale_factor = sf;
+    for (int i = 0; i < 3; ++i) queries[i] = tpch::BuildQuery(kQueries[i], qopts);
+    svc = std::make_unique<service::QueryService>(db);
+    // Warm the cache so the warm/throughput benchmarks measure pure
+    // cache-hit execution.
+    for (const auto& q : queries) svc->Execute(q);
+  }
+};
+
+Harness& TheHarness() {
+  static Harness* h = new Harness();
+  return *h;
+}
+
+void BM_ColdCompilePerRequest(benchmark::State& state) {
+  Harness& h = TheHarness();
+  const plan::Query& q = h.queries[state.range(0)];
+  for (auto _ : state) {
+    // A fresh service per iteration: every request pays generation, the
+    // external compiler, and dlopen — the no-cache baseline.
+    service::QueryService svc(h.db);
+    service::ServiceResult r = svc.Execute(q);
+    benchmark::DoNotOptimize(r.rows);
+  }
+}
+
+void BM_WarmCacheHit(benchmark::State& state) {
+  Harness& h = TheHarness();
+  const plan::Query& q = h.queries[state.range(0)];
+  for (auto _ : state) {
+    service::ServiceResult r = h.svc->Execute(q);
+    benchmark::DoNotOptimize(r.rows);
+  }
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(h.svc->Stats().hits) /
+      static_cast<double>(h.svc->Stats().requests));
+}
+
+void BM_Interpreted(benchmark::State& state) {
+  Harness& h = TheHarness();
+  const plan::Query& q = h.queries[state.range(0)];
+  for (auto _ : state) {
+    engine::InterpResult r = engine::ExecuteInterp(q, h.db);
+    benchmark::DoNotOptimize(r.rows);
+  }
+}
+
+void BM_WarmThroughputMixed(benchmark::State& state) {
+  Harness& h = TheHarness();
+  int i = state.thread_index();
+  for (auto _ : state) {
+    const plan::Query& q = h.queries[static_cast<size_t>(i++ % 3)];
+    service::ServiceResult r = h.svc->Execute(q);
+    benchmark::DoNotOptimize(r.rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+BENCHMARK(BM_ColdCompilePerRequest)
+    ->DenseRange(0, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+BENCHMARK(BM_WarmCacheHit)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Interpreted)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_WarmThroughputMixed)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace lb2
+
+BENCHMARK_MAIN();

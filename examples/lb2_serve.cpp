@@ -1,0 +1,145 @@
+// Multi-threaded SQL serving demo: replays a concurrent workload through
+// the query service, so the compiled-query cache, single-flight JIT, and
+// hybrid interpret-while-compiling dispatch are all visible in one run.
+//
+//   ./lb2_serve [scale_factor] [threads] [requests]   # defaults 0.01 4 200
+//
+// Each worker thread pulls the next request from a shared queue of SQL
+// statements (a small set of distinct plan shapes, so the cache warms up
+// fast) and executes it through one shared QueryService. The tail of the
+// run prints per-statement latency by path — compiled-cold pays the full
+// Figure-10 pipeline once, compiled-cached skips it entirely — plus the
+// service counters.
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/service.h"
+#include "tpch/dbgen.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+using namespace lb2;  // NOLINT
+
+namespace {
+
+// A workload of distinct plan shapes over the TPC-H catalog — aggregate
+// scans, joins, group-bys — each parameterized a few ways so the cache
+// holds more than one entry per statement skeleton.
+std::vector<std::string> BuildWorkload() {
+  std::vector<std::string> w;
+  for (const char* flag : {"'A'", "'N'", "'R'"}) {
+    w.push_back(std::string("select l_returnflag, count(*) as n, "
+                            "sum(l_extendedprice) as rev from lineitem "
+                            "where l_returnflag = ") + flag +
+                " group by l_returnflag");
+  }
+  for (const char* qty : {"24", "30", "45"}) {
+    w.push_back(std::string("select sum(l_extendedprice * l_discount) as rev "
+                            "from lineitem where l_quantity < ") + qty);
+  }
+  w.push_back(
+      "select n_name, count(*) as suppliers from supplier, nation "
+      "where s_nationkey = n_nationkey group by n_name order by suppliers "
+      "desc, n_name");
+  w.push_back(
+      "select o_orderpriority, count(*) as n from orders "
+      "group by o_orderpriority order by o_orderpriority");
+  return w;
+}
+
+struct Tally {
+  int64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  void Add(double ms) {
+    ++count;
+    total_ms += ms;
+    if (ms > max_ms) max_ms = ms;
+  }
+  double MeanMs() const { return count > 0 ? total_ms / count : 0.0; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
+  int threads = argc > 2 ? std::atoi(argv[2]) : 4;
+  int requests = argc > 3 ? std::atoi(argv[3]) : 200;
+
+  rt::Database db;
+  std::printf("loading TPC-H SF %.3f... ", sf);
+  std::fflush(stdout);
+  tpch::Generate(sf, 42, &db);
+  std::printf("done (%lld lineitem rows)\n",
+              static_cast<long long>(db.table("lineitem").num_rows()));
+
+  std::vector<std::string> workload = BuildWorkload();
+  // Deterministic shuffled request schedule: every statement appears many
+  // times, interleaved, so threads collide on cold plans (single-flight)
+  // and then reap cache hits.
+  std::vector<int> schedule(static_cast<size_t>(requests));
+  Rng rng(7);
+  for (int i = 0; i < requests; ++i) {
+    schedule[static_cast<size_t>(i)] =
+        static_cast<int>(rng.Next() % workload.size());
+  }
+
+  service::QueryService svc(db);
+  std::atomic<int> next{0};
+  std::vector<Tally> by_path(3);  // indexed by ServiceResult::Path
+  std::mutex tally_mu;
+
+  std::printf("serving %d requests (%zu distinct statements) on %d "
+              "threads...\n", requests, workload.size(), threads);
+  Stopwatch wall;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      std::vector<Tally> local(3);
+      for (;;) {
+        int i = next.fetch_add(1);
+        if (i >= requests) break;
+        const std::string& sql =
+            workload[static_cast<size_t>(schedule[static_cast<size_t>(i)])];
+        service::ServiceResult r;
+        std::string error;
+        Stopwatch latency;
+        if (!svc.ExecuteSql(sql, &r, &error)) {
+          std::fprintf(stderr, "parse error: %s\n", error.c_str());
+          continue;
+        }
+        local[static_cast<size_t>(r.path)].Add(latency.ElapsedMs());
+      }
+      std::lock_guard<std::mutex> lock(tally_mu);
+      for (size_t p = 0; p < local.size(); ++p) {
+        by_path[p].count += local[p].count;
+        by_path[p].total_ms += local[p].total_ms;
+        if (local[p].max_ms > by_path[p].max_ms) {
+          by_path[p].max_ms = local[p].max_ms;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  double wall_ms = wall.ElapsedMs();
+
+  std::printf("\n%-18s %8s %12s %12s\n", "path", "requests", "mean ms",
+              "max ms");
+  const char* names[3] = {"compiled-cold", "compiled-cached", "interpreted"};
+  for (size_t p = 0; p < by_path.size(); ++p) {
+    std::printf("%-18s %8lld %12.3f %12.3f\n", names[p],
+                static_cast<long long>(by_path[p].count),
+                by_path[p].MeanMs(), by_path[p].max_ms);
+  }
+  std::printf("\nwall %.0f ms, %.1f queries/sec\n", wall_ms,
+              requests / (wall_ms / 1000.0));
+  std::printf("service: %s\n", svc.Stats().ToString().c_str());
+  return 0;
+}

@@ -3,18 +3,26 @@
 // executed — the full DBMS front-to-back pipeline of the paper's Figure 1,
 // with a Futamura-projection back-end.
 //
+// Statements run through the query service, so re-running a statement (or
+// another statement binding to the same physical plan) skips the whole
+// generate+cc+dlopen pipeline and executes the cached shared object; a
+// generated-code compile failure degrades to the interpreted engine
+// instead of killing the shell.
+//
 //   ./sql_shell [scale_factor]      # default SF 0.01
 //
 //   lb2> select l_returnflag, count(*) as n from lineitem
 //        group by l_returnflag order by n desc;
 //   lb2> explain select ...;        # show the bound physical plan
 //   lb2> \c select ...;             # also dump the generated C
+//   lb2> \stats;                    # query-service cache/JIT counters
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "compile/lb2_compiler.h"
+#include "service/service.h"
 #include "sql/sql.h"
 #include "tpch/dbgen.h"
 #include "util/str.h"
@@ -32,7 +40,10 @@ int main(int argc, char** argv) {
   std::printf(
       "tables: region nation supplier part partsupp customer orders "
       "lineitem\nend statements with ';', 'explain <q>;' shows the plan, "
-      "'\\c <q>;' dumps the C, 'quit;' exits\n");
+      "'\\c <q>;' dumps the C, '\\stats;' shows cache counters, "
+      "'quit;' exits\n");
+
+  service::QueryService svc(db);
 
   std::string buffer;
   std::string line;
@@ -63,6 +74,12 @@ int main(int argc, char** argv) {
       stmt = stmt.substr(8);
     }
     if (stmt == "quit" || stmt == "exit") break;
+    if (stmt == "\\stats") {
+      std::printf("%s\n", svc.Stats().ToString().c_str());
+      std::printf("lb2> ");
+      std::fflush(stdout);
+      continue;
+    }
 
     if (!stmt.empty()) {
       plan::Query q;
@@ -71,13 +88,29 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", error.c_str());
       } else if (explain) {
         std::printf("%s", plan::PlanToString(q.root).c_str());
-      } else {
+      } else if (show_c) {
+        // The C dump compiles outside the service so the text is at hand.
         auto cq = compile::CompileQuery(q, db, {}, "shell");
         auto r = cq.Run();
-        std::printf("%s(%lld rows; compile %.0f ms, exec %.3f ms)\n",
+        std::printf("%s(%lld rows; compile %.0f ms, exec %.3f ms)\n%s\n",
                     r.text.c_str(), static_cast<long long>(r.rows),
-                    cq.codegen_ms() + cq.compile_ms(), r.exec_ms);
-        if (show_c) std::printf("%s\n", cq.source().c_str());
+                    cq.codegen_ms() + cq.compile_ms(), r.exec_ms,
+                    cq.source().c_str());
+      } else {
+        service::ServiceResult r = svc.Execute(q);
+        std::printf("%s(%lld rows; %s", r.text.c_str(),
+                    static_cast<long long>(r.rows),
+                    service::PathName(r.path));
+        if (r.path == service::ServiceResult::Path::kCompiledCold) {
+          std::printf(", compile %.0f ms", r.compile_ms);
+        } else if (r.path == service::ServiceResult::Path::kCompiledCached) {
+          std::printf(", %.0f ms compile skipped", r.compile_ms);
+        }
+        std::printf(", exec %.3f ms)\n", r.exec_ms);
+        if (!r.compile_error.empty()) {
+          std::printf("-- served interpreted; JIT error:\n%s\n",
+                      r.compile_error.c_str());
+        }
       }
     }
     std::printf("lb2> ");

@@ -2,6 +2,7 @@
 
 #include "engine/stage_backend.h"
 #include "plan/validate.h"
+#include "util/check.h"
 #include "util/time.h"
 
 namespace lb2::compile {
@@ -19,9 +20,11 @@ CompiledQuery::RunResult CompiledQuery::Run() const {
   return r;
 }
 
-CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,
-                           const engine::EngineOptions& opts,
-                           const std::string& tag) {
+std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
+                                               const rt::Database& db,
+                                               const engine::EngineOptions& opts,
+                                               const std::string& tag,
+                                               std::string* error) {
   plan::ValidateQuery(q, db);
 
   Stopwatch staging_timer;
@@ -46,12 +49,24 @@ CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,
   }
   double staging_ms = staging_timer.ElapsedMs();
 
-  CompiledQuery cq;
-  cq.mod_ = stage::Jit::Compile(ctx.module(), tag);
-  cq.fn_ = cq.mod_->entry("lb2_query");
-  cq.env_ = env.Materialize(db);
-  cq.codegen_ms_ = staging_ms + cq.mod_->codegen_ms();
+  auto mod = stage::Jit::TryCompile(ctx.module(), tag, "", error);
+  if (mod == nullptr) return nullptr;
+
+  auto cq = std::unique_ptr<CompiledQuery>(new CompiledQuery());
+  cq->mod_ = std::move(mod);
+  cq->fn_ = cq->mod_->entry("lb2_query");
+  cq->env_ = env.Materialize(db);
+  cq->codegen_ms_ = staging_ms + cq->mod_->codegen_ms();
   return cq;
+}
+
+CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,
+                           const engine::EngineOptions& opts,
+                           const std::string& tag) {
+  std::string error;
+  auto cq = TryCompileQuery(q, db, opts, tag, &error);
+  LB2_CHECK_MSG(cq != nullptr, error.c_str());
+  return *cq;
 }
 
 }  // namespace lb2::compile

@@ -17,6 +17,11 @@
 namespace lb2::compile {
 
 /// A compiled, loaded, re-runnable query bound to a database.
+///
+/// Thread-safety: the generated code keeps its environment and output sink
+/// in file-static globals (g_env/g_out), so concurrent Run() calls on the
+/// same CompiledQuery race. Callers that share one instance across threads
+/// must serialize Run() — the query service does this per cache entry.
 class CompiledQuery {
  public:
   struct RunResult {
@@ -35,11 +40,16 @@ class CompiledQuery {
   double codegen_ms() const { return codegen_ms_; }
   /// Time in the external C compiler.
   double compile_ms() const { return mod_->compile_ms(); }
+  /// On-disk size of the loaded shared object (cache byte accounting).
+  int64_t so_bytes() const { return mod_->so_bytes(); }
 
  private:
   friend CompiledQuery CompileQuery(const plan::Query&, const rt::Database&,
                                     const engine::EngineOptions&,
                                     const std::string&);
+  friend std::unique_ptr<CompiledQuery> TryCompileQuery(
+      const plan::Query&, const rt::Database&, const engine::EngineOptions&,
+      const std::string&, std::string*);
   friend CompiledQuery CompileTemplateQuery(const plan::Query&,
                                             const rt::Database&,
                                             const std::string&);
@@ -50,10 +60,21 @@ class CompiledQuery {
 };
 
 /// Stages, emits, compiles and loads `q` against `db`. `tag` names the
-/// generated artifacts for debuggability.
+/// generated artifacts for debuggability. Aborts if the generated code
+/// fails to compile (a bug in this library).
 CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,
                            const engine::EngineOptions& opts = {},
                            const std::string& tag = "q");
+
+/// Non-aborting variant: returns nullptr and fills *error (captured
+/// compiler stderr) on a generated-code compile or load failure, so a
+/// serving layer can degrade to the interpreted path. The plan itself must
+/// still be valid — plan validation errors remain hard failures.
+std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
+                                               const rt::Database& db,
+                                               const engine::EngineOptions& opts,
+                                               const std::string& tag,
+                                               std::string* error);
 
 }  // namespace lb2::compile
 

@@ -1,0 +1,163 @@
+#include "service/fingerprint.h"
+
+#include <cstring>
+
+#include "util/str.h"
+
+namespace lb2::service {
+
+namespace {
+
+/// 64-bit FNV-1a, fed field-by-field. Every variable-length field is
+/// prefixed with its length so concatenations can't alias ("ab","c" vs
+/// "a","bc"), and every optional field is preceded by a presence tag.
+class Hasher {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001b3ULL;
+    }
+  }
+
+  void U64(uint64_t v) { Bytes(&v, sizeof(v)); }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void I32(int32_t v) { I64(v); }
+  void Bool(bool v) { U64(v ? 1 : 0); }
+  void F64(double v) {
+    // Bit pattern, not value: -0.0 vs 0.0 generate different constants.
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  void StrList(const std::vector<std::string>& v) {
+    U64(v.size());
+    for (const auto& s : v) Str(s);
+  }
+  void I64List(const std::vector<int64_t>& v) {
+    U64(v.size());
+    for (int64_t x : v) I64(x);
+  }
+
+  uint64_t hash() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+void HashExpr(Hasher* h, const plan::ExprRef& e) {
+  if (e == nullptr) {
+    h->U64(0);
+    return;
+  }
+  h->U64(1);
+  h->I32(static_cast<int32_t>(e->op));
+  h->Str(e->str);
+  h->I64(e->i64);
+  h->I64(e->i64b);
+  h->F64(e->f64);
+  h->StrList(e->str_list);
+  h->I64List(e->int_list);
+  h->U64(e->children.size());
+  for (const auto& c : e->children) HashExpr(h, c);
+}
+
+void HashPlan(Hasher* h, const plan::PlanRef& p) {
+  if (p == nullptr) {
+    h->U64(0);
+    return;
+  }
+  h->U64(1);
+  h->I32(static_cast<int32_t>(p->type));
+  h->Str(p->table);
+  h->Str(p->date_index_col);
+  h->I64(p->date_lo);
+  h->I64(p->date_hi);
+  HashExpr(h, p->predicate);
+  h->U64(p->exprs.size());
+  for (const auto& e : p->exprs) HashExpr(h, e);
+  h->StrList(p->names);
+  h->StrList(p->left_keys);
+  h->StrList(p->right_keys);
+  h->I32(static_cast<int32_t>(p->join_impl));
+  h->Str(p->count_name);
+  h->U64(p->group_exprs.size());
+  for (const auto& e : p->group_exprs) HashExpr(h, e);
+  h->StrList(p->group_names);
+  h->U64(p->aggs.size());
+  for (const auto& a : p->aggs) {
+    h->I32(static_cast<int32_t>(a.kind));
+    HashExpr(h, a.expr);
+    h->Str(a.out_name);
+  }
+  h->I64(p->capacity_hint);
+  h->Str(p->capacity_hint_table);
+  h->U64(p->sort_keys.size());
+  for (const auto& k : p->sort_keys) {
+    h->Str(k.name);
+    h->Bool(k.asc);
+  }
+  h->I64(p->limit);
+  h->U64(p->children.size());
+  for (const auto& c : p->children) HashPlan(h, c);
+}
+
+void HashDatabase(Hasher* h, const rt::Database& db) {
+  h->U64(db.tables().size());
+  for (const auto& [name, table] : db.tables()) {
+    h->Str(name);
+    // Row counts are baked into generated code (hash-table capacity
+    // bounds), so data growth must invalidate cached entries.
+    h->I64(table->num_rows());
+    const schema::Schema& s = table->schema();
+    h->U64(static_cast<uint64_t>(s.size()));
+    for (const auto& f : s.fields()) {
+      h->Str(f.name);
+      h->I32(static_cast<int32_t>(f.kind));
+      // Which auxiliary structures exist gates index-join and dictionary
+      // codegen paths for this column.
+      h->Bool(db.pk_index(name, f.name) != nullptr);
+      h->Bool(db.fk_index(name, f.name) != nullptr);
+      h->Bool(db.date_index(name, f.name) != nullptr);
+      h->Bool(db.dictionary(name, f.name) != nullptr);
+    }
+  }
+}
+
+void HashOptions(Hasher* h, const engine::EngineOptions& o) {
+  h->Bool(o.use_dict);
+  h->Bool(o.hoist_alloc);
+  h->Bool(o.row_layout_joins);
+  h->I32(o.num_threads);
+}
+
+}  // namespace
+
+std::string Fingerprint::ToString() const {
+  return StrPrintf("fp:%016llx", static_cast<unsigned long long>(hash));
+}
+
+Fingerprint FingerprintQuery(const plan::Query& q,
+                             const engine::EngineOptions& opts,
+                             const rt::Database& db) {
+  Hasher h;
+  h.U64(q.scalar_subqueries.size());
+  for (const auto& sq : q.scalar_subqueries) HashPlan(&h, sq);
+  HashPlan(&h, q.root);
+  HashOptions(&h, opts);
+  HashDatabase(&h, db);
+  return Fingerprint{h.hash()};
+}
+
+uint64_t FingerprintDatabase(const rt::Database& db) {
+  Hasher h;
+  HashDatabase(&h, db);
+  return h.hash();
+}
+
+}  // namespace lb2::service

@@ -1,0 +1,53 @@
+// Plan canonicalization + fingerprinting for the compiled-query cache.
+//
+// A compiled query is specialized to three inputs: the physical plan (every
+// constant in it is baked into the generated C), the engine options (they
+// select different code shapes — dictionary probes, allocation hoisting,
+// join layouts, parallel pipelines), and the database instance (row counts
+// size hash tables, auxiliary indexes/dictionaries gate index-join and
+// dictionary codegen, and the environment slots bind column pointers at
+// compile time). The fingerprint therefore covers all three: equal
+// fingerprints mean the cached shared object is a valid specialization for
+// the request; any semantic difference must produce a different hash.
+//
+// The hash is a structural 64-bit FNV-1a over a canonical serialization —
+// stable across processes and independent of shared_ptr identity, so two
+// independently-parsed copies of the same SQL statement collide (that is
+// the point: one compile per plan shape).
+#ifndef LB2_SERVICE_FINGERPRINT_H_
+#define LB2_SERVICE_FINGERPRINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "engine/exec.h"
+#include "plan/plan.h"
+#include "runtime/database.h"
+
+namespace lb2::service {
+
+/// Cache key for a (plan, options, database) triple.
+struct Fingerprint {
+  uint64_t hash = 0;
+
+  bool operator==(const Fingerprint& o) const { return hash == o.hash; }
+  bool operator!=(const Fingerprint& o) const { return hash != o.hash; }
+
+  /// "fp:%016llx" — for logs and stats dumps.
+  std::string ToString() const;
+};
+
+/// Fingerprints a full query (scalar subqueries + main plan) against the
+/// engine options and database identity it would be compiled for.
+Fingerprint FingerprintQuery(const plan::Query& q,
+                             const engine::EngineOptions& opts,
+                             const rt::Database& db);
+
+/// The database-identity component alone: table names, schemas, row counts,
+/// and which auxiliary structures (PK/FK/date indexes, dictionaries) exist.
+/// Exposed for tests — a schema or data change must shift every key.
+uint64_t FingerprintDatabase(const rt::Database& db);
+
+}  // namespace lb2::service
+
+#endif  // LB2_SERVICE_FINGERPRINT_H_

@@ -1,0 +1,81 @@
+#include "service/query_cache.h"
+
+#include "util/check.h"
+
+namespace lb2::service {
+
+QueryCache::QueryCache(size_t max_entries, int64_t max_bytes)
+    : max_entries_(max_entries), max_bytes_(max_bytes) {
+  LB2_CHECK_MSG(max_entries >= 1, "cache capacity must be >= 1");
+}
+
+CacheEntryPtr QueryCache::Get(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fp.hash);
+  if (it == map_.end()) return nullptr;
+  // Bump to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return *it->second;
+}
+
+void QueryCache::Put(CacheEntryPtr entry) {
+  LB2_CHECK(entry != nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(entry->fingerprint.hash);
+  if (it != map_.end()) {
+    // Same plan compiled twice (e.g. two leaders against a torn-down
+    // in-flight record): keep the newer module, drop the old reference.
+    bytes_ -= (*it->second)->bytes;
+    lru_.erase(it->second);
+    map_.erase(it);
+  }
+  bytes_ += entry->bytes;
+  lru_.push_front(std::move(entry));
+  map_[lru_.front()->fingerprint.hash] = lru_.begin();
+  EvictOverBudgetLocked();
+}
+
+void QueryCache::EvictOverBudgetLocked() {
+  while (lru_.size() > max_entries_ ||
+         (max_bytes_ > 0 && bytes_ > max_bytes_ && lru_.size() > 1)) {
+    CacheEntryPtr victim = lru_.back();
+    bytes_ -= victim->bytes;
+    map_.erase(victim->fingerprint.hash);
+    lru_.pop_back();
+    ++evictions_;
+    // `victim` may still be executing on another thread; the shared_ptr
+    // keeps its JitModule mapped until that run returns.
+  }
+}
+
+void QueryCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  map_.clear();
+  bytes_ = 0;
+}
+
+size_t QueryCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+int64_t QueryCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+int64_t QueryCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+std::vector<Fingerprint> QueryCache::Keys() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Fingerprint> out;
+  out.reserve(lru_.size());
+  for (const auto& e : lru_) out.push_back(e->fingerprint);
+  return out;
+}
+
+}  // namespace lb2::service

@@ -1,0 +1,83 @@
+// Compiled-query cache: fingerprint → loaded shared object, with LRU
+// eviction under an entry-count capacity and an optional byte budget.
+//
+// Entries are handed out as shared_ptrs, so eviction only drops the cache's
+// reference — the dlopen handle is released (and the .so dlclose'd) when
+// the last in-flight execution finishes. No query ever runs on unmapped
+// code (the DBLAB/LegoBase binary-cache discipline, made refcount-safe).
+#ifndef LB2_SERVICE_QUERY_CACHE_H_
+#define LB2_SERVICE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "compile/lb2_compiler.h"
+#include "service/fingerprint.h"
+
+namespace lb2::service {
+
+/// One cached compiled query plus the cost it amortizes.
+struct CacheEntry {
+  Fingerprint fingerprint;
+  compile::CompiledQuery query;
+  /// Staging+emission and external-compiler time paid to build this entry;
+  /// every hit credits these to the service's compile-ms-saved counter.
+  double codegen_ms = 0.0;
+  double compile_ms = 0.0;
+  /// Shared-object size (byte-budget accounting; generated source counted
+  /// too since the entry keeps it for inspection).
+  int64_t bytes = 0;
+  /// Generated code binds its environment through file-static globals, so
+  /// executions of the *same* entry must serialize. Distinct entries run
+  /// concurrently.
+  std::mutex run_mu;
+};
+
+using CacheEntryPtr = std::shared_ptr<CacheEntry>;
+
+/// Thread-safe LRU map. `max_entries` must be >= 1; `max_bytes` == 0 means
+/// no byte budget.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t max_entries, int64_t max_bytes = 0);
+
+  /// Returns the entry for `fp` (bumping it to most-recently-used), or
+  /// nullptr on miss.
+  CacheEntryPtr Get(const Fingerprint& fp);
+
+  /// Inserts `entry`, evicting least-recently-used entries while over
+  /// either budget. Replaces an existing entry with the same fingerprint.
+  void Put(CacheEntryPtr entry);
+
+  /// Drops all entries (in-flight executions keep their shared_ptrs).
+  void Clear();
+
+  size_t size() const;
+  int64_t bytes() const;
+  int64_t evictions() const;
+  size_t max_entries() const { return max_entries_; }
+  int64_t max_bytes() const { return max_bytes_; }
+
+  /// Fingerprints currently cached, most-recently-used first (stats dumps).
+  std::vector<Fingerprint> Keys() const;
+
+ private:
+  void EvictOverBudgetLocked();
+
+  const size_t max_entries_;
+  const int64_t max_bytes_;
+
+  mutable std::mutex mu_;
+  std::list<CacheEntryPtr> lru_;  // front = most recently used
+  std::unordered_map<uint64_t, std::list<CacheEntryPtr>::iterator> map_;
+  int64_t bytes_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace lb2::service
+
+#endif  // LB2_SERVICE_QUERY_CACHE_H_

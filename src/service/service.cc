@@ -1,0 +1,233 @@
+#include "service/service.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sql/sql.h"
+#include "util/str.h"
+
+namespace lb2::service {
+
+size_t DefaultCacheCapacity() {
+  const char* env = std::getenv("LB2_CACHE_CAPACITY");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v >= 1) return static_cast<size_t>(v);
+  }
+  return 64;
+}
+
+const char* PathName(ServiceResult::Path p) {
+  switch (p) {
+    case ServiceResult::Path::kCompiledCold: return "compiled-cold";
+    case ServiceResult::Path::kCompiledCached: return "compiled-cached";
+    case ServiceResult::Path::kInterpreted: return "interpreted";
+  }
+  return "?";
+}
+
+std::string ServiceStats::ToString() const {
+  return StrPrintf(
+      "requests=%lld hits=%lld misses=%lld compiles=%lld failures=%lld "
+      "coalesced=%lld interp-while-compiling=%lld interp-fallbacks=%lld "
+      "in-flight=%lld entries=%lld bytes=%lld evictions=%lld "
+      "compile-ms saved=%.0f paid=%.0f",
+      static_cast<long long>(requests), static_cast<long long>(hits),
+      static_cast<long long>(misses), static_cast<long long>(compiles),
+      static_cast<long long>(compile_failures),
+      static_cast<long long>(coalesced_waits),
+      static_cast<long long>(interp_while_compiling),
+      static_cast<long long>(interp_fallbacks),
+      static_cast<long long>(in_flight), static_cast<long long>(cache_entries),
+      static_cast<long long>(cache_bytes), static_cast<long long>(evictions),
+      compile_ms_saved, compile_ms_paid);
+}
+
+QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
+    : db_(db),
+      opts_(opts),
+      cache_(opts.cache_capacity, opts.cache_bytes) {}
+
+ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
+                                        ServiceResult::Path path,
+                                        const Fingerprint& fp) {
+  compile::CompiledQuery::RunResult rr;
+  {
+    // Same-entry executions serialize (generated code binds file-static
+    // globals); distinct entries proceed in parallel.
+    std::lock_guard<std::mutex> run_lock(entry->run_mu);
+    rr = entry->query.Run();
+  }
+  ServiceResult r;
+  r.path = path;
+  r.text = std::move(rr.text);
+  r.rows = rr.rows;
+  r.exec_ms = rr.exec_ms;
+  r.compile_ms = entry->codegen_ms + entry->compile_ms;
+  r.fingerprint = fp;
+  return r;
+}
+
+ServiceResult QueryService::RunInterp(const plan::Query& q,
+                                      const engine::EngineOptions& eopts,
+                                      const Fingerprint& fp,
+                                      std::string compile_error) {
+  // The interpreter shares the engine (and therefore the results) with the
+  // compiled path; only num_threads is pinned — parallel pipelines are a
+  // compiled-code feature.
+  engine::EngineOptions iopts = eopts;
+  iopts.num_threads = 1;
+  engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts);
+  ServiceResult r;
+  r.path = ServiceResult::Path::kInterpreted;
+  r.text = std::move(ir.text);
+  r.rows = ir.rows;
+  r.exec_ms = ir.exec_ms;
+  r.fingerprint = fp;
+  r.compile_error = std::move(compile_error);
+  return r;
+}
+
+ServiceResult QueryService::Execute(const plan::Query& q) {
+  return Execute(q, opts_.engine);
+}
+
+ServiceResult QueryService::Execute(const plan::Query& q,
+                                    const engine::EngineOptions& eopts) {
+  Fingerprint fp = FingerprintQuery(q, eopts, db_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+  }
+
+  // Warm path: no codegen, no external compiler, no dlopen.
+  if (CacheEntryPtr entry = cache_.Get(fp)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.hits;
+      stats_.compile_ms_saved += entry->codegen_ms + entry->compile_ms;
+    }
+    return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp);
+  }
+
+  // Cold path: join or start the single flight for this fingerprint.
+  std::shared_ptr<InFlight> flight;
+  bool leader = false;
+  CacheEntryPtr rechecked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Re-check the cache under mu_: a leader may have finished between the
+    // miss above and here, in which case its in-flight record is already
+    // gone and we must not start a second compile.
+    rechecked = cache_.Get(fp);
+    if (rechecked != nullptr) {
+      ++stats_.hits;
+      stats_.compile_ms_saved += rechecked->codegen_ms + rechecked->compile_ms;
+    } else {
+      auto it = inflight_.find(fp.hash);
+      if (it != inflight_.end()) {
+        flight = it->second;
+      } else {
+        flight = std::make_shared<InFlight>();
+        inflight_[fp.hash] = flight;
+        leader = true;
+        ++stats_.misses;
+        ++stats_.in_flight;
+      }
+    }
+  }
+  if (rechecked != nullptr) {
+    return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp);
+  }
+
+  if (leader) {
+    std::string error;
+    std::unique_ptr<compile::CompiledQuery> cq =
+        compile::TryCompileQuery(q, db_, eopts, fp.ToString().substr(3), &error);
+    CacheEntryPtr entry;
+    if (cq != nullptr) {
+      entry = std::make_shared<CacheEntry>();
+      entry->fingerprint = fp;
+      entry->codegen_ms = cq->codegen_ms();
+      entry->compile_ms = cq->compile_ms();
+      entry->bytes = cq->so_bytes() +
+                     static_cast<int64_t>(cq->source().size());
+      entry->query = std::move(*cq);
+      cache_.Put(entry);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(fp.hash);
+      --stats_.in_flight;
+      if (entry != nullptr) {
+        ++stats_.compiles;
+        stats_.compile_ms_paid += entry->codegen_ms + entry->compile_ms;
+      } else {
+        ++stats_.compile_failures;
+        ++stats_.interp_fallbacks;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> flock(flight->mu);
+      flight->done = true;
+      flight->entry = entry;
+      flight->error = error;
+    }
+    flight->cv.notify_all();
+    if (entry == nullptr) {
+      if (opts_.log_compile_errors) {
+        std::fprintf(stderr,
+                     "[lb2-service] %s: JIT failed, serving interpreted:\n%s\n",
+                     fp.ToString().c_str(), error.c_str());
+      }
+      return RunInterp(q, eopts, fp, std::move(error));
+    }
+    return RunCompiled(entry, ServiceResult::Path::kCompiledCold, fp);
+  }
+
+  // Follower: the hybrid policy answers immediately from the interpreter;
+  // the waiting policy blocks for the (single) compile.
+  if (opts_.while_compiling == ServiceOptions::WhileCompiling::kInterpret) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.interp_while_compiling;
+    }
+    return RunInterp(q, eopts, fp, "");
+  }
+  {
+    std::unique_lock<std::mutex> flock(flight->mu);
+    flight->cv.wait(flock, [&] { return flight->done; });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.coalesced_waits;
+  }
+  if (flight->entry != nullptr) {
+    return RunCompiled(flight->entry, ServiceResult::Path::kCompiledCached,
+                       fp);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.interp_fallbacks;
+  }
+  return RunInterp(q, eopts, fp, flight->error);
+}
+
+bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
+                              std::string* error) {
+  plan::Query q;
+  if (!sql::ParseQueryOrError(sql, db_, &q, error)) return false;
+  *result = Execute(q);
+  return true;
+}
+
+ServiceStats QueryService::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats s = stats_;
+  s.cache_entries = static_cast<int64_t>(cache_.size());
+  s.cache_bytes = cache_.bytes();
+  s.evictions = cache_.evictions();
+  return s;
+}
+
+}  // namespace lb2::service

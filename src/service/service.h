@@ -1,0 +1,159 @@
+// The query service: the concurrency layer that makes the Futamura
+// pipeline servable. Figure 10 of the paper prices each compiled query at
+// generation + external-cc + dlopen; a server replaying the same plan
+// shapes must pay that once, not per request. The service:
+//
+//   * keys requests by structural fingerprint (plan + engine options +
+//     database identity — see fingerprint.h),
+//   * serves warm requests straight from the compiled-query cache (no
+//     codegen, no cc, no dlopen),
+//   * single-flights cold requests: N concurrent clients submitting the
+//     same plan trigger exactly one JIT compilation; the rest either wait
+//     for it or run the data-centric interpreter immediately (hybrid
+//     dispatch, the Kashuba & Mühleisen interpret-while-compiling scheme),
+//   * degrades to the interpreted path when generated code fails to
+//     compile (captured compiler stderr is logged, the process survives).
+//
+// Thread-safety: every public method may be called from any thread.
+// Executions of the same cached entry serialize on a per-entry mutex
+// (generated code keeps its environment in file-static globals); distinct
+// entries, interpreter runs, and compilations all proceed concurrently.
+#ifndef LB2_SERVICE_SERVICE_H_
+#define LB2_SERVICE_SERVICE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "engine/exec.h"
+#include "plan/plan.h"
+#include "runtime/database.h"
+#include "service/fingerprint.h"
+#include "service/query_cache.h"
+
+namespace lb2::service {
+
+/// Default entry capacity: LB2_CACHE_CAPACITY env var, else 64.
+size_t DefaultCacheCapacity();
+
+struct ServiceOptions {
+  /// Max cached compiled queries (>= 1).
+  size_t cache_capacity = DefaultCacheCapacity();
+  /// Byte budget over generated .so sizes; 0 = unlimited.
+  int64_t cache_bytes = 0;
+  /// Engine knobs baked into compiled entries (part of the cache key).
+  engine::EngineOptions engine;
+  /// What a request does when its plan is already compiling on another
+  /// thread: run the interpreter now (hybrid, default — short queries are
+  /// never stalled behind a cc invocation) or block for the compiled code.
+  enum class WhileCompiling { kInterpret, kWait };
+  WhileCompiling while_compiling = WhileCompiling::kInterpret;
+  /// Log compile failures (captured compiler stderr) to stderr.
+  bool log_compile_errors = true;
+};
+
+/// Point-in-time counters. `Snapshot`-style value type.
+struct ServiceStats {
+  int64_t requests = 0;
+  int64_t hits = 0;          // served from the compiled-query cache
+  int64_t misses = 0;        // leader compiles (cold paths)
+  int64_t compiles = 0;      // successful JIT compilations
+  int64_t compile_failures = 0;
+  int64_t coalesced_waits = 0;          // followers that blocked on a leader
+  int64_t interp_while_compiling = 0;   // hybrid followers served interpreted
+  int64_t interp_fallbacks = 0;         // compile failed -> interpreted
+  int64_t in_flight = 0;                // compilations running right now
+  double compile_ms_saved = 0.0;  // codegen+cc ms amortized by cache hits
+  double compile_ms_paid = 0.0;   // codegen+cc ms actually spent
+  int64_t cache_entries = 0;
+  int64_t cache_bytes = 0;
+  int64_t evictions = 0;
+
+  /// One-line human-readable rendering for shells and drivers.
+  std::string ToString() const;
+};
+
+struct ServiceResult {
+  /// Which engine produced the answer.
+  enum class Path { kCompiledCold, kCompiledCached, kInterpreted };
+  Path path = Path::kInterpreted;
+  std::string text;
+  int64_t rows = 0;
+  /// Generated/interpreted code's own timed region, milliseconds.
+  double exec_ms = 0.0;
+  /// Codegen+cc cost of the compiled entry serving this request: paid now
+  /// on kCompiledCold, amortized on kCompiledCached, 0 on kInterpreted.
+  double compile_ms = 0.0;
+  Fingerprint fingerprint;
+  /// Captured compiler diagnostics when a compile failure degraded this
+  /// request to the interpreter; empty otherwise.
+  std::string compile_error;
+};
+
+const char* PathName(ServiceResult::Path p);
+
+class QueryService {
+ public:
+  /// The database must outlive the service and must not be mutated while
+  /// the service runs (compiled entries bind column pointers).
+  explicit QueryService(const rt::Database& db, ServiceOptions opts = {});
+
+  /// Executes `q` with the service's default engine options.
+  ServiceResult Execute(const plan::Query& q);
+  /// Executes `q` with explicit engine options (distinct cache key).
+  ServiceResult Execute(const plan::Query& q,
+                        const engine::EngineOptions& eopts);
+
+  /// Parses `sql` against the catalog and executes. Returns false (and
+  /// fills *error) on a parse/bind error; execution itself cannot fail —
+  /// the interpreter is the fallback of last resort.
+  bool ExecuteSql(const std::string& sql, ServiceResult* result,
+                  std::string* error);
+
+  /// Cache key a query would be served under (tests, EXPLAIN-style tools).
+  Fingerprint FingerprintFor(const plan::Query& q) const {
+    return FingerprintQuery(q, opts_.engine, db_);
+  }
+  Fingerprint FingerprintFor(const plan::Query& q,
+                             const engine::EngineOptions& eopts) const {
+    return FingerprintQuery(q, eopts, db_);
+  }
+
+  ServiceStats Stats() const;
+
+  const QueryCache& cache() const { return cache_; }
+  const rt::Database& db() const { return db_; }
+  const ServiceOptions& options() const { return opts_; }
+
+ private:
+  /// One in-flight compilation; followers of the same fingerprint block on
+  /// (or bypass) this record.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    CacheEntryPtr entry;  // null if the compile failed
+    std::string error;
+  };
+
+  ServiceResult RunCompiled(const CacheEntryPtr& entry,
+                            ServiceResult::Path path, const Fingerprint& fp);
+  ServiceResult RunInterp(const plan::Query& q,
+                          const engine::EngineOptions& eopts,
+                          const Fingerprint& fp, std::string compile_error);
+
+  const rt::Database& db_;
+  const ServiceOptions opts_;
+  QueryCache cache_;
+
+  mutable std::mutex mu_;  // guards inflight_ and stats_
+  std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
+  ServiceStats stats_;
+};
+
+}  // namespace lb2::service
+
+#endif  // LB2_SERVICE_SERVICE_H_

@@ -1,6 +1,7 @@
 #include "stage/jit.h"
 
 #include <dlfcn.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -21,6 +22,25 @@ std::atomic<int> g_jit_counter{0};
 std::string TempDir() {
   const char* env = std::getenv("LB2_JIT_DIR");
   return env != nullptr ? env : "/tmp";
+}
+
+/// Shell-quotes a path for std::system (LB2_JIT_DIR may contain spaces).
+std::string Quoted(const std::string& path) {
+  std::string out = "'";
+  for (char c : path) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out += c;
+    }
+  }
+  out += "'";
+  return out;
+}
+
+int64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size) : 0;
 }
 
 }  // namespace
@@ -44,20 +64,22 @@ std::string Jit::CompilerCommand() {
   return env != nullptr ? env : "cc";
 }
 
-std::unique_ptr<JitModule> Jit::Compile(const CModule& module,
-                                        const std::string& tag,
-                                        const std::string& extra_flags) {
+std::unique_ptr<JitModule> Jit::TryCompile(const CModule& module,
+                                           const std::string& tag,
+                                           const std::string& extra_flags,
+                                           std::string* error) {
   Stopwatch emit_timer;
   std::string source = module.Emit();
   double emit_ms = emit_timer.ElapsedMs();
-  auto out = CompileSource(source, tag, extra_flags);
-  out->codegen_ms_ = emit_ms;
+  auto out = TryCompileSource(source, tag, extra_flags, error);
+  if (out != nullptr) out->codegen_ms_ = emit_ms;
   return out;
 }
 
-std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
-                                              const std::string& tag,
-                                              const std::string& extra_flags) {
+std::unique_ptr<JitModule> Jit::TryCompileSource(const std::string& source,
+                                                 const std::string& tag,
+                                                 const std::string& extra_flags,
+                                                 std::string* error) {
   auto out = std::unique_ptr<JitModule>(new JitModule());
   out->source_ = source;
 
@@ -69,13 +91,17 @@ std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
 
   {
     std::ofstream f(out->c_path_);
-    LB2_CHECK_MSG(f.good(), ("cannot write " + out->c_path_).c_str());
+    if (!f.good()) {
+      if (error != nullptr) *error = "cannot write " + out->c_path_;
+      return nullptr;
+    }
     f << out->source_;
   }
 
   std::string cmd = CompilerCommand() + " -O2 -fPIC -shared " + extra_flags +
-                    " -o " + out->so_path_ + " " + out->c_path_ +
-                    " -lpthread -lm 2> " + base + ".err";
+                    " -o " + Quoted(out->so_path_) + " " +
+                    Quoted(out->c_path_) + " -lpthread -lm 2> " +
+                    Quoted(base + ".err");
   Stopwatch cc_timer;
   int rc = std::system(cmd.c_str());
   out->compile_ms_ = cc_timer.ElapsedMs();
@@ -86,16 +112,48 @@ std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
       err.assign(std::istreambuf_iterator<char>(ef),
                  std::istreambuf_iterator<char>());
     }
-    std::fprintf(stderr,
-                 "generated-code compile failed (%s):\n%s\n"
-                 "source kept at %s\n",
-                 cmd.c_str(), err.c_str(), out->c_path_.c_str());
-    std::abort();
+    std::remove((base + ".err").c_str());
+    if (error != nullptr) {
+      *error = StrPrintf("generated-code compile failed (%s):\n%s"
+                         "source kept at %s",
+                         cmd.c_str(), err.c_str(), out->c_path_.c_str());
+    }
+    // Keep the .c for postmortem debugging; drop the half-written .so.
+    std::remove(out->so_path_.c_str());
+    out->c_path_.clear();
+    out->so_path_.clear();
+    return nullptr;
   }
   std::remove((base + ".err").c_str());
+  out->so_bytes_ = FileBytes(out->so_path_);
 
   out->handle_ = dlopen(out->so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
-  LB2_CHECK_MSG(out->handle_ != nullptr, dlerror());
+  if (out->handle_ == nullptr) {
+    const char* dl = dlerror();
+    if (error != nullptr) {
+      *error = StrPrintf("dlopen(%s) failed: %s", out->so_path_.c_str(),
+                         dl != nullptr ? dl : "unknown error");
+    }
+    return nullptr;
+  }
+  return out;
+}
+
+std::unique_ptr<JitModule> Jit::Compile(const CModule& module,
+                                        const std::string& tag,
+                                        const std::string& extra_flags) {
+  std::string error;
+  auto out = TryCompile(module, tag, extra_flags, &error);
+  LB2_CHECK_MSG(out != nullptr, error.c_str());
+  return out;
+}
+
+std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
+                                              const std::string& tag,
+                                              const std::string& extra_flags) {
+  std::string error;
+  auto out = TryCompileSource(source, tag, extra_flags, &error);
+  LB2_CHECK_MSG(out != nullptr, error.c_str());
   return out;
 }
 

@@ -24,7 +24,9 @@ struct QueryOut {
 };
 
 /// A loaded query library. Owns the dlopen handle and the on-disk artifacts;
-/// both are released on destruction.
+/// both are released on destruction. Hold it through a shared_ptr when the
+/// code may still be executing on another thread: dlclose while a query is
+/// mid-flight unmaps its text segment.
 class JitModule {
  public:
   using QueryFn = int64_t (*)(void** env, QueryOut* out);
@@ -45,6 +47,9 @@ class JitModule {
 
   const std::string& c_path() const { return c_path_; }
 
+  /// Size of the loaded shared object on disk (cache byte accounting).
+  int64_t so_bytes() const { return so_bytes_; }
+
  private:
   friend class Jit;
   JitModule() = default;
@@ -55,6 +60,7 @@ class JitModule {
   std::string so_path_;
   double codegen_ms_ = 0.0;
   double compile_ms_ = 0.0;
+  int64_t so_bytes_ = 0;
 };
 
 /// Front door: compiles a CModule with the system C compiler.
@@ -64,14 +70,27 @@ class Jit {
   static std::string CompilerCommand();
 
   /// Emits, compiles (-O2 by default) and loads `module`. `tag` names the
-  /// temp files for debuggability. Aborts with the compiler diagnostics on
-  /// failure — a compile error in generated code is a bug in this library.
-  static std::unique_ptr<JitModule> Compile(const CModule& module,
-                                            const std::string& tag,
-                                            const std::string& extra_flags = "");
+  /// temp files for debuggability. Returns nullptr on a compiler or loader
+  /// failure with the captured diagnostics in *error (the generated source
+  /// is kept on disk for inspection) — recoverable, so a serving layer can
+  /// degrade to the interpreted path instead of dying.
+  static std::unique_ptr<JitModule> TryCompile(const CModule& module,
+                                               const std::string& tag,
+                                               const std::string& extra_flags,
+                                               std::string* error);
 
   /// Same pipeline for an already-rendered C translation unit (used by the
   /// template-expansion compiler, which produces raw text).
+  static std::unique_ptr<JitModule> TryCompileSource(
+      const std::string& source, const std::string& tag,
+      const std::string& extra_flags, std::string* error);
+
+  /// Aborting wrappers around the Try* variants, for callers that treat a
+  /// compile error in generated code as a bug in this library (tests,
+  /// benchmarks, the one-shot examples).
+  static std::unique_ptr<JitModule> Compile(const CModule& module,
+                                            const std::string& tag,
+                                            const std::string& extra_flags = "");
   static std::unique_ptr<JitModule> CompileSource(const std::string& source,
                                                   const std::string& tag,
                                                   const std::string& extra_flags = "");

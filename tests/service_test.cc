@@ -1,0 +1,319 @@
+// Query-service tests: fingerprint stability and sensitivity, cache
+// hit/eviction behavior, single-flight compilation under concurrency
+// (differentially checked against the Volcano oracle), and graceful
+// degradation to the interpreted path on generated-code compile failure.
+//
+// These carry the ctest label `service`; the CI sanitizer flow runs them
+// under ThreadSanitizer (`cmake -DLB2_SANITIZE=thread`, `ctest -L service`).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "service/fingerprint.h"
+#include "service/query_cache.h"
+#include "service/service.h"
+#include "sql/sql.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "volcano/volcano.h"
+
+namespace lb2::service {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 808, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static plan::Query Parse(const std::string& sql) {
+    return sql::ParseQuery(sql, *db_);
+  }
+
+  static std::string Oracle(const plan::Query& q) {
+    return volcano::Execute(q, *db_);
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* ServiceTest::db_ = nullptr;
+
+constexpr const char* kGroupBySql =
+    "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev "
+    "from lineitem group by l_returnflag order by l_returnflag";
+
+// -- Fingerprinting ---------------------------------------------------------
+
+TEST_F(ServiceTest, FingerprintStableAcrossIndependentParses) {
+  // Two independently parsed (distinct shared_ptr graphs) copies of the
+  // same statement must collide — that is what makes the cache work.
+  plan::Query a = Parse(kGroupBySql);
+  plan::Query b = Parse(kGroupBySql);
+  engine::EngineOptions opts;
+  EXPECT_EQ(FingerprintQuery(a, opts, *db_), FingerprintQuery(b, opts, *db_));
+}
+
+TEST_F(ServiceTest, FingerprintStableForPlanLibrary) {
+  tpch::QueryOptions qopts;
+  EXPECT_EQ(FingerprintQuery(tpch::BuildQuery(6, qopts), {}, *db_),
+            FingerprintQuery(tpch::BuildQuery(6, qopts), {}, *db_));
+}
+
+TEST_F(ServiceTest, FingerprintSensitiveToPredicateConstant) {
+  plan::Query a =
+      Parse("select count(*) as n from lineitem where l_quantity < 24");
+  plan::Query b =
+      Parse("select count(*) as n from lineitem where l_quantity < 25");
+  EXPECT_NE(FingerprintQuery(a, {}, *db_), FingerprintQuery(b, {}, *db_));
+}
+
+TEST_F(ServiceTest, FingerprintSensitiveToEngineOptions) {
+  plan::Query q = Parse(kGroupBySql);
+  engine::EngineOptions base;
+  engine::EngineOptions no_hoist = base;
+  no_hoist.hoist_alloc = false;
+  engine::EngineOptions columnar = base;
+  columnar.row_layout_joins = false;
+  engine::EngineOptions parallel = base;
+  parallel.num_threads = 4;
+  EXPECT_NE(FingerprintQuery(q, base, *db_),
+            FingerprintQuery(q, no_hoist, *db_));
+  EXPECT_NE(FingerprintQuery(q, base, *db_),
+            FingerprintQuery(q, columnar, *db_));
+  EXPECT_NE(FingerprintQuery(q, base, *db_),
+            FingerprintQuery(q, parallel, *db_));
+}
+
+TEST_F(ServiceTest, FingerprintSensitiveToDatabaseIdentity) {
+  // Different data (row counts are baked into generated code) ...
+  rt::Database other;
+  tpch::Generate(0.001, 99, &other);
+  plan::Query q = Parse(kGroupBySql);
+  EXPECT_NE(FingerprintQuery(q, {}, *db_), FingerprintQuery(q, {}, other));
+
+  // ... and different auxiliary structures (they gate codegen paths) must
+  // both shift the key.
+  uint64_t before = FingerprintDatabase(other);
+  other.BuildPkIndex("orders", "o_orderkey");
+  EXPECT_NE(before, FingerprintDatabase(other));
+}
+
+// -- Cache mechanics (no compiler involved) ---------------------------------
+
+CacheEntryPtr FakeEntry(uint64_t hash, int64_t bytes) {
+  auto e = std::make_shared<CacheEntry>();
+  e->fingerprint = Fingerprint{hash};
+  e->bytes = bytes;
+  return e;
+}
+
+TEST(QueryCacheTest, LruEvictionOrder) {
+  QueryCache cache(/*max_entries=*/2);
+  cache.Put(FakeEntry(1, 10));
+  cache.Put(FakeEntry(2, 10));
+  ASSERT_NE(cache.Get(Fingerprint{1}), nullptr);  // bump 1 to MRU
+  cache.Put(FakeEntry(3, 10));                    // evicts 2, the LRU
+  EXPECT_NE(cache.Get(Fingerprint{1}), nullptr);
+  EXPECT_EQ(cache.Get(Fingerprint{2}), nullptr);
+  EXPECT_NE(cache.Get(Fingerprint{3}), nullptr);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(QueryCacheTest, ByteBudgetEvicts) {
+  QueryCache cache(/*max_entries=*/100, /*max_bytes=*/25);
+  cache.Put(FakeEntry(1, 10));
+  cache.Put(FakeEntry(2, 10));
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Put(FakeEntry(3, 10));  // 30 bytes > 25: evict until under budget
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.bytes(), 20);
+  EXPECT_EQ(cache.Get(Fingerprint{1}), nullptr);
+}
+
+TEST(QueryCacheTest, EvictedEntrySurvivesWhileHeld) {
+  QueryCache cache(/*max_entries=*/1);
+  cache.Put(FakeEntry(1, 10));
+  CacheEntryPtr held = cache.Get(Fingerprint{1});
+  ASSERT_NE(held, nullptr);
+  cache.Put(FakeEntry(2, 10));  // evicts 1 from the cache ...
+  EXPECT_EQ(cache.Get(Fingerprint{1}), nullptr);
+  // ... but the in-flight reference keeps the entry (and in real use its
+  // dlopen handle) alive.
+  EXPECT_EQ(held->fingerprint.hash, 1u);
+}
+
+// -- Service end-to-end -----------------------------------------------------
+
+TEST_F(ServiceTest, WarmHitSkipsCompilation) {
+  QueryService svc(*db_);
+  plan::Query q = Parse(kGroupBySql);
+  std::string want = Oracle(q);
+
+  ServiceResult cold = svc.Execute(q);
+  EXPECT_EQ(cold.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(tpch::DiffResults(want, cold.text, /*order_sensitive=*/true), "");
+
+  ServiceResult warm = svc.Execute(Parse(kGroupBySql));
+  EXPECT_EQ(warm.path, ServiceResult::Path::kCompiledCached);
+  EXPECT_EQ(tpch::DiffResults(want, warm.text, /*order_sensitive=*/true), "");
+
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.requests, 2);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_GT(stats.compile_ms_saved, 0.0);
+  EXPECT_EQ(stats.cache_entries, 1);
+  EXPECT_GT(stats.cache_bytes, 0);
+}
+
+TEST_F(ServiceTest, LruEvictionForcesRecompile) {
+  ServiceOptions opts;
+  opts.cache_capacity = 2;
+  QueryService svc(*db_, opts);
+  const char* sqls[3] = {
+      "select count(*) as n from lineitem where l_quantity < 10",
+      "select count(*) as n from lineitem where l_quantity < 20",
+      "select count(*) as n from lineitem where l_quantity < 30",
+  };
+  for (const char* s : sqls) svc.Execute(Parse(s));
+  EXPECT_EQ(svc.Stats().cache_entries, 2);
+  EXPECT_EQ(svc.Stats().evictions, 1);
+
+  // The first statement was evicted: running it again is a miss.
+  ServiceResult again = svc.Execute(Parse(sqls[0]));
+  EXPECT_EQ(again.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(svc.Stats().misses, 4);
+}
+
+void RunConcurrencyCheck(ServiceOptions::WhileCompiling policy) {
+  ServiceOptions opts;
+  opts.while_compiling = policy;
+  QueryService svc(*ServiceTest::db_, opts);  // NOLINT
+  plan::Query q = sql::ParseQuery(kGroupBySql, *ServiceTest::db_);
+  std::string want = volcano::Execute(q, *ServiceTest::db_);
+
+  constexpr int kThreads = 8;
+  std::vector<ServiceResult> results(kThreads);
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+      threads.emplace_back([&, i] { results[static_cast<size_t>(i)] =
+                                        svc.Execute(q); });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  // Exactly one JIT compilation, no matter how the 8 requests interleave.
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.requests, kThreads);
+  EXPECT_EQ(stats.compile_failures, 0);
+  EXPECT_EQ(stats.in_flight, 0);
+
+  // Every client, whichever path served it, matches the Volcano oracle.
+  for (const auto& r : results) {
+    EXPECT_EQ(tpch::DiffResults(want, r.text, /*order_sensitive=*/true), "")
+        << PathName(r.path);
+  }
+
+  // And a subsequent request is a plain cache hit.
+  EXPECT_EQ(svc.Execute(q).path, ServiceResult::Path::kCompiledCached);
+}
+
+TEST_F(ServiceTest, SingleFlightWaitPolicy) {
+  RunConcurrencyCheck(ServiceOptions::WhileCompiling::kWait);
+}
+
+TEST_F(ServiceTest, SingleFlightHybridInterpretPolicy) {
+  RunConcurrencyCheck(ServiceOptions::WhileCompiling::kInterpret);
+}
+
+TEST_F(ServiceTest, ConcurrentDistinctPlansAllCompile) {
+  // Different fingerprints must not serialize behind one flight: four
+  // distinct plans submitted from four threads all compile (and cache).
+  QueryService svc(*db_);
+  const char* sqls[4] = {
+      "select count(*) as n from orders where o_totalprice > 1000",
+      "select count(*) as n from orders where o_totalprice > 2000",
+      "select count(*) as n from orders where o_totalprice > 3000",
+      "select count(*) as n from orders where o_totalprice > 4000",
+  };
+  std::vector<plan::Query> qs;
+  std::vector<std::string> wants;
+  for (const char* s : sqls) {
+    qs.push_back(Parse(s));
+    wants.push_back(Oracle(qs.back()));
+  }
+  std::vector<ServiceResult> results(4);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) {
+      threads.emplace_back([&, i] { results[static_cast<size_t>(i)] =
+                                        svc.Execute(qs[static_cast<size_t>(i)]); });
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tpch::DiffResults(wants[static_cast<size_t>(i)],
+                                results[static_cast<size_t>(i)].text,
+                                /*order_sensitive=*/true), "");
+  }
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.compiles, 4);
+  EXPECT_EQ(stats.cache_entries, 4);
+}
+
+TEST_F(ServiceTest, CompileFailureDegradesToInterpreter) {
+  // Point the JIT at a compiler that always fails: the service must not
+  // abort; it logs the captured diagnostics and serves the query
+  // interpreted, with results still matching the oracle.
+  ASSERT_EQ(setenv("LB2_CC", "/bin/false", /*overwrite=*/1), 0);
+  ServiceOptions opts;
+  opts.log_compile_errors = false;  // keep test output clean
+  QueryService svc(*db_, opts);
+  plan::Query q = Parse(kGroupBySql);
+  ServiceResult r = svc.Execute(q);
+  unsetenv("LB2_CC");
+
+  EXPECT_EQ(r.path, ServiceResult::Path::kInterpreted);
+  EXPECT_FALSE(r.compile_error.empty());
+  EXPECT_EQ(tpch::DiffResults(Oracle(q), r.text, /*order_sensitive=*/true),
+            "");
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.compile_failures, 1);
+  EXPECT_EQ(stats.interp_fallbacks, 1);
+  EXPECT_EQ(stats.compiles, 0);
+  EXPECT_EQ(stats.cache_entries, 0);
+
+  // The environment is healthy again: the same service recovers and
+  // compiles on the next request.
+  ServiceResult ok = svc.Execute(q);
+  EXPECT_EQ(ok.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(svc.Stats().compiles, 1);
+}
+
+TEST_F(ServiceTest, ExecuteSqlParsesAndCaches) {
+  QueryService svc(*db_);
+  ServiceResult r;
+  std::string error;
+  ASSERT_TRUE(svc.ExecuteSql(kGroupBySql, &r, &error)) << error;
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  ASSERT_TRUE(svc.ExecuteSql(kGroupBySql, &r, &error)) << error;
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCached);
+
+  EXPECT_FALSE(svc.ExecuteSql("select nonsense from nowhere", &r, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace lb2::service
