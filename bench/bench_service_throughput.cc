@@ -7,11 +7,16 @@
 //   interp  — the data-centric interpreter (the hybrid fallback path)
 //   mixed   — warm multi-client throughput at 1/4/8 threads, clients
 //             round-robining over the three shapes
+//   same    — ONE cached entry (Q1 or Q6) hammered by 1/4/8 threads; the
+//             scaling curve shows compiled entries are reentrant (per-call
+//             lb2_exec_ctx, no per-entry run lock serializing clients)
 //
 // The compile-amortization win is (cold - warm); the hybrid-dispatch
-// headroom is (interp vs warm). Emit JSON next to the Fig-10 numbers with:
+// headroom is (interp vs warm); the reentrancy win is the same-entry
+// 8-thread items/s over the 1-thread line. Emit JSON (the CI script writes
+// BENCH_service.json this way) with:
 //
-//   ./bench_service_throughput --benchmark_out=bench_service.json \
+//   ./bench_service_throughput --benchmark_out=BENCH_service.json \
 //                              --benchmark_out_format=json
 //
 // Scale factor: LB2_SF (default 0.02), as for the figure benchmarks.
@@ -102,6 +107,18 @@ void BM_WarmThroughputMixed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Same-entry scaling: every thread runs the SAME warm cached entry.
+// range(0) picks the shape: 0 = Q1 (agg+sort heavy), 1 = Q6 (scan+filter).
+void BM_WarmSameEntry(benchmark::State& state) {
+  Harness& h = TheHarness();
+  const plan::Query& q = h.queries[state.range(0)];
+  for (auto _ : state) {
+    service::ServiceResult r = h.svc->Execute(q);
+    benchmark::DoNotOptimize(r.rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
 BENCHMARK(BM_ColdCompilePerRequest)
     ->DenseRange(0, 2)
     ->Unit(benchmark::kMillisecond)
@@ -109,6 +126,14 @@ BENCHMARK(BM_ColdCompilePerRequest)
 BENCHMARK(BM_WarmCacheHit)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Interpreted)->DenseRange(0, 2)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WarmThroughputMixed)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_WarmSameEntry)
+    ->ArgNames({"q"})
+    ->DenseRange(0, 1)
     ->Threads(1)
     ->Threads(4)
     ->Threads(8)

@@ -38,8 +38,7 @@ void BM_StageAndEmitQ1(benchmark::State& state) {
     qctx.b = &b;
     qctx.db = &db;
     ctx.BeginFunction("int64_t", "lb2_query",
-                      {{"void**", "env"}, {"lb2_out*", "out"}}, false);
-    b.BindEntryParams();
+                      engine::StageBackend::EntryParams(), false);
     engine::DriveQuery(b, qctx, q, {});
     ctx.EndFunction();
     std::string src = ctx.module().Emit();

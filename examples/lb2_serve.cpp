@@ -90,8 +90,11 @@ int main(int argc, char** argv) {
         static_cast<int>(rng.Next() % workload.size());
   }
 
+  // Admission knobs come in through the environment (LB2_MAX_INFLIGHT,
+  // LB2_QUEUE_TIMEOUT_MS) via the ServiceOptions defaults.
   service::QueryService svc(db);
   std::atomic<int> next{0};
+  std::atomic<int64_t> busy{0};  // requests shed by admission control
   std::vector<Tally> by_path(3);  // indexed by ServiceResult::Path
   std::mutex tally_mu;
 
@@ -113,6 +116,10 @@ int main(int argc, char** argv) {
         Stopwatch latency;
         if (!svc.ExecuteSql(sql, &r, &error)) {
           std::fprintf(stderr, "parse error: %s\n", error.c_str());
+          continue;
+        }
+        if (r.status == service::ServiceResult::Status::kBusy) {
+          busy.fetch_add(1);
           continue;
         }
         local[static_cast<size_t>(r.path)].Add(latency.ElapsedMs());
@@ -137,6 +144,10 @@ int main(int argc, char** argv) {
     std::printf("%-18s %8lld %12.3f %12.3f\n", names[p],
                 static_cast<long long>(by_path[p].count),
                 by_path[p].MeanMs(), by_path[p].max_ms);
+  }
+  if (busy.load() > 0) {
+    std::printf("%-18s %8lld %12s %12s\n", "busy (shed)",
+                static_cast<long long>(busy.load()), "-", "-");
   }
   std::printf("\nwall %.0f ms, %.1f queries/sec\n", wall_ms,
               requests / (wall_ms / 1000.0));

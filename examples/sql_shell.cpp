@@ -98,18 +98,22 @@ int main(int argc, char** argv) {
                     cq.source().c_str());
       } else {
         service::ServiceResult r = svc.Execute(q);
-        std::printf("%s(%lld rows; %s", r.text.c_str(),
-                    static_cast<long long>(r.rows),
-                    service::PathName(r.path));
-        if (r.path == service::ServiceResult::Path::kCompiledCold) {
-          std::printf(", compile %.0f ms", r.compile_ms);
-        } else if (r.path == service::ServiceResult::Path::kCompiledCached) {
-          std::printf(", %.0f ms compile skipped", r.compile_ms);
-        }
-        std::printf(", exec %.3f ms)\n", r.exec_ms);
-        if (!r.compile_error.empty()) {
-          std::printf("-- served interpreted; JIT error:\n%s\n",
-                      r.compile_error.c_str());
+        if (r.status == service::ServiceResult::Status::kBusy) {
+          std::printf("(busy: admission queue timed out, retry later)\n");
+        } else {
+          std::printf("%s(%lld rows; %s", r.text.c_str(),
+                      static_cast<long long>(r.rows),
+                      service::PathName(r.path));
+          if (r.path == service::ServiceResult::Path::kCompiledCold) {
+            std::printf(", compile %.0f ms", r.compile_ms);
+          } else if (r.path == service::ServiceResult::Path::kCompiledCached) {
+            std::printf(", %.0f ms compile skipped", r.compile_ms);
+          }
+          std::printf(", exec %.3f ms)\n", r.exec_ms);
+          if (!r.compile_error.empty()) {
+            std::printf("-- served interpreted; JIT error:\n%s\n",
+                        r.compile_error.c_str());
+          }
         }
       }
     }

@@ -41,8 +41,7 @@ void TourPower() {
   std::printf("%s\n", src.substr(pos).c_str());
 
   auto mod = Jit::Compile(ctx.module(), "tour_power");
-  using PowerFn = int64_t (*)(int64_t);
-  auto fn = reinterpret_cast<PowerFn>(mod->entry("power4"));
+  auto* fn = mod->sym<int64_t(int64_t)>("power4");
   std::printf("power4(3) = %lld, power4(5) = %lld\n\n",
               static_cast<long long>(fn(3)), static_cast<long long>(fn(5)));
 }

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 correctness, the ThreadSanitizer concurrency lane,
+# and the service-throughput benchmark JSON.
+#
+#   scripts/ci.sh            # tier-1 + tsan + bench
+#   scripts/ci.sh tier1      # build + full ctest only
+#   scripts/ci.sh tsan       # Debug + -fsanitize=thread, `ctest -L service`
+#   scripts/ci.sh bench      # same-entry scaling -> BENCH_service.json
+#
+# The tsan lane exists because the service runs compiled queries with NO
+# per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
+# and only TSan proves that claim on every change. It runs the `service`
+# label (service_test + service_concurrency_test), which hammers one cached
+# entry from many threads.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage="${1:-all}"
+
+tier1() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)"
+  ctest --test-dir build --output-on-failure -j"$(nproc)"
+}
+
+tsan() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  ctest --test-dir build-tsan -L service --output-on-failure -j"$(nproc)"
+}
+
+bench() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)" --target bench_service_throughput
+  # Small scale factor keeps CI fast; the scaling *ratio* is what matters.
+  LB2_SF="${LB2_SF:-0.01}" ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_service.json \
+    --benchmark_out_format=json
+  echo "wrote BENCH_service.json (same-entry 1/4/8-thread scaling, Q1+Q6)"
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  bench) bench ;;
+  all) tier1 && tsan && bench ;;
+  *) echo "usage: scripts/ci.sh [tier1|tsan|bench|all]" >&2; exit 2 ;;
+esac

@@ -9,7 +9,14 @@ namespace lb2::compile {
 
 CompiledQuery::RunResult CompiledQuery::Run() const {
   stage::QueryOut out;
-  int64_t rows = fn_(const_cast<void**>(env_.data()), &out);
+  // A private zeroed context per call: the fixed two-pointer header up
+  // front, the module's scratch fields after it. This is what makes
+  // concurrent Run() on one loaded module safe.
+  std::vector<char> ctx_buf(static_cast<size_t>(ctx_bytes_), 0);
+  auto* hdr = reinterpret_cast<stage::ExecCtxHeader*>(ctx_buf.data());
+  hdr->env = const_cast<void**>(env_.data());
+  hdr->out = &out;
+  int64_t rows = fn_(ctx_buf.data());
   RunResult r;
   r.rows = rows;
   r.exec_ms = out.exec_ms;
@@ -38,23 +45,27 @@ std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
     qctx.db = &db;
     qctx.copts.use_dict = opts.use_dict;
 
-    ctx.BeginFunction("int64_t", "lb2_query",
-                      {{"void**", "env"}, {"lb2_out*", "out"}},
+    ctx.BeginFunction("int64_t", "lb2_query", engine::StageBackend::EntryParams(),
                       /*is_static=*/false);
-    b.BindEntryParams();
     engine::DriveQuery(b, qctx, q, opts);
     b.FreeOwnedAllocations();
-    stage::Stmt("return g_out->rows;");
+    stage::Stmt("return lb2_ctx->out->rows;");
     ctx.EndFunction();
   }
   double staging_ms = staging_timer.ElapsedMs();
 
   auto mod = stage::Jit::TryCompile(ctx.module(), tag, "", error);
   if (mod == nullptr) return nullptr;
+  // Reentrancy invariant: all mutable state lives on lb2_exec_ctx.
+  std::string leaked = stage::FindMutableFileScopeState(mod->source());
+  LB2_CHECK_MSG(leaked.empty(),
+                ("mutable file-scope state in generated code: " + leaked)
+                    .c_str());
 
   auto cq = std::unique_ptr<CompiledQuery>(new CompiledQuery());
   cq->mod_ = std::move(mod);
   cq->fn_ = cq->mod_->entry("lb2_query");
+  cq->ctx_bytes_ = cq->mod_->ctx_bytes();
   cq->env_ = env.Materialize(db);
   cq->codegen_ms_ = staging_ms + cq->mod_->codegen_ms();
   return cq;

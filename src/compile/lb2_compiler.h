@@ -18,10 +18,10 @@ namespace lb2::compile {
 
 /// A compiled, loaded, re-runnable query bound to a database.
 ///
-/// Thread-safety: the generated code keeps its environment and output sink
-/// in file-static globals (g_env/g_out), so concurrent Run() calls on the
-/// same CompiledQuery race. Callers that share one instance across threads
-/// must serialize Run() — the query service does this per cache entry.
+/// Thread-safety: the generated entry takes an explicit execution context
+/// (`lb2_exec_ctx*`) and keeps no mutable file-scope state; Run() allocates
+/// a private context per call, so any number of threads may Run() the same
+/// CompiledQuery concurrently with independent results.
 class CompiledQuery {
  public:
   struct RunResult {
@@ -56,6 +56,7 @@ class CompiledQuery {
   std::shared_ptr<stage::JitModule> mod_;
   stage::JitModule::QueryFn fn_ = nullptr;
   std::vector<void*> env_;
+  int64_t ctx_bytes_ = 0;
   double codegen_ms_ = 0.0;
 };
 

@@ -169,7 +169,15 @@ class TemplateGen {
     src += stage::kCPrelude;
     src += kTemplatePrelude;
     src += functions_;
-    src += "int64_t lb2_query(void** env, lb2_out* out) {\n";
+    // Same reentrant entry ABI as the staged compiler (jit.h): all state is
+    // either per-call locals or reached through the execution context. The
+    // template path needs no scratch fields beyond the fixed header.
+    src += "typedef struct {\n  void** env;\n  lb2_out* out;\n} lb2_exec_ctx;\n";
+    src += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n";
+    src += "int64_t lb2_query(lb2_exec_ctx* lb2_ctx) {\n";
+    src += "  void** env = lb2_ctx->env;\n";
+    src += "  lb2_out* out = lb2_ctx->out;\n";
+    src += "  (void)env;\n";
     src += binds_;
     src += decls_;
     src += body;
@@ -963,9 +971,15 @@ CompiledQuery CompileTemplateQuery(const plan::Query& q,
   std::string source = gen.Generate(&env);
   double gen_ms = gen_timer.ElapsedMs();
 
+  std::string leaked = stage::FindMutableFileScopeState(source);
+  LB2_CHECK_MSG(leaked.empty(),
+                ("mutable file-scope state in generated code: " + leaked)
+                    .c_str());
+
   CompiledQuery cq;
   cq.mod_ = stage::Jit::CompileSource(source, tag);
   cq.fn_ = cq.mod_->entry("lb2_query");
+  cq.ctx_bytes_ = cq.mod_->ctx_bytes();
   cq.env_ = env.Materialize(db);
   cq.codegen_ms_ = gen_ms;
   return cq;

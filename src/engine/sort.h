@@ -1,7 +1,8 @@
 // Backend-specific sorting of materialized buffers (the one operator piece
 // that is intrinsically backend-shaped): the interpreter backend sorts a
 // permutation with std::sort; the staged backend *generates* a comparator
-// function specialized to the sort keys' physical layout and calls qsort.
+// function specialized to the sort keys' physical layout and calls qsort_r
+// (the comparator needs the run's execution context to reach the buffers).
 // Both append a final index tiebreak so tied rows order identically across
 // engines. Dictionary-encoded keys compare by code — dictionary order is
 // lexicographic by construction.
@@ -52,7 +53,11 @@ struct Sorter<StageBackend> {
     auto* ctx = b.ctx();
     std::string fn = ctx->Fresh("lb2_cmp");
     ctx->BeginFunction("int", fn,
-                       {{"const void*", "pa"}, {"const void*", "pb"}});
+                       {{"const void*", "pa"},
+                        {"const void*", "pb"},
+                        {"void*", "lb2_vctx"}});
+    stage::Stmt("lb2_exec_ctx* lb2_ctx = (lb2_exec_ctx*)lb2_vctx;");
+    stage::Stmt("(void)lb2_ctx;");
     stage::Stmt("int64_t ia = *(const int64_t*)pa;");
     stage::Stmt("int64_t ib = *(const int64_t*)pb;");
     for (const auto& key : keys) {
@@ -84,8 +89,8 @@ struct Sorter<StageBackend> {
     }
     stage::Stmt("return ia < ib ? -1 : (ia > ib ? 1 : 0);");
     ctx->EndFunction();
-    stage::Stmt("qsort(" + perm.ref() + ", (size_t)" + n.ref() +
-                ", sizeof(int64_t), " + fn + ");");
+    stage::Stmt("qsort_r(" + perm.ref() + ", (size_t)" + n.ref() +
+                ", sizeof(int64_t), " + fn + ", (void*)lb2_ctx);");
   }
 };
 

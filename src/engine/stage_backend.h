@@ -1,9 +1,10 @@
 // StageBackend: the "future-stage" backend. Values are symbolic Rep<T>s,
-// control-flow combinators emit C, and allocation helpers create file-scope
-// globals in the generated translation unit (so generated sort comparators
-// and thread entry points can reach them). Running the shared operator code
-// under this backend *is* the compiler: interpreter + symbolic input =
-// residual program (the first Futamura projection).
+// control-flow combinators emit C, and allocation helpers register fields on
+// the generated module's per-run `lb2_exec_ctx` struct (so generated sort
+// comparators and thread entry points can reach them without any mutable
+// file-scope state — the entry is fully reentrant). Running the shared
+// operator code under this backend *is* the compiler: interpreter + symbolic
+// input = residual program (the first Futamura projection).
 #ifndef LB2_ENGINE_STAGE_BACKEND_H_
 #define LB2_ENGINE_STAGE_BACKEND_H_
 
@@ -38,17 +39,16 @@ class StageBackend {
 
   StageBackend(stage::CodegenContext* ctx, rt::EnvLayout* env,
                const rt::Database* db)
-      : ctx_(ctx), env_(env), db_(db) {
-    ctx_->DeclareGlobal("static void** g_env;");
-    ctx_->DeclareGlobal("static lb2_out* g_out;");
-  }
+      : ctx_(ctx), env_(env), db_(db) {}
 
   static constexpr bool kIsStaged = true;
 
-  /// Emitted once at the top of the query entry function.
-  void BindEntryParams() {
-    stage::Stmt("g_env = env;");
-    stage::Stmt("g_out = out;");
+  /// Parameter list of the generated query entry: one pointer to the
+  /// module's execution context. Every staged statement that touches per-run
+  /// state references `lb2_ctx->...`, so the entry (and each generated
+  /// helper that rebinds the name) is reentrant by construction.
+  static std::vector<std::pair<std::string, std::string>> EntryParams() {
+    return {{"lb2_exec_ctx*", "lb2_ctx"}};
   }
 
   // -- Control flow ---------------------------------------------------------
@@ -76,26 +76,34 @@ class StageBackend {
 
   // -- Parallelism (§4.5) ----------------------------------------------------
   /// Emits a pthread parallel region: `body(tid)` is staged into a worker
-  /// function invoked by `n_threads` threads. Engine state reachable from
-  /// workers must be file-scope (AllocArr guarantees this); Cells created
-  /// *inside* the body are worker-local.
+  /// function invoked by `n_threads` threads. Each worker receives the
+  /// spawning run's execution context through lb2_thread_arg and rebinds the
+  /// local `lb2_ctx` name, so state reachable from workers must live on the
+  /// context (AllocArr/BindEnv guarantee this); Cells created *inside* the
+  /// body are worker-local.
   template <typename F>
   void ParallelRegion(int n_threads, F body) {
     LB2_CHECK_MSG(!in_parallel_, "nested parallel regions are not supported");
     std::string fn = ctx_->Fresh("lb2_worker");
     ctx_->BeginFunction("void*", fn, {{"void*", "arg"}});
+    stage::Stmt("lb2_thread_arg* lb2_a = (lb2_thread_arg*)arg;");
+    stage::Stmt("lb2_exec_ctx* lb2_ctx = (lb2_exec_ctx*)lb2_a->ctx;");
+    stage::Stmt("(void)lb2_ctx;");
     in_parallel_ = true;
-    cur_tid_ = stage::Bind<int64_t>("(int64_t)(intptr_t)arg");
+    cur_tid_ = stage::Bind<int64_t>("lb2_a->tid");
     body(cur_tid_);
     in_parallel_ = false;
     cur_tid_ = I64(0);
     stage::Stmt("return (void*)0;");
     ctx_->EndFunction();
     std::string n = std::to_string(n_threads);
-    stage::Stmt("{ pthread_t lb2_th[" + n + "]; int lb2_t;");
+    stage::Stmt("{ pthread_t lb2_th[" + n + "]; lb2_thread_arg lb2_ta[" + n +
+                "]; int lb2_t;");
     stage::Stmt("for (lb2_t = 0; lb2_t < " + n +
-                "; lb2_t++) pthread_create(&lb2_th[lb2_t], 0, " + fn +
-                ", (void*)(intptr_t)lb2_t);");
+                "; lb2_t++) { lb2_ta[lb2_t].ctx = (void*)lb2_ctx; "
+                "lb2_ta[lb2_t].tid = lb2_t; "
+                "pthread_create(&lb2_th[lb2_t], 0, " + fn +
+                ", &lb2_ta[lb2_t]); }");
     stage::Stmt("for (lb2_t = 0; lb2_t < " + n +
                 "; lb2_t++) pthread_join(lb2_th[lb2_t], 0); }");
   }
@@ -134,32 +142,28 @@ class StageBackend {
     c->Set(v);
   }
 
-  // -- Arrays (file-scope globals in the generated TU) -----------------------
+  // -- Arrays (fields on the per-run execution context) ----------------------
   template <typename T>
   Arr<T> AllocArr(I64 n) {
-    std::string name = ctx_->Fresh("g");
-    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
-    stage::Stmt(name + " = (" + stage::CType<T*>() + ")malloc((size_t)(" +
+    std::string ref = NewCtxArr<T>();
+    stage::Stmt(ref + " = (" + stage::CType<T*>() + ")malloc((size_t)(" +
                 n.ref() + ") * sizeof(" + stage::CType<T>() + "));");
-    owned_allocs_.push_back(name);
-    return Arr<T>::FromRef(name);
+    return Arr<T>::FromRef(ref);
   }
   template <typename T>
   Arr<T> AllocZeroArr(I64 n) {
-    std::string name = ctx_->Fresh("g");
-    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
-    stage::Stmt(name + " = (" + stage::CType<T*>() + ")calloc((size_t)(" +
+    std::string ref = NewCtxArr<T>();
+    stage::Stmt(ref + " = (" + stage::CType<T*>() + ")calloc((size_t)(" +
                 n.ref() + "), sizeof(" + stage::CType<T>() + "));");
-    owned_allocs_.push_back(name);
-    return Arr<T>::FromRef(name);
+    return Arr<T>::FromRef(ref);
   }
 
   /// Frees every engine allocation (emitted by the compiler before the
   /// query function returns, so a CompiledQuery can be Run() repeatedly
   /// without growing the heap).
   void FreeOwnedAllocations() {
-    for (const auto& name : owned_allocs_) {
-      stage::Stmt("free((void*)" + name + "); " + name + " = 0;");
+    for (const auto& ref : owned_allocs_) {
+      stage::Stmt("free((void*)" + ref + "); " + ref + " = 0;");
     }
   }
   template <typename T>
@@ -217,8 +221,8 @@ class StageBackend {
   Str DictDecode(const rt::Dictionary* dict, I64 code) {
     auto [pslot, lslot] = DictSlots(dict);
     auto pa = stage::Bind<const char**>(
-        "(const char**)g_env[" + std::to_string(pslot) + "]");
-    auto la = stage::Bind<int32_t*>("(int32_t*)g_env[" +
+        "(const char**)lb2_ctx->env[" + std::to_string(pslot) + "]");
+    auto la = stage::Bind<int32_t*>("(int32_t*)lb2_ctx->env[" +
                                     std::to_string(lslot) + "]");
     return {stage::Load<const char*>(pa, code),
             stage::Load<int32_t>(la, code)};
@@ -396,16 +400,16 @@ class StageBackend {
   void EmitF64(F64 v) { stage::CallVoid("lb2_out_f64", GOut(), v); }
   void EmitDate(I64 v) { stage::CallVoid("lb2_out_date", GOut(), v); }
   void EmitStr(Str s) { stage::CallVoid("lb2_out_str", GOut(), s.p, s.n); }
-  void EmitSep() { stage::Stmt("lb2_out_char(g_out, '|');"); }
+  void EmitSep() { stage::Stmt("lb2_out_char(lb2_ctx->out, '|');"); }
   void EndRow() {
-    stage::Stmt("lb2_out_char(g_out, '\\n');");
-    stage::Stmt("g_out->rows++;");
+    stage::Stmt("lb2_out_char(lb2_ctx->out, '\\n');");
+    stage::Stmt("lb2_ctx->out->rows++;");
   }
 
   // -- Timing ---------------------------------------------------------------
   void StartTimer() { stage::Stmt("double lb2_tstart = lb2_now_ms();"); }
   void StopTimer() {
-    stage::Stmt("g_out->exec_ms = lb2_now_ms() - lb2_tstart;");
+    stage::Stmt("lb2_ctx->out->exec_ms = lb2_now_ms() - lb2_tstart;");
   }
 
   const rt::Database* db() const { return db_; }
@@ -416,12 +420,23 @@ class StageBackend {
     return stage::Rep<const char*>::FromRef(stage::CStringLit(s));
   }
   static stage::Rep<char*> GOut() {
-    return stage::Rep<char*>::FromRef("g_out");
+    return stage::Rep<char*>::FromRef("lb2_ctx->out");
   }
-  /// Environment pointers are bound to file-scope globals (assigned where
-  /// the bind is staged, normally the entry prologue) so worker functions
-  /// and sort comparators can reference them. Rebinding the same key reuses
-  /// the same global.
+  /// Registers a fresh pointer field on the execution context and returns
+  /// its `lb2_ctx->...` ref, tracked for FreeOwnedAllocations.
+  template <typename T>
+  std::string NewCtxArr() {
+    std::string ref =
+        ctx_->DeclareCtxField(stage::CType<T*>(), ctx_->Fresh("g"));
+    owned_allocs_.push_back(ref);
+    return ref;
+  }
+  /// Environment pointers are cached in execution-context fields (assigned
+  /// where the bind is staged, normally the entry prologue) so worker
+  /// functions and sort comparators can reference them. Rebinding the same
+  /// key reuses the same field. New binds must be staged before any parallel
+  /// region: workers share the run's context, and a bind staged inside a
+  /// worker body would race with its siblings.
   template <typename T>
   stage::Rep<T*> BindEnv(const std::string& key, rt::EnvLayout::Resolver r) {
     int slot = env_->SlotFor(key, std::move(r));
@@ -429,12 +444,14 @@ class StageBackend {
     if (it != env_globals_.end()) {
       return stage::Rep<T*>::FromRef(it->second);
     }
-    std::string name = ctx_->Fresh("gc");
-    ctx_->DeclareGlobal("static " + stage::CType<T*>() + " " + name + ";");
-    stage::Stmt(name + " = (" + stage::CType<T*>() + ")g_env[" +
+    LB2_CHECK_MSG(!in_parallel_,
+                  "env bind staged inside a parallel region would race");
+    std::string ref =
+        ctx_->DeclareCtxField(stage::CType<T*>(), ctx_->Fresh("gc"));
+    stage::Stmt(ref + " = (" + stage::CType<T*>() + ")lb2_ctx->env[" +
                 std::to_string(slot) + "];");
-    env_globals_.emplace(slot, name);
-    return stage::Rep<T*>::FromRef(name);
+    env_globals_.emplace(slot, ref);
+    return stage::Rep<T*>::FromRef(ref);
   }
   std::pair<int, int> DictSlots(const rt::Dictionary* dict) {
     std::string key = "dict:" + std::to_string(

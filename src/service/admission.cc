@@ -1,0 +1,71 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace lb2::service {
+
+bool AdmissionGate::Admit() {
+  if (max_inflight_ <= 0) return true;
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t ticket = next_ticket_++;
+  queue_.push_back(ticket);
+  auto ready = [&] {
+    return queue_.front() == ticket && in_flight_ < max_inflight_;
+  };
+  if (!ready()) {
+    ++queued_total_;
+    if (!cv_.wait_for(lock,
+                      std::chrono::duration<double, std::milli>(timeout_ms_),
+                      ready)) {
+      queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
+      ++timed_out_total_;
+      // Our departure may have moved an admissible ticket to the front.
+      cv_.notify_all();
+      return false;
+    }
+  }
+  queue_.pop_front();
+  ++in_flight_;
+  ++admitted_total_;
+  // The ticket behind us may be admissible too (when max_inflight > 1).
+  cv_.notify_all();
+  return true;
+}
+
+void AdmissionGate::Release() {
+  if (max_inflight_ <= 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+  }
+  cv_.notify_all();
+}
+
+int64_t AdmissionGate::in_flight() const {
+  if (max_inflight_ <= 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+int64_t AdmissionGate::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t AdmissionGate::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_total_;
+}
+
+int64_t AdmissionGate::queued_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_total_;
+}
+
+int64_t AdmissionGate::timed_out_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return timed_out_total_;
+}
+
+}  // namespace lb2::service

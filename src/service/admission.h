@@ -1,0 +1,87 @@
+// Bounded admission control for the query service: a FIFO-ticketed gate on
+// the number of concurrently executing requests. With reentrant compiled
+// entries (no per-entry run lock), nothing in the engine bounds concurrency
+// anymore — the gate is what keeps a traffic spike from stacking N threads
+// deep in the same hot module. A request either gets an execution slot
+// (waiting its turn at most `timeout_ms`) or is shed with a documented
+// "busy" status, never a crash or a silent drop.
+#ifndef LB2_SERVICE_ADMISSION_H_
+#define LB2_SERVICE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <mutex>
+
+namespace lb2::service {
+
+/// FIFO admission gate. `max_inflight == 0` disables the gate entirely
+/// (every Admit succeeds immediately); otherwise at most `max_inflight`
+/// admissions are outstanding at once and waiters are served strictly in
+/// arrival order. Thread-safe; one instance per service.
+class AdmissionGate {
+ public:
+  AdmissionGate(int max_inflight, double timeout_ms)
+      : max_inflight_(max_inflight), timeout_ms_(timeout_ms) {}
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Blocks until this caller holds an execution slot or `timeout_ms` of
+  /// queueing elapses. Returns true iff admitted; every successful Admit
+  /// must be paired with exactly one Release. A timeout of 0 means "no
+  /// queueing": the call fails immediately unless a slot is free and no one
+  /// is ahead in line.
+  bool Admit();
+
+  /// Returns an execution slot; wakes the next ticket in line.
+  void Release();
+
+  int max_inflight() const { return max_inflight_; }
+  double timeout_ms() const { return timeout_ms_; }
+
+  /// Requests currently holding a slot (0 when the gate is disabled).
+  int64_t in_flight() const;
+  /// Requests currently waiting in line.
+  int64_t queue_depth() const;
+  /// Admissions granted so far.
+  int64_t admitted_total() const;
+  /// Admissions that had to wait in line before being granted.
+  int64_t queued_total() const;
+  /// Requests shed after timing out in line.
+  int64_t timed_out_total() const;
+
+ private:
+  const int max_inflight_;
+  const double timeout_ms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::list<uint64_t> queue_;  // tickets, front = next to admit
+  uint64_t next_ticket_ = 0;
+  int64_t in_flight_ = 0;
+  int64_t admitted_total_ = 0;
+  int64_t queued_total_ = 0;
+  int64_t timed_out_total_ = 0;
+};
+
+/// RAII slot holder: releases on destruction iff the Admit succeeded.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionGate* gate)
+      : gate_(gate), admitted_(gate->Admit()) {}
+  ~AdmissionSlot() {
+    if (admitted_) gate_->Release();
+  }
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionGate* gate_;
+  bool admitted_;
+};
+
+}  // namespace lb2::service
+
+#endif  // LB2_SERVICE_ADMISSION_H_

@@ -31,10 +31,9 @@ struct CacheEntry {
   /// Shared-object size (byte-budget accounting; generated source counted
   /// too since the entry keeps it for inspection).
   int64_t bytes = 0;
-  /// Generated code binds its environment through file-static globals, so
-  /// executions of the *same* entry must serialize. Distinct entries run
-  /// concurrently.
-  std::mutex run_mu;
+  // No per-entry run lock: the generated entry takes an explicit
+  // lb2_exec_ctx per execution, so N threads may run the same entry
+  // concurrently. Concurrency is bounded by the service's admission gate.
 };
 
 using CacheEntryPtr = std::shared_ptr<CacheEntry>;

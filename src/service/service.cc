@@ -17,6 +17,24 @@ size_t DefaultCacheCapacity() {
   return 64;
 }
 
+int DefaultMaxInflight() {
+  const char* env = std::getenv("LB2_MAX_INFLIGHT");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v >= 0) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+double DefaultQueueTimeoutMs() {
+  const char* env = std::getenv("LB2_QUEUE_TIMEOUT_MS");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v >= 0) return v;
+  }
+  return 100.0;
+}
+
 const char* PathName(ServiceResult::Path p) {
   switch (p) {
     case ServiceResult::Path::kCompiledCold: return "compiled-cold";
@@ -26,11 +44,20 @@ const char* PathName(ServiceResult::Path p) {
   return "?";
 }
 
+const char* StatusName(ServiceResult::Status s) {
+  switch (s) {
+    case ServiceResult::Status::kOk: return "ok";
+    case ServiceResult::Status::kBusy: return "busy";
+  }
+  return "?";
+}
+
 std::string ServiceStats::ToString() const {
   return StrPrintf(
       "requests=%lld hits=%lld misses=%lld compiles=%lld failures=%lld "
       "coalesced=%lld interp-while-compiling=%lld interp-fallbacks=%lld "
-      "in-flight=%lld entries=%lld bytes=%lld evictions=%lld "
+      "in-flight=%lld exec-in-flight=%lld admitted=%lld queued=%lld "
+      "busy=%lld entries=%lld bytes=%lld evictions=%lld "
       "compile-ms saved=%.0f paid=%.0f",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
@@ -38,7 +65,11 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(coalesced_waits),
       static_cast<long long>(interp_while_compiling),
       static_cast<long long>(interp_fallbacks),
-      static_cast<long long>(in_flight), static_cast<long long>(cache_entries),
+      static_cast<long long>(in_flight),
+      static_cast<long long>(exec_in_flight),
+      static_cast<long long>(admitted), static_cast<long long>(queued_waits),
+      static_cast<long long>(busy_rejections),
+      static_cast<long long>(cache_entries),
       static_cast<long long>(cache_bytes), static_cast<long long>(evictions),
       compile_ms_saved, compile_ms_paid);
 }
@@ -46,18 +77,15 @@ std::string ServiceStats::ToString() const {
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
     : db_(db),
       opts_(opts),
-      cache_(opts.cache_capacity, opts.cache_bytes) {}
+      cache_(opts.cache_capacity, opts.cache_bytes),
+      gate_(opts.max_inflight, opts.queue_timeout_ms) {}
 
 ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
                                         ServiceResult::Path path,
                                         const Fingerprint& fp) {
-  compile::CompiledQuery::RunResult rr;
-  {
-    // Same-entry executions serialize (generated code binds file-static
-    // globals); distinct entries proceed in parallel.
-    std::lock_guard<std::mutex> run_lock(entry->run_mu);
-    rr = entry->query.Run();
-  }
+  // No run lock: entries are reentrant (each Run() builds a private
+  // execution context), so same-entry executions overlap freely.
+  compile::CompiledQuery::RunResult rr = entry->query.Run();
   ServiceResult r;
   r.path = path;
   r.text = std::move(rr.text);
@@ -100,6 +128,27 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     ++stats_.requests;
   }
 
+  // Admission: hold an execution slot for the whole request (compile
+  // included — a leader mid-JIT is real work the cap should count). A
+  // request that cannot get a slot within the queue timeout is shed with
+  // the documented busy status instead of stacking another thread.
+  AdmissionSlot slot(&gate_);
+  if (!slot.admitted()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.busy_rejections;
+    }
+    ServiceResult r;
+    r.status = ServiceResult::Status::kBusy;
+    r.fingerprint = fp;
+    return r;
+  }
+  return ExecuteAdmitted(q, eopts, fp);
+}
+
+ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
+                                            const engine::EngineOptions& eopts,
+                                            const Fingerprint& fp) {
   // Warm path: no codegen, no external compiler, no dlopen.
   if (CacheEntryPtr entry = cache_.Get(fp)) {
     {
@@ -222,11 +271,17 @@ bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
 }
 
 ServiceStats QueryService::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  ServiceStats s = stats_;
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+  }
   s.cache_entries = static_cast<int64_t>(cache_.size());
   s.cache_bytes = cache_.bytes();
   s.evictions = cache_.evictions();
+  s.exec_in_flight = gate_.in_flight();
+  s.admitted = gate_.admitted_total();
+  s.queued_waits = gate_.queued_total();
   return s;
 }
 

@@ -12,12 +12,15 @@
 //     for it or run the data-centric interpreter immediately (hybrid
 //     dispatch, the Kashuba & Mühleisen interpret-while-compiling scheme),
 //   * degrades to the interpreted path when generated code fails to
-//     compile (captured compiler stderr is logged, the process survives).
+//     compile (captured compiler stderr is logged, the process survives),
+//   * bounds concurrency with a FIFO admission gate (admission.h): at most
+//     `max_inflight` requests execute at once, the rest queue up to
+//     `queue_timeout_ms` and are then shed with ServiceResult::Status::kBusy.
 //
 // Thread-safety: every public method may be called from any thread.
-// Executions of the same cached entry serialize on a per-entry mutex
-// (generated code keeps its environment in file-static globals); distinct
-// entries, interpreter runs, and compilations all proceed concurrently.
+// Compiled entries are reentrant (each execution gets a private
+// lb2_exec_ctx), so any number of threads may run the *same* cached entry
+// concurrently; interpreter runs and compilations also proceed in parallel.
 #ifndef LB2_SERVICE_SERVICE_H_
 #define LB2_SERVICE_SERVICE_H_
 
@@ -31,6 +34,7 @@
 #include "engine/exec.h"
 #include "plan/plan.h"
 #include "runtime/database.h"
+#include "service/admission.h"
 #include "service/fingerprint.h"
 #include "service/query_cache.h"
 
@@ -38,6 +42,13 @@ namespace lb2::service {
 
 /// Default entry capacity: LB2_CACHE_CAPACITY env var, else 64.
 size_t DefaultCacheCapacity();
+
+/// Default admission cap: LB2_MAX_INFLIGHT env var, else 0 (unlimited).
+int DefaultMaxInflight();
+
+/// Default queue wait before shedding: LB2_QUEUE_TIMEOUT_MS env var,
+/// else 100 ms (only meaningful when max_inflight > 0).
+double DefaultQueueTimeoutMs();
 
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
@@ -53,6 +64,11 @@ struct ServiceOptions {
   WhileCompiling while_compiling = WhileCompiling::kInterpret;
   /// Log compile failures (captured compiler stderr) to stderr.
   bool log_compile_errors = true;
+  /// Max requests executing at once; 0 = unlimited (gate disabled).
+  int max_inflight = DefaultMaxInflight();
+  /// Max milliseconds a request queues for an execution slot before being
+  /// shed with Status::kBusy; 0 = shed immediately when saturated.
+  double queue_timeout_ms = DefaultQueueTimeoutMs();
 };
 
 /// Point-in-time counters. `Snapshot`-style value type.
@@ -66,6 +82,10 @@ struct ServiceStats {
   int64_t interp_while_compiling = 0;   // hybrid followers served interpreted
   int64_t interp_fallbacks = 0;         // compile failed -> interpreted
   int64_t in_flight = 0;                // compilations running right now
+  int64_t exec_in_flight = 0;     // admitted requests executing right now
+  int64_t admitted = 0;           // requests granted an execution slot
+  int64_t queued_waits = 0;       // admissions that waited in line first
+  int64_t busy_rejections = 0;    // requests shed after queue timeout
   double compile_ms_saved = 0.0;  // codegen+cc ms amortized by cache hits
   double compile_ms_paid = 0.0;   // codegen+cc ms actually spent
   int64_t cache_entries = 0;
@@ -79,7 +99,12 @@ struct ServiceStats {
 struct ServiceResult {
   /// Which engine produced the answer.
   enum class Path { kCompiledCold, kCompiledCached, kInterpreted };
+  /// Whether the request was served at all. kBusy is the documented
+  /// load-shedding outcome: the admission queue timed out, no engine ran,
+  /// text is empty and rows is 0 — the client should retry later.
+  enum class Status { kOk, kBusy };
   Path path = Path::kInterpreted;
+  Status status = Status::kOk;
   std::string text;
   int64_t rows = 0;
   /// Generated/interpreted code's own timed region, milliseconds.
@@ -94,6 +119,7 @@ struct ServiceResult {
 };
 
 const char* PathName(ServiceResult::Path p);
+const char* StatusName(ServiceResult::Status s);
 
 class QueryService {
  public:
@@ -127,6 +153,10 @@ class QueryService {
   const QueryCache& cache() const { return cache_; }
   const rt::Database& db() const { return db_; }
   const ServiceOptions& options() const { return opts_; }
+  /// The execution-slot gate. Exposed so callers (tests, drainers) can
+  /// occupy or inspect slots deterministically; normal requests go through
+  /// Execute, which admits and releases around the whole request.
+  AdmissionGate* admission() { return &gate_; }
 
  private:
   /// One in-flight compilation; followers of the same fingerprint block on
@@ -144,10 +174,14 @@ class QueryService {
   ServiceResult RunInterp(const plan::Query& q,
                           const engine::EngineOptions& eopts,
                           const Fingerprint& fp, std::string compile_error);
+  ServiceResult ExecuteAdmitted(const plan::Query& q,
+                                const engine::EngineOptions& eopts,
+                                const Fingerprint& fp);
 
   const rt::Database& db_;
   const ServiceOptions opts_;
   QueryCache cache_;
+  AdmissionGate gate_;
 
   mutable std::mutex mu_;  // guards inflight_ and stats_
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;

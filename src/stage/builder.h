@@ -84,8 +84,20 @@ class CodegenContext {
     indent_stack_.pop_back();
   }
 
-  /// Adds a file-scope declaration, e.g. `static int64_t* g_agg;`.
+  /// Adds a file-scope declaration, e.g. `static const int64_t k = 3;`.
+  /// Mutable state must go through DeclareCtxField instead — the compilers
+  /// assert the emitted TU has no writable file-scope definitions.
   void DeclareGlobal(const std::string& decl) { module_.AddGlobal(decl); }
+
+  /// Registers a per-run scratch field on the module's `lb2_exec_ctx` and
+  /// returns the expression that names it, e.g. `lb2_ctx->g3`. Every
+  /// generated function that touches such state takes (or rebinds) a local
+  /// `lb2_exec_ctx* lb2_ctx`, so the returned ref is valid anywhere.
+  std::string DeclareCtxField(const std::string& type,
+                              const std::string& name) {
+    module_.AddCtxField(type, name);
+    return "lb2_ctx->" + name;
+  }
 
   /// Adds a struct definition at file scope.
   void DeclareStruct(const std::string& def) { module_.AddStruct(def); }

@@ -33,6 +33,18 @@ std::string CModule::Emit() const {
     out += s;
     out += "\n";
   }
+  // The execution context: the entry's only channel to per-run state. The
+  // two-pointer header is a fixed ABI (stage::ExecCtxHeader); scratch fields
+  // discovered during staging follow. Always emitted — with the exported
+  // lb2_ctx_bytes — so hosts can size a context without knowing the fields.
+  out += "typedef struct {\n";
+  out += "  void** env;\n";
+  out += "  lb2_out* out;\n";
+  for (const auto& f : ctx_fields_) {
+    out += "  " + f.first + " " + f.second + ";\n";
+  }
+  out += "} lb2_exec_ctx;\n";
+  out += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n\n";
   for (const auto& g : globals_) {
     out += g;
     out += "\n";
@@ -54,6 +66,30 @@ std::string CModule::Emit() const {
     out += "}\n\n";
   }
   return out;
+}
+
+std::string FindMutableFileScopeState(const std::string& source) {
+  size_t pos = 0;
+  while (pos < source.size()) {
+    size_t eol = source.find('\n', pos);
+    if (eol == std::string::npos) eol = source.size();
+    std::string line = source.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    // Only column-0 lines can be file-scope definitions; bodies, struct
+    // members, and closers ("} lb2_out;") are indented or start with '}'.
+    char c = line[0];
+    if (c == ' ' || c == '\t' || c == '}' || c == '#' || c == '/') continue;
+    if (line.rfind("typedef", 0) == 0) continue;
+    if (line.rfind("extern", 0) == 0) continue;
+    // Function definitions/declarations carry a parameter list; anything
+    // else ending in ';' is a variable definition — writable unless const.
+    if (line.back() != ';') continue;
+    if (line.find('(') != std::string::npos) continue;
+    if (line.find("const ") != std::string::npos) continue;
+    return line;
+  }
+  return "";
 }
 
 }  // namespace lb2::stage

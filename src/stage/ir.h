@@ -35,6 +35,19 @@ class CModule {
   /// Adds a struct definition (emitted before globals).
   void AddStruct(std::string def) { structs_.push_back(std::move(def)); }
 
+  /// Adds a field to the module's `lb2_exec_ctx` struct — the per-run
+  /// execution context every entry takes instead of file-static state.
+  /// The struct always starts with the fixed ABI header (`void** env;
+  /// lb2_out* out;`, mirrored by stage::ExecCtxHeader on the host side);
+  /// fields registered here follow in registration order.
+  void AddCtxField(std::string type, std::string name) {
+    ctx_fields_.emplace_back(std::move(type), std::move(name));
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& ctx_fields() const {
+    return ctx_fields_;
+  }
+
   CFunction* AddFunction() {
     functions_.push_back(new CFunction());
     return functions_.back();
@@ -52,9 +65,17 @@ class CModule {
 
  private:
   std::vector<std::string> structs_;
+  std::vector<std::pair<std::string, std::string>> ctx_fields_;
   std::vector<std::string> globals_;
   std::vector<CFunction*> functions_;
 };
+
+/// Reentrancy lint over emitted C source: returns the first writable
+/// file-scope definition found (a column-0 variable definition that is not
+/// const), or "" if the translation unit is clean. Generated queries must
+/// keep all mutable state in the execution context, so the compilers assert
+/// this on every module they emit.
+std::string FindMutableFileScopeState(const std::string& source);
 
 }  // namespace lb2::stage
 

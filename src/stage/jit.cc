@@ -53,10 +53,10 @@ JitModule::~JitModule() {
   }
 }
 
-JitModule::QueryFn JitModule::entry(const std::string& name) const {
+void* JitModule::symbol(const std::string& name) const {
   void* sym = dlsym(handle_, name.c_str());
   LB2_CHECK_MSG(sym != nullptr, ("missing JIT symbol " + name).c_str());
-  return reinterpret_cast<QueryFn>(sym);
+  return sym;
 }
 
 std::string Jit::CompilerCommand() {
@@ -160,5 +160,9 @@ std::unique_ptr<JitModule> Jit::CompileSource(const std::string& source,
 // Layout contract with the generated `lb2_out` struct in prelude.h.
 static_assert(sizeof(QueryOut) == 40, "QueryOut layout drifted from prelude");
 static_assert(offsetof(QueryOut, rows) == 24, "QueryOut layout drifted");
+
+// Layout contract with the generated `lb2_exec_ctx` header (ir.cc).
+static_assert(sizeof(ExecCtxHeader) == 16, "ExecCtxHeader layout drifted");
+static_assert(offsetof(ExecCtxHeader, out) == 8, "ExecCtxHeader layout drifted");
 
 }  // namespace lb2::stage

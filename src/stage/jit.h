@@ -23,20 +23,46 @@ struct QueryOut {
   double exec_ms = 0.0;
 };
 
+/// Host-side mirror of the fixed header of the generated `lb2_exec_ctx`
+/// struct (see ir.cc). A caller sizes the full context with the module's
+/// exported `lb2_ctx_bytes`, zeroes it, and fills in this two-pointer
+/// header; the scratch fields that follow are private to the generated
+/// code. One context per execution makes the entry fully reentrant.
+struct ExecCtxHeader {
+  void** env = nullptr;
+  QueryOut* out = nullptr;
+};
+
 /// A loaded query library. Owns the dlopen handle and the on-disk artifacts;
 /// both are released on destruction. Hold it through a shared_ptr when the
 /// code may still be executing on another thread: dlclose while a query is
 /// mid-flight unmaps its text segment.
 class JitModule {
  public:
-  using QueryFn = int64_t (*)(void** env, QueryOut* out);
+  /// Query entry ABI: one opaque pointer to the module's own lb2_exec_ctx.
+  using QueryFn = int64_t (*)(void* ctx);
 
   ~JitModule();
   JitModule(const JitModule&) = delete;
   JitModule& operator=(const JitModule&) = delete;
 
-  /// Resolves an exported symbol; aborts if missing.
-  QueryFn entry(const std::string& name) const;
+  /// Resolves the query entry point; aborts if missing.
+  QueryFn entry(const std::string& name) const {
+    return reinterpret_cast<QueryFn>(symbol(name));
+  }
+
+  /// Resolves an exported symbol (function or object); aborts if missing.
+  void* symbol(const std::string& name) const;
+
+  /// Typed symbol resolution: `sym<int64_t(void**, QueryOut*)>("f")` for a
+  /// function, `sym<const int64_t>("lb2_ctx_bytes")` for an object.
+  template <typename T>
+  T* sym(const std::string& name) const {
+    return reinterpret_cast<T*>(symbol(name));
+  }
+
+  /// Size of the module's lb2_exec_ctx (the exported `lb2_ctx_bytes`).
+  int64_t ctx_bytes() const { return *sym<const int64_t>("lb2_ctx_bytes"); }
 
   /// Generated C source (kept for inspection / the examples).
   const std::string& source() const { return source_; }

@@ -11,6 +11,7 @@
 namespace lb2::stage {
 
 inline constexpr const char* kCPrelude = R"PRELUDE(
+#define _GNU_SOURCE /* qsort_r */
 #include <stdio.h>
 #include <stdlib.h>
 #include <string.h>
@@ -26,6 +27,15 @@ typedef struct {
   int64_t rows;
   double exec_ms;
 } lb2_out;
+
+/* Per-worker argument for generated parallel regions: the execution
+   context of the run that spawned the worker plus the worker's lane id.
+   Every run owns a private lb2_exec_ctx, so one loaded module may execute
+   on any number of host threads concurrently. */
+typedef struct {
+  void* ctx;
+  int64_t tid;
+} lb2_thread_arg;
 
 static void lb2_out_reserve(lb2_out* o, int64_t extra) {
   if (o->len + extra <= o->cap) return;

@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
 
 #include "stage/control.h"
 #include "stage/jit.h"
@@ -10,6 +13,10 @@ namespace lb2::stage {
 namespace {
 
 using ::testing::Test;
+
+// Signature of the test modules' exported helper function (these tests
+// exercise the staging substrate directly, not the lb2_exec_ctx query ABI).
+using TestEntryFn = int64_t(void**, QueryOut*);
 
 // Builds a module with one exported function `entry(void** env, lb2_out*)`
 // whose body is produced by `body`, then JIT-compiles it.
@@ -27,7 +34,7 @@ std::unique_ptr<JitModule> BuildAndJit(
 
 int64_t RunI64(JitModule* m, void** env = nullptr) {
   QueryOut out;
-  int64_t r = m->entry("entry")(env, &out);
+  int64_t r = m->sym<TestEntryFn>("entry")(env, &out);
   free(out.data);
   return r;
 }
@@ -218,7 +225,7 @@ TEST(JitTest, OutputBuffer) {
     Return(Rep<int64_t>(1));
   });
   QueryOut out;
-  int64_t r = mod->entry("entry")(nullptr, &out);
+  int64_t r = mod->sym<TestEntryFn>("entry")(nullptr, &out);
   EXPECT_EQ(r, 1);
   EXPECT_EQ(out.rows, 1);
   ASSERT_NE(out.data, nullptr);
@@ -253,6 +260,108 @@ TEST(JitTest, CompileTimesRecorded) {
   });
   EXPECT_GE(mod->codegen_ms(), 0.0);
   EXPECT_GT(mod->compile_ms(), 0.0);
+}
+
+// The query entry ABI: the entry takes a single lb2_exec_ctx* whose header
+// is (env, out) and whose scratch fields are registered during staging.
+// Compile once, then invoke from two threads with distinct contexts — the
+// outputs must be independent and identical to sequential runs.
+TEST(JitTest, ExecCtxEntryIsReentrant) {
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  std::string scratch = ctx.DeclareCtxField("int64_t*", "scratch");
+  ctx.BeginFunction("int64_t", "lb2_query", {{"lb2_exec_ctx*", "lb2_ctx"}},
+                    /*is_static=*/false);
+  // Per-run scratch allocation keyed off env[0]; sum it back. A second
+  // context running concurrently must never observe this run's scratch.
+  Rep<int64_t> seed = Bind<int64_t>("(int64_t)(intptr_t)lb2_ctx->env[0]");
+  Stmt(scratch + " = (int64_t*)malloc(64 * sizeof(int64_t));");
+  Rep<int64_t*> arr = Rep<int64_t*>::FromRef(scratch);
+  For(0, 64, [&](Rep<int64_t> i) { Store<int64_t>(arr, i, seed * i); });
+  Var<int64_t> acc(Rep<int64_t>(0));
+  For(0, 64, [&](Rep<int64_t> i) { acc.Add(Load<int64_t>(arr, i)); });
+  Stmt("free(" + scratch + "); " + scratch + " = 0;");
+  Stmt("lb2_ctx->out->rows = 1;");
+  Return(acc.Get());
+  ctx.EndFunction();
+
+  auto mod = Jit::Compile(ctx.module(), "ctxabi");
+  EXPECT_EQ(FindMutableFileScopeState(mod->source()), "");
+  int64_t bytes = mod->ctx_bytes();
+  ASSERT_GE(bytes, static_cast<int64_t>(sizeof(ExecCtxHeader) + 8));
+  JitModule::QueryFn fn = mod->entry("lb2_query");
+
+  auto run = [&](int64_t seed_val) {
+    std::vector<char> buf(static_cast<size_t>(bytes), 0);
+    void* env[1] = {reinterpret_cast<void*>(static_cast<intptr_t>(seed_val))};
+    QueryOut out;
+    auto* hdr = reinterpret_cast<ExecCtxHeader*>(buf.data());
+    hdr->env = env;
+    hdr->out = &out;
+    int64_t r = fn(buf.data());
+    free(out.data);
+    return r;
+  };
+
+  const int64_t want3 = run(3);  // 3 * (0+..+63) = 6048
+  const int64_t want5 = run(5);
+  EXPECT_EQ(want3, 3 * 2016);
+  EXPECT_EQ(want5, 5 * 2016);
+
+  constexpr int kIters = 200;
+  int64_t bad3 = 0, bad5 = 0;
+  std::thread t3([&] {
+    for (int i = 0; i < kIters; ++i) {
+      if (run(3) != want3) ++bad3;
+    }
+  });
+  std::thread t5([&] {
+    for (int i = 0; i < kIters; ++i) {
+      if (run(5) != want5) ++bad5;
+    }
+  });
+  t3.join();
+  t5.join();
+  EXPECT_EQ(bad3, 0);
+  EXPECT_EQ(bad5, 0);
+}
+
+TEST(EmitTest, ModulesHaveNoMutableFileScopeState) {
+  // Every emitted module carries the ctx typedef + lb2_ctx_bytes and no
+  // writable file-scope definitions, even with scratch fields registered.
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.DeclareCtxField("double*", "aux");
+  ctx.BeginFunction("void", "f", {{"lb2_exec_ctx*", "lb2_ctx"}});
+  Stmt("lb2_ctx->aux = 0;");
+  ctx.EndFunction();
+  std::string src = ctx.module().Emit();
+  EXPECT_NE(src.find("} lb2_exec_ctx;"), std::string::npos);
+  EXPECT_NE(src.find("const int64_t lb2_ctx_bytes"), std::string::npos);
+  EXPECT_NE(src.find("  double* aux;"), std::string::npos);
+  EXPECT_EQ(FindMutableFileScopeState(src), "");
+}
+
+TEST(EmitTest, FindMutableFileScopeStateFlagsWritableGlobals) {
+  // The lint catches the bug class this ABI removed: writable file statics.
+  EXPECT_EQ(FindMutableFileScopeState("static int64_t* g0;\n"),
+            "static int64_t* g0;");
+  EXPECT_EQ(FindMutableFileScopeState("int64_t counter = 0;\n"),
+            "int64_t counter = 0;");
+  // ...but not functions, typedefs, consts, or struct closers.
+  EXPECT_EQ(FindMutableFileScopeState("static void f(void);\n"), "");
+  EXPECT_EQ(FindMutableFileScopeState("typedef struct { int x; } t;\n"), "");
+  EXPECT_EQ(FindMutableFileScopeState("const int64_t k = 1;\n"), "");
+  EXPECT_EQ(FindMutableFileScopeState("} lb2_out;\n"), "");
+  EXPECT_EQ(FindMutableFileScopeState("  int64_t local = 0;\n"), "");
+  // A module that sneaks a global past DeclareGlobal is caught too.
+  CodegenContext ctx;
+  CodegenScope scope(&ctx);
+  ctx.DeclareGlobal("static int64_t leaked;");
+  ctx.BeginFunction("void", "f", {});
+  ctx.EndFunction();
+  EXPECT_EQ(FindMutableFileScopeState(ctx.module().Emit()),
+            "static int64_t leaked;");
 }
 
 TEST(EmitTest, GeneratedSourceIsReadable) {
