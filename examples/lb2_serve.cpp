@@ -2,7 +2,13 @@
 // the query service, so the compiled-query cache, single-flight JIT, and
 // hybrid interpret-while-compiling dispatch are all visible in one run.
 //
-//   ./lb2_serve [scale_factor] [threads] [requests]   # defaults 0.01 4 200
+//   ./lb2_serve [scale_factor] [threads] [requests] [cache_dir]
+//                                         # defaults 0.01 4 200 ""
+//
+// A non-empty cache_dir (or LB2_CACHE_DIR) turns on the persistent
+// artifact tier: run the demo twice with the same dir and the second run's
+// cold starts become "compiled-disk" loads — zero external-compiler
+// invocations for the whole warm-up.
 //
 // Each worker thread pulls the next request from a shared queue of SQL
 // statements (a small set of distinct plan shapes, so the cache warms up
@@ -71,6 +77,7 @@ int main(int argc, char** argv) {
   double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
   int threads = argc > 2 ? std::atoi(argv[2]) : 4;
   int requests = argc > 3 ? std::atoi(argv[3]) : 200;
+  const char* cache_dir = argc > 4 ? argv[4] : nullptr;
 
   rt::Database db;
   std::printf("loading TPC-H SF %.3f... ", sf);
@@ -91,11 +98,18 @@ int main(int argc, char** argv) {
   }
 
   // Admission knobs come in through the environment (LB2_MAX_INFLIGHT,
-  // LB2_QUEUE_TIMEOUT_MS) via the ServiceOptions defaults.
-  service::QueryService svc(db);
+  // LB2_QUEUE_TIMEOUT_MS) via the ServiceOptions defaults; the artifact
+  // dir can also be given as argv[4].
+  service::ServiceOptions opts;
+  if (cache_dir != nullptr) opts.cache_dir = cache_dir;
+  service::QueryService svc(db, opts);
+  if (svc.artifact_store() != nullptr) {
+    std::printf("persistent artifact cache: %s\n",
+                svc.artifact_store()->dir().c_str());
+  }
   std::atomic<int> next{0};
   std::atomic<int64_t> busy{0};  // requests shed by admission control
-  std::vector<Tally> by_path(3);  // indexed by ServiceResult::Path
+  std::vector<Tally> by_path(4);  // indexed by ServiceResult::Path
   std::mutex tally_mu;
 
   std::printf("serving %d requests (%zu distinct statements) on %d "
@@ -105,7 +119,7 @@ int main(int argc, char** argv) {
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&] {
-      std::vector<Tally> local(3);
+      std::vector<Tally> local(4);
       for (;;) {
         int i = next.fetch_add(1);
         if (i >= requests) break;
@@ -139,7 +153,8 @@ int main(int argc, char** argv) {
 
   std::printf("\n%-18s %8s %12s %12s\n", "path", "requests", "mean ms",
               "max ms");
-  const char* names[3] = {"compiled-cold", "compiled-cached", "interpreted"};
+  const char* names[4] = {"compiled-cold", "compiled-cached", "interpreted",
+                          "compiled-disk"};
   for (size_t p = 0; p < by_path.size(); ++p) {
     std::printf("%-18s %8lld %12.3f %12.3f\n", names[p],
                 static_cast<long long>(by_path[p].count),

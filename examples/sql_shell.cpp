@@ -11,6 +11,11 @@
 //
 //   ./sql_shell [scale_factor]      # default SF 0.01
 //
+// With LB2_CACHE_DIR set, compiled artifacts persist across shell runs:
+// restart the shell and the first execution of a previous session's
+// statement loads its .so from disk instead of invoking the C compiler
+// ("compiled-disk" in the result line).
+//
 //   lb2> select l_returnflag, count(*) as n from lineitem
 //        group by l_returnflag order by n desc;
 //   lb2> explain select ...;        # show the bound physical plan
@@ -44,6 +49,10 @@ int main(int argc, char** argv) {
       "'quit;' exits\n");
 
   service::QueryService svc(db);
+  if (svc.artifact_store() != nullptr) {
+    std::printf("persistent artifact cache: %s\n",
+                svc.artifact_store()->dir().c_str());
+  }
 
   std::string buffer;
   std::string line;
@@ -108,6 +117,9 @@ int main(int argc, char** argv) {
             std::printf(", compile %.0f ms", r.compile_ms);
           } else if (r.path == service::ServiceResult::Path::kCompiledCached) {
             std::printf(", %.0f ms compile skipped", r.compile_ms);
+          } else if (r.path == service::ServiceResult::Path::kCompiledDisk) {
+            std::printf(", %.0f ms cc skipped via disk artifact",
+                        r.compile_ms);
           }
           std::printf(", exec %.3f ms)\n", r.exec_ms);
           if (!r.compile_error.empty()) {

@@ -5,41 +5,59 @@
 #   scripts/ci.sh            # tier-1 + tsan + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread, `ctest -L service`
-#   scripts/ci.sh bench      # same-entry scaling -> BENCH_service.json
+#   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
+#                            #   -> BENCH_service.json
 #
 # The tsan lane exists because the service runs compiled queries with NO
 # per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
 # and only TSan proves that claim on every change. It runs the `service`
-# label (service_test + service_concurrency_test), which hammers one cached
-# entry from many threads.
+# label (service, persistence, and drift tests), which hammers one cached
+# entry — and one shared artifact directory — from many threads.
+#
+# Both test lanes export LB2_CACHE_DIR to a throwaway tmpdir so the whole
+# suite exercises the persistent artifact tier: every test process shares
+# one directory, concurrently, exactly like server processes sharing a
+# cache volume. The tests are written to pass with the tier on or off.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 stage="${1:-all}"
 
+with_cache_dir() {
+  local dir
+  dir="$(mktemp -d)"
+  # set -e aborts the lane on failure; the tmpdir only outlives a failed
+  # run, where it is useful for debugging anyway.
+  LB2_CACHE_DIR="$dir" "$@"
+  rm -rf "$dir"
+}
+
 tier1() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)"
-  ctest --test-dir build --output-on-failure -j"$(nproc)"
+  with_cache_dir ctest --test-dir build --output-on-failure -j"$(nproc)"
 }
 
 tsan() {
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
     >/dev/null
   cmake --build build-tsan -j"$(nproc)"
-  ctest --test-dir build-tsan -L service --output-on-failure -j"$(nproc)"
+  with_cache_dir \
+    ctest --test-dir build-tsan -L service --output-on-failure -j"$(nproc)"
 }
 
 bench() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)" --target bench_service_throughput
   # Small scale factor keeps CI fast; the scaling *ratio* is what matters.
+  # BM_ColdProcessWarmDisk compares a cold process's first request with and
+  # without a warm artifact dir (disk=1 must show cc_invocations == 0).
   LB2_SF="${LB2_SF:-0.01}" ./build/bench/bench_service_throughput \
-    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_filter='BM_WarmSameEntry|BM_ColdProcessWarmDisk' \
     --benchmark_min_time=0.05 \
     --benchmark_out=BENCH_service.json \
     --benchmark_out_format=json
-  echo "wrote BENCH_service.json (same-entry 1/4/8-thread scaling, Q1+Q6)"
+  echo "wrote BENCH_service.json (same-entry scaling + cold-process disk win)"
 }
 
 case "$stage" in

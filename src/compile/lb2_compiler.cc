@@ -27,19 +27,16 @@ CompiledQuery::RunResult CompiledQuery::Run() const {
   return r;
 }
 
-std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
-                                               const rt::Database& db,
-                                               const engine::EngineOptions& opts,
-                                               const std::string& tag,
-                                               std::string* error) {
+StagedQuery StageQuery(const plan::Query& q, const rt::Database& db,
+                       const engine::EngineOptions& opts) {
   plan::ValidateQuery(q, db);
 
   Stopwatch staging_timer;
   stage::CodegenContext ctx;
-  rt::EnvLayout env;
+  StagedQuery out;
   {
     stage::CodegenScope scope(&ctx);
-    engine::StageBackend b(&ctx, &env, &db);
+    engine::StageBackend b(&ctx, &out.env, &db);
     engine::QueryCtx<engine::StageBackend> qctx;
     qctx.b = &b;
     qctx.db = &db;
@@ -52,23 +49,52 @@ std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
     stage::Stmt("return lb2_ctx->out->rows;");
     ctx.EndFunction();
   }
-  double staging_ms = staging_timer.ElapsedMs();
-
-  auto mod = stage::Jit::TryCompile(ctx.module(), tag, "", error);
-  if (mod == nullptr) return nullptr;
+  out.source = ctx.module().Emit();
+  out.codegen_ms = staging_timer.ElapsedMs();
   // Reentrancy invariant: all mutable state lives on lb2_exec_ctx.
-  std::string leaked = stage::FindMutableFileScopeState(mod->source());
+  std::string leaked = stage::FindMutableFileScopeState(out.source);
   LB2_CHECK_MSG(leaked.empty(),
                 ("mutable file-scope state in generated code: " + leaked)
                     .c_str());
+  return out;
+}
 
+std::unique_ptr<CompiledQuery> CompiledQuery::FromModule(
+    std::unique_ptr<stage::JitModule> mod, const StagedQuery& staged,
+    const rt::Database& db) {
   auto cq = std::unique_ptr<CompiledQuery>(new CompiledQuery());
   cq->mod_ = std::move(mod);
   cq->fn_ = cq->mod_->entry("lb2_query");
   cq->ctx_bytes_ = cq->mod_->ctx_bytes();
-  cq->env_ = env.Materialize(db);
-  cq->codegen_ms_ = staging_ms + cq->mod_->codegen_ms();
+  cq->env_ = staged.env.Materialize(db);
+  cq->codegen_ms_ = staged.codegen_ms;
   return cq;
+}
+
+std::unique_ptr<CompiledQuery> TryCompileStaged(const StagedQuery& staged,
+                                                const rt::Database& db,
+                                                const std::string& tag,
+                                                std::string* error) {
+  auto mod = stage::Jit::TryCompileSource(staged.source, tag, "", error);
+  if (mod == nullptr) return nullptr;
+  return CompiledQuery::FromModule(std::move(mod), staged, db);
+}
+
+std::unique_ptr<CompiledQuery> TryLoadStaged(const StagedQuery& staged,
+                                             const rt::Database& db,
+                                             const std::string& so_path,
+                                             std::string* error) {
+  auto mod = stage::Jit::TryLoad(so_path, staged.source, error);
+  if (mod == nullptr) return nullptr;
+  return CompiledQuery::FromModule(std::move(mod), staged, db);
+}
+
+std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
+                                               const rt::Database& db,
+                                               const engine::EngineOptions& opts,
+                                               const std::string& tag,
+                                               std::string* error) {
+  return TryCompileStaged(StageQuery(q, db, opts), db, tag, error);
 }
 
 CompiledQuery CompileQuery(const plan::Query& q, const rt::Database& db,

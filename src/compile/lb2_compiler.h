@@ -16,6 +16,28 @@
 
 namespace lb2::compile {
 
+class CompiledQuery;
+
+/// The product of the staging pass alone: the generated C translation unit
+/// plus the environment layout that binds it to a live database — but no
+/// external-compiler invocation yet. Staging is milliseconds; the external
+/// cc is the expensive part. Splitting them lets a persistent artifact
+/// cache re-stage a query cheaply (the env resolvers are process-local
+/// closures and cannot be persisted), verify the source against a stored
+/// artifact, and dlopen that artifact instead of compiling.
+struct StagedQuery {
+  std::string source;
+  rt::EnvLayout env;
+  double codegen_ms = 0.0;  // staging + emission time
+};
+
+/// Stages and emits `q` against `db` (first Futamura projection only).
+/// Aborts on an invalid plan or a reentrancy-lint violation in the
+/// generated source — both are bugs in this library, not recoverable
+/// serving conditions.
+StagedQuery StageQuery(const plan::Query& q, const rt::Database& db,
+                       const engine::EngineOptions& opts = {});
+
 /// A compiled, loaded, re-runnable query bound to a database.
 ///
 /// Thread-safety: the generated entry takes an explicit execution context
@@ -42,6 +64,8 @@ class CompiledQuery {
   double compile_ms() const { return mod_->compile_ms(); }
   /// On-disk size of the loaded shared object (cache byte accounting).
   int64_t so_bytes() const { return mod_->so_bytes(); }
+  /// Path of the loaded shared object (artifact-store writeback).
+  const std::string& so_path() const { return mod_->so_path(); }
 
  private:
   friend CompiledQuery CompileQuery(const plan::Query&, const rt::Database&,
@@ -50,9 +74,20 @@ class CompiledQuery {
   friend std::unique_ptr<CompiledQuery> TryCompileQuery(
       const plan::Query&, const rt::Database&, const engine::EngineOptions&,
       const std::string&, std::string*);
+  friend std::unique_ptr<CompiledQuery> TryCompileStaged(const StagedQuery&,
+                                                         const rt::Database&,
+                                                         const std::string&,
+                                                         std::string*);
+  friend std::unique_ptr<CompiledQuery> TryLoadStaged(const StagedQuery&,
+                                                      const rt::Database&,
+                                                      const std::string&,
+                                                      std::string*);
   friend CompiledQuery CompileTemplateQuery(const plan::Query&,
                                             const rt::Database&,
                                             const std::string&);
+  static std::unique_ptr<CompiledQuery> FromModule(
+      std::unique_ptr<stage::JitModule> mod, const StagedQuery& staged,
+      const rt::Database& db);
   std::shared_ptr<stage::JitModule> mod_;
   stage::JitModule::QueryFn fn_ = nullptr;
   std::vector<void*> env_;
@@ -76,6 +111,24 @@ std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,
                                                const engine::EngineOptions& opts,
                                                const std::string& tag,
                                                std::string* error);
+
+/// Compiles an already-staged query with the external compiler (the second
+/// half of TryCompileQuery, for callers that staged separately to probe an
+/// artifact cache first).
+std::unique_ptr<CompiledQuery> TryCompileStaged(const StagedQuery& staged,
+                                                const rt::Database& db,
+                                                const std::string& tag,
+                                                std::string* error);
+
+/// Binds an already-staged query to a previously-compiled shared object at
+/// `so_path` — dlopen + ABI check, no external compiler. The caller is
+/// responsible for having verified the artifact matches `staged.source`
+/// (the service checks the source hash recorded in the artifact sidecar);
+/// returns nullptr with *error filled if the artifact cannot be loaded.
+std::unique_ptr<CompiledQuery> TryLoadStaged(const StagedQuery& staged,
+                                             const rt::Database& db,
+                                             const std::string& so_path,
+                                             std::string* error);
 
 }  // namespace lb2::compile
 

@@ -1,0 +1,327 @@
+#include "service/artifact_store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "stage/prelude.h"
+#include "util/str.h"
+
+namespace lb2::service {
+
+namespace {
+
+constexpr const char* kMetaMagic = "lb2-artifact-v1";
+
+/// mkdir -p: creates every missing component; EEXIST is success.
+void MkdirP(const std::string& path) {
+  std::string cur;
+  for (size_t i = 0; i <= path.size(); ++i) {
+    if (i == path.size() || path[i] == '/') {
+      if (!cur.empty() && cur != "/") {
+        ::mkdir(cur.c_str(), 0755);  // EEXIST and friends are fine
+      }
+    }
+    if (i < path.size()) cur += path[i];
+  }
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f.good()) return false;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  *out = ss.str();
+  return f.good() || f.eof();
+}
+
+/// Writes `data` to a process/thread-unique temp file in `dir` and renames
+/// it over `final_path` — readers see either the old or the new artifact,
+/// never a torn one.
+bool WriteFileAtomic(const std::string& dir, const std::string& final_path,
+                     const std::string& data) {
+  static std::atomic<int> seq{0};
+  std::string tmp =
+      StrPrintf("%s/.tmp_%d_%d", dir.c_str(), static_cast<int>(::getpid()),
+                seq.fetch_add(1));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f.good()) return false;
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!f.good()) {
+      f.close();
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+int64_t FileBytes(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<int64_t>(st.st_size)
+                                        : -1;
+}
+
+/// Advisory cross-process lock on `<dir>/.lock`, held for the duration of
+/// a mutating store operation (write + eviction). Lookups don't take it —
+/// rename atomicity is enough for readers.
+class ScopedFlock {
+ public:
+  explicit ScopedFlock(const std::string& dir) {
+    fd_ = ::open((dir + "/.lock").c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ >= 0) ::flock(fd_, LOCK_EX);
+  }
+  ~ScopedFlock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+  ScopedFlock(const ScopedFlock&) = delete;
+  ScopedFlock& operator=(const ScopedFlock&) = delete;
+
+ private:
+  int fd_ = -1;
+};
+
+std::string SerializeMeta(const ArtifactMeta& m) {
+  // The compiler identity is forced onto one line; everything else is a
+  // fixed-format field, so parsing is strict and any deviation is corrupt.
+  std::string compiler = m.compiler;
+  for (char& c : compiler) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return StrPrintf(
+      "%s\n"
+      "fp %016llx\n"
+      "shape %016llx\n"
+      "db %016llx\n"
+      "prelude %016llx\n"
+      "source %016llx\n"
+      "so_bytes %lld\n"
+      "codegen_ms %.6f\n"
+      "compile_ms %.6f\n"
+      "created %lld\n"
+      "compiler %s\n",
+      kMetaMagic, static_cast<unsigned long long>(m.fp_hash),
+      static_cast<unsigned long long>(m.fp_shape),
+      static_cast<unsigned long long>(m.fp_db),
+      static_cast<unsigned long long>(m.prelude_hash),
+      static_cast<unsigned long long>(m.source_hash),
+      static_cast<long long>(m.so_bytes), m.codegen_ms, m.compile_ms,
+      static_cast<long long>(m.created_unix), compiler.c_str());
+}
+
+bool ParseMeta(const std::string& text, ArtifactMeta* m) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMetaMagic) return false;
+  unsigned long long fp = 0, shape = 0, db = 0, prelude = 0, source = 0;
+  long long so_bytes = 0, created = 0;
+  double codegen_ms = 0.0, compile_ms = 0.0;
+  auto scan = [&in, &line](const char* fmt, auto* a) {
+    if (!std::getline(in, line)) return false;
+    return std::sscanf(line.c_str(), fmt, a) == 1;
+  };
+  if (!scan("fp %llx", &fp)) return false;
+  if (!scan("shape %llx", &shape)) return false;
+  if (!scan("db %llx", &db)) return false;
+  if (!scan("prelude %llx", &prelude)) return false;
+  if (!scan("source %llx", &source)) return false;
+  if (!scan("so_bytes %lld", &so_bytes)) return false;
+  if (!scan("codegen_ms %lf", &codegen_ms)) return false;
+  if (!scan("compile_ms %lf", &compile_ms)) return false;
+  if (!scan("created %lld", &created)) return false;
+  if (!std::getline(in, line) || line.rfind("compiler ", 0) != 0) return false;
+  m->fp_hash = fp;
+  m->fp_shape = shape;
+  m->fp_db = db;
+  m->prelude_hash = prelude;
+  m->source_hash = source;
+  m->so_bytes = so_bytes;
+  m->codegen_ms = codegen_ms;
+  m->compile_ms = compile_ms;
+  m->created_unix = created;
+  m->compiler = line.substr(9);
+  return true;
+}
+
+}  // namespace
+
+uint64_t DiskArtifactKey(const Fingerprint& fp,
+                         const std::string& compiler_identity,
+                         uint64_t prelude_hash) {
+  std::string buf = StrPrintf("%016llx|%016llx|",
+                              static_cast<unsigned long long>(fp.hash),
+                              static_cast<unsigned long long>(prelude_hash)) +
+                    compiler_identity;
+  return FnvHash(buf.data(), buf.size());
+}
+
+uint64_t PreludeHash() {
+  const char* p = stage::kCPrelude;
+  return FnvHash(p, std::char_traits<char>::length(p));
+}
+
+ArtifactStore::ArtifactStore(std::string dir, int64_t max_bytes)
+    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+  MkdirP(dir_);
+}
+
+std::string ArtifactStore::SoPath(uint64_t key) const {
+  return StrPrintf("%s/lb2q_%016llx.so", dir_.c_str(),
+                   static_cast<unsigned long long>(key));
+}
+
+std::string ArtifactStore::MetaPath(uint64_t key) const {
+  return StrPrintf("%s/lb2q_%016llx.meta", dir_.c_str(),
+                   static_cast<unsigned long long>(key));
+}
+
+void ArtifactStore::DeletePair(uint64_t key) {
+  std::remove(SoPath(key).c_str());
+  std::remove(MetaPath(key).c_str());
+}
+
+ArtifactStore::Probe ArtifactStore::Lookup(uint64_t key,
+                                           const ArtifactMeta& expect,
+                                           std::string* so_path,
+                                           ArtifactMeta* meta) {
+  std::string text;
+  if (!ReadFileBytes(MetaPath(key), &text)) {
+    misses_.fetch_add(1);
+    return Probe::kMiss;
+  }
+  ArtifactMeta m;
+  bool usable = ParseMeta(text, &m);
+  // Stale is as unusable as torn: the sidecar must re-verify every input
+  // the artifact is a function of before the .so is trusted.
+  usable = usable && m.fp_hash == expect.fp_hash &&
+           m.fp_shape == expect.fp_shape && m.fp_db == expect.fp_db &&
+           m.compiler == expect.compiler &&
+           m.prelude_hash == expect.prelude_hash &&
+           m.source_hash == expect.source_hash;
+  std::string so = SoPath(key);
+  usable = usable && FileBytes(so) == m.so_bytes;
+  if (!usable) {
+    ScopedFlock lock(dir_);
+    DeletePair(key);
+    corrupt_.fetch_add(1);
+    misses_.fetch_add(1);
+    return Probe::kCorrupt;
+  }
+  // Bump mtime so byte-budget eviction is LRU over actual use.
+  ::utimensat(AT_FDCWD, so.c_str(), nullptr, 0);
+  if (so_path != nullptr) *so_path = so;
+  if (meta != nullptr) *meta = m;
+  hits_.fetch_add(1);
+  return Probe::kHit;
+}
+
+bool ArtifactStore::Put(uint64_t key, const ArtifactMeta& meta,
+                        const std::string& so_src_path) {
+  std::string so_bytes;
+  if (!ReadFileBytes(so_src_path, &so_bytes)) return false;
+  ArtifactMeta m = meta;
+  m.so_bytes = static_cast<int64_t>(so_bytes.size());
+  ScopedFlock lock(dir_);
+  // .so first, sidecar last: a reader only trusts an artifact whose
+  // sidecar exists, and the sidecar's length check catches a .so that a
+  // concurrent writer is about to replace.
+  if (!WriteFileAtomic(dir_, SoPath(key), so_bytes)) return false;
+  if (!WriteFileAtomic(dir_, MetaPath(key), SerializeMeta(m))) {
+    std::remove(SoPath(key).c_str());
+    return false;
+  }
+  writes_.fetch_add(1);
+  EvictOverBudgetLocked(key);
+  return true;
+}
+
+void ArtifactStore::Invalidate(uint64_t key) {
+  ScopedFlock lock(dir_);
+  DeletePair(key);
+  corrupt_.fetch_add(1);
+}
+
+namespace {
+
+struct DirArtifact {
+  uint64_t key = 0;
+  int64_t bytes = 0;
+  int64_t mtime_ns = 0;
+};
+
+/// Lists `lb2q_<key>.so` entries in `dir` with size and mtime.
+std::vector<DirArtifact> ListArtifacts(const std::string& dir) {
+  std::vector<DirArtifact> out;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() != 5 + 16 + 3 || name.rfind("lb2q_", 0) != 0 ||
+        name.compare(name.size() - 3, 3, ".so") != 0) {
+      continue;
+    }
+    char* end = nullptr;
+    std::string hex = name.substr(5, 16);
+    unsigned long long key = std::strtoull(hex.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') continue;
+    struct stat st;
+    if (::stat((dir + "/" + e->d_name).c_str(), &st) != 0) continue;
+    DirArtifact a;
+    a.key = key;
+    a.bytes = static_cast<int64_t>(st.st_size);
+    a.mtime_ns = static_cast<int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                 st.st_mtim.tv_nsec;
+    out.push_back(a);
+  }
+  ::closedir(d);
+  return out;
+}
+
+}  // namespace
+
+int64_t ArtifactStore::DiskBytes() const {
+  int64_t total = 0;
+  for (const auto& a : ListArtifacts(dir_)) total += a.bytes;
+  return total;
+}
+
+void ArtifactStore::EvictOverBudgetLocked(uint64_t protect_key) {
+  if (max_bytes_ <= 0) return;
+  std::vector<DirArtifact> arts = ListArtifacts(dir_);
+  int64_t total = 0;
+  for (const auto& a : arts) total += a.bytes;
+  if (total <= max_bytes_) return;
+  // Oldest mtime first = least recently used (hits bump mtime).
+  std::sort(arts.begin(), arts.end(),
+            [](const DirArtifact& a, const DirArtifact& b) {
+              return a.mtime_ns < b.mtime_ns;
+            });
+  for (const auto& a : arts) {
+    if (total <= max_bytes_) break;
+    if (a.key == protect_key) continue;  // never evict the fresh write
+    DeletePair(a.key);
+    total -= a.bytes;
+    evictions_.fetch_add(1);
+  }
+}
+
+}  // namespace lb2::service

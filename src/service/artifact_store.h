@@ -1,0 +1,125 @@
+// The persistent tier of the compiled-query cache: an on-disk store of
+// shared objects keyed by a 64-bit artifact key (query fingerprint folded
+// with compiler identity and prelude hash), each with a small metadata
+// sidecar recording the full inputs that produced it.
+//
+// The store turns process cold-start for a warm workload from seconds of
+// external-compiler invocations into milliseconds of dlopen: on a memory
+// miss the service re-stages the query (cheap — it has to, to rebuild the
+// process-local env pointer bindings), hashes the generated source, and
+// probes this store; a verified hit is loaded instead of compiled.
+//
+// Safety discipline:
+//   * Artifacts are written atomically (temp file + rename) under an
+//     advisory flock on `<dir>/.lock`, so concurrent processes sharing one
+//     cache directory never observe torn files. Writes are last-wins; two
+//     processes may race to build the same key, but they produce identical
+//     bytes by construction (the key covers source, compiler, prelude).
+//   * A hit is only reported after the sidecar re-verifies every input:
+//     fingerprint (all three components), compiler identity, prelude hash,
+//     generated-source hash, and the .so byte length on disk. Anything
+//     corrupt, truncated, or stale is deleted and reported as a miss —
+//     never a crash, never a wrong .so.
+//   * The store has its own byte budget (over .so sizes) with LRU-by-mtime
+//     eviction; a verified hit bumps the artifact's mtime.
+#ifndef LB2_SERVICE_ARTIFACT_STORE_H_
+#define LB2_SERVICE_ARTIFACT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "service/fingerprint.h"
+
+namespace lb2::service {
+
+/// Sidecar contents: the full set of inputs the artifact is a function of,
+/// plus bookkeeping for budget accounting and amortization credit.
+struct ArtifactMeta {
+  uint64_t fp_hash = 0;       // combined fingerprint (the in-memory key)
+  uint64_t fp_shape = 0;      // plan + engine-options component
+  uint64_t fp_db = 0;         // database-identity component
+  std::string compiler;       // resolved compiler path + --version line
+  uint64_t prelude_hash = 0;  // hash of stage::kCPrelude at build time
+  uint64_t source_hash = 0;   // hash of the generated translation unit
+  int64_t so_bytes = 0;       // .so length (re-verified on every hit)
+  double codegen_ms = 0.0;    // original staging+emission cost
+  double compile_ms = 0.0;    // original external-compiler cost
+  int64_t created_unix = 0;   // creation time (informational)
+};
+
+/// The on-disk artifact key: the in-memory fingerprint folded with the
+/// compiler identity and prelude hash, so artifacts built by a different
+/// compiler or an older emitter can never be reused (the in-memory key is
+/// unchanged — those inputs are process-wide constants).
+uint64_t DiskArtifactKey(const Fingerprint& fp,
+                         const std::string& compiler_identity,
+                         uint64_t prelude_hash);
+
+/// Hash of the C prelude embedded in every generated translation unit.
+uint64_t PreludeHash();
+
+/// Thread-safe (and advisory-locked across processes) on-disk artifact
+/// store. `max_bytes` == 0 means no byte budget.
+class ArtifactStore {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  ArtifactStore(std::string dir, int64_t max_bytes);
+
+  enum class Probe {
+    kHit,      // verified artifact; *so_path/*meta filled, mtime bumped
+    kMiss,     // no artifact for this key
+    kCorrupt,  // artifact present but unusable/stale: deleted, count bumped
+  };
+
+  /// Probes for `key`. A hit requires the sidecar to match `expect` on
+  /// fingerprint, compiler identity, prelude hash, and source hash, and
+  /// the .so on disk to match the recorded byte length.
+  Probe Lookup(uint64_t key, const ArtifactMeta& expect, std::string* so_path,
+               ArtifactMeta* meta);
+
+  /// Copies the .so at `so_src_path` plus `meta` into the store atomically,
+  /// then evicts LRU artifacts while over the byte budget (never the one
+  /// just written). Returns false on I/O failure (the store stays valid).
+  bool Put(uint64_t key, const ArtifactMeta& meta,
+           const std::string& so_src_path);
+
+  /// Deletes the artifact for `key` and counts it corrupt — for callers
+  /// that discover a verified-looking artifact is still unloadable (e.g.
+  /// dlopen rejects it).
+  void Invalidate(uint64_t key);
+
+  /// Paths for `key` (tests and debugging; files may not exist).
+  std::string SoPath(uint64_t key) const;
+  std::string MetaPath(uint64_t key) const;
+
+  const std::string& dir() const { return dir_; }
+  int64_t max_bytes() const { return max_bytes_; }
+
+  /// Total .so bytes currently on disk (scans the directory).
+  int64_t DiskBytes() const;
+
+  // Per-process counters (shared dirs: each process counts its own view).
+  int64_t hits() const { return hits_.load(); }
+  int64_t misses() const { return misses_.load(); }
+  int64_t writes() const { return writes_.load(); }
+  int64_t evictions() const { return evictions_.load(); }
+  int64_t corrupt() const { return corrupt_.load(); }
+
+ private:
+  void DeletePair(uint64_t key);
+  void EvictOverBudgetLocked(uint64_t protect_key);
+
+  const std::string dir_;
+  const int64_t max_bytes_;
+
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> writes_{0};
+  std::atomic<int64_t> evictions_{0};
+  std::atomic<int64_t> corrupt_{0};
+};
+
+}  // namespace lb2::service
+
+#endif  // LB2_SERVICE_ARTIFACT_STORE_H_

@@ -150,8 +150,18 @@ Fingerprint FingerprintQuery(const plan::Query& q,
   for (const auto& sq : q.scalar_subqueries) HashPlan(&h, sq);
   HashPlan(&h, q.root);
   HashOptions(&h, opts);
+  Fingerprint fp;
+  fp.shape = h.hash();  // plan + options prefix, before database identity
   HashDatabase(&h, db);
-  return Fingerprint{h.hash()};
+  fp.hash = h.hash();
+  fp.db = FingerprintDatabase(db);
+  return fp;
+}
+
+uint64_t FnvHash(const void* data, size_t n) {
+  Hasher h;
+  h.Bytes(data, n);
+  return h.hash();
 }
 
 uint64_t FingerprintDatabase(const rt::Database& db) {

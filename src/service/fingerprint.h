@@ -26,9 +26,16 @@
 
 namespace lb2::service {
 
-/// Cache key for a (plan, options, database) triple.
+/// Cache key for a (plan, options, database) triple. `hash` is the
+/// combined key the caches are indexed by; the two components let the
+/// service tell *why* a key missed: equal `shape` with a different `hash`
+/// means the same plan+options against drifted data — the signal for the
+/// background drift recompile (stale entries are retired, clients are
+/// served interpreted, and the new key is compiled off the request path).
 struct Fingerprint {
-  uint64_t hash = 0;
+  uint64_t hash = 0;   // combined key: plan + options + database identity
+  uint64_t shape = 0;  // plan + engine-options component only
+  uint64_t db = 0;     // database-identity component only
 
   bool operator==(const Fingerprint& o) const { return hash == o.hash; }
   bool operator!=(const Fingerprint& o) const { return hash != o.hash; }
@@ -47,6 +54,14 @@ Fingerprint FingerprintQuery(const plan::Query& q,
 /// and which auxiliary structures (PK/FK/date indexes, dictionaries) exist.
 /// Exposed for tests — a schema or data change must shift every key.
 uint64_t FingerprintDatabase(const rt::Database& db);
+
+/// The same 64-bit FNV-1a the fingerprints use, over raw bytes — shared by
+/// the artifact store for source/prelude/identity hashing so on-disk keys
+/// stay stable across processes.
+uint64_t FnvHash(const void* data, size_t n);
+inline uint64_t FnvHash(const std::string& s) {
+  return FnvHash(s.data(), s.size());
+}
 
 }  // namespace lb2::service
 

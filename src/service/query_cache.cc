@@ -48,6 +48,16 @@ void QueryCache::EvictOverBudgetLocked() {
   }
 }
 
+bool QueryCache::Erase(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(fp.hash);
+  if (it == map_.end()) return false;
+  bytes_ -= (*it->second)->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
 void QueryCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();

@@ -52,6 +52,12 @@ class QueryCache {
   /// either budget. Replaces an existing entry with the same fingerprint.
   void Put(CacheEntryPtr entry);
 
+  /// Drops the entry for `fp` if present (in-flight executions keep their
+  /// shared_ptrs). Returns true if an entry was removed. Not counted as an
+  /// eviction — this is deliberate retirement (e.g. a drift-stale entry),
+  /// not budget pressure.
+  bool Erase(const Fingerprint& fp);
+
   /// Drops all entries (in-flight executions keep their shared_ptrs).
   void Clear();
 

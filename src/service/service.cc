@@ -2,8 +2,18 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+#include <utility>
 
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+#include "compile/lb2_compiler.h"
 #include "sql/sql.h"
+#include "stage/jit.h"
 #include "util/str.h"
 
 namespace lb2::service {
@@ -35,11 +45,26 @@ double DefaultQueueTimeoutMs() {
   return 100.0;
 }
 
+std::string DefaultCacheDir() {
+  const char* env = std::getenv("LB2_CACHE_DIR");
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+int64_t DefaultCacheDiskBytes() {
+  const char* env = std::getenv("LB2_CACHE_DISK_BYTES");
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v >= 0) return static_cast<int64_t>(v);
+  }
+  return 0;
+}
+
 const char* PathName(ServiceResult::Path p) {
   switch (p) {
     case ServiceResult::Path::kCompiledCold: return "compiled-cold";
     case ServiceResult::Path::kCompiledCached: return "compiled-cached";
     case ServiceResult::Path::kInterpreted: return "interpreted";
+    case ServiceResult::Path::kCompiledDisk: return "compiled-disk";
   }
   return "?";
 }
@@ -58,7 +83,9 @@ std::string ServiceStats::ToString() const {
       "coalesced=%lld interp-while-compiling=%lld interp-fallbacks=%lld "
       "in-flight=%lld exec-in-flight=%lld admitted=%lld queued=%lld "
       "busy=%lld entries=%lld bytes=%lld evictions=%lld "
-      "compile-ms saved=%.0f paid=%.0f",
+      "compile-ms saved=%.0f paid=%.0f "
+      "disk-hits=%lld disk-misses=%lld disk-writes=%lld disk-evictions=%lld "
+      "disk-corrupt=%lld drift-recompiles=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -71,14 +98,32 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(busy_rejections),
       static_cast<long long>(cache_entries),
       static_cast<long long>(cache_bytes), static_cast<long long>(evictions),
-      compile_ms_saved, compile_ms_paid);
+      compile_ms_saved, compile_ms_paid, static_cast<long long>(disk_hits),
+      static_cast<long long>(disk_misses), static_cast<long long>(disk_writes),
+      static_cast<long long>(disk_evictions),
+      static_cast<long long>(disk_corrupt),
+      static_cast<long long>(drift_recompiles));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
     : db_(db),
       opts_(opts),
       cache_(opts.cache_capacity, opts.cache_bytes),
-      gate_(opts.max_inflight, opts.queue_timeout_ms) {}
+      gate_(opts.max_inflight, opts.queue_timeout_ms) {
+  if (!opts_.cache_dir.empty()) {
+    store_ = std::make_unique<ArtifactStore>(opts_.cache_dir,
+                                             opts_.cache_disk_bytes);
+  }
+}
+
+QueryService::~QueryService() {
+  {
+    std::lock_guard<std::mutex> lock(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+}
 
 ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
                                         ServiceResult::Path path,
@@ -159,9 +204,13 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp);
   }
 
-  // Cold path: join or start the single flight for this fingerprint.
+  // Cold path: join or start the single flight for this fingerprint — or,
+  // if this plan shape is cached under a *different* database identity,
+  // take the drift path: serve interpreted now, recompile in the background.
   std::shared_ptr<InFlight> flight;
   bool leader = false;
+  bool drift = false;
+  uint64_t stale_key = 0;
   CacheEntryPtr rechecked;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -173,15 +222,26 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
       ++stats_.hits;
       stats_.compile_ms_saved += rechecked->codegen_ms + rechecked->compile_ms;
     } else {
-      auto it = inflight_.find(fp.hash);
-      if (it != inflight_.end()) {
-        flight = it->second;
+      auto sit = shape_to_key_.find(fp.shape);
+      if (opts_.background_recompile && sit != shape_to_key_.end() &&
+          sit->second != fp.hash) {
+        // Database-identity drift: the shape index still points at the old
+        // key until the background build lands, so every drifted request
+        // funnels here (interpreted) instead of blocking on a foreground cc.
+        drift = true;
+        stale_key = sit->second;
+        ++stats_.interp_while_compiling;
       } else {
-        flight = std::make_shared<InFlight>();
-        inflight_[fp.hash] = flight;
-        leader = true;
-        ++stats_.misses;
-        ++stats_.in_flight;
+        auto it = inflight_.find(fp.hash);
+        if (it != inflight_.end()) {
+          flight = it->second;
+        } else {
+          flight = std::make_shared<InFlight>();
+          inflight_[fp.hash] = flight;
+          leader = true;
+          ++stats_.misses;
+          ++stats_.in_flight;
+        }
       }
     }
   }
@@ -189,32 +249,29 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp);
   }
 
+  if (drift) {
+    // Retire the stale entry so it can never serve drifted data (harmless
+    // if a concurrent drifted request already did; in-flight executions of
+    // it finish on their own shared_ptrs).
+    Fingerprint stale;
+    stale.hash = stale_key;
+    cache_.Erase(stale);
+    if (EnqueueDriftRecompile(q, eopts, fp)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.drift_recompiles;
+    }
+    return RunInterp(q, eopts, fp, "");
+  }
+
   if (leader) {
     std::string error;
-    std::unique_ptr<compile::CompiledQuery> cq =
-        compile::TryCompileQuery(q, db_, eopts, fp.ToString().substr(3), &error);
-    CacheEntryPtr entry;
-    if (cq != nullptr) {
-      entry = std::make_shared<CacheEntry>();
-      entry->fingerprint = fp;
-      entry->codegen_ms = cq->codegen_ms();
-      entry->compile_ms = cq->compile_ms();
-      entry->bytes = cq->so_bytes() +
-                     static_cast<int64_t>(cq->source().size());
-      entry->query = std::move(*cq);
-      cache_.Put(entry);
-    }
+    bool from_disk = false;
+    CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk);
     {
       std::lock_guard<std::mutex> lock(mu_);
       inflight_.erase(fp.hash);
       --stats_.in_flight;
-      if (entry != nullptr) {
-        ++stats_.compiles;
-        stats_.compile_ms_paid += entry->codegen_ms + entry->compile_ms;
-      } else {
-        ++stats_.compile_failures;
-        ++stats_.interp_fallbacks;
-      }
+      if (entry == nullptr) ++stats_.interp_fallbacks;
     }
     {
       std::lock_guard<std::mutex> flock(flight->mu);
@@ -231,7 +288,10 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
       }
       return RunInterp(q, eopts, fp, std::move(error));
     }
-    return RunCompiled(entry, ServiceResult::Path::kCompiledCold, fp);
+    return RunCompiled(entry,
+                       from_disk ? ServiceResult::Path::kCompiledDisk
+                                 : ServiceResult::Path::kCompiledCold,
+                       fp);
   }
 
   // Follower: the hybrid policy answers immediately from the interpreter;
@@ -262,6 +322,160 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
   return RunInterp(q, eopts, fp, flight->error);
 }
 
+CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
+                                       const engine::EngineOptions& eopts,
+                                       const Fingerprint& fp,
+                                       std::string* error, bool* from_disk) {
+  *from_disk = false;
+  const std::string tag = fp.ToString().substr(3);
+  std::unique_ptr<compile::CompiledQuery> cq;
+  double saved_compile_ms = 0.0;  // sidecar cc cost a disk hit avoided
+  double restage_ms = 0.0;        // staging actually paid on the disk path
+  double orig_codegen_ms = 0.0;   // sidecar codegen cost (hit credit basis)
+
+  if (store_ != nullptr) {
+    // Re-stage: cheap, and unavoidable — the env layout binds process-local
+    // pointers — but it also yields the source hash that proves a disk
+    // artifact matches what this emitter would generate today.
+    compile::StagedQuery staged = compile::StageQuery(q, db_, eopts);
+    restage_ms = staged.codegen_ms;
+    const std::string compiler = stage::Jit::CompilerIdentity();
+    ArtifactMeta want;
+    want.fp_hash = fp.hash;
+    want.fp_shape = fp.shape;
+    want.fp_db = fp.db;
+    want.compiler = compiler;
+    want.prelude_hash = PreludeHash();
+    want.source_hash = FnvHash(staged.source);
+    const uint64_t key = DiskArtifactKey(fp, compiler, want.prelude_hash);
+
+    std::string so_path;
+    ArtifactMeta got;
+    if (store_->Lookup(key, want, &so_path, &got) ==
+        ArtifactStore::Probe::kHit) {
+      std::string load_error;
+      cq = compile::TryLoadStaged(staged, db_, so_path, &load_error);
+      if (cq != nullptr) {
+        *from_disk = true;
+        saved_compile_ms = got.compile_ms;
+        orig_codegen_ms = got.codegen_ms;
+      } else {
+        // Verified-looking artifact that dlopen still rejects: poison it
+        // and fall through to a fresh compile.
+        store_->Invalidate(key);
+        if (opts_.log_compile_errors) {
+          std::fprintf(stderr,
+                       "[lb2-service] %s: cached artifact unloadable, "
+                       "recompiling: %s\n",
+                       fp.ToString().c_str(), load_error.c_str());
+        }
+      }
+    }
+    if (cq == nullptr) {
+      cq = compile::TryCompileStaged(staged, db_, tag, error);
+      if (cq != nullptr) {
+        want.so_bytes = cq->so_bytes();
+        want.codegen_ms = cq->codegen_ms();
+        want.compile_ms = cq->compile_ms();
+        want.created_unix = static_cast<int64_t>(std::time(nullptr));
+        store_->Put(key, want, cq->so_path());
+      }
+    }
+  } else {
+    cq = compile::TryCompileQuery(q, db_, eopts, tag, error);
+  }
+
+  CacheEntryPtr entry;
+  if (cq != nullptr) {
+    entry = std::make_shared<CacheEntry>();
+    entry->fingerprint = fp;
+    // A disk-loaded entry amortizes the *original* build cost on every
+    // future hit — that is the cost the artifact keeps anyone from paying.
+    entry->codegen_ms = *from_disk ? orig_codegen_ms : cq->codegen_ms();
+    entry->compile_ms = *from_disk ? saved_compile_ms : cq->compile_ms();
+    entry->bytes =
+        cq->so_bytes() + static_cast<int64_t>(cq->source().size());
+    entry->query = std::move(*cq);
+    cache_.Put(entry);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry != nullptr) {
+      shape_to_key_[fp.shape] = fp.hash;
+      if (*from_disk) {
+        // The cc was skipped entirely: pay only the re-stage, credit the
+        // avoided compiler time. `compiles` deliberately stays untouched.
+        stats_.compile_ms_paid += restage_ms;
+        stats_.compile_ms_saved += saved_compile_ms;
+      } else {
+        ++stats_.compiles;
+        stats_.compile_ms_paid += entry->codegen_ms + entry->compile_ms;
+      }
+    } else {
+      ++stats_.compile_failures;
+    }
+  }
+  return entry;
+}
+
+bool QueryService::EnqueueDriftRecompile(const plan::Query& q,
+                                         const engine::EngineOptions& eopts,
+                                         const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(bg_mu_);
+  if (bg_stop_) return false;
+  if (!bg_pending_.insert(fp.hash).second) return false;  // single-flight
+  DriftJob job;
+  job.query = q;
+  job.eopts = eopts;
+  job.fp = fp;
+  bg_queue_.push_back(std::move(job));
+  if (!bg_thread_.joinable()) {
+    bg_thread_ = std::thread(&QueryService::DriftWorkerLoop, this);
+  }
+  bg_cv_.notify_all();
+  return true;
+}
+
+void QueryService::DriftWorkerLoop() {
+#ifdef __linux__
+  // Low priority: drift recompiles compete with foreground execution for
+  // cores; the steady state can wait a little longer, clients cannot.
+  setpriority(PRIO_PROCESS, static_cast<id_t>(syscall(SYS_gettid)), 10);
+#endif
+  for (;;) {
+    DriftJob job;
+    {
+      std::unique_lock<std::mutex> lock(bg_mu_);
+      bg_cv_.wait(lock, [&] { return bg_stop_ || !bg_queue_.empty(); });
+      if (bg_stop_) return;
+      job = std::move(bg_queue_.front());
+      bg_queue_.pop_front();
+      bg_busy_ = true;
+    }
+    std::string error;
+    bool from_disk = false;
+    CacheEntryPtr entry = BuildEntry(job.query, job.eopts, job.fp, &error,
+                                     &from_disk);
+    if (entry == nullptr && opts_.log_compile_errors) {
+      std::fprintf(stderr,
+                   "[lb2-service] %s: background drift recompile failed, "
+                   "requests stay interpreted:\n%s\n",
+                   job.fp.ToString().c_str(), error.c_str());
+    }
+    {
+      std::lock_guard<std::mutex> lock(bg_mu_);
+      bg_pending_.erase(job.fp.hash);
+      bg_busy_ = false;
+    }
+    bg_cv_.notify_all();
+  }
+}
+
+void QueryService::DrainBackground() {
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  bg_cv_.wait(lock, [&] { return bg_queue_.empty() && !bg_busy_; });
+}
+
 bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
                               std::string* error) {
   plan::Query q;
@@ -282,6 +496,13 @@ ServiceStats QueryService::Stats() const {
   s.exec_in_flight = gate_.in_flight();
   s.admitted = gate_.admitted_total();
   s.queued_waits = gate_.queued_total();
+  if (store_ != nullptr) {
+    s.disk_hits = store_->hits();
+    s.disk_misses = store_->misses();
+    s.disk_writes = store_->writes();
+    s.disk_evictions = store_->evictions();
+    s.disk_corrupt = store_->corrupt();
+  }
   return s;
 }
 

@@ -15,7 +15,21 @@
 //     compile (captured compiler stderr is logged, the process survives),
 //   * bounds concurrency with a FIFO admission gate (admission.h): at most
 //     `max_inflight` requests execute at once, the rest queue up to
-//     `queue_timeout_ms` and are then shed with ServiceResult::Status::kBusy.
+//     `queue_timeout_ms` and are then shed with ServiceResult::Status::kBusy,
+//   * optionally persists compiled artifacts across processes
+//     (artifact_store.h, `cache_dir` / LB2_CACHE_DIR): a memory miss probes
+//     the disk tier first — a verified hit is re-stage + dlopen
+//     (milliseconds) instead of an external-compiler invocation (seconds),
+//     so a restarted process serves its warm set without paying the JIT
+//     again; misses write the artifact back atomically,
+//   * recompiles in the background on database drift: when a request's
+//     plan+options match a cached entry but the database-identity component
+//     of the key moved (data growth, new index), the request is served
+//     interpreted as usual and exactly one background JIT (single-flighted,
+//     one dedicated low-priority worker thread, off the admission path) is
+//     enqueued for the new key — the steady state returns to compiled
+//     execution without any client eating the compile latency, and the
+//     stale entry is retired so it can never serve drifted data.
 //
 // Thread-safety: every public method may be called from any thread.
 // Compiled entries are reentrant (each execution gets a private
@@ -26,15 +40,19 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "engine/exec.h"
 #include "plan/plan.h"
 #include "runtime/database.h"
 #include "service/admission.h"
+#include "service/artifact_store.h"
 #include "service/fingerprint.h"
 #include "service/query_cache.h"
 
@@ -49,6 +67,14 @@ int DefaultMaxInflight();
 /// Default queue wait before shedding: LB2_QUEUE_TIMEOUT_MS env var,
 /// else 100 ms (only meaningful when max_inflight > 0).
 double DefaultQueueTimeoutMs();
+
+/// Default persistent artifact directory: LB2_CACHE_DIR env var, else ""
+/// (disk tier off).
+std::string DefaultCacheDir();
+
+/// Default disk-tier byte budget: LB2_CACHE_DISK_BYTES env var, else 0
+/// (unlimited).
+int64_t DefaultCacheDiskBytes();
 
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
@@ -69,6 +95,17 @@ struct ServiceOptions {
   /// Max milliseconds a request queues for an execution slot before being
   /// shed with Status::kBusy; 0 = shed immediately when saturated.
   double queue_timeout_ms = DefaultQueueTimeoutMs();
+  /// Persistent artifact directory shared across processes; "" = disk tier
+  /// off. Artifacts are keyed by fingerprint × compiler identity × prelude
+  /// hash, verified against their metadata sidecar before every load.
+  std::string cache_dir = DefaultCacheDir();
+  /// Disk-tier byte budget over .so sizes (LRU-by-mtime eviction);
+  /// 0 = unlimited.
+  int64_t cache_disk_bytes = DefaultCacheDiskBytes();
+  /// Recompile in the background when a request's plan+options match a
+  /// cached entry but the database identity drifted. When false, drifted
+  /// keys behave like plain cold misses (the client pays the JIT).
+  bool background_recompile = true;
 };
 
 /// Point-in-time counters. `Snapshot`-style value type.
@@ -91,14 +128,25 @@ struct ServiceStats {
   int64_t cache_entries = 0;
   int64_t cache_bytes = 0;
   int64_t evictions = 0;
+  // Disk tier (all zero when the tier is off).
+  int64_t disk_hits = 0;       // artifact verified + loaded (no cc paid)
+  int64_t disk_misses = 0;     // probes that found nothing usable
+  int64_t disk_writes = 0;     // artifacts written back after a compile
+  int64_t disk_evictions = 0;  // artifacts deleted under the byte budget
+  int64_t disk_corrupt = 0;    // corrupt/truncated/stale artifacts deleted
+  // Background recompiles enqueued for database-identity drift.
+  int64_t drift_recompiles = 0;
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
 };
 
 struct ServiceResult {
-  /// Which engine produced the answer.
-  enum class Path { kCompiledCold, kCompiledCached, kInterpreted };
+  /// Which engine produced the answer. kCompiledDisk is a process-cold
+  /// request served by loading a persisted artifact — no external compiler
+  /// ran, only re-stage + dlopen.
+  enum class Path { kCompiledCold, kCompiledCached, kInterpreted,
+                    kCompiledDisk };
   /// Whether the request was served at all. kBusy is the documented
   /// load-shedding outcome: the admission queue timed out, no engine ran,
   /// text is empty and rows is 0 — the client should retry later.
@@ -150,13 +198,22 @@ class QueryService {
 
   ServiceStats Stats() const;
 
+  /// Blocks until the background drift-recompile queue is empty and the
+  /// worker is idle (tests; graceful drains). Returns immediately when no
+  /// background work was ever enqueued.
+  void DrainBackground();
+
   const QueryCache& cache() const { return cache_; }
+  /// The persistent artifact tier, or null when `cache_dir` is empty.
+  const ArtifactStore* artifact_store() const { return store_.get(); }
   const rt::Database& db() const { return db_; }
   const ServiceOptions& options() const { return opts_; }
   /// The execution-slot gate. Exposed so callers (tests, drainers) can
   /// occupy or inspect slots deterministically; normal requests go through
   /// Execute, which admits and releases around the whole request.
   AdmissionGate* admission() { return &gate_; }
+
+  ~QueryService();
 
  private:
   /// One in-flight compilation; followers of the same fingerprint block on
@@ -169,6 +226,13 @@ class QueryService {
     std::string error;
   };
 
+  /// One queued background recompile (database-identity drift).
+  struct DriftJob {
+    plan::Query query;
+    engine::EngineOptions eopts;
+    Fingerprint fp;
+  };
+
   ServiceResult RunCompiled(const CacheEntryPtr& entry,
                             ServiceResult::Path path, const Fingerprint& fp);
   ServiceResult RunInterp(const plan::Query& q,
@@ -178,14 +242,46 @@ class QueryService {
                                 const engine::EngineOptions& eopts,
                                 const Fingerprint& fp);
 
+  /// Produces (and caches, and persists) the compiled entry for `fp`: with
+  /// the disk tier on, stages the query, probes the artifact store, and
+  /// either loads the verified artifact (fast path) or compiles and writes
+  /// it back; without the disk tier, plain JIT. Returns null (with *error)
+  /// on compile failure. Shared by foreground leaders and the background
+  /// drift worker; updates compile/disk stats and the shape index.
+  CacheEntryPtr BuildEntry(const plan::Query& q,
+                           const engine::EngineOptions& eopts,
+                           const Fingerprint& fp, std::string* error,
+                           bool* from_disk);
+
+  /// Enqueues a single-flighted background recompile for a drifted key;
+  /// returns false if one is already queued or running for `fp`.
+  bool EnqueueDriftRecompile(const plan::Query& q,
+                             const engine::EngineOptions& eopts,
+                             const Fingerprint& fp);
+  void DriftWorkerLoop();
+
   const rt::Database& db_;
   const ServiceOptions opts_;
   QueryCache cache_;
   AdmissionGate gate_;
+  std::unique_ptr<ArtifactStore> store_;  // null = disk tier off
 
-  mutable std::mutex mu_;  // guards inflight_ and stats_
+  mutable std::mutex mu_;  // guards inflight_, shape_to_key_, and stats_
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
+  /// shape component -> combined key of the entry last built for it. A
+  /// miss whose shape is present under a different key is database drift.
+  std::unordered_map<uint64_t, uint64_t> shape_to_key_;
   ServiceStats stats_;
+
+  // Background drift-recompile worker: one dedicated low-priority thread,
+  // started lazily on the first drift, joined in the destructor.
+  std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  std::deque<DriftJob> bg_queue_;
+  std::unordered_set<uint64_t> bg_pending_;  // keys queued or compiling
+  bool bg_stop_ = false;
+  bool bg_busy_ = false;
+  std::thread bg_thread_;
 };
 
 }  // namespace lb2::service

@@ -8,6 +8,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <mutex>
 
 #include "util/check.h"
 #include "util/str.h"
@@ -47,7 +49,7 @@ int64_t FileBytes(const std::string& path) {
 
 JitModule::~JitModule() {
   if (handle_ != nullptr) dlclose(handle_);
-  if (std::getenv("LB2_KEEP_JIT") == nullptr) {
+  if (owns_files_ && std::getenv("LB2_KEEP_JIT") == nullptr) {
     if (!c_path_.empty()) std::remove(c_path_.c_str());
     if (!so_path_.empty()) std::remove(so_path_.c_str());
   }
@@ -62,6 +64,85 @@ void* JitModule::symbol(const std::string& name) const {
 std::string Jit::CompilerCommand() {
   const char* env = std::getenv("LB2_CC");
   return env != nullptr ? env : "cc";
+}
+
+namespace {
+
+/// Runs `cmd` through the shell and captures stdout.
+std::string RunCapture(const std::string& cmd) {
+  std::string out;
+  FILE* p = popen(cmd.c_str(), "r");
+  if (p == nullptr) return out;
+  char buf[256];
+  size_t n;
+  while ((n = fread(buf, 1, sizeof(buf), p)) > 0) out.append(buf, n);
+  pclose(p);
+  return out;
+}
+
+std::string FirstLineTrimmed(const std::string& s) {
+  size_t end = s.find('\n');
+  std::string line = end == std::string::npos ? s : s.substr(0, end);
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  return line;
+}
+
+}  // namespace
+
+std::string Jit::CompilerIdentity() {
+  static std::mutex mu;
+  static std::map<std::string, std::string>* cache =
+      new std::map<std::string, std::string>();
+  std::string cmd = CompilerCommand();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(cmd);
+    if (it != cache->end()) return it->second;
+  }
+  // First token is the binary; LB2_CC may carry flags after it.
+  std::string tool = cmd.substr(0, cmd.find(' '));
+  std::string path =
+      FirstLineTrimmed(RunCapture("command -v " + Quoted(tool) +
+                                  " 2>/dev/null"));
+  if (path.empty()) path = tool;
+  std::string version = FirstLineTrimmed(RunCapture(cmd + " --version 2>&1"));
+  std::string id = path + " | " + version;
+  std::lock_guard<std::mutex> lock(mu);
+  (*cache)[cmd] = id;
+  return id;
+}
+
+std::unique_ptr<JitModule> Jit::TryLoad(const std::string& so_path,
+                                        const std::string& source,
+                                        std::string* error) {
+  auto out = std::unique_ptr<JitModule>(new JitModule());
+  out->source_ = source;
+  out->so_path_ = so_path;
+  out->owns_files_ = false;  // the artifact store owns the file
+  out->so_bytes_ = FileBytes(so_path);
+  out->handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (out->handle_ == nullptr) {
+    const char* dl = dlerror();
+    if (error != nullptr) {
+      *error = StrPrintf("dlopen(%s) failed: %s", so_path.c_str(),
+                         dl != nullptr ? dl : "unknown error");
+    }
+    return nullptr;
+  }
+  // ABI check before anyone calls into the artifact: the reentrant-entry
+  // contract must be exported, else this is a stale or foreign .so.
+  if (dlsym(out->handle_, "lb2_query") == nullptr ||
+      dlsym(out->handle_, "lb2_ctx_bytes") == nullptr) {
+    if (error != nullptr) {
+      *error = StrPrintf(
+          "artifact %s lacks the lb2_query/lb2_ctx_bytes exports "
+          "(ABI mismatch)", so_path.c_str());
+    }
+    return nullptr;
+  }
+  return out;
 }
 
 std::unique_ptr<JitModule> Jit::TryCompile(const CModule& module,

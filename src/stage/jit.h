@@ -72,6 +72,7 @@ class JitModule {
   double compile_ms() const { return compile_ms_; }
 
   const std::string& c_path() const { return c_path_; }
+  const std::string& so_path() const { return so_path_; }
 
   /// Size of the loaded shared object on disk (cache byte accounting).
   int64_t so_bytes() const { return so_bytes_; }
@@ -84,6 +85,9 @@ class JitModule {
   std::string source_;
   std::string c_path_;
   std::string so_path_;
+  // False for modules loaded from a persistent artifact store: the .so
+  // belongs to the store (its own eviction deletes it), not this module.
+  bool owns_files_ = true;
   double codegen_ms_ = 0.0;
   double compile_ms_ = 0.0;
   int64_t so_bytes_ = 0;
@@ -94,6 +98,23 @@ class Jit {
  public:
   /// Compiler command; overridable via the LB2_CC environment variable.
   static std::string CompilerCommand();
+
+  /// Identity string for the current compiler command: the resolved binary
+  /// path plus the first line of `--version` output. Persistent artifact
+  /// caches fold this into their keys so a shared object built by one
+  /// compiler is never reused under another. Cached per distinct command
+  /// (LB2_CC changes are picked up).
+  static std::string CompilerIdentity();
+
+  /// dlopens an already-compiled artifact at `so_path` — the persistent-
+  /// cache fast path: no codegen emission, no external compiler. Verifies
+  /// the reentrant-entry ABI (`lb2_query` + `lb2_ctx_bytes` exports) and
+  /// returns nullptr with *error filled on any failure. The module does
+  /// NOT own (and never deletes) the file; `source` is retained for
+  /// inspection just like a compiled module's.
+  static std::unique_ptr<JitModule> TryLoad(const std::string& so_path,
+                                            const std::string& source,
+                                            std::string* error);
 
   /// Emits, compiles (-O2 by default) and loads `module`. `tag` names the
   /// temp files for debuggability. Returns nullptr on a compiler or loader

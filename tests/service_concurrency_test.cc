@@ -63,6 +63,14 @@ void WaitFor(const std::function<bool()>& pred) {
   ASSERT_TRUE(pred());
 }
 
+// CI shares one LB2_CACHE_DIR across all test processes: a cold request may
+// load a persisted artifact instead of compiling. `compiles + disk_hits`
+// still counts exactly one external-compiler-or-load per fingerprint.
+bool ColdOrDisk(ServiceResult::Path p) {
+  return p == ServiceResult::Path::kCompiledCold ||
+         p == ServiceResult::Path::kCompiledDisk;
+}
+
 // -- The tentpole: no run lock, same entry, many threads ---------------------
 
 TEST_F(ServiceConcurrencyTest, ManyThreadsHammerOneCachedEntry) {
@@ -70,8 +78,8 @@ TEST_F(ServiceConcurrencyTest, ManyThreadsHammerOneCachedEntry) {
   plan::Query q = Parse(kHotSql);
   const std::string want = Oracle(q);
 
-  // Warm the cache: exactly one compile ever happens.
-  ASSERT_EQ(svc.Execute(q).path, ServiceResult::Path::kCompiledCold);
+  // Warm the cache: exactly one compile (or disk load) ever happens.
+  ASSERT_TRUE(ColdOrDisk(svc.Execute(q).path));
 
   constexpr int kThreads = 12;
   constexpr int kItersPerThread = 8;
@@ -100,7 +108,7 @@ TEST_F(ServiceConcurrencyTest, ManyThreadsHammerOneCachedEntry) {
   ServiceStats stats = svc.Stats();
   EXPECT_EQ(stats.requests, 1 + kThreads * kItersPerThread);
   EXPECT_EQ(stats.hits, kThreads * kItersPerThread);
-  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.compiles + stats.disk_hits, 1);
   EXPECT_EQ(stats.exec_in_flight, 0);
 }
 
@@ -114,7 +122,7 @@ TEST_F(ServiceConcurrencyTest, ParallelPipelineEntryIsAlsoReentrant) {
       "select sum(l_extendedprice * l_discount) as rev from lineitem "
       "where l_quantity < 24");
   const std::string want = Oracle(q);
-  ASSERT_EQ(svc.Execute(q, eopts).path, ServiceResult::Path::kCompiledCold);
+  ASSERT_TRUE(ColdOrDisk(svc.Execute(q, eopts).path));
 
   constexpr int kThreads = 8;
   std::atomic<int> mismatches{0};
@@ -135,7 +143,8 @@ TEST_F(ServiceConcurrencyTest, ParallelPipelineEntryIsAlsoReentrant) {
     for (auto& th : threads) th.join();
   }
   EXPECT_EQ(mismatches.load(), 0);
-  EXPECT_EQ(svc.Stats().compiles, 1);
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.compiles + stats.disk_hits, 1);
 }
 
 TEST_F(ServiceConcurrencyTest, GeneratedSourceHasNoMutableFileScopeState) {

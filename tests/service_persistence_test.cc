@@ -1,0 +1,406 @@
+// Persistent artifact-tier tests: restart round-trips (a new process — here
+// a new service over a private directory — serves its warm set via dlopen
+// with zero external-compiler invocations), corruption recovery (truncated
+// shared objects, garbage or mismatched sidecars are deleted and recompiled,
+// never crash, never serve wrong code), the disk byte budget's LRU-by-mtime
+// eviction order, and two services sharing one directory concurrently.
+//
+// These carry the ctest label `service`; the CI sanitizer flow runs them
+// under ThreadSanitizer (`cmake -DLB2_SANITIZE=thread`, `ctest -L service`).
+#include <gtest/gtest.h>
+
+#include <ftw.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/artifact_store.h"
+#include "service/service.h"
+#include "sql/sql.h"
+#include "stage/jit.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "volcano/volcano.h"
+
+namespace lb2::service {
+namespace {
+
+// -- Filesystem scaffolding ---------------------------------------------------
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lb2_artifact_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+int RemoveOne(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+void RemoveTree(const std::string& dir) {
+  if (!dir.empty()) nftw(dir.c_str(), RemoveOne, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+/// Owns a temp directory for one test.
+struct TempDir {
+  std::string path = MakeTempDir();
+  ~TempDir() { RemoveTree(path); }
+};
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << bytes;
+  ASSERT_TRUE(f.good());
+}
+
+void SetMtime(const std::string& path, time_t unix_secs) {
+  struct timeval tv[2];
+  tv[0].tv_sec = unix_secs;
+  tv[0].tv_usec = 0;
+  tv[1] = tv[0];
+  ASSERT_EQ(utimes(path.c_str(), tv), 0);
+}
+
+// -- ArtifactStore unit tests (no compiler involved) --------------------------
+
+ArtifactMeta FakeMeta(uint64_t fp, int64_t so_bytes) {
+  ArtifactMeta m;
+  m.fp_hash = fp;
+  m.fp_shape = fp ^ 0x1111;
+  m.fp_db = fp ^ 0x2222;
+  m.compiler = "/usr/bin/cc | fake 1.0";
+  m.prelude_hash = 42;
+  m.source_hash = fp ^ 0x3333;
+  m.so_bytes = so_bytes;
+  m.compile_ms = 100.0;
+  m.codegen_ms = 1.0;
+  return m;
+}
+
+TEST(ArtifactStoreTest, PutThenLookupRoundTrip) {
+  TempDir td;
+  ArtifactStore store(td.path + "/nested/cache", /*max_bytes=*/0);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(128, 'x'));
+
+  ArtifactMeta meta = FakeMeta(7, 128);
+  ASSERT_TRUE(store.Put(7, meta, src));
+  EXPECT_EQ(store.writes(), 1);
+
+  std::string so_path;
+  ArtifactMeta got;
+  EXPECT_EQ(store.Lookup(7, meta, &so_path, &got), ArtifactStore::Probe::kHit);
+  EXPECT_EQ(so_path, store.SoPath(7));
+  EXPECT_EQ(got.fp_hash, 7u);
+  EXPECT_EQ(got.compiler, meta.compiler);
+  EXPECT_EQ(got.compile_ms, 100.0);
+  EXPECT_EQ(store.hits(), 1);
+  EXPECT_EQ(store.DiskBytes(), 128);
+}
+
+TEST(ArtifactStoreTest, MismatchedSidecarIsStaleNotAHit) {
+  // An artifact whose sidecar doesn't match the *expected* inputs (here: a
+  // different generated-source hash, as after an emitter change) must never
+  // be served; the stale pair is deleted so the slot can be rebuilt.
+  TempDir td;
+  ArtifactStore store(td.path, /*max_bytes=*/0);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(64, 'y'));
+  ASSERT_TRUE(store.Put(9, FakeMeta(9, 64), src));
+
+  ArtifactMeta expect = FakeMeta(9, 64);
+  expect.source_hash ^= 1;
+  std::string so_path;
+  ArtifactMeta got;
+  EXPECT_EQ(store.Lookup(9, expect, &so_path, &got),
+            ArtifactStore::Probe::kCorrupt);
+  EXPECT_EQ(store.corrupt(), 1);
+  // The pair is gone: a matching lookup now misses cleanly.
+  EXPECT_EQ(store.Lookup(9, FakeMeta(9, 64), &so_path, &got),
+            ArtifactStore::Probe::kMiss);
+}
+
+TEST(ArtifactStoreTest, TruncatedSoIsCorrupt) {
+  TempDir td;
+  ArtifactStore store(td.path, /*max_bytes=*/0);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(256, 'z'));
+  ASSERT_TRUE(store.Put(11, FakeMeta(11, 256), src));
+  ASSERT_EQ(truncate(store.SoPath(11).c_str(), 13), 0);
+
+  std::string so_path;
+  ArtifactMeta got;
+  EXPECT_EQ(store.Lookup(11, FakeMeta(11, 256), &so_path, &got),
+            ArtifactStore::Probe::kCorrupt);
+  EXPECT_EQ(store.corrupt(), 1);
+}
+
+TEST(ArtifactStoreTest, GarbageSidecarIsCorrupt) {
+  TempDir td;
+  ArtifactStore store(td.path, /*max_bytes=*/0);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(32, 'w'));
+  ASSERT_TRUE(store.Put(13, FakeMeta(13, 32), src));
+  WriteFile(store.MetaPath(13), "not a sidecar at all\n\x01\x02");
+
+  std::string so_path;
+  ArtifactMeta got;
+  EXPECT_EQ(store.Lookup(13, FakeMeta(13, 32), &so_path, &got),
+            ArtifactStore::Probe::kCorrupt);
+  EXPECT_EQ(store.corrupt(), 1);
+}
+
+TEST(ArtifactStoreTest, ByteBudgetEvictsOldestMtimeFirst) {
+  TempDir td;
+  // Budget fits two 100-byte artifacts; the third Put must evict exactly
+  // the least-recently-used (oldest mtime) pair, never the one just written.
+  ArtifactStore store(td.path, /*max_bytes=*/250);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(100, 'a'));
+  ASSERT_TRUE(store.Put(1, FakeMeta(1, 100), src));
+  ASSERT_TRUE(store.Put(2, FakeMeta(2, 100), src));
+  // Make key 2 the LRU explicitly (mtime is the recency signal).
+  SetMtime(store.SoPath(1), 2000000000);
+  SetMtime(store.SoPath(2), 1000000000);
+
+  ASSERT_TRUE(store.Put(3, FakeMeta(3, 100), src));
+  EXPECT_EQ(store.evictions(), 1);
+  EXPECT_EQ(store.DiskBytes(), 200);
+
+  std::string so_path;
+  ArtifactMeta got;
+  EXPECT_EQ(store.Lookup(2, FakeMeta(2, 100), &so_path, &got),
+            ArtifactStore::Probe::kMiss);
+  EXPECT_EQ(store.Lookup(1, FakeMeta(1, 100), &so_path, &got),
+            ArtifactStore::Probe::kHit);
+  EXPECT_EQ(store.Lookup(3, FakeMeta(3, 100), &so_path, &got),
+            ArtifactStore::Probe::kHit);
+}
+
+TEST(ArtifactStoreTest, HitBumpsMtimeSoHotArtifactsSurvive) {
+  TempDir td;
+  ArtifactStore store(td.path, /*max_bytes=*/250);
+  std::string src = td.path + "/fake.so";
+  WriteFile(src, std::string(100, 'b'));
+  ASSERT_TRUE(store.Put(1, FakeMeta(1, 100), src));
+  ASSERT_TRUE(store.Put(2, FakeMeta(2, 100), src));
+  SetMtime(store.SoPath(1), 1000000000);
+  SetMtime(store.SoPath(2), 1000000001);
+
+  // Key 1 is older, but a verified hit marks it recently used again.
+  std::string so_path;
+  ArtifactMeta got;
+  ASSERT_EQ(store.Lookup(1, FakeMeta(1, 100), &so_path, &got),
+            ArtifactStore::Probe::kHit);
+
+  ASSERT_TRUE(store.Put(3, FakeMeta(3, 100), src));
+  EXPECT_EQ(store.Lookup(1, FakeMeta(1, 100), &so_path, &got),
+            ArtifactStore::Probe::kHit);
+  EXPECT_EQ(store.Lookup(2, FakeMeta(2, 100), &so_path, &got),
+            ArtifactStore::Probe::kMiss);
+}
+
+TEST(ArtifactStoreTest, DiskKeyFoldsCompilerAndPrelude) {
+  Fingerprint fp;
+  fp.hash = 0xabcdef;
+  uint64_t base = DiskArtifactKey(fp, "cc-a", 1);
+  EXPECT_NE(base, DiskArtifactKey(fp, "cc-b", 1));   // compiler upgrade
+  EXPECT_NE(base, DiskArtifactKey(fp, "cc-a", 2));   // prelude change
+  Fingerprint fp2 = fp;
+  fp2.hash = 0x123456;
+  EXPECT_NE(base, DiskArtifactKey(fp2, "cc-a", 1));  // different query
+}
+
+// -- Service end-to-end over a private directory ------------------------------
+
+class ServicePersistenceTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 808, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static ServiceOptions DiskOpts(const std::string& dir) {
+    ServiceOptions opts;
+    opts.cache_dir = dir;
+    return opts;
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* ServicePersistenceTest::db_ = nullptr;
+
+constexpr const char* kSql =
+    "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev "
+    "from lineitem group by l_returnflag order by l_returnflag";
+
+TEST_F(ServicePersistenceTest, RestartRoundTripServesFromDiskWithZeroCc) {
+  TempDir td;
+  plan::Query q = sql::ParseQuery(kSql, *db_);
+  const std::string want = volcano::Execute(q, *db_);
+
+  {
+    QueryService first(*db_, DiskOpts(td.path));
+    ASSERT_NE(first.artifact_store(), nullptr);
+    ServiceResult cold = first.Execute(q);
+    EXPECT_EQ(cold.path, ServiceResult::Path::kCompiledCold);
+    EXPECT_EQ(tpch::DiffResults(want, cold.text, /*order_sensitive=*/true),
+              "");
+    ServiceStats stats = first.Stats();
+    EXPECT_EQ(stats.compiles, 1);
+    EXPECT_EQ(stats.disk_misses, 1);
+    EXPECT_EQ(stats.disk_writes, 1);
+    EXPECT_GT(first.artifact_store()->DiskBytes(), 0);
+  }  // "process exit": the in-memory tier dies with the service
+
+  // "Restart": a fresh service (empty memory cache) over the same dir must
+  // serve the query by loading the persisted artifact — the external
+  // compiler never runs.
+  QueryService second(*db_, DiskOpts(td.path));
+  ServiceResult warm = second.Execute(q);
+  EXPECT_EQ(warm.path, ServiceResult::Path::kCompiledDisk);
+  EXPECT_EQ(tpch::DiffResults(want, warm.text, /*order_sensitive=*/true), "");
+  ServiceStats stats = second.Stats();
+  EXPECT_EQ(stats.compiles, 0);
+  EXPECT_EQ(stats.disk_hits, 1);
+  EXPECT_GT(stats.compile_ms_saved, 0.0);  // the cc cost the artifact avoided
+
+  // And the disk-loaded entry is a normal memory-cache citizen afterwards.
+  EXPECT_EQ(second.Execute(q).path, ServiceResult::Path::kCompiledCached);
+}
+
+TEST_F(ServicePersistenceTest, TruncatedArtifactRecompilesAndHeals) {
+  TempDir td;
+  plan::Query q = sql::ParseQuery(kSql, *db_);
+  const std::string want = volcano::Execute(q, *db_);
+  {
+    QueryService warmup(*db_, DiskOpts(td.path));
+    ASSERT_EQ(warmup.Execute(q).path, ServiceResult::Path::kCompiledCold);
+  }
+
+  // Sabotage: truncate the persisted .so mid-ELF.
+  QueryService probe(*db_, DiskOpts(td.path));
+  uint64_t key = DiskArtifactKey(probe.FingerprintFor(q),
+                                 stage::Jit::CompilerIdentity(),
+                                 PreludeHash());
+  ASSERT_EQ(truncate(probe.artifact_store()->SoPath(key).c_str(), 17), 0);
+
+  ServiceResult r = probe.Execute(q);
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);  // recompiled
+  EXPECT_EQ(tpch::DiffResults(want, r.text, /*order_sensitive=*/true), "");
+  ServiceStats stats = probe.Stats();
+  EXPECT_EQ(stats.disk_corrupt, 1);
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.disk_writes, 1);  // healed: artifact rewritten
+
+  QueryService after(*db_, DiskOpts(td.path));
+  EXPECT_EQ(after.Execute(q).path, ServiceResult::Path::kCompiledDisk);
+}
+
+TEST_F(ServicePersistenceTest, GarbageSidecarRecompilesAndHeals) {
+  TempDir td;
+  plan::Query q = sql::ParseQuery(kSql, *db_);
+  const std::string want = volcano::Execute(q, *db_);
+  {
+    QueryService warmup(*db_, DiskOpts(td.path));
+    ASSERT_EQ(warmup.Execute(q).path, ServiceResult::Path::kCompiledCold);
+  }
+
+  QueryService probe(*db_, DiskOpts(td.path));
+  uint64_t key = DiskArtifactKey(probe.FingerprintFor(q),
+                                 stage::Jit::CompilerIdentity(),
+                                 PreludeHash());
+  WriteFile(probe.artifact_store()->MetaPath(key), "\x7f""ELF not a sidecar");
+
+  ServiceResult r = probe.Execute(q);
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(tpch::DiffResults(want, r.text, /*order_sensitive=*/true), "");
+  EXPECT_EQ(probe.Stats().disk_corrupt, 1);
+
+  QueryService after(*db_, DiskOpts(td.path));
+  EXPECT_EQ(after.Execute(q).path, ServiceResult::Path::kCompiledDisk);
+}
+
+TEST_F(ServicePersistenceTest, TwoServicesShareOneDirConcurrently) {
+  // Two services (stand-ins for two server processes) pointed at one
+  // directory, hammered concurrently: every result matches the oracle and
+  // the artifacts written are usable by a third, cold service.
+  TempDir td;
+  const char* sqls[2] = {
+      "select count(*) as n from lineitem where l_quantity < 24",
+      "select sum(l_extendedprice * l_discount) as rev from lineitem "
+      "where l_quantity < 24",
+  };
+  std::vector<plan::Query> qs;
+  std::vector<std::string> wants;
+  for (const char* s : sqls) {
+    qs.push_back(sql::ParseQuery(s, *db_));
+    wants.push_back(volcano::Execute(qs.back(), *db_));
+  }
+
+  QueryService a(*db_, DiskOpts(td.path));
+  QueryService b(*db_, DiskOpts(td.path));
+  constexpr int kThreadsPerService = 4;
+  std::atomic<int> mismatches{0};
+  {
+    std::vector<std::thread> threads;
+    for (QueryService* svc : {&a, &b}) {
+      for (int t = 0; t < kThreadsPerService; ++t) {
+        threads.emplace_back([&, svc, t] {
+          for (int i = 0; i < 3; ++i) {
+            size_t qi = static_cast<size_t>((t + i) % 2);
+            ServiceResult r = svc->Execute(qs[qi]);
+            if (tpch::DiffResults(wants[qi], r.text,
+                                  /*order_sensitive=*/true) != "") {
+              ++mismatches;
+            }
+          }
+        });
+      }
+    }
+    for (auto& th : threads) th.join();
+  }
+  EXPECT_EQ(mismatches.load(), 0);
+  // Each service external-compiled or disk-loaded each plan exactly once.
+  for (QueryService* svc : {&a, &b}) {
+    ServiceStats stats = svc->Stats();
+    EXPECT_EQ(stats.compiles + stats.disk_hits, 2);
+    EXPECT_EQ(stats.compile_failures, 0);
+  }
+
+  QueryService cold(*db_, DiskOpts(td.path));
+  for (size_t i = 0; i < qs.size(); ++i) {
+    ServiceResult r = cold.Execute(qs[i]);
+    EXPECT_EQ(r.path, ServiceResult::Path::kCompiledDisk);
+    EXPECT_EQ(tpch::DiffResults(wants[i], r.text, /*order_sensitive=*/true),
+              "");
+  }
+  EXPECT_EQ(cold.Stats().compiles, 0);
+}
+
+TEST_F(ServicePersistenceTest, EmptyDirOptionDisablesDiskTier) {
+  ServiceOptions opts;
+  opts.cache_dir = "";
+  QueryService svc(*db_, opts);
+  EXPECT_EQ(svc.artifact_store(), nullptr);
+  plan::Query q = sql::ParseQuery(kSql, *db_);
+  ServiceResult r = svc.Execute(q);
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  ServiceStats stats = svc.Stats();
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.disk_hits + stats.disk_misses + stats.disk_writes, 0);
+}
+
+}  // namespace
+}  // namespace lb2::service

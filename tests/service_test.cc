@@ -48,6 +48,17 @@ constexpr const char* kGroupBySql =
     "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev "
     "from lineitem group by l_returnflag order by l_returnflag";
 
+// CI runs this suite with LB2_CACHE_DIR pointing at a tmpdir shared by all
+// test processes, so a "cold" request may be served by loading a persisted
+// artifact (another process — or an earlier test in this one — already
+// compiled the same fingerprint). Cold-path assertions accept either; the
+// invariant that matters is that the external compiler ran at most once,
+// which `compiles + disk_hits` counts exactly.
+bool ColdOrDisk(ServiceResult::Path p) {
+  return p == ServiceResult::Path::kCompiledCold ||
+         p == ServiceResult::Path::kCompiledDisk;
+}
+
 // -- Fingerprinting ---------------------------------------------------------
 
 TEST_F(ServiceTest, FingerprintStableAcrossIndependentParses) {
@@ -157,7 +168,7 @@ TEST_F(ServiceTest, WarmHitSkipsCompilation) {
   std::string want = Oracle(q);
 
   ServiceResult cold = svc.Execute(q);
-  EXPECT_EQ(cold.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_TRUE(ColdOrDisk(cold.path)) << PathName(cold.path);
   EXPECT_EQ(tpch::DiffResults(want, cold.text, /*order_sensitive=*/true), "");
 
   ServiceResult warm = svc.Execute(Parse(kGroupBySql));
@@ -167,7 +178,7 @@ TEST_F(ServiceTest, WarmHitSkipsCompilation) {
   ServiceStats stats = svc.Stats();
   EXPECT_EQ(stats.requests, 2);
   EXPECT_EQ(stats.misses, 1);
-  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.compiles + stats.disk_hits, 1);
   EXPECT_EQ(stats.hits, 1);
   EXPECT_GT(stats.compile_ms_saved, 0.0);
   EXPECT_EQ(stats.cache_entries, 1);
@@ -187,9 +198,10 @@ TEST_F(ServiceTest, LruEvictionForcesRecompile) {
   EXPECT_EQ(svc.Stats().cache_entries, 2);
   EXPECT_EQ(svc.Stats().evictions, 1);
 
-  // The first statement was evicted: running it again is a miss.
+  // The first statement was evicted: running it again is a miss (served
+  // from disk when the persistent tier kept its artifact).
   ServiceResult again = svc.Execute(Parse(sqls[0]));
-  EXPECT_EQ(again.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_TRUE(ColdOrDisk(again.path)) << PathName(again.path);
   EXPECT_EQ(svc.Stats().misses, 4);
 }
 
@@ -212,9 +224,10 @@ void RunConcurrencyCheck(ServiceOptions::WhileCompiling policy) {
     for (auto& t : threads) t.join();
   }
 
-  // Exactly one JIT compilation, no matter how the 8 requests interleave.
+  // Exactly one build (JIT or verified disk load), no matter how the 8
+  // requests interleave.
   ServiceStats stats = svc.Stats();
-  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.compiles + stats.disk_hits, 1);
   EXPECT_EQ(stats.misses, 1);
   EXPECT_EQ(stats.requests, kThreads);
   EXPECT_EQ(stats.compile_failures, 0);
@@ -269,7 +282,7 @@ TEST_F(ServiceTest, ConcurrentDistinctPlansAllCompile) {
                                 /*order_sensitive=*/true), "");
   }
   ServiceStats stats = svc.Stats();
-  EXPECT_EQ(stats.compiles, 4);
+  EXPECT_EQ(stats.compiles + stats.disk_hits, 4);
   EXPECT_EQ(stats.cache_entries, 4);
 }
 
@@ -296,10 +309,11 @@ TEST_F(ServiceTest, CompileFailureDegradesToInterpreter) {
   EXPECT_EQ(stats.cache_entries, 0);
 
   // The environment is healthy again: the same service recovers and
-  // compiles on the next request.
+  // compiles (or disk-loads) on the next request.
   ServiceResult ok = svc.Execute(q);
-  EXPECT_EQ(ok.path, ServiceResult::Path::kCompiledCold);
-  EXPECT_EQ(svc.Stats().compiles, 1);
+  EXPECT_TRUE(ColdOrDisk(ok.path)) << PathName(ok.path);
+  ServiceStats after = svc.Stats();
+  EXPECT_EQ(after.compiles + after.disk_hits, 1);
 }
 
 TEST_F(ServiceTest, ExecuteSqlParsesAndCaches) {
@@ -307,7 +321,7 @@ TEST_F(ServiceTest, ExecuteSqlParsesAndCaches) {
   ServiceResult r;
   std::string error;
   ASSERT_TRUE(svc.ExecuteSql(kGroupBySql, &r, &error)) << error;
-  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_TRUE(ColdOrDisk(r.path)) << PathName(r.path);
   ASSERT_TRUE(svc.ExecuteSql(kGroupBySql, &r, &error)) << error;
   EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCached);
 
