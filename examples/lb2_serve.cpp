@@ -2,13 +2,20 @@
 // the query service, so the compiled-query cache, single-flight JIT, and
 // hybrid interpret-while-compiling dispatch are all visible in one run.
 //
-//   ./lb2_serve [scale_factor] [threads] [requests] [cache_dir]
+//   ./lb2_serve [--trace] [--metrics-out=FILE]
+//               [scale_factor] [threads] [requests] [cache_dir]
 //                                         # defaults 0.01 4 200 ""
 //
 // A non-empty cache_dir (or LB2_CACHE_DIR) turns on the persistent
 // artifact tier: run the demo twice with the same dir and the second run's
 // cold starts become "compiled-disk" loads — zero external-compiler
 // invocations for the whole warm-up.
+//
+// --trace logs one line per request to stderr with the path taken and the
+// per-stage span breakdown (fingerprint/admission/stage/cc/exec...).
+// --metrics-out=FILE rewrites FILE with the service's Prometheus text
+// every ~2 s while serving and once more at exit — point a file-based
+// scraper (or `watch cat`) at it.
 //
 // Each worker thread pulls the next request from a shared queue of SQL
 // statements (a small set of distinct plan shapes, so the cache warms up
@@ -17,16 +24,22 @@
 // Figure-10 pipeline once, compiled-cached skips it entirely — plus the
 // service counters.
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "service/service.h"
 #include "tpch/dbgen.h"
 #include "util/rng.h"
+#include "util/str.h"
 #include "util/time.h"
 
 using namespace lb2;  // NOLINT
@@ -73,11 +86,39 @@ struct Tally {
 
 }  // namespace
 
+namespace {
+
+/// Rewrites `path` atomically enough for a text scraper (truncate+write).
+void WriteMetricsFile(const std::string& path, const std::string& text) {
+  std::ofstream f(path, std::ios::trunc);
+  if (f.good()) f << text;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  double sf = argc > 1 ? std::atof(argv[1]) : 0.01;
-  int threads = argc > 2 ? std::atoi(argv[2]) : 4;
-  int requests = argc > 3 ? std::atoi(argv[3]) : 200;
-  const char* cache_dir = argc > 4 ? argv[4] : nullptr;
+  bool trace = false;
+  std::string metrics_out;
+  // Flags first (any order), then the original positionals.
+  int pos = 1;
+  while (pos < argc && argv[pos][0] == '-') {
+    if (std::strcmp(argv[pos], "--trace") == 0) {
+      trace = true;
+    } else if (std::strncmp(argv[pos], "--metrics-out=", 14) == 0) {
+      metrics_out = argv[pos] + 14;
+    } else if (std::strcmp(argv[pos], "--metrics-out") == 0 &&
+               pos + 1 < argc) {
+      metrics_out = argv[++pos];
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[pos]);
+      return 1;
+    }
+    ++pos;
+  }
+  double sf = argc > pos ? std::atof(argv[pos]) : 0.01;
+  int threads = argc > pos + 1 ? std::atoi(argv[pos + 1]) : 4;
+  int requests = argc > pos + 2 ? std::atoi(argv[pos + 2]) : 200;
+  const char* cache_dir = argc > pos + 3 ? argv[pos + 3] : nullptr;
 
   rt::Database db;
   std::printf("loading TPC-H SF %.3f... ", sf);
@@ -112,6 +153,22 @@ int main(int argc, char** argv) {
   std::vector<Tally> by_path(4);  // indexed by ServiceResult::Path
   std::mutex tally_mu;
 
+  // Periodic Prometheus dump: a low-duty background thread rewriting the
+  // file a scraper tails; joined (with a final write) after the run.
+  std::mutex dump_mu;
+  std::condition_variable dump_cv;
+  bool dump_stop = false;
+  std::thread dumper;
+  if (!metrics_out.empty()) {
+    dumper = std::thread([&] {
+      std::unique_lock<std::mutex> lock(dump_mu);
+      while (!dump_cv.wait_for(lock, std::chrono::seconds(2),
+                               [&] { return dump_stop; })) {
+        WriteMetricsFile(metrics_out, svc.MetricsPrometheus());
+      }
+    });
+  }
+
   std::printf("serving %d requests (%zu distinct statements) on %d "
               "threads...\n", requests, workload.size(), threads);
   Stopwatch wall;
@@ -136,7 +193,16 @@ int main(int argc, char** argv) {
           busy.fetch_add(1);
           continue;
         }
-        local[static_cast<size_t>(r.path)].Add(latency.ElapsedMs());
+        double ms = latency.ElapsedMs();
+        if (trace) {
+          // One fprintf per request so concurrent lines don't interleave.
+          std::string line = StrPrintf(
+              "[trace] %-15s rows=%-8lld %8.3f ms  %s\n",
+              service::PathName(r.path), static_cast<long long>(r.rows), ms,
+              obs::RenderSpans(r.spans).c_str());
+          std::fprintf(stderr, "%s", line.c_str());
+        }
+        local[static_cast<size_t>(r.path)].Add(ms);
       }
       std::lock_guard<std::mutex> lock(tally_mu);
       for (size_t p = 0; p < local.size(); ++p) {
@@ -150,6 +216,16 @@ int main(int argc, char** argv) {
   }
   for (auto& w : workers) w.join();
   double wall_ms = wall.ElapsedMs();
+  if (dumper.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(dump_mu);
+      dump_stop = true;
+    }
+    dump_cv.notify_all();
+    dumper.join();
+    WriteMetricsFile(metrics_out, svc.MetricsPrometheus());
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
 
   std::printf("\n%-18s %8s %12s %12s\n", "path", "requests", "mean ms",
               "max ms");

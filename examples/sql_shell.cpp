@@ -21,12 +21,15 @@
 //   lb2> explain select ...;        # show the bound physical plan
 //   lb2> \c select ...;             # also dump the generated C
 //   lb2> \stats;                    # query-service cache/JIT counters
+//   lb2> \metrics;                  # Prometheus text (histograms + stats)
+//   lb2> \profile select ...;       # EXPLAIN ANALYZE-style operator tree
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "compile/lb2_compiler.h"
+#include "engine/profile.h"
 #include "service/service.h"
 #include "sql/sql.h"
 #include "tpch/dbgen.h"
@@ -45,8 +48,9 @@ int main(int argc, char** argv) {
   std::printf(
       "tables: region nation supplier part partsupp customer orders "
       "lineitem\nend statements with ';', 'explain <q>;' shows the plan, "
-      "'\\c <q>;' dumps the C, '\\stats;' shows cache counters, "
-      "'quit;' exits\n");
+      "'\\c <q>;' dumps the C, '\\profile <q>;' shows per-operator rows/ms, "
+      "'\\stats;' shows cache counters, '\\metrics;' dumps Prometheus "
+      "text, 'quit;' exits\n");
 
   service::QueryService svc(db);
   if (svc.artifact_store() != nullptr) {
@@ -75,9 +79,13 @@ int main(int argc, char** argv) {
     if (start != std::string::npos) stmt = stmt.substr(start);
     bool show_c = false;
     bool explain = false;
+    bool profile = false;
     if (StartsWith(stmt, "\\c ")) {
       show_c = true;
       stmt = stmt.substr(3);
+    } else if (StartsWith(stmt, "\\profile ")) {
+      profile = true;
+      stmt = stmt.substr(9);
     } else if (StartsWith(stmt, "explain ")) {
       explain = true;
       stmt = stmt.substr(8);
@@ -85,6 +93,12 @@ int main(int argc, char** argv) {
     if (stmt == "quit" || stmt == "exit") break;
     if (stmt == "\\stats") {
       std::printf("%s\n", svc.Stats().ToString().c_str());
+      std::printf("lb2> ");
+      std::fflush(stdout);
+      continue;
+    }
+    if (stmt == "\\metrics") {
+      std::printf("%s", svc.MetricsPrometheus().c_str());
       std::printf("lb2> ");
       std::fflush(stdout);
       continue;
@@ -105,6 +119,18 @@ int main(int argc, char** argv) {
                     r.text.c_str(), static_cast<long long>(r.rows),
                     cq.codegen_ms() + cq.compile_ms(), r.exec_ms,
                     cq.source().c_str());
+      } else if (profile) {
+        // Profiled compilation happens outside the service: the counters
+        // change the generated code, so it must never share cache entries
+        // with normal serving (the fingerprint separates them anyway).
+        engine::EngineOptions popts;
+        popts.profile = true;
+        auto cq = compile::CompileQuery(q, db, popts, "profile");
+        auto r = cq.Run();
+        std::printf("%s(%lld rows; compile %.0f ms, exec %.3f ms)\n%s",
+                    r.text.c_str(), static_cast<long long>(r.rows),
+                    cq.codegen_ms() + cq.compile_ms(), r.exec_ms,
+                    engine::RenderProfile(cq.prof_nodes(), r.prof).c_str());
       } else {
         service::ServiceResult r = svc.Execute(q);
         if (r.status == service::ServiceResult::Status::kBusy) {

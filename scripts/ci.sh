@@ -4,15 +4,18 @@
 #
 #   scripts/ci.sh            # tier-1 + tsan + bench
 #   scripts/ci.sh tier1      # build + full ctest only
-#   scripts/ci.sh tsan       # Debug + -fsanitize=thread, `ctest -L service`
+#   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
+#                            #   `ctest -L 'service|obs'`
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
-#                            #   -> BENCH_service.json
+#                            #   -> BENCH_service.json, plus the obs
+#                            #   overhead gate (metrics on vs off)
 #
 # The tsan lane exists because the service runs compiled queries with NO
 # per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
 # and only TSan proves that claim on every change. It runs the `service`
-# label (service, persistence, and drift tests), which hammers one cached
-# entry — and one shared artifact directory — from many threads.
+# and `obs` labels (service, persistence, drift, and metrics tests), which
+# hammer one cached entry — and one shared artifact directory, and the
+# lock-free metric registry — from many threads.
 #
 # Both test lanes export LB2_CACHE_DIR to a throwaway tmpdir so the whole
 # suite exercises the persistent artifact tier: every test process shares
@@ -43,7 +46,8 @@ tsan() {
     >/dev/null
   cmake --build build-tsan -j"$(nproc)"
   with_cache_dir \
-    ctest --test-dir build-tsan -L service --output-on-failure -j"$(nproc)"
+    ctest --test-dir build-tsan -L 'service|obs' --output-on-failure \
+    -j"$(nproc)"
 }
 
 bench() {
@@ -58,6 +62,62 @@ bench() {
     --benchmark_out=BENCH_service.json \
     --benchmark_out_format=json
   echo "wrote BENCH_service.json (same-entry scaling + cold-process disk win)"
+  obs_overhead
+}
+
+# Observability must stay off the warm hot path: run the same-entry warm
+# benchmark with metrics recording off and on, and fail if the instrumented
+# build loses more than 5% throughput on any matching benchmark. Medians
+# over 3 repetitions — single short runs are too noisy for a 5% gate.
+obs_overhead() {
+  LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=0 \
+    ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_min_time=0.2 \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out=BENCH_obs_off.json \
+    --benchmark_out_format=json
+  LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=1 \
+    ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_min_time=0.2 \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out=BENCH_obs_on.json \
+    --benchmark_out_format=json
+  python3 - <<'EOF'
+import json
+
+def rates(path):
+    out = {}
+    with open(path) as f:
+        data = json.load(f)
+    for b in data.get("benchmarks", []):
+        if b.get("aggregate_name") != "median":
+            continue
+        r = b.get("items_per_second")
+        if r:
+            out[b["name"]] = r
+    return out
+
+off = rates("BENCH_obs_off.json")
+on = rates("BENCH_obs_on.json")
+failed = False
+for name, off_rate in sorted(off.items()):
+    on_rate = on.get(name)
+    if on_rate is None:
+        continue
+    ratio = on_rate / off_rate
+    status = "ok" if ratio >= 0.95 else "FAIL"
+    if ratio < 0.95:
+        failed = True
+    print(f"obs-overhead {name}: off={off_rate:.0f}/s on={on_rate:.0f}/s "
+          f"ratio={ratio:.3f} [{status}]")
+if failed:
+    raise SystemExit("metrics-on warm throughput regressed more than 5%")
+print("obs-overhead gate passed (metrics cost < 5% on the warm path)")
+EOF
 }
 
 case "$stage" in

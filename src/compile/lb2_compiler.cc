@@ -24,6 +24,13 @@ CompiledQuery::RunResult CompiledQuery::Run() const {
     r.text.assign(out.data, static_cast<size_t>(out.len));
     free(out.data);
   }
+  if (prof_count_ > 0) {
+    // The counters live at a fixed offset inside this run's private context,
+    // so concurrent Run() calls keep independent profiles.
+    const auto* p =
+        reinterpret_cast<const int64_t*>(ctx_buf.data() + prof_offset_);
+    r.prof.assign(p, p + 2 * prof_count_);
+  }
   return r;
 }
 
@@ -41,6 +48,7 @@ StagedQuery StageQuery(const plan::Query& q, const rt::Database& db,
     qctx.b = &b;
     qctx.db = &db;
     qctx.copts.use_dict = opts.use_dict;
+    if (opts.profile) qctx.prof = &out.prof_nodes;
 
     ctx.BeginFunction("int64_t", "lb2_query", engine::StageBackend::EntryParams(),
                       /*is_static=*/false);
@@ -48,6 +56,9 @@ StagedQuery StageQuery(const plan::Query& q, const rt::Database& db,
     b.FreeOwnedAllocations();
     stage::Stmt("return lb2_ctx->out->rows;");
     ctx.EndFunction();
+  }
+  if (!out.prof_nodes.empty()) {
+    ctx.module().SetProfSlots(static_cast<int>(out.prof_nodes.size()));
   }
   out.source = ctx.module().Emit();
   out.codegen_ms = staging_timer.ElapsedMs();
@@ -68,6 +79,14 @@ std::unique_ptr<CompiledQuery> CompiledQuery::FromModule(
   cq->ctx_bytes_ = cq->mod_->ctx_bytes();
   cq->env_ = staged.env.Materialize(db);
   cq->codegen_ms_ = staged.codegen_ms;
+  // Optional profiling exports: present only when the query was staged with
+  // EngineOptions::profile, including artifacts reloaded from disk.
+  if (const void* count = cq->mod_->TrySymbol("lb2_prof_count")) {
+    cq->prof_count_ = *reinterpret_cast<const int64_t*>(count);
+    cq->prof_offset_ = *reinterpret_cast<const int64_t*>(
+        cq->mod_->symbol("lb2_prof_offset"));
+    cq->prof_nodes_ = staged.prof_nodes;
+  }
   return cq;
 }
 

@@ -29,6 +29,10 @@ struct StagedQuery {
   std::string source;
   rt::EnvLayout env;
   double codegen_ms = 0.0;  // staging + emission time
+  /// Per-operator profile metadata, recorded while staging when
+  /// EngineOptions::profile is on (empty otherwise). Pairs with the
+  /// lb2_prof counters the generated module exports.
+  std::vector<engine::ProfOpMeta> prof_nodes;
 };
 
 /// Stages and emits `q` against `db` (first Futamura projection only).
@@ -52,9 +56,20 @@ class CompiledQuery {
     /// Time spent in the generated code's timed region (excludes
     /// allocation when hoist_alloc is on — the paper's §4.4 experiment).
     double exec_ms = 0.0;
+    /// Per-operator (rows, ns) counter pairs read back from this run's
+    /// execution context; empty unless the query was compiled with
+    /// EngineOptions::profile. Render with engine::RenderProfile against
+    /// prof_nodes().
+    std::vector<int64_t> prof;
   };
 
   RunResult Run() const;
+
+  /// Profile metadata matching RunResult::prof (empty when the query was
+  /// compiled without profiling).
+  const std::vector<engine::ProfOpMeta>& prof_nodes() const {
+    return prof_nodes_;
+  }
 
   /// The generated C translation unit.
   const std::string& source() const { return mod_->source(); }
@@ -93,6 +108,10 @@ class CompiledQuery {
   std::vector<void*> env_;
   int64_t ctx_bytes_ = 0;
   double codegen_ms_ = 0.0;
+  // Profiling exports (0/empty when compiled without profiling).
+  int64_t prof_count_ = 0;
+  int64_t prof_offset_ = 0;
+  std::vector<engine::ProfOpMeta> prof_nodes_;
 };
 
 /// Stages, emits, compiles and loads `q` against `db`. `tag` names the

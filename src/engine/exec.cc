@@ -13,8 +13,14 @@ InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
   qctx.b = &b;
   qctx.db = &db;
   qctx.copts.use_dict = opts.use_dict;
+  InterpResult r;
+  if (opts.profile) qctx.prof = &r.prof_nodes;
   DriveQuery(b, qctx, q, opts);
-  return {b.output(), b.rows(), b.exec_ms()};
+  r.text = b.output();
+  r.rows = b.rows();
+  r.exec_ms = b.exec_ms();
+  if (opts.profile) r.prof = b.prof_counters();
+  return r;
 }
 
 }  // namespace lb2::engine

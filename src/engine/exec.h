@@ -28,14 +28,23 @@ struct EngineOptions {
   /// Number of worker threads for parallel pipelines (compiled engine only;
   /// 1 = sequential code).
   int num_threads = 1;
+  /// Per-operator row/ns counters (EXPLAIN ANALYZE). Under the staged
+  /// backend the counters are emitted *into* the generated C as
+  /// lb2_exec_ctx fields — same single generation pass, no IR. Forces
+  /// sequential execution (the counters are not lane-aware). When false,
+  /// the generated code is byte-identical to a build without profiling.
+  bool profile = false;
 };
 
 template <typename B>
 DictVec OutputDicts(QueryCtx<B>* ctx, const plan::PlanRef& p);
 
+template <typename B>
+OpPtr<B> BuildOp(QueryCtx<B>* ctx, const plan::PlanRef& p);
+
 /// Builds the operator tree for `p`. Honors JoinImpl flags (index joins).
 template <typename B>
-OpPtr<B> BuildOp(QueryCtx<B>* ctx, const plan::PlanRef& p) {
+OpPtr<B> BuildOpNode(QueryCtx<B>* ctx, const plan::PlanRef& p) {
   using plan::OpType;
   const rt::Database& db = *ctx->db;
   schema::Schema out = plan::OutputSchema(p, db);
@@ -128,13 +137,65 @@ OpPtr<B> BuildOp(QueryCtx<B>* ctx, const plan::PlanRef& p) {
   return nullptr;
 }
 
+/// Wraps an operator's data loop with profiling-slot updates: rows
+/// produced and inclusive wall time. Written once against the backend, so
+/// the interpreter counts natively and the staged backend emits the counter
+/// updates into the generated C — profiling is a programming choice in the
+/// interpreter, not an IR pass.
+template <typename B>
+class ProfiledOp final : public Op<B> {
+ public:
+  ProfiledOp(QueryCtx<B>* ctx, OpPtr<B> inner, int slot)
+      : Op<B>(ctx, inner->schema(), inner->dicts()),
+        inner_(std::move(inner)),
+        slot_(slot) {}
+
+  typename Op<B>::DataLoop Prepare() override {
+    auto dl = inner_->Prepare();
+    int slot = slot_;
+    B* b = this->ctx_->b;
+    return [b, dl, slot](const typename Op<B>::Callback& cb) {
+      auto t0 = b->ProfNow();
+      dl([&](const Record<B>& rec) {
+        b->ProfRowOut(slot);
+        cb(rec);
+      });
+      b->ProfAddNs(slot, b->ProfNow() - t0);
+    };
+  }
+
+ private:
+  OpPtr<B> inner_;
+  int slot_;
+};
+
+/// BuildOpNode plus profiling: when the query context carries a profile
+/// vector, every operator is registered (pre-order) and wrapped. The
+/// recursion goes through here, so child operators are wrapped too.
+template <typename B>
+OpPtr<B> BuildOp(QueryCtx<B>* ctx, const plan::PlanRef& p) {
+  if (ctx->prof == nullptr) return BuildOpNode<B>(ctx, p);
+  int slot = static_cast<int>(ctx->prof->size());
+  ctx->prof->push_back({ProfOpLabel(*p), ctx->prof_depth});
+  ++ctx->prof_depth;
+  OpPtr<B> op = BuildOpNode<B>(ctx, p);
+  --ctx->prof_depth;
+  return std::make_unique<ProfiledOp<B>>(ctx, std::move(op), slot);
+}
+
 /// Output dictionary vector of a plan without building its operators (used
 /// for index-join build sides, whose operator tree is never constructed).
 template <typename B>
 DictVec OutputDicts(QueryCtx<B>* ctx, const plan::PlanRef& p) {
   // Cheap route: build the op tree and read its dicts. Index-join build
   // sides are tiny chains, so this costs nothing at generation time.
-  return BuildOp<B>(ctx, p)->dicts();
+  // Profiling is suspended: these throwaway trees never execute, and
+  // phantom slots would pollute the rendered profile.
+  auto* saved = ctx->prof;
+  ctx->prof = nullptr;
+  DictVec dicts = BuildOp<B>(ctx, p)->dicts();
+  ctx->prof = saved;
+  return dicts;
 }
 
 /// Emits one result row in the canonical '|'-separated format.
@@ -162,7 +223,9 @@ void DriveQuery(B& b, QueryCtx<B>& qctx, const plan::Query& q,
                 const EngineOptions& opts) {
   qctx.join_layout = opts.row_layout_joins ? BufferLayout::kRow
                                            : BufferLayout::kColumnar;
-  if (opts.num_threads > 1) {
+  // Profiling slots are plain `+=` updates shared by all lanes, so a
+  // profiled run stays sequential (documented on EngineOptions::profile).
+  if (opts.num_threads > 1 && !opts.profile) {
     qctx.num_threads = opts.num_threads;
     AnalyzeParallel(q.root, &qctx.par_nodes);
   }
@@ -198,6 +261,10 @@ struct InterpResult {
   std::string text;
   int64_t rows = 0;
   double exec_ms = 0.0;
+  /// Filled when opts.profile: one ProfOpMeta per operator (pre-order) and
+  /// the paired counters (rows, ns) — see engine/profile.h.
+  std::vector<ProfOpMeta> prof_nodes;
+  std::vector<int64_t> prof;
 };
 
 /// Runs `q` on the data-centric interpreter (the InterpBackend engine).

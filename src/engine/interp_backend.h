@@ -297,12 +297,32 @@ class InterpBackend {
   void StartTimer() { timer_.Reset(); }
   void StopTimer() { exec_ms_ = timer_.ElapsedMs(); }
 
+  // -- Profiling (engine/profile.h) ------------------------------------------
+  /// Immediate-execution halves of the profiling primitives: counters are
+  /// host integers, updated as the query runs. Slot i pairs with the i-th
+  /// ProfOpMeta recorded by BuildOp.
+  I64 ProfNow() { return NowNs(); }
+  void ProfRowOut(int slot) {
+    EnsureProfSlot(slot);
+    ++prof_[static_cast<size_t>(2 * slot)];
+  }
+  void ProfAddNs(int slot, I64 ns) {
+    EnsureProfSlot(slot);
+    prof_[static_cast<size_t>(2 * slot + 1)] += ns;
+  }
+  const std::vector<int64_t>& prof_counters() const { return prof_; }
+
   const rt::Database* db() const { return db_; }
   const std::string& output() const { return out_; }
   int64_t rows() const { return rows_; }
   double exec_ms() const { return exec_ms_; }
 
  private:
+  void EnsureProfSlot(int slot) {
+    size_t need = static_cast<size_t>(2 * slot + 2);
+    if (prof_.size() < need) prof_.resize(need, 0);
+  }
+
   const rt::Database* db_;
   I64 cur_tid_ = 0;
   std::vector<bool> break_stack_;
@@ -310,6 +330,7 @@ class InterpBackend {
   int64_t rows_ = 0;
   Stopwatch timer_;
   double exec_ms_ = 0.0;
+  std::vector<int64_t> prof_;
 };
 
 }  // namespace lb2::engine

@@ -23,6 +23,7 @@
 #include "engine/expr_eval.h"
 #include "engine/hashmap.h"
 #include "engine/multimap.h"
+#include "engine/profile.h"
 #include "engine/sort.h"
 #include "plan/validate.h"
 
@@ -41,6 +42,11 @@ struct QueryCtx {
   /// work across this many threads.
   int num_threads = 1;
   std::set<const plan::PlanNode*> par_nodes;
+  /// Non-null when profiling: BuildOp records one ProfOpMeta per operator
+  /// (pre-order; the vector index is the operator's counter slot) and wraps
+  /// its data loop with counter updates. See engine/profile.h.
+  std::vector<ProfOpMeta>* prof = nullptr;
+  int prof_depth = 0;
 
   bool IsPar(const plan::PlanNode* n) const {
     return num_threads > 1 && par_nodes.count(n) > 0;

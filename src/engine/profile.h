@@ -1,0 +1,88 @@
+// Per-operator profiling metadata and rendering (EXPLAIN ANALYZE).
+//
+// In the spirit of the paper, profiling is a programming choice in the
+// shared query interpreter, not an IR pass: when EngineOptions::profile is
+// on, BuildOp wraps every operator's data loop with backend-generic counter
+// updates (rows produced + inclusive wall ns). Under the InterpBackend the
+// counters are host integers updated immediately; under the StageBackend
+// the *same wrapper code* stages `lb2_ctx->lb2_prof[...] += ...` statements
+// into the generated C — the instrumented query is specialized exactly like
+// the uninstrumented one, and with the flag off not a single profiling
+// byte appears in the residual program.
+//
+// The slot assignment contract: node i of the pre-order ProfOpMeta vector
+// owns counters[2*i] (rows out) and counters[2*i+1] (inclusive ns). Both
+// backends and the host-side readers rely on this pairing.
+#ifndef LB2_ENGINE_PROFILE_H_
+#define LB2_ENGINE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "plan/plan.h"
+#include "util/str.h"
+
+namespace lb2::engine {
+
+/// One profiled operator: display label + tree depth, recorded in BuildOp
+/// pre-order (parent before children, children left to right).
+struct ProfOpMeta {
+  std::string label;
+  int depth = 0;
+};
+
+inline int64_t ProfRows(const std::vector<int64_t>& counters, size_t i) {
+  return counters[2 * i];
+}
+inline int64_t ProfNs(const std::vector<int64_t>& counters, size_t i) {
+  return counters[2 * i + 1];
+}
+
+inline std::string ProfOpLabel(const plan::PlanNode& n) {
+  using plan::OpType;
+  switch (n.type) {
+    case OpType::kScan:
+      return n.date_index_col.empty()
+                 ? "Scan " + n.table
+                 : "Scan " + n.table + " via date-index(" + n.date_index_col +
+                       ")";
+    case OpType::kSelect: return "Select";
+    case OpType::kProject: return "Project";
+    case OpType::kHashJoin:
+      return n.join_impl == plan::JoinImpl::kHash ? "HashJoin" : "IndexJoin";
+    case OpType::kSemiJoin:
+      return n.join_impl == plan::JoinImpl::kHash ? "SemiJoin"
+                                                  : "IndexSemiJoin";
+    case OpType::kAntiJoin:
+      return n.join_impl == plan::JoinImpl::kHash ? "AntiJoin"
+                                                  : "IndexAntiJoin";
+    case OpType::kLeftCountJoin: return "LeftCountJoin";
+    case OpType::kGroupAgg: return "GroupAgg";
+    case OpType::kScalarAgg: return "ScalarAgg";
+    case OpType::kSort: return "Sort";
+    case OpType::kLimit: return "Limit";
+  }
+  return "?";
+}
+
+/// EXPLAIN ANALYZE-style tree: one line per operator, indented by depth,
+/// with rows produced and inclusive time (a parent's time contains its
+/// children — data-centric pipelines run the child loop inside the parent
+/// region).
+inline std::string RenderProfile(const std::vector<ProfOpMeta>& nodes,
+                                 const std::vector<int64_t>& counters) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size() && 2 * i + 1 < counters.size(); ++i) {
+    std::string head(static_cast<size_t>(2 * nodes[i].depth), ' ');
+    head += nodes[i].label;
+    out += StrPrintf("%-44s rows=%-12lld %10.3f ms\n", head.c_str(),
+                     static_cast<long long>(ProfRows(counters, i)),
+                     static_cast<double>(ProfNs(counters, i)) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace lb2::engine
+
+#endif  // LB2_ENGINE_PROFILE_H_

@@ -412,10 +412,45 @@ class StageBackend {
     stage::Stmt("lb2_ctx->out->exec_ms = lb2_now_ms() - lb2_tstart;");
   }
 
+  // -- Profiling (engine/profile.h) ------------------------------------------
+  /// Staged halves of the profiling primitives: the counter updates are
+  /// emitted into the generated C against the module's `lb2_prof` context
+  /// array (registered by CModule::SetProfSlots after staging). Only ever
+  /// reached when EngineOptions::profile is on — a profile-off staging
+  /// touches none of this, keeping the residual program byte-identical.
+  I64 ProfNow() {
+    EnsureProfRuntime();
+    return stage::Call<int64_t>("lb2_prof_now_ns");
+  }
+  void ProfRowOut(int slot) {
+    stage::Stmt("lb2_ctx->lb2_prof[" + std::to_string(2 * slot) + "] += 1;");
+  }
+  void ProfAddNs(int slot, I64 ns) {
+    stage::Stmt("lb2_ctx->lb2_prof[" + std::to_string(2 * slot + 1) +
+                "] += " + ns.ref() + ";");
+  }
+
   const rt::Database* db() const { return db_; }
   stage::CodegenContext* ctx() { return ctx_; }
 
  private:
+  /// Declares the monotonic-ns helper the profiling statements call. The
+  /// prelude stays untouched — profile-off output must not change — so the
+  /// helper (and its header) ride in as a module global, emitted only when
+  /// a profiled staging actually reads the clock.
+  void EnsureProfRuntime() {
+    if (prof_runtime_declared_) return;
+    prof_runtime_declared_ = true;
+    ctx_->DeclareGlobal(
+        "#include <time.h>\n"
+        "static int64_t lb2_prof_now_ns(void) {\n"
+        "  struct timespec lb2_ts;\n"
+        "  clock_gettime(CLOCK_MONOTONIC, &lb2_ts);\n"
+        "  return (int64_t)lb2_ts.tv_sec * 1000000000LL + "
+        "(int64_t)lb2_ts.tv_nsec;\n"
+        "}");
+  }
+
   stage::Rep<const char*> StrLit(const std::string& s) {
     return stage::Rep<const char*>::FromRef(stage::CStringLit(s));
   }
@@ -469,6 +504,7 @@ class StageBackend {
   rt::EnvLayout* env_;
   const rt::Database* db_;
   bool in_parallel_ = false;
+  bool prof_runtime_declared_ = false;
   I64 cur_tid_ = I64(0);
   std::map<int, std::string> env_globals_;
   std::vector<std::string> owned_allocs_;

@@ -1,0 +1,76 @@
+#include "obs/log.h"
+
+#include <atomic>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace lb2::obs {
+
+namespace {
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+  }
+  return "?";
+}
+
+// kWarn matches the pre-logger behavior: service warnings were always
+// printed, and there were no info/debug messages to suppress.
+std::atomic<int> g_threshold{
+    static_cast<int>(ParseLogLevel(std::getenv("LB2_LOG_LEVEL")))};
+
+}  // namespace
+
+LogLevel ParseLogLevel(const char* s) {
+  if (s == nullptr) return LogLevel::kWarn;
+  std::string v;
+  for (const char* p = s; *p != '\0'; ++p) {
+    v += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (v == "off" || v == "none") return LogLevel::kOff;
+  if (v == "error") return LogLevel::kError;
+  if (v == "warn" || v == "warning") return LogLevel::kWarn;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+LogLevel LogThreshold() {
+  return static_cast<LogLevel>(g_threshold.load(std::memory_order_relaxed));
+}
+
+void SetLogThreshold(LogLevel level) {
+  g_threshold.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogWrite(LogLevel level, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  char stack_buf[1024];
+  va_list copy;
+  va_copy(copy, args);
+  int n = std::vsnprintf(stack_buf, sizeof(stack_buf), fmt, args);
+  std::string msg;
+  if (n >= 0 && static_cast<size_t>(n) < sizeof(stack_buf)) {
+    msg.assign(stack_buf, static_cast<size_t>(n));
+  } else if (n >= 0) {
+    msg.resize(static_cast<size_t>(n));
+    std::vsnprintf(msg.data(), msg.size() + 1, fmt, copy);
+  }
+  va_end(copy);
+  va_end(args);
+  if (msg.empty() || msg.back() != '\n') msg += '\n';
+  // One fprintf per message so concurrent threads never interleave lines.
+  std::fprintf(stderr, "[lb2 %s] %s", LevelName(level), msg.c_str());
+}
+
+}  // namespace lb2::obs

@@ -1,0 +1,51 @@
+// Leveled logging for the library and the service. All diagnostics funnel
+// through LB2_LOG so operators (and benchmarks) control verbosity with one
+// env knob instead of hunting down fprintf sites:
+//
+//   LB2_LOG_LEVEL=error ./lb2_serve ...   # errors only
+//   LB2_LOG_LEVEL=debug ./sql_shell       # everything
+//
+// Levels: off < error < warn (default) < info < debug. The threshold is
+// parsed from the environment once, on first use; tests can override it in
+// process with SetLogThreshold.
+#ifndef LB2_OBS_LOG_H_
+#define LB2_OBS_LOG_H_
+
+namespace lb2::obs {
+
+enum class LogLevel { kOff = -1, kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// The active threshold: messages with level <= threshold are emitted.
+LogLevel LogThreshold();
+
+/// Overrides the threshold for this process (tests; embedding hosts).
+void SetLogThreshold(LogLevel level);
+
+/// Parses "off"/"error"/"warn"/"info"/"debug" (case-insensitive); falls back
+/// to kWarn on anything unrecognized.
+LogLevel ParseLogLevel(const char* s);
+
+inline bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(LogThreshold());
+}
+
+/// Writes one "[lb2 <level>] ..." line to stderr (a newline is appended if
+/// the message lacks one). Prefer the LB2_LOG macro, which skips argument
+/// evaluation when the level is disabled.
+void LogWrite(LogLevel level, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+}  // namespace lb2::obs
+
+/// LB2_LOG(Warn, "compile failed: %s", err) — level is Error/Warn/Info/Debug.
+#define LB2_LOG(level_, ...)                                              \
+  do {                                                                    \
+    if (::lb2::obs::LogEnabled(::lb2::obs::LogLevel::k##level_)) {        \
+      ::lb2::obs::LogWrite(::lb2::obs::LogLevel::k##level_, __VA_ARGS__); \
+    }                                                                     \
+  } while (0)
+
+#endif  // LB2_OBS_LOG_H_

@@ -1,0 +1,218 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/str.h"
+
+namespace lb2::obs {
+
+int64_t Histogram::Percentile(double p) const {
+  int64_t count = Count();
+  if (count <= 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  int64_t rank = static_cast<int64_t>(std::ceil(p * static_cast<double>(count)));
+  if (rank < 1) rank = 1;
+  int64_t cum = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    cum += BucketCount(i);
+    if (cum >= rank) {
+      int64_t bound = BucketUpperBound(i);
+      int64_t max = Max();
+      // The recorded max tightens the top occupied bucket (exact for p=1).
+      return bound < max ? bound : max;
+    }
+  }
+  return Max();
+}
+
+Registry::Entry* Registry::FindOrCreate(const std::string& name,
+                                        const Labels& labels, Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& e : entries_) {
+    if (e->name == name && e->labels == labels) {
+      LB2_CHECK_MSG(e->kind == kind,
+                    ("metric re-registered with a different kind: " + name)
+                        .c_str());
+      return e.get();
+    }
+  }
+  auto e = std::make_unique<Entry>();
+  e->name = name;
+  e->labels = labels;
+  e->kind = kind;
+  switch (kind) {
+    case Kind::kCounter: e->counter = std::make_unique<Counter>(); break;
+    case Kind::kGauge: e->gauge = std::make_unique<Gauge>(); break;
+    case Kind::kFCounter: e->fcounter = std::make_unique<FCounter>(); break;
+    case Kind::kHistogram: e->histogram = std::make_unique<Histogram>(); break;
+  }
+  entries_.push_back(std::move(e));
+  return entries_.back().get();
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kGauge)->gauge.get();
+}
+
+FCounter* Registry::GetFCounter(const std::string& name,
+                                const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kFCounter)->fcounter.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels) {
+  return FindOrCreate(name, labels, Kind::kHistogram)->histogram.get();
+}
+
+namespace {
+
+/// `{a="b",c="d"}` with an optional extra label appended; "" when empty.
+std::string RenderLabels(const Labels& labels, const std::string& extra_key,
+                         const std::string& extra_val) {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void EmitType(std::string* out, std::vector<std::string>* emitted,
+              const std::string& name, const char* type) {
+  for (const auto& n : *emitted) {
+    if (n == name) return;
+  }
+  emitted->push_back(name);
+  *out += "# TYPE " + name + " " + type + "\n";
+}
+
+std::string JsonLabels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + k + "\":\"" + v + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  std::vector<std::string> emitted;
+  for (const auto& e : entries_) {
+    switch (e->kind) {
+      case Kind::kCounter:
+        EmitType(&out, &emitted, e->name, "counter");
+        out += e->name + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %lld\n",
+                         static_cast<long long>(e->counter->Value()));
+        break;
+      case Kind::kGauge:
+        EmitType(&out, &emitted, e->name, "gauge");
+        out += e->name + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %lld\n", static_cast<long long>(e->gauge->Value()));
+        break;
+      case Kind::kFCounter:
+        EmitType(&out, &emitted, e->name, "counter");
+        out += e->name + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %g\n", e->fcounter->Value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        EmitType(&out, &emitted, e->name, "histogram");
+        int64_t cum = 0;
+        for (int i = 0; i < Histogram::kBuckets; ++i) {
+          int64_t c = h.BucketCount(i);
+          if (c == 0) continue;  // cumulative counts stay valid
+          cum += c;
+          out += e->name + "_bucket" +
+                 RenderLabels(e->labels, "le",
+                              StrPrintf("%lld", static_cast<long long>(
+                                                    Histogram::BucketUpperBound(
+                                                        i)))) +
+                 StrPrintf(" %lld\n", static_cast<long long>(cum));
+        }
+        out += e->name + "_bucket" + RenderLabels(e->labels, "le", "+Inf") +
+               StrPrintf(" %lld\n", static_cast<long long>(h.Count()));
+        out += e->name + "_sum" + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %lld\n", static_cast<long long>(h.Sum()));
+        out += e->name + "_count" + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %lld\n", static_cast<long long>(h.Count()));
+        struct { const char* suffix; double p; } quantiles[] = {
+            {"_p50", 0.50}, {"_p95", 0.95}, {"_p99", 0.99}};
+        for (const auto& q : quantiles) {
+          EmitType(&out, &emitted, e->name + q.suffix, "gauge");
+          out += e->name + q.suffix + RenderLabels(e->labels, "", "") +
+                 StrPrintf(" %lld\n",
+                           static_cast<long long>(h.Percentile(q.p)));
+        }
+        EmitType(&out, &emitted, e->name + "_max", "gauge");
+        out += e->name + "_max" + RenderLabels(e->labels, "", "") +
+               StrPrintf(" %lld\n", static_cast<long long>(h.Max()));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "[";
+  bool first = true;
+  for (const auto& e : entries_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"name\":\"" + e->name + "\",\"labels\":" +
+           JsonLabels(e->labels);
+    switch (e->kind) {
+      case Kind::kCounter:
+        out += StrPrintf(",\"type\":\"counter\",\"value\":%lld}",
+                         static_cast<long long>(e->counter->Value()));
+        break;
+      case Kind::kGauge:
+        out += StrPrintf(",\"type\":\"gauge\",\"value\":%lld}",
+                         static_cast<long long>(e->gauge->Value()));
+        break;
+      case Kind::kFCounter:
+        out += StrPrintf(",\"type\":\"counter\",\"value\":%g}",
+                         e->fcounter->Value());
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e->histogram;
+        out += StrPrintf(
+            ",\"type\":\"histogram\",\"count\":%lld,\"sum\":%lld,"
+            "\"max\":%lld,\"p50\":%lld,\"p95\":%lld,\"p99\":%lld}",
+            static_cast<long long>(h.Count()),
+            static_cast<long long>(h.Sum()), static_cast<long long>(h.Max()),
+            static_cast<long long>(h.Percentile(0.50)),
+            static_cast<long long>(h.Percentile(0.95)),
+            static_cast<long long>(h.Percentile(0.99)));
+        break;
+      }
+    }
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace lb2::obs

@@ -1,0 +1,167 @@
+// Lock-free metrics for the query service: atomic counters and gauges, a
+// double accumulator, and log-bucketed latency histograms, collected in a
+// registry that renders Prometheus text or JSON.
+//
+// Design constraints, in order:
+//   * The hot path (a warm cache hit) must pay at most a handful of relaxed
+//     atomic adds — no mutex, no allocation, no string work. Every metric
+//     type here is a fixed-size block of std::atomic fields.
+//   * Readers (the scrape path) never stop writers: snapshots are relaxed
+//     loads, so a rendered view may be torn by a few in-flight increments —
+//     the standard Prometheus contract, where adjacent scrapes converge.
+//   * Histograms trade precision for constant cost: power-of-two buckets
+//     (bucket i counts values in [2^i, 2^(i+1)-1]), so a reported
+//     percentile is an upper bound at most 2x the true value — plenty for
+//     latency work spanning nanoseconds to seconds.
+#ifndef LB2_OBS_METRICS_H_
+#define LB2_OBS_METRICS_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lb2::obs {
+
+/// CAS-loop accumulate: std::atomic<double>::fetch_add is not guaranteed
+/// before C++20 library support we don't assume, and contention on these
+/// is negligible (compile-path only).
+inline void AtomicAddDouble(std::atomic<double>* a, double d) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+  }
+}
+
+/// Monotonically increasing integer counter.
+class Counter {
+ public:
+  void Inc(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Settable point-in-time value.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Monotonically increasing double accumulator (e.g. milliseconds saved).
+class FCounter {
+ public:
+  void Add(double d) { AtomicAddDouble(&v_, d); }
+  double Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log-bucketed histogram over non-negative int64 samples (latencies in
+/// ns). Observe is wait-free: one bucket add, a count add, a sum add, and a
+/// CAS-max. Percentiles are reconstructed from the buckets and report the
+/// containing bucket's upper bound (<= 2x the true order statistic).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  /// Bucket index for `v`: 0 for v <= 1, else floor(log2(v)).
+  static int BucketIndex(int64_t v) {
+    if (v <= 1) return 0;
+    return std::bit_width(static_cast<uint64_t>(v)) - 1;
+  }
+
+  /// Largest value bucket `idx` counts (inclusive).
+  static int64_t BucketUpperBound(int idx) {
+    if (idx >= 62) return INT64_MAX;
+    return (static_cast<int64_t>(1) << (idx + 1)) - 1;
+  }
+
+  void Observe(int64_t v) {
+    if (v < 0) v = 0;
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur && !max_.compare_exchange_weak(cur, v,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  int64_t BucketCount(int idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+  /// Value such that at least `p` (in [0,1]) of observed samples are <= it
+  /// (the containing bucket's upper bound; the true max caps the top
+  /// bucket). 0 when empty.
+  int64_t Percentile(double p) const;
+
+ private:
+  std::atomic<int64_t> buckets_[kBuckets] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Prometheus-style label set; order is preserved in the rendering.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Named metrics with stable addresses. Registration (Get*) takes a mutex
+/// and is meant for setup paths; the returned pointers are then updated
+/// lock-free for the registry's lifetime. Get* with the same name+labels
+/// returns the same instance (and checks the kind matches).
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter* GetCounter(const std::string& name, const Labels& labels = {});
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {});
+  FCounter* GetFCounter(const std::string& name, const Labels& labels = {});
+  Histogram* GetHistogram(const std::string& name, const Labels& labels = {});
+
+  /// Prometheus text exposition: TYPE comments, `name{labels} value` lines,
+  /// histograms as cumulative `_bucket{le=...}`/`_sum`/`_count` plus
+  /// derived `_p50`/`_p95`/`_p99`/`_max` gauges.
+  std::string RenderPrometheus() const;
+
+  /// JSON array of metric objects (name, labels, type, value or histogram
+  /// summary stats).
+  std::string RenderJson() const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kFCounter, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<FCounter> fcounter;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Entry* FindOrCreate(const std::string& name, const Labels& labels,
+                      Kind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+};
+
+}  // namespace lb2::obs
+
+#endif  // LB2_OBS_METRICS_H_

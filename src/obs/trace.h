@@ -1,0 +1,36 @@
+// Per-request trace spans: a flat list of named durations covering the
+// service pipeline (fingerprint -> admission -> disk-probe -> stage -> cc ->
+// exec -> total). Spans are recorded with util/time.h NowNs() differences
+// and attached to the ServiceResult, so a driver's `--trace` flag can log
+// exactly where each request spent its time without a profiler attached.
+#ifndef LB2_OBS_TRACE_H_
+#define LB2_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/str.h"
+
+namespace lb2::obs {
+
+struct Span {
+  std::string name;
+  int64_t ns = 0;
+};
+
+using SpanList = std::vector<Span>;
+
+/// One-line rendering: "fingerprint=0.012ms admission=0.001ms exec=1.3ms".
+inline std::string RenderSpans(const SpanList& spans) {
+  std::string out;
+  for (const Span& s : spans) {
+    if (!out.empty()) out += ' ';
+    out += s.name + "=" + StrPrintf("%.3fms", static_cast<double>(s.ns) / 1e6);
+  }
+  return out;
+}
+
+}  // namespace lb2::obs
+
+#endif  // LB2_OBS_TRACE_H_

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "util/time.h"
+
 namespace lb2::service {
 
 bool AdmissionGate::Admit() {
@@ -15,15 +18,18 @@ bool AdmissionGate::Admit() {
   };
   if (!ready()) {
     ++queued_total_;
+    int64_t wait_start = NowNs();
     if (!cv_.wait_for(lock,
                       std::chrono::duration<double, std::milli>(timeout_ms_),
                       ready)) {
       queue_.erase(std::find(queue_.begin(), queue_.end(), ticket));
       ++timed_out_total_;
+      if (wait_hist_ != nullptr) wait_hist_->Observe(NowNs() - wait_start);
       // Our departure may have moved an admissible ticket to the front.
       cv_.notify_all();
       return false;
     }
+    if (wait_hist_ != nullptr) wait_hist_->Observe(NowNs() - wait_start);
   }
   queue_.pop_front();
   ++in_flight_;

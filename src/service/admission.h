@@ -13,6 +13,10 @@
 #include <list>
 #include <mutex>
 
+namespace lb2::obs {
+class Histogram;
+}  // namespace lb2::obs
+
 namespace lb2::service {
 
 /// FIFO admission gate. `max_inflight == 0` disables the gate entirely
@@ -50,9 +54,15 @@ class AdmissionGate {
   /// Requests shed after timing out in line.
   int64_t timed_out_total() const;
 
+  /// Optional: records queue-wait ns (both granted and shed waits) into
+  /// `h`. Set once, before the gate sees traffic; the gate does not own the
+  /// histogram. Null (the default) disables recording.
+  void set_wait_histogram(obs::Histogram* h) { wait_hist_ = h; }
+
  private:
   const int max_inflight_;
   const double timeout_ms_;
+  obs::Histogram* wait_hist_ = nullptr;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -15,14 +15,32 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "stage/prelude.h"
 #include "util/str.h"
+#include "util/time.h"
 
 namespace lb2::service {
 
 namespace {
 
 constexpr const char* kMetaMagic = "lb2-artifact-v1";
+
+/// Records the enclosing scope's duration into an optional histogram.
+class ScopedObserve {
+ public:
+  explicit ScopedObserve(obs::Histogram* h)
+      : h_(h), start_(h != nullptr ? NowNs() : 0) {}
+  ~ScopedObserve() {
+    if (h_ != nullptr) h_->Observe(NowNs() - start_);
+  }
+  ScopedObserve(const ScopedObserve&) = delete;
+  ScopedObserve& operator=(const ScopedObserve&) = delete;
+
+ private:
+  obs::Histogram* h_;
+  int64_t start_;
+};
 
 /// mkdir -p: creates every missing component; EEXIST is success.
 void MkdirP(const std::string& path) {
@@ -203,6 +221,7 @@ ArtifactStore::Probe ArtifactStore::Lookup(uint64_t key,
                                            const ArtifactMeta& expect,
                                            std::string* so_path,
                                            ArtifactMeta* meta) {
+  ScopedObserve timing(probe_hist_);
   std::string text;
   if (!ReadFileBytes(MetaPath(key), &text)) {
     misses_.fetch_add(1);
@@ -236,6 +255,7 @@ ArtifactStore::Probe ArtifactStore::Lookup(uint64_t key,
 
 bool ArtifactStore::Put(uint64_t key, const ArtifactMeta& meta,
                         const std::string& so_src_path) {
+  ScopedObserve timing(write_hist_);
   std::string so_bytes;
   if (!ReadFileBytes(so_src_path, &so_bytes)) return false;
   ArtifactMeta m = meta;

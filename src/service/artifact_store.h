@@ -31,6 +31,10 @@
 
 #include "service/fingerprint.h"
 
+namespace lb2::obs {
+class Histogram;
+}  // namespace lb2::obs
+
 namespace lb2::service {
 
 /// Sidecar contents: the full set of inputs the artifact is a function of,
@@ -106,12 +110,22 @@ class ArtifactStore {
   int64_t evictions() const { return evictions_.load(); }
   int64_t corrupt() const { return corrupt_.load(); }
 
+  /// Optional: records Lookup durations into `probe` and Put durations into
+  /// `write` (ns; either may be null to skip). Set once, before the store
+  /// sees traffic; the store does not own the histograms.
+  void set_histograms(obs::Histogram* probe, obs::Histogram* write) {
+    probe_hist_ = probe;
+    write_hist_ = write;
+  }
+
  private:
   void DeletePair(uint64_t key);
   void EvictOverBudgetLocked(uint64_t protect_key);
 
   const std::string dir_;
   const int64_t max_bytes_;
+  obs::Histogram* probe_hist_ = nullptr;
+  obs::Histogram* write_hist_ = nullptr;
 
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

@@ -134,6 +134,9 @@ void HashOptions(Hasher* h, const engine::EngineOptions& o) {
   h->Bool(o.hoist_alloc);
   h->Bool(o.row_layout_joins);
   h->I32(o.num_threads);
+  // Profiled modules export extra symbols and carry counter code; they must
+  // never alias a plain module in any cache tier.
+  h->Bool(o.profile);
 }
 
 }  // namespace

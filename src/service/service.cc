@@ -12,9 +12,11 @@
 #endif
 
 #include "compile/lb2_compiler.h"
+#include "obs/log.h"
 #include "sql/sql.h"
 #include "stage/jit.h"
 #include "util/str.h"
+#include "util/time.h"
 
 namespace lb2::service {
 
@@ -57,6 +59,13 @@ int64_t DefaultCacheDiskBytes() {
     if (v >= 0) return static_cast<int64_t>(v);
   }
   return 0;
+}
+
+bool DefaultMetricsEnabled() {
+  const char* env = std::getenv("LB2_METRICS");
+  if (env == nullptr) return true;
+  std::string v = env;
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
 }
 
 const char* PathName(ServiceResult::Path p) {
@@ -114,6 +123,22 @@ QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
     store_ = std::make_unique<ArtifactStore>(opts_.cache_dir,
                                              opts_.cache_disk_bytes);
   }
+  if (opts_.metrics) {
+    // Label values mirror PathName() with '-' swapped for '_' (Prometheus
+    // label values may contain '-', but '_' matches the metric-name style).
+    static constexpr const char* kPathLabel[] = {
+        "compiled_cold", "compiled_cached", "interpreted", "compiled_disk"};
+    for (int i = 0; i < 4; ++i) {
+      lat_hist_[i] = metrics_.GetHistogram("lb2_request_latency_ns",
+                                           {{"path", kPathLabel[i]}});
+    }
+    queue_wait_hist_ = metrics_.GetHistogram("lb2_admission_wait_ns");
+    gate_.set_wait_histogram(queue_wait_hist_);
+    if (store_ != nullptr) {
+      store_->set_histograms(metrics_.GetHistogram("lb2_disk_probe_ns"),
+                             metrics_.GetHistogram("lb2_disk_write_ns"));
+    }
+  }
 }
 
 QueryService::~QueryService() {
@@ -127,10 +152,13 @@ QueryService::~QueryService() {
 
 ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
                                         ServiceResult::Path path,
-                                        const Fingerprint& fp) {
+                                        const Fingerprint& fp,
+                                        obs::SpanList* spans) {
   // No run lock: entries are reentrant (each Run() builds a private
   // execution context), so same-entry executions overlap freely.
+  int64_t t0 = spans != nullptr ? NowNs() : 0;
   compile::CompiledQuery::RunResult rr = entry->query.Run();
+  if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
   ServiceResult r;
   r.path = path;
   r.text = std::move(rr.text);
@@ -144,13 +172,16 @@ ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
 ServiceResult QueryService::RunInterp(const plan::Query& q,
                                       const engine::EngineOptions& eopts,
                                       const Fingerprint& fp,
-                                      std::string compile_error) {
+                                      std::string compile_error,
+                                      obs::SpanList* spans) {
   // The interpreter shares the engine (and therefore the results) with the
   // compiled path; only num_threads is pinned — parallel pipelines are a
   // compiled-code feature.
   engine::EngineOptions iopts = eopts;
   iopts.num_threads = 1;
+  int64_t t0 = spans != nullptr ? NowNs() : 0;
   engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts);
+  if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
   ServiceResult r;
   r.path = ServiceResult::Path::kInterpreted;
   r.text = std::move(ir.text);
@@ -167,41 +198,47 @@ ServiceResult QueryService::Execute(const plan::Query& q) {
 
 ServiceResult QueryService::Execute(const plan::Query& q,
                                     const engine::EngineOptions& eopts) {
+  const bool rec = opts_.metrics;
+  obs::SpanList spans;
+  int64_t t_start = rec ? NowNs() : 0;
   Fingerprint fp = FingerprintQuery(q, eopts, db_);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests;
-  }
+  if (rec) spans.push_back({"fingerprint", NowNs() - t_start});
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
 
   // Admission: hold an execution slot for the whole request (compile
   // included — a leader mid-JIT is real work the cap should count). A
   // request that cannot get a slot within the queue timeout is shed with
   // the documented busy status instead of stacking another thread.
+  int64_t t_adm = rec ? NowNs() : 0;
   AdmissionSlot slot(&gate_);
+  if (rec) spans.push_back({"admission", NowNs() - t_adm});
   if (!slot.admitted()) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.busy_rejections;
-    }
+    stats_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
     ServiceResult r;
     r.status = ServiceResult::Status::kBusy;
     r.fingerprint = fp;
+    r.spans = std::move(spans);
     return r;
   }
-  return ExecuteAdmitted(q, eopts, fp);
+  ServiceResult r = ExecuteAdmitted(q, eopts, fp, rec ? &spans : nullptr);
+  if (rec) {
+    lat_hist_[static_cast<int>(r.path)]->Observe(NowNs() - t_start);
+    r.spans = std::move(spans);
+  }
+  return r;
 }
 
 ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
                                             const engine::EngineOptions& eopts,
-                                            const Fingerprint& fp) {
-  // Warm path: no codegen, no external compiler, no dlopen.
+                                            const Fingerprint& fp,
+                                            obs::SpanList* spans) {
+  // Warm path: no codegen, no external compiler, no dlopen — and no stats
+  // mutex: two relaxed atomic adds are the whole bookkeeping cost.
   if (CacheEntryPtr entry = cache_.Get(fp)) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.hits;
-      stats_.compile_ms_saved += entry->codegen_ms + entry->compile_ms;
-    }
-    return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    obs::AtomicAddDouble(&stats_.compile_ms_saved,
+                         entry->codegen_ms + entry->compile_ms);
+    return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp, spans);
   }
 
   // Cold path: join or start the single flight for this fingerprint — or,
@@ -218,10 +255,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     // miss above and here, in which case its in-flight record is already
     // gone and we must not start a second compile.
     rechecked = cache_.Get(fp);
-    if (rechecked != nullptr) {
-      ++stats_.hits;
-      stats_.compile_ms_saved += rechecked->codegen_ms + rechecked->compile_ms;
-    } else {
+    if (rechecked == nullptr) {
       auto sit = shape_to_key_.find(fp.shape);
       if (opts_.background_recompile && sit != shape_to_key_.end() &&
           sit->second != fp.hash) {
@@ -230,7 +264,6 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
         // funnels here (interpreted) instead of blocking on a foreground cc.
         drift = true;
         stale_key = sit->second;
-        ++stats_.interp_while_compiling;
       } else {
         auto it = inflight_.find(fp.hash);
         if (it != inflight_.end()) {
@@ -239,17 +272,20 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
           flight = std::make_shared<InFlight>();
           inflight_[fp.hash] = flight;
           leader = true;
-          ++stats_.misses;
-          ++stats_.in_flight;
         }
       }
     }
   }
   if (rechecked != nullptr) {
-    return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp);
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+    obs::AtomicAddDouble(&stats_.compile_ms_saved,
+                         rechecked->codegen_ms + rechecked->compile_ms);
+    return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp,
+                       spans);
   }
 
   if (drift) {
+    stats_.interp_while_compiling.fetch_add(1, std::memory_order_relaxed);
     // Retire the stale entry so it can never serve drifted data (harmless
     // if a concurrent drifted request already did; in-flight executions of
     // it finish on their own shared_ptrs).
@@ -257,21 +293,24 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     stale.hash = stale_key;
     cache_.Erase(stale);
     if (EnqueueDriftRecompile(q, eopts, fp)) {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.drift_recompiles;
+      stats_.drift_recompiles.fetch_add(1, std::memory_order_relaxed);
     }
-    return RunInterp(q, eopts, fp, "");
+    return RunInterp(q, eopts, fp, "", spans);
   }
 
   if (leader) {
+    stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    stats_.in_flight.fetch_add(1, std::memory_order_relaxed);
     std::string error;
     bool from_disk = false;
-    CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk);
+    CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk, spans);
     {
       std::lock_guard<std::mutex> lock(mu_);
       inflight_.erase(fp.hash);
-      --stats_.in_flight;
-      if (entry == nullptr) ++stats_.interp_fallbacks;
+    }
+    stats_.in_flight.fetch_add(-1, std::memory_order_relaxed);
+    if (entry == nullptr) {
+      stats_.interp_fallbacks.fetch_add(1, std::memory_order_relaxed);
     }
     {
       std::lock_guard<std::mutex> flock(flight->mu);
@@ -282,50 +321,43 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     flight->cv.notify_all();
     if (entry == nullptr) {
       if (opts_.log_compile_errors) {
-        std::fprintf(stderr,
-                     "[lb2-service] %s: JIT failed, serving interpreted:\n%s\n",
-                     fp.ToString().c_str(), error.c_str());
+        LB2_LOG(Warn, "[lb2-service] %s: JIT failed, serving interpreted:\n%s",
+                fp.ToString().c_str(), error.c_str());
       }
-      return RunInterp(q, eopts, fp, std::move(error));
+      return RunInterp(q, eopts, fp, std::move(error), spans);
     }
     return RunCompiled(entry,
                        from_disk ? ServiceResult::Path::kCompiledDisk
                                  : ServiceResult::Path::kCompiledCold,
-                       fp);
+                       fp, spans);
   }
 
   // Follower: the hybrid policy answers immediately from the interpreter;
   // the waiting policy blocks for the (single) compile.
   if (opts_.while_compiling == ServiceOptions::WhileCompiling::kInterpret) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.interp_while_compiling;
-    }
-    return RunInterp(q, eopts, fp, "");
+    stats_.interp_while_compiling.fetch_add(1, std::memory_order_relaxed);
+    return RunInterp(q, eopts, fp, "", spans);
   }
   {
+    int64_t t0 = spans != nullptr ? NowNs() : 0;
     std::unique_lock<std::mutex> flock(flight->mu);
     flight->cv.wait(flock, [&] { return flight->done; });
+    if (spans != nullptr) spans->push_back({"coalesced-wait", NowNs() - t0});
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.coalesced_waits;
-  }
+  stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
   if (flight->entry != nullptr) {
     return RunCompiled(flight->entry, ServiceResult::Path::kCompiledCached,
-                       fp);
+                       fp, spans);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.interp_fallbacks;
-  }
-  return RunInterp(q, eopts, fp, flight->error);
+  stats_.interp_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  return RunInterp(q, eopts, fp, flight->error, spans);
 }
 
 CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
                                        const engine::EngineOptions& eopts,
                                        const Fingerprint& fp,
-                                       std::string* error, bool* from_disk) {
+                                       std::string* error, bool* from_disk,
+                                       obs::SpanList* spans) {
   *from_disk = false;
   const std::string tag = fp.ToString().substr(3);
   std::unique_ptr<compile::CompiledQuery> cq;
@@ -337,7 +369,9 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     // Re-stage: cheap, and unavoidable — the env layout binds process-local
     // pointers — but it also yields the source hash that proves a disk
     // artifact matches what this emitter would generate today.
+    int64_t t0 = spans != nullptr ? NowNs() : 0;
     compile::StagedQuery staged = compile::StageQuery(q, db_, eopts);
+    if (spans != nullptr) spans->push_back({"stage", NowNs() - t0});
     restage_ms = staged.codegen_ms;
     const std::string compiler = stage::Jit::CompilerIdentity();
     ArtifactMeta want;
@@ -351,10 +385,14 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
 
     std::string so_path;
     ArtifactMeta got;
-    if (store_->Lookup(key, want, &so_path, &got) ==
-        ArtifactStore::Probe::kHit) {
+    t0 = spans != nullptr ? NowNs() : 0;
+    ArtifactStore::Probe probe = store_->Lookup(key, want, &so_path, &got);
+    if (spans != nullptr) spans->push_back({"disk-probe", NowNs() - t0});
+    if (probe == ArtifactStore::Probe::kHit) {
       std::string load_error;
+      t0 = spans != nullptr ? NowNs() : 0;
       cq = compile::TryLoadStaged(staged, db_, so_path, &load_error);
+      if (spans != nullptr) spans->push_back({"dlopen", NowNs() - t0});
       if (cq != nullptr) {
         *from_disk = true;
         saved_compile_ms = got.compile_ms;
@@ -364,15 +402,17 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
         // and fall through to a fresh compile.
         store_->Invalidate(key);
         if (opts_.log_compile_errors) {
-          std::fprintf(stderr,
-                       "[lb2-service] %s: cached artifact unloadable, "
-                       "recompiling: %s\n",
-                       fp.ToString().c_str(), load_error.c_str());
+          LB2_LOG(Warn,
+                  "[lb2-service] %s: cached artifact unloadable, "
+                  "recompiling: %s",
+                  fp.ToString().c_str(), load_error.c_str());
         }
       }
     }
     if (cq == nullptr) {
+      t0 = spans != nullptr ? NowNs() : 0;
       cq = compile::TryCompileStaged(staged, db_, tag, error);
+      if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
       if (cq != nullptr) {
         want.so_bytes = cq->so_bytes();
         want.codegen_ms = cq->codegen_ms();
@@ -382,7 +422,10 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
       }
     }
   } else {
+    // No disk tier: stage + cc + dlopen in one call, priced as "cc".
+    int64_t t0 = spans != nullptr ? NowNs() : 0;
     cq = compile::TryCompileQuery(q, db_, eopts, tag, error);
+    if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
   }
 
   CacheEntryPtr entry;
@@ -398,22 +441,23 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     entry->query = std::move(*cq);
     cache_.Put(entry);
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (entry != nullptr) {
+  if (entry != nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
       shape_to_key_[fp.shape] = fp.hash;
-      if (*from_disk) {
-        // The cc was skipped entirely: pay only the re-stage, credit the
-        // avoided compiler time. `compiles` deliberately stays untouched.
-        stats_.compile_ms_paid += restage_ms;
-        stats_.compile_ms_saved += saved_compile_ms;
-      } else {
-        ++stats_.compiles;
-        stats_.compile_ms_paid += entry->codegen_ms + entry->compile_ms;
-      }
-    } else {
-      ++stats_.compile_failures;
     }
+    if (*from_disk) {
+      // The cc was skipped entirely: pay only the re-stage, credit the
+      // avoided compiler time. `compiles` deliberately stays untouched.
+      obs::AtomicAddDouble(&stats_.compile_ms_paid, restage_ms);
+      obs::AtomicAddDouble(&stats_.compile_ms_saved, saved_compile_ms);
+    } else {
+      stats_.compiles.fetch_add(1, std::memory_order_relaxed);
+      obs::AtomicAddDouble(&stats_.compile_ms_paid,
+                           entry->codegen_ms + entry->compile_ms);
+    }
+  } else {
+    stats_.compile_failures.fetch_add(1, std::memory_order_relaxed);
   }
   return entry;
 }
@@ -455,12 +499,12 @@ void QueryService::DriftWorkerLoop() {
     std::string error;
     bool from_disk = false;
     CacheEntryPtr entry = BuildEntry(job.query, job.eopts, job.fp, &error,
-                                     &from_disk);
+                                     &from_disk, /*spans=*/nullptr);
     if (entry == nullptr && opts_.log_compile_errors) {
-      std::fprintf(stderr,
-                   "[lb2-service] %s: background drift recompile failed, "
-                   "requests stay interpreted:\n%s\n",
-                   job.fp.ToString().c_str(), error.c_str());
+      LB2_LOG(Warn,
+              "[lb2-service] %s: background drift recompile failed, "
+              "requests stay interpreted:\n%s",
+              job.fp.ToString().c_str(), error.c_str());
     }
     {
       std::lock_guard<std::mutex> lock(bg_mu_);
@@ -479,17 +523,35 @@ void QueryService::DrainBackground() {
 bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
                               std::string* error) {
   plan::Query q;
+  int64_t t0 = opts_.metrics ? NowNs() : 0;
   if (!sql::ParseQueryOrError(sql, db_, &q, error)) return false;
+  int64_t parse_ns = opts_.metrics ? NowNs() - t0 : 0;
   *result = Execute(q);
+  if (opts_.metrics) {
+    result->spans.insert(result->spans.begin(), {"parse", parse_ns});
+  }
   return true;
 }
 
 ServiceStats QueryService::Stats() const {
   ServiceStats s;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    s = stats_;
-  }
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.hits = stats_.hits.load(std::memory_order_relaxed);
+  s.misses = stats_.misses.load(std::memory_order_relaxed);
+  s.compiles = stats_.compiles.load(std::memory_order_relaxed);
+  s.compile_failures =
+      stats_.compile_failures.load(std::memory_order_relaxed);
+  s.coalesced_waits = stats_.coalesced_waits.load(std::memory_order_relaxed);
+  s.interp_while_compiling =
+      stats_.interp_while_compiling.load(std::memory_order_relaxed);
+  s.interp_fallbacks =
+      stats_.interp_fallbacks.load(std::memory_order_relaxed);
+  s.in_flight = stats_.in_flight.load(std::memory_order_relaxed);
+  s.busy_rejections = stats_.busy_rejections.load(std::memory_order_relaxed);
+  s.drift_recompiles =
+      stats_.drift_recompiles.load(std::memory_order_relaxed);
+  s.compile_ms_saved = stats_.compile_ms_saved.load(std::memory_order_relaxed);
+  s.compile_ms_paid = stats_.compile_ms_paid.load(std::memory_order_relaxed);
   s.cache_entries = static_cast<int64_t>(cache_.size());
   s.cache_bytes = cache_.bytes();
   s.evictions = cache_.evictions();
@@ -504,6 +566,86 @@ ServiceStats QueryService::Stats() const {
     s.disk_corrupt = store_->corrupt();
   }
   return s;
+}
+
+namespace {
+
+/// (name, type, value) triplets for every ServiceStats field, so the two
+/// renderers below cannot drift from each other.
+struct StatMetric {
+  const char* name;
+  const char* type;  // Prometheus metric type
+  double value;
+  bool integral;
+};
+
+std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
+  auto c = [](const char* n, int64_t v) {
+    return StatMetric{n, "counter", static_cast<double>(v), true};
+  };
+  auto g = [](const char* n, int64_t v) {
+    return StatMetric{n, "gauge", static_cast<double>(v), true};
+  };
+  return {
+      c("lb2_requests_total", s.requests),
+      c("lb2_cache_hits_total", s.hits),
+      c("lb2_cache_misses_total", s.misses),
+      c("lb2_compiles_total", s.compiles),
+      c("lb2_compile_failures_total", s.compile_failures),
+      c("lb2_coalesced_waits_total", s.coalesced_waits),
+      c("lb2_interp_while_compiling_total", s.interp_while_compiling),
+      c("lb2_interp_fallbacks_total", s.interp_fallbacks),
+      g("lb2_compiles_in_flight", s.in_flight),
+      g("lb2_exec_in_flight", s.exec_in_flight),
+      c("lb2_admitted_total", s.admitted),
+      c("lb2_queued_waits_total", s.queued_waits),
+      c("lb2_busy_rejections_total", s.busy_rejections),
+      {"lb2_compile_ms_saved_total", "counter", s.compile_ms_saved, false},
+      {"lb2_compile_ms_paid_total", "counter", s.compile_ms_paid, false},
+      g("lb2_cache_entries", s.cache_entries),
+      g("lb2_cache_bytes", s.cache_bytes),
+      c("lb2_cache_evictions_total", s.evictions),
+      c("lb2_disk_hits_total", s.disk_hits),
+      c("lb2_disk_misses_total", s.disk_misses),
+      c("lb2_disk_writes_total", s.disk_writes),
+      c("lb2_disk_evictions_total", s.disk_evictions),
+      c("lb2_disk_corrupt_total", s.disk_corrupt),
+      c("lb2_drift_recompiles_total", s.drift_recompiles),
+  };
+}
+
+}  // namespace
+
+std::string QueryService::MetricsPrometheus() const {
+  std::string out = metrics_.RenderPrometheus();
+  for (const StatMetric& m : StatMetrics(Stats())) {
+    out += StrPrintf("# TYPE %s %s\n", m.name, m.type);
+    if (m.integral) {
+      out += StrPrintf("%s %lld\n", m.name,
+                       static_cast<long long>(m.value));
+    } else {
+      out += StrPrintf("%s %g\n", m.name, m.value);
+    }
+  }
+  return out;
+}
+
+std::string QueryService::MetricsJson() const {
+  std::string out = "{\"metrics\": " + metrics_.RenderJson() +
+                    ", \"stats\": {";
+  bool first = true;
+  for (const StatMetric& m : StatMetrics(Stats())) {
+    if (!first) out += ", ";
+    first = false;
+    if (m.integral) {
+      out += StrPrintf("\"%s\": %lld", m.name,
+                       static_cast<long long>(m.value));
+    } else {
+      out += StrPrintf("\"%s\": %g", m.name, m.value);
+    }
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace lb2::service

@@ -38,6 +38,7 @@
 #ifndef LB2_SERVICE_SERVICE_H_
 #define LB2_SERVICE_SERVICE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +50,8 @@
 #include <unordered_set>
 
 #include "engine/exec.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/plan.h"
 #include "runtime/database.h"
 #include "service/admission.h"
@@ -75,6 +78,10 @@ std::string DefaultCacheDir();
 /// Default disk-tier byte budget: LB2_CACHE_DISK_BYTES env var, else 0
 /// (unlimited).
 int64_t DefaultCacheDiskBytes();
+
+/// Default for ServiceOptions::metrics: LB2_METRICS env var (0/false = off),
+/// else on.
+bool DefaultMetricsEnabled();
 
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
@@ -106,9 +113,21 @@ struct ServiceOptions {
   /// cached entry but the database identity drifted. When false, drifted
   /// keys behave like plain cold misses (the client pays the JIT).
   bool background_recompile = true;
+  /// Record per-request latency histograms and trace spans (obs/metrics.h,
+  /// obs/trace.h). The counters in ServiceStats are always maintained; this
+  /// gates only the timestamped extras, so benchmarks can price their cost
+  /// (LB2_METRICS=0). Off also empties MetricsPrometheus()'s histogram
+  /// section.
+  bool metrics = DefaultMetricsEnabled();
 };
 
-/// Point-in-time counters. `Snapshot`-style value type.
+/// Point-in-time counters. `Snapshot`-style value type, filled by
+/// QueryService::Stats() from relaxed atomic loads: the snapshot is
+/// internally consistent only to within the few increments in flight while
+/// it was taken (e.g. `requests` may momentarily exceed the sum of
+/// per-path outcomes). Totals converge as soon as the service quiesces —
+/// the standard monitoring contract, bought by keeping the request hot
+/// path free of any stats mutex.
 struct ServiceStats {
   int64_t requests = 0;
   int64_t hits = 0;          // served from the compiled-query cache
@@ -164,6 +183,10 @@ struct ServiceResult {
   /// Captured compiler diagnostics when a compile failure degraded this
   /// request to the interpreter; empty otherwise.
   std::string compile_error;
+  /// Where this request spent its time (fingerprint, admission, stage, cc,
+  /// exec, ...). Populated only when ServiceOptions::metrics is on; render
+  /// with obs::RenderSpans.
+  obs::SpanList spans;
 };
 
 const char* PathName(ServiceResult::Path p);
@@ -197,6 +220,14 @@ class QueryService {
   }
 
   ServiceStats Stats() const;
+
+  /// Prometheus text exposition: the service's histogram registry (request
+  /// latency by path, admission wait, disk-tier I/O — present when
+  /// ServiceOptions::metrics is on) followed by every ServiceStats counter
+  /// as an `lb2_*` metric. Safe to call from any thread at any time.
+  std::string MetricsPrometheus() const;
+  /// Same data as a JSON object: {"metrics": [...], "stats": {...}}.
+  std::string MetricsJson() const;
 
   /// Blocks until the background drift-recompile queue is empty and the
   /// worker is idle (tests; graceful drains). Returns immediately when no
@@ -234,13 +265,15 @@ class QueryService {
   };
 
   ServiceResult RunCompiled(const CacheEntryPtr& entry,
-                            ServiceResult::Path path, const Fingerprint& fp);
+                            ServiceResult::Path path, const Fingerprint& fp,
+                            obs::SpanList* spans);
   ServiceResult RunInterp(const plan::Query& q,
                           const engine::EngineOptions& eopts,
-                          const Fingerprint& fp, std::string compile_error);
+                          const Fingerprint& fp, std::string compile_error,
+                          obs::SpanList* spans);
   ServiceResult ExecuteAdmitted(const plan::Query& q,
                                 const engine::EngineOptions& eopts,
-                                const Fingerprint& fp);
+                                const Fingerprint& fp, obs::SpanList* spans);
 
   /// Produces (and caches, and persists) the compiled entry for `fp`: with
   /// the disk tier on, stages the query, probes the artifact store, and
@@ -251,7 +284,7 @@ class QueryService {
   CacheEntryPtr BuildEntry(const plan::Query& q,
                            const engine::EngineOptions& eopts,
                            const Fingerprint& fp, std::string* error,
-                           bool* from_disk);
+                           bool* from_disk, obs::SpanList* spans);
 
   /// Enqueues a single-flighted background recompile for a drifted key;
   /// returns false if one is already queued or running for `fp`.
@@ -266,12 +299,40 @@ class QueryService {
   AdmissionGate gate_;
   std::unique_ptr<ArtifactStore> store_;  // null = disk tier off
 
-  mutable std::mutex mu_;  // guards inflight_, shape_to_key_, and stats_
+  mutable std::mutex mu_;  // guards inflight_ and shape_to_key_ ONLY
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
   /// shape component -> combined key of the entry last built for it. A
   /// miss whose shape is present under a different key is database drift.
   std::unordered_map<uint64_t, uint64_t> shape_to_key_;
-  ServiceStats stats_;
+
+  /// Lock-free mirror of the ServiceStats counters the service itself owns
+  /// (cache/gate/store counters live in those components). Mutations are
+  /// relaxed atomic adds off every mutex — the warm hit path touches no
+  /// lock for stats; Stats() assembles the snapshot from relaxed loads.
+  struct StatCounters {
+    std::atomic<int64_t> requests{0};
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> compiles{0};
+    std::atomic<int64_t> compile_failures{0};
+    std::atomic<int64_t> coalesced_waits{0};
+    std::atomic<int64_t> interp_while_compiling{0};
+    std::atomic<int64_t> interp_fallbacks{0};
+    std::atomic<int64_t> in_flight{0};
+    std::atomic<int64_t> busy_rejections{0};
+    std::atomic<int64_t> drift_recompiles{0};
+    std::atomic<double> compile_ms_saved{0.0};
+    std::atomic<double> compile_ms_paid{0.0};
+  };
+  StatCounters stats_;
+
+  /// Per-service metric registry (per-service so tests that spin up many
+  /// services keep isolated counters). Histograms are registered in the
+  /// constructor when opts_.metrics is on; the pointers below are stable
+  /// for the service's lifetime and null when metrics are off.
+  obs::Registry metrics_;
+  obs::Histogram* lat_hist_[4] = {};  // indexed by ServiceResult::Path
+  obs::Histogram* queue_wait_hist_ = nullptr;
 
   // Background drift-recompile worker: one dedicated low-priority thread,
   // started lazily on the first drift, joined in the destructor.

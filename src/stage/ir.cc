@@ -43,8 +43,21 @@ std::string CModule::Emit() const {
   for (const auto& f : ctx_fields_) {
     out += "  " + f.first + " " + f.second + ";\n";
   }
+  // Profiling counters ride on the context too — per-run, zeroed with it —
+  // and only exist when the module was staged with profiling on, so the
+  // profile-off emission below is byte-for-byte what it always was.
+  if (prof_slots_ > 0) {
+    out += "  int64_t lb2_prof[" + std::to_string(2 * prof_slots_) + "];\n";
+  }
   out += "} lb2_exec_ctx;\n";
-  out += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n\n";
+  out += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n";
+  if (prof_slots_ > 0) {
+    out += "const int64_t lb2_prof_count = " + std::to_string(prof_slots_) +
+           ";\n";
+    out += "const int64_t lb2_prof_offset = "
+           "(int64_t)__builtin_offsetof(lb2_exec_ctx, lb2_prof);\n";
+  }
+  out += "\n";
   for (const auto& g : globals_) {
     out += g;
     out += "\n";

@@ -48,6 +48,14 @@ class CModule {
     return ctx_fields_;
   }
 
+  /// Declares `n` profiling slots (engine/profile.h): the context gains an
+  /// `int64_t lb2_prof[2n]` tail (zeroed with the rest of the per-run
+  /// context) and the module exports `lb2_prof_count`/`lb2_prof_offset` so
+  /// hosts can read the counters back after a run. With the default 0,
+  /// emission is byte-identical to a module that never heard of profiling.
+  void SetProfSlots(int n) { prof_slots_ = n; }
+  int prof_slots() const { return prof_slots_; }
+
   CFunction* AddFunction() {
     functions_.push_back(new CFunction());
     return functions_.back();
@@ -68,6 +76,7 @@ class CModule {
   std::vector<std::pair<std::string, std::string>> ctx_fields_;
   std::vector<std::string> globals_;
   std::vector<CFunction*> functions_;
+  int prof_slots_ = 0;
 };
 
 /// Reentrancy lint over emitted C source: returns the first writable

@@ -61,6 +61,10 @@ void* JitModule::symbol(const std::string& name) const {
   return sym;
 }
 
+void* JitModule::TrySymbol(const std::string& name) const {
+  return dlsym(handle_, name.c_str());
+}
+
 std::string Jit::CompilerCommand() {
   const char* env = std::getenv("LB2_CC");
   return env != nullptr ? env : "cc";

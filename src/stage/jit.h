@@ -54,6 +54,10 @@ class JitModule {
   /// Resolves an exported symbol (function or object); aborts if missing.
   void* symbol(const std::string& name) const;
 
+  /// Non-aborting lookup for optional exports (e.g. the profiling counters
+  /// a module only has when staged with profiling on); null when absent.
+  void* TrySymbol(const std::string& name) const;
+
   /// Typed symbol resolution: `sym<int64_t(void**, QueryOut*)>("f")` for a
   /// function, `sym<const int64_t>("lb2_ctx_bytes")` for an object.
   template <typename T>

@@ -2,27 +2,36 @@
 #ifndef LB2_UTIL_TIME_H_
 #define LB2_UTIL_TIME_H_
 
-#include <chrono>
+#include <cstdint>
+#include <ctime>
 
 namespace lb2 {
+
+/// Monotonic clock reading in nanoseconds (CLOCK_MONOTONIC). The epoch is
+/// arbitrary; only differences are meaningful. Never goes backwards, so
+/// spans and histograms built on it cannot observe negative durations.
+inline int64_t NowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000LL +
+         static_cast<int64_t>(ts.tv_nsec);
+}
 
 /// Monotonic stopwatch; Elapsed* report time since construction or Reset().
 class Stopwatch {
  public:
-  Stopwatch() : start_(Clock::now()) {}
+  Stopwatch() : start_ns_(NowNs()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = NowNs(); }
 
   double ElapsedMs() const {
-    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
-        .count();
+    return static_cast<double>(NowNs() - start_ns_) / 1e6;
   }
 
   double ElapsedSeconds() const { return ElapsedMs() / 1000.0; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 }  // namespace lb2

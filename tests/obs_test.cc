@@ -1,0 +1,290 @@
+// Observability layer tests: histogram bucket math and percentiles against
+// a sorted reference, lock-free counters under concurrency, the Prometheus
+// and JSON renderings, the leveled logger, and the service's metrics
+// export surface end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "util/time.h"
+
+namespace lb2::obs {
+namespace {
+
+TEST(HistogramTest, BucketBoundaries) {
+  // Bucket 0 holds everything <= 1 (including clamped negatives); bucket i
+  // holds [2^i, 2^(i+1)-1].
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(Histogram::BucketIndex(3), 1);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(Histogram::BucketIndex(7), 2);
+  EXPECT_EQ(Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 9);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 10);
+  EXPECT_EQ(Histogram::BucketIndex(INT64_MAX), 62);
+
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 3);
+  EXPECT_EQ(Histogram::BucketUpperBound(2), 7);
+  EXPECT_EQ(Histogram::BucketUpperBound(9), 1023);
+  EXPECT_EQ(Histogram::BucketUpperBound(62), INT64_MAX);
+  EXPECT_EQ(Histogram::BucketUpperBound(63), INT64_MAX);
+
+  // Every value lands in a bucket whose bounds contain it.
+  for (int64_t v : {1LL, 2LL, 3LL, 100LL, 4096LL, 123456789LL}) {
+    int idx = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx)) << v;
+    if (idx > 0) EXPECT_GT(v, Histogram::BucketUpperBound(idx - 1)) << v;
+  }
+}
+
+TEST(HistogramTest, ObserveBasics) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  h.Observe(10);
+  h.Observe(100);
+  h.Observe(-5);  // clamped to 0
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.Sum(), 110);
+  EXPECT_EQ(h.Max(), 100);
+  EXPECT_EQ(h.BucketCount(0), 1);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(10)), 1);
+  EXPECT_EQ(h.BucketCount(Histogram::BucketIndex(100)), 1);
+}
+
+TEST(HistogramTest, PercentilesAgainstSortedReference) {
+  // Deterministic pseudo-random samples; the histogram's percentile must
+  // bracket the true order statistic within the documented 2x bound and
+  // never undershoot it.
+  Histogram h;
+  std::vector<int64_t> vals;
+  uint64_t x = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    vals.push_back(static_cast<int64_t>(x % 1000000) + 2);
+  }
+  for (int64_t v : vals) h.Observe(v);
+  std::vector<int64_t> sorted = vals;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.5, 0.9, 0.95, 0.99, 1.0}) {
+    int64_t rank = static_cast<int64_t>(
+        std::ceil(p * static_cast<double>(sorted.size())));
+    if (rank < 1) rank = 1;
+    int64_t truth = sorted[static_cast<size_t>(rank - 1)];
+    int64_t est = h.Percentile(p);
+    EXPECT_GE(est, truth) << "p=" << p;
+    EXPECT_LE(est, 2 * truth) << "p=" << p;
+  }
+  // p=1 is exact: the recorded max tightens the top bucket.
+  EXPECT_EQ(h.Percentile(1.0), sorted.back());
+}
+
+TEST(HistogramTest, ConcurrentObserves) {
+  Histogram h;
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, &c] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(i);
+        c.Inc();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  // Sum of 0..kPerThread-1, once per thread.
+  int64_t per_thread_sum =
+      static_cast<int64_t>(kPerThread) * (kPerThread - 1) / 2;
+  EXPECT_EQ(h.Sum(), kThreads * per_thread_sum);
+  EXPECT_EQ(h.Max(), kPerThread - 1);
+}
+
+TEST(MetricsTest, AtomicAddDouble) {
+  std::atomic<double> v{0.0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&v] {
+      for (int i = 0; i < 1000; ++i) AtomicAddDouble(&v, 0.5);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(v.load(), 2000.0);
+}
+
+TEST(RegistryTest, SameNameAndLabelsSameInstance) {
+  Registry reg;
+  Counter* a = reg.GetCounter("hits", {{"path", "warm"}});
+  Counter* b = reg.GetCounter("hits", {{"path", "warm"}});
+  Counter* other = reg.GetCounter("hits", {{"path", "cold"}});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, other);
+  a->Inc(3);
+  EXPECT_EQ(b->Value(), 3);
+  EXPECT_EQ(other->Value(), 0);
+}
+
+TEST(RegistryTest, PrometheusRendering) {
+  Registry reg;
+  reg.GetCounter("lb2_reqs", {{"path", "warm"}})->Inc(7);
+  reg.GetGauge("lb2_depth")->Set(3);
+  reg.GetFCounter("lb2_ms_saved")->Add(1.5);
+  Histogram* h = reg.GetHistogram("lb2_lat");
+  h->Observe(5);   // bucket 2 (le=7)
+  h->Observe(6);   // bucket 2
+  h->Observe(100);  // bucket 6 (le=127)
+
+  std::string out = reg.RenderPrometheus();
+  EXPECT_NE(out.find("# TYPE lb2_reqs counter\n"), std::string::npos) << out;
+  EXPECT_NE(out.find("lb2_reqs{path=\"warm\"} 7\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lb2_depth gauge\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_depth 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_ms_saved 1.5\n"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE lb2_lat histogram\n"), std::string::npos);
+  // Cumulative buckets: 2 observations at le=7, all 3 by le=127 and +Inf.
+  EXPECT_NE(out.find("lb2_lat_bucket{le=\"7\"} 2\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_bucket{le=\"127\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_sum 111\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_count 3\n"), std::string::npos);
+  // p50 of {5,6,100}: rank 2 -> bucket le=7; p99 -> max-clamped 100.
+  EXPECT_NE(out.find("lb2_lat_p50 7\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_p99 100\n"), std::string::npos);
+  EXPECT_NE(out.find("lb2_lat_max 100\n"), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRendering) {
+  Registry reg;
+  reg.GetCounter("reqs", {{"path", "warm"}})->Inc(2);
+  Histogram* h = reg.GetHistogram("lat");
+  h->Observe(8);
+  std::string out = reg.RenderJson();
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_NE(out.find("{\"name\":\"reqs\",\"labels\":{\"path\":\"warm\"},"
+                     "\"type\":\"counter\",\"value\":2}"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"name\":\"lat\""), std::string::npos);
+  EXPECT_NE(out.find("\"type\":\"histogram\",\"count\":1,\"sum\":8"),
+            std::string::npos);
+}
+
+TEST(TraceTest, RenderSpans) {
+  SpanList spans;
+  spans.push_back({"fingerprint", 12'000});
+  spans.push_back({"exec", 1'500'000});
+  EXPECT_EQ(RenderSpans(spans), "fingerprint=0.012ms exec=1.500ms");
+  EXPECT_EQ(RenderSpans({}), "");
+}
+
+TEST(LogTest, ParseAndThreshold) {
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("WARN"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("bogus"), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevel(nullptr), LogLevel::kWarn);
+
+  LogLevel saved = LogThreshold();
+  SetLogThreshold(LogLevel::kError);
+  EXPECT_TRUE(LogEnabled(LogLevel::kError));
+  EXPECT_FALSE(LogEnabled(LogLevel::kWarn));
+  SetLogThreshold(LogLevel::kOff);
+  EXPECT_FALSE(LogEnabled(LogLevel::kError));
+  SetLogThreshold(saved);
+}
+
+TEST(TimeTest, NowNsMonotonic) {
+  int64_t a = NowNs();
+  int64_t b = NowNs();
+  EXPECT_GT(a, 0);
+  EXPECT_GE(b, a);
+}
+
+// End to end: a served request shows up in the Prometheus export with its
+// path-labeled latency histogram and all the ServiceStats counters.
+TEST(ServiceMetricsTest, PrometheusExport) {
+  rt::Database db;
+  tpch::Generate(0.002, 2026, &db);
+  service::ServiceOptions opts;
+  opts.metrics = true;
+  service::QueryService svc(db, opts);
+
+  tpch::QueryOptions qopts;
+  qopts.scale_factor = 0.002;
+  service::ServiceResult r = svc.Execute(tpch::BuildQuery(6, qopts));
+  EXPECT_EQ(r.status, service::ServiceResult::Status::kOk);
+  // Spans cover the pipeline stages the request actually went through.
+  ASSERT_FALSE(r.spans.empty());
+  EXPECT_EQ(r.spans.front().name, "fingerprint");
+  bool has_exec = false;
+  for (const auto& s : r.spans) has_exec |= s.name == "exec";
+  EXPECT_TRUE(has_exec) << RenderSpans(r.spans);
+
+  std::string prom = svc.MetricsPrometheus();
+  EXPECT_NE(prom.find("# TYPE lb2_request_latency_ns histogram"),
+            std::string::npos)
+      << prom;
+  const char* label = r.path == service::ServiceResult::Path::kCompiledCold
+                          ? "compiled_cold"
+                          : "interpreted";
+  EXPECT_NE(prom.find(std::string("lb2_request_latency_ns_count{path=\"") +
+                      label + "\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lb2_request_latency_ns_p50{"), std::string::npos);
+  EXPECT_NE(prom.find("lb2_request_latency_ns_p95{"), std::string::npos);
+  EXPECT_NE(prom.find("lb2_request_latency_ns_p99{"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE lb2_requests_total counter\n"
+                      "lb2_requests_total 1\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lb2_cache_entries "), std::string::npos);
+  EXPECT_NE(prom.find("lb2_compile_ms_paid_total "), std::string::npos);
+
+  std::string json = svc.MetricsJson();
+  EXPECT_NE(json.find("\"stats\": {"), std::string::npos);
+  EXPECT_NE(json.find("\"lb2_requests_total\": 1"), std::string::npos);
+}
+
+// With metrics off, the hot path records nothing: no spans, empty
+// histogram registry — but the counters (satellite: always-on atomics)
+// still tick.
+TEST(ServiceMetricsTest, MetricsOffStillCounts) {
+  rt::Database db;
+  tpch::Generate(0.002, 2026, &db);
+  service::ServiceOptions opts;
+  opts.metrics = false;
+  service::QueryService svc(db, opts);
+
+  tpch::QueryOptions qopts;
+  qopts.scale_factor = 0.002;
+  service::ServiceResult r = svc.Execute(tpch::BuildQuery(6, qopts));
+  EXPECT_EQ(r.status, service::ServiceResult::Status::kOk);
+  EXPECT_TRUE(r.spans.empty());
+  service::ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.requests, 1);
+  std::string prom = svc.MetricsPrometheus();
+  EXPECT_EQ(prom.find("lb2_request_latency_ns"), std::string::npos);
+  EXPECT_NE(prom.find("lb2_requests_total 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lb2::obs

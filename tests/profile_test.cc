@@ -1,0 +1,151 @@
+// Staged profiling tests. The two load-bearing claims:
+//
+//   1. Profiling off is free: the generated C for a query staged with
+//      EngineOptions::profile == false is byte-identical to what the
+//      emitter produced before profiling existed — no counter fields, no
+//      clock helper, no exports — and staying deterministic across
+//      repeated stagings (including stagings interleaved with profiled
+//      ones, which must not leak state into the next module).
+//
+//   2. Profiling on is truthful: the per-operator row counts read back
+//      from the compiled module's execution context equal the interpreter's
+//      counts for the same plan — both backends run the *same* ProfiledOp
+//      wrapper, so the staged counters must agree exactly.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "compile/lb2_compiler.h"
+#include "engine/exec.h"
+#include "engine/profile.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace lb2 {
+namespace {
+
+constexpr double kScaleFactor = 0.002;
+
+class ProfileTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(kScaleFactor, 2026, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static plan::Query Query(int qn) {
+    tpch::QueryOptions qopts;
+    qopts.scale_factor = kScaleFactor;
+    return tpch::BuildQuery(qn, qopts);
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* ProfileTest::db_ = nullptr;
+
+TEST_F(ProfileTest, ProfileOffIsByteIdentical) {
+  for (int qn : {1, 6}) {
+    plan::Query q = Query(qn);
+    engine::EngineOptions off;
+    std::string baseline = compile::StageQuery(q, *db_, off).source;
+
+    // Not a single profiling byte in the residual program.
+    EXPECT_EQ(baseline.find("lb2_prof"), std::string::npos) << "Q" << qn;
+    EXPECT_EQ(baseline.find("clock_gettime"), std::string::npos) << "Q" << qn;
+
+    // Deterministic re-staging, and a profiled staging in between must not
+    // leak anything into the next unprofiled module.
+    engine::EngineOptions on;
+    on.profile = true;
+    compile::StagedQuery profiled = compile::StageQuery(q, *db_, on);
+    EXPECT_FALSE(profiled.prof_nodes.empty());
+    EXPECT_NE(profiled.source.find("lb2_prof"), std::string::npos);
+
+    std::string again = compile::StageQuery(q, *db_, off).source;
+    EXPECT_EQ(baseline, again) << "Q" << qn
+                               << ": profile-off staging not byte-identical";
+  }
+}
+
+TEST_F(ProfileTest, ProfiledModuleExportsMatchMetadata) {
+  engine::EngineOptions on;
+  on.profile = true;
+  compile::StagedQuery staged = compile::StageQuery(Query(6), *db_, on);
+  // Context tail + both exports, derived from the slot count.
+  std::string decl = "int64_t lb2_prof[" +
+                     std::to_string(2 * staged.prof_nodes.size()) + "];";
+  EXPECT_NE(staged.source.find(decl), std::string::npos) << staged.source;
+  EXPECT_NE(staged.source.find("const int64_t lb2_prof_count = " +
+                               std::to_string(staged.prof_nodes.size())),
+            std::string::npos);
+  EXPECT_NE(staged.source.find("const int64_t lb2_prof_offset"),
+            std::string::npos);
+}
+
+TEST_F(ProfileTest, CompiledRowCountsMatchInterpreter) {
+  for (int qn : {1, 6}) {
+    plan::Query q = Query(qn);
+    engine::EngineOptions on;
+    on.profile = true;
+
+    engine::InterpResult ir = engine::ExecuteInterp(q, *db_, on);
+    ASSERT_FALSE(ir.prof_nodes.empty()) << "Q" << qn;
+    ASSERT_EQ(ir.prof.size(), 2 * ir.prof_nodes.size());
+
+    compile::CompiledQuery cq =
+        compile::CompileQuery(q, *db_, on, "prof_q" + std::to_string(qn));
+    compile::CompiledQuery::RunResult rr = cq.Run();
+
+    // Same answer as ever.
+    EXPECT_EQ(rr.text, ir.text) << "Q" << qn;
+
+    // Same operator tree (labels, order, depth) from both backends...
+    ASSERT_EQ(cq.prof_nodes().size(), ir.prof_nodes.size()) << "Q" << qn;
+    for (size_t i = 0; i < ir.prof_nodes.size(); ++i) {
+      EXPECT_EQ(cq.prof_nodes()[i].label, ir.prof_nodes[i].label);
+      EXPECT_EQ(cq.prof_nodes()[i].depth, ir.prof_nodes[i].depth);
+    }
+
+    // ...and exactly equal per-operator row counts (times may differ).
+    ASSERT_EQ(rr.prof.size(), ir.prof.size()) << "Q" << qn;
+    for (size_t i = 0; i < ir.prof_nodes.size(); ++i) {
+      EXPECT_EQ(engine::ProfRows(rr.prof, i), engine::ProfRows(ir.prof, i))
+          << "Q" << qn << " operator " << ir.prof_nodes[i].label;
+      EXPECT_GE(engine::ProfNs(rr.prof, i), 0)
+          << "Q" << qn << " operator " << ir.prof_nodes[i].label;
+    }
+
+    // The rendering names every operator.
+    std::string tree = engine::RenderProfile(cq.prof_nodes(), rr.prof);
+    for (const auto& n : cq.prof_nodes()) {
+      EXPECT_NE(tree.find(n.label), std::string::npos) << tree;
+    }
+  }
+}
+
+TEST_F(ProfileTest, ProfilingForcesSequentialExecution) {
+  // Parallel pipelines would race on the shared counter slots, so profile
+  // wins over num_threads; the counters must still be exact.
+  plan::Query q = Query(6);
+  engine::EngineOptions on;
+  on.profile = true;
+  on.num_threads = 4;
+  engine::EngineOptions seq;
+  seq.profile = true;
+
+  compile::CompiledQuery par = compile::CompileQuery(q, *db_, on, "prof_par");
+  compile::CompiledQuery ser = compile::CompileQuery(q, *db_, seq, "prof_seq");
+  compile::CompiledQuery::RunResult pr = par.Run();
+  compile::CompiledQuery::RunResult sr = ser.Run();
+  EXPECT_EQ(pr.text, sr.text);
+  ASSERT_EQ(pr.prof.size(), sr.prof.size());
+  for (size_t i = 0; i < par.prof_nodes().size(); ++i) {
+    EXPECT_EQ(engine::ProfRows(pr.prof, i), engine::ProfRows(sr.prof, i));
+  }
+}
+
+}  // namespace
+}  // namespace lb2
