@@ -2,13 +2,16 @@
 # CI entry point: tier-1 correctness, the ThreadSanitizer concurrency lane,
 # and the service-throughput benchmark JSON.
 #
-#   scripts/ci.sh            # tier-1 + tsan + bench
+#   scripts/ci.sh            # tier-1 + tsan + faults + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
+#   scripts/ci.sh faults     # TSan build, `ctest -L 'fuzz|fault'` with
+#                            #   extended fuzz seeds (CI_FUZZ_SEEDS=64)
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
 #                            #   -> BENCH_service.json, plus the obs
-#                            #   overhead gate (metrics on vs off)
+#                            #   overhead gate (metrics on vs off, and
+#                            #   faults compiled in but disarmed)
 #
 # The tsan lane exists because the service runs compiled queries with NO
 # per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
@@ -50,6 +53,19 @@ tsan() {
     -j"$(nproc)"
 }
 
+# Fault/degrade lane: the differential fuzzers (extended seed budget) and
+# the fault-injection matrix, under ThreadSanitizer — injected failures
+# race against 8 serving threads, which is exactly where a degrade-path
+# data race would hide. Shares the tsan build tree.
+faults() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
+    ctest --test-dir build-tsan -L 'fuzz|fault' --output-on-failure \
+    -j"$(nproc)"
+}
+
 bench() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)" --target bench_service_throughput
@@ -69,6 +85,12 @@ bench() {
 # benchmark with metrics recording off and on, and fail if the instrumented
 # build loses more than 5% throughput on any matching benchmark. Medians
 # over 3 repetitions — single short runs are too noisy for a 5% gate.
+#
+# A third run arms a fault plan that can never fire on the warm path
+# (cc_exec has no warm-path site; every=1000000 keeps it inert even during
+# warmup) and holds it to the same 5% gate against metrics-off: fault
+# injection is compiled in always, so its disarmed/armed-but-idle cost must
+# be indistinguishable from zero.
 obs_overhead() {
   LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=0 \
     ./build/bench/bench_service_throughput \
@@ -86,6 +108,15 @@ obs_overhead() {
     --benchmark_report_aggregates_only=true \
     --benchmark_out=BENCH_obs_on.json \
     --benchmark_out_format=json
+  LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=0 \
+    LB2_FAULTS='cc_exec:fail:every=1000000' \
+    ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_min_time=0.2 \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out=BENCH_obs_faults.json \
+    --benchmark_out_format=json
   python3 - <<'EOF'
 import json
 
@@ -102,28 +133,33 @@ def rates(path):
     return out
 
 off = rates("BENCH_obs_off.json")
-on = rates("BENCH_obs_on.json")
 failed = False
-for name, off_rate in sorted(off.items()):
-    on_rate = on.get(name)
-    if on_rate is None:
-        continue
-    ratio = on_rate / off_rate
-    status = "ok" if ratio >= 0.95 else "FAIL"
-    if ratio < 0.95:
-        failed = True
-    print(f"obs-overhead {name}: off={off_rate:.0f}/s on={on_rate:.0f}/s "
-          f"ratio={ratio:.3f} [{status}]")
+for label, path in (("on", "BENCH_obs_on.json"),
+                    ("faults-armed", "BENCH_obs_faults.json")):
+    other = rates(path)
+    for name, off_rate in sorted(off.items()):
+        rate = other.get(name)
+        if rate is None:
+            continue
+        ratio = rate / off_rate
+        status = "ok" if ratio >= 0.95 else "FAIL"
+        if ratio < 0.95:
+            failed = True
+        print(f"obs-overhead {name}: off={off_rate:.0f}/s "
+              f"{label}={rate:.0f}/s ratio={ratio:.3f} [{status}]")
 if failed:
-    raise SystemExit("metrics-on warm throughput regressed more than 5%")
-print("obs-overhead gate passed (metrics cost < 5% on the warm path)")
+    raise SystemExit(
+        "warm throughput regressed more than 5% (metrics or fault sites)")
+print("obs-overhead gate passed (metrics + armed-idle faults cost < 5% "
+      "on the warm path)")
 EOF
 }
 
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
+  faults) faults ;;
   bench) bench ;;
-  all) tier1 && tsan && bench ;;
-  *) echo "usage: scripts/ci.sh [tier1|tsan|bench|all]" >&2; exit 2 ;;
+  all) tier1 && tsan && faults && bench ;;
+  *) echo "usage: scripts/ci.sh [tier1|tsan|faults|bench|all]" >&2; exit 2 ;;
 esac

@@ -1,8 +1,12 @@
 #include "compile/lb2_compiler.h"
 
+#include <chrono>
+#include <thread>
+
 #include "engine/stage_backend.h"
 #include "plan/validate.h"
 #include "util/check.h"
+#include "util/rng.h"
 #include "util/time.h"
 
 namespace lb2::compile {
@@ -106,6 +110,31 @@ std::unique_ptr<CompiledQuery> TryLoadStaged(const StagedQuery& staged,
   auto mod = stage::Jit::TryLoad(so_path, staged.source, error);
   if (mod == nullptr) return nullptr;
   return CompiledQuery::FromModule(std::move(mod), staged, db);
+}
+
+std::unique_ptr<CompiledQuery> TryCompileStagedRetry(const StagedQuery& staged,
+                                                     const rt::Database& db,
+                                                     const std::string& tag,
+                                                     std::string* error,
+                                                     const RetryPolicy& policy,
+                                                     int* attempts) {
+  int max_attempts = 1 + (policy.retries > 0 ? policy.retries : 0);
+  for (int attempt = 1;; ++attempt) {
+    auto cq = TryCompileStaged(staged, db, tag, error);
+    if (cq != nullptr || attempt >= max_attempts) {
+      if (attempts != nullptr) *attempts = attempt;
+      return cq;
+    }
+    // Exponential backoff with deterministic jitter: seed ^ attempt gives
+    // each attempt an independent but reproducible multiplier.
+    double base = policy.backoff_ms * static_cast<double>(1LL << (attempt - 1));
+    Rng rng(policy.jitter_seed ^ static_cast<uint64_t>(attempt));
+    double sleep_ms = base * rng.UniformDouble(0.5, 1.5);
+    if (sleep_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(sleep_ms));
+    }
+  }
 }
 
 std::unique_ptr<CompiledQuery> TryCompileQuery(const plan::Query& q,

@@ -139,6 +139,27 @@ std::unique_ptr<CompiledQuery> TryCompileStaged(const StagedQuery& staged,
                                                 const std::string& tag,
                                                 std::string* error);
 
+/// How TryCompileStagedRetry rides out transient external-compiler
+/// failures (OOM-killed cc, tmpfs contention, injected faults). Backoff is
+/// exponential with a deterministic jitter multiplier in [0.5, 1.5) drawn
+/// from `jitter_seed` — same seed, same sleep schedule, so fault tests
+/// reproduce exactly.
+struct RetryPolicy {
+  int retries = 0;            // extra attempts after the first (0 = one try)
+  double backoff_ms = 10.0;   // base sleep before attempt N+1 (doubles)
+  uint64_t jitter_seed = 0;   // e.g. the query fingerprint hash
+};
+
+/// TryCompileStaged plus bounded retry. Sleeps between attempts per
+/// `policy`; `*attempts` (optional) reports how many attempts ran, so the
+/// caller can count retries = attempts - 1. The last attempt's error wins.
+std::unique_ptr<CompiledQuery> TryCompileStagedRetry(const StagedQuery& staged,
+                                                     const rt::Database& db,
+                                                     const std::string& tag,
+                                                     std::string* error,
+                                                     const RetryPolicy& policy,
+                                                     int* attempts = nullptr);
+
 /// Binds an already-staged query to a previously-compiled shared object at
 /// `so_path` — dlopen + ABI check, no external compiler. The caller is
 /// responsible for having verified the artifact matches `staged.source`

@@ -11,12 +11,14 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "stage/prelude.h"
+#include "testing/faults.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -66,9 +68,14 @@ bool ReadFileBytes(const std::string& path, std::string* out) {
 
 /// Writes `data` to a process/thread-unique temp file in `dir` and renames
 /// it over `final_path` — readers see either the old or the new artifact,
-/// never a torn one.
+/// never a torn one. Fault sites: an injected write failure or rename
+/// failure removes the temp file exactly like the real errno paths; an
+/// injected short write truncates the payload but reports success, which
+/// the caller's length re-verification must catch.
 bool WriteFileAtomic(const std::string& dir, const std::string& final_path,
                      const std::string& data) {
+  testing::FaultDecision wf =
+      testing::CheckFault(testing::FaultPoint::kArtifactWrite);
   static std::atomic<int> seq{0};
   std::string tmp =
       StrPrintf("%s/.tmp_%d_%d", dir.c_str(), static_cast<int>(::getpid()),
@@ -76,14 +83,16 @@ bool WriteFileAtomic(const std::string& dir, const std::string& final_path,
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f.good()) return false;
-    f.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!f.good()) {
+    size_t n = wf.short_write ? data.size() / 2 : data.size();
+    f.write(data.data(), static_cast<std::streamsize>(n));
+    if (!f.good() || wf.fail) {
       f.close();
       std::remove(tmp.c_str());
       return false;
     }
   }
-  if (std::rename(tmp.c_str(), final_path.c_str()) != 0) {
+  if (testing::CheckFault(testing::FaultPoint::kArtifactRename).fail ||
+      std::rename(tmp.c_str(), final_path.c_str()) != 0) {
     std::remove(tmp.c_str());
     return false;
   }
@@ -197,9 +206,46 @@ uint64_t PreludeHash() {
   return FnvHash(p, std::char_traits<char>::length(p));
 }
 
-ArtifactStore::ArtifactStore(std::string dir, int64_t max_bytes)
-    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+ArtifactStore::ArtifactStore(std::string dir, int64_t max_bytes,
+                             double cooldown_ms)
+    : dir_(std::move(dir)), max_bytes_(max_bytes), cooldown_ms_(cooldown_ms) {
   MkdirP(dir_);
+  SweepStaleTemps();
+}
+
+bool ArtifactStore::InCooldown() const {
+  int64_t until = cooldown_until_ns_.load(std::memory_order_relaxed);
+  return until != 0 && NowNs() < until;
+}
+
+void ArtifactStore::EnterCooldown() {
+  if (cooldown_ms_ <= 0.0) return;
+  cooldown_until_ns_.store(
+      NowNs() + static_cast<int64_t>(cooldown_ms_ * 1e6),
+      std::memory_order_relaxed);
+  cooldowns_.fetch_add(1);
+}
+
+void ArtifactStore::SweepStaleTemps() {
+  // A live writer holds its `.tmp_*` file for milliseconds; anything a
+  // minute old is debris from a crashed or killed process. Swept under the
+  // cross-process lock so two restarting servers don't race the removal.
+  constexpr int64_t kStaleSecs = 60;
+  const int64_t now_unix = static_cast<int64_t>(::time(nullptr));
+  ScopedFlock lock(dir_);
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;
+  while (struct dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.rfind(".tmp_", 0) != 0) continue;
+    std::string path = dir_ + "/" + name;
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) continue;
+    if (now_unix - static_cast<int64_t>(st.st_mtim.tv_sec) >= kStaleSecs) {
+      std::remove(path.c_str());
+    }
+  }
+  ::closedir(d);
 }
 
 std::string ArtifactStore::SoPath(uint64_t key) const {
@@ -222,6 +268,12 @@ ArtifactStore::Probe ArtifactStore::Lookup(uint64_t key,
                                            std::string* so_path,
                                            ArtifactMeta* meta) {
   ScopedObserve timing(probe_hist_);
+  // During a write-failure cooldown the whole tier is offline: probing a
+  // disk that just failed writes is more failed I/O for no artifact.
+  if (InCooldown()) {
+    misses_.fetch_add(1);
+    return Probe::kMiss;
+  }
   std::string text;
   if (!ReadFileBytes(MetaPath(key), &text)) {
     misses_.fetch_add(1);
@@ -256,17 +308,45 @@ ArtifactStore::Probe ArtifactStore::Lookup(uint64_t key,
 bool ArtifactStore::Put(uint64_t key, const ArtifactMeta& meta,
                         const std::string& so_src_path) {
   ScopedObserve timing(write_hist_);
+  if (InCooldown()) return false;
+  if (testing::CheckFault(testing::FaultPoint::kDisk).full) {
+    // Injected ENOSPC: no bytes reach the disk, the tier goes cold.
+    write_failures_.fetch_add(1);
+    EnterCooldown();
+    return false;
+  }
   std::string so_bytes;
-  if (!ReadFileBytes(so_src_path, &so_bytes)) return false;
+  if (!ReadFileBytes(so_src_path, &so_bytes)) {
+    // Source-side read problem, not a capacity signal: no cooldown.
+    write_failures_.fetch_add(1);
+    return false;
+  }
   ArtifactMeta m = meta;
   m.so_bytes = static_cast<int64_t>(so_bytes.size());
+  const std::string meta_text = SerializeMeta(m);
   ScopedFlock lock(dir_);
   // .so first, sidecar last: a reader only trusts an artifact whose
   // sidecar exists, and the sidecar's length check catches a .so that a
-  // concurrent writer is about to replace.
-  if (!WriteFileAtomic(dir_, SoPath(key), so_bytes)) return false;
-  if (!WriteFileAtomic(dir_, MetaPath(key), SerializeMeta(m))) {
-    std::remove(SoPath(key).c_str());
+  // concurrent writer is about to replace. Each write is re-verified by
+  // length so a short write (ENOSPC after the temp file was created,
+  // quota, injected fault) is deleted here, never trusted later.
+  if (!WriteFileAtomic(dir_, SoPath(key), so_bytes)) {
+    // The rename never happened: any previous pair is still intact.
+    write_failures_.fetch_add(1);
+    EnterCooldown();
+    return false;
+  }
+  if (FileBytes(SoPath(key)) != m.so_bytes) {
+    DeletePair(key);
+    write_failures_.fetch_add(1);
+    EnterCooldown();
+    return false;
+  }
+  if (!WriteFileAtomic(dir_, MetaPath(key), meta_text) ||
+      FileBytes(MetaPath(key)) != static_cast<int64_t>(meta_text.size())) {
+    DeletePair(key);
+    write_failures_.fetch_add(1);
+    EnterCooldown();
     return false;
   }
   writes_.fetch_add(1);

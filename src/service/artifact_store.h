@@ -22,6 +22,18 @@
 //     never a crash, never a wrong .so.
 //   * The store has its own byte budget (over .so sizes) with LRU-by-mtime
 //     eviction; a verified hit bumps the artifact's mtime.
+//   * Every Put is re-verified after the fact: a written .so or sidecar
+//     whose on-disk length disagrees with what was handed in (short write —
+//     ENOSPC, quota, injected fault) is deleted immediately, so a torn
+//     artifact never waits for a future Lookup to be caught.
+//   * A failed Put puts the tier in a cooldown window (`cooldown_ms`):
+//     writes (and probes) are skipped until it elapses, so a full disk
+//     degrades the tier to "off" instead of hammering failed I/O on every
+//     request. Requests themselves never fail — the service compiles
+//     in-memory as if the tier were disabled.
+//   * Construction sweeps `.tmp_*` files older than a minute — the debris
+//     a crashed writer can leave behind (live writers hold theirs for
+//     milliseconds).
 #ifndef LB2_SERVICE_ARTIFACT_STORE_H_
 #define LB2_SERVICE_ARTIFACT_STORE_H_
 
@@ -64,11 +76,12 @@ uint64_t DiskArtifactKey(const Fingerprint& fp,
 uint64_t PreludeHash();
 
 /// Thread-safe (and advisory-locked across processes) on-disk artifact
-/// store. `max_bytes` == 0 means no byte budget.
+/// store. `max_bytes` == 0 means no byte budget; `cooldown_ms` == 0
+/// disables the write-failure cooldown.
 class ArtifactStore {
  public:
-  /// Creates `dir` (and parents) if missing.
-  ArtifactStore(std::string dir, int64_t max_bytes);
+  /// Creates `dir` (and parents) if missing and sweeps stale temp files.
+  ArtifactStore(std::string dir, int64_t max_bytes, double cooldown_ms = 0.0);
 
   enum class Probe {
     kHit,      // verified artifact; *so_path/*meta filled, mtime bumped
@@ -83,10 +96,17 @@ class ArtifactStore {
                ArtifactMeta* meta);
 
   /// Copies the .so at `so_src_path` plus `meta` into the store atomically,
-  /// then evicts LRU artifacts while over the byte budget (never the one
-  /// just written). Returns false on I/O failure (the store stays valid).
+  /// verifies the written byte lengths (a short write is deleted on the
+  /// spot), then evicts LRU artifacts while over the byte budget (never
+  /// the one just written). Returns false on I/O failure or a full disk;
+  /// the store stays valid but enters the cooldown window.
   bool Put(uint64_t key, const ArtifactMeta& meta,
            const std::string& so_src_path);
+
+  /// True while a recent write failure has the tier disabled. Lookups
+  /// report misses and Puts return false without touching the disk until
+  /// the window elapses.
+  bool InCooldown() const;
 
   /// Deletes the artifact for `key` and counts it corrupt — for callers
   /// that discover a verified-looking artifact is still unloadable (e.g.
@@ -109,6 +129,8 @@ class ArtifactStore {
   int64_t writes() const { return writes_.load(); }
   int64_t evictions() const { return evictions_.load(); }
   int64_t corrupt() const { return corrupt_.load(); }
+  int64_t write_failures() const { return write_failures_.load(); }
+  int64_t cooldowns() const { return cooldowns_.load(); }
 
   /// Optional: records Lookup durations into `probe` and Put durations into
   /// `write` (ns; either may be null to skip). Set once, before the store
@@ -121,17 +143,25 @@ class ArtifactStore {
  private:
   void DeletePair(uint64_t key);
   void EvictOverBudgetLocked(uint64_t protect_key);
+  void EnterCooldown();
+  void SweepStaleTemps();
 
   const std::string dir_;
   const int64_t max_bytes_;
+  const double cooldown_ms_;
   obs::Histogram* probe_hist_ = nullptr;
   obs::Histogram* write_hist_ = nullptr;
+
+  /// Monotonic ns deadline before which the tier is disabled; 0 = open.
+  std::atomic<int64_t> cooldown_until_ns_{0};
 
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   std::atomic<int64_t> writes_{0};
   std::atomic<int64_t> evictions_{0};
   std::atomic<int64_t> corrupt_{0};
+  std::atomic<int64_t> write_failures_{0};
+  std::atomic<int64_t> cooldowns_{0};
 };
 
 }  // namespace lb2::service

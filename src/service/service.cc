@@ -15,6 +15,7 @@
 #include "obs/log.h"
 #include "sql/sql.h"
 #include "stage/jit.h"
+#include "testing/faults.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -68,6 +69,33 @@ bool DefaultMetricsEnabled() {
   return !(v == "0" || v == "false" || v == "off" || v == "no");
 }
 
+int DefaultCcRetries() {
+  const char* env = std::getenv("LB2_CC_RETRIES");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v >= 0) return static_cast<int>(v);
+  }
+  return 2;
+}
+
+int DefaultBreakerFailures() {
+  const char* env = std::getenv("LB2_BREAKER_FAILURES");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v >= 0) return static_cast<int>(v);
+  }
+  return 3;
+}
+
+double DefaultDiskCooldownMs() {
+  const char* env = std::getenv("LB2_DISK_COOLDOWN_MS");
+  if (env != nullptr) {
+    double v = std::atof(env);
+    if (v >= 0) return v;
+  }
+  return 1000.0;
+}
+
 const char* PathName(ServiceResult::Path p) {
   switch (p) {
     case ServiceResult::Path::kCompiledCold: return "compiled-cold";
@@ -94,7 +122,10 @@ std::string ServiceStats::ToString() const {
       "busy=%lld entries=%lld bytes=%lld evictions=%lld "
       "compile-ms saved=%.0f paid=%.0f "
       "disk-hits=%lld disk-misses=%lld disk-writes=%lld disk-evictions=%lld "
-      "disk-corrupt=%lld drift-recompiles=%lld",
+      "disk-corrupt=%lld drift-recompiles=%lld "
+      "cc-retries=%lld breaker trips=%lld open=%lld served=%lld "
+      "rebuilds=%lld disk-write-failures=%lld disk-cooldowns=%lld "
+      "faults-injected=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -111,7 +142,15 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(disk_misses), static_cast<long long>(disk_writes),
       static_cast<long long>(disk_evictions),
       static_cast<long long>(disk_corrupt),
-      static_cast<long long>(drift_recompiles));
+      static_cast<long long>(drift_recompiles),
+      static_cast<long long>(cc_retries),
+      static_cast<long long>(breaker_trips),
+      static_cast<long long>(breaker_open),
+      static_cast<long long>(breaker_served),
+      static_cast<long long>(breaker_rebuilds),
+      static_cast<long long>(disk_write_failures),
+      static_cast<long long>(disk_cooldowns),
+      static_cast<long long>(faults_injected));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
@@ -121,7 +160,8 @@ QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
       gate_(opts.max_inflight, opts.queue_timeout_ms) {
   if (!opts_.cache_dir.empty()) {
     store_ = std::make_unique<ArtifactStore>(opts_.cache_dir,
-                                             opts_.cache_disk_bytes);
+                                             opts_.cache_disk_bytes,
+                                             opts_.disk_cooldown_ms);
   }
   if (opts_.metrics) {
     // Label values mirror PathName() with '-' swapped for '_' (Prometheus
@@ -247,6 +287,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
   std::shared_ptr<InFlight> flight;
   bool leader = false;
   bool drift = false;
+  bool breaker = false;
   uint64_t stale_key = 0;
   CacheEntryPtr rechecked;
   {
@@ -255,7 +296,11 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     // miss above and here, in which case its in-flight record is already
     // gone and we must not start a second compile.
     rechecked = cache_.Get(fp);
-    if (rechecked == nullptr) {
+    if (rechecked == nullptr && breaker_open_.count(fp.hash) != 0) {
+      // Circuit breaker open for this fingerprint: the compile keeps
+      // failing, so stop burning foreground cc attempts on it.
+      breaker = true;
+    } else if (rechecked == nullptr) {
       auto sit = shape_to_key_.find(fp.shape);
       if (opts_.background_recompile && sit != shape_to_key_.end() &&
           sit->second != fp.hash) {
@@ -282,6 +327,17 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
                          rechecked->codegen_ms + rechecked->compile_ms);
     return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp,
                        spans);
+  }
+
+  if (breaker) {
+    // Serve interpreted immediately and keep one low-priority background
+    // rebuild in flight (the drift worker doubles as the repair worker);
+    // its first success closes the breaker.
+    stats_.breaker_served.fetch_add(1, std::memory_order_relaxed);
+    if (EnqueueDriftRecompile(q, eopts, fp)) {
+      stats_.breaker_rebuilds.fetch_add(1, std::memory_order_relaxed);
+    }
+    return RunInterp(q, eopts, fp, "", spans);
   }
 
   if (drift) {
@@ -365,6 +421,14 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
   double restage_ms = 0.0;        // staging actually paid on the disk path
   double orig_codegen_ms = 0.0;   // sidecar codegen cost (hit credit basis)
 
+  // Transient-failure policy for the external compiler: jitter is seeded
+  // by the fingerprint, so a given query retries on a reproducible
+  // schedule.
+  compile::RetryPolicy retry;
+  retry.retries = opts_.cc_retries;
+  retry.backoff_ms = opts_.cc_retry_backoff_ms;
+  retry.jitter_seed = fp.hash;
+
   if (store_ != nullptr) {
     // Re-stage: cheap, and unavoidable — the env layout binds process-local
     // pointers — but it also yields the source hash that proves a disk
@@ -411,8 +475,13 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     }
     if (cq == nullptr) {
       t0 = spans != nullptr ? NowNs() : 0;
-      cq = compile::TryCompileStaged(staged, db_, tag, error);
+      int attempts = 1;
+      cq = compile::TryCompileStagedRetry(staged, db_, tag, error, retry,
+                                          &attempts);
       if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
+      if (attempts > 1) {
+        stats_.cc_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+      }
       if (cq != nullptr) {
         want.so_bytes = cq->so_bytes();
         want.codegen_ms = cq->codegen_ms();
@@ -422,10 +491,20 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
       }
     }
   } else {
-    // No disk tier: stage + cc + dlopen in one call, priced as "cc".
+    // No disk tier: stage once, then cc + dlopen under the retry policy
+    // (re-staging on retry would be wasted work — staging is deterministic
+    // and never transiently fails).
     int64_t t0 = spans != nullptr ? NowNs() : 0;
-    cq = compile::TryCompileQuery(q, db_, eopts, tag, error);
+    compile::StagedQuery staged = compile::StageQuery(q, db_, eopts);
+    if (spans != nullptr) spans->push_back({"stage", NowNs() - t0});
+    t0 = spans != nullptr ? NowNs() : 0;
+    int attempts = 1;
+    cq = compile::TryCompileStagedRetry(staged, db_, tag, error, retry,
+                                        &attempts);
     if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
+    if (attempts > 1) {
+      stats_.cc_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
+    }
   }
 
   CacheEntryPtr entry;
@@ -445,6 +524,10 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     {
       std::lock_guard<std::mutex> lock(mu_);
       shape_to_key_[fp.shape] = fp.hash;
+      // A successful build (any path) heals the fingerprint: the failure
+      // streak restarts and an open breaker closes.
+      cc_fail_streak_.erase(fp.hash);
+      breaker_open_.erase(fp.hash);
     }
     if (*from_disk) {
       // The cc was skipped entirely: pay only the re-stage, credit the
@@ -458,6 +541,29 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     }
   } else {
     stats_.compile_failures.fetch_add(1, std::memory_order_relaxed);
+    // Retries were already exhausted inside the attempt above, so this is
+    // one consecutive hard failure toward the breaker threshold. Both the
+    // foreground leader and the background rebuild worker land here, which
+    // is what keeps the breaker open while the fault persists.
+    if (opts_.breaker_failures > 0) {
+      bool tripped = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        int streak = ++cc_fail_streak_[fp.hash];
+        if (streak >= opts_.breaker_failures) {
+          tripped = breaker_open_.insert(fp.hash).second;
+        }
+      }
+      if (tripped) {
+        stats_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+        if (opts_.log_compile_errors) {
+          LB2_LOG(Warn,
+                  "[lb2-service] %s: circuit breaker open after %d "
+                  "consecutive compile failures; serving interpreted",
+                  fp.ToString().c_str(), opts_.breaker_failures);
+        }
+      }
+    }
   }
   return entry;
 }
@@ -550,6 +656,16 @@ ServiceStats QueryService::Stats() const {
   s.busy_rejections = stats_.busy_rejections.load(std::memory_order_relaxed);
   s.drift_recompiles =
       stats_.drift_recompiles.load(std::memory_order_relaxed);
+  s.cc_retries = stats_.cc_retries.load(std::memory_order_relaxed);
+  s.breaker_trips = stats_.breaker_trips.load(std::memory_order_relaxed);
+  s.breaker_served = stats_.breaker_served.load(std::memory_order_relaxed);
+  s.breaker_rebuilds =
+      stats_.breaker_rebuilds.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.breaker_open = static_cast<int64_t>(breaker_open_.size());
+  }
+  s.faults_injected = lb2::testing::FaultsFiredTotal();
   s.compile_ms_saved = stats_.compile_ms_saved.load(std::memory_order_relaxed);
   s.compile_ms_paid = stats_.compile_ms_paid.load(std::memory_order_relaxed);
   s.cache_entries = static_cast<int64_t>(cache_.size());
@@ -564,6 +680,8 @@ ServiceStats QueryService::Stats() const {
     s.disk_writes = store_->writes();
     s.disk_evictions = store_->evictions();
     s.disk_corrupt = store_->corrupt();
+    s.disk_write_failures = store_->write_failures();
+    s.disk_cooldowns = store_->cooldowns();
   }
   return s;
 }
@@ -611,6 +729,14 @@ std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
       c("lb2_disk_evictions_total", s.disk_evictions),
       c("lb2_disk_corrupt_total", s.disk_corrupt),
       c("lb2_drift_recompiles_total", s.drift_recompiles),
+      c("lb2_cc_retries_total", s.cc_retries),
+      c("lb2_breaker_trips_total", s.breaker_trips),
+      g("lb2_breaker_open", s.breaker_open),
+      c("lb2_breaker_served_total", s.breaker_served),
+      c("lb2_breaker_rebuilds_total", s.breaker_rebuilds),
+      c("lb2_disk_write_failures_total", s.disk_write_failures),
+      c("lb2_disk_cooldowns_total", s.disk_cooldowns),
+      c("lb2_faults_injected_total", s.faults_injected),
   };
 }
 

@@ -29,7 +29,24 @@
 //     one dedicated low-priority worker thread, off the admission path) is
 //     enqueued for the new key — the steady state returns to compiled
 //     execution without any client eating the compile latency, and the
-//     stale entry is retired so it can never serve drifted data.
+//     stale entry is retired so it can never serve drifted data,
+//   * rides out transient external-compiler failures with bounded retry
+//     (`cc_retries`, deterministic jittered exponential backoff), and trips
+//     a per-fingerprint circuit breaker after `breaker_failures`
+//     consecutive compile failures: while the breaker is open, requests for
+//     that fingerprint are served interpreted immediately (no foreground cc
+//     attempts) and a single-flighted low-priority background rebuild is
+//     scheduled on the drift worker; the first successful build closes the
+//     breaker and the steady state returns to compiled execution,
+//   * disables the disk tier for a cooldown window (`disk_cooldown_ms`)
+//     after a write failure (full disk, short write), so degraded storage
+//     costs at most one failed I/O per window — requests themselves never
+//     fail on an artifact-store problem.
+//
+// Every degrade decision is counted (ServiceStats: cc_retries,
+// breaker_trips/served/rebuilds, disk_write_failures, disk_cooldowns,
+// faults_injected) and exported through MetricsPrometheus()/MetricsJson().
+// Fault injection for all of these paths lives in testing/faults.h.
 //
 // Thread-safety: every public method may be called from any thread.
 // Compiled entries are reentrant (each execution gets a private
@@ -83,6 +100,19 @@ int64_t DefaultCacheDiskBytes();
 /// else on.
 bool DefaultMetricsEnabled();
 
+/// Default extra external-compiler attempts after a failure:
+/// LB2_CC_RETRIES env var, else 2.
+int DefaultCcRetries();
+
+/// Default consecutive compile failures that trip the per-fingerprint
+/// circuit breaker: LB2_BREAKER_FAILURES env var, else 3 (0 disables the
+/// breaker).
+int DefaultBreakerFailures();
+
+/// Default disk-tier cooldown after a write failure:
+/// LB2_DISK_COOLDOWN_MS env var, else 1000 ms (0 disables the cooldown).
+double DefaultDiskCooldownMs();
+
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
   size_t cache_capacity = DefaultCacheCapacity();
@@ -113,6 +143,18 @@ struct ServiceOptions {
   /// cached entry but the database identity drifted. When false, drifted
   /// keys behave like plain cold misses (the client pays the JIT).
   bool background_recompile = true;
+  /// Extra external-compiler attempts after a failed one (transient cc
+  /// failures: OOM-killed compiler, tmpfs contention). 0 = single attempt.
+  /// Backoff between attempts is exponential from `cc_retry_backoff_ms`
+  /// with a deterministic jitter seeded by the query fingerprint.
+  int cc_retries = DefaultCcRetries();
+  double cc_retry_backoff_ms = 10.0;
+  /// Consecutive compile failures (per fingerprint, retries exhausted) that
+  /// open the circuit breaker for that fingerprint; 0 disables the breaker.
+  int breaker_failures = DefaultBreakerFailures();
+  /// How long a disk-tier write failure keeps the tier offline; 0 = no
+  /// cooldown (every Put hits the disk again).
+  double disk_cooldown_ms = DefaultDiskCooldownMs();
   /// Record per-request latency histograms and trace spans (obs/metrics.h,
   /// obs/trace.h). The counters in ServiceStats are always maintained; this
   /// gates only the timestamped extras, so benchmarks can price their cost
@@ -155,6 +197,15 @@ struct ServiceStats {
   int64_t disk_corrupt = 0;    // corrupt/truncated/stale artifacts deleted
   // Background recompiles enqueued for database-identity drift.
   int64_t drift_recompiles = 0;
+  // Degrade paths (fault tolerance).
+  int64_t cc_retries = 0;       // extra compiler attempts after a failure
+  int64_t breaker_trips = 0;    // fingerprints whose breaker opened
+  int64_t breaker_open = 0;     // breakers open right now (gauge)
+  int64_t breaker_served = 0;   // requests served interpreted by the breaker
+  int64_t breaker_rebuilds = 0; // background rebuilds the breaker enqueued
+  int64_t disk_write_failures = 0;  // Puts that failed or were torn
+  int64_t disk_cooldowns = 0;       // cooldown windows entered
+  int64_t faults_injected = 0;      // injected faults fired (testing/faults.h)
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
@@ -299,11 +350,18 @@ class QueryService {
   AdmissionGate gate_;
   std::unique_ptr<ArtifactStore> store_;  // null = disk tier off
 
-  mutable std::mutex mu_;  // guards inflight_ and shape_to_key_ ONLY
+  mutable std::mutex mu_;  // guards inflight_, shape_to_key_, breaker state
   std::unordered_map<uint64_t, std::shared_ptr<InFlight>> inflight_;
   /// shape component -> combined key of the entry last built for it. A
   /// miss whose shape is present under a different key is database drift.
   std::unordered_map<uint64_t, uint64_t> shape_to_key_;
+  /// Consecutive compile failures per fingerprint (retries already
+  /// exhausted when this bumps); reset by the first successful build.
+  std::unordered_map<uint64_t, int> cc_fail_streak_;
+  /// Fingerprints whose circuit breaker is open: requests are served
+  /// interpreted without attempting a foreground compile, while the drift
+  /// worker retries in the background.
+  std::unordered_set<uint64_t> breaker_open_;
 
   /// Lock-free mirror of the ServiceStats counters the service itself owns
   /// (cache/gate/store counters live in those components). Mutations are
@@ -321,6 +379,10 @@ class QueryService {
     std::atomic<int64_t> in_flight{0};
     std::atomic<int64_t> busy_rejections{0};
     std::atomic<int64_t> drift_recompiles{0};
+    std::atomic<int64_t> cc_retries{0};
+    std::atomic<int64_t> breaker_trips{0};
+    std::atomic<int64_t> breaker_served{0};
+    std::atomic<int64_t> breaker_rebuilds{0};
     std::atomic<double> compile_ms_saved{0.0};
     std::atomic<double> compile_ms_paid{0.0};
   };

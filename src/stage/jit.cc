@@ -11,6 +11,7 @@
 #include <map>
 #include <mutex>
 
+#include "testing/faults.h"
 #include "util/check.h"
 #include "util/str.h"
 #include "util/time.h"
@@ -126,8 +127,16 @@ std::unique_ptr<JitModule> Jit::TryLoad(const std::string& so_path,
   out->so_path_ = so_path;
   out->owns_files_ = false;  // the artifact store owns the file
   out->so_bytes_ = FileBytes(so_path);
-  out->handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+  testing::FaultDecision dl_fault =
+      testing::CheckFault(testing::FaultPoint::kDlopen);
+  out->handle_ = dl_fault.fail
+                     ? nullptr
+                     : dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (out->handle_ == nullptr) {
+    if (dl_fault.fail) {
+      if (error != nullptr) *error = "injected fault: dlopen";
+      return nullptr;
+    }
     const char* dl = dlerror();
     if (error != nullptr) {
       *error = StrPrintf("dlopen(%s) failed: %s", so_path.c_str(),
@@ -187,10 +196,25 @@ std::unique_ptr<JitModule> Jit::TryCompileSource(const std::string& source,
                     " -o " + Quoted(out->so_path_) + " " +
                     Quoted(out->c_path_) + " -lpthread -lm 2> " +
                     Quoted(base + ".err");
+  // Deterministic fault injection (testing/faults.h): a disarmed check is
+  // one relaxed load. An injected cc failure skips the real compiler and
+  // takes the identical failure path, minus keeping the .c (the source is
+  // fine; litter from repeated injections would hide real postmortems).
+  testing::FaultDecision cc_fault =
+      testing::CheckFault(testing::FaultPoint::kCcExec);
   Stopwatch cc_timer;
-  int rc = std::system(cmd.c_str());
+  int rc = cc_fault.fail ? 1 : std::system(cmd.c_str());
   out->compile_ms_ = cc_timer.ElapsedMs();
   if (rc != 0) {
+    if (cc_fault.fail) {
+      if (error != nullptr) *error = "injected fault: cc_exec";
+      std::remove((base + ".err").c_str());
+      std::remove(out->c_path_.c_str());
+      std::remove(out->so_path_.c_str());
+      out->c_path_.clear();
+      out->so_path_.clear();
+      return nullptr;
+    }
     std::string err;
     {
       std::ifstream ef(base + ".err");
@@ -212,8 +236,16 @@ std::unique_ptr<JitModule> Jit::TryCompileSource(const std::string& source,
   std::remove((base + ".err").c_str());
   out->so_bytes_ = FileBytes(out->so_path_);
 
-  out->handle_ = dlopen(out->so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+  testing::FaultDecision dl_fault =
+      testing::CheckFault(testing::FaultPoint::kDlopen);
+  out->handle_ = dl_fault.fail
+                     ? nullptr
+                     : dlopen(out->so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
   if (out->handle_ == nullptr) {
+    if (dl_fault.fail) {
+      if (error != nullptr) *error = "injected fault: dlopen";
+      return nullptr;  // ~JitModule removes the .c/.so pair
+    }
     const char* dl = dlerror();
     if (error != nullptr) {
       *error = StrPrintf("dlopen(%s) failed: %s", out->so_path_.c_str(),

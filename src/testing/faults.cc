@@ -1,0 +1,295 @@
+#include "testing/faults.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "util/str.h"
+
+namespace lb2::testing {
+
+namespace internal {
+std::atomic<bool> g_armed{false};
+}  // namespace internal
+
+namespace {
+
+/// Armed plan + per-rule hit counters, guarded by a mutex. Only armed
+/// sites pay for it; the disarmed path never reaches here.
+struct FaultState {
+  std::mutex mu;
+  std::vector<FaultRule> rules;
+  std::vector<int64_t> hits;   // per rule, parallel to `rules`
+  std::vector<int64_t> fires;  // per rule
+  std::atomic<int64_t> fired_by_point[kFaultPointCount] = {};
+};
+
+FaultState& State() {
+  static FaultState* s = new FaultState();
+  return *s;
+}
+
+constexpr const char* kPointNames[kFaultPointCount] = {
+    "cc_exec", "artifact_write", "artifact_rename", "dlopen", "disk"};
+
+bool PointFromName(const std::string& name, FaultPoint* out) {
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    if (name == kPointNames[i]) {
+      *out = static_cast<FaultPoint>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Which actions make sense where: `short` needs a byte stream to cut,
+/// `full` models capacity, `fail`/`delay` apply to any operation.
+bool ActionValidAt(FaultRule::Action a, FaultPoint p) {
+  switch (a) {
+    case FaultRule::Action::kShort:
+      return p == FaultPoint::kArtifactWrite;
+    case FaultRule::Action::kFull:
+      return p == FaultPoint::kDisk;
+    case FaultRule::Action::kFail:
+      return p != FaultPoint::kDisk;
+    case FaultRule::Action::kDelay:
+      return true;
+  }
+  return false;
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseOneRule(const std::string& text, FaultRule* rule,
+                  std::string* error) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ':') {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  if (parts.size() < 2) {
+    *error = "fault rule '" + text + "' needs point:action";
+    return false;
+  }
+  if (!PointFromName(parts[0], &rule->point)) {
+    *error = "unknown fault point '" + parts[0] + "' in '" + text + "'";
+    return false;
+  }
+  const std::string& action = parts[1];
+  if (action == "fail") {
+    rule->action = FaultRule::Action::kFail;
+  } else if (action == "short") {
+    rule->action = FaultRule::Action::kShort;
+  } else if (action == "full") {
+    rule->action = FaultRule::Action::kFull;
+  } else if (action.rfind("delay=", 0) == 0) {
+    rule->action = FaultRule::Action::kDelay;
+    std::string v = action.substr(6);
+    if (v.size() >= 2 && v.compare(v.size() - 2, 2, "ms") == 0) {
+      v = v.substr(0, v.size() - 2);
+    }
+    char* end = nullptr;
+    rule->delay_ms = std::strtod(v.c_str(), &end);
+    if (v.empty() || end == nullptr || *end != '\0' || rule->delay_ms < 0) {
+      *error = "bad delay value in '" + text + "'";
+      return false;
+    }
+  } else {
+    *error = "unknown fault action '" + action + "' in '" + text + "'";
+    return false;
+  }
+  if (!ActionValidAt(rule->action, rule->point)) {
+    *error = "action '" + action + "' does not apply to point '" + parts[0] +
+             "' in '" + text + "'";
+    return false;
+  }
+  for (size_t i = 2; i < parts.size(); ++i) {
+    const std::string& mod = parts[i];
+    if (mod == "once") {
+      rule->times = 1;
+    } else if (mod.rfind("every=", 0) == 0) {
+      if (!ParseInt(mod.substr(6), &rule->every) || rule->every < 1) {
+        *error = "bad every= value in '" + text + "'";
+        return false;
+      }
+    } else if (mod.rfind("times=", 0) == 0) {
+      if (!ParseInt(mod.substr(6), &rule->times) || rule->times < 1) {
+        *error = "bad times= value in '" + text + "'";
+        return false;
+      }
+    } else {
+      *error = "unknown fault schedule '" + mod + "' in '" + text + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Arms LB2_FAULTS at process start so externally-driven runs (benchmarks,
+/// the serve example, CI lanes) need no code change. A malformed spec
+/// aborts loudly — a fault test that silently runs fault-free is worse
+/// than one that fails to start.
+bool ArmFromEnv() {
+  const char* env = std::getenv("LB2_FAULTS");
+  if (env == nullptr || env[0] == '\0') return false;
+  FaultPlan plan;
+  std::string error;
+  if (!FaultPlan::Parse(env, &plan, &error)) {
+    std::fprintf(stderr, "[lb2-faults] bad LB2_FAULTS spec: %s\n",
+                 error.c_str());
+    std::abort();
+  }
+  ArmFaults(plan);
+  return true;
+}
+
+const bool g_env_armed = ArmFromEnv();
+
+}  // namespace
+
+const char* FaultPointName(FaultPoint p) {
+  int i = static_cast<int>(p);
+  return (i >= 0 && i < kFaultPointCount) ? kPointNames[i] : "?";
+}
+
+bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
+                      std::string* error) {
+  FaultPlan out;
+  size_t start = 0;
+  for (size_t i = 0; i <= spec.size(); ++i) {
+    if (i == spec.size() || spec[i] == ';') {
+      std::string rule_text = spec.substr(start, i - start);
+      start = i + 1;
+      // Trim surrounding spaces; empty rules (trailing ';') are fine.
+      while (!rule_text.empty() && rule_text.front() == ' ') {
+        rule_text.erase(rule_text.begin());
+      }
+      while (!rule_text.empty() && rule_text.back() == ' ') {
+        rule_text.pop_back();
+      }
+      if (rule_text.empty()) continue;
+      FaultRule rule;
+      if (!ParseOneRule(rule_text, &rule, error)) return false;
+      out.Add(rule);
+    }
+  }
+  *plan = std::move(out);
+  return true;
+}
+
+FaultPlan& FaultPlan::Add(const FaultRule& rule) {
+  rules_.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::Fail(FaultPoint p, int64_t every, int64_t times) {
+  FaultRule r;
+  r.point = p;
+  r.action = FaultRule::Action::kFail;
+  r.every = every;
+  r.times = times;
+  return Add(r);
+}
+
+FaultPlan& FaultPlan::Delay(FaultPoint p, double ms) {
+  FaultRule r;
+  r.point = p;
+  r.action = FaultRule::Action::kDelay;
+  r.delay_ms = ms;
+  return Add(r);
+}
+
+FaultPlan& FaultPlan::ShortWrite(int64_t every, int64_t times) {
+  FaultRule r;
+  r.point = FaultPoint::kArtifactWrite;
+  r.action = FaultRule::Action::kShort;
+  r.every = every;
+  r.times = times;
+  return Add(r);
+}
+
+FaultPlan& FaultPlan::DiskFull(int64_t every, int64_t times) {
+  FaultRule r;
+  r.point = FaultPoint::kDisk;
+  r.action = FaultRule::Action::kFull;
+  r.every = every;
+  r.times = times;
+  return Add(r);
+}
+
+void ArmFaults(const FaultPlan& plan) {
+  FaultState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.rules = plan.rules();
+  s.hits.assign(s.rules.size(), 0);
+  s.fires.assign(s.rules.size(), 0);
+  internal::g_armed.store(!s.rules.empty(), std::memory_order_release);
+}
+
+void DisarmFaults() { ArmFaults(FaultPlan()); }
+
+bool FaultsArmed() {
+  return internal::g_armed.load(std::memory_order_relaxed);
+}
+
+int64_t FaultsFired(FaultPoint p) {
+  return State().fired_by_point[static_cast<int>(p)].load(
+      std::memory_order_relaxed);
+}
+
+int64_t FaultsFiredTotal() {
+  int64_t total = 0;
+  for (int i = 0; i < kFaultPointCount; ++i) {
+    total += State().fired_by_point[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+namespace internal {
+
+FaultDecision Evaluate(FaultPoint p) {
+  FaultDecision d;
+  double delay_ms = 0.0;
+  FaultState& s = State();
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (size_t i = 0; i < s.rules.size(); ++i) {
+      FaultRule& r = s.rules[i];
+      if (r.point != p) continue;
+      int64_t hit = ++s.hits[i];
+      if (hit % r.every != 0) continue;
+      if (r.times >= 0 && s.fires[i] >= r.times) continue;
+      ++s.fires[i];
+      s.fired_by_point[static_cast<int>(p)].fetch_add(
+          1, std::memory_order_relaxed);
+      switch (r.action) {
+        case FaultRule::Action::kFail: d.fail = true; break;
+        case FaultRule::Action::kShort: d.short_write = true; break;
+        case FaultRule::Action::kFull: d.full = true; break;
+        case FaultRule::Action::kDelay: delay_ms += r.delay_ms; break;
+      }
+    }
+  }
+  // Sleep outside the lock so a delayed site never stalls other threads'
+  // fault evaluation.
+  if (delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return d;
+}
+
+}  // namespace internal
+
+}  // namespace lb2::testing

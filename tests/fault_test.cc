@@ -1,0 +1,498 @@
+// Deterministic fault injection over the serving stack (testing/faults.h):
+//
+//  * FaultPlan grammar: round-trips, schedules, and rejection of malformed
+//    or inapplicable specs.
+//  * The fault matrix: LB2_FAULTS-style specs armed while 8 threads hammer
+//    TPC-H Q1/Q6 through a full service (disk tier on). Invariant: every
+//    answered request matches the Volcano oracle row-for-row — degrading to
+//    the interpreter is allowed, wrong rows never, and the only non-OK
+//    status a client may ever see is the documented kBusy.
+//  * Hardened edges one by one: bounded cc retry, the per-fingerprint
+//    circuit breaker (trip, serve-interpreted, background repair, close),
+//    short-write invalidation, disk-full cooldown, and the no-orphan
+//    guarantee for failed artifact writes.
+//
+// These carry the ctest label `fault`; the CI `faults` lane runs them under
+// ThreadSanitizer with a throwaway LB2_CACHE_DIR.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <ftw.h>
+#include <sys/stat.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/artifact_store.h"
+#include "service/service.h"
+#include "testing/faults.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+#include "volcano/volcano.h"
+
+namespace lb2::service {
+namespace {
+
+using lb2::testing::ArmFaults;
+using lb2::testing::DisarmFaults;
+using lb2::testing::FaultPlan;
+using lb2::testing::FaultPoint;
+using lb2::testing::FaultsFired;
+
+// -- Scaffolding --------------------------------------------------------------
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lb2_fault_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+int RemoveOne(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+/// Owns a temp directory for one test.
+struct TempDir {
+  std::string path = MakeTempDir();
+  ~TempDir() {
+    if (!path.empty()) {
+      nftw(path.c_str(), RemoveOne, 16, FTW_DEPTH | FTW_PHYS);
+    }
+  }
+};
+
+std::vector<std::string> ListDir(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = opendir(dir.c_str());
+  EXPECT_NE(d, nullptr);
+  if (d == nullptr) return names;
+  while (struct dirent* e = readdir(d)) {
+    std::string name = e->d_name;
+    if (name != "." && name != "..") names.push_back(name);
+  }
+  closedir(d);
+  return names;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// The artifact directory's contract: only the lock file and keyed
+/// .so/.meta pairs may exist — a failed or injected write never leaves
+/// temp files or unkeyed bytes behind.
+void ExpectNoOrphans(const std::string& dir) {
+  for (const std::string& name : ListDir(dir)) {
+    EXPECT_TRUE(name == ".lock" || EndsWith(name, ".so") ||
+                EndsWith(name, ".meta"))
+        << "orphan file in artifact dir: " << name;
+  }
+}
+
+/// Arms a spec for one scope; disarms (and zeroes the schedule) on exit.
+struct ArmedFaults {
+  explicit ArmedFaults(const std::string& spec) {
+    FaultPlan plan;
+    std::string error;
+    EXPECT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
+    ArmFaults(plan);
+  }
+  explicit ArmedFaults(const FaultPlan& plan) { ArmFaults(plan); }
+  ~ArmedFaults() { DisarmFaults(); }
+};
+
+class FaultServiceTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 606, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  /// Service options tuned for fault tests: private disk tier, fast
+  /// retry/cooldown so tests converge in milliseconds, breaker armed.
+  static ServiceOptions FastDegradeOpts(const std::string& cache_dir) {
+    ServiceOptions opts;
+    opts.cache_dir = cache_dir;
+    opts.cc_retries = 1;
+    opts.cc_retry_backoff_ms = 1.0;
+    opts.breaker_failures = 2;
+    opts.disk_cooldown_ms = 50.0;
+    return opts;
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* FaultServiceTest::db_ = nullptr;
+
+// -- FaultPlan grammar --------------------------------------------------------
+
+TEST(FaultPlanTest, ParsesTheFullGrammar) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse(
+      "cc_exec:fail:every=3;artifact_write:short;dlopen:fail:once;"
+      "cc_exec:delay=200ms;disk:full:times=2; ",
+      &plan, &error))
+      << error;
+  ASSERT_EQ(plan.rules().size(), 5u);
+  EXPECT_EQ(plan.rules()[0].point, FaultPoint::kCcExec);
+  EXPECT_EQ(plan.rules()[0].every, 3);
+  EXPECT_EQ(plan.rules()[1].point, FaultPoint::kArtifactWrite);
+  EXPECT_EQ(plan.rules()[1].action, lb2::testing::FaultRule::Action::kShort);
+  EXPECT_EQ(plan.rules()[2].times, 1);
+  EXPECT_DOUBLE_EQ(plan.rules()[3].delay_ms, 200.0);
+  EXPECT_EQ(plan.rules()[4].point, FaultPoint::kDisk);
+  EXPECT_EQ(plan.rules()[4].times, 2);
+}
+
+TEST(FaultPlanTest, RejectsMalformedSpecs) {
+  FaultPlan plan;
+  std::string error;
+  // Unknown point, unknown action, missing action, bad schedule values,
+  // and actions that do not apply at a point.
+  for (const char* bad :
+       {"nope:fail", "cc_exec:explode", "cc_exec", "cc_exec:fail:every=0",
+        "cc_exec:fail:times=-3", "cc_exec:delay=abc", "cc_exec:short",
+        "disk:fail", "dlopen:full", "cc_exec:fail:sometimes"}) {
+    error.clear();
+    EXPECT_FALSE(FaultPlan::Parse(bad, &plan, &error)) << bad;
+    EXPECT_NE(error, "") << bad;
+  }
+}
+
+TEST(FaultPlanTest, SchedulesFireDeterministically) {
+  // every=3: hits 3, 6, 9 fire; times=2 caps total fires.
+  FaultPlan plan;
+  plan.Fail(FaultPoint::kDlopen, /*every=*/3, /*times=*/2);
+  ArmedFaults armed(plan);
+  std::vector<bool> fired;
+  for (int i = 0; i < 12; ++i) {
+    fired.push_back(lb2::testing::CheckFault(FaultPoint::kDlopen).fail);
+  }
+  std::vector<bool> want(12, false);
+  want[2] = want[5] = true;  // third and sixth hits, then the cap
+  EXPECT_EQ(fired, want);
+  // Re-arming resets the schedule.
+  ArmFaults(plan);
+  EXPECT_FALSE(lb2::testing::CheckFault(FaultPoint::kDlopen).fail);
+  EXPECT_FALSE(lb2::testing::CheckFault(FaultPoint::kDlopen).fail);
+  EXPECT_TRUE(lb2::testing::CheckFault(FaultPoint::kDlopen).fail);
+}
+
+TEST(FaultPlanTest, DisarmedCheckReportsNothing) {
+  DisarmFaults();
+  EXPECT_FALSE(lb2::testing::FaultsArmed());
+  lb2::testing::FaultDecision d =
+      lb2::testing::CheckFault(FaultPoint::kCcExec);
+  EXPECT_FALSE(d.fail);
+  EXPECT_FALSE(d.short_write);
+  EXPECT_FALSE(d.full);
+}
+
+// -- The fault matrix: specs × Q1/Q6 × 8 threads ------------------------------
+
+class FaultMatrixTest : public FaultServiceTest,
+                        public ::testing::WithParamInterface<const char*> {};
+
+TEST_P(FaultMatrixTest, EightThreadsAlwaysGetCorrectRows) {
+  TempDir cache;
+  QueryService svc(*db_, FastDegradeOpts(cache.path));
+  const plan::Query q1 = tpch::BuildQuery(1);
+  const plan::Query q6 = tpch::BuildQuery(6);
+  const std::string want1 = volcano::Execute(q1, *db_);
+  const std::string want6 = volcano::Execute(q6, *db_);
+
+  {
+    // Braced init: with parens this line is a function declaration (the
+    // most vexing parse) and no plan would ever be armed.
+    ArmedFaults armed{std::string(GetParam())};
+    constexpr int kThreads = 8;
+    constexpr int kRequests = 4;
+    std::atomic<int> wrong{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < kRequests; ++i) {
+          bool odd = (t + i) % 2 != 0;
+          ServiceResult r = svc.Execute(odd ? q6 : q1);
+          // kBusy is the only permitted non-OK outcome (and cannot occur
+          // here — the gate is unlimited); anything served must be right.
+          if (r.status != ServiceResult::Status::kOk) {
+            if (r.status != ServiceResult::Status::kBusy) wrong.fetch_add(1);
+            continue;
+          }
+          if (tpch::DiffResults(odd ? want6 : want1, r.text, false) != "") {
+            wrong.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(wrong.load(), 0) << "spec: " << GetParam();
+  }
+
+  // Faults cleared: the service must converge back to compiled execution
+  // (an open breaker repairs itself through the background worker).
+  svc.DrainBackground();
+  for (const plan::Query* q : {&q1, &q6}) {
+    ServiceResult r;
+    for (int i = 0; i < 50; ++i) {
+      r = svc.Execute(*q);
+      if (r.path != ServiceResult::Path::kInterpreted) break;
+      svc.DrainBackground();
+    }
+    EXPECT_NE(r.path, ServiceResult::Path::kInterpreted)
+        << "service did not recover after disarm, spec: " << GetParam();
+    EXPECT_EQ(tpch::DiffResults(q == &q1 ? want1 : want6, r.text, false), "");
+  }
+  ExpectNoOrphans(cache.path);
+  EXPECT_GT(svc.Stats().faults_injected, 0)
+      << "spec never fired; " << svc.Stats().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, FaultMatrixTest,
+    ::testing::Values(
+        // every=2, not every=3: single-flight means one cc per query, so a
+        // sparser schedule would never fire against the two-query workload.
+        "cc_exec:fail:every=2", "artifact_write:short", "dlopen:fail:once",
+        "cc_exec:delay=20ms", "disk:full", "artifact_rename:fail:every=2",
+        "cc_exec:fail:every=2;artifact_write:short;dlopen:fail:once;"
+        "disk:full:every=3"));
+
+// -- Hardened edges, one by one ----------------------------------------------
+
+TEST_F(FaultServiceTest, TransientCcFailureIsRetriedInvisibly) {
+  TempDir cache;
+  ServiceOptions opts = FastDegradeOpts(cache.path);
+  opts.cc_retries = 2;
+  QueryService svc(*db_, opts);
+  FaultPlan plan;
+  plan.Fail(FaultPoint::kCcExec, /*every=*/1, /*times=*/1);
+  ArmedFaults armed(plan);
+
+  ServiceResult r = svc.Execute(tpch::BuildQuery(6));
+  EXPECT_EQ(r.status, ServiceResult::Status::kOk);
+  // The first attempt was injected dead; the bounded retry absorbed it —
+  // the client still got compiled execution and no failure was surfaced.
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.cc_retries, 1);
+  EXPECT_EQ(s.compile_failures, 0);
+  EXPECT_EQ(s.breaker_trips, 0);
+}
+
+TEST_F(FaultServiceTest, BreakerTripsServesInterpretedThenHeals) {
+  TempDir cache;
+  ServiceOptions opts = FastDegradeOpts(cache.path);
+  opts.cc_retries = 0;  // every injected failure is a hard failure
+  opts.breaker_failures = 2;
+  QueryService svc(*db_, opts);
+  const plan::Query q = tpch::BuildQuery(6);
+  const std::string want = volcano::Execute(q, *db_);
+
+  {
+    ArmedFaults armed("cc_exec:fail");
+    // Failures 1 and 2: interpreted fallbacks that advance the streak.
+    for (int i = 0; i < 2; ++i) {
+      ServiceResult r = svc.Execute(q);
+      EXPECT_EQ(r.path, ServiceResult::Path::kInterpreted);
+      EXPECT_EQ(tpch::DiffResults(want, r.text, false), "");
+      EXPECT_NE(r.compile_error, "");  // the leader surfaced the failure
+      svc.DrainBackground();
+    }
+    ServiceStats s = svc.Stats();
+    EXPECT_EQ(s.breaker_trips, 1);
+    EXPECT_EQ(s.breaker_open, 1);
+
+    // Breaker open: served interpreted with NO foreground compile attempt
+    // (compile_failures only grows through the background repair worker).
+    ServiceResult r = svc.Execute(q);
+    svc.DrainBackground();
+    EXPECT_EQ(r.path, ServiceResult::Path::kInterpreted);
+    EXPECT_EQ(r.compile_error, "");  // the breaker path never attempted one
+    EXPECT_EQ(tpch::DiffResults(want, r.text, false), "");
+    s = svc.Stats();
+    EXPECT_GE(s.breaker_served, 1);
+    EXPECT_GE(s.breaker_rebuilds, 1);
+  }
+
+  // Fault cleared: the next breaker-served request schedules a background
+  // rebuild that succeeds and closes the breaker.
+  ServiceResult r;
+  for (int i = 0; i < 50; ++i) {
+    r = svc.Execute(q);
+    if (r.path != ServiceResult::Path::kInterpreted) break;
+    svc.DrainBackground();
+  }
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCached);
+  EXPECT_EQ(tpch::DiffResults(want, r.text, false), "");
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.breaker_open, 0);
+  EXPECT_GT(s.compiles, 0);
+}
+
+TEST_F(FaultServiceTest, ShortWriteNeverServesATornArtifact) {
+  TempDir cache;
+  const plan::Query q = tpch::BuildQuery(6);
+  const std::string want = volcano::Execute(q, *db_);
+  {
+    QueryService svc(*db_, FastDegradeOpts(cache.path));
+    ArmedFaults armed("artifact_write:short");
+    ServiceResult r = svc.Execute(q);
+    // The in-memory result is unaffected — the .so the service loaded is
+    // the JIT's own, not the store's torn copy.
+    EXPECT_EQ(r.status, ServiceResult::Status::kOk);
+    EXPECT_EQ(tpch::DiffResults(want, r.text, false), "");
+    ServiceStats s = svc.Stats();
+    EXPECT_EQ(s.disk_writes, 0);
+    EXPECT_GE(s.disk_write_failures, 1);
+    EXPECT_GE(s.disk_cooldowns, 1);
+  }
+  // The torn artifact was deleted on the spot: a fresh service over the
+  // same directory has nothing to load and must compile again.
+  ExpectNoOrphans(cache.path);
+  QueryService svc2(*db_, FastDegradeOpts(cache.path));
+  ServiceResult r2 = svc2.Execute(q);
+  EXPECT_EQ(r2.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(tpch::DiffResults(want, r2.text, false), "");
+}
+
+TEST_F(FaultServiceTest, DiskFullDisablesTheTierNotTheRequest) {
+  TempDir cache;
+  ServiceOptions opts = FastDegradeOpts(cache.path);
+  // A window far longer than any compile in this test: every disk touch
+  // below happens strictly inside the cooldown.
+  opts.disk_cooldown_ms = 60000.0;
+  QueryService svc(*db_, opts);
+  {
+    ArmedFaults armed("disk:full:once");
+    ServiceResult r = svc.Execute(tpch::BuildQuery(6));
+    EXPECT_EQ(r.status, ServiceResult::Status::kOk);
+  }
+  const ArtifactStore* store = svc.artifact_store();
+  ASSERT_NE(store, nullptr);
+  EXPECT_TRUE(store->InCooldown());
+  EXPECT_EQ(store->writes(), 0);
+
+  // Inside the window, even a fresh fingerprint skips the disk entirely —
+  // the request itself still compiles and answers normally.
+  ServiceResult r = svc.Execute(tpch::BuildQuery(1));
+  EXPECT_EQ(r.status, ServiceResult::Status::kOk);
+  EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+  EXPECT_EQ(store->writes(), 0);
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.disk_cooldowns, 1);
+  EXPECT_GE(s.disk_write_failures, 1);
+}
+
+TEST(ArtifactStoreFaultTest, CooldownWindowExpiresAndTierHeals) {
+  TempDir cache;
+  const std::string src = cache.path + "/src.so";
+  { std::ofstream(src, std::ios::binary) << "payload-bytes"; }
+  ArtifactMeta m;
+  m.compiler = "cc | test";
+  ArtifactStore store(cache.path, /*max_bytes=*/0, /*cooldown_ms=*/60.0);
+  {
+    FaultPlan plan;
+    plan.DiskFull(/*every=*/1, /*times=*/1);
+    ArmedFaults armed(plan);
+    EXPECT_FALSE(store.Put(1, m, src));
+  }
+  EXPECT_TRUE(store.InCooldown());
+  EXPECT_FALSE(store.Put(2, m, src));  // still inside the window
+  EXPECT_EQ(store.writes(), 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(90));
+  EXPECT_FALSE(store.InCooldown());
+  EXPECT_TRUE(store.Put(3, m, src));
+  EXPECT_EQ(store.writes(), 1);
+  EXPECT_EQ(store.cooldowns(), 1);
+}
+
+// -- Leak regression: failed writes leave no orphans --------------------------
+
+TEST_F(FaultServiceTest, FailedRenameMidPutLeavesNoTempFiles) {
+  TempDir cache;
+  QueryService svc(*db_, FastDegradeOpts(cache.path));
+  {
+    ArmedFaults armed("artifact_rename:fail");
+    ServiceResult r = svc.Execute(tpch::BuildQuery(6));
+    EXPECT_EQ(r.status, ServiceResult::Status::kOk);
+    EXPECT_GE(svc.Stats().disk_write_failures, 1);
+  }
+  // No .tmp_* debris and no unkeyed bytes: the aborted Put cleaned up
+  // everything it had staged.
+  ExpectNoOrphans(cache.path);
+  for (const std::string& name : ListDir(cache.path)) {
+    EXPECT_NE(name.rfind(".tmp_", 0), 0u) << "orphan temp file: " << name;
+  }
+}
+
+TEST(ArtifactStoreFaultTest, ConstructionSweepsStaleTempsOnly) {
+  TempDir cache;
+  const std::string stale = cache.path + "/.tmp_123_0";
+  const std::string fresh = cache.path + "/.tmp_456_1";
+  {
+    std::ofstream(stale) << "half-written artifact";
+    std::ofstream(fresh) << "live writer's file";
+  }
+  // Age the stale one past the sweep threshold; leave the fresh one now-ish.
+  struct timeval tv[2];
+  tv[0].tv_sec = ::time(nullptr) - 3600;
+  tv[0].tv_usec = 0;
+  tv[1] = tv[0];
+  ASSERT_EQ(utimes(stale.c_str(), tv), 0);
+
+  ArtifactStore store(cache.path, /*max_bytes=*/0);
+  struct stat st;
+  EXPECT_NE(::stat(stale.c_str(), &st), 0) << "stale temp survived the sweep";
+  EXPECT_EQ(::stat(fresh.c_str(), &st), 0) << "live temp was swept";
+}
+
+// -- Stats visibility ---------------------------------------------------------
+
+TEST_F(FaultServiceTest, DegradeCountersReachPrometheusAndJson) {
+  TempDir cache;
+  ServiceOptions opts = FastDegradeOpts(cache.path);
+  opts.cc_retries = 0;
+  QueryService svc(*db_, opts);
+  {
+    ArmedFaults armed("cc_exec:fail");
+    for (int i = 0; i < 3; ++i) {
+      svc.Execute(tpch::BuildQuery(6));
+      svc.DrainBackground();
+    }
+  }
+  std::string prom = svc.MetricsPrometheus();
+  for (const char* metric :
+       {"lb2_cc_retries_total", "lb2_breaker_trips_total", "lb2_breaker_open",
+        "lb2_breaker_served_total", "lb2_breaker_rebuilds_total",
+        "lb2_disk_write_failures_total", "lb2_disk_cooldowns_total",
+        "lb2_faults_injected_total"}) {
+    EXPECT_NE(prom.find(metric), std::string::npos) << metric;
+    EXPECT_NE(svc.MetricsJson().find(metric), std::string::npos) << metric;
+  }
+  EXPECT_NE(prom.find("lb2_breaker_trips_total 1"), std::string::npos);
+  ServiceStats s = svc.Stats();
+  EXPECT_GT(s.faults_injected, 0);
+  // The one-line rendering names the new counters too.
+  EXPECT_NE(s.ToString().find("breaker trips=1"), std::string::npos);
+  EXPECT_NE(s.ToString().find("faults-injected="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lb2::service

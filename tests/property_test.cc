@@ -7,8 +7,13 @@
 //  * LB2HashMap against a std::unordered_map model under random
 //    insert/update streams (including multi-lane merge).
 //  * Staged sort against std::sort on random key configurations.
+//  * Engine-matrix fuzzing: plans with dictionary-coded string equality
+//    predicates and OrderBy/Limit tails, each executed under
+//    use_dict ∈ {off, on} × num_threads ∈ {1, 4}, must agree with the
+//    Volcano oracle row-for-row.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <random>
 #include <unordered_map>
 
@@ -23,6 +28,17 @@ namespace lb2 {
 namespace {
 
 using namespace lb2::plan;  // NOLINT
+
+/// Rounds per parameterized seed. gtest enumerates the seed range at build
+/// time, so CI's extended fuzz mode (CI_FUZZ_SEEDS=<total seed-rounds>)
+/// scales the per-seed round count at runtime instead of the range.
+int FuzzRounds(int base, int suite_seeds) {
+  const char* env = std::getenv("CI_FUZZ_SEEDS");
+  if (env == nullptr) return base;
+  int total = std::atoi(env);
+  int rounds = total / suite_seeds;
+  return rounds > base ? rounds : base;
+}
 
 class PropertyTest : public ::testing::TestWithParam<int> {
  protected:
@@ -170,6 +186,96 @@ TEST_P(PropertyTest, RandomJoinPlansAgreeAcrossEngines) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(1, 13));
+
+// ---------------------------------------------------------------------------
+// Engine-matrix fuzzing: dictionary predicates + Sort/Limit, all engines,
+// dict on/off, 1 and 4 threads
+// ---------------------------------------------------------------------------
+
+class FuzzMatrixTest : public ::testing::TestWithParam<int> {
+ protected:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 1234, db_);
+    // String dictionaries are what use_dict=on actually exercises; without
+    // them the option is a no-op and the matrix would test nothing.
+    tpch::LoadOptions lo;
+    lo.string_dicts = true;
+    tpch::BuildAuxStructures(lo, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+  static rt::Database* db_;
+};
+
+rt::Database* FuzzMatrixTest::db_ = nullptr;
+
+/// Random query stressing the matrix dimensions: a string-equality filter
+/// whose literal is sampled from the table (so dictionary-coded evaluation
+/// has real work and real matches), a random numeric filter, a group-by,
+/// and an OrderBy/Limit tail. Sorting on the unique group key gives a total
+/// order, so results compare order-sensitively across every engine.
+Query RandomDictSortQuery(RandomPlanner& planner, const rt::Database& db) {
+  const char* tables[] = {"lineitem", "orders", "customer", "part",
+                          "supplier"};
+  std::string table = tables[planner.Pick(5)];
+  const rt::Table& t = db.table(table);
+  schema::Schema s = t.schema();
+
+  std::vector<int> strs;
+  for (int i = 0; i < s.size(); ++i) {
+    if (s.field(i).kind == schema::FieldKind::kString) strs.push_back(i);
+  }
+  const auto& sf = s.field(strs[static_cast<size_t>(
+      planner.Pick(static_cast<int>(strs.size())))]);
+  int64_t row = planner.Pick(static_cast<int>(t.num_rows()));
+  std::string literal(t.column(sf.name).StringAt(row));
+
+  PlanRef p = Filter(Scan(table), Eq(Col(sf.name), S(literal)));
+  if (planner.Pick(2)) p = Filter(p, planner.RandomPred(s));
+
+  schema::Schema os = OutputSchema(p, db);
+  int key = planner.Pick(os.size());
+  std::vector<AggSpec> aggs = {CountStar("cnt")};
+  for (int i = 0; i < os.size(); ++i) {
+    if (os.field(i).kind == schema::FieldKind::kDouble && planner.Pick(2)) {
+      aggs.push_back(Sum(Col(os.field(i).name), "s_" + os.field(i).name));
+    }
+  }
+  PlanRef g = GroupBy(p, {"k"}, {Col(os.field(key).name)}, aggs);
+  return {{}, Limit(OrderBy(g, {{"k", planner.Pick(2) == 0}}), 16)};
+}
+
+TEST_P(FuzzMatrixTest, DictAndSortPlansAgreeAcrossEngineMatrix) {
+  RandomPlanner planner(GetParam() * 7919 + 11);
+  int rounds = FuzzRounds(1, 8);
+  for (int round = 0; round < rounds; ++round) {
+    Query q = RandomDictSortQuery(planner, *db_);
+    std::string oracle = volcano::Execute(q, *db_);
+    for (bool dict : {false, true}) {
+      engine::EngineOptions iopts;
+      iopts.use_dict = dict;
+      auto interp = engine::ExecuteInterp(q, *db_, iopts);
+      ASSERT_EQ(tpch::DiffResults(oracle, interp.text, true), "")
+          << "interp seed " << GetParam() << " round " << round
+          << " dict " << dict;
+      for (int threads : {1, 4}) {
+        engine::EngineOptions copts;
+        copts.use_dict = dict;
+        copts.num_threads = threads;
+        auto cq = compile::CompileQuery(
+            q, *db_, copts,
+            "fuzzm" + std::to_string(GetParam()) + "_" +
+                std::to_string(round) + (dict ? "_d" : "_n") +
+                std::to_string(threads));
+        ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
+            << "compiled seed " << GetParam() << " round " << round
+            << " dict " << dict << " threads " << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzMatrixTest, ::testing::Range(1, 9));
 
 // ---------------------------------------------------------------------------
 // LB2HashMap vs std::unordered_map model
