@@ -1,0 +1,390 @@
+// Multi-process load harness for the lb2 network front end. Forks N client
+// processes, each holding M pipelined connections against a running
+// lb2_served, hammers a fixed statement mix for a wall-clock budget, and
+// merges per-path latency percentiles from every child.
+//
+//   ./bench_net_load --port=N [--host=H] [--procs=8] [--conns=4]
+//                    [--pipeline=8] [--seconds=5]
+//
+// Beyond throughput numbers, the harness is a protocol conformance
+// checker: it exits non-zero on any violation —
+//   * an undecodable or unexpected frame, or an unknown request id,
+//   * an ERROR frame for statements known to be valid SQL,
+//   * a connection dropped mid-run (EOF/reset before the harness closed
+//     it) or a response that never arrived,
+//   * a RESULT whose text differs from the first answer the same
+//     statement produced on that connection (faults may change *how* a
+//     query is served — compiled vs interpreted — never *what* it
+//     answers).
+// BUSY is not a violation: it is the protocol's documented backpressure
+// answer, counted and retried. This is what the CI chaos soak runs against
+// a server armed with LB2_FAULTS=chaos:<seed> — the assertion is zero
+// violations while faults fire, then full recovery in a final sequential
+// verify pass (every statement re-answered, BUSY retried until served).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/client.h"
+#include "net/protocol.h"
+#include "util/time.h"
+
+using namespace lb2;  // NOLINT
+
+namespace {
+
+// Known-valid statements against the lb2_served TPC-H catalog: a mix of
+// shapes so the server's cache, gate, and both engines all see traffic.
+std::vector<std::string> Workload() {
+  return {
+      "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev "
+      "from lineitem where l_returnflag = 'A' group by l_returnflag",
+      "select l_returnflag, count(*) as n, sum(l_extendedprice) as rev "
+      "from lineitem where l_returnflag = 'R' group by l_returnflag",
+      "select sum(l_extendedprice * l_discount) as rev from lineitem "
+      "where l_quantity < 24",
+      "select sum(l_extendedprice * l_discount) as rev from lineitem "
+      "where l_quantity < 45",
+      "select n_name, count(*) as suppliers from supplier, nation "
+      "where s_nationkey = n_nationkey group by n_name order by suppliers "
+      "desc, n_name",
+      "select o_orderpriority, count(*) as n from orders "
+      "group by o_orderpriority order by o_orderpriority",
+  };
+}
+
+constexpr int kPaths = 4;  // service::ServiceResult::Path values
+constexpr int kBuckets = 64;
+
+int BucketIndex(int64_t v) {
+  if (v <= 1) return 0;
+  int b = 0;
+  while (v > 1) {
+    v >>= 1;
+    ++b;
+  }
+  return b < kBuckets ? b : kBuckets - 1;
+}
+
+// POD so one write()/read() ships a child's whole report over its pipe.
+struct Report {
+  int64_t responses = 0;
+  int64_t busy = 0;
+  int64_t violations = 0;
+  int64_t path_count[kPaths] = {};
+  int64_t path_max_ns[kPaths] = {};
+  int64_t buckets[kPaths][kBuckets] = {};
+
+  void Merge(const Report& o) {
+    responses += o.responses;
+    busy += o.busy;
+    violations += o.violations;
+    for (int p = 0; p < kPaths; ++p) {
+      path_count[p] += o.path_count[p];
+      if (o.path_max_ns[p] > path_max_ns[p]) path_max_ns[p] = o.path_max_ns[p];
+      for (int b = 0; b < kBuckets; ++b) buckets[p][b] += o.buckets[p][b];
+    }
+  }
+
+  int64_t Percentile(int p, double q) const {
+    int64_t n = path_count[p];
+    if (n <= 0) return 0;
+    int64_t rank = static_cast<int64_t>(q * static_cast<double>(n));
+    if (rank >= n) rank = n - 1;
+    int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets[p][b];
+      if (seen > rank) {
+        int64_t ub = b >= 62 ? path_max_ns[p]
+                             : (static_cast<int64_t>(1) << (b + 1)) - 1;
+        return ub < path_max_ns[p] ? ub : path_max_ns[p];
+      }
+    }
+    return path_max_ns[p];
+  }
+};
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int procs = 8;
+  int conns = 4;
+  int pipeline = 8;
+  double seconds = 5.0;
+};
+
+void Violation(Report* r, const char* fmt, ...) {
+  ++r->violations;
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "[bench_net_load] VIOLATION: ");
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+/// One pipelined connection's run loop: keep `pipeline` QUERYs
+/// outstanding until the deadline, then drain what is owed.
+void RunConnection(const Options& opts, const std::vector<std::string>& work,
+                   int64_t deadline_ns, Report* r) {
+  net::BlockingClient client;
+  std::string error;
+  if (!client.Connect(opts.host, opts.port, &error)) {
+    Violation(r, "connect: %s", error.c_str());
+    return;
+  }
+  struct Pending {
+    size_t stmt;
+    int64_t t0;
+  };
+  std::unordered_map<uint64_t, Pending> pending;
+  // First answer per statement on this connection; later answers must be
+  // byte-identical (faults degrade the path, never the result).
+  std::unordered_map<size_t, std::string> expected;
+  uint64_t next_id = 1;
+  size_t next_stmt = 0;
+  bool run = true;
+  auto send_one = [&]() -> bool {
+    size_t stmt = next_stmt++ % work.size();
+    uint64_t id = next_id++;
+    if (!client.SendQuery(id, work[stmt])) {
+      Violation(r, "send failed: %s", client.error().c_str());
+      return false;
+    }
+    pending[id] = {stmt, NowNs()};
+    return true;
+  };
+  while (run && static_cast<int>(pending.size()) < opts.pipeline) {
+    run = send_one();
+  }
+  while (run && !pending.empty()) {
+    net::Frame f;
+    switch (client.ReadFrame(&f, 30000)) {
+      case net::BlockingClient::ReadStatus::kFrame:
+        break;
+      case net::BlockingClient::ReadStatus::kEof:
+        Violation(r, "connection closed with %zu responses outstanding",
+                  pending.size());
+        return;
+      case net::BlockingClient::ReadStatus::kTimeout:
+        Violation(r, "no response within 30s (%zu outstanding)",
+                  pending.size());
+        return;
+      case net::BlockingClient::ReadStatus::kError:
+        Violation(r, "read: %s", client.error().c_str());
+        return;
+    }
+    auto it = pending.find(f.request_id);
+    if (it == pending.end()) {
+      Violation(r, "response for unknown request id %llu",
+                static_cast<unsigned long long>(f.request_id));
+      return;
+    }
+    Pending p = it->second;
+    pending.erase(it);
+    int64_t lat = NowNs() - p.t0;
+    if (f.type == net::FrameType::kBusy) {
+      ++r->busy;  // documented backpressure; retry by just sending more
+    } else if (f.type == net::FrameType::kResult) {
+      net::ResultPayload rp;
+      if (!net::DecodeResultPayload(f.payload, &rp) || rp.path >= kPaths) {
+        Violation(r, "malformed RESULT payload");
+        return;
+      }
+      ++r->responses;
+      ++r->path_count[rp.path];
+      ++r->buckets[rp.path][BucketIndex(lat)];
+      if (lat > r->path_max_ns[rp.path]) r->path_max_ns[rp.path] = lat;
+      auto [eit, fresh] = expected.emplace(p.stmt, rp.text);
+      if (!fresh && eit->second != rp.text) {
+        Violation(r, "statement %zu answered differently under load", p.stmt);
+      }
+    } else {
+      Violation(r, "%s frame for valid statement %zu: %.*s",
+                net::FrameTypeName(f.type), p.stmt,
+                static_cast<int>(f.payload.size() > 200 ? 200
+                                                        : f.payload.size()),
+                f.payload.c_str());
+    }
+    if (run && NowNs() >= deadline_ns) run = false;
+    while (run && static_cast<int>(pending.size()) < opts.pipeline) {
+      run = send_one();
+    }
+    if (!run && pending.empty()) break;
+  }
+}
+
+/// Child process body: `conns` pipelined connections on threads, merged
+/// report written to `pipe_fd`.
+int RunChild(const Options& opts, int pipe_fd) {
+  std::vector<std::string> work = Workload();
+  int64_t deadline =
+      NowNs() + static_cast<int64_t>(opts.seconds * 1e9);
+  std::vector<Report> reports(static_cast<size_t>(opts.conns));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(opts.conns));
+  for (int c = 0; c < opts.conns; ++c) {
+    threads.emplace_back(RunConnection, std::cref(opts), std::cref(work),
+                         deadline, &reports[static_cast<size_t>(c)]);
+  }
+  for (auto& t : threads) t.join();
+  Report merged;
+  for (const Report& r : reports) merged.Merge(r);
+  ssize_t n = write(pipe_fd, &merged, sizeof(merged));
+  close(pipe_fd);
+  return n == static_cast<ssize_t>(sizeof(merged)) ? 0 : 1;
+}
+
+/// After the load: one clean connection answers every statement once,
+/// retrying BUSY — proof the server fully recovered from any chaos.
+bool VerifyRecovery(const Options& opts) {
+  net::BlockingClient client;
+  std::string error;
+  if (!client.Connect(opts.host, opts.port, &error)) {
+    std::fprintf(stderr, "[bench_net_load] verify connect: %s\n",
+                 error.c_str());
+    return false;
+  }
+  std::vector<std::string> work = Workload();
+  uint64_t id = 1000000;
+  for (size_t s = 0; s < work.size(); ++s) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      if (!client.SendQuery(++id, work[s])) return false;
+      net::Frame f;
+      if (client.ReadFrame(&f, 30000) !=
+          net::BlockingClient::ReadStatus::kFrame) {
+        std::fprintf(stderr, "[bench_net_load] verify read failed: %s\n",
+                     client.error().c_str());
+        return false;
+      }
+      if (f.type == net::FrameType::kBusy) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      net::ResultPayload rp;
+      if (f.type != net::FrameType::kResult ||
+          !net::DecodeResultPayload(f.payload, &rp)) {
+        std::fprintf(stderr,
+                     "[bench_net_load] verify: statement %zu got %s\n", s,
+                     net::FrameTypeName(f.type));
+        return false;
+      }
+      break;  // served
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--host=", 7) == 0) {
+      opts.host = a + 7;
+    } else if (std::strncmp(a, "--port=", 7) == 0) {
+      opts.port = std::atoi(a + 7);
+    } else if (std::strncmp(a, "--procs=", 8) == 0) {
+      opts.procs = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--conns=", 8) == 0) {
+      opts.conns = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--pipeline=", 11) == 0) {
+      opts.pipeline = std::atoi(a + 11);
+    } else if (std::strncmp(a, "--seconds=", 10) == 0) {
+      opts.seconds = std::atof(a + 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --port=N [--host=H] [--procs=N] [--conns=N] "
+                   "[--pipeline=N] [--seconds=F]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (opts.port <= 0) {
+    std::fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  std::printf(
+      "load: %d procs x %d conns, pipeline %d, %.1fs against %s:%d\n",
+      opts.procs, opts.conns, opts.pipeline, opts.seconds,
+      opts.host.c_str(), opts.port);
+  Stopwatch wall;
+  std::vector<pid_t> pids;
+  std::vector<int> pipes;
+  for (int p = 0; p < opts.procs; ++p) {
+    int fds[2];
+    if (pipe(fds) != 0) {
+      std::perror("pipe");
+      return 2;
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    if (pid == 0) {
+      close(fds[0]);
+      _exit(RunChild(opts, fds[1]));
+    }
+    close(fds[1]);
+    pids.push_back(pid);
+    pipes.push_back(fds[0]);
+  }
+
+  Report merged;
+  bool child_failed = false;
+  for (size_t p = 0; p < pids.size(); ++p) {
+    Report r;
+    ssize_t n = read(pipes[p], &r, sizeof(r));
+    close(pipes[p]);
+    if (n == static_cast<ssize_t>(sizeof(r))) {
+      merged.Merge(r);
+    } else {
+      child_failed = true;
+      std::fprintf(stderr, "[bench_net_load] child %zu sent no report\n", p);
+    }
+    int status = 0;
+    waitpid(pids[p], &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) child_failed = true;
+  }
+  double wall_s = wall.ElapsedMs() / 1000.0;
+
+  const char* names[kPaths] = {"compiled-cold", "compiled-cached",
+                               "interpreted", "compiled-disk"};
+  std::printf("\n%-18s %10s %10s %10s %10s %10s\n", "path", "responses",
+              "p50 ms", "p95 ms", "p99 ms", "max ms");
+  for (int p = 0; p < kPaths; ++p) {
+    if (merged.path_count[p] == 0) continue;
+    std::printf("%-18s %10lld %10.3f %10.3f %10.3f %10.3f\n", names[p],
+                static_cast<long long>(merged.path_count[p]),
+                static_cast<double>(merged.Percentile(p, 0.50)) / 1e6,
+                static_cast<double>(merged.Percentile(p, 0.95)) / 1e6,
+                static_cast<double>(merged.Percentile(p, 0.99)) / 1e6,
+                static_cast<double>(merged.path_max_ns[p]) / 1e6);
+  }
+  std::printf("\n%lld responses (%.0f/sec), %lld busy (retried), "
+              "%lld violations\n",
+              static_cast<long long>(merged.responses),
+              static_cast<double>(merged.responses) / wall_s,
+              static_cast<long long>(merged.busy),
+              static_cast<long long>(merged.violations));
+
+  bool recovered = VerifyRecovery(opts);
+  std::printf("recovery verify: %s\n", recovered ? "ok" : "FAILED");
+
+  if (merged.violations > 0 || child_failed || !recovered) return 1;
+  return 0;
+}

@@ -13,6 +13,9 @@
 //
 // --trace logs one line per request to stderr with the path taken and the
 // per-stage span breakdown (fingerprint/admission/stage/cc/exec...).
+// --trace-out=FILE additionally records every request as a Chrome
+// trace_event slice (one track per worker thread) and writes the JSON at
+// exit — load it in chrome://tracing or Perfetto.
 // --metrics-out=FILE rewrites FILE with the service's Prometheus text
 // every ~2 s while serving and once more at exit — point a file-based
 // scraper (or `watch cat`) at it.
@@ -99,11 +102,14 @@ void WriteMetricsFile(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   bool trace = false;
   std::string metrics_out;
+  std::string trace_out;
   // Flags first (any order), then the original positionals.
   int pos = 1;
   while (pos < argc && argv[pos][0] == '-') {
     if (std::strcmp(argv[pos], "--trace") == 0) {
       trace = true;
+    } else if (std::strncmp(argv[pos], "--trace-out=", 12) == 0) {
+      trace_out = argv[pos] + 12;
     } else if (std::strncmp(argv[pos], "--metrics-out=", 14) == 0) {
       metrics_out = argv[pos] + 14;
     } else if (std::strcmp(argv[pos], "--metrics-out") == 0 &&
@@ -148,6 +154,7 @@ int main(int argc, char** argv) {
     std::printf("persistent artifact cache: %s\n",
                 svc.artifact_store()->dir().c_str());
   }
+  obs::ChromeTraceWriter trace_writer(trace_out);  // inert when path empty
   std::atomic<int> next{0};
   std::atomic<int64_t> busy{0};  // requests shed by admission control
   std::vector<Tally> by_path(4);  // indexed by ServiceResult::Path
@@ -175,7 +182,7 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   workers.reserve(static_cast<size_t>(threads));
   for (int t = 0; t < threads; ++t) {
-    workers.emplace_back([&] {
+    workers.emplace_back([&, t] {
       std::vector<Tally> local(4);
       for (;;) {
         int i = next.fetch_add(1);
@@ -184,6 +191,7 @@ int main(int argc, char** argv) {
             workload[static_cast<size_t>(schedule[static_cast<size_t>(i)])];
         service::ServiceResult r;
         std::string error;
+        int64_t t0 = NowNs();
         Stopwatch latency;
         if (!svc.ExecuteSql(sql, &r, &error)) {
           std::fprintf(stderr, "parse error: %s\n", error.c_str());
@@ -194,6 +202,12 @@ int main(int argc, char** argv) {
           continue;
         }
         double ms = latency.ElapsedMs();
+        if (!trace_out.empty()) {
+          if (r.spans.empty()) {
+            r.spans.push_back({"request", NowNs() - t0});
+          }
+          trace_writer.Add(service::PathName(r.path), t, t0, r.spans);
+        }
         if (trace) {
           // One fprintf per request so concurrent lines don't interleave.
           std::string line = StrPrintf(
@@ -243,5 +257,14 @@ int main(int argc, char** argv) {
   std::printf("\nwall %.0f ms, %.1f queries/sec\n", wall_ms,
               requests / (wall_ms / 1000.0));
   std::printf("service: %s\n", svc.Stats().ToString().c_str());
+  if (!trace_out.empty()) {
+    std::string terror;
+    if (trace_writer.WriteFile(&terror)) {
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", terror.c_str());
+    }
+  }
   return 0;
 }

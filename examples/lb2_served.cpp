@@ -1,0 +1,145 @@
+// The socketed query server: loads TPC-H, wraps a QueryService in the
+// net::NetServer front end, and serves the lb2 wire protocol until SIGTERM
+// (or SIGINT) drains it.
+//
+//   ./lb2_served [--port=N] [--admin-port=N] [--threads=N] [--sf=F]
+//                [--seed=N] [--cache-dir=DIR] [--max-conn-inflight=N]
+//                [--trace-out=FILE] [--port-file=FILE]
+//
+// Ports default to LB2_PORT/LB2_ADMIN_PORT (7878/7879); pass 0 for an
+// ephemeral port and read the bound ports back from --port-file (one line:
+// "port admin_port"), which the CI soak harness uses. Worker count follows
+// LB2_NET_THREADS; drain patience follows LB2_DRAIN_TIMEOUT_MS. Admission
+// control (LB2_MAX_INFLIGHT / LB2_QUEUE_TIMEOUT_MS), the artifact tier
+// (LB2_CACHE_DIR) and fault injection (LB2_FAULTS, including chaos:<seed>)
+// all arrive through the service's environment defaults.
+//
+// On SIGTERM: stop accepting, answer everything already received, flush,
+// then print the final stats and Prometheus exposition to stdout. With
+// --trace-out, every served request is also recorded as a Chrome
+// trace_event slice (chrome://tracing / Perfetto).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/server.h"
+#include "obs/trace.h"
+#include "service/service.h"
+#include "tpch/dbgen.h"
+
+using namespace lb2;  // NOLINT
+
+namespace {
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = net::DefaultPort();
+  int admin_port = net::DefaultAdminPort();
+  int threads = net::DefaultNetThreads();
+  double sf = 0.01;
+  uint32_t seed = 42;
+  std::string cache_dir;
+  int max_conn_inflight = 32;
+  std::string trace_out;
+  std::string port_file;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--port", &v)) {
+      port = std::atoi(v);
+    } else if (FlagValue(argv[i], "--admin-port", &v)) {
+      admin_port = std::atoi(v);
+    } else if (FlagValue(argv[i], "--threads", &v)) {
+      threads = std::atoi(v);
+    } else if (FlagValue(argv[i], "--sf", &v)) {
+      sf = std::atof(v);
+    } else if (FlagValue(argv[i], "--seed", &v)) {
+      seed = static_cast<uint32_t>(std::atoll(v));
+    } else if (FlagValue(argv[i], "--cache-dir", &v)) {
+      cache_dir = v;
+    } else if (FlagValue(argv[i], "--max-conn-inflight", &v)) {
+      max_conn_inflight = std::atoi(v);
+    } else if (FlagValue(argv[i], "--trace-out", &v)) {
+      trace_out = v;
+    } else if (FlagValue(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--admin-port=N] [--threads=N] "
+                   "[--sf=F] [--seed=N] [--cache-dir=DIR] "
+                   "[--max-conn-inflight=N] [--trace-out=FILE] "
+                   "[--port-file=FILE]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  rt::Database db;
+  std::printf("loading TPC-H SF %.3f... ", sf);
+  std::fflush(stdout);
+  tpch::Generate(sf, seed, &db);
+  std::printf("done (%lld lineitem rows)\n",
+              static_cast<long long>(db.table("lineitem").num_rows()));
+
+  service::ServiceOptions sopts;
+  if (!cache_dir.empty()) sopts.cache_dir = cache_dir;
+  service::QueryService svc(db, sopts);
+
+  obs::ChromeTraceWriter trace(trace_out);  // unused when path is empty
+  net::NetOptions nopts;
+  nopts.port = port;
+  nopts.admin_port = admin_port;
+  nopts.num_workers = threads;
+  nopts.max_conn_inflight = max_conn_inflight;
+  if (!trace_out.empty()) nopts.trace = &trace;
+
+  net::NetServer server(&svc, nopts);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "start failed: %s\n", error.c_str());
+    return 1;
+  }
+  net::NetServer::InstallSignalHandlers(&server);
+  std::printf("listening on %d (admin %d), %d workers — SIGTERM drains\n",
+              server.port(), server.admin_port(), threads);
+  std::fflush(stdout);
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "w");
+    if (f != nullptr) {
+      std::fprintf(f, "%d %d\n", server.port(), server.admin_port());
+      std::fclose(f);
+    }
+  }
+
+  server.Wait();  // returns once a drain (SIGTERM/SIGINT) completes
+  net::NetServer::InstallSignalHandlers(nullptr);
+  // The front end answered everything it accepted; now retire the
+  // service's background work before reporting.
+  svc.BeginDrain();
+  svc.DrainBackground();
+
+  std::printf("drained.\nnet: %s\nservice: %s\n",
+              server.stats().ToString().c_str(),
+              svc.Stats().ToString().c_str());
+  std::printf("%s", server.MetricsPrometheus().c_str());
+  if (!trace_out.empty()) {
+    std::string terror;
+    if (trace.WriteFile(&terror)) {
+      std::printf("trace written to %s (load in chrome://tracing)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", terror.c_str());
+    }
+  }
+  return 0;
+}

@@ -2,12 +2,20 @@
 # CI entry point: tier-1 correctness, the ThreadSanitizer concurrency lane,
 # and the service-throughput benchmark JSON.
 #
-#   scripts/ci.sh            # tier-1 + tsan + faults + bench
+#   scripts/ci.sh            # tier-1 + tsan + faults + net + soak + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
 #   scripts/ci.sh faults     # TSan build, `ctest -L 'fuzz|fault'` with
 #                            #   extended fuzz seeds (CI_FUZZ_SEEDS=64)
+#   scripts/ci.sh net        # TSan build, `ctest -L net`: the epoll loop,
+#                            #   worker handoff, and drain under TSan
+#   scripts/ci.sh soak       # ~10s chaos soak: lb2_served armed with
+#                            #   LB2_FAULTS=chaos:<seed> + a tight admission
+#                            #   gate vs bench_net_load (8 procs x 4 conns,
+#                            #   pipelined); asserts zero protocol
+#                            #   violations, a mid-load admin scrape, and a
+#                            #   clean SIGTERM drain
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
 #                            #   -> BENCH_service.json, plus the obs
 #                            #   overhead gate (metrics on vs off, and
@@ -64,6 +72,73 @@ faults() {
   with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
     ctest --test-dir build-tsan -L 'fuzz|fault' --output-on-failure \
     -j"$(nproc)"
+}
+
+# Network lane: the codec fuzzers plus the loopback integration tests (the
+# epoll loop's worker handoff, backpressure stalls, BUSY shedding, and the
+# drain state machine) under ThreadSanitizer. The server's claim is that
+# all connection state is loop-private and everything cross-thread moves
+# through two guarded queues — TSan on the `net` label is what proves it.
+net() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir \
+    ctest --test-dir build-tsan -L net --output-on-failure -j"$(nproc)"
+}
+
+# Chaos soak: a real lb2_served process armed with seeded-random fault
+# injection over every registered point, a tight admission gate so BUSY
+# shedding actually happens, and the multi-process load harness hammering
+# it with pipelined connections. The harness exits non-zero on any protocol
+# violation (dropped connection, wrong/missing/duplicate response, ERROR on
+# valid SQL) and ends with a sequential verify pass, so `wait` + set -e is
+# the whole assertion. Mid-load, the admin port must still answer a
+# Prometheus scrape; at the end, SIGTERM must drain cleanly to exit 0.
+soak() {
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$(nproc)" --target lb2_served bench_net_load
+  local dir port_file seed port admin_port server_pid load_pid
+  dir="$(mktemp -d)"
+  mkdir -p "$dir/cache"
+  port_file="$dir/ports"
+  seed="${CI_CHAOS_SEED:-20260809}"
+  LB2_FAULTS="chaos:$seed" LB2_MAX_INFLIGHT=8 LB2_QUEUE_TIMEOUT_MS=5 \
+    LB2_CACHE_DIR="$dir/cache" \
+    ./build/examples/lb2_served --port=0 --admin-port=0 --sf=0.005 \
+    --threads=16 --port-file="$port_file" >"$dir/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 300); do
+    [ -s "$port_file" ] && break
+    sleep 0.1
+  done
+  if ! [ -s "$port_file" ]; then
+    echo "lb2_served never wrote its port file:" >&2
+    cat "$dir/server.log" >&2
+    exit 1
+  fi
+  read -r port admin_port <"$port_file"
+  ./build/bench/bench_net_load --port="$port" --procs=8 --conns=4 \
+    --pipeline=8 --seconds=8 &
+  load_pid=$!
+  sleep 2
+  # The admin plane must answer while the data plane is saturated.
+  python3 - "$admin_port" <<'EOF'
+import sys
+import urllib.request
+port = sys.argv[1]
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+assert "lb2_net_accepted_total" in body, body[:400]
+assert "lb2_requests_total" in body, body[:400]
+print("admin /metrics answered mid-load")
+EOF
+  wait "$load_pid"       # non-zero on any protocol violation
+  kill -TERM "$server_pid"
+  wait "$server_pid"     # non-zero if the drain was not clean
+  grep -q "drained." "$dir/server.log"
+  echo "chaos soak passed (seed $seed): zero violations, clean drain"
+  rm -rf "$dir"
 }
 
 bench() {
@@ -159,7 +234,12 @@ case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   faults) faults ;;
+  net) net ;;
+  soak) soak ;;
   bench) bench ;;
-  all) tier1 && tsan && faults && bench ;;
-  *) echo "usage: scripts/ci.sh [tier1|tsan|faults|bench|all]" >&2; exit 2 ;;
+  all) tier1 && tsan && faults && net && soak && bench ;;
+  *)
+    echo "usage: scripts/ci.sh [tier1|tsan|faults|net|soak|bench|all]" >&2
+    exit 2
+    ;;
 esac

@@ -1,0 +1,87 @@
+#include "net/admin.h"
+
+#include "util/str.h"
+
+namespace lb2::net {
+
+bool ParseHttpHead(const std::string& buf, HttpRequest* req, bool* bad) {
+  *bad = false;
+  size_t head_end = buf.find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  size_t line_end = buf.find("\r\n");
+  std::string line = buf.substr(0, line_end);
+  // "METHOD SP path SP HTTP/1.x" — exactly three space-separated tokens.
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                        : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.find(' ', sp2 + 1) != std::string::npos ||
+      !StartsWith(line.substr(sp2 + 1), "HTTP/1.")) {
+    *bad = true;
+    return false;
+  }
+  req->method = line.substr(0, sp1);
+  req->path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Query strings are ignored, not errors: `curl .../metrics?x=1` works.
+  size_t q = req->path.find('?');
+  if (q != std::string::npos) req->path.resize(q);
+  return true;
+}
+
+std::string RenderHttp(const HttpResponse& r) {
+  const char* reason = "OK";
+  switch (r.status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    case 503: reason = "Service Unavailable"; break;
+    default: reason = ""; break;
+  }
+  std::string out = StrPrintf(
+      "HTTP/1.1 %d %s\r\n"
+      "Content-Type: %s\r\n"
+      "Content-Length: %zu\r\n"
+      "Connection: close\r\n"
+      "\r\n",
+      r.status, reason, r.content_type.c_str(), r.body.size());
+  out += r.body;
+  return out;
+}
+
+HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks) {
+  HttpResponse r;
+  if (req.method != "GET") {
+    r.status = 405;
+    r.body = "only GET is served here\n";
+    return r;
+  }
+  if (req.path == "/metrics") {
+    r.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    r.body = hooks.metrics_text ? hooks.metrics_text() : "";
+    return r;
+  }
+  if (req.path == "/stats") {
+    r.content_type = "application/json";
+    r.body = hooks.stats_json ? hooks.stats_json() : "{}";
+    return r;
+  }
+  if (req.path == "/healthz") {
+    if (hooks.draining && hooks.draining()) {
+      r.status = 503;
+      r.body = "draining\n";
+    } else {
+      r.body = "ok\n";
+    }
+    return r;
+  }
+  if (req.path == "/") {
+    r.body = "lb2 admin: /metrics /stats /healthz\n";
+    return r;
+  }
+  r.status = 404;
+  r.body = "unknown path; try /metrics, /stats, /healthz\n";
+  return r;
+}
+
+}  // namespace lb2::net

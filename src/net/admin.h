@@ -1,0 +1,52 @@
+// The admin plane: just enough HTTP/1.1 that `curl` and a Prometheus
+// scraper work against the admin port. Parsing and routing are pure
+// functions so tests cover them without sockets; the server wires the
+// route table to live data through AdminHooks closures.
+//
+//   GET /metrics  -> Prometheus text (service + network registries)
+//   GET /stats    -> JSON {"net": ..., "service": ...}
+//   GET /healthz  -> "ok" (or "draining" with status 503 during drain)
+//   GET /         -> route listing
+//
+// Responses always carry Content-Length and `Connection: close`; one
+// request per connection keeps the admin state machine trivial, and every
+// scraper copes.
+#ifndef LB2_NET_ADMIN_H_
+#define LB2_NET_ADMIN_H_
+
+#include <functional>
+#include <string>
+
+namespace lb2::net {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+/// Scans `buf` for a complete request head ("\r\n\r\n"). Returns true when
+/// one is present and parsed into *req; false with *bad=false means "need
+/// more bytes", false with *bad=true means the head is malformed.
+bool ParseHttpHead(const std::string& buf, HttpRequest* req, bool* bad);
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Serializes status line + headers + body.
+std::string RenderHttp(const HttpResponse& r);
+
+/// Live-data taps the router pulls on per request.
+struct AdminHooks {
+  std::function<std::string()> metrics_text;  // Prometheus exposition
+  std::function<std::string()> stats_json;
+  std::function<bool()> draining;  // true once drain began
+};
+
+HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks);
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_ADMIN_H_

@@ -1,0 +1,91 @@
+#include "net/client.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "net/listener.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace lb2::net {
+
+bool BlockingClient::Connect(const std::string& host, int port,
+                             std::string* error) {
+  Close();
+  fd_ = ConnectTcp(host, port, error);
+  return fd_ >= 0;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool BlockingClient::SendQuery(uint64_t request_id, std::string_view sql) {
+  return SendRaw(EncodeFrame(FrameType::kQuery, request_id, sql));
+}
+
+bool BlockingClient::SendRaw(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a server that closed on us is a reported send error
+    // (and usually a test assertion), never SIGPIPE.
+    ssize_t n = send(fd_, bytes.data() + off, bytes.size() - off,
+                     MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    error_ = StrPrintf("write: %s", std::strerror(errno));
+    return false;
+  }
+  return true;
+}
+
+BlockingClient::ReadStatus BlockingClient::ReadFrame(Frame* out,
+                                                     int timeout_ms) {
+  int64_t deadline = NowNs() + static_cast<int64_t>(timeout_ms) * 1000000;
+  for (;;) {
+    switch (decoder_.Next(out)) {
+      case FrameDecoder::Status::kFrame:
+        return ReadStatus::kFrame;
+      case FrameDecoder::Status::kError:
+        error_ = decoder_.error();
+        return ReadStatus::kError;
+      case FrameDecoder::Status::kNeedMore:
+        break;
+    }
+    int64_t rem_ms = (deadline - NowNs()) / 1000000;
+    if (rem_ms < 0) rem_ms = 0;
+    struct pollfd pfd;
+    pfd.fd = fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    int pr = poll(&pfd, 1, static_cast<int>(rem_ms));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      error_ = StrPrintf("poll: %s", std::strerror(errno));
+      return ReadStatus::kError;
+    }
+    if (pr == 0) return ReadStatus::kTimeout;
+    char buf[16 << 10];
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      decoder_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return ReadStatus::kEof;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    error_ = StrPrintf("read: %s", std::strerror(errno));
+    return ReadStatus::kError;
+  }
+}
+
+}  // namespace lb2::net

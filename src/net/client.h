@@ -1,0 +1,64 @@
+// A small blocking client for the lb2 wire protocol — what the tests and
+// the load harness speak. One connection, synchronous sends, poll()-based
+// frame reads with a timeout; pipelining is just "send N, then read N".
+// Not used by the server itself.
+#ifndef LB2_NET_CLIENT_H_
+#define LB2_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "net/framing.h"
+#include "net/protocol.h"
+
+namespace lb2::net {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+  BlockingClient(BlockingClient&& o) noexcept
+      : fd_(o.fd_),
+        decoder_(std::move(o.decoder_)),
+        error_(std::move(o.error_)) {
+    o.fd_ = -1;
+  }
+
+  /// Connects (blocking) to host:port. Returns false with *error set.
+  bool Connect(const std::string& host, int port, std::string* error);
+
+  /// Sends one QUERY frame. Returns false on a write error (peer gone).
+  bool SendQuery(uint64_t request_id, std::string_view sql);
+
+  /// Writes raw bytes to the socket (protocol-violation tests).
+  bool SendRaw(std::string_view bytes);
+
+  enum class ReadStatus {
+    kFrame,    // *out holds the next server frame
+    kEof,      // orderly close (all data consumed)
+    kTimeout,  // no complete frame within the deadline
+    kError,    // socket error or undecodable stream; see error()
+  };
+
+  /// Blocks up to `timeout_ms` for the next complete frame (already
+  /// buffered bytes are served without touching the socket).
+  ReadStatus ReadFrame(Frame* out, int timeout_ms);
+
+  const std::string& error() const { return error_; }
+  int fd() const { return fd_; }
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::string error_;
+};
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_CLIENT_H_

@@ -1,0 +1,79 @@
+#include "net/connection.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "obs/metrics.h"
+#include "util/time.h"
+
+namespace lb2::net {
+
+namespace {
+// One read() batch per readiness event; 64 KiB covers a deep pipeline of
+// QUERY frames in one syscall without stack-unfriendly buffers.
+constexpr size_t kReadChunk = 64 << 10;
+// Admin requests are a single GET line plus headers; anything bigger is
+// not a scraper.
+constexpr size_t kMaxAdminHead = 16 << 10;
+}  // namespace
+
+Connection::~Connection() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool Connection::ReadReady(obs::Histogram* read_hist) {
+  char buf[kReadChunk];
+  for (;;) {
+    int64_t t0 = read_hist != nullptr ? NowNs() : 0;
+    ssize_t n = read(fd_, buf, sizeof(buf));
+    if (read_hist != nullptr) read_hist->Observe(NowNs() - t0);
+    if (n > 0) {
+      if (kind_ == Kind::kData) {
+        decoder_.Append(buf, static_cast<size_t>(n));
+      } else {
+        admin_in_.append(buf, static_cast<size_t>(n));
+        if (admin_in_.size() > kMaxAdminHead) return false;
+      }
+      if (static_cast<size_t>(n) < sizeof(buf)) return true;
+      continue;  // a full chunk may mean more is buffered
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool Connection::WriteReady(obs::Histogram* write_hist) {
+  while (out_pos_ < out_.size()) {
+    int64_t t0 = write_hist != nullptr ? NowNs() : 0;
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as a
+    // write error on this connection, not SIGPIPE for the whole server.
+    ssize_t n = send(fd_, out_.data() + out_pos_, out_.size() - out_pos_,
+                     MSG_NOSIGNAL);
+    if (write_hist != nullptr) write_hist->Observe(NowNs() - t0);
+    if (n > 0) {
+      out_pos_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  out_.clear();
+  out_pos_ = 0;
+  return true;
+}
+
+void Connection::QueueOutput(std::string bytes) {
+  if (out_pos_ == out_.size()) {
+    out_ = std::move(bytes);
+    out_pos_ = 0;
+  } else {
+    out_.append(bytes);
+  }
+}
+
+}  // namespace lb2::net

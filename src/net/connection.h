@@ -1,0 +1,67 @@
+// Per-connection state for the event loop. A Connection is owned by the
+// server's single loop thread — every field here is loop-private, which is
+// what keeps the whole read/decode/write path lock-free. Worker threads
+// never see a Connection: they carry only its id, and completed responses
+// re-enter the loop through the completion queue before any byte is queued
+// here.
+#ifndef LB2_NET_CONNECTION_H_
+#define LB2_NET_CONNECTION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/framing.h"
+
+namespace lb2::obs {
+class Histogram;
+}  // namespace lb2::obs
+
+namespace lb2::net {
+
+class Connection {
+ public:
+  enum class Kind { kData, kAdmin };
+
+  Connection(uint64_t id, int fd, Kind kind) : id_(id), fd_(fd), kind_(kind) {}
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Drains the socket's readable bytes into the frame decoder (data) or
+  /// the HTTP head buffer (admin). Returns false when the peer is gone
+  /// (EOF or a hard error) and the connection should be closed. Each
+  /// read() syscall's duration is observed into `read_hist` if non-null.
+  bool ReadReady(obs::Histogram* read_hist);
+
+  /// Flushes as much pending output as the socket accepts. Returns false
+  /// on a hard write error (e.g. the peer reset mid-response).
+  bool WriteReady(obs::Histogram* write_hist);
+
+  void QueueOutput(std::string bytes);
+  bool has_pending_output() const { return out_pos_ < out_.size(); }
+
+  uint64_t id() const { return id_; }
+  int fd() const { return fd_; }
+  Kind kind() const { return kind_; }
+  FrameDecoder* decoder() { return &decoder_; }
+  std::string* admin_in() { return &admin_in_; }
+
+  // Loop-side bookkeeping (see server.cc for the state machine).
+  int inflight = 0;          // dispatched queries awaiting a response
+  bool reading = true;       // EPOLLIN armed (false = backpressure stall
+                             // or drain or close-after-flush)
+  bool want_close = false;   // close as soon as the output buffer drains
+
+ private:
+  const uint64_t id_;
+  const int fd_;
+  const Kind kind_;
+  FrameDecoder decoder_;
+  std::string admin_in_;  // buffered HTTP request head (admin conns)
+  std::string out_;
+  size_t out_pos_ = 0;
+};
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_CONNECTION_H_

@@ -1,0 +1,83 @@
+#include "net/framing.h"
+
+#include "util/str.h"
+
+namespace lb2::net {
+
+namespace {
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void FrameDecoder::Append(const char* data, size_t n) {
+  if (failed_) return;
+  buf_.append(data, n);
+}
+
+FrameDecoder::Status FrameDecoder::Next(Frame* out) {
+  if (failed_) return Status::kError;
+  if (buf_.size() - pos_ < kFrameHeaderBytes) {
+    // Compact consumed bytes while idle so a long-lived connection's
+    // buffer does not grow with traffic served.
+    if (pos_ > 0 && pos_ == buf_.size()) {
+      buf_.clear();
+      pos_ = 0;
+    }
+    return Status::kNeedMore;
+  }
+  const char* head = buf_.data() + pos_;
+  const uint32_t len = GetU32(head);
+  const uint8_t version = static_cast<uint8_t>(head[4]);
+  const uint8_t type = static_cast<uint8_t>(head[5]);
+  // Header validation happens before waiting for the payload: a bad
+  // version or an absurd length must be rejected now, not after the peer
+  // streams (or never streams) `len` bytes.
+  if (version != kProtocolVersion) {
+    failed_ = true;
+    error_ = StrPrintf("bad protocol version %u (want %u)", version,
+                       kProtocolVersion);
+    return Status::kError;
+  }
+  if (!KnownFrameType(type)) {
+    failed_ = true;
+    error_ = StrPrintf("unknown frame type %u", type);
+    return Status::kError;
+  }
+  if (len > max_payload_) {
+    failed_ = true;
+    error_ = StrPrintf("oversized frame: %u bytes (max %u)", len,
+                       max_payload_);
+    return Status::kError;
+  }
+  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return Status::kNeedMore;
+  out->version = version;
+  out->type = static_cast<FrameType>(type);
+  out->request_id = GetU64(head + 6);
+  out->payload.assign(head + kFrameHeaderBytes, len);
+  pos_ += kFrameHeaderBytes + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > (64u << 10) && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Status::kFrame;
+}
+
+}  // namespace lb2::net

@@ -1,0 +1,51 @@
+// Incremental frame decoding over a TCP byte stream. A socket read hands
+// the decoder whatever bytes arrived; Next() then yields zero or more
+// complete frames. The decoder validates the header eagerly — version and
+// length prefix are checked before any payload is buffered, so a hostile
+// or desynced peer costs at most kFrameHeaderBytes of memory before it is
+// rejected. A decoder that has reported an error stays failed: there is no
+// way to resynchronize a length-prefixed stream after a bad header.
+#ifndef LB2_NET_FRAMING_H_
+#define LB2_NET_FRAMING_H_
+
+#include <cstddef>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace lb2::net {
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Buffers `n` more stream bytes. No-op after an error.
+  void Append(const char* data, size_t n);
+
+  enum class Status {
+    kNeedMore,  // no complete frame buffered yet
+    kFrame,     // *out holds the next frame
+    kError,     // stream is unrecoverably malformed; see error()
+  };
+
+  /// Pops the next complete frame. Call until it stops returning kFrame.
+  Status Next(Frame* out);
+
+  /// Human-readable reason once Next() has returned kError.
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered but not yet consumed (tests, accounting).
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  const uint32_t max_payload_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_FRAMING_H_

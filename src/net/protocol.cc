@@ -1,0 +1,75 @@
+#include "net/protocol.h"
+
+namespace lb2::net {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kQuery: return "QUERY";
+    case FrameType::kResult: return "RESULT";
+    case FrameType::kBusy: return "BUSY";
+    case FrameType::kError: return "ERROR";
+  }
+  return "?";
+}
+
+bool KnownFrameType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kQuery) &&
+         t <= static_cast<uint8_t>(FrameType::kError);
+}
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  PutU64(&out, request_id);
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeResultPayload(uint8_t path, int64_t rows,
+                                std::string_view text) {
+  std::string out;
+  out.reserve(9 + text.size());
+  out.push_back(static_cast<char>(path));
+  PutU64(&out, static_cast<uint64_t>(rows));
+  out.append(text);
+  return out;
+}
+
+bool DecodeResultPayload(std::string_view payload, ResultPayload* out) {
+  if (payload.size() < 9) return false;
+  out->path = static_cast<uint8_t>(payload[0]);
+  out->rows = static_cast<int64_t>(GetU64(payload.data() + 1));
+  out->text.assign(payload.substr(9));
+  return true;
+}
+
+}  // namespace lb2::net

@@ -1,0 +1,87 @@
+// The lb2 wire protocol: a minimal length-prefixed binary framing that
+// carries SQL in and results (or documented degradation) out.
+//
+// Every frame is
+//
+//   offset  size  field
+//   0       4     payload length N (little-endian u32, header excluded)
+//   4       1     protocol version (kProtocolVersion)
+//   5       1     frame type (FrameType)
+//   6       8     request id (little-endian u64, chosen by the client)
+//   14      N     payload
+//
+// The request id exists for pipelining: a client may keep many QUERY
+// frames outstanding on one connection, and the server answers each with
+// exactly one frame echoing its id — in *completion* order, not submission
+// order (a worker pool executes them concurrently). Clients match on id.
+//
+// Client -> server frames:
+//   kQuery   payload = SQL text (UTF-8)
+//
+// Server -> client frames (exactly one per QUERY, same request id):
+//   kResult  payload = result encoding (EncodeResultPayload below)
+//   kBusy    payload empty — admission control shed the request; the
+//            connection stays healthy and the client should retry later.
+//            This is the protocol-level form of backpressure: saturation
+//            is an answer, never a dropped connection.
+//   kError   payload = error text. For a query-level error (SQL parse or
+//            bind failure) the connection stays open; for a protocol
+//            violation (bad version, oversized or malformed frame,
+//            unexpected frame type) the server sends kError with request
+//            id 0 and closes after flushing.
+//
+// The version byte is checked on every frame, so a speaker of a future
+// protocol gets a deterministic error instead of a desynced stream.
+#ifndef LB2_NET_PROTOCOL_H_
+#define LB2_NET_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lb2::net {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 14;
+/// Largest payload either side accepts; bigger frames are a protocol error
+/// (and protect the server from a hostile 4 GiB length prefix).
+inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+enum class FrameType : uint8_t {
+  kQuery = 1,
+  kResult = 2,
+  kBusy = 3,
+  kError = 4,
+};
+
+const char* FrameTypeName(FrameType t);
+bool KnownFrameType(uint8_t t);
+
+/// One decoded frame.
+struct Frame {
+  uint8_t version = kProtocolVersion;
+  FrameType type = FrameType::kQuery;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Wire bytes (header + payload) for one frame.
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        std::string_view payload);
+
+/// kResult payload: u8 path (service::ServiceResult::Path), little-endian
+/// i64 row count, then the rendered result text.
+struct ResultPayload {
+  uint8_t path = 0;
+  int64_t rows = 0;
+  std::string text;
+};
+
+std::string EncodeResultPayload(uint8_t path, int64_t rows,
+                                std::string_view text);
+/// Returns false on a malformed payload (too short).
+bool DecodeResultPayload(std::string_view payload, ResultPayload* out);
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_PROTOCOL_H_

@@ -1,0 +1,555 @@
+#include "net/server.h"
+
+#include <signal.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "net/admin.h"
+#include "net/listener.h"
+#include "obs/log.h"
+#include "service/service.h"
+#include "util/str.h"
+#include "util/time.h"
+
+namespace lb2::net {
+
+namespace {
+
+// epoll tags below the first connection id.
+constexpr uint64_t kListenTag = 1;
+constexpr uint64_t kAdminListenTag = 2;
+constexpr uint64_t kWakeTag = 3;
+
+int EnvInt(const char* name, int fallback) {
+  const char* env = std::getenv(name);
+  if (env != nullptr && env[0] != '\0') {
+    long v = std::atol(env);
+    if (v >= 0) return static_cast<int>(v);
+  }
+  return fallback;
+}
+
+std::atomic<NetServer*> g_signal_server{nullptr};
+
+void DrainSignalHandler(int /*sig*/) {
+  // Async-signal-safe: BeginDrain is two relaxed atomic stores and a
+  // write() to an eventfd.
+  NetServer* s = g_signal_server.load(std::memory_order_relaxed);
+  if (s != nullptr) s->BeginDrain();
+}
+
+}  // namespace
+
+int DefaultPort() { return EnvInt("LB2_PORT", 7878); }
+int DefaultAdminPort() { return EnvInt("LB2_ADMIN_PORT", 7879); }
+int DefaultNetThreads() {
+  int v = EnvInt("LB2_NET_THREADS", 4);
+  return v >= 1 ? v : 1;
+}
+
+double DefaultDrainTimeoutMs() {
+  const char* env = std::getenv("LB2_DRAIN_TIMEOUT_MS");
+  if (env != nullptr && env[0] != '\0') {
+    double v = std::atof(env);
+    if (v >= 0) return v;
+  }
+  return 5000.0;
+}
+
+std::string NetStats::ToString() const {
+  return StrPrintf(
+      "accepted=%lld active=%lld frames-in=%lld frames-out=%lld busy=%lld "
+      "errors=%lld protocol-errors=%lld backpressure-stalls=%lld "
+      "responses-dropped=%lld admin-requests=%lld drain-forced-closes=%lld",
+      static_cast<long long>(accepted), static_cast<long long>(active),
+      static_cast<long long>(frames_in), static_cast<long long>(frames_out),
+      static_cast<long long>(busy_frames),
+      static_cast<long long>(error_frames),
+      static_cast<long long>(protocol_errors),
+      static_cast<long long>(backpressure_stalls),
+      static_cast<long long>(responses_dropped),
+      static_cast<long long>(admin_requests),
+      static_cast<long long>(drain_forced_closes));
+}
+
+NetServer::NetServer(service::QueryService* svc, NetOptions opts)
+    : svc_(svc), opts_(std::move(opts)) {
+  accepted_ = metrics_.GetCounter("lb2_net_accepted_total");
+  closed_ = metrics_.GetCounter("lb2_net_closed_total");
+  active_ = metrics_.GetGauge("lb2_net_connections_active");
+  frames_in_ = metrics_.GetCounter("lb2_net_frames_in_total");
+  frames_out_ = metrics_.GetCounter("lb2_net_frames_out_total");
+  busy_frames_ = metrics_.GetCounter("lb2_net_busy_frames_total");
+  error_frames_ = metrics_.GetCounter("lb2_net_error_frames_total");
+  protocol_errors_ = metrics_.GetCounter("lb2_net_protocol_errors_total");
+  backpressure_stalls_ =
+      metrics_.GetCounter("lb2_net_backpressure_stalls_total");
+  responses_dropped_ =
+      metrics_.GetCounter("lb2_net_responses_dropped_total");
+  admin_requests_ = metrics_.GetCounter("lb2_net_admin_requests_total");
+  drain_forced_closes_ =
+      metrics_.GetCounter("lb2_net_drain_forced_closes_total");
+  if (svc_->options().metrics) {
+    accept_hist_ = metrics_.GetHistogram("lb2_net_accept_ns");
+    read_hist_ = metrics_.GetHistogram("lb2_net_read_ns");
+    write_hist_ = metrics_.GetHistogram("lb2_net_write_ns");
+    request_hist_ = metrics_.GetHistogram("lb2_net_request_ns");
+  }
+}
+
+NetServer::~NetServer() {
+  NetServer* self = this;
+  g_signal_server.compare_exchange_strong(self, nullptr);
+  if (started_) {
+    BeginDrain();
+    Wait();
+  }
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  if (admin_listen_fd_ >= 0) close(admin_listen_fd_);
+}
+
+void NetServer::InstallSignalHandlers(NetServer* s) {
+  g_signal_server.store(s, std::memory_order_relaxed);
+  if (s == nullptr) return;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = DrainSignalHandler;
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
+bool NetServer::Start(std::string* error) {
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (wake_fd_ < 0 || epoll_fd_ < 0) {
+    *error = StrPrintf("eventfd/epoll_create1: %s", std::strerror(errno));
+    return false;
+  }
+  listen_fd_ = ListenTcp(opts_.host, opts_.port, error);
+  if (listen_fd_ < 0) return false;
+  port_ = LocalPort(listen_fd_);
+  if (opts_.admin_port >= 0) {
+    admin_listen_fd_ = ListenTcp(opts_.host, opts_.admin_port, error);
+    if (admin_listen_fd_ < 0) {
+      close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    admin_port_ = LocalPort(admin_listen_fd_);
+  }
+  auto add = [&](int fd, uint64_t tag) {
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = tag;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  };
+  add(wake_fd_, kWakeTag);
+  add(listen_fd_, kListenTag);
+  if (admin_listen_fd_ >= 0) add(admin_listen_fd_, kAdminListenTag);
+
+  int workers = opts_.num_workers >= 1 ? opts_.num_workers : 1;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back(&NetServer::WorkerThread, this, i);
+  }
+  loop_thread_ = std::thread(&NetServer::LoopThread, this);
+  started_ = true;
+  return true;
+}
+
+void NetServer::BeginDrain() {
+  draining_public_.store(true, std::memory_order_relaxed);
+  drain_requested_.store(true, std::memory_order_release);
+  WakeLoop();
+}
+
+void NetServer::WakeLoop() {
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void NetServer::Wait() {
+  std::lock_guard<std::mutex> wlock(wait_mu_);
+  if (!started_ || waited_) return;
+  loop_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_stop_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Every connection is gone by now; completions still parked in the
+  // queue (work finished after its connection died) can only be dropped.
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    if (!done_.empty()) {
+      responses_dropped_->Inc(static_cast<int64_t>(done_.size()));
+      done_.clear();
+    }
+  }
+  waited_ = true;
+}
+
+void NetServer::UpdateEpoll(Connection* c) {
+  epoll_event ev;
+  std::memset(&ev, 0, sizeof(ev));
+  ev.events = (c->reading ? EPOLLIN : 0u) |
+              (c->has_pending_output() ? EPOLLOUT : 0u);
+  ev.data.u64 = c->id();
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, c->fd(), &ev);
+}
+
+void NetServer::CloseConn(uint64_t id) {
+  auto it = conns_.find(id);
+  if (it == conns_.end()) return;
+  conns_.erase(it);  // Connection dtor closes the fd (epoll auto-removes)
+  closed_->Inc();
+  active_->Add(-1);
+}
+
+void NetServer::AcceptReady(bool admin) {
+  int lfd = admin ? admin_listen_fd_ : listen_fd_;
+  if (lfd < 0) return;
+  for (;;) {
+    int64_t t0 = accept_hist_ != nullptr ? NowNs() : 0;
+    int fd = accept4(lfd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (accept_hist_ != nullptr) accept_hist_->Observe(NowNs() - t0);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: wait for epoll
+    }
+    if (!admin) SetTcpNoDelay(fd);
+    uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(
+        id, fd, admin ? Connection::Kind::kAdmin : Connection::Kind::kData);
+    epoll_event ev;
+    std::memset(&ev, 0, sizeof(ev));
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conns_[id] = std::move(conn);
+    accepted_->Inc();
+    active_->Add(1);
+  }
+}
+
+void NetServer::DispatchQuery(Connection* c, uint64_t request_id,
+                              std::string sql) {
+  ++c->inflight;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back({c->id(), request_id, std::move(sql)});
+  }
+  jobs_cv_.notify_one();
+}
+
+void NetServer::PumpDataFrames(Connection* c) {
+  Frame f;
+  for (;;) {
+    if (c->want_close) return;
+    if (opts_.max_conn_inflight > 0 &&
+        c->inflight >= opts_.max_conn_inflight) {
+      // Backpressure: stop consuming this socket until responses drain.
+      // The bytes stay in the kernel buffer and TCP flow control takes it
+      // from there — the connection is stalled, never dropped.
+      if (c->reading) {
+        c->reading = false;
+        backpressure_stalls_->Inc();
+      }
+      return;
+    }
+    FrameDecoder::Status s = c->decoder()->Next(&f);
+    if (s == FrameDecoder::Status::kNeedMore) return;
+    if (s == FrameDecoder::Status::kError) {
+      protocol_errors_->Inc();
+      c->QueueOutput(
+          EncodeFrame(FrameType::kError, 0, c->decoder()->error()));
+      error_frames_->Inc();
+      frames_out_->Inc();
+      c->want_close = true;
+      c->reading = false;
+      return;
+    }
+    frames_in_->Inc();
+    if (f.type != FrameType::kQuery) {
+      protocol_errors_->Inc();
+      c->QueueOutput(EncodeFrame(
+          FrameType::kError, f.request_id,
+          StrPrintf("unexpected %s frame from client",
+                    FrameTypeName(f.type))));
+      error_frames_->Inc();
+      frames_out_->Inc();
+      c->want_close = true;
+      c->reading = false;
+      return;
+    }
+    DispatchQuery(c, f.request_id, std::move(f.payload));
+  }
+}
+
+void NetServer::HandleAdminConn(Connection* c) {
+  HttpRequest req;
+  bool bad = false;
+  if (!ParseHttpHead(*c->admin_in(), &req, &bad)) {
+    if (bad) {
+      protocol_errors_->Inc();
+      HttpResponse r;
+      r.status = 400;
+      r.body = "malformed request\n";
+      c->QueueOutput(RenderHttp(r));
+      c->want_close = true;
+      c->reading = false;
+    }
+    return;
+  }
+  admin_requests_->Inc();
+  AdminHooks hooks;
+  hooks.metrics_text = [this] { return MetricsPrometheus(); };
+  hooks.stats_json = [this] { return StatsJson(); };
+  hooks.draining = [this] { return draining(); };
+  c->QueueOutput(RenderHttp(RouteAdmin(req, hooks)));
+  c->want_close = true;
+  c->reading = false;
+}
+
+void NetServer::FlushConn(Connection* c) {
+  const uint64_t id = c->id();
+  if (!c->WriteReady(write_hist_)) {
+    CloseConn(id);
+    return;
+  }
+  const bool idle = !c->has_pending_output() && c->inflight == 0;
+  if (idle && (c->want_close || draining_loop_)) {
+    CloseConn(id);
+    return;
+  }
+  UpdateEpoll(c);
+}
+
+void NetServer::HandleCompletions(std::vector<Completion> batch) {
+  for (Completion& done : batch) {
+    auto it = conns_.find(done.conn_id);
+    if (it == conns_.end()) {
+      responses_dropped_->Inc();
+      continue;
+    }
+    Connection* c = it->second.get();
+    --c->inflight;
+    c->QueueOutput(std::move(done.frame));
+    frames_out_->Inc();
+    if (done.type == FrameType::kBusy) busy_frames_->Inc();
+    if (done.type == FrameType::kError) error_frames_->Inc();
+    if (draining_loop_) {
+      // Still dispatch frames that were fully received before the drain
+      // began — they were accepted, so they get answers.
+      PumpDataFrames(c);
+    } else if (!c->reading && !c->want_close &&
+               (opts_.max_conn_inflight <= 0 ||
+                c->inflight < opts_.max_conn_inflight)) {
+      // Backpressure released: resume the socket and drain any frames
+      // that were decoded before the stall.
+      c->reading = true;
+      PumpDataFrames(c);
+    }
+    FlushConn(c);
+  }
+}
+
+void NetServer::StartDrainLocked() {
+  draining_loop_ = true;
+  drain_deadline_ns_ =
+      NowNs() + static_cast<int64_t>(opts_.drain_timeout_ms * 1e6);
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);  // stop accepting; closing deregisters from epoll
+    listen_fd_ = -1;
+  }
+  if (admin_listen_fd_ >= 0) {
+    close(admin_listen_fd_);
+    admin_listen_fd_ = -1;
+  }
+  std::vector<uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (uint64_t id : ids) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) continue;
+    Connection* c = it->second.get();
+    c->reading = false;
+    // Frames already decoded count as accepted: dispatch them now so the
+    // drain answers everything the client managed to send.
+    if (c->kind() == Connection::Kind::kData) PumpDataFrames(c);
+    FlushConn(c);  // closes already-idle connections immediately
+  }
+}
+
+bool NetServer::DrainComplete() const { return conns_.empty(); }
+
+void NetServer::ForceCloseAll() {
+  int64_t n = static_cast<int64_t>(conns_.size());
+  if (n > 0) {
+    LB2_LOG(Warn,
+            "[lb2-net] drain timeout (%.0f ms): force-closing %lld "
+            "connections",
+            opts_.drain_timeout_ms, static_cast<long long>(n));
+    drain_forced_closes_->Inc(n);
+    closed_->Inc(n);
+    active_->Add(-n);
+    conns_.clear();
+  }
+}
+
+void NetServer::LoopThread() {
+  epoll_event events[64];
+  for (;;) {
+    int timeout_ms = -1;
+    if (draining_loop_) {
+      if (DrainComplete()) break;
+      int64_t rem_ns = drain_deadline_ns_ - NowNs();
+      if (rem_ns <= 0) {
+        ForceCloseAll();
+        break;
+      }
+      timeout_ms = static_cast<int>(rem_ns / 1000000) + 1;
+    }
+    int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      LB2_LOG(Error, "[lb2-net] epoll_wait: %s", std::strerror(errno));
+      ForceCloseAll();
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      uint64_t tag = events[i].data.u64;
+      uint32_t ev = events[i].events;
+      if (tag == kWakeTag) {
+        uint64_t buf;
+        while (read(wake_fd_, &buf, sizeof(buf)) > 0) {
+        }
+        std::vector<Completion> batch;
+        {
+          std::lock_guard<std::mutex> lock(done_mu_);
+          batch.swap(done_);
+        }
+        HandleCompletions(std::move(batch));
+        if (drain_requested_.load(std::memory_order_acquire) &&
+            !draining_loop_) {
+          StartDrainLocked();
+        }
+        continue;
+      }
+      if (tag == kListenTag) {
+        AcceptReady(/*admin=*/false);
+        continue;
+      }
+      if (tag == kAdminListenTag) {
+        AcceptReady(/*admin=*/true);
+        continue;
+      }
+      auto it = conns_.find(tag);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      Connection* c = it->second.get();
+      if ((ev & (EPOLLHUP | EPOLLERR)) != 0 && (ev & EPOLLIN) == 0) {
+        CloseConn(tag);
+        continue;
+      }
+      if ((ev & EPOLLIN) != 0) {
+        if (!c->ReadReady(read_hist_)) {
+          // Peer closed or reset. Any responses still in flight for this
+          // connection will surface as responses_dropped.
+          CloseConn(tag);
+          continue;
+        }
+        if (c->kind() == Connection::Kind::kData) {
+          PumpDataFrames(c);
+        } else {
+          HandleAdminConn(c);
+        }
+      }
+      FlushConn(c);  // also handles EPOLLOUT readiness
+    }
+    if (draining_loop_ && DrainComplete()) break;
+  }
+}
+
+void NetServer::WorkerThread(int worker_idx) {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [&] { return workers_stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop requested and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    int64_t t0 = NowNs();
+    service::ServiceResult r;
+    std::string parse_error;
+    std::string frame;
+    FrameType type;
+    const char* trace_name;
+    if (!svc_->ExecuteSql(job.sql, &r, &parse_error)) {
+      type = FrameType::kError;
+      frame = EncodeFrame(type, job.request_id, parse_error);
+      trace_name = "error";
+    } else if (r.status == service::ServiceResult::Status::kBusy) {
+      type = FrameType::kBusy;
+      frame = EncodeFrame(type, job.request_id, "");
+      trace_name = "busy";
+    } else {
+      type = FrameType::kResult;
+      frame = EncodeFrame(
+          type, job.request_id,
+          EncodeResultPayload(static_cast<uint8_t>(r.path), r.rows, r.text));
+      trace_name = service::PathName(r.path);
+    }
+    int64_t elapsed = NowNs() - t0;
+    if (request_hist_ != nullptr) request_hist_->Observe(elapsed);
+    if (opts_.trace != nullptr) {
+      if (r.spans.empty()) r.spans.push_back({"request", elapsed});
+      opts_.trace->Add(trace_name, worker_idx, t0, r.spans);
+    }
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back({job.conn_id, std::move(frame), type});
+    }
+    WakeLoop();
+  }
+}
+
+NetStats NetServer::stats() const {
+  NetStats s;
+  s.accepted = accepted_->Value();
+  s.active = active_->Value();
+  s.frames_in = frames_in_->Value();
+  s.frames_out = frames_out_->Value();
+  s.busy_frames = busy_frames_->Value();
+  s.error_frames = error_frames_->Value();
+  s.protocol_errors = protocol_errors_->Value();
+  s.backpressure_stalls = backpressure_stalls_->Value();
+  s.responses_dropped = responses_dropped_->Value();
+  s.admin_requests = admin_requests_->Value();
+  s.drain_forced_closes = drain_forced_closes_->Value();
+  return s;
+}
+
+std::string NetServer::MetricsPrometheus() const {
+  return metrics_.RenderPrometheus() + svc_->MetricsPrometheus();
+}
+
+std::string NetServer::StatsJson() const {
+  return "{\"net\": " + metrics_.RenderJson() +
+         ", \"service\": " + svc_->MetricsJson() + "}";
+}
+
+}  // namespace lb2::net

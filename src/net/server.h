@@ -1,0 +1,229 @@
+// The socketed front end for the query service: an epoll event loop plus
+// a small worker pool, speaking the length-prefixed protocol of
+// protocol.h on a data port and plain HTTP on an admin port.
+//
+// Threading model — one loop thread owns every socket:
+//
+//   loop thread      accepts, reads, decodes frames, writes responses.
+//                    Connections (connection.h) are loop-private; no lock
+//                    guards any per-connection state.
+//   worker threads   LB2_NET_THREADS of them. Each pops a (conn id,
+//                    request id, SQL) job, runs it through the shared
+//                    QueryService (itself fully thread-safe), encodes the
+//                    response frame, and pushes it onto the completion
+//                    queue. Workers never touch a Connection.
+//   hand-off         two mutex-guarded queues and an eventfd: jobs flow
+//                    loop -> workers, encoded frames flow workers -> loop
+//                    (the eventfd write is what wakes epoll). A response
+//                    for a connection that died in the meantime is counted
+//                    and dropped — ids, not pointers, cross threads.
+//
+// Backpressure is layered, and none of its layers drops a connection:
+//   * per-connection: once `max_conn_inflight` queries are outstanding the
+//     loop stops reading that socket (EPOLLIN off). Bytes accumulate in
+//     the kernel buffer, the TCP window closes, and a well-behaved client
+//     blocks in write() — flow control all the way to the sender. Reading
+//     resumes as responses drain.
+//   * service-wide: the AdmissionGate sheds with ServiceResult::kBusy when
+//     the queue times out, which becomes a protocol-level BUSY frame — the
+//     documented "retry later" answer.
+//
+// Graceful drain (BeginDrain — SIGTERM via InstallSignalHandlers, or any
+// thread directly): listeners close immediately, every socket stops being
+// read, queries already accepted (decoded frames included) run to
+// completion and their responses are flushed, then connections close and
+// Wait() returns. `drain_timeout_ms` bounds the whole goodbye; on expiry
+// remaining connections are force-closed and the loss is counted
+// (lb2_net_drain_forced_closes). Under the timeout, zero accepted
+// requests lose their response.
+#ifndef LB2_NET_SERVER_H_
+#define LB2_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/connection.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lb2::service {
+class QueryService;
+}  // namespace lb2::service
+
+namespace lb2::net {
+
+/// LB2_PORT env var, else 7878.
+int DefaultPort();
+/// LB2_ADMIN_PORT env var, else 7879.
+int DefaultAdminPort();
+/// LB2_NET_THREADS env var, else 4.
+int DefaultNetThreads();
+/// LB2_DRAIN_TIMEOUT_MS env var, else 5000.
+double DefaultDrainTimeoutMs();
+
+struct NetOptions {
+  std::string host = "127.0.0.1";
+  /// Data port; 0 = ephemeral (tests), read back with NetServer::port().
+  int port = 0;
+  /// Admin HTTP port; -1 disables the admin plane, 0 = ephemeral.
+  int admin_port = -1;
+  int num_workers = DefaultNetThreads();
+  /// Outstanding queries per connection before the loop stops reading it.
+  int max_conn_inflight = 32;
+  double drain_timeout_ms = DefaultDrainTimeoutMs();
+  /// Optional Chrome trace sink: every request's span list is recorded
+  /// under the worker's track. Not owned; must outlive the server.
+  obs::ChromeTraceWriter* trace = nullptr;
+};
+
+/// Relaxed snapshot of the network-plane counters (same monitoring
+/// contract as ServiceStats).
+struct NetStats {
+  int64_t accepted = 0;
+  int64_t active = 0;  // gauge
+  int64_t frames_in = 0;
+  int64_t frames_out = 0;
+  int64_t busy_frames = 0;
+  int64_t error_frames = 0;
+  int64_t protocol_errors = 0;
+  int64_t backpressure_stalls = 0;
+  int64_t responses_dropped = 0;   // completed after their conn died
+  int64_t admin_requests = 0;
+  int64_t drain_forced_closes = 0;
+
+  std::string ToString() const;
+};
+
+class NetServer {
+ public:
+  /// The service must outlive the server. Does not take ownership.
+  NetServer(service::QueryService* svc, NetOptions opts = {});
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds the listeners and starts the loop + worker threads. Returns
+  /// false with *error on bind failure (ports stay untouched).
+  bool Start(std::string* error);
+
+  /// Bound ports (valid after Start; -1 when the plane is off).
+  int port() const { return port_; }
+  int admin_port() const { return admin_port_; }
+
+  /// Initiates graceful drain; idempotent, callable from any thread (and,
+  /// through the installed signal handler, from signal context). Returns
+  /// immediately — Wait() observes completion.
+  void BeginDrain();
+  bool draining() const {
+    return draining_public_.load(std::memory_order_relaxed);
+  }
+
+  /// Blocks until the loop has fully shut down (all responses flushed or
+  /// the drain timeout force-closed the stragglers) and workers exited.
+  /// Idempotent.
+  void Wait();
+
+  NetStats stats() const;
+  /// Network registry + the service's full exposition, one document.
+  std::string MetricsPrometheus() const;
+  std::string StatsJson() const;
+
+  /// Routes SIGTERM/SIGINT to BeginDrain() on `s` (one server per
+  /// process). Pass nullptr to detach before destroying the server.
+  static void InstallSignalHandlers(NetServer* s);
+
+ private:
+  struct Job {
+    uint64_t conn_id;
+    uint64_t request_id;
+    std::string sql;
+  };
+  struct Completion {
+    uint64_t conn_id;
+    std::string frame;  // encoded wire bytes
+    FrameType type;
+  };
+
+  void LoopThread();
+  void WorkerThread(int worker_idx);
+  void AcceptReady(bool admin);
+  void PumpDataFrames(Connection* c);
+  void HandleAdminConn(Connection* c);
+  void DispatchQuery(Connection* c, uint64_t request_id, std::string sql);
+  void HandleCompletions(std::vector<Completion> batch);
+  void UpdateEpoll(Connection* c);
+  void CloseConn(uint64_t id);
+  void FlushConn(Connection* c);
+  void StartDrainLocked();  // loop thread only
+  bool DrainComplete() const;
+  void ForceCloseAll();
+  void WakeLoop();
+
+  service::QueryService* const svc_;
+  const NetOptions opts_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int admin_listen_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: completions + drain/stop requests
+  int port_ = -1;
+  int admin_port_ = -1;
+
+  // Loop-private (no lock): connection table and drain progress.
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 16;  // ids below are reserved epoll tags
+  bool draining_loop_ = false;  // loop thread's view
+  int64_t drain_deadline_ns_ = 0;
+
+  // Cross-thread flags; the eventfd write makes them visible promptly.
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> draining_public_{false};
+
+  // loop -> workers.
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_stop_ = false;
+
+  // workers -> loop.
+  std::mutex done_mu_;
+  std::vector<Completion> done_;
+
+  std::thread loop_thread_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool waited_ = false;
+  std::mutex wait_mu_;  // serializes concurrent Wait() calls
+
+  // Network-plane metrics: counters/gauges are always on (atomic adds);
+  // the syscall histograms follow the service's metrics switch.
+  obs::Registry metrics_;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* closed_ = nullptr;
+  obs::Gauge* active_ = nullptr;
+  obs::Counter* frames_in_ = nullptr;
+  obs::Counter* frames_out_ = nullptr;
+  obs::Counter* busy_frames_ = nullptr;
+  obs::Counter* error_frames_ = nullptr;
+  obs::Counter* protocol_errors_ = nullptr;
+  obs::Counter* backpressure_stalls_ = nullptr;
+  obs::Counter* responses_dropped_ = nullptr;
+  obs::Counter* admin_requests_ = nullptr;
+  obs::Counter* drain_forced_closes_ = nullptr;
+  obs::Histogram* accept_hist_ = nullptr;
+  obs::Histogram* read_hist_ = nullptr;
+  obs::Histogram* write_hist_ = nullptr;
+  obs::Histogram* request_hist_ = nullptr;
+};
+
+}  // namespace lb2::net
+
+#endif  // LB2_NET_SERVER_H_

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace lb2::obs {
+
+namespace {
+
+/// Minimal JSON string escaping for span names (quotes, backslashes,
+/// control bytes — span names are ASCII identifiers, but the writer must
+/// never emit a malformed document whatever it is handed).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrPrintf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void ChromeTraceWriter::Add(const std::string& name, int tid,
+                            int64_t start_ns, const SpanList& spans) {
+  int64_t total_ns = 0;
+  for (const Span& s : spans) total_ns += s.ns;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() + spans.size() + 1 > kMaxEvents) {
+    ++dropped_;
+    return;
+  }
+  // Enclosing request slice, then each stage laid back-to-back inside it.
+  events_.push_back({name, tid, start_ns, total_ns});
+  int64_t cursor = start_ns;
+  for (const Span& s : spans) {
+    events_.push_back({s.name, tid, cursor, s.ns});
+    cursor += s.ns;
+  }
+}
+
+int64_t ChromeTraceWriter::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+bool ChromeTraceWriter::WriteFile(std::string* error) {
+  std::vector<Event> events;
+  int64_t dropped;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events = events_;
+    dropped = dropped_;
+  }
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path_ + " for writing";
+    return false;
+  }
+  std::fputs("{\"traceEvents\": [\n", f);
+  bool first = true;
+  for (const Event& e : events) {
+    // Complete ("X") events with microsecond timestamps, the portable core
+    // of the trace_event format that both chrome://tracing and Perfetto
+    // accept without a metadata preamble.
+    std::string line = StrPrintf(
+        "%s{\"name\": \"%s\", \"ph\": \"X\", \"pid\": 1, \"tid\": %d, "
+        "\"ts\": %.3f, \"dur\": %.3f}",
+        first ? "" : ",\n", JsonEscape(e.name).c_str(), e.tid,
+        static_cast<double>(e.ts_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3);
+    std::fputs(line.c_str(), f);
+    first = false;
+  }
+  std::fputs("\n]", f);
+  if (dropped > 0) {
+    std::string note = StrPrintf(
+        ", \"otherData\": {\"dropped_requests\": %lld}",
+        static_cast<long long>(dropped));
+    std::fputs(note.c_str(), f);
+  }
+  std::fputs("}\n", f);
+  bool ok = std::fclose(f) == 0;
+  if (!ok && error != nullptr) *error = "write to " + path_ + " failed";
+  return ok;
+}
+
+}  // namespace lb2::obs

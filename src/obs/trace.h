@@ -7,6 +7,7 @@
 #define LB2_OBS_TRACE_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,50 @@ inline std::string RenderSpans(const SpanList& spans) {
   }
   return out;
 }
+
+/// Collects per-request span lists and writes them as Chrome `trace_event`
+/// JSON — load the file in chrome://tracing (or Perfetto) to see each
+/// request as a named slice with its pipeline stages nested under it.
+///
+/// Spans carry only durations, so stages are laid out back-to-back from the
+/// request's start timestamp: gaps between instrumented stages collapse,
+/// which slightly left-shifts later stages but preserves every duration and
+/// the request's true start/extent. Thread-safe; Add is a mutex push_back,
+/// cheap enough to leave on for whole serving runs. Collection is capped
+/// (kMaxEvents) so a long-lived server cannot grow without bound — the
+/// file then notes how many requests were dropped.
+class ChromeTraceWriter {
+ public:
+  /// Events beyond this are dropped (counted, reported in the file).
+  static constexpr size_t kMaxEvents = 1 << 20;
+
+  explicit ChromeTraceWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Records one request: an enclosing slice named `name` on track `tid`
+  /// starting at `start_ns` (NowNs clock), with one child slice per span.
+  void Add(const std::string& name, int tid, int64_t start_ns,
+           const SpanList& spans);
+
+  /// Writes everything collected so far as a `{"traceEvents": [...]}`
+  /// JSON document. Returns false (and fills *error) on I/O failure.
+  bool WriteFile(std::string* error);
+
+  const std::string& path() const { return path_; }
+  int64_t dropped() const;
+
+ private:
+  struct Event {
+    std::string name;
+    int tid;
+    int64_t ts_ns;
+    int64_t dur_ns;
+  };
+
+  const std::string path_;
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  int64_t dropped_ = 0;
+};
 
 }  // namespace lb2::obs
 

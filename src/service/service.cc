@@ -125,7 +125,7 @@ std::string ServiceStats::ToString() const {
       "disk-corrupt=%lld drift-recompiles=%lld "
       "cc-retries=%lld breaker trips=%lld open=%lld served=%lld "
       "rebuilds=%lld disk-write-failures=%lld disk-cooldowns=%lld "
-      "faults-injected=%lld",
+      "faults-injected=%lld drain-sheds=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -150,7 +150,8 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(breaker_rebuilds),
       static_cast<long long>(disk_write_failures),
       static_cast<long long>(disk_cooldowns),
-      static_cast<long long>(faults_injected));
+      static_cast<long long>(faults_injected),
+      static_cast<long long>(drain_sheds));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
@@ -244,6 +245,17 @@ ServiceResult QueryService::Execute(const plan::Query& q,
   Fingerprint fp = FingerprintQuery(q, eopts, db_);
   if (rec) spans.push_back({"fingerprint", NowNs() - t_start});
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // Draining: the owner has announced shutdown, so shed before queueing —
+  // a draining server wants the admission queue empty, not refilling.
+  if (draining_.load(std::memory_order_relaxed)) {
+    stats_.drain_sheds.fetch_add(1, std::memory_order_relaxed);
+    ServiceResult r;
+    r.status = ServiceResult::Status::kBusy;
+    r.fingerprint = fp;
+    r.spans = std::move(spans);
+    return r;
+  }
 
   // Admission: hold an execution slot for the whole request (compile
   // included — a leader mid-JIT is real work the cap should count). A
@@ -571,6 +583,7 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
 bool QueryService::EnqueueDriftRecompile(const plan::Query& q,
                                          const engine::EngineOptions& eopts,
                                          const Fingerprint& fp) {
+  if (draining_.load(std::memory_order_relaxed)) return false;
   std::lock_guard<std::mutex> lock(bg_mu_);
   if (bg_stop_) return false;
   if (!bg_pending_.insert(fp.hash).second) return false;  // single-flight
@@ -604,8 +617,17 @@ void QueryService::DriftWorkerLoop() {
     }
     std::string error;
     bool from_disk = false;
-    CacheEntryPtr entry = BuildEntry(job.query, job.eopts, job.fp, &error,
-                                     &from_disk, /*spans=*/nullptr);
+    CacheEntryPtr entry;
+    // Injection point for the background re-stage path: a `fail` here
+    // behaves exactly like a failed rebuild (the request stream stays
+    // interpreted; the next drifted request re-enqueues), and chaos-mode
+    // delays stretch the window in which drift serves interpreted.
+    if (testing::CheckFault(testing::FaultPoint::kDriftRebuild).fail) {
+      error = "injected drift_rebuild fault";
+    } else {
+      entry = BuildEntry(job.query, job.eopts, job.fp, &error, &from_disk,
+                         /*spans=*/nullptr);
+    }
     if (entry == nullptr && opts_.log_compile_errors) {
       LB2_LOG(Warn,
               "[lb2-service] %s: background drift recompile failed, "
@@ -661,6 +683,7 @@ ServiceStats QueryService::Stats() const {
   s.breaker_served = stats_.breaker_served.load(std::memory_order_relaxed);
   s.breaker_rebuilds =
       stats_.breaker_rebuilds.load(std::memory_order_relaxed);
+  s.drain_sheds = stats_.drain_sheds.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.breaker_open = static_cast<int64_t>(breaker_open_.size());
@@ -737,6 +760,7 @@ std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
       c("lb2_disk_write_failures_total", s.disk_write_failures),
       c("lb2_disk_cooldowns_total", s.disk_cooldowns),
       c("lb2_faults_injected_total", s.faults_injected),
+      c("lb2_drain_sheds_total", s.drain_sheds),
   };
 }
 

@@ -206,6 +206,7 @@ struct ServiceStats {
   int64_t disk_write_failures = 0;  // Puts that failed or were torn
   int64_t disk_cooldowns = 0;       // cooldown windows entered
   int64_t faults_injected = 0;      // injected faults fired (testing/faults.h)
+  int64_t drain_sheds = 0;          // requests shed because BeginDrain() ran
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
@@ -284,6 +285,17 @@ class QueryService {
   /// worker is idle (tests; graceful drains). Returns immediately when no
   /// background work was ever enqueued.
   void DrainBackground();
+
+  /// Irreversibly puts the service into drain mode: every subsequent
+  /// Execute sheds immediately with Status::kBusy (counted as drain_sheds)
+  /// and no new background rebuilds are accepted; requests already past
+  /// admission finish normally. A network front end calls this when it
+  /// stops reading new work, then DrainBackground(), then destroys the
+  /// service — nothing in flight is ever abandoned.
+  void BeginDrain() { draining_.store(true, std::memory_order_relaxed); }
+  bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
 
   const QueryCache& cache() const { return cache_; }
   /// The persistent artifact tier, or null when `cache_dir` is empty.
@@ -383,10 +395,12 @@ class QueryService {
     std::atomic<int64_t> breaker_trips{0};
     std::atomic<int64_t> breaker_served{0};
     std::atomic<int64_t> breaker_rebuilds{0};
+    std::atomic<int64_t> drain_sheds{0};
     std::atomic<double> compile_ms_saved{0.0};
     std::atomic<double> compile_ms_paid{0.0};
   };
   StatCounters stats_;
+  std::atomic<bool> draining_{false};
 
   /// Per-service metric registry (per-service so tests that spin up many
   /// services keep isolated counters). Histograms are registered in the

@@ -22,6 +22,9 @@ struct FaultState {
   std::vector<FaultRule> rules;
   std::vector<int64_t> hits;   // per rule, parallel to `rules`
   std::vector<int64_t> fires;  // per rule
+  bool chaos = false;
+  uint64_t chaos_seed = 0;
+  int64_t chaos_hits[kFaultPointCount] = {};  // per point, chaos schedule
   std::atomic<int64_t> fired_by_point[kFaultPointCount] = {};
 };
 
@@ -31,7 +34,8 @@ FaultState& State() {
 }
 
 constexpr const char* kPointNames[kFaultPointCount] = {
-    "cc_exec", "artifact_write", "artifact_rename", "dlopen", "disk"};
+    "cc_exec", "artifact_write", "artifact_rename",
+    "dlopen",  "disk",           "drift_rebuild"};
 
 bool PointFromName(const std::string& name, FaultPoint* out) {
   for (int i = 0; i < kFaultPointCount; ++i) {
@@ -179,6 +183,15 @@ bool FaultPlan::Parse(const std::string& spec, FaultPlan* plan,
         rule_text.pop_back();
       }
       if (rule_text.empty()) continue;
+      if (rule_text.rfind("chaos:", 0) == 0) {
+        int64_t seed = 0;
+        if (!ParseInt(rule_text.substr(6), &seed)) {
+          *error = "bad chaos seed in '" + rule_text + "'";
+          return false;
+        }
+        out.Chaos(static_cast<uint64_t>(seed));
+        continue;
+      }
       FaultRule rule;
       if (!ParseOneRule(rule_text, &rule, error)) return false;
       out.Add(rule);
@@ -228,13 +241,22 @@ FaultPlan& FaultPlan::DiskFull(int64_t every, int64_t times) {
   return Add(r);
 }
 
+FaultPlan& FaultPlan::Chaos(uint64_t seed) {
+  has_chaos_ = true;
+  chaos_seed_ = seed;
+  return *this;
+}
+
 void ArmFaults(const FaultPlan& plan) {
   FaultState& s = State();
   std::lock_guard<std::mutex> lock(s.mu);
   s.rules = plan.rules();
   s.hits.assign(s.rules.size(), 0);
   s.fires.assign(s.rules.size(), 0);
-  internal::g_armed.store(!s.rules.empty(), std::memory_order_release);
+  s.chaos = plan.has_chaos();
+  s.chaos_seed = plan.chaos_seed();
+  for (int i = 0; i < kFaultPointCount; ++i) s.chaos_hits[i] = 0;
+  internal::g_armed.store(!plan.empty(), std::memory_order_release);
 }
 
 void DisarmFaults() { ArmFaults(FaultPlan()); }
@@ -258,6 +280,31 @@ int64_t FaultsFiredTotal() {
 
 namespace internal {
 
+namespace {
+
+/// splitmix64 finalizer over (seed, point, hit): the whole source of chaos
+/// randomness, so a seed replays identically run after run.
+uint64_t ChaosMix(uint64_t seed, int point, int64_t hit) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(point + 1)
+               + 0xbf58476d1ce4e5b9ULL * static_cast<uint64_t>(hit);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Every (action, point) pair chaos may pick; must mirror ActionValidAt.
+std::vector<FaultRule::Action> ChaosActionsAt(FaultPoint p) {
+  std::vector<FaultRule::Action> a;
+  for (FaultRule::Action cand :
+       {FaultRule::Action::kFail, FaultRule::Action::kShort,
+        FaultRule::Action::kFull, FaultRule::Action::kDelay}) {
+    if (ActionValidAt(cand, p)) a.push_back(cand);
+  }
+  return a;
+}
+
+}  // namespace
+
 FaultDecision Evaluate(FaultPoint p) {
   FaultDecision d;
   double delay_ms = 0.0;
@@ -278,6 +325,26 @@ FaultDecision Evaluate(FaultPoint p) {
         case FaultRule::Action::kShort: d.short_write = true; break;
         case FaultRule::Action::kFull: d.full = true; break;
         case FaultRule::Action::kDelay: delay_ms += r.delay_ms; break;
+      }
+    }
+    if (s.chaos) {
+      // ~1 in 8 hits fires, with an action drawn from the ones valid at
+      // this point; delays stay small (1-4 ms) so chaos soaks keep moving.
+      int64_t hit = ++s.chaos_hits[static_cast<int>(p)];
+      uint64_t h = ChaosMix(s.chaos_seed, static_cast<int>(p), hit);
+      if ((h & 7) == 0) {
+        std::vector<FaultRule::Action> actions = ChaosActionsAt(p);
+        FaultRule::Action pick = actions[(h >> 8) % actions.size()];
+        s.fired_by_point[static_cast<int>(p)].fetch_add(
+            1, std::memory_order_relaxed);
+        switch (pick) {
+          case FaultRule::Action::kFail: d.fail = true; break;
+          case FaultRule::Action::kShort: d.short_write = true; break;
+          case FaultRule::Action::kFull: d.full = true; break;
+          case FaultRule::Action::kDelay:
+            delay_ms += 1.0 + static_cast<double>((h >> 16) & 3);
+            break;
+        }
       }
     }
   }

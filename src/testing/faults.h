@@ -19,7 +19,9 @@
 //
 //   spec   := rule (';' rule)*
 //   rule   := point ':' action (':' sched)*
+//           | 'chaos' ':' <seed>
 //   point  := cc_exec | artifact_write | artifact_rename | dlopen | disk
+//           | drift_rebuild
 //   action := fail                 # report failure at the site
 //           | short                # write only half the bytes (writes only)
 //           | full                 # behave as ENOSPC (disk only)
@@ -36,6 +38,17 @@
 // every run. Rules for one point compose (a delay and a fail can both
 // apply); counters record every fire for tests and the service's
 // `faults_injected` stat.
+//
+// Chaos mode (`LB2_FAULTS=chaos:<seed>`) arms *every* registered point at
+// once with a seeded pseudo-random schedule: each site hit hashes
+// (seed, point, per-point hit count) and fires ~1 in 8 times with an
+// action valid at that point (fail/short/full plus small delays). Because
+// the schedule depends only on the seed and deterministic hit counters —
+// never on wall clock or real randomness — a given seed replays the same
+// injection sequence per site on every run. This is the soak-lane mode:
+// a load harness against a `chaos:`-armed server must see zero protocol
+// violations and full recovery, whatever subset of the degrade paths the
+// seed happens to exercise. Chaos composes with explicit rules.
 #ifndef LB2_TESTING_FAULTS_H_
 #define LB2_TESTING_FAULTS_H_
 
@@ -52,8 +65,9 @@ enum class FaultPoint : int {
   kArtifactRename,  // rename step of an atomic artifact write
   kDlopen,          // dlopen of a generated or persisted shared object
   kDisk,            // disk capacity at artifact-store writes
+  kDriftRebuild,    // drift worker's background re-stage (service/service.cc)
 };
-inline constexpr int kFaultPointCount = 5;
+inline constexpr int kFaultPointCount = 6;
 
 /// "cc_exec", "artifact_write", ... (the spec-grammar names).
 const char* FaultPointName(FaultPoint p);
@@ -93,12 +107,18 @@ class FaultPlan {
   FaultPlan& Delay(FaultPoint p, double ms);
   FaultPlan& ShortWrite(int64_t every = 1, int64_t times = -1);
   FaultPlan& DiskFull(int64_t every = 1, int64_t times = -1);
+  /// Arms seeded-random chaos over every point (see the header comment).
+  FaultPlan& Chaos(uint64_t seed);
 
   const std::vector<FaultRule>& rules() const { return rules_; }
-  bool empty() const { return rules_.empty(); }
+  bool has_chaos() const { return has_chaos_; }
+  uint64_t chaos_seed() const { return chaos_seed_; }
+  bool empty() const { return rules_.empty() && !has_chaos_; }
 
  private:
   std::vector<FaultRule> rules_;
+  bool has_chaos_ = false;
+  uint64_t chaos_seed_ = 0;
 };
 
 /// Arms `plan` process-wide, replacing any previous plan and resetting the
