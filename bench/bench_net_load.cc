@@ -64,6 +64,25 @@ std::vector<std::string> Workload() {
   };
 }
 
+// The statement mix: the fixed shapes above plus a same-shape family whose
+// members differ only in their literals. A parameterized server folds the
+// whole family onto one compiled artifact (its `\stats` param-hits counter
+// is the proof); every member is still a distinct statement here, so the
+// per-statement result-identity check stays byte-exact.
+std::vector<std::string> WorkloadWithParamFamily() {
+  std::vector<std::string> w = Workload();
+  for (int i = 0; i < 8; ++i) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "select count(*) as n, sum(l_extendedprice) as rev "
+                  "from lineitem where l_quantity < %d and l_discount < "
+                  "0.0%d",
+                  7 + 5 * i, 1 + i);
+    w.emplace_back(buf);
+  }
+  return w;
+}
+
 constexpr int kPaths = 4;  // service::ServiceResult::Path values
 constexpr int kBuckets = 64;
 
@@ -228,7 +247,7 @@ void RunConnection(const Options& opts, const std::vector<std::string>& work,
 /// Child process body: `conns` pipelined connections on threads, merged
 /// report written to `pipe_fd`.
 int RunChild(const Options& opts, int pipe_fd) {
-  std::vector<std::string> work = Workload();
+  std::vector<std::string> work = WorkloadWithParamFamily();
   int64_t deadline =
       NowNs() + static_cast<int64_t>(opts.seconds * 1e9);
   std::vector<Report> reports(static_cast<size_t>(opts.conns));
@@ -256,7 +275,7 @@ bool VerifyRecovery(const Options& opts) {
                  error.c_str());
     return false;
   }
-  std::vector<std::string> work = Workload();
+  std::vector<std::string> work = WorkloadWithParamFamily();
   uint64_t id = 1000000;
   for (size_t s = 0; s < work.size(); ++s) {
     for (int attempt = 0; attempt < 200; ++attempt) {

@@ -15,6 +15,12 @@
 //             dir serves the first request via re-stage + verified dlopen
 //             with ZERO external-compiler invocations (counters in the
 //             JSON prove it: cc_invocations == 0, disk_hits >= 1)
+//   params  — a same-shape / different-literal query family round-robined
+//             against a warm service, parameterization on vs off. The
+//             cc_invocations counter is the economics: with params=1 ONE
+//             compiled artifact serves every literal (cc_invocations == 1,
+//             cache_entries == 1); with params=0 (the LB2_PARAMS=0 escape
+//             hatch) every literal pays its own external cc
 //
 // The compile-amortization win is (cold - warm); the hybrid-dispatch
 // headroom is (interp vs warm); the reentrancy win is the same-entry
@@ -158,6 +164,58 @@ void BM_WarmThroughputMixed(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// -- Parameterized-plan economics --------------------------------------------
+
+constexpr int kFamilySize = 8;
+
+/// One member of a same-shape query family: only the two double literals
+/// change with `i`, so the parameterized cache folds every member onto one
+/// fingerprint and one compiled artifact.
+plan::Query ParamFamilyMember(int i) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(
+          plan::Scan("lineitem"),
+          plan::And(
+              plan::Lt(plan::Col("l_quantity"), plan::D(5.0 + 6.0 * i)),
+              plan::Lt(plan::Col("l_discount"), plan::D(0.01 + 0.01 * i)))),
+      {plan::CountStar("n"), plan::Sum(plan::Col("l_extendedprice"), "rev")});
+  return q;
+}
+
+/// Warm same-shape throughput, parameterization on (range(0)=1) vs off (0).
+/// Every iteration asks for a different literal of the same shape. The
+/// exported counters carry the claim: params=1 keeps cc_invocations at 1
+/// and cache_entries at 1 for the whole family; params=0 pays one external
+/// compiler run (and one cache slot) per literal combination.
+void BM_ParamFamilyWarm(benchmark::State& state) {
+  Harness& h = TheHarness();
+  bool params_on = state.range(0) != 0;
+  static std::unique_ptr<service::QueryService> svcs[2];
+  auto& svc = svcs[params_on ? 1 : 0];
+  if (svc == nullptr) {
+    service::ServiceOptions opts;
+    opts.cache_dir = "";  // memory tier only: cc_invocations == compiles
+    opts.parameterize = params_on;
+    svc = std::make_unique<service::QueryService>(h.db, opts);
+    // Warm every family member so the loop below measures steady state.
+    for (int i = 0; i < kFamilySize; ++i) svc->Execute(ParamFamilyMember(i));
+  }
+  int i = 0;
+  for (auto _ : state) {
+    service::ServiceResult r = svc->Execute(ParamFamilyMember(i++ %
+                                                              kFamilySize));
+    benchmark::DoNotOptimize(r.rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+  service::ServiceStats s = svc->Stats();
+  state.counters["cc_invocations"] = static_cast<double>(s.compiles);
+  state.counters["cache_entries"] = static_cast<double>(s.cache_entries);
+  state.counters["param_hits"] = static_cast<double>(s.param_cache_hits);
+  state.counters["hit_rate"] = benchmark::Counter(
+      static_cast<double>(s.hits) / static_cast<double>(s.requests));
+}
+
 // Same-entry scaling: every thread runs the SAME warm cached entry.
 // range(0) picks the shape: 0 = Q1 (agg+sort heavy), 1 = Q6 (scan+filter).
 void BM_WarmSameEntry(benchmark::State& state) {
@@ -187,6 +245,10 @@ BENCHMARK(BM_WarmThroughputMixed)
     ->Threads(8)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
+BENCHMARK(BM_ParamFamilyWarm)
+    ->ArgNames({"params"})
+    ->DenseRange(0, 1)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_WarmSameEntry)
     ->ArgNames({"q"})
     ->DenseRange(0, 1)

@@ -2,12 +2,18 @@
 # CI entry point: tier-1 correctness, the ThreadSanitizer concurrency lane,
 # and the service-throughput benchmark JSON.
 #
-#   scripts/ci.sh            # tier-1 + tsan + faults + net + soak + bench
+#   scripts/ci.sh            # tier-1 + tsan + faults + params + net + soak
+#                            #   + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
 #   scripts/ci.sh faults     # TSan build, `ctest -L 'fuzz|fault'` with
 #                            #   extended fuzz seeds (CI_FUZZ_SEEDS=64)
+#   scripts/ci.sh params     # TSan build, `ctest -L 'fuzz|service'` with
+#                            #   extended fuzz seeds: the parameterized-plan
+#                            #   differential fuzzers (randomized literals
+#                            #   rebound on one compiled artifact) plus the
+#                            #   shape-cache suites, racing threads under TSan
 #   scripts/ci.sh net        # TSan build, `ctest -L net`: the epoll loop,
 #                            #   worker handoff, and drain under TSan
 #   scripts/ci.sh soak       # ~10s chaos soak: lb2_served armed with
@@ -71,6 +77,22 @@ faults() {
   cmake --build build-tsan -j"$(nproc)"
   with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
     ctest --test-dir build-tsan -L 'fuzz|fault' --output-on-failure \
+    -j"$(nproc)"
+}
+
+# Parameterized-plan lane: the ParamFuzz differential fuzzers (randomized
+# literals bound at Run() on one compiled artifact, checked against the
+# interpreter and the Volcano oracle) with an elevated seed budget, plus
+# every `service`-labelled suite — params_test's one-slot/disk-restart/edge
+# -case proofs and the existing cache/concurrency tests — under
+# ThreadSanitizer, because literal binding happens on the lock-free warm
+# path that many threads share. Shares the tsan build tree.
+params() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
+    ctest --test-dir build-tsan -L 'fuzz|service' --output-on-failure \
     -j"$(nproc)"
 }
 
@@ -153,6 +175,27 @@ bench() {
     --benchmark_out=BENCH_service.json \
     --benchmark_out_format=json
   echo "wrote BENCH_service.json (same-entry scaling + cold-process disk win)"
+  # Parameterized-plan economics: a same-shape/different-literal family
+  # round-robined warm, params on vs off. The JSON's counters carry the
+  # claim — params=1 must show cc_invocations == 1 and cache_entries == 1
+  # for the whole family.
+  LB2_SF="${LB2_SF:-0.01}" ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_ParamFamilyWarm' \
+    --benchmark_min_time=0.05 \
+    --benchmark_out=BENCH_params.json \
+    --benchmark_out_format=json
+  python3 - <<'EOF'
+import json
+with open("BENCH_params.json") as f:
+    data = json.load(f)
+for b in data.get("benchmarks", []):
+    if "params:1" in b["name"]:
+        assert b["cc_invocations"] == 1, b
+        assert b["cache_entries"] == 1, b
+        print(f"{b['name']}: one artifact served the family "
+              f"(cc_invocations=1, param_hits={b['param_hits']:.0f})")
+EOF
+  echo "wrote BENCH_params.json (per-shape cache-hit economics)"
   obs_overhead
 }
 
@@ -234,12 +277,13 @@ case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
   faults) faults ;;
+  params) params ;;
   net) net ;;
   soak) soak ;;
   bench) bench ;;
-  all) tier1 && tsan && faults && net && soak && bench ;;
+  all) tier1 && tsan && faults && params && net && soak && bench ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|faults|net|soak|bench|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|soak|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -11,15 +11,45 @@
 
 namespace lb2::compile {
 
-CompiledQuery::RunResult CompiledQuery::Run() const {
+CompiledQuery::RunResult CompiledQuery::Run(
+    const plan::ParamVec* params) const {
   stage::QueryOut out;
-  // A private zeroed context per call: the fixed two-pointer header up
+  // A private zeroed context per call: the fixed three-pointer header up
   // front, the module's scratch fields after it. This is what makes
   // concurrent Run() on one loaded module safe.
   std::vector<char> ctx_buf(static_cast<size_t>(ctx_bytes_), 0);
   auto* hdr = reinterpret_cast<stage::ExecCtxHeader*>(ctx_buf.data());
   hdr->env = const_cast<void**>(env_.data());
   hdr->out = &out;
+  // Parameter binding: the module's lb2_param_count export says how many
+  // slots its generated code reads, and the bound vector must cover all of
+  // them — a short vector would mean reads of unbound slots. (The vector
+  // may be *larger*: a canonicalized leaf in a subtree the staged code
+  // never evaluates — an index-join build side replaced by probes, say —
+  // gets a slot but no reference.) Typical plans carry a handful of
+  // literals, so slots live on the stack; a plan whose literal count
+  // exceeds the inline estimate spills to the heap.
+  stage::ParamSlot inline_slots[8];
+  std::vector<stage::ParamSlot> heap_slots;
+  int64_t n = params != nullptr ? static_cast<int64_t>(params->size()) : 0;
+  LB2_CHECK_MSG(n >= param_count_,
+                "bound parameter vector smaller than the module's "
+                "lb2_param_count export");
+  if (n > 0) {
+    stage::ParamSlot* slots = inline_slots;
+    if (n > 8) {
+      heap_slots.resize(static_cast<size_t>(n));
+      slots = heap_slots.data();
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const plan::ParamValue& v = (*params)[static_cast<size_t>(i)];
+      slots[i].i64 = v.i64;
+      slots[i].f64 = v.f64;
+      slots[i].sp = v.str.data();
+      slots[i].sn = static_cast<int32_t>(v.str.size());
+    }
+    hdr->params = slots;
+  }
   int64_t rows = fn_(ctx_buf.data());
   RunResult r;
   r.rows = rows;
@@ -83,6 +113,12 @@ std::unique_ptr<CompiledQuery> CompiledQuery::FromModule(
   cq->ctx_bytes_ = cq->mod_->ctx_bytes();
   cq->env_ = staged.env.Materialize(db);
   cq->codegen_ms_ = staged.codegen_ms;
+  // Parameter-slot count: always exported by freshly-staged modules; the
+  // tolerant lookup keeps template-compiled and older artifacts (which
+  // never hoist literals) working with an implicit count of zero.
+  if (const void* pc = cq->mod_->TrySymbol("lb2_param_count")) {
+    cq->param_count_ = *reinterpret_cast<const int64_t*>(pc);
+  }
   // Optional profiling exports: present only when the query was staged with
   // EngineOptions::profile, including artifacts reloaded from disk.
   if (const void* count = cq->mod_->TrySymbol("lb2_prof_count")) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "engine/exec.h"
+#include "plan/params.h"
 #include "plan/plan.h"
 #include "runtime/database.h"
 #include "stage/jit.h"
@@ -63,7 +64,15 @@ class CompiledQuery {
     std::vector<int64_t> prof;
   };
 
-  RunResult Run() const;
+  /// Runs the compiled query. `params` binds values for the plan's
+  /// canonicalized constant leaves; its size must be at least param_count()
+  /// (nullptr is fine when param_count() == 0). The vector — including its
+  /// string payloads — only needs to outlive this call.
+  RunResult Run(const plan::ParamVec* params = nullptr) const;
+
+  /// Number of parameter slots the generated code reads (the module's
+  /// `lb2_param_count` export; 0 for non-parameterized plans).
+  int64_t param_count() const { return param_count_; }
 
   /// Profile metadata matching RunResult::prof (empty when the query was
   /// compiled without profiling).
@@ -107,6 +116,7 @@ class CompiledQuery {
   stage::JitModule::QueryFn fn_ = nullptr;
   std::vector<void*> env_;
   int64_t ctx_bytes_ = 0;
+  int64_t param_count_ = 0;
   double codegen_ms_ = 0.0;
   // Profiling exports (0/empty when compiled without profiling).
   int64_t prof_count_ = 0;

@@ -172,8 +172,12 @@ class TemplateGen {
     // Same reentrant entry ABI as the staged compiler (jit.h): all state is
     // either per-call locals or reached through the execution context. The
     // template path needs no scratch fields beyond the fixed header.
-    src += "typedef struct {\n  void** env;\n  lb2_out* out;\n} lb2_exec_ctx;\n";
+    src += "typedef struct {\n  void** env;\n  lb2_out* out;\n"
+           "  const lb2_param* params;\n} lb2_exec_ctx;\n";
     src += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n";
+    // The template path never hoists literals, but it shares the host-side
+    // Run() ABI with the staged compiler, so it declares zero slots.
+    src += "const int64_t lb2_param_count = 0;\n";
     src += "int64_t lb2_query(lb2_exec_ctx* lb2_ctx) {\n";
     src += "  void** env = lb2_ctx->env;\n";
     src += "  lb2_out* out = lb2_ctx->out;\n";

@@ -6,9 +6,11 @@
 namespace lb2::engine {
 
 InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
-                           const EngineOptions& opts) {
+                           const EngineOptions& opts,
+                           const plan::ParamVec* params) {
   plan::ValidateQuery(q, db);
   InterpBackend b(&db);
+  b.set_params(params);
   QueryCtx<InterpBackend> qctx;
   qctx.b = &b;
   qctx.db = &db;

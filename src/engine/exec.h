@@ -268,8 +268,13 @@ struct InterpResult {
 };
 
 /// Runs `q` on the data-centric interpreter (the InterpBackend engine).
+/// `params` optionally binds values for canonicalized constant leaves
+/// (Expr::param_slot >= 0); when null, marked leaves fall back to their
+/// original in-plan literals, so the same call serves both the plain path
+/// and the parameterized-oracle path of the differential tests.
 InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
-                           const EngineOptions& opts = {});
+                           const EngineOptions& opts = {},
+                           const plan::ParamVec* params = nullptr);
 
 }  // namespace lb2::engine
 

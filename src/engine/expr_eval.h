@@ -67,7 +67,11 @@ Value<B> EvalCompare(B& b, const plan::ExprRef& e, const Record<B>& rec,
   if ((e->op == ExprOp::kEq || e->op == ExprOp::kNe) &&
       rhs->op == ExprOp::kStrConst) {
     Value<B> x = EvalExpr(b, lhs, rec, scalars);
-    if (x.is_str() && x.str().is_dict) {
+    // The fast path is a *generation-time* specialization on the literal's
+    // value, so a parameterized constant (value bound at Run) must take the
+    // generic compare. The canonicalizer never parameterizes these leaves
+    // under use_dict (guard predicate); the check here is defense in depth.
+    if (e->children[1]->param_slot < 0 && x.is_str() && x.str().is_dict) {
       int32_t code = x.str().dict->CodeOf(rhs->str);
       typename B::Bool eq =
           code < 0 ? typename B::Bool(false)
@@ -75,7 +79,10 @@ Value<B> EvalCompare(B& b, const plan::ExprRef& e, const Record<B>& rec,
       return Value<B>::Bool(e->op == ExprOp::kEq ? eq : !eq);
     }
     // Fall through to the generic path, reusing x.
-    typename B::Str lit = b.ConstStr(rhs->str);
+    typename B::Str lit =
+        rhs->param_slot >= 0
+            ? b.ParamStr(static_cast<int>(rhs->param_slot), rhs->str)
+            : b.ConstStr(rhs->str);
     typename B::Bool eq = b.StrEqV(AsRawStr(b, x), lit);
     return Value<B>::Bool(e->op == ExprOp::kEq ? eq : !eq);
   }
@@ -176,14 +183,34 @@ Value<B> EvalExpr(B& b, const plan::ExprRef& e, const Record<B>& rec,
   switch (e->op) {
     case ExprOp::kColRef:
       return rec.Get(e->str);
+    // Constant leaves: a canonicalized plan (Expr::param_slot >= 0) reads
+    // the value from the backend's parameter slot — a ctx load in generated
+    // code, a bound-vector load in the interpreter — with the original
+    // literal as the unbound fallback. Unmarked leaves stay inlined.
     case ExprOp::kIntConst:
     case ExprOp::kDateConst:
+      if (e->param_slot >= 0) {
+        return Value<B>::I64(
+            b.ParamI64(static_cast<int>(e->param_slot), e->i64));
+      }
       return Value<B>::I64(typename B::I64(e->i64));
     case ExprOp::kBoolConst:
+      if (e->param_slot >= 0) {
+        return Value<B>::Bool(
+            b.ParamBool(static_cast<int>(e->param_slot), e->i64 != 0));
+      }
       return Value<B>::Bool(typename B::Bool(e->i64 != 0));
     case ExprOp::kDoubleConst:
+      if (e->param_slot >= 0) {
+        return Value<B>::F64(
+            b.ParamF64(static_cast<int>(e->param_slot), e->f64));
+      }
       return Value<B>::F64(typename B::F64(e->f64));
     case ExprOp::kStrConst:
+      if (e->param_slot >= 0) {
+        return Value<B>::Str(
+            b.ParamStr(static_cast<int>(e->param_slot), e->str));
+      }
       return Value<B>::Str(b.ConstStr(e->str));
     case ExprOp::kAdd:
     case ExprOp::kSub:

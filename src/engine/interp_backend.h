@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/backend.h"
+#include "plan/params.h"
 #include "runtime/database.h"
 #include "util/check.h"
 #include "util/str.h"
@@ -180,6 +181,29 @@ class InterpBackend {
   Str ConstStr(const std::string& lit) {
     return {lit.data(), static_cast<int32_t>(lit.size())};
   }
+
+  // -- Parameter slots (plan/params.h) ----------------------------------------
+  /// Binds a parameter vector for this run; the caller keeps it alive (the
+  /// string payloads are referenced, not copied). May stay unset: marked
+  /// leaves retain their original literal, which the accessors fall back
+  /// to, so a canonicalized plan interprets identically either way.
+  void set_params(const plan::ParamVec* params) { params_ = params; }
+  I64 ParamI64(int slot, int64_t fallback) const {
+    return params_ == nullptr ? fallback : ParamAt(slot).i64;
+  }
+  F64 ParamF64(int slot, double fallback) const {
+    return params_ == nullptr ? fallback : ParamAt(slot).f64;
+  }
+  Bool ParamBool(int slot, bool fallback) const {
+    return params_ == nullptr ? fallback : ParamAt(slot).i64 != 0;
+  }
+  Str ParamStr(int slot, const std::string& fallback) const {
+    if (params_ == nullptr) {
+      return {fallback.data(), static_cast<int32_t>(fallback.size())};
+    }
+    const std::string& s = ParamAt(slot).str;
+    return {s.data(), static_cast<int32_t>(s.size())};
+  }
   I64 SelI64(Bool c, I64 a, I64 b) { return c ? a : b; }
   F64 SelF64(Bool c, F64 a, F64 b) { return c ? a : b; }
   Str DictDecode(const rt::Dictionary* dict, I64 code) {
@@ -323,7 +347,15 @@ class InterpBackend {
     if (prof_.size() < need) prof_.resize(need, 0);
   }
 
+  const plan::ParamValue& ParamAt(int slot) const {
+    LB2_CHECK_MSG(slot >= 0 &&
+                      static_cast<size_t>(slot) < params_->size(),
+                  "parameter slot out of range for bound vector");
+    return (*params_)[static_cast<size_t>(slot)];
+  }
+
   const rt::Database* db_;
+  const plan::ParamVec* params_ = nullptr;
   I64 cur_tid_ = 0;
   std::vector<bool> break_stack_;
   std::string out_;

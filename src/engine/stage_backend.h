@@ -216,6 +216,29 @@ class StageBackend {
     return {ptr, l32};
   }
   Str ConstStr(const std::string& lit) { return {StrLit(lit), I32(static_cast<int32_t>(lit.size()))}; }
+
+  // -- Parameter slots (plan/params.h) ----------------------------------------
+  /// Const leaves carrying a `param_slot` read the literal from the bound
+  /// parameter vector on the execution context instead of baking it into
+  /// the TU — this is what makes same-shape/different-literal plans emit
+  /// byte-identical C. The host-side fallback value is an interpreter
+  /// concern and is deliberately unused here: referencing it would leak the
+  /// literal back into the generated text. Slot references are recorded on
+  /// the module so it exports `lb2_param_count` for bind-time validation.
+  I64 ParamI64(int slot, int64_t /*fallback*/) {
+    return stage::Bind<int64_t>(ParamRef(slot) + ".i64");
+  }
+  F64 ParamF64(int slot, double /*fallback*/) {
+    return stage::Bind<double>(ParamRef(slot) + ".f64");
+  }
+  Bool ParamBool(int slot, bool /*fallback*/) {
+    return stage::Bind<bool>("(" + ParamRef(slot) + ".i64 != 0)");
+  }
+  Str ParamStr(int slot, const std::string& /*fallback*/) {
+    return {stage::Bind<const char*>(ParamRef(slot) + ".sp"),
+            stage::Bind<int32_t>(ParamRef(slot) + ".sn")};
+  }
+
   I64 SelI64(Bool c, I64 a, I64 b) { return stage::Select(c, a, b); }
   F64 SelF64(Bool c, F64 a, F64 b) { return stage::Select(c, a, b); }
   Str DictDecode(const rt::Dictionary* dict, I64 code) {
@@ -453,6 +476,11 @@ class StageBackend {
 
   stage::Rep<const char*> StrLit(const std::string& s) {
     return stage::Rep<const char*>::FromRef(stage::CStringLit(s));
+  }
+  std::string ParamRef(int slot) {
+    LB2_CHECK_MSG(slot >= 0, "negative parameter slot");
+    ctx_->module().NoteParamSlot(slot);
+    return "lb2_ctx->params[" + std::to_string(slot) + "]";
   }
   static stage::Rep<char*> GOut() {
     return stage::Rep<char*>::FromRef("lb2_ctx->out");

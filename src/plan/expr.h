@@ -52,6 +52,14 @@ struct Expr {
   double f64 = 0.0;
   std::vector<std::string> str_list;
   std::vector<int64_t> int_list;
+
+  /// Parameter slot for const leaves in a *canonicalized* plan (see
+  /// plan/params.h): >= 0 means the engines read this leaf's value from
+  /// execution-context parameter slot N instead of baking it into generated
+  /// code. The original literal value stays in place, so any evaluator that
+  /// ignores the slot (Volcano, an interpreter run without bound params)
+  /// still computes the original query. -1 = ordinary literal.
+  int64_t param_slot = -1;
 };
 
 // -- Factory helpers (the plan-construction vocabulary) ---------------------

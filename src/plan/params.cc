@@ -1,0 +1,16 @@
+#include "plan/params.h"
+
+namespace lb2::plan {
+
+const char* ParamKindName(ParamKind k) {
+  switch (k) {
+    case ParamKind::kInt: return "int";
+    case ParamKind::kDouble: return "double";
+    case ParamKind::kStr: return "str";
+    case ParamKind::kBool: return "bool";
+    case ParamKind::kDate: return "date";
+  }
+  return "?";
+}
+
+}  // namespace lb2::plan

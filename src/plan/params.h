@@ -1,0 +1,47 @@
+// Parameter values for canonicalized ("prepared") plans.
+//
+// A canonicalizer (service/fingerprint.h: ParameterizeQuery) rewrites a
+// query's eligible const leaves to carry a `param_slot` index and extracts
+// the literal values into a ParamVec. Both engines then read marked leaves
+// through the slot — the staged backend emits `lb2_ctx->params[i]`
+// references so the generated TU is byte-identical across literal values,
+// and the interpreter reads the bound vector directly. The values here are
+// bound at Run(): one compiled artifact serves the whole query family.
+#ifndef LB2_PLAN_PARAMS_H_
+#define LB2_PLAN_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lb2::plan {
+
+/// Runtime type of one extracted literal. Int and date share the i64
+/// payload (dates are yyyymmdd int64s everywhere in the engine); the kind
+/// is still recorded separately because it is part of the *shape*: an int
+/// literal and a date literal in the same position generate different
+/// surrounding code and must not share a fingerprint.
+enum class ParamKind : int32_t { kInt, kDouble, kStr, kBool, kDate };
+
+/// One literal hoisted out of a plan. Exactly one payload field is
+/// meaningful, per `kind`. Strings are owned here — the bound execution
+/// context points into this storage, so a ParamVec must outlive any run it
+/// is bound to (the service keeps it on the request stack).
+struct ParamValue {
+  ParamKind kind = ParamKind::kInt;
+  int64_t i64 = 0;   // kInt, kDate, kBool (0/1)
+  double f64 = 0.0;  // kDouble (bit pattern preserved: NaN, -0.0)
+  std::string str;   // kStr
+
+  bool operator==(const ParamValue& o) const {
+    return kind == o.kind && i64 == o.i64 && f64 == o.f64 && str == o.str;
+  }
+};
+
+using ParamVec = std::vector<ParamValue>;
+
+const char* ParamKindName(ParamKind k);
+
+}  // namespace lb2::plan
+
+#endif  // LB2_PLAN_PARAMS_H_

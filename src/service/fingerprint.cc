@@ -55,6 +55,16 @@ void HashExpr(Hasher* h, const plan::ExprRef& e) {
     h->U64(0);
     return;
   }
+  // A parameterized leaf hashes by slot, not by value: the literal is bound
+  // into the execution context at Run(), so it is no longer part of the
+  // compiled artifact's identity. The distinct presence tag keeps a
+  // parameterized leaf from ever aliasing a baked one.
+  if (e->param_slot >= 0) {
+    h->U64(2);
+    h->I32(static_cast<int32_t>(e->op));
+    h->I64(e->param_slot);
+    return;
+  }
   h->U64(1);
   h->I32(static_cast<int32_t>(e->op));
   h->Str(e->str);
@@ -139,7 +149,151 @@ void HashOptions(Hasher* h, const engine::EngineOptions& o) {
   h->Bool(o.profile);
 }
 
+/// Path-copying literal hoister. Shared subtrees that contain no hoistable
+/// leaf are reused by pointer; everything on the path to a marked leaf is
+/// copied, so the caller's original query is never mutated.
+class Parameterizer {
+ public:
+  explicit Parameterizer(bool dict_sensitive)
+      : dict_sensitive_(dict_sensitive) {}
+
+  plan::ExprRef RewriteExpr(const plan::ExprRef& e) {
+    if (e == nullptr) return e;
+    using plan::ExprOp;
+    switch (e->op) {
+      case ExprOp::kIntConst:
+        return MarkLeaf(e, plan::ParamKind::kInt);
+      case ExprOp::kDateConst:
+        return MarkLeaf(e, plan::ParamKind::kDate);
+      case ExprOp::kBoolConst:
+        return MarkLeaf(e, plan::ParamKind::kBool);
+      case ExprOp::kDoubleConst:
+        return MarkLeaf(e, plan::ParamKind::kDouble);
+      case ExprOp::kStrConst:
+        return MarkLeaf(e, plan::ParamKind::kStr);
+      default:
+        break;
+    }
+    // Guard predicate: under a dictionary-aware engine, `col = 'CONST'` /
+    // `col != 'CONST'` specializes to an integer compare against the
+    // literal's dictionary code — resolved while the query compiles. That
+    // physical choice depends on the constant's value, so the leaf stays
+    // baked (and hashes by value: the per-literal-fingerprint fallback).
+    bool guard_rhs = dict_sensitive_ &&
+                     (e->op == ExprOp::kEq || e->op == ExprOp::kNe) &&
+                     e->children.size() == 2 &&
+                     e->children[1]->op == ExprOp::kStrConst;
+    bool changed = false;
+    std::vector<plan::ExprRef> kids;
+    kids.reserve(e->children.size());
+    for (size_t i = 0; i < e->children.size(); ++i) {
+      if (guard_rhs && i == 1) {
+        ++guard_fallbacks_;
+        kids.push_back(e->children[i]);
+        continue;
+      }
+      plan::ExprRef k = RewriteExpr(e->children[i]);
+      changed |= k != e->children[i];
+      kids.push_back(std::move(k));
+    }
+    if (!changed) return e;
+    auto copy = std::make_shared<plan::Expr>(*e);
+    copy->children = std::move(kids);
+    return copy;
+  }
+
+  plan::PlanRef RewritePlan(const plan::PlanRef& p) {
+    if (p == nullptr) return p;
+    bool changed = false;
+    plan::ExprRef pred = RewriteExpr(p->predicate);
+    changed |= pred != p->predicate;
+    std::vector<plan::ExprRef> exprs = RewriteExprs(p->exprs, &changed);
+    std::vector<plan::ExprRef> group_exprs =
+        RewriteExprs(p->group_exprs, &changed);
+    std::vector<plan::AggSpec> aggs = p->aggs;
+    for (auto& a : aggs) {
+      plan::ExprRef ae = RewriteExpr(a.expr);
+      changed |= ae != a.expr;
+      a.expr = std::move(ae);
+    }
+    std::vector<plan::PlanRef> kids;
+    kids.reserve(p->children.size());
+    for (const auto& c : p->children) {
+      plan::PlanRef k = RewritePlan(c);
+      changed |= k != c;
+      kids.push_back(std::move(k));
+    }
+    if (!changed) return p;
+    auto copy = std::make_shared<plan::PlanNode>(*p);
+    copy->predicate = std::move(pred);
+    copy->exprs = std::move(exprs);
+    copy->group_exprs = std::move(group_exprs);
+    copy->aggs = std::move(aggs);
+    copy->children = std::move(kids);
+    return copy;
+  }
+
+  plan::ParamVec TakeParams() { return std::move(params_); }
+  int64_t guard_fallbacks() const { return guard_fallbacks_; }
+
+ private:
+  plan::ExprRef MarkLeaf(const plan::ExprRef& e, plan::ParamKind kind) {
+    plan::ParamValue v;
+    v.kind = kind;
+    switch (kind) {
+      case plan::ParamKind::kDouble:
+        v.f64 = e->f64;
+        break;
+      case plan::ParamKind::kStr:
+        v.str = e->str;
+        break;
+      case plan::ParamKind::kBool:
+        v.i64 = e->i64 != 0 ? 1 : 0;
+        break;
+      default:  // kInt, kDate
+        v.i64 = e->i64;
+        break;
+    }
+    auto copy = std::make_shared<plan::Expr>(*e);
+    copy->param_slot = static_cast<int64_t>(params_.size());
+    params_.push_back(std::move(v));
+    return copy;
+  }
+
+  std::vector<plan::ExprRef> RewriteExprs(
+      const std::vector<plan::ExprRef>& in, bool* changed) {
+    std::vector<plan::ExprRef> out;
+    out.reserve(in.size());
+    for (const auto& e : in) {
+      plan::ExprRef r = RewriteExpr(e);
+      *changed |= r != e;
+      out.push_back(std::move(r));
+    }
+    return out;
+  }
+
+  bool dict_sensitive_;
+  plan::ParamVec params_;
+  int64_t guard_fallbacks_ = 0;
+};
+
 }  // namespace
+
+ParameterizedQuery ParameterizeQuery(const plan::Query& q,
+                                     bool dict_sensitive) {
+  Parameterizer pz(dict_sensitive);
+  ParameterizedQuery out;
+  // Deterministic pre-order — slot order is part of the shape, so two
+  // parses of the same statement must assign identical slots.
+  out.query.scalar_subqueries.reserve(q.scalar_subqueries.size());
+  for (const auto& sq : q.scalar_subqueries) {
+    out.query.scalar_subqueries.push_back(pz.RewritePlan(sq));
+  }
+  out.query.root = pz.RewritePlan(q.root);
+  out.params = pz.TakeParams();
+  out.guard_fallbacks = pz.guard_fallbacks();
+  return out;
+}
 
 std::string Fingerprint::ToString() const {
   return StrPrintf("fp:%016llx", static_cast<unsigned long long>(hash));

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "engine/exec.h"
+#include "plan/params.h"
 #include "plan/plan.h"
 #include "runtime/database.h"
 
@@ -46,9 +47,44 @@ struct Fingerprint {
 
 /// Fingerprints a full query (scalar subqueries + main plan) against the
 /// engine options and database identity it would be compiled for.
+///
+/// Constant leaves marked by ParameterizeQuery (Expr::param_slot >= 0) are
+/// hashed by slot index instead of value, so every member of a query family
+/// that differs only in those literals lands on the same `shape` and the
+/// same `hash` — one compile, one cached artifact, per family.
 Fingerprint FingerprintQuery(const plan::Query& q,
                              const engine::EngineOptions& opts,
                              const rt::Database& db);
+
+/// ParameterizeQuery output: the canonicalized plan plus everything needed
+/// to run it as the original query.
+struct ParameterizedQuery {
+  /// Structurally equal to the input, but with hoistable constant leaves
+  /// marked (param_slot = extraction order). The original literal values
+  /// remain in the nodes, so slot-ignoring evaluators (Volcano, interpreter
+  /// without a bound vector) still compute the original query.
+  plan::Query query;
+  /// Extracted literals, indexed by slot. Bind at Run() / ExecuteInterp().
+  plan::ParamVec params;
+  /// Constant leaves a guard predicate kept baked into the plan (they hash
+  /// by value, i.e. fall back to per-literal fingerprints). Today that is
+  /// string equality RHS under dictionary-aware engines, whose generated
+  /// code specializes on the literal's dictionary code.
+  int64_t guard_fallbacks = 0;
+};
+
+/// Canonicalizes `q` for shape-keyed caching: hoists kIntConst /
+/// kDoubleConst / kStrConst / kBoolConst / kDateConst leaves into parameter
+/// slots (deterministic pre-order: scalar subqueries then root; within a
+/// node predicate, projections, group exprs, aggregates, then children) and
+/// returns the literal vector alongside. `dict_sensitive` must be true when
+/// the plan will be built with EngineOptions::use_dict: it arms the guard
+/// that keeps dictionary-specialized literals baked (see
+/// ParameterizedQuery::guard_fallbacks). Plan-level constants that pick
+/// physical structure (ScanDateIdx date bounds, capacity hints, limits) are
+/// never hoisted — they stay part of the shape by design.
+ParameterizedQuery ParameterizeQuery(const plan::Query& q,
+                                     bool dict_sensitive);
 
 /// The database-identity component alone: table names, schemas, row counts,
 /// and which auxiliary structures (PK/FK/date indexes, dictionaries) exist.

@@ -96,6 +96,13 @@ double DefaultDiskCooldownMs() {
   return 1000.0;
 }
 
+bool DefaultParamsEnabled() {
+  const char* env = std::getenv("LB2_PARAMS");
+  if (env == nullptr) return true;
+  std::string v = env;
+  return !(v == "0" || v == "false" || v == "off" || v == "no");
+}
+
 const char* PathName(ServiceResult::Path p) {
   switch (p) {
     case ServiceResult::Path::kCompiledCold: return "compiled-cold";
@@ -125,7 +132,8 @@ std::string ServiceStats::ToString() const {
       "disk-corrupt=%lld drift-recompiles=%lld "
       "cc-retries=%lld breaker trips=%lld open=%lld served=%lld "
       "rebuilds=%lld disk-write-failures=%lld disk-cooldowns=%lld "
-      "faults-injected=%lld drain-sheds=%lld",
+      "faults-injected=%lld drain-sheds=%lld "
+      "param-hits=%lld param-bindings=%lld param-guard-fallbacks=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -151,7 +159,10 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(disk_write_failures),
       static_cast<long long>(disk_cooldowns),
       static_cast<long long>(faults_injected),
-      static_cast<long long>(drain_sheds));
+      static_cast<long long>(drain_sheds),
+      static_cast<long long>(param_cache_hits),
+      static_cast<long long>(param_bindings_total),
+      static_cast<long long>(param_guard_fallbacks));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
@@ -194,11 +205,23 @@ QueryService::~QueryService() {
 ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
                                         ServiceResult::Path path,
                                         const Fingerprint& fp,
+                                        const plan::ParamVec* params,
                                         obs::SpanList* spans) {
+  int64_t nparams =
+      params != nullptr ? static_cast<int64_t>(params->size()) : 0;
+  if (nparams > 0) {
+    stats_.param_bindings_total.fetch_add(nparams, std::memory_order_relaxed);
+    // The per-shape economics: a cached artifact (either tier) just served
+    // a request whose literals were bound at Run() instead of compiled in.
+    if (path == ServiceResult::Path::kCompiledCached ||
+        path == ServiceResult::Path::kCompiledDisk) {
+      stats_.param_cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   // No run lock: entries are reentrant (each Run() builds a private
   // execution context), so same-entry executions overlap freely.
   int64_t t0 = spans != nullptr ? NowNs() : 0;
-  compile::CompiledQuery::RunResult rr = entry->query.Run();
+  compile::CompiledQuery::RunResult rr = entry->query.Run(params);
   if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
   ServiceResult r;
   r.path = path;
@@ -213,15 +236,20 @@ ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
 ServiceResult QueryService::RunInterp(const plan::Query& q,
                                       const engine::EngineOptions& eopts,
                                       const Fingerprint& fp,
+                                      const plan::ParamVec* params,
                                       std::string compile_error,
                                       obs::SpanList* spans) {
+  if (params != nullptr && !params->empty()) {
+    stats_.param_bindings_total.fetch_add(
+        static_cast<int64_t>(params->size()), std::memory_order_relaxed);
+  }
   // The interpreter shares the engine (and therefore the results) with the
   // compiled path; only num_threads is pinned — parallel pipelines are a
   // compiled-code feature.
   engine::EngineOptions iopts = eopts;
   iopts.num_threads = 1;
   int64_t t0 = spans != nullptr ? NowNs() : 0;
-  engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts);
+  engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts, params);
   if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
   ServiceResult r;
   r.path = ServiceResult::Path::kInterpreted;
@@ -242,7 +270,25 @@ ServiceResult QueryService::Execute(const plan::Query& q,
   const bool rec = opts_.metrics;
   obs::SpanList spans;
   int64_t t_start = rec ? NowNs() : 0;
-  Fingerprint fp = FingerprintQuery(q, eopts, db_);
+  // Canonicalize before fingerprinting: hoisting the plan's literals into
+  // parameter slots makes the fingerprint key the query *family* (shape),
+  // so one cached artifact serves every literal combination. The extracted
+  // vector lives on this frame until the request completes; everything
+  // below binds it instead of the baked values. LB2_PARAMS=0 (or
+  // ServiceOptions::parameterize=false) restores per-literal keys.
+  ParameterizedQuery pq;
+  const plan::Query* run_q = &q;
+  const plan::ParamVec* params = nullptr;
+  if (opts_.parameterize) {
+    pq = ParameterizeQuery(q, eopts.use_dict);
+    run_q = &pq.query;
+    if (!pq.params.empty()) params = &pq.params;
+    if (pq.guard_fallbacks > 0) {
+      stats_.param_guard_fallbacks.fetch_add(pq.guard_fallbacks,
+                                             std::memory_order_relaxed);
+    }
+  }
+  Fingerprint fp = FingerprintQuery(*run_q, eopts, db_);
   if (rec) spans.push_back({"fingerprint", NowNs() - t_start});
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
 
@@ -272,7 +318,8 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.spans = std::move(spans);
     return r;
   }
-  ServiceResult r = ExecuteAdmitted(q, eopts, fp, rec ? &spans : nullptr);
+  ServiceResult r =
+      ExecuteAdmitted(*run_q, eopts, fp, params, rec ? &spans : nullptr);
   if (rec) {
     lat_hist_[static_cast<int>(r.path)]->Observe(NowNs() - t_start);
     r.spans = std::move(spans);
@@ -283,6 +330,7 @@ ServiceResult QueryService::Execute(const plan::Query& q,
 ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
                                             const engine::EngineOptions& eopts,
                                             const Fingerprint& fp,
+                                            const plan::ParamVec* params,
                                             obs::SpanList* spans) {
   // Warm path: no codegen, no external compiler, no dlopen — and no stats
   // mutex: two relaxed atomic adds are the whole bookkeeping cost.
@@ -290,7 +338,8 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     stats_.hits.fetch_add(1, std::memory_order_relaxed);
     obs::AtomicAddDouble(&stats_.compile_ms_saved,
                          entry->codegen_ms + entry->compile_ms);
-    return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp, spans);
+    return RunCompiled(entry, ServiceResult::Path::kCompiledCached, fp,
+                       params, spans);
   }
 
   // Cold path: join or start the single flight for this fingerprint — or,
@@ -338,7 +387,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     obs::AtomicAddDouble(&stats_.compile_ms_saved,
                          rechecked->codegen_ms + rechecked->compile_ms);
     return RunCompiled(rechecked, ServiceResult::Path::kCompiledCached, fp,
-                       spans);
+                       params, spans);
   }
 
   if (breaker) {
@@ -349,7 +398,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     if (EnqueueDriftRecompile(q, eopts, fp)) {
       stats_.breaker_rebuilds.fetch_add(1, std::memory_order_relaxed);
     }
-    return RunInterp(q, eopts, fp, "", spans);
+    return RunInterp(q, eopts, fp, params, "", spans);
   }
 
   if (drift) {
@@ -363,7 +412,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     if (EnqueueDriftRecompile(q, eopts, fp)) {
       stats_.drift_recompiles.fetch_add(1, std::memory_order_relaxed);
     }
-    return RunInterp(q, eopts, fp, "", spans);
+    return RunInterp(q, eopts, fp, params, "", spans);
   }
 
   if (leader) {
@@ -392,19 +441,19 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
         LB2_LOG(Warn, "[lb2-service] %s: JIT failed, serving interpreted:\n%s",
                 fp.ToString().c_str(), error.c_str());
       }
-      return RunInterp(q, eopts, fp, std::move(error), spans);
+      return RunInterp(q, eopts, fp, params, std::move(error), spans);
     }
     return RunCompiled(entry,
                        from_disk ? ServiceResult::Path::kCompiledDisk
                                  : ServiceResult::Path::kCompiledCold,
-                       fp, spans);
+                       fp, params, spans);
   }
 
   // Follower: the hybrid policy answers immediately from the interpreter;
   // the waiting policy blocks for the (single) compile.
   if (opts_.while_compiling == ServiceOptions::WhileCompiling::kInterpret) {
     stats_.interp_while_compiling.fetch_add(1, std::memory_order_relaxed);
-    return RunInterp(q, eopts, fp, "", spans);
+    return RunInterp(q, eopts, fp, params, "", spans);
   }
   {
     int64_t t0 = spans != nullptr ? NowNs() : 0;
@@ -415,10 +464,10 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
   stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
   if (flight->entry != nullptr) {
     return RunCompiled(flight->entry, ServiceResult::Path::kCompiledCached,
-                       fp, spans);
+                       fp, params, spans);
   }
   stats_.interp_fallbacks.fetch_add(1, std::memory_order_relaxed);
-  return RunInterp(q, eopts, fp, flight->error, spans);
+  return RunInterp(q, eopts, fp, params, flight->error, spans);
 }
 
 CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
@@ -684,6 +733,12 @@ ServiceStats QueryService::Stats() const {
   s.breaker_rebuilds =
       stats_.breaker_rebuilds.load(std::memory_order_relaxed);
   s.drain_sheds = stats_.drain_sheds.load(std::memory_order_relaxed);
+  s.param_cache_hits =
+      stats_.param_cache_hits.load(std::memory_order_relaxed);
+  s.param_bindings_total =
+      stats_.param_bindings_total.load(std::memory_order_relaxed);
+  s.param_guard_fallbacks =
+      stats_.param_guard_fallbacks.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.breaker_open = static_cast<int64_t>(breaker_open_.size());
@@ -761,6 +816,9 @@ std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
       c("lb2_disk_cooldowns_total", s.disk_cooldowns),
       c("lb2_faults_injected_total", s.faults_injected),
       c("lb2_drain_sheds_total", s.drain_sheds),
+      c("lb2_param_cache_hits_total", s.param_cache_hits),
+      c("lb2_param_bindings_total", s.param_bindings_total),
+      c("lb2_param_guard_fallbacks_total", s.param_guard_fallbacks),
   };
 }
 

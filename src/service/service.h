@@ -113,6 +113,10 @@ int DefaultBreakerFailures();
 /// LB2_DISK_COOLDOWN_MS env var, else 1000 ms (0 disables the cooldown).
 double DefaultDiskCooldownMs();
 
+/// Default for ServiceOptions::parameterize: LB2_PARAMS env var
+/// (0/false = off), else on.
+bool DefaultParamsEnabled();
+
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
   size_t cache_capacity = DefaultCacheCapacity();
@@ -155,6 +159,14 @@ struct ServiceOptions {
   /// How long a disk-tier write failure keeps the tier offline; 0 = no
   /// cooldown (every Put hits the disk again).
   double disk_cooldown_ms = DefaultDiskCooldownMs();
+  /// Canonicalize each request before fingerprinting: plan literals are
+  /// hoisted into execution-context parameter slots and bound at Run(), so
+  /// one compiled artifact (memory tier and disk tier alike) serves the
+  /// whole same-shape query family instead of one artifact per literal
+  /// combination. Guard predicates keep value-specialized literals baked
+  /// (see fingerprint.h ParameterizeQuery). The LB2_PARAMS=0 escape hatch
+  /// (or setting this false) restores per-literal fingerprints.
+  bool parameterize = DefaultParamsEnabled();
   /// Record per-request latency histograms and trace spans (obs/metrics.h,
   /// obs/trace.h). The counters in ServiceStats are always maintained; this
   /// gates only the timestamped extras, so benchmarks can price their cost
@@ -207,6 +219,10 @@ struct ServiceStats {
   int64_t disk_cooldowns = 0;       // cooldown windows entered
   int64_t faults_injected = 0;      // injected faults fired (testing/faults.h)
   int64_t drain_sheds = 0;          // requests shed because BeginDrain() ran
+  // Parameterized-plan cache economics (ServiceOptions::parameterize).
+  int64_t param_cache_hits = 0;      // cached-artifact runs with bound params
+  int64_t param_bindings_total = 0;  // individual literals bound at Run()
+  int64_t param_guard_fallbacks = 0; // literals kept baked by a guard
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
@@ -263,12 +279,16 @@ class QueryService {
                   std::string* error);
 
   /// Cache key a query would be served under (tests, EXPLAIN-style tools).
+  /// Canonicalizes exactly like Execute when ServiceOptions::parameterize
+  /// is on, so the prediction matches the key requests actually use.
   Fingerprint FingerprintFor(const plan::Query& q) const {
-    return FingerprintQuery(q, opts_.engine, db_);
+    return FingerprintFor(q, opts_.engine);
   }
   Fingerprint FingerprintFor(const plan::Query& q,
                              const engine::EngineOptions& eopts) const {
-    return FingerprintQuery(q, eopts, db_);
+    if (!opts_.parameterize) return FingerprintQuery(q, eopts, db_);
+    return FingerprintQuery(ParameterizeQuery(q, eopts.use_dict).query,
+                            eopts, db_);
   }
 
   ServiceStats Stats() const;
@@ -327,16 +347,24 @@ class QueryService {
     Fingerprint fp;
   };
 
+  /// `params` (nullable) is the literal vector extracted by request
+  /// canonicalization; it is bound into the execution context (compiled) or
+  /// the interpreter backend and must outlive the call — Execute keeps it
+  /// on its own stack frame.
   ServiceResult RunCompiled(const CacheEntryPtr& entry,
                             ServiceResult::Path path, const Fingerprint& fp,
+                            const plan::ParamVec* params,
                             obs::SpanList* spans);
   ServiceResult RunInterp(const plan::Query& q,
                           const engine::EngineOptions& eopts,
-                          const Fingerprint& fp, std::string compile_error,
-                          obs::SpanList* spans);
+                          const Fingerprint& fp,
+                          const plan::ParamVec* params,
+                          std::string compile_error, obs::SpanList* spans);
   ServiceResult ExecuteAdmitted(const plan::Query& q,
                                 const engine::EngineOptions& eopts,
-                                const Fingerprint& fp, obs::SpanList* spans);
+                                const Fingerprint& fp,
+                                const plan::ParamVec* params,
+                                obs::SpanList* spans);
 
   /// Produces (and caches, and persists) the compiled entry for `fp`: with
   /// the disk tier on, stages the query, probes the artifact store, and
@@ -396,6 +424,9 @@ class QueryService {
     std::atomic<int64_t> breaker_served{0};
     std::atomic<int64_t> breaker_rebuilds{0};
     std::atomic<int64_t> drain_sheds{0};
+    std::atomic<int64_t> param_cache_hits{0};
+    std::atomic<int64_t> param_bindings_total{0};
+    std::atomic<int64_t> param_guard_fallbacks{0};
     std::atomic<double> compile_ms_saved{0.0};
     std::atomic<double> compile_ms_paid{0.0};
   };

@@ -34,12 +34,16 @@ std::string CModule::Emit() const {
     out += "\n";
   }
   // The execution context: the entry's only channel to per-run state. The
-  // two-pointer header is a fixed ABI (stage::ExecCtxHeader); scratch fields
-  // discovered during staging follow. Always emitted — with the exported
-  // lb2_ctx_bytes — so hosts can size a context without knowing the fields.
+  // three-pointer header is a fixed ABI (stage::ExecCtxHeader); scratch
+  // fields discovered during staging follow. Always emitted — with the
+  // exported lb2_ctx_bytes — so hosts can size a context without knowing
+  // the fields. `params` carries the literals bound at Run() for
+  // parameterized plans (unused, and left null, for modules staged without
+  // parameter references).
   out += "typedef struct {\n";
   out += "  void** env;\n";
   out += "  lb2_out* out;\n";
+  out += "  const lb2_param* params;\n";
   for (const auto& f : ctx_fields_) {
     out += "  " + f.first + " " + f.second + ";\n";
   }
@@ -51,6 +55,8 @@ std::string CModule::Emit() const {
   }
   out += "} lb2_exec_ctx;\n";
   out += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n";
+  out += "const int64_t lb2_param_count = " + std::to_string(param_slots_) +
+         ";\n";
   if (prof_slots_ > 0) {
     out += "const int64_t lb2_prof_count = " + std::to_string(prof_slots_) +
            ";\n";

@@ -48,6 +48,15 @@ class CModule {
     return ctx_fields_;
   }
 
+  /// Records a parameter-slot reference (engine/stage_backend.h emits
+  /// `lb2_ctx->params[slot]` loads while staging). The module exports the
+  /// resulting slot count as `lb2_param_count` so hosts can validate the
+  /// bound vector against the artifact — including one reloaded from disk.
+  void NoteParamSlot(int slot) {
+    if (slot + 1 > param_slots_) param_slots_ = slot + 1;
+  }
+  int param_slots() const { return param_slots_; }
+
   /// Declares `n` profiling slots (engine/profile.h): the context gains an
   /// `int64_t lb2_prof[2n]` tail (zeroed with the rest of the per-run
   /// context) and the module exports `lb2_prof_count`/`lb2_prof_offset` so
@@ -77,6 +86,7 @@ class CModule {
   std::vector<std::string> globals_;
   std::vector<CFunction*> functions_;
   int prof_slots_ = 0;
+  int param_slots_ = 0;
 };
 
 /// Reentrancy lint over emitted C source: returns the first writable

@@ -147,11 +147,12 @@ std::unique_ptr<JitModule> Jit::TryLoad(const std::string& so_path,
   // ABI check before anyone calls into the artifact: the reentrant-entry
   // contract must be exported, else this is a stale or foreign .so.
   if (dlsym(out->handle_, "lb2_query") == nullptr ||
-      dlsym(out->handle_, "lb2_ctx_bytes") == nullptr) {
+      dlsym(out->handle_, "lb2_ctx_bytes") == nullptr ||
+      dlsym(out->handle_, "lb2_param_count") == nullptr) {
     if (error != nullptr) {
       *error = StrPrintf(
-          "artifact %s lacks the lb2_query/lb2_ctx_bytes exports "
-          "(ABI mismatch)", so_path.c_str());
+          "artifact %s lacks the lb2_query/lb2_ctx_bytes/lb2_param_count "
+          "exports (ABI mismatch)", so_path.c_str());
     }
     return nullptr;
   }
@@ -279,7 +280,15 @@ static_assert(sizeof(QueryOut) == 40, "QueryOut layout drifted from prelude");
 static_assert(offsetof(QueryOut, rows) == 24, "QueryOut layout drifted");
 
 // Layout contract with the generated `lb2_exec_ctx` header (ir.cc).
-static_assert(sizeof(ExecCtxHeader) == 16, "ExecCtxHeader layout drifted");
+static_assert(sizeof(ExecCtxHeader) == 24, "ExecCtxHeader layout drifted");
 static_assert(offsetof(ExecCtxHeader, out) == 8, "ExecCtxHeader layout drifted");
+static_assert(offsetof(ExecCtxHeader, params) == 16,
+              "ExecCtxHeader layout drifted");
+
+// Layout contract with the generated `lb2_param` struct (prelude.h).
+static_assert(sizeof(ParamSlot) == 32, "ParamSlot layout drifted from prelude");
+static_assert(offsetof(ParamSlot, f64) == 8, "ParamSlot layout drifted");
+static_assert(offsetof(ParamSlot, sp) == 16, "ParamSlot layout drifted");
+static_assert(offsetof(ParamSlot, sn) == 24, "ParamSlot layout drifted");
 
 }  // namespace lb2::stage

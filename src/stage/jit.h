@@ -23,14 +23,27 @@ struct QueryOut {
   double exec_ms = 0.0;
 };
 
+/// Mirror of the generated `lb2_param` struct (see prelude.h): one bound
+/// query parameter. Ints/dates/bools ride in i64, doubles keep their bit
+/// pattern in f64, strings are (ptr, len) views into host-owned storage.
+struct ParamSlot {
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  const char* sp = nullptr;
+  int32_t sn = 0;
+};
+
 /// Host-side mirror of the fixed header of the generated `lb2_exec_ctx`
 /// struct (see ir.cc). A caller sizes the full context with the module's
-/// exported `lb2_ctx_bytes`, zeroes it, and fills in this two-pointer
+/// exported `lb2_ctx_bytes`, zeroes it, and fills in this three-pointer
 /// header; the scratch fields that follow are private to the generated
 /// code. One context per execution makes the entry fully reentrant.
+/// `params` points at `lb2_param_count` bound literals for parameterized
+/// modules (may stay null when the module references no parameter slots).
 struct ExecCtxHeader {
   void** env = nullptr;
   QueryOut* out = nullptr;
+  const ParamSlot* params = nullptr;
 };
 
 /// A loaded query library. Owns the dlopen handle and the on-disk artifacts;

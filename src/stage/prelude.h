@@ -28,6 +28,18 @@ typedef struct {
   double exec_ms;
 } lb2_out;
 
+/* One bound query parameter (a literal hoisted out of the plan so the
+   same compiled artifact serves every literal of a query shape). The host
+   mirror is stage::ParamSlot; layouts must match. Ints, dates, and bools
+   ride in i64; doubles keep their exact bit pattern in f64; strings are
+   (ptr, len) views into host-owned storage that outlives the run. */
+typedef struct {
+  int64_t i64;
+  double f64;
+  const char* sp;
+  int32_t sn;
+} lb2_param;
+
 /* Per-worker argument for generated parallel regions: the execution
    context of the run that spawned the worker plus the worker's lane id.
    Every run owns a private lb2_exec_ctx, so one loaded module may execute

@@ -264,6 +264,55 @@ TEST(ServiceMetricsTest, PrometheusExport) {
   EXPECT_NE(json.find("\"lb2_requests_total\": 1"), std::string::npos);
 }
 
+// The parameterized-plan counters flow through every surface: Prometheus,
+// JSON, and the one-line ToString rendering shells print for `\stats`.
+TEST(ServiceMetricsTest, ParamCountersExported) {
+  rt::Database db;
+  tpch::Generate(0.002, 2026, &db);
+  service::ServiceOptions opts;
+  opts.metrics = true;
+  opts.cache_dir = "";  // memory tier only: deterministic hit accounting
+  opts.parameterize = true;
+  service::QueryService svc(db, opts);
+
+  auto member = [](double thr) {
+    plan::Query q;
+    q.root = plan::ScalarAggPlan(
+        plan::Filter(plan::Scan("lineitem"),
+                     plan::Lt(plan::Col("l_quantity"), plan::D(thr))),
+        {plan::CountStar("n")});
+    return q;
+  };
+  // One shape, three literals: 1 compile + 2 parameterized cache hits,
+  // 3 bound literals total.
+  svc.Execute(member(10.0));
+  svc.Execute(member(20.0));
+  svc.Execute(member(30.0));
+
+  std::string prom = svc.MetricsPrometheus();
+  EXPECT_NE(prom.find("# TYPE lb2_param_cache_hits_total counter\n"
+                      "lb2_param_cache_hits_total 2\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lb2_param_bindings_total 3\n"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("lb2_param_guard_fallbacks_total 0\n"),
+            std::string::npos)
+      << prom;
+
+  std::string json = svc.MetricsJson();
+  EXPECT_NE(json.find("\"lb2_param_cache_hits_total\": 2"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lb2_param_bindings_total\": 3"), std::string::npos)
+      << json;
+
+  std::string line = svc.Stats().ToString();
+  EXPECT_NE(line.find("param-hits=2"), std::string::npos) << line;
+  EXPECT_NE(line.find("param-bindings=3"), std::string::npos) << line;
+  EXPECT_NE(line.find("param-guard-fallbacks=0"), std::string::npos) << line;
+}
+
 // With metrics off, the hot path records nothing: no spans, empty
 // histogram registry — but the counters (satellite: always-on atomics)
 // still tick.

@@ -1,0 +1,442 @@
+// Parameterized compiled plans: one artifact per query shape, literals
+// bound at Run(). These tests prove the cache economics the feature claims:
+//
+//   * same shape, different literals -> byte-identical generated C, one
+//     fingerprint, one cache slot, zero external-compiler invocations after
+//     the first request — on the memory tier and, across a simulated
+//     process restart, on the disk tier;
+//   * binding edge cases (NaN, signed zero, empty and near-max-length
+//     strings, date boundaries, more literals than the inline slot
+//     estimate) agree with the interpreter and the Volcano oracle;
+//   * the dictionary guard keeps value-specialized string literals baked
+//     (per-literal keys) instead of producing wrong code;
+//   * the LB2_PARAMS / ServiceOptions::parameterize escape hatch restores
+//     per-literal fingerprints.
+//
+// These carry the ctest label `service`; the CI `params` lane runs them
+// under ThreadSanitizer (`cmake -DLB2_SANITIZE=thread`, `ctest -L service`).
+#include <gtest/gtest.h>
+
+#include <ftw.h>
+#include <sys/stat.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compile/lb2_compiler.h"
+#include "engine/exec.h"
+#include "service/fingerprint.h"
+#include "service/service.h"
+#include "tpch/answers.h"
+#include "tpch/dbgen.h"
+#include "volcano/volcano.h"
+
+namespace lb2::service {
+namespace {
+
+// -- Filesystem scaffolding ---------------------------------------------------
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/lb2_params_test_XXXXXX";
+  const char* dir = mkdtemp(tmpl);
+  EXPECT_NE(dir, nullptr);
+  return dir == nullptr ? std::string() : std::string(dir);
+}
+
+int RemoveOne(const char* path, const struct stat*, int, struct FTW*) {
+  return ::remove(path);
+}
+
+void RemoveTree(const std::string& dir) {
+  if (!dir.empty()) nftw(dir.c_str(), RemoveOne, 16, FTW_DEPTH | FTW_PHYS);
+}
+
+/// Owns a temp directory for one test.
+struct TempDir {
+  std::string path = MakeTempDir();
+  ~TempDir() { RemoveTree(path); }
+};
+
+// -- Fixture ------------------------------------------------------------------
+
+class ParamsTest : public ::testing::Test {
+ public:
+  static void SetUpTestSuite() {
+    db_ = new rt::Database();
+    tpch::Generate(0.002, 4242, db_);
+  }
+  static void TearDownTestSuite() { delete db_; }
+
+  static std::string Oracle(const plan::Query& q) {
+    return volcano::Execute(q, *db_);
+  }
+
+  static rt::Database* db_;
+};
+
+rt::Database* ParamsTest::db_ = nullptr;
+
+/// select count(*) as n, sum(l_extendedprice) as rev from lineitem
+/// where l_quantity < qty and l_discount < disc
+plan::Query QtyDiscQuery(double qty, double disc) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(
+          plan::Scan("lineitem"),
+          plan::And(plan::Lt(plan::Col("l_quantity"), plan::D(qty)),
+                    plan::Lt(plan::Col("l_discount"), plan::D(disc)))),
+      {plan::CountStar("n"), plan::Sum(plan::Col("l_extendedprice"), "rev")});
+  return q;
+}
+
+/// select count(*) as n from lineitem where l_shipmode = mode
+plan::Query ModeQuery(const std::string& mode) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(plan::Scan("lineitem"),
+                   plan::Eq(plan::Col("l_shipmode"), plan::S(mode))),
+      {plan::CountStar("n")});
+  return q;
+}
+
+/// select count(*) as n, sum(l_quantity) as sq from lineitem
+/// where l_shipdate >= lo
+plan::Query ShipDateQuery(int64_t yyyymmdd_lo) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(plan::Scan("lineitem"),
+                   plan::Ge(plan::Col("l_shipdate"), plan::DtRaw(yyyymmdd_lo))),
+      {plan::CountStar("n"), plan::Sum(plan::Col("l_quantity"), "sq")});
+  return q;
+}
+
+void ExpectSameResult(const std::string& expected, const std::string& got,
+                      const std::string& what) {
+  std::string diff = tpch::DiffResults(expected, got, /*order_sensitive=*/true);
+  EXPECT_TRUE(diff.empty()) << what << ":\n" << diff;
+}
+
+// -- Canonicalization invariants ---------------------------------------------
+
+TEST_F(ParamsTest, CanonicalQueryStillEvaluatesAsTheOriginal) {
+  // The canonicalized plan keeps the original literal values in place, so a
+  // slot-ignoring evaluator (Volcano) computes the original query.
+  plan::Query q = QtyDiscQuery(30.0, 0.07);
+  ParameterizedQuery pq = ParameterizeQuery(q, /*dict_sensitive=*/false);
+  ASSERT_EQ(pq.params.size(), 2u);
+  EXPECT_EQ(pq.params[0].kind, plan::ParamKind::kDouble);
+  EXPECT_EQ(pq.params[0].f64, 30.0);
+  EXPECT_EQ(pq.params[1].f64, 0.07);
+  EXPECT_EQ(pq.guard_fallbacks, 0);
+  ExpectSameResult(Oracle(q), volcano::Execute(pq.query, *db_),
+                   "volcano(canonical) vs volcano(original)");
+  // The input plan is never mutated: its leaves stay unmarked.
+  EXPECT_EQ(q.root->children[0]->predicate->children[0]->children[1]->param_slot,
+            -1);
+}
+
+TEST_F(ParamsTest, SameShapeDifferentLiteralsOneSourceOneFingerprint) {
+  // The codegen-identity claim at its root: two members of a query family
+  // stage to BYTE-IDENTICAL translation units and land on one fingerprint.
+  ParameterizedQuery a = ParameterizeQuery(QtyDiscQuery(10.0, 0.02), false);
+  ParameterizedQuery b = ParameterizeQuery(QtyDiscQuery(45.0, 0.09), false);
+  compile::StagedQuery sa = compile::StageQuery(a.query, *db_);
+  compile::StagedQuery sb = compile::StageQuery(b.query, *db_);
+  EXPECT_EQ(sa.source, sb.source);
+  // The generated code reads both literals from parameter slots, never
+  // bakes them in.
+  EXPECT_NE(sa.source.find("lb2_ctx->params[0]"), std::string::npos);
+  EXPECT_NE(sa.source.find("lb2_ctx->params[1]"), std::string::npos);
+  engine::EngineOptions eopts;
+  EXPECT_EQ(FingerprintQuery(a.query, eopts, *db_),
+            FingerprintQuery(b.query, eopts, *db_));
+  // Without canonicalization the literals keep the fingerprints apart.
+  EXPECT_NE(FingerprintQuery(QtyDiscQuery(10.0, 0.02), eopts, *db_),
+            FingerprintQuery(QtyDiscQuery(45.0, 0.09), eopts, *db_));
+}
+
+// -- One cache slot per shape (memory tier) -----------------------------------
+
+TEST_F(ParamsTest, SameShapeFamilySharesOneCacheSlot) {
+  ServiceOptions opts;
+  opts.cache_dir = "";  // memory tier only, even if CI exports LB2_CACHE_DIR
+  opts.parameterize = true;
+  QueryService svc(*db_, opts);
+
+  const double qtys[] = {5.0, 12.0, 24.0, 33.0, 41.0, 49.5};
+  const double discs[] = {0.01, 0.03, 0.05, 0.06, 0.08, 0.10};
+  Fingerprint first_fp;
+  for (int i = 0; i < 6; ++i) {
+    plan::Query q = QtyDiscQuery(qtys[i], discs[i]);
+    ServiceResult r = svc.Execute(q);
+    ASSERT_EQ(r.status, ServiceResult::Status::kOk);
+    ExpectSameResult(Oracle(q), r.text, "request " + std::to_string(i));
+    EXPECT_EQ(r.path, i == 0 ? ServiceResult::Path::kCompiledCold
+                             : ServiceResult::Path::kCompiledCached);
+    if (i == 0) {
+      first_fp = r.fingerprint;
+    } else {
+      EXPECT_EQ(r.fingerprint, first_fp) << "request " << i;
+    }
+    EXPECT_EQ(svc.FingerprintFor(q), first_fp);
+  }
+
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.requests, 6);
+  EXPECT_EQ(s.compiles, 1);  // the external compiler ran exactly once
+  EXPECT_EQ(s.hits, 5);
+  EXPECT_EQ(s.cache_entries, 1);  // one slot serves the whole family
+  EXPECT_EQ(s.param_cache_hits, 5);
+  EXPECT_EQ(s.param_bindings_total, 12);  // 6 requests x 2 literals
+  EXPECT_EQ(s.param_guard_fallbacks, 0);
+}
+
+// -- One artifact per shape (disk tier, across a process restart) -------------
+
+TEST_F(ParamsTest, DiskTierServesTheShapeFamilyAcrossRestart) {
+  TempDir td;
+  ServiceOptions opts;
+  opts.cache_dir = td.path;
+  opts.parameterize = true;
+
+  // "Process" 1 compiles one member of the family and persists the artifact.
+  {
+    QueryService svc(*db_, opts);
+    plan::Query q = QtyDiscQuery(18.0, 0.04);
+    ServiceResult r = svc.Execute(q);
+    ASSERT_EQ(r.status, ServiceResult::Status::kOk);
+    EXPECT_EQ(r.path, ServiceResult::Path::kCompiledCold);
+    EXPECT_EQ(svc.Stats().disk_writes, 1);
+    ExpectSameResult(Oracle(q), r.text, "writer process");
+  }
+
+  // "Process" 2 (fresh memory cache) asks for a DIFFERENT literal of the
+  // same shape: the persisted artifact must serve it — re-stage + verified
+  // dlopen, zero external-compiler invocations.
+  QueryService svc(*db_, opts);
+  plan::Query q2 = QtyDiscQuery(37.0, 0.09);
+  ServiceResult r2 = svc.Execute(q2);
+  ASSERT_EQ(r2.status, ServiceResult::Status::kOk);
+  EXPECT_EQ(r2.path, ServiceResult::Path::kCompiledDisk);
+  ExpectSameResult(Oracle(q2), r2.text, "restarted process, new literal");
+
+  // And a third literal is now a plain memory hit.
+  plan::Query q3 = QtyDiscQuery(2.5, 0.02);
+  ServiceResult r3 = svc.Execute(q3);
+  EXPECT_EQ(r3.path, ServiceResult::Path::kCompiledCached);
+  ExpectSameResult(Oracle(q3), r3.text, "restarted process, third literal");
+
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.compiles, 0);  // cc never ran in this "process"
+  EXPECT_EQ(s.disk_hits, 1);
+  EXPECT_EQ(s.cache_entries, 1);
+  EXPECT_EQ(s.param_cache_hits, 2);  // disk-tier run + memory hit
+  EXPECT_EQ(s.param_bindings_total, 4);
+}
+
+// -- Binding edge cases vs the interpreter and the oracle ---------------------
+
+// Compile the double-literal shape ONCE, then bind adversarial doubles.
+TEST_F(ParamsTest, DoubleEdgeCasesBindCorrectly) {
+  ParameterizedQuery canon = ParameterizeQuery(QtyDiscQuery(1.0, 1.0), false);
+  compile::CompiledQuery cq =
+      compile::CompileQuery(canon.query, *db_, {}, "param_edge_f64");
+  EXPECT_EQ(cq.param_count(), 2);
+
+  const double qtys[] = {std::nan(""), +0.0, -0.0, 24.0,
+                         1.7976931348623157e308, 1e-300};
+  const double discs[] = {0.05, std::nan(""), -0.0, +0.0, 0.07, 0.0};
+  engine::EngineOptions eopts;
+  uint64_t shape = FingerprintQuery(canon.query, eopts, *db_).hash;
+  for (size_t i = 0; i < 6; ++i) {
+    plan::Query q = QtyDiscQuery(qtys[i], discs[i]);
+    ParameterizedQuery pq = ParameterizeQuery(q, false);
+    // Every member lands on the compiled shape.
+    EXPECT_EQ(FingerprintQuery(pq.query, eopts, *db_).hash, shape);
+    std::string oracle = Oracle(q);
+    ExpectSameResult(oracle, cq.Run(&pq.params).text,
+                     "compiled, double case " + std::to_string(i));
+    ExpectSameResult(
+        oracle, engine::ExecuteInterp(pq.query, *db_, {}, &pq.params).text,
+        "interpreted, double case " + std::to_string(i));
+  }
+}
+
+// Compile the string-literal shape ONCE, then bind empty / ordinary /
+// near-max-length strings (the .sp/.sn slot pair must round-trip exactly).
+TEST_F(ParamsTest, StringEdgeCasesBindCorrectly) {
+  ParameterizedQuery canon = ParameterizeQuery(ModeQuery("AIR"), false);
+  ASSERT_EQ(canon.params.size(), 1u);
+  EXPECT_EQ(canon.params[0].kind, plan::ParamKind::kStr);
+  compile::CompiledQuery cq =
+      compile::CompileQuery(canon.query, *db_, {}, "param_edge_str");
+
+  std::vector<std::string> modes = {"", "AIR", "TRUCK", "REG AIR",
+                                    std::string(255, 'Z'),
+                                    std::string("A\tB C")};
+  engine::EngineOptions eopts;
+  uint64_t shape = FingerprintQuery(canon.query, eopts, *db_).hash;
+  for (size_t i = 0; i < modes.size(); ++i) {
+    plan::Query q = ModeQuery(modes[i]);
+    ParameterizedQuery pq = ParameterizeQuery(q, false);
+    EXPECT_EQ(FingerprintQuery(pq.query, eopts, *db_).hash, shape);
+    std::string oracle = Oracle(q);
+    ExpectSameResult(oracle, cq.Run(&pq.params).text,
+                     "compiled, string case " + std::to_string(i));
+    ExpectSameResult(
+        oracle, engine::ExecuteInterp(pq.query, *db_, {}, &pq.params).text,
+        "interpreted, string case " + std::to_string(i));
+  }
+}
+
+// Compile the date-literal shape ONCE, then bind boundary dates.
+TEST_F(ParamsTest, DateBoundariesBindCorrectly) {
+  ParameterizedQuery canon = ParameterizeQuery(ShipDateQuery(19950101), false);
+  ASSERT_EQ(canon.params.size(), 1u);
+  EXPECT_EQ(canon.params[0].kind, plan::ParamKind::kDate);
+  compile::CompiledQuery cq =
+      compile::CompileQuery(canon.query, *db_, {}, "param_edge_date");
+
+  // TPC-H ship dates live in [1992-01-02, 1998-12-01]; probe both edges,
+  // just outside them, and an in-range pivot.
+  const int64_t dates[] = {19920101, 19920102, 19951231,
+                           19981201, 19981202, 19990101};
+  for (int64_t d : dates) {
+    plan::Query q = ShipDateQuery(d);
+    ParameterizedQuery pq = ParameterizeQuery(q, false);
+    std::string oracle = Oracle(q);
+    ExpectSameResult(oracle, cq.Run(&pq.params).text,
+                     "compiled, date " + std::to_string(d));
+    ExpectSameResult(
+        oracle, engine::ExecuteInterp(pq.query, *db_, {}, &pq.params).text,
+        "interpreted, date " + std::to_string(d));
+  }
+}
+
+// A plan whose literal count exceeds Run()'s inline slot estimate (8) must
+// spill the bound vector to the heap and still agree with the oracle.
+TEST_F(ParamsTest, MoreLiteralsThanInlineSlotEstimate) {
+  auto wide = [](double qty_hi, double disc_hi) {
+    std::vector<plan::ExprRef> conjuncts;
+    conjuncts.push_back(plan::Lt(plan::Col("l_quantity"), plan::D(qty_hi)));
+    conjuncts.push_back(plan::Lt(plan::Col("l_discount"), plan::D(disc_hi)));
+    conjuncts.push_back(plan::Gt(plan::Col("l_quantity"), plan::D(-1.0)));
+    conjuncts.push_back(plan::Ge(plan::Col("l_tax"), plan::D(0.0)));
+    conjuncts.push_back(plan::Gt(plan::Col("l_orderkey"), plan::I(0)));
+    conjuncts.push_back(plan::Gt(plan::Col("l_partkey"), plan::I(0)));
+    conjuncts.push_back(plan::Lt(plan::Col("l_linenumber"), plan::I(100)));
+    conjuncts.push_back(plan::Ne(plan::Col("l_linenumber"), plan::I(99)));
+    conjuncts.push_back(
+        plan::Ge(plan::Col("l_shipdate"), plan::DtRaw(19920101)));
+    conjuncts.push_back(
+        plan::Le(plan::Col("l_shipdate"), plan::DtRaw(19990101)));
+    plan::Query q;
+    q.root = plan::ScalarAggPlan(
+        plan::Filter(plan::Scan("lineitem"), plan::And(std::move(conjuncts))),
+        {plan::CountStar("n"),
+         plan::Sum(plan::Col("l_extendedprice"), "rev")});
+    return q;
+  };
+
+  plan::Query q = wide(35.0, 0.06);
+  ParameterizedQuery pq = ParameterizeQuery(q, false);
+  ASSERT_GT(pq.params.size(), 8u);  // forces the heap-spill path in Run()
+  compile::CompiledQuery cq =
+      compile::CompileQuery(pq.query, *db_, {}, "param_wide");
+  std::string oracle = Oracle(q);
+  ExpectSameResult(oracle, cq.Run(&pq.params).text, "compiled, 10 literals");
+
+  // Rebind the same artifact for a second family member.
+  plan::Query q2 = wide(12.0, 0.09);
+  ParameterizedQuery pq2 = ParameterizeQuery(q2, false);
+  ExpectSameResult(Oracle(q2), cq.Run(&pq2.params).text,
+                   "compiled, 10 literals rebound");
+}
+
+// -- Dictionary guard ---------------------------------------------------------
+
+TEST_F(ParamsTest, DictGuardKeepsStringEqualityBaked) {
+  // Dictionary-aware engines resolve `l_shipmode = <lit>` to a dictionary
+  // code at GENERATION time — that literal must stay baked (per-literal
+  // fingerprints), or one cached artifact would answer for the wrong value.
+  rt::Database dict_db;
+  tpch::Generate(0.002, 4242, &dict_db);
+  tpch::BuildAuxStructures({.string_dicts = true}, &dict_db);
+
+  // The guard only arms for dict-sensitive builds.
+  ParameterizedQuery guarded = ParameterizeQuery(ModeQuery("AIR"), true);
+  EXPECT_EQ(guarded.params.size(), 0u);
+  EXPECT_EQ(guarded.guard_fallbacks, 1);
+  ParameterizedQuery unguarded = ParameterizeQuery(ModeQuery("AIR"), false);
+  EXPECT_EQ(unguarded.params.size(), 1u);
+  EXPECT_EQ(unguarded.guard_fallbacks, 0);
+
+  ServiceOptions opts;
+  opts.cache_dir = "";
+  opts.parameterize = true;
+  opts.engine.use_dict = true;
+  QueryService svc(dict_db, opts);
+
+  // Different literals -> different keys -> two compiles, both correct.
+  plan::Query air = ModeQuery("AIR");
+  plan::Query rail = ModeQuery("RAIL");
+  EXPECT_NE(svc.FingerprintFor(air), svc.FingerprintFor(rail));
+  ServiceResult ra = svc.Execute(air);
+  ServiceResult rr = svc.Execute(rail);
+  ExpectSameResult(volcano::Execute(air, dict_db), ra.text, "dict AIR");
+  ExpectSameResult(volcano::Execute(rail, dict_db), rr.text, "dict RAIL");
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.compiles + s.disk_hits, 2);
+  EXPECT_EQ(s.cache_entries, 2);
+  EXPECT_GE(s.param_guard_fallbacks, 2);
+}
+
+// -- Escape hatch -------------------------------------------------------------
+
+TEST_F(ParamsTest, EscapeHatchRestoresPerLiteralFingerprints) {
+  ServiceOptions opts;
+  opts.cache_dir = "";
+  opts.parameterize = false;  // what LB2_PARAMS=0 selects
+  QueryService svc(*db_, opts);
+
+  plan::Query a = QtyDiscQuery(10.0, 0.02);
+  plan::Query b = QtyDiscQuery(45.0, 0.09);
+  EXPECT_NE(svc.FingerprintFor(a), svc.FingerprintFor(b));
+  ServiceResult ra = svc.Execute(a);
+  ServiceResult rb = svc.Execute(b);
+  ExpectSameResult(Oracle(a), ra.text, "unparameterized a");
+  ExpectSameResult(Oracle(b), rb.text, "unparameterized b");
+
+  ServiceStats s = svc.Stats();
+  EXPECT_EQ(s.compiles, 2);  // one artifact per literal combination again
+  EXPECT_EQ(s.cache_entries, 2);
+  EXPECT_EQ(s.param_bindings_total, 0);
+  EXPECT_EQ(s.param_cache_hits, 0);
+}
+
+TEST_F(ParamsTest, DefaultParamsEnabledReadsTheEnvKnob) {
+  const char* saved = std::getenv("LB2_PARAMS");
+  std::string saved_val = saved != nullptr ? saved : "";
+
+  unsetenv("LB2_PARAMS");
+  EXPECT_TRUE(DefaultParamsEnabled());
+  setenv("LB2_PARAMS", "0", 1);
+  EXPECT_FALSE(DefaultParamsEnabled());
+  setenv("LB2_PARAMS", "off", 1);
+  EXPECT_FALSE(DefaultParamsEnabled());
+  setenv("LB2_PARAMS", "1", 1);
+  EXPECT_TRUE(DefaultParamsEnabled());
+
+  if (saved != nullptr) {
+    setenv("LB2_PARAMS", saved_val.c_str(), 1);
+  } else {
+    unsetenv("LB2_PARAMS");
+  }
+}
+
+}  // namespace
+}  // namespace lb2::service

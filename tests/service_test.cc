@@ -189,10 +189,13 @@ TEST_F(ServiceTest, LruEvictionForcesRecompile) {
   ServiceOptions opts;
   opts.cache_capacity = 2;
   QueryService svc(*db_, opts);
+  // Distinct *shapes* (different filter columns): plans that differ only
+  // in literal values now share one parameterized cache entry, so eviction
+  // pressure needs structurally different plans.
   const char* sqls[3] = {
       "select count(*) as n from lineitem where l_quantity < 10",
-      "select count(*) as n from lineitem where l_quantity < 20",
-      "select count(*) as n from lineitem where l_quantity < 30",
+      "select count(*) as n from lineitem where l_discount < 0.05",
+      "select count(*) as n from lineitem where l_tax < 0.04",
   };
   for (const char* s : sqls) svc.Execute(Parse(s));
   EXPECT_EQ(svc.Stats().cache_entries, 2);
@@ -253,13 +256,15 @@ TEST_F(ServiceTest, SingleFlightHybridInterpretPolicy) {
 
 TEST_F(ServiceTest, ConcurrentDistinctPlansAllCompile) {
   // Different fingerprints must not serialize behind one flight: four
-  // distinct plans submitted from four threads all compile (and cache).
+  // structurally distinct plans (same-shape/different-literal plans share a
+  // parameterized entry instead) submitted from four threads all compile
+  // (and cache).
   QueryService svc(*db_);
   const char* sqls[4] = {
       "select count(*) as n from orders where o_totalprice > 1000",
-      "select count(*) as n from orders where o_totalprice > 2000",
-      "select count(*) as n from orders where o_totalprice > 3000",
-      "select count(*) as n from orders where o_totalprice > 4000",
+      "select count(*) as n from orders where o_orderkey > 100",
+      "select count(*) as n from orders where o_custkey > 50",
+      "select count(*) as n from orders where o_shippriority >= 0",
   };
   std::vector<plan::Query> qs;
   std::vector<std::string> wants;
