@@ -23,6 +23,7 @@
 //   lb2> \stats;                    # query-service cache/JIT counters
 //   lb2> \metrics;                  # Prometheus text (histograms + stats)
 //   lb2> \profile select ...;       # EXPLAIN ANALYZE-style operator tree
+//   lb2> \explore select ...;       # sweep codegen flavors, record winner
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
       "tables: region nation supplier part partsupp customer orders "
       "lineitem\nend statements with ';', 'explain <q>;' shows the plan, "
       "'\\c <q>;' dumps the C, '\\profile <q>;' shows per-operator rows/ms, "
+      "'\\explore <q>;' sweeps codegen flavors and records the winner, "
       "'\\stats;' shows cache counters, '\\metrics;' dumps Prometheus "
       "text, 'quit;' exits\n");
 
@@ -80,11 +82,15 @@ int main(int argc, char** argv) {
     bool show_c = false;
     bool explain = false;
     bool profile = false;
+    bool explore = false;
     if (StartsWith(stmt, "\\c ")) {
       show_c = true;
       stmt = stmt.substr(3);
     } else if (StartsWith(stmt, "\\profile ")) {
       profile = true;
+      stmt = stmt.substr(9);
+    } else if (StartsWith(stmt, "\\explore ")) {
+      explore = true;
       stmt = stmt.substr(9);
     } else if (StartsWith(stmt, "explain ")) {
       explain = true;
@@ -111,6 +117,20 @@ int main(int argc, char** argv) {
         std::printf("error: %s\n", error.c_str());
       } else if (explain) {
         std::printf("%s", plan::PlanToString(q.root).c_str());
+      } else if (explore) {
+        // Flavor sweep: builds each candidate (data-centric, vectorized,
+        // blend masks), times them warm, records the winner. Subsequent
+        // executions of this statement's shape auto-pick the winner.
+        auto eo = svc.ExploreFlavors(q);
+        std::printf("sites=%d candidates=%d\n%s", eo.sites, eo.candidates,
+                    eo.report.c_str());
+        if (eo.ran) {
+          std::printf("winner: %s (%.3f ms warm)\n",
+                      service::FlavorSpecString(eo.flavor, eo.blend).c_str(),
+                      eo.best_ms);
+        } else {
+          std::printf("no winner recorded\n");
+        }
       } else if (show_c) {
         // The C dump compiles outside the service so the text is at hand.
         auto cq = compile::CompileQuery(q, db, {}, "shell");
@@ -139,6 +159,9 @@ int main(int argc, char** argv) {
           std::printf("%s(%lld rows; %s", r.text.c_str(),
                       static_cast<long long>(r.rows),
                       service::PathName(r.path));
+          if (!r.flavor.empty() && r.flavor != "data") {
+            std::printf(", flavor %s", r.flavor.c_str());
+          }
           if (r.path == service::ServiceResult::Path::kCompiledCold) {
             std::printf(", compile %.0f ms", r.compile_ms);
           } else if (r.path == service::ServiceResult::Path::kCompiledCached) {

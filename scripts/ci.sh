@@ -2,8 +2,8 @@
 # CI entry point: tier-1 correctness, the ThreadSanitizer concurrency lane,
 # and the service-throughput benchmark JSON.
 #
-#   scripts/ci.sh            # tier-1 + tsan + faults + params + net + soak
-#                            #   + bench
+#   scripts/ci.sh            # tier-1 + tsan + faults + params + net
+#                            #   + flavors + soak + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
@@ -16,6 +16,11 @@
 #                            #   shape-cache suites, racing threads under TSan
 #   scripts/ci.sh net        # TSan build, `ctest -L net`: the epoll loop,
 #                            #   worker handoff, and drain under TSan
+#   scripts/ci.sh flavors    # TSan build, `ctest -L 'flavor|fuzz'` with
+#                            #   extended fuzz seeds: the codegen-flavor
+#                            #   differential matrix ({data-centric,
+#                            #   vectorized, blended} x {1,4} threads vs two
+#                            #   oracles) plus the explorer/profiling suites
 #   scripts/ci.sh soak       # ~10s chaos soak: lb2_served armed with
 #                            #   LB2_FAULTS=chaos:<seed> + a tight admission
 #                            #   gate vs bench_net_load (8 procs x 4 conns,
@@ -25,7 +30,12 @@
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
 #                            #   -> BENCH_service.json, plus the obs
 #                            #   overhead gate (metrics on vs off, and
-#                            #   faults compiled in but disarmed)
+#                            #   faults compiled in but disarmed), plus the
+#                            #   codegen-flavor gate -> BENCH_flavors.json
+#                            #   (vec >= 1.3x dc on the scan shape; blended
+#                            #   never worse than the better pure flavor;
+#                            #   the explorer's pick within noise of the
+#                            #   best measured candidate)
 #
 # The tsan lane exists because the service runs compiled queries with NO
 # per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
@@ -163,6 +173,22 @@ EOF
   rm -rf "$dir"
 }
 
+# Codegen-flavor lane: the differential flavor matrix under TSan. The
+# blended flavor's claim is that the vectorized prefix hands batches to the
+# SAME data-centric tail the pure flavor uses — so a race introduced by the
+# batch path (shared selection buffers, context reuse) would surface here,
+# where the fuzz matrix runs every flavor at 4 threads against the
+# interpreter and Volcano oracles. The explorer tests also run: the sweep
+# mutates the winner registry while serving threads read it.
+flavors() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
+    ctest --test-dir build-tsan -L 'flavor|fuzz' --output-on-failure \
+    -j"$(nproc)"
+}
+
 bench() {
   cmake -B build -S . >/dev/null
   cmake --build build -j"$(nproc)" --target bench_service_throughput
@@ -196,7 +222,76 @@ for b in data.get("benchmarks", []):
               f"(cc_invocations=1, param_hits={b['param_hits']:.0f})")
 EOF
   echo "wrote BENCH_params.json (per-shape cache-hit economics)"
+  bench_flavors
   obs_overhead
+}
+
+# Codegen-flavor perf gate: warm single-thread throughput per flavor on a
+# scan-heavy (Q6-style) and a join-heavy shape, plus the explorer's pick.
+# Medians are overkill here — the asserted ratios (2x+ observed for vec on
+# the scan shape against a 1.3x gate) leave plenty of noise headroom, and
+# the explorer comparison uses best-of-N raw Run() times on both sides.
+bench_flavors() {
+  cmake --build build -j"$(nproc)" --target bench_flavors
+  LB2_SF="${LB2_SF:-0.01}" ./build/bench/bench_flavors \
+    --benchmark_min_time=0.1 \
+    --benchmark_out=BENCH_flavors.json \
+    --benchmark_out_format=json
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_flavors.json") as f:
+    data = json.load(f)
+
+warm = {}    # (shape, flavor) -> items/s
+explore = {}  # shape -> counters
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.startswith("BM_FlavorWarm/"):
+        shape = int(name.split("shape:")[1].split("/")[0])
+        flavor = int(name.split("flavor:")[1].split("/")[0])
+        warm[(shape, flavor)] = b["items_per_second"]
+    elif name.startswith("BM_ExplorerPick/"):
+        shape = int(name.split("shape:")[1].split("/")[0])
+        explore[shape] = b
+
+failed = False
+# Gate 1: vectorized >= 1.3x data-centric on the scan-heavy shape.
+ratio = warm[(0, 1)] / warm[(0, 0)]
+status = "ok" if ratio >= 1.3 else "FAIL"
+failed |= ratio < 1.3
+print(f"flavor-gate scan vec/dc = {ratio:.2f}x (need >= 1.3) [{status}]")
+
+# Gate 2: the best blend is never worse than the better pure flavor
+# (5% tolerance: at these sizes that is measurement noise, not a regression).
+for shape, label in ((0, "scan"), (1, "join")):
+    pure = max(warm[(shape, 0)], warm[(shape, 1)])
+    blend = max(warm[(shape, 2)], warm[(shape, 3)])
+    ratio = blend / pure
+    status = "ok" if ratio >= 0.95 else "FAIL"
+    failed |= ratio < 0.95
+    print(f"flavor-gate {label} blend/pure = {ratio:.2f}x "
+          f"(need >= 0.95) [{status}]")
+
+# Gate 3: the explorer recorded a winner and its pick is within noise of
+# the best pure flavor, measured through the same raw Run() path (15%
+# tolerance: the sweep and the check are separate timing passes).
+for shape, label in ((0, "scan"), (1, "join")):
+    b = explore[shape]
+    ok = b.get("have_winner") == 1 and \
+        b["picked_ms"] <= b["best_pure_ms"] * 1.15
+    status = "ok" if ok else "FAIL"
+    failed |= not ok
+    print(f"flavor-gate {label} explorer pick flavor={b['picked_flavor']:.0f}"
+          f" blend={b['picked_blend']:.0f}: picked={b['picked_ms']:.3f} ms"
+          f" best-pure={b['best_pure_ms']:.3f} ms [{status}]")
+
+if failed:
+    raise SystemExit("codegen-flavor perf gate failed")
+print("flavor gate passed (vec >= 1.3x dc, blend >= pure, explorer picks "
+      "the measured winner)")
+EOF
+  echo "wrote BENCH_flavors.json (per-flavor warm throughput + explorer pick)"
 }
 
 # Observability must stay off the warm hot path: run the same-entry warm
@@ -279,11 +374,12 @@ case "$stage" in
   faults) faults ;;
   params) params ;;
   net) net ;;
+  flavors) flavors ;;
   soak) soak ;;
   bench) bench ;;
-  all) tier1 && tsan && faults && params && net && soak && bench ;;
+  all) tier1 && tsan && faults && params && net && flavors && soak && bench ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|soak|bench|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|flavors|soak|bench|all]" >&2
     exit 2
     ;;
 esac

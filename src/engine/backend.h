@@ -31,8 +31,10 @@
 
 #include <cstdint>
 
+#include "plan/expr.h"
 #include "runtime/database.h"
 #include "schema/schema.h"
+#include "util/check.h"
 
 namespace lb2::engine {
 
@@ -42,6 +44,42 @@ struct ColumnOptions {
   /// Prefer the dictionary-code representation when the column has one.
   bool use_dict = false;
 };
+
+/// Codegen flavor — a *programming choice in the staged interpreter*, not an
+/// IR pass (ROADMAP item 2). kDataCentric emits the classic tuple-at-a-time
+/// pipelines; kVectorized emits batch-at-a-time scan/filter prefixes
+/// (selection vectors + SIMD-friendly prelude kernels) that hand selected
+/// rows to the unchanged downstream operators; kBlended picks per blend
+/// site via EngineOptions::blend (bit i = vectorize site i).
+enum class Flavor { kDataCentric = 0, kVectorized = 1, kBlended = 2 };
+
+/// Kernel-name suffix for the vectorized prelude comparison kernels.
+inline const char* VecCmpName(plan::ExprOp op) {
+  switch (op) {
+    case plan::ExprOp::kLt: return "lt";
+    case plan::ExprOp::kLe: return "le";
+    case plan::ExprOp::kGt: return "gt";
+    case plan::ExprOp::kGe: return "ge";
+    case plan::ExprOp::kEq: return "eq";
+    case plan::ExprOp::kNe: return "ne";
+    default: LB2_CHECK(false); return "";
+  }
+}
+
+/// Native comparison mirroring those kernels exactly (NaN: ordered
+/// comparisons and == are false, != is true — same as C on doubles).
+template <typename T>
+inline bool VecCmp(plan::ExprOp op, T a, T b) {
+  switch (op) {
+    case plan::ExprOp::kLt: return a < b;
+    case plan::ExprOp::kLe: return a <= b;
+    case plan::ExprOp::kGt: return a > b;
+    case plan::ExprOp::kGe: return a >= b;
+    case plan::ExprOp::kEq: return a == b;
+    case plan::ExprOp::kNe: return a != b;
+    default: LB2_CHECK(false); return false;
+  }
+}
 
 }  // namespace lb2::engine
 

@@ -25,4 +25,22 @@ InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
   return r;
 }
 
+int CountVecSites(const plan::Query& q, const rt::Database& db,
+                  const EngineOptions& opts) {
+  plan::ValidateQuery(q, db);
+  InterpBackend b(&db);
+  QueryCtx<InterpBackend> qctx;
+  qctx.b = &b;
+  qctx.db = &db;
+  qctx.copts.use_dict = opts.use_dict;
+  // Counting pass: build (never prepare or run) every operator tree with
+  // the data-centric flavor, which numbers all sites without fusing any.
+  qctx.flavor = Flavor::kDataCentric;
+  for (const auto& sub : q.scalar_subqueries) {
+    (void)BuildOp(&qctx, sub);
+  }
+  (void)BuildOp(&qctx, q.root);
+  return qctx.vec_sites;
+}
+
 }  // namespace lb2::engine

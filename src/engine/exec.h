@@ -12,6 +12,7 @@
 #include "engine/index_ops.h"
 #include "engine/ops.h"
 #include "engine/parallel.h"
+#include "engine/vec_ops.h"
 
 namespace lb2::engine {
 
@@ -34,6 +35,14 @@ struct EngineOptions {
   /// sequential execution (the counters are not lane-aware). When false,
   /// the generated code is byte-identical to a build without profiling.
   bool profile = false;
+  /// Codegen flavor (ROADMAP item 2): how scan/filter prefixes are emitted.
+  /// kDataCentric = classic tuple-at-a-time pipelines; kVectorized = every
+  /// eligible prefix runs as selection-vector batches (engine/vec_ops.h);
+  /// kBlended = per-site choice via `blend` (bit i = vectorize site i).
+  /// Everything downstream of a vectorized prefix stays data-centric —
+  /// the selection-vector handoff is the blend boundary.
+  Flavor flavor = Flavor::kDataCentric;
+  uint64_t blend = 0;
 };
 
 template <typename B>
@@ -63,8 +72,40 @@ OpPtr<B> BuildOpNode(QueryCtx<B>* ctx, const plan::PlanRef& p) {
       }
       return std::make_unique<ScanOp<B>>(ctx, *p, out, dicts);
     }
-    case OpType::kSelect:
-      return std::make_unique<SelectOp<B>>(ctx, *p, child_op(0));
+    case OpType::kSelect: {
+      // A Select atop a Select chain ending in a plain scan is a potential
+      // blend site. The site is *counted* whenever it analyzes (numbering
+      // must not depend on the flavor), then vectorized or not per flavor.
+      bool interior = ctx->vec_suppress;
+      ctx->vec_suppress = false;
+      if (!interior) {
+        VecSiteInfo site;
+        if (AnalyzeVecSite(p, db, &site)) {
+          int s = ctx->vec_sites++;
+          bool vec = ctx->flavor == Flavor::kVectorized ||
+                     (ctx->flavor == Flavor::kBlended &&
+                      ((ctx->blend >> (s & 63)) & 1) != 0);
+          if (vec) {
+            const rt::Table& t = db.table(site.scan->table);
+            schema::Schema sschema = plan::OutputSchema(site.scan, db);
+            DictVec sdicts;
+            for (int i = 0; i < sschema.size(); ++i) {
+              const rt::Column& c = t.column(i);
+              sdicts.push_back(ctx->copts.use_dict && c.has_dict() ? c.dict()
+                                                                   : nullptr);
+            }
+            return std::make_unique<VecScanFilterOp<B>>(
+                ctx, sschema, sdicts, std::move(site));
+          }
+        }
+      }
+      // Data-centric fallback: interior Selects of this chain must not be
+      // re-analyzed as fresh sites.
+      if (p->children[0]->type == OpType::kSelect) ctx->vec_suppress = true;
+      auto child = child_op(0);
+      ctx->vec_suppress = false;
+      return std::make_unique<SelectOp<B>>(ctx, *p, std::move(child));
+    }
     case OpType::kProject: {
       auto child = child_op(0);
       DictVec dicts;
@@ -190,11 +231,17 @@ DictVec OutputDicts(QueryCtx<B>* ctx, const plan::PlanRef& p) {
   // Cheap route: build the op tree and read its dicts. Index-join build
   // sides are tiny chains, so this costs nothing at generation time.
   // Profiling is suspended: these throwaway trees never execute, and
-  // phantom slots would pollute the rendered profile.
+  // phantom slots would pollute the rendered profile. Blend-site state is
+  // saved for the same reason — a throwaway tree must not shift the site
+  // numbering of operators that do execute.
   auto* saved = ctx->prof;
+  int saved_sites = ctx->vec_sites;
+  bool saved_suppress = ctx->vec_suppress;
   ctx->prof = nullptr;
   DictVec dicts = BuildOp<B>(ctx, p)->dicts();
   ctx->prof = saved;
+  ctx->vec_sites = saved_sites;
+  ctx->vec_suppress = saved_suppress;
   return dicts;
 }
 
@@ -223,6 +270,8 @@ void DriveQuery(B& b, QueryCtx<B>& qctx, const plan::Query& q,
                 const EngineOptions& opts) {
   qctx.join_layout = opts.row_layout_joins ? BufferLayout::kRow
                                            : BufferLayout::kColumnar;
+  qctx.flavor = opts.flavor;
+  qctx.blend = opts.blend;
   // Profiling slots are plain `+=` updates shared by all lanes, so a
   // profiled run stays sequential (documented on EngineOptions::profile).
   if (opts.num_threads > 1 && !opts.profile) {
@@ -275,6 +324,13 @@ struct InterpResult {
 InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
                            const EngineOptions& opts = {},
                            const plan::ParamVec* params = nullptr);
+
+/// Number of blend sites in `q` — vectorizable scan/filter prefixes, in the
+/// deterministic pre-order numbering BuildOp uses. A blend mask for this
+/// query is meaningful in its low CountVecSites bits; the flavor explorer
+/// uses the count to enumerate candidate blends.
+int CountVecSites(const plan::Query& q, const rt::Database& db,
+                  const EngineOptions& opts = {});
 
 }  // namespace lb2::engine
 

@@ -155,7 +155,10 @@ Value<B> EvalInStr(B& b, const plan::ExprRef& e, const Record<B>& rec,
   Value<B> x = EvalExpr(b, e->children[0], rec, scalars);
   LB2_CHECK(x.is_str());
   const SVal<B>& sv = x.str();
-  if (sv.is_dict) {
+  // The code-compare path specializes on the literal values at generation
+  // time, so it only applies to baked lists (the canonicalizer's dict guard
+  // keeps lists baked under use_dict; the slot check is defense in depth).
+  if (sv.is_dict && e->param_slot < 0) {
     // IN-list over a dictionary column: OR of integer compares; constants
     // missing from the dictionary drop out entirely.
     typename B::Bool any(false);
@@ -166,10 +169,19 @@ Value<B> EvalInStr(B& b, const plan::ExprRef& e, const Record<B>& rec,
     }
     return Value<B>::Bool(any);
   }
-  typename B::Str s = sv.s;
+  typename B::Str s = AsRawStr(b, x);
   typename B::Bool any(false);
-  for (const auto& lit : e->str_list) {
-    any = any || b.StrEqConst(s, lit);
+  for (size_t j = 0; j < e->str_list.size(); ++j) {
+    // Hoisted lists hold consecutive slots starting at the node's
+    // param_slot, one per element (see service/fingerprint.cc).
+    if (e->param_slot >= 0) {
+      any = any ||
+            b.StrEqV(s, b.ParamStr(static_cast<int>(e->param_slot) +
+                                       static_cast<int>(j),
+                                   e->str_list[j]));
+    } else {
+      any = any || b.StrEqConst(s, e->str_list[j]);
+    }
   }
   return Value<B>::Bool(any);
 }
@@ -247,9 +259,17 @@ Value<B> EvalExpr(B& b, const plan::ExprRef& e, const Record<B>& rec,
       return internal::EvalInStr(b, e, rec, scalars);
     case ExprOp::kInInt: {
       Value<B> x = EvalExpr(b, e->children[0], rec, scalars);
+      typename B::I64 xi = AsI64(b, x);
       typename B::Bool any(false);
-      for (int64_t v : e->int_list) {
-        any = any || AsI64(b, x) == typename B::I64(v);
+      for (size_t j = 0; j < e->int_list.size(); ++j) {
+        // Hoisted lists: consecutive slots from the node's param_slot.
+        typename B::I64 v =
+            e->param_slot >= 0
+                ? b.ParamI64(static_cast<int>(e->param_slot) +
+                                 static_cast<int>(j),
+                             e->int_list[j])
+                : typename B::I64(e->int_list[j]);
+        any = any || xi == v;
       }
       return Value<B>::Bool(any);
     }

@@ -255,6 +255,79 @@ class InterpBackend {
     return a.col->DictCodeAt(row);
   }
 
+  // -- Vectorized flavor kernels ---------------------------------------------
+  /// Native halves of the batch filter primitives (see stage_backend.h for
+  /// the contract): plain scalar loops over the raw column arrays whose
+  /// semantics mirror the generated prelude kernels exactly, so the
+  /// vectorized flavor is differentially testable against this backend.
+  void VecFlagsI64(const ColAcc& a, plan::ExprOp op, I64 base, I64 n, I64 rhs,
+                   const Arr<uint8_t>& flags, I64 off) {
+    uint8_t* f = flags->data() + off;
+    if (a.col->kind() == schema::FieldKind::kDate) {
+      const int32_t* p = a.col->date_data() + base;
+      for (I64 i = 0; i < n; ++i) {
+        f[i] = VecCmp<int64_t>(op, p[i], rhs) ? 1 : 0;
+      }
+    } else {
+      const int64_t* p = a.col->i64_data() + base;
+      for (I64 i = 0; i < n; ++i) {
+        f[i] = VecCmp<int64_t>(op, p[i], rhs) ? 1 : 0;
+      }
+    }
+  }
+  void VecFlagsF64(const ColAcc& a, plan::ExprOp op, I64 base, I64 n, F64 rhs,
+                   const Arr<uint8_t>& flags, I64 off) {
+    uint8_t* f = flags->data() + off;
+    const double* p = a.col->f64_data() + base;
+    for (I64 i = 0; i < n; ++i) {
+      f[i] = VecCmp<double>(op, p[i], rhs) ? 1 : 0;
+    }
+  }
+  I64 VecCompact(const Arr<uint8_t>& flags, I64 off, I64 n,
+                 const Arr<int32_t>& sel) {
+    const uint8_t* f = flags->data() + off;
+    int32_t* s = sel->data() + off;
+    I64 cnt = 0;
+    for (I64 i = 0; i < n; ++i) {
+      s[cnt] = static_cast<int32_t>(i);
+      cnt += f[i];
+    }
+    return cnt;
+  }
+  I64 VecRefineI64(const ColAcc& a, plan::ExprOp op, I64 base,
+                   const Arr<int32_t>& sel, I64 off, I64 cnt, I64 rhs) {
+    int32_t* s = sel->data() + off;
+    I64 out = 0;
+    if (a.col->kind() == schema::FieldKind::kDate) {
+      const int32_t* p = a.col->date_data() + base;
+      for (I64 k = 0; k < cnt; ++k) {
+        int32_t j = s[k];
+        s[out] = j;
+        out += VecCmp<int64_t>(op, p[j], rhs) ? 1 : 0;
+      }
+    } else {
+      const int64_t* p = a.col->i64_data() + base;
+      for (I64 k = 0; k < cnt; ++k) {
+        int32_t j = s[k];
+        s[out] = j;
+        out += VecCmp<int64_t>(op, p[j], rhs) ? 1 : 0;
+      }
+    }
+    return out;
+  }
+  I64 VecRefineF64(const ColAcc& a, plan::ExprOp op, I64 base,
+                   const Arr<int32_t>& sel, I64 off, I64 cnt, F64 rhs) {
+    int32_t* s = sel->data() + off;
+    const double* p = a.col->f64_data() + base;
+    I64 out = 0;
+    for (I64 k = 0; k < cnt; ++k) {
+      int32_t j = s[k];
+      s[out] = j;
+      out += VecCmp<double>(op, p[j], rhs) ? 1 : 0;
+    }
+    return out;
+  }
+
   // -- Auxiliary index access ------------------------------------------------
   struct PkAcc {
     const rt::PkIndex* idx;

@@ -47,6 +47,15 @@ struct QueryCtx {
   /// its data loop with counter updates. See engine/profile.h.
   std::vector<ProfOpMeta>* prof = nullptr;
   int prof_depth = 0;
+  /// Codegen flavor (ROADMAP item 2) and, for Flavor::kBlended, the
+  /// per-site vectorization mask (bit i = vectorize blend site i). Sites
+  /// are numbered pre-order during BuildOp; `vec_sites` counts them and
+  /// `vec_suppress` marks Selects interior to an already-analyzed chain so
+  /// numbering is deterministic across flavors. See engine/vec_ops.h.
+  Flavor flavor = Flavor::kDataCentric;
+  uint64_t blend = 0;
+  int vec_sites = 0;
+  bool vec_suppress = false;
 
   bool IsPar(const plan::PlanNode* n) const {
     return num_threads > 1 && par_nodes.count(n) > 0;

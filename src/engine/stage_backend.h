@@ -332,6 +332,57 @@ class StageBackend {
     return stage::CastRep<int64_t>(stage::Load<int32_t>(a.i32, row));
   }
 
+  // -- Vectorized flavor kernels (prelude lb2_v*) -----------------------------
+  /// Batch filter primitives for the vectorized codegen flavor
+  /// (engine/vec_ops.h): evaluate one comparison conjunct over rows
+  /// [base, base+n) of a column into a 0/1 flags slice, compact flags into
+  /// a selection vector of batch-relative offsets, and refine a selection
+  /// vector in place with further conjuncts. `off` is the worker's slice
+  /// origin inside the shared scratch arrays — parallel lanes share one
+  /// context allocation and write disjoint kVecBatch-sized slices.
+  void VecFlagsI64(const ColAcc& a, plan::ExprOp op, I64 base, I64 n, I64 rhs,
+                   const Arr<uint8_t>& flags, I64 off) {
+    bool date = a.kind == schema::FieldKind::kDate;
+    std::string fn =
+        std::string("lb2_vflag_") + (date ? "i32_" : "i64_") + VecCmpName(op);
+    if (date) {
+      stage::CallVoid(fn, stage::PtrOffset(a.i32, base), n, rhs,
+                      stage::PtrOffset(flags, off));
+    } else {
+      stage::CallVoid(fn, stage::PtrOffset(a.i64, base), n, rhs,
+                      stage::PtrOffset(flags, off));
+    }
+  }
+  void VecFlagsF64(const ColAcc& a, plan::ExprOp op, I64 base, I64 n, F64 rhs,
+                   const Arr<uint8_t>& flags, I64 off) {
+    stage::CallVoid(std::string("lb2_vflag_f64_") + VecCmpName(op),
+                    stage::PtrOffset(a.f64, base), n, rhs,
+                    stage::PtrOffset(flags, off));
+  }
+  I64 VecCompact(const Arr<uint8_t>& flags, I64 off, I64 n,
+                 const Arr<int32_t>& sel) {
+    return stage::Call<int64_t>("lb2_vcompact", stage::PtrOffset(flags, off),
+                                n, stage::PtrOffset(sel, off));
+  }
+  I64 VecRefineI64(const ColAcc& a, plan::ExprOp op, I64 base,
+                   const Arr<int32_t>& sel, I64 off, I64 cnt, I64 rhs) {
+    bool date = a.kind == schema::FieldKind::kDate;
+    std::string fn = std::string("lb2_vrefine_") + (date ? "i32_" : "i64_") +
+                     VecCmpName(op);
+    if (date) {
+      return stage::Call<int64_t>(fn, stage::PtrOffset(a.i32, base),
+                                  stage::PtrOffset(sel, off), cnt, rhs);
+    }
+    return stage::Call<int64_t>(fn, stage::PtrOffset(a.i64, base),
+                                stage::PtrOffset(sel, off), cnt, rhs);
+  }
+  I64 VecRefineF64(const ColAcc& a, plan::ExprOp op, I64 base,
+                   const Arr<int32_t>& sel, I64 off, I64 cnt, F64 rhs) {
+    return stage::Call<int64_t>(
+        std::string("lb2_vrefine_f64_") + VecCmpName(op),
+        stage::PtrOffset(a.f64, base), stage::PtrOffset(sel, off), cnt, rhs);
+  }
+
   // -- Auxiliary index access ---------------------------------------------------
   struct PkAcc {
     int64_t min_key, max_key;

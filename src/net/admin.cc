@@ -22,10 +22,53 @@ bool ParseHttpHead(const std::string& buf, HttpRequest* req, bool* bad) {
   }
   req->method = line.substr(0, sp1);
   req->path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  // Query strings are ignored, not errors: `curl .../metrics?x=1` works.
+  // The query string is split off and kept raw; routes that don't take
+  // parameters ignore it (`curl .../metrics?x=1` still works).
+  req->query.clear();
   size_t q = req->path.find('?');
-  if (q != std::string::npos) req->path.resize(q);
+  if (q != std::string::npos) {
+    req->query = req->path.substr(q + 1);
+    req->path.resize(q);
+  }
   return true;
+}
+
+std::string UrlDecode(const std::string& s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() && hex(s[i + 1]) >= 0 &&
+               hex(s[i + 2]) >= 0) {
+      out += static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2]));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string QueryParam(const std::string& query, const std::string& key) {
+  size_t pos = 0;
+  while (pos <= query.size()) {
+    size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    size_t eq = query.find('=', pos);
+    if (eq != std::string::npos && eq < amp &&
+        query.compare(pos, eq - pos, key) == 0) {
+      return UrlDecode(query.substr(eq + 1, amp - eq - 1));
+    }
+    pos = amp + 1;
+  }
+  return std::string();
 }
 
 std::string RenderHttp(const HttpResponse& r) {
@@ -75,12 +118,22 @@ HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks) {
     }
     return r;
   }
+  if (req.path == "/explore" && hooks.explore_sql) {
+    const std::string sql = QueryParam(req.query, "sql");
+    if (sql.empty()) {
+      r.status = 400;
+      r.body = "usage: /explore?sql=<url-encoded query>\n";
+      return r;
+    }
+    r.body = hooks.explore_sql(sql);
+    return r;
+  }
   if (req.path == "/") {
-    r.body = "lb2 admin: /metrics /stats /healthz\n";
+    r.body = "lb2 admin: /metrics /stats /healthz /explore?sql=...\n";
     return r;
   }
   r.status = 404;
-  r.body = "unknown path; try /metrics, /stats, /healthz\n";
+  r.body = "unknown path; try /metrics, /stats, /healthz, /explore\n";
   return r;
 }
 

@@ -3,10 +3,12 @@
 // functions so tests cover them without sockets; the server wires the
 // route table to live data through AdminHooks closures.
 //
-//   GET /metrics  -> Prometheus text (service + network registries)
-//   GET /stats    -> JSON {"net": ..., "service": ...}
-//   GET /healthz  -> "ok" (or "draining" with status 503 during drain)
-//   GET /         -> route listing
+//   GET /metrics         -> Prometheus text (service + network registries)
+//   GET /stats           -> JSON {"net": ..., "service": ...}
+//   GET /healthz         -> "ok" (or "draining" with status 503 during drain)
+//   GET /explore?sql=... -> run the codegen-flavor explorer on a query
+//                           (url-encoded SQL) and report the sweep
+//   GET /               -> route listing
 //
 // Responses always carry Content-Length and `Connection: close`; one
 // request per connection keeps the admin state machine trivial, and every
@@ -22,7 +24,17 @@ namespace lb2::net {
 struct HttpRequest {
   std::string method;
   std::string path;
+  /// Raw query string (text after '?', still url-encoded); empty if none.
+  std::string query;
 };
+
+/// Percent-decoding for query-string values ('+' becomes a space; a
+/// malformed %XX is kept verbatim).
+std::string UrlDecode(const std::string& s);
+
+/// Value of `key` in a raw query string ("a=1&b=2"), url-decoded; "" when
+/// absent.
+std::string QueryParam(const std::string& query, const std::string& key);
 
 /// Scans `buf` for a complete request head ("\r\n\r\n"). Returns true when
 /// one is present and parsed into *req; false with *bad=false means "need
@@ -43,6 +55,9 @@ struct AdminHooks {
   std::function<std::string()> metrics_text;  // Prometheus exposition
   std::function<std::string()> stats_json;
   std::function<bool()> draining;  // true once drain began
+  /// Codegen-flavor explorer: takes SQL text, runs the sweep, returns the
+  /// human-readable report. Unset = /explore responds 404.
+  std::function<std::string(const std::string&)> explore_sql;
 };
 
 HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks);

@@ -15,6 +15,7 @@
 #include "net/listener.h"
 #include "obs/log.h"
 #include "service/service.h"
+#include "sql/sql.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -318,6 +319,24 @@ void NetServer::HandleAdminConn(Connection* c) {
   hooks.metrics_text = [this] { return MetricsPrometheus(); };
   hooks.stats_json = [this] { return StatsJson(); };
   hooks.draining = [this] { return draining(); };
+  hooks.explore_sql = [this](const std::string& sql) -> std::string {
+    plan::Query q;
+    std::string error;
+    if (!sql::ParseQueryOrError(sql, svc_->db(), &q, &error)) {
+      return "parse error: " + error + "\n";
+    }
+    service::QueryService::ExploreOutcome eo = svc_->ExploreFlavors(q);
+    std::string out = StrPrintf("sites=%d candidates=%d\n%s", eo.sites,
+                                eo.candidates, eo.report.c_str());
+    if (eo.ran) {
+      out += StrPrintf("winner: %s (%.3f ms warm)\n",
+                       service::FlavorSpecString(eo.flavor, eo.blend).c_str(),
+                       eo.best_ms);
+    } else {
+      out += "no winner recorded\n";
+    }
+    return out;
+  };
   c->QueueOutput(RenderHttp(RouteAdmin(req, hooks)));
   c->want_close = true;
   c->reading = false;

@@ -63,6 +63,13 @@ void HashExpr(Hasher* h, const plan::ExprRef& e) {
     h->U64(2);
     h->I32(static_cast<int32_t>(e->op));
     h->I64(e->param_slot);
+    // IN-list nodes occupy one slot per element starting at param_slot, so
+    // the element count is part of the shape (an IN of 2 and an IN of 3
+    // generate different numbers of probes). Values still hash away.
+    h->U64(e->str_list.size());
+    h->U64(e->int_list.size());
+    h->U64(e->children.size());
+    for (const auto& c : e->children) HashExpr(h, c);
     return;
   }
   h->U64(1);
@@ -147,6 +154,11 @@ void HashOptions(Hasher* h, const engine::EngineOptions& o) {
   // Profiled modules export extra symbols and carry counter code; they must
   // never alias a plain module in any cache tier.
   h->Bool(o.profile);
+  // Codegen flavor selects entirely different loop shapes; for the blended
+  // flavor the per-site mask is part of the choice. Non-blended flavors
+  // hash a zero mask so a stray blend value cannot split their keys.
+  h->I32(static_cast<int32_t>(o.flavor));
+  h->U64(o.flavor == engine::Flavor::kBlended ? o.blend : 0);
 }
 
 /// Path-copying literal hoister. Shared subtrees that contain no hoistable
@@ -171,6 +183,17 @@ class Parameterizer {
         return MarkLeaf(e, plan::ParamKind::kDouble);
       case ExprOp::kStrConst:
         return MarkLeaf(e, plan::ParamKind::kStr);
+      case ExprOp::kInStr:
+        // Same guard as string equality below: dictionary-aware engines
+        // resolve IN-list members to dictionary codes at compile time, so
+        // the values stay baked under a dict-sensitive engine.
+        if (dict_sensitive_) {
+          guard_fallbacks_ += static_cast<int64_t>(e->str_list.size());
+          break;
+        }
+        return MarkInList(e, plan::ParamKind::kStr);
+      case ExprOp::kInInt:
+        return MarkInList(e, plan::ParamKind::kInt);
       default:
         break;
     }
@@ -257,6 +280,36 @@ class Parameterizer {
     auto copy = std::make_shared<plan::Expr>(*e);
     copy->param_slot = static_cast<int64_t>(params_.size());
     params_.push_back(std::move(v));
+    return copy;
+  }
+
+  /// IN-list hoisting: the node takes `param_slot` = the first of
+  /// list-size consecutive slots, one ParamValue per element, so every
+  /// IN query of the same shape (same element count) shares one artifact.
+  /// Children (the probe expression) are rewritten first, keeping the
+  /// element slots contiguous.
+  plan::ExprRef MarkInList(const plan::ExprRef& e, plan::ParamKind kind) {
+    auto copy = std::make_shared<plan::Expr>(*e);
+    std::vector<plan::ExprRef> kids;
+    kids.reserve(e->children.size());
+    for (const auto& c : e->children) kids.push_back(RewriteExpr(c));
+    copy->children = std::move(kids);
+    copy->param_slot = static_cast<int64_t>(params_.size());
+    if (kind == plan::ParamKind::kStr) {
+      for (const auto& s : e->str_list) {
+        plan::ParamValue v;
+        v.kind = plan::ParamKind::kStr;
+        v.str = s;
+        params_.push_back(std::move(v));
+      }
+    } else {
+      for (int64_t x : e->int_list) {
+        plan::ParamValue v;
+        v.kind = plan::ParamKind::kInt;
+        v.i64 = x;
+        params_.push_back(std::move(v));
+      }
+    }
     return copy;
   }
 

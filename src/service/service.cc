@@ -103,6 +103,67 @@ bool DefaultParamsEnabled() {
   return !(v == "0" || v == "false" || v == "off" || v == "no");
 }
 
+bool DefaultExploreEnabled() {
+  const char* env = std::getenv("LB2_EXPLORE");
+  if (env == nullptr) return false;
+  std::string v = env;
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
+int DefaultProfSampleEvery() {
+  const char* env = std::getenv("LB2_PROF_SAMPLE");
+  if (env != nullptr) {
+    long v = std::atol(env);
+    if (v >= 0) return static_cast<int>(v);
+  }
+  return 0;
+}
+
+bool ParseFlavorSpec(const std::string& spec, engine::Flavor* flavor,
+                     uint64_t* blend) {
+  if (spec == "data" || spec == "data-centric" || spec == "datacentric") {
+    *flavor = engine::Flavor::kDataCentric;
+    *blend = 0;
+    return true;
+  }
+  if (spec == "vec" || spec == "vectorized") {
+    *flavor = engine::Flavor::kVectorized;
+    *blend = 0;
+    return true;
+  }
+  if (spec.rfind("blend:", 0) == 0) {
+    const std::string mask = spec.substr(6);
+    if (mask.empty()) return false;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(mask.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') return false;
+    *flavor = engine::Flavor::kBlended;
+    *blend = static_cast<uint64_t>(v);
+    return true;
+  }
+  return false;
+}
+
+std::string FlavorSpecString(engine::Flavor flavor, uint64_t blend) {
+  switch (flavor) {
+    case engine::Flavor::kDataCentric: return "data";
+    case engine::Flavor::kVectorized: return "vec";
+    case engine::Flavor::kBlended:
+      return StrPrintf("blend:0x%llx", static_cast<unsigned long long>(blend));
+  }
+  return "data";
+}
+
+engine::EngineOptions DefaultEngineOptions() {
+  engine::EngineOptions e;
+  const char* env = std::getenv("LB2_FLAVOR");
+  if (env != nullptr && !ParseFlavorSpec(env, &e.flavor, &e.blend)) {
+    LB2_LOG(Warn, "[lb2-service] unrecognized LB2_FLAVOR=%s ignored "
+            "(want data | vec | blend:<mask>)", env);
+  }
+  return e;
+}
+
 const char* PathName(ServiceResult::Path p) {
   switch (p) {
     case ServiceResult::Path::kCompiledCold: return "compiled-cold";
@@ -133,7 +194,9 @@ std::string ServiceStats::ToString() const {
       "cc-retries=%lld breaker trips=%lld open=%lld served=%lld "
       "rebuilds=%lld disk-write-failures=%lld disk-cooldowns=%lld "
       "faults-injected=%lld drain-sheds=%lld "
-      "param-hits=%lld param-bindings=%lld param-guard-fallbacks=%lld",
+      "param-hits=%lld param-bindings=%lld param-guard-fallbacks=%lld "
+      "explore-runs=%lld explore-candidates=%lld flavor-overrides=%lld "
+      "prof-samples=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -162,7 +225,11 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(drain_sheds),
       static_cast<long long>(param_cache_hits),
       static_cast<long long>(param_bindings_total),
-      static_cast<long long>(param_guard_fallbacks));
+      static_cast<long long>(param_guard_fallbacks),
+      static_cast<long long>(explore_runs),
+      static_cast<long long>(explore_candidates),
+      static_cast<long long>(flavor_overrides),
+      static_cast<long long>(prof_samples));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
@@ -223,6 +290,12 @@ ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
   int64_t t0 = spans != nullptr ? NowNs() : 0;
   compile::CompiledQuery::RunResult rr = entry->query.Run(params);
   if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
+  if (!rr.prof.empty() && opts_.metrics) {
+    // This was a profiled build (prof_sample_every, or the caller asked):
+    // fold its per-operator inclusive times into the lb2_op_ns histograms.
+    stats_.prof_samples.fetch_add(1, std::memory_order_relaxed);
+    ObserveOpProfile(entry->query.prof_nodes(), rr.prof);
+  }
   ServiceResult r;
   r.path = path;
   r.text = std::move(rr.text);
@@ -251,6 +324,10 @@ ServiceResult QueryService::RunInterp(const plan::Query& q,
   int64_t t0 = spans != nullptr ? NowNs() : 0;
   engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts, params);
   if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
+  if (!ir.prof.empty() && opts_.metrics) {
+    stats_.prof_samples.fetch_add(1, std::memory_order_relaxed);
+    ObserveOpProfile(ir.prof_nodes, ir.prof);
+  }
   ServiceResult r;
   r.path = ServiceResult::Path::kInterpreted;
   r.text = std::move(ir.text);
@@ -288,7 +365,58 @@ ServiceResult QueryService::Execute(const plan::Query& q,
                                              std::memory_order_relaxed);
     }
   }
-  Fingerprint fp = FingerprintQuery(*run_q, eopts, db_);
+  // Codegen-flavor pick: when the explorer has recorded a winner for this
+  // plan's flavor-neutral shape, serve under that winner instead of the
+  // caller's default. With exploration enabled, the first request of an
+  // unknown shape pays the sweep (single-flighted per shape; concurrent
+  // losers serve with the caller's flavor this once and pick the winner up
+  // next time). The extra neutral-shape hash is skipped entirely when the
+  // explorer has never been used and no sidecars can exist.
+  engine::EngineOptions run_opts = eopts;
+  if (opts_.explore || store_ != nullptr ||
+      winners_present_.load(std::memory_order_relaxed)) {
+    uint64_t nshape = NeutralShape(*run_q, eopts);
+    FlavorWinner w;
+    bool have = LookupWinner(nshape, &w);
+    if (!have && opts_.explore &&
+        !draining_.load(std::memory_order_relaxed)) {
+      bool claim = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        claim = exploring_.insert(nshape).second;
+      }
+      if (claim) {
+        ExploreOutcome eo = ExploreShape(*run_q, eopts, nshape, params);
+        if (eo.ran) {
+          w.flavor = eo.flavor;
+          w.blend = eo.blend;
+          w.best_ms = eo.best_ms;
+          have = true;
+          // Re-arm the claim so an explicit ExploreFlavors can re-sweep; a
+          // failed sweep stays claimed (no per-request retry storm).
+          std::lock_guard<std::mutex> lock(mu_);
+          exploring_.erase(nshape);
+        }
+      }
+    }
+    if (have && (w.flavor != run_opts.flavor || w.blend != run_opts.blend)) {
+      run_opts.flavor = w.flavor;
+      run_opts.blend = w.blend;
+      stats_.flavor_overrides.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  // Per-operator latency sampling: every Nth request runs a profiled build
+  // of its query (distinct fingerprint, so the instrumented artifact lives
+  // beside the plain one) and RunCompiled/RunInterp fold the counters into
+  // the lb2_op_ns histograms.
+  if (opts_.prof_sample_every > 0 && rec) {
+    int64_t n = prof_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (n % opts_.prof_sample_every == 0) run_opts.profile = true;
+  }
+  const std::string flavor_spec =
+      FlavorSpecString(run_opts.flavor, run_opts.blend);
+
+  Fingerprint fp = FingerprintQuery(*run_q, run_opts, db_);
   if (rec) spans.push_back({"fingerprint", NowNs() - t_start});
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
 
@@ -300,6 +428,7 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.status = ServiceResult::Status::kBusy;
     r.fingerprint = fp;
     r.spans = std::move(spans);
+    r.flavor = flavor_spec;
     return r;
   }
 
@@ -316,14 +445,16 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.status = ServiceResult::Status::kBusy;
     r.fingerprint = fp;
     r.spans = std::move(spans);
+    r.flavor = flavor_spec;
     return r;
   }
   ServiceResult r =
-      ExecuteAdmitted(*run_q, eopts, fp, params, rec ? &spans : nullptr);
+      ExecuteAdmitted(*run_q, run_opts, fp, params, rec ? &spans : nullptr);
   if (rec) {
     lat_hist_[static_cast<int>(r.path)]->Observe(NowNs() - t_start);
     r.spans = std::move(spans);
   }
+  r.flavor = flavor_spec;
   return r;
 }
 
@@ -697,6 +828,231 @@ void QueryService::DrainBackground() {
   bg_cv_.wait(lock, [&] { return bg_queue_.empty() && !bg_busy_; });
 }
 
+uint64_t QueryService::NeutralShape(const plan::Query& q,
+                                    const engine::EngineOptions& eopts) const {
+  // Pin the per-request degrees of freedom (flavor, blend, profiling) so
+  // every emission variant of one plan shares one winner slot.
+  engine::EngineOptions n = eopts;
+  n.flavor = engine::Flavor::kDataCentric;
+  n.blend = 0;
+  n.profile = false;
+  return FingerprintQuery(q, n, db_).shape;
+}
+
+std::string QueryService::WinnerSidecarPath(uint64_t nshape) const {
+  return StrPrintf("%s/flavor_%016llx.winner", opts_.cache_dir.c_str(),
+                   static_cast<unsigned long long>(nshape));
+}
+
+bool QueryService::LookupWinner(uint64_t nshape, FlavorWinner* w) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = winners_.find(nshape);
+    if (it != winners_.end()) {
+      *w = it->second;
+      return true;
+    }
+    // Probe the sidecar at most once per shape per process (negative
+    // result included) — a missing file must not cost a stat() per request.
+    if (store_ == nullptr || !winner_probed_.insert(nshape).second) {
+      return false;
+    }
+  }
+  std::FILE* f = std::fopen(WinnerSidecarPath(nshape).c_str(), "r");
+  if (f == nullptr) return false;
+  int flavor = 0;
+  unsigned long long blend = 0;
+  double ms = 0.0;
+  bool ok = std::fscanf(f, "v1 flavor=%d blend=%llx ms=%lf", &flavor, &blend,
+                        &ms) == 3 &&
+            flavor >= 0 && flavor <= 2;
+  std::fclose(f);
+  if (!ok) return false;
+  FlavorWinner got;
+  got.flavor = static_cast<engine::Flavor>(flavor);
+  got.blend = static_cast<uint64_t>(blend);
+  got.best_ms = ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    winners_[nshape] = got;
+  }
+  winners_present_.store(true, std::memory_order_relaxed);
+  *w = got;
+  return true;
+}
+
+void QueryService::RecordWinner(uint64_t nshape, const FlavorWinner& w) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    winners_[nshape] = w;
+    winner_probed_.insert(nshape);
+  }
+  winners_present_.store(true, std::memory_order_relaxed);
+  if (store_ == nullptr) return;
+  // Best-effort persistence next to the artifacts (temp + rename, so a
+  // concurrent reader never sees a torn sidecar). A failed write just means
+  // the next process re-explores.
+  const std::string path = WinnerSidecarPath(nshape);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  bool ok = std::fprintf(f, "v1 flavor=%d blend=%llx ms=%.6f\n",
+                         static_cast<int>(w.flavor),
+                         static_cast<unsigned long long>(w.blend),
+                         w.best_ms) > 0;
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
+}
+
+QueryService::ExploreOutcome QueryService::ExploreShape(
+    const plan::Query& q, const engine::EngineOptions& eopts, uint64_t nshape,
+    const plan::ParamVec* params) {
+  ExploreOutcome out;
+  out.sites = engine::CountVecSites(q, db_, eopts);
+  stats_.explore_runs.fetch_add(1, std::memory_order_relaxed);
+
+  // Candidate set: both pure flavors, plus the interior blend masks when
+  // the shape has more than one eligible site (the full mask generates the
+  // same bytes as pure vectorized and the empty mask the same as pure
+  // data-centric, so neither is re-timed). Beyond four sites the sweep
+  // covers single-site masks only — 2^n builds would out-price any win.
+  std::vector<std::pair<engine::Flavor, uint64_t>> cands;
+  cands.emplace_back(engine::Flavor::kDataCentric, uint64_t{0});
+  if (out.sites > 0) cands.emplace_back(engine::Flavor::kVectorized,
+                                        uint64_t{0});
+  if (out.sites > 1 && out.sites <= 4) {
+    const uint64_t full = (uint64_t{1} << out.sites) - 1;
+    for (uint64_t m = 1; m < full; ++m) {
+      cands.emplace_back(engine::Flavor::kBlended, m);
+    }
+  } else if (out.sites > 4) {
+    for (int i = 0; i < out.sites && i < 64; ++i) {
+      cands.emplace_back(engine::Flavor::kBlended, uint64_t{1} << i);
+    }
+  }
+
+  double best = 0.0;
+  for (const auto& cand : cands) {
+    engine::EngineOptions c = eopts;
+    c.flavor = cand.first;
+    c.blend = cand.second;
+    c.profile = false;
+    const std::string spec = FlavorSpecString(c.flavor, c.blend);
+    Fingerprint fp = FingerprintQuery(q, c, db_);
+    CacheEntryPtr entry = cache_.Get(fp);
+    if (entry == nullptr) {
+      std::string error;
+      bool from_disk = false;
+      entry = BuildEntry(q, c, fp, &error, &from_disk, /*spans=*/nullptr);
+      if (entry == nullptr) {
+        out.report += StrPrintf("  %-12s build failed\n", spec.c_str());
+        continue;
+      }
+    }
+    stats_.explore_candidates.fetch_add(1, std::memory_order_relaxed);
+    // One warm-up run, then best-of-3 over the generated code's own timed
+    // region: the explorer prices steady state, not first touch.
+    (void)entry->query.Run(params);
+    double ms = 0.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      double m = entry->query.Run(params).exec_ms;
+      if (rep == 0 || m < ms) ms = m;
+    }
+    out.report += StrPrintf("  %-12s %10.3f ms\n", spec.c_str(), ms);
+    ++out.candidates;
+    if (!out.ran || ms < best) {
+      out.ran = true;
+      best = ms;
+      out.flavor = c.flavor;
+      out.blend = c.blend;
+      out.best_ms = ms;
+    }
+  }
+  if (out.ran) {
+    FlavorWinner w;
+    w.flavor = out.flavor;
+    w.blend = out.blend;
+    w.best_ms = out.best_ms;
+    RecordWinner(nshape, w);
+  }
+  return out;
+}
+
+QueryService::ExploreOutcome QueryService::ExploreFlavors(
+    const plan::Query& q) {
+  const engine::EngineOptions& eopts = opts_.engine;
+  ParameterizedQuery pq;
+  const plan::Query* run_q = &q;
+  const plan::ParamVec* params = nullptr;
+  if (opts_.parameterize) {
+    pq = ParameterizeQuery(q, eopts.use_dict);
+    run_q = &pq.query;
+    if (!pq.params.empty()) params = &pq.params;
+  }
+  const uint64_t nshape = NeutralShape(*run_q, eopts);
+  bool claim = false;
+  {
+    // An explicit sweep always re-runs (candidate builds are cached, so a
+    // re-sweep is mostly re-timing) — but never concurrently with another
+    // sweep of the same shape.
+    std::lock_guard<std::mutex> lock(mu_);
+    exploring_.erase(nshape);
+    claim = exploring_.insert(nshape).second;
+  }
+  if (!claim) {
+    ExploreOutcome out;
+    FlavorWinner w;
+    if (LookupWinner(nshape, &w)) {
+      out.ran = true;
+      out.flavor = w.flavor;
+      out.blend = w.blend;
+      out.best_ms = w.best_ms;
+      out.report = "  sweep already in flight; recorded winner shown\n";
+    } else {
+      out.report = "  sweep already in flight\n";
+    }
+    return out;
+  }
+  ExploreOutcome out = ExploreShape(*run_q, eopts, nshape, params);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    exploring_.erase(nshape);
+  }
+  return out;
+}
+
+bool QueryService::WinnerFor(const plan::Query& q, engine::Flavor* flavor,
+                             uint64_t* blend) {
+  const engine::EngineOptions& eopts = opts_.engine;
+  uint64_t nshape = 0;
+  if (opts_.parameterize) {
+    nshape = NeutralShape(ParameterizeQuery(q, eopts.use_dict).query, eopts);
+  } else {
+    nshape = NeutralShape(q, eopts);
+  }
+  FlavorWinner w;
+  if (!LookupWinner(nshape, &w)) return false;
+  *flavor = w.flavor;
+  *blend = w.blend;
+  return true;
+}
+
+void QueryService::ObserveOpProfile(
+    const std::vector<engine::ProfOpMeta>& nodes,
+    const std::vector<int64_t>& counters) {
+  for (size_t i = 0; i < nodes.size() && 2 * i + 1 < counters.size(); ++i) {
+    // Key by operator type, not instance: the label's leading token
+    // ("Scan lineitem" -> "Scan") keeps the cardinality bounded by the
+    // operator vocabulary. Registration takes the registry mutex, but this
+    // path only runs for sampled profiled requests.
+    const std::string& label = nodes[i].label;
+    std::string op = label.substr(0, label.find(' '));
+    metrics_.GetHistogram("lb2_op_ns", {{"op", std::move(op)}})
+        ->Observe(engine::ProfNs(counters, i));
+  }
+}
+
 bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
                               std::string* error) {
   plan::Query q;
@@ -739,6 +1095,12 @@ ServiceStats QueryService::Stats() const {
       stats_.param_bindings_total.load(std::memory_order_relaxed);
   s.param_guard_fallbacks =
       stats_.param_guard_fallbacks.load(std::memory_order_relaxed);
+  s.explore_runs = stats_.explore_runs.load(std::memory_order_relaxed);
+  s.explore_candidates =
+      stats_.explore_candidates.load(std::memory_order_relaxed);
+  s.flavor_overrides =
+      stats_.flavor_overrides.load(std::memory_order_relaxed);
+  s.prof_samples = stats_.prof_samples.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.breaker_open = static_cast<int64_t>(breaker_open_.size());
@@ -819,6 +1181,10 @@ std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
       c("lb2_param_cache_hits_total", s.param_cache_hits),
       c("lb2_param_bindings_total", s.param_bindings_total),
       c("lb2_param_guard_fallbacks_total", s.param_guard_fallbacks),
+      c("lb2_explore_runs_total", s.explore_runs),
+      c("lb2_explore_candidates_total", s.explore_candidates),
+      c("lb2_flavor_overrides_total", s.flavor_overrides),
+      c("lb2_prof_samples_total", s.prof_samples),
   };
 }
 

@@ -117,13 +117,37 @@ double DefaultDiskCooldownMs();
 /// (0/false = off), else on.
 bool DefaultParamsEnabled();
 
+/// Default for ServiceOptions::explore: LB2_EXPLORE env var (1/true = on),
+/// else off.
+bool DefaultExploreEnabled();
+
+/// Default for ServiceOptions::prof_sample_every: LB2_PROF_SAMPLE env var,
+/// else 0 (per-operator sampling off).
+int DefaultProfSampleEvery();
+
+/// Parses a codegen-flavor spec: "data" | "vec" | "blend:<hex-mask>"
+/// (e.g. "blend:0x5" vectorizes eligible sites 0 and 2). Returns false
+/// (outputs untouched) on anything else.
+bool ParseFlavorSpec(const std::string& spec, engine::Flavor* flavor,
+                     uint64_t* blend);
+
+/// Inverse of ParseFlavorSpec: "data", "vec", or "blend:0x<mask>".
+std::string FlavorSpecString(engine::Flavor flavor, uint64_t blend);
+
+/// Engine options with the LB2_FLAVOR env var applied (see
+/// ParseFlavorSpec); everything else default-constructed.
+engine::EngineOptions DefaultEngineOptions();
+
 struct ServiceOptions {
   /// Max cached compiled queries (>= 1).
   size_t cache_capacity = DefaultCacheCapacity();
   /// Byte budget over generated .so sizes; 0 = unlimited.
   int64_t cache_bytes = 0;
   /// Engine knobs baked into compiled entries (part of the cache key).
-  engine::EngineOptions engine;
+  /// The default applies the LB2_FLAVOR spec ("data" | "vec" |
+  /// "blend:<hex-mask>") so shells and servers pick up the flavor knob
+  /// without code changes.
+  engine::EngineOptions engine = DefaultEngineOptions();
   /// What a request does when its plan is already compiling on another
   /// thread: run the interpreter now (hybrid, default — short queries are
   /// never stalled behind a cc invocation) or block for the compiled code.
@@ -173,6 +197,24 @@ struct ServiceOptions {
   /// (LB2_METRICS=0). Off also empties MetricsPrometheus()'s histogram
   /// section.
   bool metrics = DefaultMetricsEnabled();
+  /// Flavor explorer: on the first request of each plan shape, sweep the
+  /// codegen-flavor candidates (data-centric, vectorized, and the blend
+  /// masks over the shape's eligible scan→filter sites), time each warm,
+  /// record the winner next to the artifact (cache_dir sidecar), and serve
+  /// that shape with the winning flavor from then on. Off by default — the
+  /// sweep pays several JIT compiles up front; it can also be triggered
+  /// explicitly via ExploreFlavors() (`\explore` in the shell, `/explore`
+  /// on the admin endpoint) with this flag off. Recorded winners are
+  /// auto-applied either way.
+  bool explore = DefaultExploreEnabled();
+  /// When > 0 (and metrics are on), every Nth request is served by a
+  /// profiled build of its query: the generated code carries per-operator
+  /// (rows, ns) counters, and the service folds the inclusive ns of each
+  /// operator into the `lb2_op_ns{op=...}` histogram family — per-operator
+  /// latency distributions in MetricsPrometheus()/MetricsJson() for the
+  /// price of one extra artifact per shape and a sampled profiled run.
+  /// Profiled runs are sequential (EngineOptions::profile contract).
+  int prof_sample_every = DefaultProfSampleEvery();
 };
 
 /// Point-in-time counters. `Snapshot`-style value type, filled by
@@ -223,6 +265,12 @@ struct ServiceStats {
   int64_t param_cache_hits = 0;      // cached-artifact runs with bound params
   int64_t param_bindings_total = 0;  // individual literals bound at Run()
   int64_t param_guard_fallbacks = 0; // literals kept baked by a guard
+  // Codegen-flavor explorer (ServiceOptions::explore / ExploreFlavors()).
+  int64_t explore_runs = 0;        // per-shape sweeps performed
+  int64_t explore_candidates = 0;  // candidate flavors built + timed
+  int64_t flavor_overrides = 0;    // requests served under a recorded winner
+  // Per-operator latency sampling (ServiceOptions::prof_sample_every).
+  int64_t prof_samples = 0;        // profiled runs folded into lb2_op_ns
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
@@ -255,6 +303,10 @@ struct ServiceResult {
   /// exec, ...). Populated only when ServiceOptions::metrics is on; render
   /// with obs::RenderSpans.
   obs::SpanList spans;
+  /// Codegen-flavor spec the request was actually served under (see
+  /// FlavorSpecString) — differs from the caller's engine options when a
+  /// recorded explorer winner was auto-applied.
+  std::string flavor;
 };
 
 const char* PathName(ServiceResult::Path p);
@@ -292,6 +344,28 @@ class QueryService {
   }
 
   ServiceStats Stats() const;
+
+  /// One swept codegen-flavor sweep (see ServiceOptions::explore).
+  struct ExploreOutcome {
+    bool ran = false;  // false: every candidate build failed (no winner)
+    engine::Flavor flavor = engine::Flavor::kDataCentric;
+    uint64_t blend = 0;
+    double best_ms = 0.0;  // winner's warm exec time
+    int sites = 0;         // vectorizable scan→filter sites in the shape
+    int candidates = 0;    // flavors built + timed
+    std::string report;    // one line per candidate, for shells/admin
+  };
+
+  /// Sweeps the codegen-flavor candidates for `q`'s shape with the
+  /// service's default engine options, records the winner (memory +
+  /// cache_dir sidecar), and returns the sweep. Subsequent Execute calls
+  /// for the same shape are served under the winner automatically. Safe
+  /// from any thread; concurrent sweeps of the same shape single-flight.
+  ExploreOutcome ExploreFlavors(const plan::Query& q);
+
+  /// The recorded winner for `q`'s shape, if any (memory or sidecar).
+  bool WinnerFor(const plan::Query& q, engine::Flavor* flavor,
+                 uint64_t* blend);
 
   /// Prometheus text exposition: the service's histogram registry (request
   /// latency by path, admission wait, disk-tier I/O — present when
@@ -384,6 +458,33 @@ class QueryService {
                              const Fingerprint& fp);
   void DriftWorkerLoop();
 
+  /// A recorded explorer winner for one plan shape.
+  struct FlavorWinner {
+    engine::Flavor flavor = engine::Flavor::kDataCentric;
+    uint64_t blend = 0;
+    double best_ms = 0.0;
+  };
+
+  /// Flavor-neutral shape key: the fingerprint shape with flavor/blend
+  /// pinned to data-centric, so every flavor of one plan shares one winner
+  /// slot.
+  uint64_t NeutralShape(const plan::Query& q,
+                        const engine::EngineOptions& eopts) const;
+  /// Winner lookup: memory first, then (once per shape) the cache_dir
+  /// sidecar.
+  bool LookupWinner(uint64_t nshape, FlavorWinner* w);
+  /// Records `w` in memory and best-effort persists the sidecar.
+  void RecordWinner(uint64_t nshape, const FlavorWinner& w);
+  std::string WinnerSidecarPath(uint64_t nshape) const;
+  /// The sweep body behind ExploreFlavors and explore-on-first-compile.
+  ExploreOutcome ExploreShape(const plan::Query& q,
+                              const engine::EngineOptions& eopts,
+                              uint64_t nshape, const plan::ParamVec* params);
+  /// Folds one profiled run's per-operator counters into the lb2_op_ns
+  /// histogram family (S1: per-operator latency distributions).
+  void ObserveOpProfile(const std::vector<engine::ProfOpMeta>& nodes,
+                        const std::vector<int64_t>& counters);
+
   const rt::Database& db_;
   const ServiceOptions opts_;
   QueryCache cache_;
@@ -402,6 +503,13 @@ class QueryService {
   /// interpreted without attempting a foreground compile, while the drift
   /// worker retries in the background.
   std::unordered_set<uint64_t> breaker_open_;
+  /// Explorer state, all guarded by mu_: recorded winners by neutral shape,
+  /// shapes whose sidecar was already probed (negative caching), and shapes
+  /// with a sweep in flight (single-flight; losers serve their request with
+  /// the caller's flavor and pick the winner up next time).
+  std::unordered_map<uint64_t, FlavorWinner> winners_;
+  std::unordered_set<uint64_t> winner_probed_;
+  std::unordered_set<uint64_t> exploring_;
 
   /// Lock-free mirror of the ServiceStats counters the service itself owns
   /// (cache/gate/store counters live in those components). Mutations are
@@ -427,11 +535,20 @@ class QueryService {
     std::atomic<int64_t> param_cache_hits{0};
     std::atomic<int64_t> param_bindings_total{0};
     std::atomic<int64_t> param_guard_fallbacks{0};
+    std::atomic<int64_t> explore_runs{0};
+    std::atomic<int64_t> explore_candidates{0};
+    std::atomic<int64_t> flavor_overrides{0};
+    std::atomic<int64_t> prof_samples{0};
     std::atomic<double> compile_ms_saved{0.0};
     std::atomic<double> compile_ms_paid{0.0};
   };
   StatCounters stats_;
   std::atomic<bool> draining_{false};
+  /// Request counter driving prof_sample_every's "every Nth" selection.
+  std::atomic<int64_t> prof_tick_{0};
+  /// True once any winner is recorded — lets Execute skip the neutral-shape
+  /// hash and mu_ hop entirely when the explorer has never been used.
+  std::atomic<bool> winners_present_{false};
 
   /// Per-service metric registry (per-service so tests that spin up many
   /// services keep isolated counters). Histograms are registered in the

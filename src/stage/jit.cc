@@ -96,6 +96,14 @@ std::string FirstLineTrimmed(const std::string& s) {
 
 }  // namespace
 
+std::string Jit::CodegenFlags() {
+  std::string flags = " -fopenmp-simd";
+#if defined(__x86_64__)
+  if (__builtin_cpu_supports("avx2")) flags += " -mavx2";
+#endif
+  return flags;
+}
+
 std::string Jit::CompilerIdentity() {
   static std::mutex mu;
   static std::map<std::string, std::string>* cache =
@@ -113,7 +121,7 @@ std::string Jit::CompilerIdentity() {
                                   " 2>/dev/null"));
   if (path.empty()) path = tool;
   std::string version = FirstLineTrimmed(RunCapture(cmd + " --version 2>&1"));
-  std::string id = path + " | " + version;
+  std::string id = path + " | " + version + " |" + CodegenFlags();
   std::lock_guard<std::mutex> lock(mu);
   (*cache)[cmd] = id;
   return id;
@@ -193,7 +201,8 @@ std::unique_ptr<JitModule> Jit::TryCompileSource(const std::string& source,
     f << out->source_;
   }
 
-  std::string cmd = CompilerCommand() + " -O2 -fPIC -shared " + extra_flags +
+  std::string cmd = CompilerCommand() + " -O2 -fPIC -shared" +
+                    CodegenFlags() + " " + extra_flags +
                     " -o " + Quoted(out->so_path_) + " " +
                     Quoted(out->c_path_) + " -lpthread -lm 2> " +
                     Quoted(base + ".err");

@@ -116,6 +116,14 @@ class Jit {
   /// Compiler command; overridable via the LB2_CC environment variable.
   static std::string CompilerCommand();
 
+  /// Flags always appended to the compile command for generated TUs:
+  /// `-fopenmp-simd` (honor the prelude's `omp simd` hints without the
+  /// OpenMP runtime) plus `-mavx2` when this host's CPU supports AVX2 —
+  /// the prelude's explicit AVX2 kernels light up only then. Folded into
+  /// CompilerIdentity() so shared artifact directories never serve an
+  /// AVX2 object to a host that cannot execute it.
+  static std::string CodegenFlags();
+
   /// Identity string for the current compiler command: the resolved binary
   /// path plus the first line of `--version` output. Persistent artifact
   /// caches fold this into their keys so a shared object built by one

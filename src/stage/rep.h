@@ -35,6 +35,9 @@ template <> struct CTypeName<bool> {
 template <> struct CTypeName<char> {
   static std::string Str() { return "char"; }
 };
+template <> struct CTypeName<uint8_t> {
+  static std::string Str() { return "uint8_t"; }
+};
 template <> struct CTypeName<int32_t> {
   static std::string Str() { return "int32_t"; }
 };

@@ -357,6 +357,116 @@ TEST_F(ParamsTest, MoreLiteralsThanInlineSlotEstimate) {
                    "compiled, 10 literals rebound");
 }
 
+// -- IN-list hoisting: one slot per element, one artifact per list length -----
+
+/// select count(*) as n from lineitem where l_shipmode in (modes...)
+plan::Query ModeInQuery(std::vector<std::string> modes) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(plan::Scan("lineitem"),
+                   plan::InStr(plan::Col("l_shipmode"), std::move(modes))),
+      {plan::CountStar("n")});
+  return q;
+}
+
+/// select count(*) as n, sum(l_quantity) as sq from lineitem
+/// where l_linenumber in (lines...)
+plan::Query LineInQuery(std::vector<int64_t> lines) {
+  plan::Query q;
+  q.root = plan::ScalarAggPlan(
+      plan::Filter(plan::Scan("lineitem"),
+                   plan::InInt(plan::Col("l_linenumber"), std::move(lines))),
+      {plan::CountStar("n"), plan::Sum(plan::Col("l_quantity"), "sq")});
+  return q;
+}
+
+TEST_F(ParamsTest, StringInListsShareOneArtifactPerListLength) {
+  ParameterizedQuery a = ParameterizeQuery(ModeInQuery({"AIR", "RAIL"}), false);
+  ASSERT_EQ(a.params.size(), 2u);
+  EXPECT_EQ(a.params[0].kind, plan::ParamKind::kStr);
+  EXPECT_EQ(a.params[0].str, "AIR");
+  EXPECT_EQ(a.params[1].str, "RAIL");
+
+  // Same list length, different values: byte-identical source, one key.
+  ParameterizedQuery b =
+      ParameterizeQuery(ModeInQuery({"TRUCK", "SHIP"}), false);
+  EXPECT_EQ(compile::StageQuery(a.query, *db_).source,
+            compile::StageQuery(b.query, *db_).source);
+  engine::EngineOptions eopts;
+  EXPECT_EQ(FingerprintQuery(a.query, eopts, *db_),
+            FingerprintQuery(b.query, eopts, *db_));
+  // A different list LENGTH is a different shape (different probe count).
+  ParameterizedQuery c =
+      ParameterizeQuery(ModeInQuery({"AIR", "RAIL", "MAIL"}), false);
+  EXPECT_NE(FingerprintQuery(a.query, eopts, *db_),
+            FingerprintQuery(c.query, eopts, *db_));
+
+  // One compile serves every same-length value set, on both engines.
+  compile::CompiledQuery cq =
+      compile::CompileQuery(a.query, *db_, {}, "param_instr");
+  EXPECT_EQ(cq.param_count(), 2);
+  for (auto modes : {std::vector<std::string>{"AIR", "RAIL"},
+                     std::vector<std::string>{"TRUCK", "SHIP"},
+                     std::vector<std::string>{"MAIL", "MAIL"},
+                     std::vector<std::string>{"", "FOB"}}) {
+    plan::Query q = ModeInQuery(modes);
+    ParameterizedQuery pq = ParameterizeQuery(q, false);
+    std::string oracle = Oracle(q);
+    ExpectSameResult(oracle, cq.Run(&pq.params).text,
+                     "compiled IN " + modes[0] + "," + modes[1]);
+    ExpectSameResult(
+        oracle, engine::ExecuteInterp(pq.query, *db_, {}, &pq.params).text,
+        "interpreted IN " + modes[0] + "," + modes[1]);
+  }
+}
+
+TEST_F(ParamsTest, IntInListsBindAtRun) {
+  ParameterizedQuery canon = ParameterizeQuery(LineInQuery({1, 3, 5}), false);
+  ASSERT_EQ(canon.params.size(), 3u);
+  EXPECT_EQ(canon.params[0].kind, plan::ParamKind::kInt);
+  compile::CompiledQuery cq =
+      compile::CompileQuery(canon.query, *db_, {}, "param_inint");
+  EXPECT_EQ(cq.param_count(), 3);
+  for (auto lines : {std::vector<int64_t>{1, 3, 5},
+                     std::vector<int64_t>{2, 4, 6},
+                     std::vector<int64_t>{7, 7, 7},
+                     std::vector<int64_t>{-1, 0, 100}}) {
+    plan::Query q = LineInQuery(lines);
+    ParameterizedQuery pq = ParameterizeQuery(q, false);
+    std::string oracle = Oracle(q);
+    ExpectSameResult(oracle, cq.Run(&pq.params).text,
+                     "compiled IN-int " + std::to_string(lines[0]));
+    ExpectSameResult(
+        oracle, engine::ExecuteInterp(pq.query, *db_, {}, &pq.params).text,
+        "interpreted IN-int " + std::to_string(lines[0]));
+  }
+}
+
+TEST_F(ParamsTest, DictGuardKeepsInStrBakedButHoistsInInt) {
+  // Dictionary-aware engines probe IN-string lists through the dictionary
+  // at generation time, so the guard keeps the whole list baked — one
+  // fallback per element. Integer lists have no dictionary interaction and
+  // hoist under either setting.
+  ParameterizedQuery guarded =
+      ParameterizeQuery(ModeInQuery({"AIR", "RAIL", "MAIL"}), true);
+  EXPECT_EQ(guarded.params.size(), 0u);
+  EXPECT_EQ(guarded.guard_fallbacks, 3);
+  ParameterizedQuery ints = ParameterizeQuery(LineInQuery({2, 4}), true);
+  EXPECT_EQ(ints.params.size(), 2u);
+  EXPECT_EQ(ints.guard_fallbacks, 0);
+
+  // And the baked plan still answers correctly under a dict-aware engine.
+  rt::Database dict_db;
+  tpch::Generate(0.002, 4242, &dict_db);
+  tpch::BuildAuxStructures({.string_dicts = true}, &dict_db);
+  plan::Query q = ModeInQuery({"AIR", "RAIL", "MAIL"});
+  engine::EngineOptions eopts;
+  eopts.use_dict = true;
+  auto cq = compile::CompileQuery(q, dict_db, eopts, "param_instr_dict");
+  ExpectSameResult(volcano::Execute(q, dict_db), cq.Run().text,
+                   "dict-baked IN-string");
+}
+
 // -- Dictionary guard ---------------------------------------------------------
 
 TEST_F(ParamsTest, DictGuardKeepsStringEqualityBaked) {

@@ -252,25 +252,42 @@ TEST_P(FuzzMatrixTest, DictAndSortPlansAgreeAcrossEngineMatrix) {
   for (int round = 0; round < rounds; ++round) {
     Query q = RandomDictSortQuery(planner, *db_);
     std::string oracle = volcano::Execute(q, *db_);
+    // The codegen-flavor dimension: the same plan through the data-centric,
+    // fully-vectorized, and randomly-blended emitters. Plans whose filters
+    // are string-only have no vectorizable site and exercise the fallback.
+    const uint64_t mask = static_cast<uint64_t>(planner.Pick(15)) + 1;
+    const struct {
+      engine::Flavor flavor;
+      uint64_t blend;
+      const char* tag;
+    } flavors[] = {
+        {engine::Flavor::kDataCentric, 0, "dc"},
+        {engine::Flavor::kVectorized, 0, "v"},
+        {engine::Flavor::kBlended, mask, "b"},
+    };
     for (bool dict : {false, true}) {
-      engine::EngineOptions iopts;
-      iopts.use_dict = dict;
-      auto interp = engine::ExecuteInterp(q, *db_, iopts);
-      ASSERT_EQ(tpch::DiffResults(oracle, interp.text, true), "")
-          << "interp seed " << GetParam() << " round " << round
-          << " dict " << dict;
-      for (int threads : {1, 4}) {
-        engine::EngineOptions copts;
-        copts.use_dict = dict;
-        copts.num_threads = threads;
-        auto cq = compile::CompileQuery(
-            q, *db_, copts,
-            "fuzzm" + std::to_string(GetParam()) + "_" +
-                std::to_string(round) + (dict ? "_d" : "_n") +
-                std::to_string(threads));
-        ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
-            << "compiled seed " << GetParam() << " round " << round
-            << " dict " << dict << " threads " << threads;
+      for (const auto& fl : flavors) {
+        engine::EngineOptions iopts;
+        iopts.use_dict = dict;
+        iopts.flavor = fl.flavor;
+        iopts.blend = fl.blend;
+        auto interp = engine::ExecuteInterp(q, *db_, iopts);
+        ASSERT_EQ(tpch::DiffResults(oracle, interp.text, true), "")
+            << "interp seed " << GetParam() << " round " << round
+            << " dict " << dict << " flavor " << fl.tag;
+        for (int threads : {1, 4}) {
+          engine::EngineOptions copts = iopts;
+          copts.num_threads = threads;
+          auto cq = compile::CompileQuery(
+              q, *db_, copts,
+              "fuzzm" + std::to_string(GetParam()) + "_" +
+                  std::to_string(round) + (dict ? "_d" : "_n") +
+                  std::to_string(threads) + fl.tag);
+          ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
+              << "compiled seed " << GetParam() << " round " << round
+              << " dict " << dict << " threads " << threads << " flavor "
+              << fl.tag;
+        }
       }
     }
   }
