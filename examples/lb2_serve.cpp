@@ -204,7 +204,7 @@ int main(int argc, char** argv) {
         double ms = latency.ElapsedMs();
         if (!trace_out.empty()) {
           if (r.spans.empty()) {
-            r.spans.push_back({"request", NowNs() - t0});
+            r.spans.push_back({"request", t0, NowNs()});
           }
           trace_writer.Add(service::PathName(r.path), t, t0, r.spans);
         }

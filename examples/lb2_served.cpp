@@ -16,15 +16,20 @@
 //
 // On SIGTERM: stop accepting, answer everything already received, flush,
 // then print the final stats and Prometheus exposition to stdout. With
-// --trace-out, every served request is also recorded as a Chrome
-// trace_event slice (chrome://tracing / Perfetto).
+// --trace-out, the flight recorder's kept traces (slow, errored, faulted,
+// breaker-served, plus the 1-in-N sample — see LB2_TRACE_RING /
+// LB2_SLOW_MS / LB2_TRACE_SAMPLE) are written as a Chrome trace_event
+// document (chrome://tracing / Perfetto) as part of the drain, so a
+// terminated server leaves its most interesting requests behind.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
+
+#include "obs/recorder.h"
 
 #include "net/server.h"
-#include "obs/trace.h"
 #include "service/service.h"
 #include "tpch/dbgen.h"
 
@@ -95,13 +100,11 @@ int main(int argc, char** argv) {
   if (!cache_dir.empty()) sopts.cache_dir = cache_dir;
   service::QueryService svc(db, sopts);
 
-  obs::ChromeTraceWriter trace(trace_out);  // unused when path is empty
   net::NetOptions nopts;
   nopts.port = port;
   nopts.admin_port = admin_port;
   nopts.num_workers = threads;
   nopts.max_conn_inflight = max_conn_inflight;
-  if (!trace_out.empty()) nopts.trace = &trace;
 
   net::NetServer server(&svc, nopts);
   std::string error;
@@ -133,12 +136,18 @@ int main(int argc, char** argv) {
               svc.Stats().ToString().c_str());
   std::printf("%s", server.MetricsPrometheus().c_str());
   if (!trace_out.empty()) {
-    std::string terror;
-    if (trace.WriteFile(&terror)) {
-      std::printf("trace written to %s (load in chrome://tracing)\n",
-                  trace_out.c_str());
+    std::vector<obs::RecordedTrace> kept = server.recorder().Snapshot();
+    std::FILE* f = std::fopen(trace_out.c_str(), "w");
+    if (f != nullptr) {
+      std::string doc = obs::TracesChrome(kept);
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("%zu kept traces written to %s (load in "
+                  "chrome://tracing)\n",
+                  kept.size(), trace_out.c_str());
     } else {
-      std::fprintf(stderr, "trace write failed: %s\n", terror.c_str());
+      std::fprintf(stderr, "trace write failed: cannot open %s\n",
+                    trace_out.c_str());
     }
   }
   return 0;

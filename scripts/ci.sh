@@ -3,7 +3,7 @@
 # and the service-throughput benchmark JSON.
 #
 #   scripts/ci.sh            # tier-1 + tsan + faults + params + net
-#                            #   + flavors + soak + bench
+#                            #   + tracing + flavors + soak + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
@@ -16,6 +16,11 @@
 #                            #   shape-cache suites, racing threads under TSan
 #   scripts/ci.sh net        # TSan build, `ctest -L net`: the epoll loop,
 #                            #   worker handoff, and drain under TSan
+#   scripts/ci.sh tracing    # TSan build, `ctest -L 'obs|trace|net'`: the
+#                            #   flight recorder's lock-free drop path and
+#                            #   per-worker rings racing 8 writers against
+#                            #   a snapshotting reader, plus every consumer
+#                            #   of the timestamped span model
 #   scripts/ci.sh flavors    # TSan build, `ctest -L 'flavor|fuzz'` with
 #                            #   extended fuzz seeds: the codegen-flavor
 #                            #   differential matrix ({data-centric,
@@ -25,12 +30,17 @@
 #                            #   LB2_FAULTS=chaos:<seed> + a tight admission
 #                            #   gate vs bench_net_load (8 procs x 4 conns,
 #                            #   pipelined); asserts zero protocol
-#                            #   violations, a mid-load admin scrape, and a
-#                            #   clean SIGTERM drain
+#                            #   violations, mid-load admin scrapes of both
+#                            #   /metrics and /traces (>= 1 kept slow/error
+#                            #   trace whose decode->exec span tree shows
+#                            #   true overlap), a clean SIGTERM drain, and
+#                            #   that the drain flushed the kept traces to
+#                            #   --trace-out
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
 #                            #   -> BENCH_service.json, plus the obs
-#                            #   overhead gate (metrics on vs off, and
-#                            #   faults compiled in but disarmed), plus the
+#                            #   overhead gate (metrics on vs off, faults
+#                            #   compiled in but disarmed, and the flight
+#                            #   recorder armed), plus the
 #                            #   codegen-flavor gate -> BENCH_flavors.json
 #                            #   (vec >= 1.3x dc on the scan shape; blended
 #                            #   never worse than the better pure flavor;
@@ -119,6 +129,20 @@ net() {
     ctest --test-dir build-tsan -L net --output-on-failure -j"$(nproc)"
 }
 
+# Tracing lane: the flight recorder and every span consumer under TSan.
+# The recorder's claim is that the drop path is one relaxed atomic and the
+# per-worker rings only lock on a keep — trace_test's 8-writers-vs-reader
+# stress plus the net suite's mid-flight /traces scrapes are where a
+# snapshot/record race would surface. Shares the tsan build tree.
+tracing() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir \
+    ctest --test-dir build-tsan -L 'obs|trace|net' --output-on-failure \
+    -j"$(nproc)"
+}
+
 # Chaos soak: a real lb2_served process armed with seeded-random fault
 # injection over every registered point, a tight admission gate so BUSY
 # shedding actually happens, and the multi-process load harness hammering
@@ -135,10 +159,13 @@ soak() {
   mkdir -p "$dir/cache"
   port_file="$dir/ports"
   seed="${CI_CHAOS_SEED:-20260809}"
+  # LB2_SLOW_MS=5 guarantees slow keeps (cold compiles take far longer);
+  # chaos + the tight gate supply error/busy/fault keeps on top.
   LB2_FAULTS="chaos:$seed" LB2_MAX_INFLIGHT=8 LB2_QUEUE_TIMEOUT_MS=5 \
-    LB2_CACHE_DIR="$dir/cache" \
+    LB2_SLOW_MS=5 LB2_CACHE_DIR="$dir/cache" \
     ./build/examples/lb2_served --port=0 --admin-port=0 --sf=0.005 \
-    --threads=16 --port-file="$port_file" >"$dir/server.log" 2>&1 &
+    --threads=16 --port-file="$port_file" --trace-out="$dir/traces.json" \
+    >"$dir/server.log" 2>&1 &
   server_pid=$!
   for _ in $(seq 1 300); do
     [ -s "$port_file" ] && break
@@ -165,11 +192,45 @@ assert "lb2_net_accepted_total" in body, body[:400]
 assert "lb2_requests_total" in body, body[:400]
 print("admin /metrics answered mid-load")
 EOF
+  # The flight recorder must already hold kept traces mid-storm, and at
+  # least one slow/error/busy/fault keep must carry a decode->exec span
+  # tree with true timestamps: the queue child starts at the same instant
+  # as its request root (both begin at decode) — overlap only real
+  # begin/end pairs can express.
+  python3 - "$admin_port" <<'EOF'
+import json
+import sys
+import urllib.request
+port = sys.argv[1]
+traces = json.loads(urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/traces", timeout=10).read().decode())
+kept = [t for t in traces if t["keep"] in
+        ("slow", "error", "busy", "fault", "breaker")]
+assert kept, f"no slow/error keeps among {len(traces)} traces"
+deep = 0
+for t in kept:
+    spans = {s["name"]: s for s in t["spans"]}
+    if "request" not in spans or "queue" not in spans:
+        continue
+    req, q = spans["request"], spans["queue"]
+    assert req["parent"] == -1 and q["parent"] == 0, t
+    # True overlap: the queue span runs inside the still-open request span.
+    assert q["begin_us"] >= req["begin_us"], t
+    assert q["begin_us"] + q["dur_us"] <= req["begin_us"] + req["dur_us"] + 1, t
+    deep += 1
+assert deep, f"no kept trace carried a decode->exec span tree: {kept[:2]}"
+print(f"admin /traces answered mid-load: {len(traces)} kept "
+      f"({len(kept)} slow/error/busy/fault), {deep} with full span trees")
+EOF
   wait "$load_pid"       # non-zero on any protocol violation
   kill -TERM "$server_pid"
   wait "$server_pid"     # non-zero if the drain was not clean
   grep -q "drained." "$dir/server.log"
-  echo "chaos soak passed (seed $seed): zero violations, clean drain"
+  # The SIGTERM drain must have flushed the kept traces to --trace-out.
+  [ -s "$dir/traces.json" ]
+  grep -q '"traceEvents"' "$dir/traces.json"
+  echo "chaos soak passed (seed $seed): zero violations, kept traces" \
+    "scraped mid-load and flushed on drain"
   rm -rf "$dir"
 }
 
@@ -304,6 +365,12 @@ EOF
 # warmup) and holds it to the same 5% gate against metrics-off: fault
 # injection is compiled in always, so its disarmed/armed-but-idle cost must
 # be indistinguishable from zero.
+#
+# A fourth run arms the flight recorder (LB2_BENCH_RECORDER=1): every warm
+# request assembles a RecordedTrace and runs the tail-sampling keep
+# decision exactly as the socketed server's workers do. Warm requests are
+# fast, so almost everything takes the drop path — one relaxed atomic —
+# which is precisely the cost the gate must bound.
 obs_overhead() {
   LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=0 \
     ./build/bench/bench_service_throughput \
@@ -330,6 +397,14 @@ obs_overhead() {
     --benchmark_report_aggregates_only=true \
     --benchmark_out=BENCH_obs_faults.json \
     --benchmark_out_format=json
+  LB2_SF="${LB2_SF:-0.01}" LB2_METRICS=1 LB2_BENCH_RECORDER=1 \
+    ./build/bench/bench_service_throughput \
+    --benchmark_filter='BM_WarmSameEntry' \
+    --benchmark_min_time=0.2 \
+    --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out=BENCH_obs_recorder.json \
+    --benchmark_out_format=json
   python3 - <<'EOF'
 import json
 
@@ -348,7 +423,8 @@ def rates(path):
 off = rates("BENCH_obs_off.json")
 failed = False
 for label, path in (("on", "BENCH_obs_on.json"),
-                    ("faults-armed", "BENCH_obs_faults.json")):
+                    ("faults-armed", "BENCH_obs_faults.json"),
+                    ("recorder-armed", "BENCH_obs_recorder.json")):
     other = rates(path)
     for name, off_rate in sorted(off.items()):
         rate = other.get(name)
@@ -361,10 +437,10 @@ for label, path in (("on", "BENCH_obs_on.json"),
         print(f"obs-overhead {name}: off={off_rate:.0f}/s "
               f"{label}={rate:.0f}/s ratio={ratio:.3f} [{status}]")
 if failed:
-    raise SystemExit(
-        "warm throughput regressed more than 5% (metrics or fault sites)")
-print("obs-overhead gate passed (metrics + armed-idle faults cost < 5% "
-      "on the warm path)")
+    raise SystemExit("warm throughput regressed more than 5% "
+                     "(metrics, fault sites, or the flight recorder)")
+print("obs-overhead gate passed (metrics + armed-idle faults + armed "
+      "recorder each cost < 5% on the warm path)")
 EOF
 }
 
@@ -374,12 +450,16 @@ case "$stage" in
   faults) faults ;;
   params) params ;;
   net) net ;;
+  tracing) tracing ;;
   flavors) flavors ;;
   soak) soak ;;
   bench) bench ;;
-  all) tier1 && tsan && faults && params && net && flavors && soak && bench ;;
+  all)
+    tier1 && tsan && faults && params && net && tracing && flavors && soak \
+      && bench
+    ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|flavors|soak|bench|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|tracing|flavors|soak|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -110,12 +110,24 @@ HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks) {
     return r;
   }
   if (req.path == "/healthz") {
-    if (hooks.draining && hooks.draining()) {
-      r.status = 503;
-      r.body = "draining\n";
+    const bool draining = hooks.draining && hooks.draining();
+    if (draining) r.status = 503;
+    if (hooks.healthz_json) {
+      r.content_type = "application/json";
+      r.body = hooks.healthz_json();
     } else {
-      r.body = "ok\n";
+      r.body = draining ? "draining\n" : "ok\n";
     }
+    return r;
+  }
+  if (req.path == "/traces") {
+    if (!hooks.traces) {
+      r.status = 404;
+      r.body = "no flight recorder on this server\n";
+      return r;
+    }
+    r.content_type = "application/json";
+    r.body = hooks.traces(QueryParam(req.query, "fmt") == "chrome");
     return r;
   }
   if (req.path == "/explore" && hooks.explore_sql) {
@@ -129,11 +141,14 @@ HttpResponse RouteAdmin(const HttpRequest& req, const AdminHooks& hooks) {
     return r;
   }
   if (req.path == "/") {
-    r.body = "lb2 admin: /metrics /stats /healthz /explore?sql=...\n";
+    r.body =
+        "lb2 admin: /metrics /stats /healthz /traces[?fmt=chrome] "
+        "/explore?sql=...\n";
     return r;
   }
   r.status = 404;
-  r.body = "unknown path; try /metrics, /stats, /healthz, /explore\n";
+  r.body =
+      "unknown path; try /metrics, /stats, /healthz, /traces, /explore\n";
   return r;
 }
 

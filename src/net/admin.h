@@ -5,7 +5,12 @@
 //
 //   GET /metrics         -> Prometheus text (service + network registries)
 //   GET /stats           -> JSON {"net": ..., "service": ...}
-//   GET /healthz         -> "ok" (or "draining" with status 503 during drain)
+//   GET /healthz         -> JSON readiness (drain flag, open breakers,
+//                           disk cooldown, admission depth); status 503
+//                           while draining
+//   GET /traces          -> kept flight-recorder traces as JSON;
+//                           ?fmt=chrome renders a Chrome trace_event doc
+//                           instead (load it in chrome://tracing)
 //   GET /explore?sql=... -> run the codegen-flavor explorer on a query
 //                           (url-encoded SQL) and report the sweep
 //   GET /               -> route listing
@@ -55,6 +60,13 @@ struct AdminHooks {
   std::function<std::string()> metrics_text;  // Prometheus exposition
   std::function<std::string()> stats_json;
   std::function<bool()> draining;  // true once drain began
+  /// JSON readiness body for /healthz. Unset = plain "ok"/"draining"
+  /// text (the pre-JSON contract); `draining` still decides the 503.
+  std::function<std::string()> healthz_json;
+  /// Kept flight-recorder traces; the flag asks for the Chrome
+  /// trace_event rendering (`?fmt=chrome`) instead of the JSON array.
+  /// Unset = /traces responds 404.
+  std::function<std::string(bool chrome)> traces;
   /// Codegen-flavor explorer: takes SQL text, runs the sweep, returns the
   /// human-readable report. Unset = /explore responds 404.
   std::function<std::string(const std::string&)> explore_sql;

@@ -27,8 +27,14 @@ void BlockingClient::Close() {
   }
 }
 
-bool BlockingClient::SendQuery(uint64_t request_id, std::string_view sql) {
-  return SendRaw(EncodeFrame(FrameType::kQuery, request_id, sql));
+bool BlockingClient::SendQuery(uint64_t request_id, std::string_view sql,
+                               uint64_t trace_id) {
+  return SendRaw(EncodeFrame(FrameType::kQuery, request_id, sql, trace_id));
+}
+
+bool BlockingClient::SendQueryV1(uint64_t request_id, std::string_view sql) {
+  return SendRaw(
+      EncodeFrame(FrameType::kQuery, request_id, sql, 0, kProtocolV1));
 }
 
 bool BlockingClient::SendRaw(std::string_view bytes) {

@@ -31,8 +31,15 @@ class BlockingClient {
   /// Connects (blocking) to host:port. Returns false with *error set.
   bool Connect(const std::string& host, int port, std::string* error);
 
-  /// Sends one QUERY frame. Returns false on a write error (peer gone).
-  bool SendQuery(uint64_t request_id, std::string_view sql);
+  /// Sends one QUERY frame (v2; `trace_id` rides in the header and is
+  /// echoed on the response — 0 lets the server assign one). Returns
+  /// false on a write error (peer gone).
+  bool SendQuery(uint64_t request_id, std::string_view sql,
+                 uint64_t trace_id = 0);
+
+  /// Sends a v1 QUERY frame (no trace field) — what a client built before
+  /// the v2 bump emits; the compatibility tests speak this.
+  bool SendQueryV1(uint64_t request_id, std::string_view sql);
 
   /// Writes raw bytes to the socket (protocol-violation tests).
   bool SendRaw(std::string_view bytes);

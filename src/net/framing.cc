@@ -46,11 +46,13 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
   const uint8_t type = static_cast<uint8_t>(head[5]);
   // Header validation happens before waiting for the payload: a bad
   // version or an absurd length must be rejected now, not after the peer
-  // streams (or never streams) `len` bytes.
-  if (version != kProtocolVersion) {
+  // streams (or never streams) `len` bytes. Both v1 (14-byte header) and
+  // v2 (22-byte, + trace id) are accepted, per-frame.
+  const size_t header = FrameHeaderBytes(version);
+  if (header == 0) {
     failed_ = true;
-    error_ = StrPrintf("bad protocol version %u (want %u)", version,
-                       kProtocolVersion);
+    error_ = StrPrintf("bad protocol version %u (want %u..%u)", version,
+                       kProtocolV1, kProtocolVersion);
     return Status::kError;
   }
   if (!KnownFrameType(type)) {
@@ -64,12 +66,13 @@ FrameDecoder::Status FrameDecoder::Next(Frame* out) {
                        max_payload_);
     return Status::kError;
   }
-  if (buf_.size() - pos_ < kFrameHeaderBytes + len) return Status::kNeedMore;
+  if (buf_.size() - pos_ < header + len) return Status::kNeedMore;
   out->version = version;
   out->type = static_cast<FrameType>(type);
   out->request_id = GetU64(head + 6);
-  out->payload.assign(head + kFrameHeaderBytes, len);
-  pos_ += kFrameHeaderBytes + len;
+  out->trace_id = version >= kProtocolV2 ? GetU64(head + 14) : 0;
+  out->payload.assign(head + header, len);
+  pos_ += header + len;
   if (pos_ == buf_.size()) {
     buf_.clear();
     pos_ = 0;

@@ -43,13 +43,15 @@ bool KnownFrameType(uint8_t t) {
 }
 
 std::string EncodeFrame(FrameType type, uint64_t request_id,
-                        std::string_view payload) {
+                        std::string_view payload, uint64_t trace_id,
+                        uint8_t version) {
   std::string out;
-  out.reserve(kFrameHeaderBytes + payload.size());
+  out.reserve(FrameHeaderBytes(version) + payload.size());
   PutU32(&out, static_cast<uint32_t>(payload.size()));
-  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(version));
   out.push_back(static_cast<char>(type));
   PutU64(&out, request_id);
+  if (version >= kProtocolV2) PutU64(&out, trace_id);
   out.append(payload);
   return out;
 }

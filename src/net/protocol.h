@@ -1,14 +1,33 @@
 // The lb2 wire protocol: a minimal length-prefixed binary framing that
 // carries SQL in and results (or documented degradation) out.
 //
-// Every frame is
+// A v1 frame is
 //
 //   offset  size  field
 //   0       4     payload length N (little-endian u32, header excluded)
-//   4       1     protocol version (kProtocolVersion)
+//   4       1     protocol version (1)
 //   5       1     frame type (FrameType)
 //   6       8     request id (little-endian u64, chosen by the client)
 //   14      N     payload
+//
+// A v2 frame adds one header field — a trace context — and is otherwise
+// identical:
+//
+//   offset  size  field
+//   0       4     payload length N (little-endian u32, header excluded)
+//   4       1     protocol version (2)
+//   5       1     frame type (FrameType)
+//   6       8     request id (little-endian u64, chosen by the client)
+//   14      8     trace id (little-endian u64; 0 = none, server assigns)
+//   22      N     payload
+//
+// The trace id stitches one request's journey across the wire into the
+// server's flight recorder: a client that supplies a nonzero id sees it
+// echoed on the response frame and can look the trace up via admin
+// `GET /traces`; a zero (or v1) request gets a server-generated id. The
+// version byte is per-frame, so v1 and v2 clients coexist on one server —
+// responses always use the version the request arrived with, which is how
+// old clients keep working untouched.
 //
 // The request id exists for pipelining: a client may keep many QUERY
 // frames outstanding on one connection, and the server answers each with
@@ -41,8 +60,20 @@
 
 namespace lb2::net {
 
-inline constexpr uint8_t kProtocolVersion = 1;
-inline constexpr size_t kFrameHeaderBytes = 14;
+inline constexpr uint8_t kProtocolV1 = 1;
+inline constexpr uint8_t kProtocolV2 = 2;
+/// Newest version this build speaks; the decoder accepts every version in
+/// [kProtocolV1, kProtocolVersion].
+inline constexpr uint8_t kProtocolVersion = kProtocolV2;
+inline constexpr size_t kFrameHeaderBytes = 14;    // v1 header
+inline constexpr size_t kFrameHeaderBytesV2 = 22;  // v2 header (+ trace id)
+
+/// Header size for a given version byte (0 for an unknown version).
+inline constexpr size_t FrameHeaderBytes(uint8_t version) {
+  if (version == kProtocolV1) return kFrameHeaderBytes;
+  if (version == kProtocolV2) return kFrameHeaderBytesV2;
+  return 0;
+}
 /// Largest payload either side accepts; bigger frames are a protocol error
 /// (and protect the server from a hostile 4 GiB length prefix).
 inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
@@ -57,17 +88,22 @@ enum class FrameType : uint8_t {
 const char* FrameTypeName(FrameType t);
 bool KnownFrameType(uint8_t t);
 
-/// One decoded frame.
+/// One decoded frame. trace_id is 0 for v1 frames (the field does not
+/// exist on the wire) and for v2 frames whose sender declined a context.
 struct Frame {
   uint8_t version = kProtocolVersion;
   FrameType type = FrameType::kQuery;
   uint64_t request_id = 0;
+  uint64_t trace_id = 0;
   std::string payload;
 };
 
-/// Wire bytes (header + payload) for one frame.
+/// Wire bytes (header + payload) for one frame. `version` selects the
+/// header layout; trace_id is only encoded for v2 (and must be 0 for v1 —
+/// there is nowhere to put it).
 std::string EncodeFrame(FrameType type, uint64_t request_id,
-                        std::string_view payload);
+                        std::string_view payload, uint64_t trace_id = 0,
+                        uint8_t version = kProtocolVersion);
 
 /// kResult payload: u8 path (service::ServiceResult::Path), little-endian
 /// i64 row count, then the rendered result text.

@@ -11,11 +11,13 @@
 #include <cstring>
 #include <utility>
 
+#include "engine/profile.h"
 #include "net/admin.h"
 #include "net/listener.h"
 #include "obs/log.h"
 #include "service/service.h"
 #include "sql/sql.h"
+#include "testing/faults.h"
 #include "util/str.h"
 #include "util/time.h"
 
@@ -68,7 +70,8 @@ std::string NetStats::ToString() const {
   return StrPrintf(
       "accepted=%lld active=%lld frames-in=%lld frames-out=%lld busy=%lld "
       "errors=%lld protocol-errors=%lld backpressure-stalls=%lld "
-      "responses-dropped=%lld admin-requests=%lld drain-forced-closes=%lld",
+      "responses-dropped=%lld admin-requests=%lld drain-forced-closes=%lld "
+      "traces-kept=%lld",
       static_cast<long long>(accepted), static_cast<long long>(active),
       static_cast<long long>(frames_in), static_cast<long long>(frames_out),
       static_cast<long long>(busy_frames),
@@ -77,11 +80,15 @@ std::string NetStats::ToString() const {
       static_cast<long long>(backpressure_stalls),
       static_cast<long long>(responses_dropped),
       static_cast<long long>(admin_requests),
-      static_cast<long long>(drain_forced_closes));
+      static_cast<long long>(drain_forced_closes),
+      static_cast<long long>(traces_kept));
 }
 
 NetServer::NetServer(service::QueryService* svc, NetOptions opts)
-    : svc_(svc), opts_(std::move(opts)) {
+    : svc_(svc),
+      opts_(std::move(opts)),
+      recorder_(obs::FlightRecorder::OptionsFromEnv(
+          opts_.num_workers >= 1 ? opts_.num_workers : 1)) {
   accepted_ = metrics_.GetCounter("lb2_net_accepted_total");
   closed_ = metrics_.GetCounter("lb2_net_closed_total");
   active_ = metrics_.GetGauge("lb2_net_connections_active");
@@ -97,6 +104,7 @@ NetServer::NetServer(service::QueryService* svc, NetOptions opts)
   admin_requests_ = metrics_.GetCounter("lb2_net_admin_requests_total");
   drain_forced_closes_ =
       metrics_.GetCounter("lb2_net_drain_forced_closes_total");
+  traces_kept_ = metrics_.GetCounter("lb2_net_traces_kept_total");
   if (svc_->options().metrics) {
     accept_hist_ = metrics_.GetHistogram("lb2_net_accept_ns");
     read_hist_ = metrics_.GetHistogram("lb2_net_read_ns");
@@ -245,12 +253,22 @@ void NetServer::AcceptReady(bool admin) {
   }
 }
 
-void NetServer::DispatchQuery(Connection* c, uint64_t request_id,
-                              std::string sql) {
+uint64_t NetServer::AssignTraceId() {
+  // Hash a counter rather than handing out sequential ids: exemplar and
+  // log greps for one trace id should never partially match another's.
+  uint64_t id =
+      obs::SplitMix64(trace_seq_.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+void NetServer::DispatchQuery(Connection* c, Frame* f) {
   ++c->inflight;
+  const uint64_t trace_id =
+      f->trace_id != 0 ? f->trace_id : AssignTraceId();
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
-    jobs_.push_back({c->id(), request_id, std::move(sql)});
+    jobs_.push_back({c->id(), f->request_id, std::move(f->payload),
+                     trace_id, f->version, NowNs()});
   }
   jobs_cv_.notify_one();
 }
@@ -295,7 +313,7 @@ void NetServer::PumpDataFrames(Connection* c) {
       c->reading = false;
       return;
     }
-    DispatchQuery(c, f.request_id, std::move(f.payload));
+    DispatchQuery(c, &f);
   }
 }
 
@@ -319,6 +337,11 @@ void NetServer::HandleAdminConn(Connection* c) {
   hooks.metrics_text = [this] { return MetricsPrometheus(); };
   hooks.stats_json = [this] { return StatsJson(); };
   hooks.draining = [this] { return draining(); };
+  hooks.healthz_json = [this] { return HealthzJson(); };
+  hooks.traces = [this](bool chrome) {
+    std::vector<obs::RecordedTrace> kept = recorder_.Snapshot();
+    return chrome ? obs::TracesChrome(kept) : obs::TracesJson(kept);
+  };
   hooks.explore_sql = [this](const std::string& sql) -> std::string {
     plan::Query q;
     std::string error;
@@ -511,32 +534,88 @@ void NetServer::WorkerThread(int worker_idx) {
       job = std::move(jobs_.front());
       jobs_.pop_front();
     }
-    int64_t t0 = NowNs();
+    const int64_t t0 = NowNs();  // worker pickup; job.t_decode <= t0
+    const int64_t faults_before = testing::FaultsFiredTotal();
     service::ServiceResult r;
     std::string parse_error;
     std::string frame;
     FrameType type;
     const char* trace_name;
-    if (!svc_->ExecuteSql(job.sql, &r, &parse_error)) {
+    const char* status;
+    // Responses answer in the request frame's protocol version; for v2
+    // the trace id rides back so the client can quote it to GET /traces.
+    if (!svc_->ExecuteSql(job.sql, &r, &parse_error, job.trace_id)) {
       type = FrameType::kError;
-      frame = EncodeFrame(type, job.request_id, parse_error);
+      frame = EncodeFrame(type, job.request_id, parse_error, job.trace_id,
+                          job.version);
       trace_name = "error";
+      status = "error";
     } else if (r.status == service::ServiceResult::Status::kBusy) {
       type = FrameType::kBusy;
-      frame = EncodeFrame(type, job.request_id, "");
+      frame = EncodeFrame(type, job.request_id, "", job.trace_id,
+                          job.version);
       trace_name = "busy";
+      status = "busy";
     } else {
       type = FrameType::kResult;
       frame = EncodeFrame(
           type, job.request_id,
-          EncodeResultPayload(static_cast<uint8_t>(r.path), r.rows, r.text));
+          EncodeResultPayload(static_cast<uint8_t>(r.path), r.rows, r.text),
+          job.trace_id, job.version);
       trace_name = service::PathName(r.path);
+      status = "ok";
     }
-    int64_t elapsed = NowNs() - t0;
+    const int64_t now = NowNs();
+    const int64_t elapsed = now - t0;
     if (request_hist_ != nullptr) request_hist_->Observe(elapsed);
     if (opts_.trace != nullptr) {
-      if (r.spans.empty()) r.spans.push_back({"request", elapsed});
+      if (r.spans.empty()) r.spans.push_back({"service", t0, now});
       opts_.trace->Add(trace_name, worker_idx, t0, r.spans);
+    }
+    if (recorder_.enabled()) {
+      const int64_t latency = now - job.t_decode;
+      obs::RecordedTrace t;
+      t.trace_id = job.trace_id;
+      t.request_id = job.request_id;
+      t.worker = worker_idx;
+      t.begin_ns = job.t_decode;
+      t.end_ns = now;
+      t.name = trace_name;
+      t.status = status;
+      t.sql = job.sql.size() <= 512 ? job.sql : job.sql.substr(0, 512);
+      t.flavor = std::move(r.flavor);
+      t.params = std::move(r.params);
+      t.fault = testing::FaultsFiredTotal() > faults_before;
+      t.breaker = r.breaker_degraded;
+      if (!r.prof_nodes.empty() && !r.prof.empty()) {
+        t.profile = engine::RenderProfile(r.prof_nodes, r.prof);
+      }
+      // Root span covers decode -> completion; "queue" is the hand-off
+      // wait, and the service's own spans graft under the root so the
+      // rendered tree shows the whole request with true overlap.
+      t.spans.push_back({"request", job.t_decode, now});
+      t.spans.push_back({"queue", job.t_decode, t0, 0});
+      obs::GraftSpans(&t.spans, r.spans, 0);
+      const bool slow = recorder_.options().slow_ns > 0 &&
+                        latency >= recorder_.options().slow_ns;
+      obs::RecordedTrace slow_copy;
+      if (slow) slow_copy = t;  // rare by construction; copy only to log
+      if (recorder_.Record(worker_idx, std::move(t))) {
+        traces_kept_->Inc();
+        // Exemplars attach only after the keep decision, so a bucket's
+        // trace id always resolves against GET /traces.
+        if (request_hist_ != nullptr) {
+          request_hist_->SetExemplar(job.trace_id, elapsed);
+        }
+        if (status[0] == 'o') {  // "ok": the service observed this path
+          svc_->AttachExemplar(r.path, job.trace_id, elapsed);
+        }
+        if (slow) {
+          slow_copy.keep = "slow";
+          LB2_LOG(Warn, "[lb2-slow] %s",
+                  obs::RenderSlowQuery(slow_copy).c_str());
+        }
+      }
     }
     {
       std::lock_guard<std::mutex> lock(done_mu_);
@@ -559,7 +638,24 @@ NetStats NetServer::stats() const {
   s.responses_dropped = responses_dropped_->Value();
   s.admin_requests = admin_requests_->Value();
   s.drain_forced_closes = drain_forced_closes_->Value();
+  s.traces_kept = traces_kept_->Value();
   return s;
+}
+
+std::string NetServer::HealthzJson() const {
+  service::ServiceStats ss = svc_->Stats();
+  const bool drain = draining();
+  const service::ArtifactStore* store = svc_->artifact_store();
+  return StrPrintf(
+      "{\"status\": \"%s\", \"draining\": %s, \"breaker_open\": %lld, "
+      "\"disk_cooldown\": %s, \"admission_queue_depth\": %lld, "
+      "\"connections_active\": %lld, \"traces_kept\": %lld}\n",
+      drain ? "draining" : "ok", drain ? "true" : "false",
+      static_cast<long long>(ss.breaker_open),
+      store != nullptr && store->InCooldown() ? "true" : "false",
+      static_cast<long long>(svc_->admission()->queue_depth()),
+      static_cast<long long>(active_->Value()),
+      static_cast<long long>(recorder_.kept_total()));
 }
 
 std::string NetServer::MetricsPrometheus() const {

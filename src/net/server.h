@@ -8,10 +8,14 @@
 //                    Connections (connection.h) are loop-private; no lock
 //                    guards any per-connection state.
 //   worker threads   LB2_NET_THREADS of them. Each pops a (conn id,
-//                    request id, SQL) job, runs it through the shared
-//                    QueryService (itself fully thread-safe), encodes the
-//                    response frame, and pushes it onto the completion
-//                    queue. Workers never touch a Connection.
+//                    request id, SQL, trace id, version, decode time) job,
+//                    runs it through the shared QueryService (itself fully
+//                    thread-safe), encodes the response frame in the job's
+//                    protocol version, offers the completed trace to the
+//                    flight recorder (recorder.h — the keep decision runs
+//                    here, where the outcome is known), and pushes the
+//                    frame onto the completion queue. Workers never touch
+//                    a Connection.
 //   hand-off         two mutex-guarded queues and an eventfd: jobs flow
 //                    loop -> workers, encoded frames flow workers -> loop
 //                    (the eventfd write is what wakes epoll). A response
@@ -51,7 +55,9 @@
 #include <vector>
 
 #include "net/connection.h"
+#include "net/protocol.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 
 namespace lb2::service {
@@ -98,6 +104,7 @@ struct NetStats {
   int64_t responses_dropped = 0;   // completed after their conn died
   int64_t admin_requests = 0;
   int64_t drain_forced_closes = 0;
+  int64_t traces_kept = 0;  // flight-recorder retentions
 
   std::string ToString() const;
 };
@@ -135,6 +142,13 @@ class NetServer {
   /// Network registry + the service's full exposition, one document.
   std::string MetricsPrometheus() const;
   std::string StatsJson() const;
+  /// JSON readiness document (the /healthz body): drain flag, open
+  /// breakers, disk-tier cooldown, admission-queue depth, kept traces.
+  std::string HealthzJson() const;
+
+  /// The tail-sampled flight recorder behind admin GET /traces. Always
+  /// present; disabled (never keeps) when LB2_TRACE_RING=0.
+  const obs::FlightRecorder& recorder() const { return recorder_; }
 
   /// Routes SIGTERM/SIGINT to BeginDrain() on `s` (one server per
   /// process). Pass nullptr to detach before destroying the server.
@@ -145,6 +159,14 @@ class NetServer {
     uint64_t conn_id;
     uint64_t request_id;
     std::string sql;
+    /// Trace context: from the client's v2 frame, or server-assigned when
+    /// the frame carried none (v1, or v2 with trace_id 0).
+    uint64_t trace_id = 0;
+    /// Protocol version of the request frame — responses answer in kind.
+    uint8_t version = kProtocolVersion;
+    /// When the loop thread decoded the frame; the trace's root span (and
+    /// its "queue" child, ending at worker pickup) start here.
+    int64_t t_decode = 0;
   };
   struct Completion {
     uint64_t conn_id;
@@ -157,7 +179,8 @@ class NetServer {
   void AcceptReady(bool admin);
   void PumpDataFrames(Connection* c);
   void HandleAdminConn(Connection* c);
-  void DispatchQuery(Connection* c, uint64_t request_id, std::string sql);
+  void DispatchQuery(Connection* c, Frame* f);
+  uint64_t AssignTraceId();
   void HandleCompletions(std::vector<Completion> batch);
   void UpdateEpoll(Connection* c);
   void CloseConn(uint64_t id);
@@ -169,6 +192,8 @@ class NetServer {
 
   service::QueryService* const svc_;
   const NetOptions opts_;
+  obs::FlightRecorder recorder_;
+  std::atomic<uint64_t> trace_seq_{1};  // server-assigned trace-id source
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
@@ -218,6 +243,7 @@ class NetServer {
   obs::Counter* responses_dropped_ = nullptr;
   obs::Counter* admin_requests_ = nullptr;
   obs::Counter* drain_forced_closes_ = nullptr;
+  obs::Counter* traces_kept_ = nullptr;
   obs::Histogram* accept_hist_ = nullptr;
   obs::Histogram* read_hist_ = nullptr;
   obs::Histogram* write_hist_ = nullptr;

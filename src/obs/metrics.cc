@@ -139,6 +139,13 @@ std::string Registry::RenderPrometheus() const {
       case Kind::kHistogram: {
         const Histogram& h = *e->histogram;
         EmitType(&out, &emitted, e->name, "histogram");
+        // OpenMetrics exemplar: appended to the bucket containing the
+        // exemplar value, linking that bucket to a kept trace id.
+        const uint64_t ex_trace = h.ExemplarTrace();
+        const int64_t ex_value = h.ExemplarValue();
+        const int ex_bucket = (ex_trace != 0 && ex_value >= 0)
+                                  ? Histogram::BucketIndex(ex_value)
+                                  : -1;
         int64_t cum = 0;
         for (int i = 0; i < Histogram::kBuckets; ++i) {
           int64_t c = h.BucketCount(i);
@@ -149,7 +156,13 @@ std::string Registry::RenderPrometheus() const {
                               StrPrintf("%lld", static_cast<long long>(
                                                     Histogram::BucketUpperBound(
                                                         i)))) +
-                 StrPrintf(" %lld\n", static_cast<long long>(cum));
+                 StrPrintf(" %lld", static_cast<long long>(cum));
+          if (i == ex_bucket) {
+            out += StrPrintf(" # {trace_id=\"%016llx\"} %lld",
+                             static_cast<unsigned long long>(ex_trace),
+                             static_cast<long long>(ex_value));
+          }
+          out += "\n";
         }
         out += e->name + "_bucket" + RenderLabels(e->labels, "le", "+Inf") +
                StrPrintf(" %lld\n", static_cast<long long>(h.Count()));

@@ -98,6 +98,24 @@ class Histogram {
     }
   }
 
+  /// Attaches an OpenMetrics exemplar: the trace id of a recently kept
+  /// flight-recorder trace plus the observed value it annotates, so a
+  /// latency spike in a dashboard links straight to the trace that paid
+  /// it. Two relaxed atomics — a racing scrape may pair a fresh id with a
+  /// stale value, which is fine for a debugging pointer. Ignored when
+  /// trace_id is 0 (no trace context on this request).
+  void SetExemplar(uint64_t trace_id, int64_t value) {
+    if (trace_id == 0) return;
+    ex_value_.store(value, std::memory_order_relaxed);
+    ex_trace_.store(trace_id, std::memory_order_relaxed);
+  }
+  uint64_t ExemplarTrace() const {
+    return ex_trace_.load(std::memory_order_relaxed);
+  }
+  int64_t ExemplarValue() const {
+    return ex_value_.load(std::memory_order_relaxed);
+  }
+
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }
@@ -115,6 +133,8 @@ class Histogram {
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> max_{0};
+  std::atomic<uint64_t> ex_trace_{0};
+  std::atomic<int64_t> ex_value_{-1};
 };
 
 /// Prometheus-style label set; order is preserved in the rendering.

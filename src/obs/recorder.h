@@ -1,0 +1,125 @@
+// Tail-sampled flight recorder: every request assembles its span tree
+// cheaply (worker-local, no shared state), and *completion* decides
+// retention — slow requests (latency above LB2_SLOW_MS), ERROR/BUSY
+// responses, fault-degraded and breaker-served requests are always kept,
+// plus a deterministic 1-in-N of the rest (LB2_TRACE_SAMPLE). Kept traces
+// land in per-worker ring buffers (LB2_TRACE_RING slots each) so a scrape
+// of admin `GET /traces` — or the post-drain `--trace-out` flush — always
+// has the most recent interesting requests, not a firehose.
+//
+// Concurrency: the drop path (the overwhelming majority under healthy
+// load) touches a single relaxed atomic for the 1-in-N tick. Only a keep
+// takes that worker's ring mutex, which is never contended by other
+// workers — only by the (rare) admin scrape.
+#ifndef LB2_OBS_RECORDER_H_
+#define LB2_OBS_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace lb2::obs {
+
+/// SplitMix64: the sampler's hash, exposed so tests can recompute the
+/// expected retention set for a fixed seed.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One completed request's trace: identity, outcome, the span tree (root
+/// at index 0, parent links inside), and the pre-rendered per-operator
+/// profile when this request happened to be a sampled profiled run.
+struct RecordedTrace {
+  uint64_t trace_id = 0;
+  uint64_t request_id = 0;
+  int worker = 0;
+  int64_t begin_ns = 0;  // decode timestamp (NowNs clock)
+  int64_t end_ns = 0;    // completion timestamp
+  std::string name;      // serving path ("warm", "compiled", ...) or outcome
+  std::string status;    // "ok" | "error" | "busy"
+  std::string keep;      // retention reason, filled by Record() when kept
+  std::string sql;       // statement text (caller may truncate)
+  std::string flavor;    // codegen flavor served, when known
+  std::string params;    // rendered param bindings ("$0=24 $1='AIR'")
+  std::string profile;   // rendered per-operator tree (empty unless sampled)
+  bool fault = false;    // a fault point fired while this request ran
+  bool breaker = false;  // served degraded by an open circuit breaker
+  SpanList spans;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    int workers = 1;
+    size_t ring = 64;             // kept traces retained per worker
+    int64_t slow_ns = 50'000'000; // keep when latency >= this; <=0 disables
+    uint64_t sample_every = 100;  // keep 1-in-N of the rest; 0 disables
+    uint64_t seed = 0x5bd1e995;   // sampler seed (fixed => deterministic)
+  };
+
+  /// Reads LB2_TRACE_RING (slots per worker, 0 disables the recorder),
+  /// LB2_SLOW_MS (slow-keep threshold, float ms) and LB2_TRACE_SAMPLE
+  /// (keep 1-in-N of unremarkable requests) on top of the defaults.
+  static Options OptionsFromEnv(int workers);
+
+  explicit FlightRecorder(Options opts);
+
+  bool enabled() const { return opts_.ring > 0; }
+
+  /// The tail-sampling decision. Fills t.keep and stores the trace when
+  /// retained; returns whether it was kept. `worker` selects the ring
+  /// (clamped into range, so callers without a worker identity pass 0).
+  bool Record(int worker, RecordedTrace&& t);
+
+  /// All currently retained traces, oldest to newest by completion time.
+  std::vector<RecordedTrace> Snapshot() const;
+
+  int64_t seen_total() const { return ticks_.load(std::memory_order_relaxed); }
+  int64_t kept_total() const { return kept_.load(std::memory_order_relaxed); }
+  /// Trace id of the most recently kept trace (0 if none yet) — the
+  /// OpenMetrics exemplar source.
+  uint64_t last_kept_trace_id() const {
+    return last_kept_.load(std::memory_order_relaxed);
+  }
+  const Options& options() const { return opts_; }
+
+ private:
+  struct Ring {
+    mutable std::mutex mu;
+    std::vector<RecordedTrace> slots;
+    uint64_t next = 0;  // monotone write cursor; slot = next % slots.size()
+  };
+
+  Options opts_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<int64_t> kept_{0};
+  std::atomic<uint64_t> last_kept_{0};
+};
+
+/// Renders traces as a JSON array for admin `GET /traces`: identity,
+/// outcome, keep reason, latency, and the span tree with begin offsets
+/// (µs, relative to the trace begin) and parent links.
+std::string TracesJson(const std::vector<RecordedTrace>& traces);
+
+/// Renders traces as a Chrome trace_event document (`?fmt=chrome`); one
+/// track per worker, spans at their true timestamps.
+std::string TracesChrome(const std::vector<RecordedTrace>& traces);
+
+/// EXPLAIN ANALYZE-style rendering of one kept trace for the slow-query
+/// log: a header (trace id, path, status, latency, flavor, bindings),
+/// the indented span tree, and — when the request was a sampled profiled
+/// run — the per-operator rows/ns tree joined underneath.
+std::string RenderSlowQuery(const RecordedTrace& t);
+
+}  // namespace lb2::obs
+
+#endif  // LB2_OBS_RECORDER_H_

@@ -1,14 +1,11 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <numeric>
 
 namespace lb2::obs {
 
-namespace {
-
-/// Minimal JSON string escaping for span names (quotes, backslashes,
-/// control bytes — span names are ASCII identifiers, but the writer must
-/// never emit a malformed document whatever it is handed).
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -30,23 +27,92 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+namespace {
+
+/// Indexes 0..n-1 stable-sorted by begin timestamp: wall-clock display
+/// order regardless of the (completion) order producers appended in.
+std::vector<size_t> ByBegin(const SpanList& spans) {
+  std::vector<size_t> idx(spans.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&spans](size_t a, size_t b) {
+    return spans[a].begin_ns < spans[b].begin_ns;
+  });
+  return idx;
+}
+
 }  // namespace
+
+void GraftSpans(SpanList* dst, const SpanList& src, int32_t root_parent) {
+  const int32_t base = static_cast<int32_t>(dst->size());
+  for (const Span& s : src) {
+    Span copy = s;
+    copy.parent = s.parent < 0 ? root_parent : s.parent + base;
+    dst->push_back(std::move(copy));
+  }
+}
+
+std::string RenderSpans(const SpanList& spans) {
+  std::string out;
+  for (size_t i : ByBegin(spans)) {
+    const Span& s = spans[i];
+    if (!out.empty()) out += ' ';
+    out += s.name + "=" +
+           StrPrintf("%.3fms", static_cast<double>(SpanNs(s)) / 1e6);
+  }
+  return out;
+}
+
+std::string RenderSpanTree(const SpanList& spans) {
+  if (spans.empty()) return "";
+  int64_t t0 = spans.front().begin_ns;
+  for (const Span& s : spans) t0 = std::min(t0, s.begin_ns);
+  // children[p] lists the spans parented to p, in begin order; roots are
+  // parented to -1. Indented depth-first walk from each root.
+  std::vector<std::vector<size_t>> children(spans.size() + 1);
+  for (size_t i : ByBegin(spans)) {
+    int32_t p = spans[i].parent;
+    size_t slot = (p >= 0 && static_cast<size_t>(p) < spans.size())
+                      ? static_cast<size_t>(p) + 1
+                      : 0;
+    children[slot].push_back(i);
+  }
+  std::string out;
+  // Iterative DFS: stack of (span index, depth).
+  std::vector<std::pair<size_t, int>> stack;
+  for (auto it = children[0].rbegin(); it != children[0].rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    auto [i, depth] = stack.back();
+    stack.pop_back();
+    const Span& s = spans[i];
+    std::string label(static_cast<size_t>(depth) * 2, ' ');
+    label += s.name;
+    out += StrPrintf("%-32s +%9.3fms %10.3fms\n", label.c_str(),
+                     static_cast<double>(s.begin_ns - t0) / 1e6,
+                     static_cast<double>(SpanNs(s)) / 1e6);
+    const auto& kids = children[i + 1];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, depth + 1});
+    }
+  }
+  return out;
+}
 
 void ChromeTraceWriter::Add(const std::string& name, int tid,
                             int64_t start_ns, const SpanList& spans) {
-  int64_t total_ns = 0;
-  for (const Span& s : spans) total_ns += s.ns;
+  // The enclosing request slice extends to the latest child end so spans
+  // recorded after the caller's start timestamp stay inside it.
+  int64_t end_ns = start_ns;
+  for (const Span& s : spans) end_ns = std::max(end_ns, s.end_ns);
   std::lock_guard<std::mutex> lock(mu_);
   if (events_.size() + spans.size() + 1 > kMaxEvents) {
     ++dropped_;
     return;
   }
-  // Enclosing request slice, then each stage laid back-to-back inside it.
-  events_.push_back({name, tid, start_ns, total_ns});
-  int64_t cursor = start_ns;
+  events_.push_back({name, tid, start_ns, end_ns - start_ns});
   for (const Span& s : spans) {
-    events_.push_back({s.name, tid, cursor, s.ns});
-    cursor += s.ns;
+    events_.push_back({s.name, tid, s.begin_ns, SpanNs(s)});
   }
 }
 

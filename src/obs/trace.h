@@ -1,7 +1,10 @@
-// Per-request trace spans: a flat list of named durations covering the
-// service pipeline (fingerprint -> admission -> disk-probe -> stage -> cc ->
-// exec -> total). Spans are recorded with util/time.h NowNs() differences
-// and attached to the ServiceResult, so a driver's `--trace` flag can log
+// Per-request trace spans: a tree of named intervals covering the service
+// pipeline (parse -> fingerprint -> admission -> build{stage, cc, dlopen} ->
+// exec). Each span carries real begin/end timestamps on the util/time.h
+// NowNs() clock plus the index of its parent span, so concurrent stages
+// (single-flight cc while a follower interprets, drift rebuilds, explorer
+// sweeps) render truthfully instead of being laid back-to-back. Spans are
+// attached to the ServiceResult, so a driver's `--trace` flag can log
 // exactly where each request spent its time without a profiler attached.
 #ifndef LB2_OBS_TRACE_H_
 #define LB2_OBS_TRACE_H_
@@ -17,29 +20,45 @@ namespace lb2::obs {
 
 struct Span {
   std::string name;
-  int64_t ns = 0;
+  int64_t begin_ns = 0;  // NowNs clock
+  int64_t end_ns = 0;
+  int32_t parent = -1;  // index of the parent span in the same SpanList
 };
 
 using SpanList = std::vector<Span>;
 
-/// One-line rendering: "fingerprint=0.012ms admission=0.001ms exec=1.3ms".
-inline std::string RenderSpans(const SpanList& spans) {
-  std::string out;
-  for (const Span& s : spans) {
-    if (!out.empty()) out += ' ';
-    out += s.name + "=" + StrPrintf("%.3fms", static_cast<double>(s.ns) / 1e6);
-  }
-  return out;
-}
+inline int64_t SpanNs(const Span& s) { return s.end_ns - s.begin_ns; }
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes) shared
+/// by the trace writer, the flight recorder, and the admin endpoints.
+std::string JsonEscape(const std::string& s);
+
+/// Appends `src` to `*dst`, shifting every intra-src parent index and
+/// attaching src's roots (parent < 0) under `root_parent` (an index into
+/// `*dst`, or -1 to keep them roots). Used to graft the service's span
+/// tree under the net layer's enclosing "request" span.
+void GraftSpans(SpanList* dst, const SpanList& src, int32_t root_parent);
+
+/// One-line rendering: "parse=0.004ms fingerprint=0.012ms exec=1.300ms".
+/// Spans are rendered in begin-timestamp order (ties keep list order), so
+/// the line reads left-to-right in wall-clock order even though producers
+/// append spans when they *complete*.
+std::string RenderSpans(const SpanList& spans);
+
+/// Multi-line rendering of the span tree: children indented under their
+/// parent, each line "name  +offset_ms  dur_ms" where offset is relative
+/// to the earliest begin. The EXPLAIN ANALYZE-style slow-query log builds
+/// on this (see obs/recorder.h).
+std::string RenderSpanTree(const SpanList& spans);
 
 /// Collects per-request span lists and writes them as Chrome `trace_event`
 /// JSON — load the file in chrome://tracing (or Perfetto) to see each
 /// request as a named slice with its pipeline stages nested under it.
 ///
-/// Spans carry only durations, so stages are laid out back-to-back from the
-/// request's start timestamp: gaps between instrumented stages collapse,
-/// which slightly left-shifts later stages but preserves every duration and
-/// the request's true start/extent. Thread-safe; Add is a mutex push_back,
+/// Spans carry real begin/end timestamps, so overlapping stages (a leader's
+/// `cc` racing a follower's interpreted `exec`, drift rebuilds behind
+/// foreground traffic) render at their true positions — gaps between
+/// instrumented stages stay visible. Thread-safe; Add is a mutex push_back,
 /// cheap enough to leave on for whole serving runs. Collection is capped
 /// (kMaxEvents) so a long-lived server cannot grow without bound — the
 /// file then notes how many requests were dropped.
@@ -51,7 +70,8 @@ class ChromeTraceWriter {
   explicit ChromeTraceWriter(std::string path) : path_(std::move(path)) {}
 
   /// Records one request: an enclosing slice named `name` on track `tid`
-  /// starting at `start_ns` (NowNs clock), with one child slice per span.
+  /// from `start_ns` (NowNs clock) to the latest span end, with one child
+  /// slice per span at its true timestamps.
   void Add(const std::string& name, int tid, int64_t start_ns,
            const SpanList& spans);
 

@@ -289,14 +289,18 @@ ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
   // execution context), so same-entry executions overlap freely.
   int64_t t0 = spans != nullptr ? NowNs() : 0;
   compile::CompiledQuery::RunResult rr = entry->query.Run(params);
-  if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
+  if (spans != nullptr) spans->push_back({"exec", t0, NowNs()});
+  ServiceResult r;
   if (!rr.prof.empty() && opts_.metrics) {
     // This was a profiled build (prof_sample_every, or the caller asked):
-    // fold its per-operator inclusive times into the lb2_op_ns histograms.
+    // fold its per-operator inclusive times into the lb2_op_ns histograms
+    // and hand the counters up so a kept trace can render the EXPLAIN
+    // ANALYZE operator tree.
     stats_.prof_samples.fetch_add(1, std::memory_order_relaxed);
     ObserveOpProfile(entry->query.prof_nodes(), rr.prof);
+    r.prof_nodes = entry->query.prof_nodes();
+    r.prof = rr.prof;
   }
-  ServiceResult r;
   r.path = path;
   r.text = std::move(rr.text);
   r.rows = rr.rows;
@@ -323,12 +327,14 @@ ServiceResult QueryService::RunInterp(const plan::Query& q,
   iopts.num_threads = 1;
   int64_t t0 = spans != nullptr ? NowNs() : 0;
   engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts, params);
-  if (spans != nullptr) spans->push_back({"exec", NowNs() - t0});
+  if (spans != nullptr) spans->push_back({"exec", t0, NowNs()});
+  ServiceResult r;
   if (!ir.prof.empty() && opts_.metrics) {
     stats_.prof_samples.fetch_add(1, std::memory_order_relaxed);
     ObserveOpProfile(ir.prof_nodes, ir.prof);
+    r.prof_nodes = ir.prof_nodes;
+    r.prof = ir.prof;
   }
-  ServiceResult r;
   r.path = ServiceResult::Path::kInterpreted;
   r.text = std::move(ir.text);
   r.rows = ir.rows;
@@ -343,7 +349,8 @@ ServiceResult QueryService::Execute(const plan::Query& q) {
 }
 
 ServiceResult QueryService::Execute(const plan::Query& q,
-                                    const engine::EngineOptions& eopts) {
+                                    const engine::EngineOptions& eopts,
+                                    uint64_t trace_id) {
   const bool rec = opts_.metrics;
   obs::SpanList spans;
   int64_t t_start = rec ? NowNs() : 0;
@@ -417,8 +424,29 @@ ServiceResult QueryService::Execute(const plan::Query& q,
       FlavorSpecString(run_opts.flavor, run_opts.blend);
 
   Fingerprint fp = FingerprintQuery(*run_q, run_opts, db_);
-  if (rec) spans.push_back({"fingerprint", NowNs() - t_start});
+  if (rec) spans.push_back({"fingerprint", t_start, NowNs()});
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  // Rendered bindings for the slow-query log (metrics-gated: it is string
+  // work the hot path should not pay when observability is off).
+  std::string param_summary;
+  if (rec && params != nullptr) {
+    for (size_t i = 0; i < params->size(); ++i) {
+      const plan::ParamValue& p = (*params)[i];
+      if (!param_summary.empty()) param_summary += ' ';
+      switch (p.kind) {
+        case plan::ParamKind::kDouble:
+          param_summary += StrPrintf("$%zu=%g", i, p.f64);
+          break;
+        case plan::ParamKind::kStr:
+          param_summary += StrPrintf("$%zu='%s'", i, p.str.c_str());
+          break;
+        default:
+          param_summary += StrPrintf("$%zu=%lld", i,
+                                     static_cast<long long>(p.i64));
+      }
+    }
+  }
 
   // Draining: the owner has announced shutdown, so shed before queueing —
   // a draining server wants the admission queue empty, not refilling.
@@ -429,6 +457,8 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.fingerprint = fp;
     r.spans = std::move(spans);
     r.flavor = flavor_spec;
+    r.trace_id = trace_id;
+    r.params = std::move(param_summary);
     return r;
   }
 
@@ -438,7 +468,7 @@ ServiceResult QueryService::Execute(const plan::Query& q,
   // the documented busy status instead of stacking another thread.
   int64_t t_adm = rec ? NowNs() : 0;
   AdmissionSlot slot(&gate_);
-  if (rec) spans.push_back({"admission", NowNs() - t_adm});
+  if (rec) spans.push_back({"admission", t_adm, NowNs()});
   if (!slot.admitted()) {
     stats_.busy_rejections.fetch_add(1, std::memory_order_relaxed);
     ServiceResult r;
@@ -446,6 +476,8 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.fingerprint = fp;
     r.spans = std::move(spans);
     r.flavor = flavor_spec;
+    r.trace_id = trace_id;
+    r.params = std::move(param_summary);
     return r;
   }
   ServiceResult r =
@@ -455,6 +487,8 @@ ServiceResult QueryService::Execute(const plan::Query& q,
     r.spans = std::move(spans);
   }
   r.flavor = flavor_spec;
+  r.trace_id = trace_id;
+  r.params = std::move(param_summary);
   return r;
 }
 
@@ -529,7 +563,9 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     if (EnqueueDriftRecompile(q, eopts, fp)) {
       stats_.breaker_rebuilds.fetch_add(1, std::memory_order_relaxed);
     }
-    return RunInterp(q, eopts, fp, params, "", spans);
+    ServiceResult r = RunInterp(q, eopts, fp, params, "", spans);
+    r.breaker_degraded = true;
+    return r;
   }
 
   if (drift) {
@@ -590,7 +626,7 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
     int64_t t0 = spans != nullptr ? NowNs() : 0;
     std::unique_lock<std::mutex> flock(flight->mu);
     flight->cv.wait(flock, [&] { return flight->done; });
-    if (spans != nullptr) spans->push_back({"coalesced-wait", NowNs() - t0});
+    if (spans != nullptr) spans->push_back({"coalesced-wait", t0, NowNs()});
   }
   stats_.coalesced_waits.fetch_add(1, std::memory_order_relaxed);
   if (flight->entry != nullptr) {
@@ -607,6 +643,15 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
                                        std::string* error, bool* from_disk,
                                        obs::SpanList* spans) {
   *from_disk = false;
+  // Enclosing "build" span: stage / disk-probe / dlopen / cc are recorded
+  // as its children (index-based parent links), so the trace renders the
+  // JIT pipeline as one subtree under the request.
+  int32_t build_idx = -1;
+  if (spans != nullptr) {
+    build_idx = static_cast<int32_t>(spans->size());
+    int64_t now = NowNs();
+    spans->push_back({"build", now, now});
+  }
   const std::string tag = fp.ToString().substr(3);
   std::unique_ptr<compile::CompiledQuery> cq;
   double saved_compile_ms = 0.0;  // sidecar cc cost a disk hit avoided
@@ -627,7 +672,7 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     // artifact matches what this emitter would generate today.
     int64_t t0 = spans != nullptr ? NowNs() : 0;
     compile::StagedQuery staged = compile::StageQuery(q, db_, eopts);
-    if (spans != nullptr) spans->push_back({"stage", NowNs() - t0});
+    if (spans != nullptr) spans->push_back({"stage", t0, NowNs(), build_idx});
     restage_ms = staged.codegen_ms;
     const std::string compiler = stage::Jit::CompilerIdentity();
     ArtifactMeta want;
@@ -643,12 +688,12 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     ArtifactMeta got;
     t0 = spans != nullptr ? NowNs() : 0;
     ArtifactStore::Probe probe = store_->Lookup(key, want, &so_path, &got);
-    if (spans != nullptr) spans->push_back({"disk-probe", NowNs() - t0});
+    if (spans != nullptr) spans->push_back({"disk-probe", t0, NowNs(), build_idx});
     if (probe == ArtifactStore::Probe::kHit) {
       std::string load_error;
       t0 = spans != nullptr ? NowNs() : 0;
       cq = compile::TryLoadStaged(staged, db_, so_path, &load_error);
-      if (spans != nullptr) spans->push_back({"dlopen", NowNs() - t0});
+      if (spans != nullptr) spans->push_back({"dlopen", t0, NowNs(), build_idx});
       if (cq != nullptr) {
         *from_disk = true;
         saved_compile_ms = got.compile_ms;
@@ -670,7 +715,7 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
       int attempts = 1;
       cq = compile::TryCompileStagedRetry(staged, db_, tag, error, retry,
                                           &attempts);
-      if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
+      if (spans != nullptr) spans->push_back({"cc", t0, NowNs(), build_idx});
       if (attempts > 1) {
         stats_.cc_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
       }
@@ -688,12 +733,12 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
     // and never transiently fails).
     int64_t t0 = spans != nullptr ? NowNs() : 0;
     compile::StagedQuery staged = compile::StageQuery(q, db_, eopts);
-    if (spans != nullptr) spans->push_back({"stage", NowNs() - t0});
+    if (spans != nullptr) spans->push_back({"stage", t0, NowNs(), build_idx});
     t0 = spans != nullptr ? NowNs() : 0;
     int attempts = 1;
     cq = compile::TryCompileStagedRetry(staged, db_, tag, error, retry,
                                         &attempts);
-    if (spans != nullptr) spans->push_back({"cc", NowNs() - t0});
+    if (spans != nullptr) spans->push_back({"cc", t0, NowNs(), build_idx});
     if (attempts > 1) {
       stats_.cc_retries.fetch_add(attempts - 1, std::memory_order_relaxed);
     }
@@ -757,6 +802,7 @@ CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
       }
     }
   }
+  if (build_idx >= 0) (*spans)[static_cast<size_t>(build_idx)].end_ns = NowNs();
   return entry;
 }
 
@@ -1054,16 +1100,26 @@ void QueryService::ObserveOpProfile(
 }
 
 bool QueryService::ExecuteSql(const std::string& sql, ServiceResult* result,
-                              std::string* error) {
+                              std::string* error, uint64_t trace_id) {
   plan::Query q;
   int64_t t0 = opts_.metrics ? NowNs() : 0;
   if (!sql::ParseQueryOrError(sql, db_, &q, error)) return false;
-  int64_t parse_ns = opts_.metrics ? NowNs() - t0 : 0;
-  *result = Execute(q);
+  int64_t t1 = opts_.metrics ? NowNs() : 0;
+  *result = Execute(q, opts_.engine, trace_id);
   if (opts_.metrics) {
-    result->spans.insert(result->spans.begin(), {"parse", parse_ns});
+    // Appended, not prepended: span parent links are indexes into the
+    // list, so insertion at the front would shift every link Execute
+    // recorded. Renderers order by begin timestamp, so parse still shows
+    // first.
+    result->spans.push_back({"parse", t0, t1});
   }
   return true;
+}
+
+void QueryService::AttachExemplar(ServiceResult::Path path, uint64_t trace_id,
+                                  int64_t latency_ns) {
+  if (!opts_.metrics || trace_id == 0) return;
+  lat_hist_[static_cast<int>(path)]->SetExemplar(trace_id, latency_ns);
 }
 
 ServiceStats QueryService::Stats() const {

@@ -299,14 +299,30 @@ struct ServiceResult {
   /// Captured compiler diagnostics when a compile failure degraded this
   /// request to the interpreter; empty otherwise.
   std::string compile_error;
-  /// Where this request spent its time (fingerprint, admission, stage, cc,
-  /// exec, ...). Populated only when ServiceOptions::metrics is on; render
-  /// with obs::RenderSpans.
+  /// Where this request spent its time: a span tree with real begin/end
+  /// timestamps and parent links (fingerprint, admission, build{stage, cc,
+  /// dlopen}, exec, ...). Populated only when ServiceOptions::metrics is
+  /// on; render with obs::RenderSpans / obs::RenderSpanTree.
   obs::SpanList spans;
   /// Codegen-flavor spec the request was actually served under (see
   /// FlavorSpecString) — differs from the caller's engine options when a
   /// recorded explorer winner was auto-applied.
   std::string flavor;
+  /// Trace context the caller passed to Execute, echoed back (0 = none).
+  uint64_t trace_id = 0;
+  /// True when an open circuit breaker served this request interpreted —
+  /// the flight recorder always keeps such traces.
+  bool breaker_degraded = false;
+  /// Rendered parameter bindings ("$0=24 $1='AIR'") when request
+  /// canonicalization extracted literals and metrics are on; the slow-query
+  /// log joins this into its EXPLAIN ANALYZE header.
+  std::string params;
+  /// Per-operator profile when this request happened to be a sampled
+  /// profiled run (ServiceOptions::prof_sample_every): pre-order operator
+  /// metadata plus (rows, inclusive ns) counter pairs — render with
+  /// engine::RenderProfile. Empty otherwise.
+  std::vector<engine::ProfOpMeta> prof_nodes;
+  std::vector<int64_t> prof;
 };
 
 const char* PathName(ServiceResult::Path p);
@@ -321,14 +337,26 @@ class QueryService {
   /// Executes `q` with the service's default engine options.
   ServiceResult Execute(const plan::Query& q);
   /// Executes `q` with explicit engine options (distinct cache key).
+  /// `trace_id` is the caller's trace context (a network front end passes
+  /// the wire-level id here); it is echoed on the result so the span tree,
+  /// the flight recorder entry and the OpenMetrics exemplars all name the
+  /// same trace. 0 = no context.
   ServiceResult Execute(const plan::Query& q,
-                        const engine::EngineOptions& eopts);
+                        const engine::EngineOptions& eopts,
+                        uint64_t trace_id = 0);
 
   /// Parses `sql` against the catalog and executes. Returns false (and
   /// fills *error) on a parse/bind error; execution itself cannot fail —
   /// the interpreter is the fallback of last resort.
   bool ExecuteSql(const std::string& sql, ServiceResult* result,
-                  std::string* error);
+                  std::string* error, uint64_t trace_id = 0);
+
+  /// Attaches `trace_id` as the OpenMetrics exemplar on the request-latency
+  /// histogram for `path` (no-op when metrics are off). Called by serving
+  /// front ends after the flight recorder decides a trace is *kept*, so the
+  /// exemplar a scrape sees always points at a retrievable trace.
+  void AttachExemplar(ServiceResult::Path path, uint64_t trace_id,
+                      int64_t latency_ns);
 
   /// Cache key a query would be served under (tests, EXPLAIN-style tools).
   /// Canonicalizes exactly like Execute when ServiceOptions::parameterize

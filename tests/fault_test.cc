@@ -33,6 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/recorder.h"
 #include "service/artifact_store.h"
 #include "service/service.h"
 #include "sql/sql.h"
@@ -644,6 +647,54 @@ TEST(DriftFaultTest, FailedBackgroundRebuildDegradesThenHeals) {
   EXPECT_EQ(healed.path, ServiceResult::Path::kCompiledCached);
   EXPECT_EQ(tpch::DiffResults(want, healed.text, /*order_sensitive=*/true),
             "");
+}
+
+// -- Fault-tagged flight-recorder traces --------------------------------------
+
+// A request that trips an injected fault must be retained by the tail
+// sampler with keep=fault, even though the client saw a perfectly good
+// (interpreter-served) answer — the flight recorder is how an operator
+// notices silent degradation.
+TEST_F(FaultServiceTest, FaultDegradedRequestIsKeptByTheFlightRecorder) {
+  QueryService svc(*db_, FastDegradeOpts(""));
+  net::NetOptions nopts;
+  nopts.port = 0;
+  nopts.admin_port = 0;
+  nopts.num_workers = 1;
+  net::NetServer server(&svc, nopts);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+
+  net::BlockingClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server.port(), &error)) << error;
+  const char* sql =
+      "select sum(l_extendedprice * l_discount) as rev from lineitem "
+      "where l_quantity < 24";
+  {
+    ArmedFaults armed("cc_exec:fail:once");
+    // First request of this shape: the compile fails at the injected
+    // site, the interpreter answers, and the fired fault tags the trace.
+    ASSERT_TRUE(c.SendQuery(1, sql, 0x5ca1eULL));
+    net::Frame f;
+    ASSERT_EQ(c.ReadFrame(&f, 30000), net::BlockingClient::ReadStatus::kFrame);
+    EXPECT_EQ(f.type, net::FrameType::kResult);
+  }
+
+  // Record() runs before the response frame is queued, so the keep is
+  // visible as soon as the client has its answer.
+  EXPECT_GE(server.stats().traces_kept, 1);
+  std::vector<obs::RecordedTrace> kept = server.recorder().Snapshot();
+  bool found = false;
+  for (const obs::RecordedTrace& t : kept) {
+    if (t.trace_id != 0x5ca1eULL) continue;
+    found = true;
+    EXPECT_TRUE(t.fault);
+    EXPECT_EQ(t.keep, "fault");
+    EXPECT_EQ(t.status, "ok");  // degraded, not failed: the answer landed
+  }
+  EXPECT_TRUE(found);
+  server.BeginDrain();
+  server.Wait();
 }
 
 }  // namespace

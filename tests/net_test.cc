@@ -91,6 +91,33 @@ TEST(FrameCodecTest, RoundTripsEveryFrameType) {
   EXPECT_EQ(dec.buffered(), 0u);
 }
 
+TEST(FrameCodecTest, TraceIdRoundTripsOnV2AndDefaultsToZeroOnV1) {
+  FrameDecoder dec;
+  std::string wire;
+  // v2 carries the trace id; a v1 frame (what an old client emits) has no
+  // field for it and must decode with trace_id 0. Per-frame versioning:
+  // the two interleave on one stream.
+  wire += EncodeFrame(FrameType::kQuery, 1, "select 1", 0xdeadbeefcafef00dULL);
+  wire += EncodeFrame(FrameType::kQuery, 2, "select 2", 0, kProtocolV1);
+  wire += EncodeFrame(FrameType::kResult, 3, "r", 42, kProtocolV2);
+  dec.Append(wire.data(), wire.size());
+
+  Frame f;
+  ASSERT_EQ(dec.Next(&f), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(f.version, kProtocolV2);
+  EXPECT_EQ(f.trace_id, 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(f.payload, "select 1");
+  ASSERT_EQ(dec.Next(&f), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(f.version, kProtocolV1);
+  EXPECT_EQ(f.trace_id, 0u);
+  EXPECT_EQ(f.payload, "select 2");
+  ASSERT_EQ(dec.Next(&f), FrameDecoder::Status::kFrame);
+  EXPECT_EQ(f.trace_id, 42u);
+  // A v1 header is 8 bytes shorter — the payload must not absorb the gap.
+  EXPECT_EQ(EncodeFrame(FrameType::kQuery, 1, "x", 0, kProtocolV1).size() + 8,
+            EncodeFrame(FrameType::kQuery, 1, "x", 0, kProtocolV2).size());
+}
+
 TEST(FrameCodecTest, TruncationIsNeedMoreNeverError) {
   const std::string wire = EncodeFrame(FrameType::kQuery, 77, "select 1");
   for (size_t cut = 0; cut < wire.size(); ++cut) {
@@ -247,6 +274,40 @@ TEST(AdminHttpTest, RoutesAndRendersEveryEndpoint) {
   EXPECT_NE(http.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
   EXPECT_NE(http.find("Content-Length: 9\r\n"), std::string::npos);
   EXPECT_NE(http.find("Connection: close\r\n"), std::string::npos);
+}
+
+TEST(AdminHttpTest, HealthzPrefersJsonHookAndKeeps503WhileDraining) {
+  AdminHooks hooks;
+  bool draining = false;
+  hooks.draining = [&] { return draining; };
+  hooks.healthz_json = [&] {
+    return std::string(draining ? "{\"status\": \"draining\"}"
+                                : "{\"status\": \"ok\"}");
+  };
+  HttpResponse r = RouteAdmin({"GET", "/healthz"}, hooks);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_EQ(r.body, "{\"status\": \"ok\"}");
+  draining = true;
+  r = RouteAdmin({"GET", "/healthz"}, hooks);
+  EXPECT_EQ(r.status, 503);  // scrapers still read the JSON body
+  EXPECT_EQ(r.body, "{\"status\": \"draining\"}");
+}
+
+TEST(AdminHttpTest, TracesRouteSelectsFormatAnd404sWithoutHook) {
+  AdminHooks hooks;
+  EXPECT_EQ(RouteAdmin({"GET", "/traces"}, hooks).status, 404);
+  hooks.traces = [](bool chrome) {
+    return std::string(chrome ? "{\"traceEvents\": []}" : "[]");
+  };
+  HttpResponse r = RouteAdmin({"GET", "/traces"}, hooks);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.content_type, "application/json");
+  EXPECT_EQ(r.body, "[]");
+  r = RouteAdmin({"GET", "/traces", "fmt=chrome"}, hooks);
+  EXPECT_EQ(r.body, "{\"traceEvents\": []}");
+  // Unknown fmt values fall back to JSON rather than erroring.
+  EXPECT_EQ(RouteAdmin({"GET", "/traces", "fmt=bogus"}, hooks).body, "[]");
 }
 
 // -- Loopback integration -----------------------------------------------------
@@ -558,6 +619,172 @@ TEST_F(NetServerTest, AdminPortServesMetricsStatsHealthOverRawHttp) {
   EXPECT_NE(HttpGet(ap, "POST /metrics HTTP/1.1\r\n\r\n").find("405"),
             std::string::npos);
   EXPECT_GE(lb.server->stats().admin_requests, 5);
+}
+
+// Scoped env var for the recorder/trace knobs (read at server
+// construction): set for one Loopback, restored on scope exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* key, const char* value) : key_(key) {
+    const char* old = getenv(key);
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv(key, value, 1);
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      setenv(key_, saved_.c_str(), 1);
+    } else {
+      unsetenv(key_);
+    }
+  }
+
+ private:
+  const char* key_;
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(NetServerTest, TraceIdEchoedOnV2AndAssignedWhenAbsent) {
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  // Client-chosen trace id: echoed verbatim on the response.
+  ASSERT_TRUE(c.SendQuery(1, kSql, 0x1122334455667788ULL));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  EXPECT_EQ(f.version, kProtocolV2);
+  EXPECT_EQ(f.trace_id, 0x1122334455667788ULL);
+  // trace_id 0 = "server, assign one": the response carries the server's.
+  ASSERT_TRUE(c.SendQuery(2, kSql, 0));
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  EXPECT_NE(f.trace_id, 0u);
+}
+
+TEST_F(NetServerTest, V1ClientIsServedAndAnsweredInV1) {
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  ASSERT_TRUE(c.SendQueryV1(5, kSql));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  // The response answers in the request's version — a pre-v2 client never
+  // sees bytes its 14-byte-header decoder can't parse.
+  EXPECT_EQ(f.version, kProtocolV1);
+  EXPECT_EQ(f.trace_id, 0u);
+  EXPECT_EQ(f.type, FrameType::kResult);
+  EXPECT_EQ(f.request_id, 5u);
+  ResultPayload rp;
+  ASSERT_TRUE(DecodeResultPayload(f.payload, &rp));
+  EXPECT_EQ(rp.text, Oracle(kSql));
+}
+
+TEST_F(NetServerTest, ErroredRequestIsKeptAndServedByTracesEndpoint) {
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  ASSERT_TRUE(c.SendQuery(9, "select nonsense from nowhere", 0xabcdULL));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  ASSERT_EQ(f.type, FrameType::kError);
+
+  // Tail sampling: the ERROR outcome forces retention regardless of rate.
+  EXPECT_GE(lb.server->stats().traces_kept, 1);
+  std::string traces = HttpGet(lb.server->admin_port(),
+                               "GET /traces HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(traces.find("\"trace_id\": \"000000000000abcd\""),
+            std::string::npos)
+      << traces;
+  EXPECT_NE(traces.find("\"keep\": \"error\""), std::string::npos);
+  EXPECT_NE(traces.find("\"status\": \"error\""), std::string::npos);
+  EXPECT_NE(traces.find("\"sql\": \"select nonsense from nowhere\""),
+            std::string::npos);
+  // The span tree covers the whole request: root + the hand-off queue.
+  EXPECT_NE(traces.find("\"name\": \"request\", \"parent\": -1"),
+            std::string::npos)
+      << traces;
+  EXPECT_NE(traces.find("\"name\": \"queue\", \"parent\": 0"),
+            std::string::npos);
+  // ?fmt=chrome serves the same retention as a trace_event document.
+  std::string chrome =
+      HttpGet(lb.server->admin_port(),
+              "GET /traces?fmt=chrome HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\": \"request\""), std::string::npos);
+}
+
+TEST_F(NetServerTest, SlowKeepSpansDecodeToExecAndExportsExemplar) {
+  // LB2_SLOW_MS tiny: every request is "slow", so the first OK query is
+  // kept with the service's own spans grafted under the net root.
+  ScopedEnv slow("LB2_SLOW_MS", "0.000001");
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  ASSERT_TRUE(c.SendQuery(1, kSql, 0x77ULL));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  ASSERT_EQ(f.type, FrameType::kResult);
+
+  std::string traces = HttpGet(lb.server->admin_port(),
+                               "GET /traces HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(traces.find("\"keep\": \"slow\""), std::string::npos) << traces;
+  // End-to-end: the kept span tree reaches from the net layer's decode
+  // ("request"/"queue") into the service pipeline ("fingerprint", "exec").
+  EXPECT_NE(traces.find("\"name\": \"request\""), std::string::npos);
+  EXPECT_NE(traces.find("\"name\": \"queue\""), std::string::npos);
+  EXPECT_NE(traces.find("\"name\": \"fingerprint\""), std::string::npos)
+      << traces;
+  EXPECT_NE(traces.find("\"name\": \"exec\""), std::string::npos);
+
+  // The keep also attached OpenMetrics exemplars: the request-latency
+  // histogram points at a retrievable trace id.
+  std::string metrics =
+      HttpGet(lb.server->admin_port(),
+              "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(metrics.find("# {trace_id=\"0000000000000077\"}"),
+            std::string::npos)
+      << metrics;
+}
+
+TEST_F(NetServerTest, HealthzReportsJsonReadiness) {
+  Loopback lb(*db_);
+  std::string health = HttpGet(lb.server->admin_port(),
+                               "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("application/json"), std::string::npos);
+  EXPECT_NE(health.find("\"status\": \"ok\""), std::string::npos) << health;
+  EXPECT_NE(health.find("\"draining\": false"), std::string::npos);
+  EXPECT_NE(health.find("\"breaker_open\": 0"), std::string::npos);
+  EXPECT_NE(health.find("\"disk_cooldown\": false"), std::string::npos);
+  EXPECT_NE(health.find("\"admission_queue_depth\": 0"), std::string::npos);
+  EXPECT_NE(health.find("\"traces_kept\":"), std::string::npos);
+}
+
+TEST_F(NetServerTest, RecorderDisabledByRingZeroKeepsNothing) {
+  ScopedEnv ring("LB2_TRACE_RING", "0");
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  ASSERT_TRUE(c.SendQuery(9, "select nonsense from nowhere"));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  EXPECT_EQ(lb.server->stats().traces_kept, 0);
+  std::string traces = HttpGet(lb.server->admin_port(),
+                               "GET /traces HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(traces.find("[\n]"), std::string::npos) << traces;
+}
+
+TEST_F(NetServerTest, DrainedServerRetainsKeptTracesForTheFlush) {
+  // The lb2_served --trace-out flush reads the recorder after Wait(); the
+  // kept set must survive the drain (rings are not torn down with conns).
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  ASSERT_TRUE(c.SendQuery(1, "select nonsense from nowhere", 0xfeedULL));
+  Frame f;
+  ASSERT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kFrame);
+  lb.server->BeginDrain();
+  lb.server->Wait();
+  std::vector<obs::RecordedTrace> kept = lb.server->recorder().Snapshot();
+  ASSERT_FALSE(kept.empty());
+  bool found = false;
+  for (const auto& t : kept) found |= t.trace_id == 0xfeedULL;
+  EXPECT_TRUE(found);
+  EXPECT_FALSE(obs::TracesChrome(kept).empty());
 }
 
 TEST_F(NetServerTest, ManyConnectionsManyWorkersStayConsistent) {

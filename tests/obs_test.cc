@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iterator>
 #include <string>
 #include <thread>
 #include <vector>
@@ -186,11 +188,95 @@ TEST(RegistryTest, JsonRendering) {
 }
 
 TEST(TraceTest, RenderSpans) {
+  // Spans carry real begin/end timestamps now; the flat rendering orders
+  // by begin time regardless of append order.
   SpanList spans;
-  spans.push_back({"fingerprint", 12'000});
-  spans.push_back({"exec", 1'500'000});
+  spans.push_back({"exec", 1'000'000, 2'500'000});
+  spans.push_back({"fingerprint", 100'000, 112'000});
   EXPECT_EQ(RenderSpans(spans), "fingerprint=0.012ms exec=1.500ms");
   EXPECT_EQ(RenderSpans({}), "");
+}
+
+TEST(TraceTest, GraftSpansRebasesParentLinks) {
+  // dst: a root request span; src: a service subtree whose "cc" child
+  // points at its local "build" parent (index 0 within src).
+  SpanList dst;
+  dst.push_back({"request", 0, 100});
+  SpanList src;
+  src.push_back({"build", 10, 90});
+  src.push_back({"cc", 20, 80, 0});
+  GraftSpans(&dst, src, /*root_parent=*/0);
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst[1].name, "build");
+  EXPECT_EQ(dst[1].parent, 0);   // src root attached under dst's root
+  EXPECT_EQ(dst[2].name, "cc");
+  EXPECT_EQ(dst[2].parent, 1);   // intra-src link shifted by dst size
+}
+
+TEST(TraceTest, RenderSpanTreeIndentsChildren) {
+  SpanList spans;
+  spans.push_back({"request", 0, 3'000'000});
+  spans.push_back({"queue", 0, 500'000, 0});
+  spans.push_back({"exec", 500'000, 3'000'000, 0});
+  std::string out = RenderSpanTree(spans);
+  // Parent first, children indented beneath, offsets relative to root.
+  size_t req = out.find("request");
+  size_t queue = out.find("  queue");
+  size_t exec = out.find("  exec");
+  EXPECT_NE(req, std::string::npos) << out;
+  EXPECT_NE(queue, std::string::npos) << out;
+  EXPECT_NE(exec, std::string::npos) << out;
+  EXPECT_LT(req, queue);
+  EXPECT_LT(queue, exec);
+}
+
+// Regression: the old writer treated span durations as back-to-back
+// segments starting at the enclosing event's t0, so two overlapping
+// stages rendered as sequential. Real timestamps must survive into the
+// trace_event document — concurrent spans keep their true begin times.
+TEST(TraceTest, ChromeTraceWriterPreservesOverlap) {
+  std::string path = ::testing::TempDir() + "lb2_obs_overlap_trace.json";
+  ChromeTraceWriter w(path);
+  SpanList spans;
+  spans.push_back({"a", 1'000'000, 3'000'000});
+  spans.push_back({"b", 2'000'000, 4'000'000});  // overlaps a
+  w.Add("request", 0, 1'000'000, spans);
+  std::string error;
+  ASSERT_TRUE(w.WriteFile(&error)) << error;
+  std::ifstream in(path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  // Chrome ts/dur are µs: a at ts=1000 dur=2000, b at ts=2000 dur=2000 —
+  // NOT b at ts=3000, which is what the old back-to-back layout produced.
+  EXPECT_NE(json.find("\"name\": \"a\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\": 2000.000"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"ts\": 3000.000"), std::string::npos) << json;
+  // The enclosing slice stretches to the latest span end (3000µs long),
+  // not the sum of child durations (4000µs).
+  EXPECT_NE(json.find("\"dur\": 3000.000"), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"dur\": 4000.000"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, HistogramExemplarRendersOnOwningBucket) {
+  Registry reg;
+  Histogram* h = reg.GetHistogram("lb2_lat");
+  h->Observe(5);
+  h->Observe(100);
+  h->SetExemplar(0xabcdef0123456789ull, 100);
+  std::string out = reg.RenderPrometheus();
+  // The exemplar rides the bucket that contains its value (100 -> le=127)
+  // in OpenMetrics syntax, and no other bucket carries one.
+  EXPECT_NE(out.find("lb2_lat_bucket{le=\"127\"} 2 # {trace_id="
+                     "\"abcdef0123456789\"} 100\n"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(out.find("le=\"7\"} 1 #"), std::string::npos) << out;
+  // trace id 0 = "no exemplar": ignored.
+  Histogram* h2 = reg.GetHistogram("lb2_lat2");
+  h2->Observe(5);
+  h2->SetExemplar(0, 5);
+  EXPECT_EQ(reg.RenderPrometheus().find("lb2_lat2_bucket{le=\"7\"} 1 #"),
+            std::string::npos);
 }
 
 TEST(LogTest, ParseAndThreshold) {

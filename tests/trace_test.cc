@@ -1,0 +1,298 @@
+// Flight-recorder tests: tail-sampling retention rules (error/busy/
+// breaker/fault/slow precedence plus the deterministic 1-in-N sampler),
+// ring-buffer wraparound, same-seed reproducibility, the JSON / Chrome /
+// slow-query renderings, and concurrent Record+Snapshot at 8 threads
+// (the TSan CI lane runs this binary under `ctest -L 'obs|trace|net'`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/recorder.h"
+#include "obs/trace.h"
+
+namespace lb2::obs {
+namespace {
+
+FlightRecorder::Options TestOptions() {
+  FlightRecorder::Options o;
+  o.workers = 2;
+  o.ring = 4;
+  o.slow_ns = 1'000'000;  // 1ms
+  o.sample_every = 0;     // retention fully determined by outcome
+  return o;
+}
+
+RecordedTrace MakeTrace(uint64_t id, int64_t latency_ns,
+                        const std::string& status = "ok") {
+  RecordedTrace t;
+  t.trace_id = id;
+  t.request_id = id;
+  t.begin_ns = 1'000'000'000;
+  t.end_ns = t.begin_ns + latency_ns;
+  t.name = "warm";
+  t.status = status;
+  t.spans.push_back({"request", t.begin_ns, t.end_ns});
+  return t;
+}
+
+TEST(FlightRecorderTest, KeepsByOutcomeAndDropsTheRest) {
+  FlightRecorder rec(TestOptions());
+  ASSERT_TRUE(rec.enabled());
+
+  EXPECT_FALSE(rec.Record(0, MakeTrace(1, 10'000)));  // fast, healthy: drop
+  EXPECT_TRUE(rec.Record(0, MakeTrace(2, 10'000, "error")));
+  EXPECT_TRUE(rec.Record(0, MakeTrace(3, 10'000, "busy")));
+  EXPECT_TRUE(rec.Record(0, MakeTrace(4, 5'000'000)));  // above slow_ns
+  RecordedTrace faulted = MakeTrace(5, 10'000);
+  faulted.fault = true;
+  EXPECT_TRUE(rec.Record(0, std::move(faulted)));
+  RecordedTrace degraded = MakeTrace(6, 10'000);
+  degraded.breaker = true;
+  EXPECT_TRUE(rec.Record(0, std::move(degraded)));
+
+  EXPECT_EQ(rec.seen_total(), 6);
+  EXPECT_EQ(rec.kept_total(), 5);
+  EXPECT_EQ(rec.last_kept_trace_id(), 6u);
+
+  std::vector<RecordedTrace> kept = rec.Snapshot();
+  // Ring holds 4: trace 2 (oldest kept) was overwritten by the wrap. The
+  // snapshot is completion-ordered, so the slow trace (whose end is 5ms
+  // out) sorts after the three 10µs ones.
+  ASSERT_EQ(kept.size(), 4u);
+  EXPECT_EQ(kept[0].trace_id, 3u);
+  EXPECT_EQ(kept[0].keep, "busy");
+  EXPECT_EQ(kept[1].keep, "fault");
+  EXPECT_EQ(kept[2].keep, "breaker");
+  EXPECT_EQ(kept[3].keep, "slow");
+}
+
+TEST(FlightRecorderTest, ErrorOutranksSlow) {
+  FlightRecorder rec(TestOptions());
+  // Slow AND errored: the keep reason reports the outcome, not the
+  // latency — error is the stronger signal.
+  ASSERT_TRUE(rec.Record(0, MakeTrace(1, 5'000'000, "error")));
+  std::vector<RecordedTrace> kept = rec.Snapshot();
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].keep, "error");
+}
+
+TEST(FlightRecorderTest, DisabledRingKeepsNothing) {
+  FlightRecorder::Options o = TestOptions();
+  o.ring = 0;  // LB2_TRACE_RING=0
+  FlightRecorder rec(o);
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_FALSE(rec.Record(0, MakeTrace(1, 5'000'000, "error")));
+  EXPECT_TRUE(rec.Snapshot().empty());
+}
+
+TEST(FlightRecorderTest, SamplerIsDeterministicForAFixedSeed) {
+  FlightRecorder::Options o = TestOptions();
+  o.slow_ns = 0;
+  o.sample_every = 7;
+  o.ring = 64;
+  FlightRecorder a(o);
+  FlightRecorder b(o);
+  std::vector<uint64_t> kept_a;
+  std::vector<uint64_t> kept_b;
+  for (uint64_t i = 1; i <= 200; ++i) {
+    if (a.Record(0, MakeTrace(i, 1'000))) kept_a.push_back(i);
+    if (b.Record(0, MakeTrace(i, 1'000))) kept_b.push_back(i);
+  }
+  // Identical sequences through same-seed recorders keep identical sets —
+  // retention is a pure function of (seed, tick), so soak runs reproduce.
+  EXPECT_FALSE(kept_a.empty());
+  EXPECT_EQ(kept_a, kept_b);
+  // And the set matches the documented hash: SplitMix64(seed+tick) % N.
+  std::vector<uint64_t> expect;
+  for (uint64_t i = 1; i <= 200; ++i) {
+    if (SplitMix64(o.seed + (i - 1)) % o.sample_every == 0) expect.push_back(i);
+  }
+  EXPECT_EQ(kept_a, expect);
+}
+
+TEST(FlightRecorderTest, RingWrapKeepsTheMostRecent) {
+  FlightRecorder::Options o = TestOptions();
+  o.ring = 3;
+  FlightRecorder rec(o);
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(rec.Record(0, MakeTrace(i, 10'000, "error")));
+  }
+  std::vector<RecordedTrace> kept = rec.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].trace_id, 8u);
+  EXPECT_EQ(kept[1].trace_id, 9u);
+  EXPECT_EQ(kept[2].trace_id, 10u);
+  EXPECT_EQ(rec.kept_total(), 10);
+}
+
+TEST(FlightRecorderTest, PerWorkerRingsMergeSortedByCompletion) {
+  FlightRecorder rec(TestOptions());
+  RecordedTrace late = MakeTrace(1, 10'000, "error");
+  late.end_ns += 1'000'000;
+  ASSERT_TRUE(rec.Record(1, std::move(late)));
+  ASSERT_TRUE(rec.Record(0, MakeTrace(2, 10'000, "error")));
+  std::vector<RecordedTrace> kept = rec.Snapshot();
+  ASSERT_EQ(kept.size(), 2u);
+  // Worker 0's trace completed first; the snapshot is completion-ordered
+  // across rings, not ring-ordered.
+  EXPECT_EQ(kept[0].trace_id, 2u);
+  EXPECT_EQ(kept[1].trace_id, 1u);
+  EXPECT_EQ(kept[1].worker, 1);
+}
+
+TEST(FlightRecorderTest, TracesJsonCarriesIdentityAndSpans) {
+  FlightRecorder rec(TestOptions());
+  RecordedTrace t = MakeTrace(0xabcu, 5'000'000);
+  t.sql = "select \"x\"";  // exercises escaping
+  t.flavor = "vec";
+  t.params = "$0=24";
+  t.spans.push_back({"exec", t.begin_ns + 1'000'000, t.end_ns, 0});
+  ASSERT_TRUE(rec.Record(0, std::move(t)));
+  std::string json = TracesJson(rec.Snapshot());
+  EXPECT_NE(json.find("\"trace_id\": \"0000000000000abc\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"keep\": \"slow\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_ms\": 5.000"), std::string::npos);
+  EXPECT_NE(json.find("\"flavor\": \"vec\""), std::string::npos);
+  EXPECT_NE(json.find("\"params\": \"$0=24\""), std::string::npos);
+  EXPECT_NE(json.find("select \\\"x\\\""), std::string::npos);
+  // Span tree: exec is parented to the root request span and offset 1ms
+  // into the trace.
+  EXPECT_NE(json.find("\"name\": \"exec\", \"parent\": 0, "
+                      "\"begin_us\": 1000.000"),
+            std::string::npos)
+      << json;
+  EXPECT_EQ(TracesJson({}), "[\n]\n");
+}
+
+TEST(FlightRecorderTest, TracesChromeRendersTrueTimestamps) {
+  FlightRecorder rec(TestOptions());
+  RecordedTrace t = MakeTrace(7, 5'000'000);
+  t.worker = 1;
+  t.spans.push_back({"exec", t.begin_ns + 1'000'000, t.end_ns, 0});
+  ASSERT_TRUE(rec.Record(1, std::move(t)));
+  std::string doc = TracesChrome(rec.Snapshot());
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"tid\": 1"), std::string::npos) << doc;
+  // exec begins 1ms after the request span, at its true (absolute) µs.
+  EXPECT_NE(doc.find("\"name\": \"exec\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ts\": 1001000.000"), std::string::npos) << doc;
+}
+
+TEST(FlightRecorderTest, RenderSlowQueryJoinsProfileUnderSpanTree) {
+  RecordedTrace t = MakeTrace(0xbeef, 60'000'000);
+  t.keep = "slow";
+  t.name = "warm";
+  t.sql = "select count(*) from lineitem";
+  t.flavor = "blend:0x3";
+  t.params = "$0=24.000000";
+  t.spans.push_back({"exec", t.begin_ns + 100'000, t.end_ns, 0});
+  t.profile = "scan lineitem  rows=60175  12.000 ms\n";
+  std::string out = RenderSlowQuery(t);
+  EXPECT_NE(out.find("trace 000000000000beef: warm 60.000ms status=ok "
+                     "keep=slow"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("flavor=blend:0x3"), std::string::npos);
+  EXPECT_NE(out.find("sql: select count(*) from lineitem"),
+            std::string::npos);
+  EXPECT_NE(out.find("params: $0=24.000000"), std::string::npos);
+  // The span tree comes first (request with exec indented under it), then
+  // the per-operator profile join.
+  size_t request = out.find("request");
+  size_t exec = out.find("  exec");
+  size_t ops = out.find("operators (rows, inclusive time):");
+  size_t scan = out.find("    scan lineitem");
+  ASSERT_NE(request, std::string::npos) << out;
+  ASSERT_NE(exec, std::string::npos) << out;
+  ASSERT_NE(ops, std::string::npos) << out;
+  ASSERT_NE(scan, std::string::npos) << out;
+  EXPECT_LT(request, exec);
+  EXPECT_LT(exec, ops);
+  EXPECT_LT(ops, scan);
+}
+
+// 8 writers hammering Record while a reader snapshots: the drop path is a
+// single relaxed atomic and keeps take a per-worker mutex, so TSan (the
+// `tracing` CI lane builds this with -fsanitize=thread) must stay silent
+// and every counter must balance.
+TEST(FlightRecorderTest, ConcurrentRecordAndSnapshot) {
+  FlightRecorder::Options o;
+  o.workers = 8;
+  o.ring = 16;
+  o.slow_ns = 1'000'000;
+  o.sample_every = 10;
+  FlightRecorder rec(o);
+  constexpr int kPerThread = 2000;
+  std::atomic<int64_t> kept_by_writers{0};
+  std::vector<std::thread> writers;
+  writers.reserve(8);
+  for (int w = 0; w < 8; ++w) {
+    writers.emplace_back([&rec, &kept_by_writers, w] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // A mix of outcomes: every 50th is an error, every 100th slow.
+        int64_t latency = i % 100 == 0 ? 2'000'000 : 1'000;
+        RecordedTrace t = MakeTrace(
+            static_cast<uint64_t>(w) * kPerThread + static_cast<uint64_t>(i),
+            latency, i % 50 == 0 ? "error" : "ok");
+        if (rec.Record(w, std::move(t))) {
+          kept_by_writers.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&rec, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::vector<RecordedTrace> snap = rec.Snapshot();
+      for (const RecordedTrace& t : snap) {
+        ASSERT_FALSE(t.keep.empty());  // only kept traces are visible
+      }
+    }
+  });
+  for (auto& w : writers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_EQ(rec.seen_total(), 8 * kPerThread);
+  EXPECT_EQ(rec.kept_total(), kept_by_writers.load());
+  // Every ring is full (plenty of keeps per worker): 8 * 16 snapshots.
+  EXPECT_EQ(rec.Snapshot().size(), 8u * 16u);
+}
+
+TEST(FlightRecorderTest, OptionsFromEnvParsesKnobs) {
+  // Save/restore so this test composes with any lane-level env.
+  auto save = [](const char* k) {
+    const char* v = getenv(k);
+    return v != nullptr ? std::string(v) : std::string();
+  };
+  std::string ring = save("LB2_TRACE_RING");
+  std::string slow = save("LB2_SLOW_MS");
+  std::string sample = save("LB2_TRACE_SAMPLE");
+  setenv("LB2_TRACE_RING", "128", 1);
+  setenv("LB2_SLOW_MS", "2.5", 1);
+  setenv("LB2_TRACE_SAMPLE", "17", 1);
+  FlightRecorder::Options o = FlightRecorder::OptionsFromEnv(3);
+  EXPECT_EQ(o.workers, 3);
+  EXPECT_EQ(o.ring, 128u);
+  EXPECT_EQ(o.slow_ns, 2'500'000);
+  EXPECT_EQ(o.sample_every, 17u);
+  setenv("LB2_TRACE_RING", "0", 1);
+  EXPECT_FALSE(FlightRecorder(FlightRecorder::OptionsFromEnv(1)).enabled());
+  auto restore = [](const char* k, const std::string& v) {
+    if (v.empty()) {
+      unsetenv(k);
+    } else {
+      setenv(k, v.c_str(), 1);
+    }
+  };
+  restore("LB2_TRACE_RING", ring);
+  restore("LB2_SLOW_MS", slow);
+  restore("LB2_TRACE_SAMPLE", sample);
+}
+
+}  // namespace
+}  // namespace lb2::obs
