@@ -3,7 +3,7 @@
 # and the service-throughput benchmark JSON.
 #
 #   scripts/ci.sh            # tier-1 + tsan + faults + params + net
-#                            #   + tracing + flavors + soak + bench
+#                            #   + tracing + flavors + morsel + soak + bench
 #   scripts/ci.sh tier1      # build + full ctest only
 #   scripts/ci.sh tsan       # Debug + -fsanitize=thread,
 #                            #   `ctest -L 'service|obs'`
@@ -26,6 +26,14 @@
 #                            #   differential matrix ({data-centric,
 #                            #   vectorized, blended} x {1,4} threads vs two
 #                            #   oracles) plus the explorer/profiling suites
+#   scripts/ci.sh morsel     # TSan build, `ctest -L 'morsel|fuzz'` with
+#                            #   extended fuzz seeds: the switch-point sweep
+#                            #   (forced interpreted->compiled switch at
+#                            #   every morsel boundary vs two oracles), the
+#                            #   claim-bitmap exactly-once chaos matrix, and
+#                            #   the work-stealing stress, all under TSan —
+#                            #   two engines share one atomic dispenser, so
+#                            #   a claim race is exactly what TSan is for
 #   scripts/ci.sh soak       # ~10s chaos soak: lb2_served armed with
 #                            #   LB2_FAULTS=chaos:<seed> + a tight admission
 #                            #   gate vs bench_net_load (8 procs x 4 conns,
@@ -35,7 +43,10 @@
 #                            #   trace whose decode->exec span tree shows
 #                            #   true overlap), a clean SIGTERM drain, and
 #                            #   that the drain flushed the kept traces to
-#                            #   --trace-out
+#                            #   --trace-out; the switch path runs live
+#                            #   (LB2_MIDQUERY_SWITCH=1, small morsels) and
+#                            #   lb2_midquery_switches_total >= 1 is
+#                            #   asserted post-load
 #   scripts/ci.sh bench      # same-entry scaling + cold-process disk win
 #                            #   -> BENCH_service.json, plus the obs
 #                            #   overhead gate (metrics on vs off, faults
@@ -45,7 +56,12 @@
 #                            #   (vec >= 1.3x dc on the scan shape; blended
 #                            #   never worse than the better pure flavor;
 #                            #   the explorer's pick within noise of the
-#                            #   best measured candidate)
+#                            #   best measured candidate), plus the morsel
+#                            #   gate -> BENCH_morsel.json (cold request
+#                            #   with the mid-query switch >= 1.2x the
+#                            #   wait-for-cc cold path; work stealing
+#                            #   >= 1.5x static split when the machine has
+#                            #   >= 4 hardware threads)
 #
 # The tsan lane exists because the service runs compiled queries with NO
 # per-entry lock: generated entries are reentrant (per-call lb2_exec_ctx),
@@ -143,6 +159,24 @@ tracing() {
     -j"$(nproc)"
 }
 
+# Morsel lane: the switch-point differential harness under TSan. The
+# mid-query switch's claim is that two engine builds of one fingerprint can
+# consume the SAME atomic dispenser — the interpreter claims a prefix of
+# morsels, the fresh compiled artifact claims the suffix, and every morsel
+# is claimed exactly once. morsel_test forces the switch at every boundary
+# (LB2_SWITCH_AT sweep) against the Volcano and pure-interpreted oracles,
+# chaos-schedules the handoff point across 64 seeds, and stresses work
+# stealing on skewed morsel costs; the fuzz label rides along because the
+# property suite exercises the same engines the dispenser interleaves.
+morsel() {
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DLB2_SANITIZE=thread \
+    >/dev/null
+  cmake --build build-tsan -j"$(nproc)"
+  with_cache_dir env CI_FUZZ_SEEDS="${CI_FUZZ_SEEDS:-64}" \
+    ctest --test-dir build-tsan -L 'morsel|fuzz' --output-on-failure \
+    -j"$(nproc)"
+}
+
 # Chaos soak: a real lb2_served process armed with seeded-random fault
 # injection over every registered point, a tight admission gate so BUSY
 # shedding actually happens, and the multi-process load harness hammering
@@ -161,8 +195,13 @@ soak() {
   seed="${CI_CHAOS_SEED:-20260809}"
   # LB2_SLOW_MS=5 guarantees slow keeps (cold compiles take far longer);
   # chaos + the tight gate supply error/busy/fault keeps on top.
+  # LB2_MIDQUERY_SWITCH + small morsels put the live switch path in the
+  # storm: cold eligible shapes start interpreted off the shared dispenser,
+  # and chaos's midquery_switch point forces some of them to wait for the
+  # background build and finish compiled.
   LB2_FAULTS="chaos:$seed" LB2_MAX_INFLIGHT=8 LB2_QUEUE_TIMEOUT_MS=5 \
     LB2_SLOW_MS=5 LB2_CACHE_DIR="$dir/cache" \
+    LB2_MIDQUERY_SWITCH=1 LB2_MORSEL_ROWS=1024 \
     ./build/examples/lb2_served --port=0 --admin-port=0 --sf=0.005 \
     --threads=16 --port-file="$port_file" --trace-out="$dir/traces.json" \
     >"$dir/server.log" 2>&1 &
@@ -205,7 +244,7 @@ port = sys.argv[1]
 traces = json.loads(urllib.request.urlopen(
     f"http://127.0.0.1:{port}/traces", timeout=10).read().decode())
 kept = [t for t in traces if t["keep"] in
-        ("slow", "error", "busy", "fault", "breaker")]
+        ("slow", "error", "busy", "fault", "breaker", "switch")]
 assert kept, f"no slow/error keeps among {len(traces)} traces"
 deep = 0
 for t in kept:
@@ -223,6 +262,24 @@ print(f"admin /traces answered mid-load: {len(traces)} kept "
       f"({len(kept)} slow/error/busy/fault), {deep} with full span trees")
 EOF
   wait "$load_pid"       # non-zero on any protocol violation
+  # After eight seconds of load over agg-rooted shapes with 1024-row
+  # morsels, at least one request must have started interpreted and
+  # finished compiled (chaos stops the interp poll ~1/8 per boundary and
+  # the load mix re-colds shapes through cache churn).
+  python3 - "$admin_port" <<'EOF'
+import sys
+import urllib.request
+port = sys.argv[1]
+body = urllib.request.urlopen(
+    f"http://127.0.0.1:{port}/metrics", timeout=10).read().decode()
+switches = 0
+for line in body.splitlines():
+    if line.startswith("lb2_midquery_switches_total"):
+        switches = int(float(line.split()[-1]))
+assert switches >= 1, \
+    f"no mid-query switches observed under soak:\n{body[:800]}"
+print(f"soak observed {switches} mid-query interpreted->compiled switches")
+EOF
   kill -TERM "$server_pid"
   wait "$server_pid"     # non-zero if the drain was not clean
   grep -q "drained." "$dir/server.log"
@@ -284,7 +341,51 @@ for b in data.get("benchmarks", []):
 EOF
   echo "wrote BENCH_params.json (per-shape cache-hit economics)"
   bench_flavors
+  bench_morsel
   obs_overhead
+}
+
+# Morsel perf gate: a cold request with the mid-query switch on (interp
+# serves off the shared dispenser while the JIT builds) must beat the
+# wait-for-cc cold path by >= 1.2x end to end; the same 8-thread artifact
+# run off the dispenser must beat its static per-thread split by >= 1.5x on
+# skewed morsel costs. The stealing gate is vacuous below 4 hardware
+# threads — parallel speedups don't exist on a 1-core runner — and the
+# bench JSON carries hardware_concurrency so the gate can tell.
+bench_morsel() {
+  cmake --build build -j"$(nproc)" --target bench_morsel
+  LB2_SF="${LB2_SF:-0.01}" ./build/bench/bench_morsel > BENCH_morsel.json
+  python3 - <<'EOF'
+import json
+
+with open("BENCH_morsel.json") as f:
+    b = json.load(f)
+
+failed = False
+ratio = b["cold_ratio"]
+status = "ok" if ratio >= 1.2 else "FAIL"
+failed |= ratio < 1.2
+print(f"morsel-gate cold switch-on/off = {ratio:.2f}x (need >= 1.2) "
+      f"[{status}] (interp_win={b['cold_interp_win']}, "
+      f"switched={b['cold_switched']})")
+
+hw = b["hardware_concurrency"]
+ratio = b["steal_ratio"]
+if hw >= 4:
+    status = "ok" if ratio >= 1.5 else "FAIL"
+    failed |= ratio < 1.5
+    print(f"morsel-gate steal/static = {ratio:.2f}x (need >= 1.5, hw={hw}) "
+          f"[{status}]")
+else:
+    print(f"morsel-gate steal/static = {ratio:.2f}x — vacuous pass, "
+          f"only {hw} hardware thread(s); correctness still checked")
+
+if failed:
+    raise SystemExit("morsel perf gate failed")
+print("morsel gate passed (switch-on cold wins; stealing beats static "
+      "split where parallelism exists)")
+EOF
+  echo "wrote BENCH_morsel.json (cold-start switch win + work stealing)"
 }
 
 # Codegen-flavor perf gate: warm single-thread throughput per flavor on a
@@ -452,14 +553,15 @@ case "$stage" in
   net) net ;;
   tracing) tracing ;;
   flavors) flavors ;;
+  morsel) morsel ;;
   soak) soak ;;
   bench) bench ;;
   all)
-    tier1 && tsan && faults && params && net && tracing && flavors && soak \
-      && bench
+    tier1 && tsan && faults && params && net && tracing && flavors \
+      && morsel && soak && bench
     ;;
   *)
-    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|tracing|flavors|soak|bench|all]" >&2
+    echo "usage: scripts/ci.sh [tier1|tsan|faults|params|net|tracing|flavors|morsel|soak|bench|all]" >&2
     exit 2
     ;;
 esac

@@ -13,14 +13,20 @@ namespace lb2::compile {
 
 CompiledQuery::RunResult CompiledQuery::Run(
     const plan::ParamVec* params) const {
+  return Run(params, nullptr);
+}
+
+CompiledQuery::RunResult CompiledQuery::Run(
+    const plan::ParamVec* params, stage::MorselSource* morsels) const {
   stage::QueryOut out;
-  // A private zeroed context per call: the fixed three-pointer header up
+  // A private zeroed context per call: the fixed four-pointer header up
   // front, the module's scratch fields after it. This is what makes
   // concurrent Run() on one loaded module safe.
   std::vector<char> ctx_buf(static_cast<size_t>(ctx_bytes_), 0);
   auto* hdr = reinterpret_cast<stage::ExecCtxHeader*>(ctx_buf.data());
   hdr->env = const_cast<void**>(env_.data());
   hdr->out = &out;
+  hdr->morsels = morsels;
   // Parameter binding: the module's lb2_param_count export says how many
   // slots its generated code reads, and the bound vector must cover all of
   // them — a short vector would mean reads of unbound slots. (The vector

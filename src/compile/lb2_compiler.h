@@ -70,6 +70,16 @@ class CompiledQuery {
   /// string payloads — only needs to outlive this call.
   RunResult Run(const plan::ParamVec* params = nullptr) const;
 
+  /// Morsel-driven run: binds the shared dispenser into the execution
+  /// context header, so the generated pipeline claims row ranges from
+  /// `morsels` instead of its static split — and folds any seed rows an
+  /// interpreted prefix exported into its sink before claiming (the
+  /// mid-query switch; see engine/morsel.h). The dispenser's cursor is
+  /// consumed where it stands: it is never reset here. Null behaves exactly
+  /// like the plain Run().
+  RunResult Run(const plan::ParamVec* params,
+                stage::MorselSource* morsels) const;
+
   /// Number of parameter slots the generated code reads (the module's
   /// `lb2_param_count` export; 0 for non-parameterized plans).
   int64_t param_count() const { return param_count_; }

@@ -171,9 +171,12 @@ class TemplateGen {
     src += functions_;
     // Same reentrant entry ABI as the staged compiler (jit.h): all state is
     // either per-call locals or reached through the execution context. The
-    // template path needs no scratch fields beyond the fixed header.
+    // template path needs no scratch fields beyond the fixed header. The
+    // morsels pointer is part of that header (the host Run() always fills
+    // it); template code never reads it and runs its static loops.
     src += "typedef struct {\n  void** env;\n  lb2_out* out;\n"
-           "  const lb2_param* params;\n} lb2_exec_ctx;\n";
+           "  const lb2_param* params;\n  lb2_morsel_source* morsels;\n"
+           "} lb2_exec_ctx;\n";
     src += "const int64_t lb2_ctx_bytes = (int64_t)sizeof(lb2_exec_ctx);\n";
     // The template path never hoists literals, but it shares the host-side
     // Run() ABI with the staged compiler, so it declares zero slots.

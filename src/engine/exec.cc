@@ -7,13 +7,15 @@ namespace lb2::engine {
 
 InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
                            const EngineOptions& opts,
-                           const plan::ParamVec* params) {
+                           const plan::ParamVec* params, MorselRun* morsels) {
   plan::ValidateQuery(q, db);
   InterpBackend b(&db);
   b.set_params(params);
+  b.set_morsels(morsels);
   QueryCtx<InterpBackend> qctx;
   qctx.b = &b;
   qctx.db = &db;
+  qctx.morsels = morsels;
   qctx.copts.use_dict = opts.use_dict;
   InterpResult r;
   if (opts.profile) qctx.prof = &r.prof_nodes;

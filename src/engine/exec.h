@@ -278,6 +278,13 @@ void DriveQuery(B& b, QueryCtx<B>& qctx, const plan::Query& q,
     qctx.num_threads = opts.num_threads;
     AnalyzeParallel(q.root, &qctx.par_nodes);
   }
+  // Morsel marking is deliberately thread-count independent: generated code
+  // guards on a runtime null check of the dispenser pointer, so one artifact
+  // serves static-split runs (null), work-stealing runs, and the sequential
+  // compiled suffix of a mid-query switch. Profiled builds opt out — their
+  // counters are not lane-aware and profiling already keys a distinct
+  // fingerprint.
+  if (!opts.profile) AnalyzeMorsel(q, &qctx.morsel_nodes);
   if (!q.scalar_subqueries.empty()) {
     qctx.scalars.arr = b.template AllocArr<double>(
         typename B::I64(static_cast<int64_t>(q.scalar_subqueries.size())));
@@ -321,9 +328,15 @@ struct InterpResult {
 /// (Expr::param_slot >= 0); when null, marked leaves fall back to their
 /// original in-plan literals, so the same call serves both the plain path
 /// and the parameterized-oracle path of the differential tests.
+/// `morsels` optionally makes the run morsel-driven: the pipeline claims
+/// row ranges from the shared dispenser and, if morsels->stop_poll fires,
+/// stops at a morsel boundary with partial aggregate state exported into
+/// morsels->seed (see engine/morsel.h). Null preserves the classic static
+/// full-range execution.
 InterpResult ExecuteInterp(const plan::Query& q, const rt::Database& db,
                            const EngineOptions& opts = {},
-                           const plan::ParamVec* params = nullptr);
+                           const plan::ParamVec* params = nullptr,
+                           MorselRun* morsels = nullptr);
 
 /// Number of blend sites in `q` — vectorizable scan/filter prefixes, in the
 /// deterministic pre-order numbering BuildOp uses. A blend mask for this

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "engine/backend.h"
+#include "engine/morsel.h"
 #include "plan/params.h"
 #include "runtime/database.h"
 #include "util/check.h"
@@ -90,6 +91,45 @@ class InterpBackend {
   template <typename T, typename F, typename G>
   T IfVal(Bool c, F f, G g) {
     return c ? f() : g();
+  }
+
+  // -- Morsel dispatch (ROADMAP item 5) --------------------------------------
+  /// Binds the morsel run for this execution; null (the default) keeps the
+  /// pre-morsel static range split.
+  void set_morsels(MorselRun* run) { morsels_ = run; }
+  MorselRun* morsels() const { return morsels_; }
+
+  /// Drives `body(mlo, mhi)` over [lo, hi). With a bound dispenser, claims
+  /// fixed-size morsels from the shared atomic cursor until the range is
+  /// exhausted or stop_poll fires at a boundary (setting `stopped` so the
+  /// sink exports seed state instead of results); without one, falls back
+  /// to the static per-thread split. The cursor is never reset, so a
+  /// compiled suffix handed the same dispenser resumes exactly where this
+  /// prefix stopped.
+  template <typename F>
+  void MorselLoop(I64 lo, I64 hi, I64 tid, int n_threads, F body) {
+    MorselRun* run = morsels_;
+    if (run == nullptr || run->source.morsel_rows <= 0) {
+      I64 n = hi - lo;
+      body(lo + tid * n / n_threads, lo + (tid + 1) * n / n_threads);
+      return;
+    }
+    const I64 mr = run->source.morsel_rows;
+    for (;;) {
+      if (run->stop_poll && run->stop_poll()) {
+        run->stopped = true;
+        break;
+      }
+      I64 m = run->source.next.fetch_add(1, std::memory_order_relaxed);
+      I64 mlo = lo + m * mr;
+      if (mlo >= hi) break;
+      I64 mhi = mlo + mr < hi ? mlo + mr : hi;
+      if (run->source.claims != nullptr && m < run->source.claims_len) {
+        run->source.claims[m].fetch_add(1, std::memory_order_relaxed);
+      }
+      body(mlo, mhi);
+      ++run->claimed;
+    }
   }
 
   // -- Casts ---------------------------------------------------------------
@@ -429,6 +469,7 @@ class InterpBackend {
 
   const rt::Database* db_;
   const plan::ParamVec* params_ = nullptr;
+  MorselRun* morsels_ = nullptr;
   I64 cur_tid_ = 0;
   std::vector<bool> break_stack_;
   std::string out_;

@@ -22,6 +22,7 @@
 
 #include "engine/expr_eval.h"
 #include "engine/hashmap.h"
+#include "engine/morsel.h"
 #include "engine/multimap.h"
 #include "engine/profile.h"
 #include "engine/sort.h"
@@ -56,9 +57,19 @@ struct QueryCtx {
   uint64_t blend = 0;
   int vec_sites = 0;
   bool vec_suppress = false;
+  /// Morsel-driven execution (ROADMAP item 5): nodes on the marked spine
+  /// pull row ranges from the shared dispenser instead of a static split.
+  /// `morsels` is bound only for interpreted runs (the compiled build reads
+  /// the dispenser through its lb2_exec_ctx header instead); null keeps the
+  /// classic behavior.
+  std::set<const plan::PlanNode*> morsel_nodes;
+  MorselRun* morsels = nullptr;
 
   bool IsPar(const plan::PlanNode* n) const {
     return num_threads > 1 && par_nodes.count(n) > 0;
+  }
+  bool IsMorsel(const plan::PlanNode* n) const {
+    return morsel_nodes.count(n) > 0;
   }
 };
 
@@ -168,7 +179,9 @@ class ScanOp final : public Op<B> {
       date_acc_ = b.DateIdx(node_->table, node_->date_index_col);
     }
     bool par = this->ctx_->IsPar(node_);
-    return [this, use_date_index, par](const typename Op<B>::Callback& cb) {
+    bool morsel = this->ctx_->IsMorsel(node_);
+    return [this, use_date_index, par,
+            morsel](const typename Op<B>::Callback& cb) {
       B& b = *this->ctx_->b;
       using I64 = typename B::I64;
       // Emits the scan loop over [lo, hi) of either row ids or date-index
@@ -196,11 +209,20 @@ class ScanOp final : public Op<B> {
         int nt = this->ctx_->num_threads;
         b.ParallelRegion(nt, [&](I64 tid) {
           auto [lo, hi] = span_of();
-          I64 n = hi - lo;
-          I64 t_lo = lo + (tid * n) / I64(nt);
-          I64 t_hi = lo + ((tid + I64(1)) * n) / I64(nt);
-          span_loop(t_lo, t_hi);
+          if (morsel) {
+            b.MorselLoop(lo, hi, tid, nt, span_loop);
+          } else {
+            I64 n = hi - lo;
+            I64 t_lo = lo + (tid * n) / I64(nt);
+            I64 t_hi = lo + ((tid + I64(1)) * n) / I64(nt);
+            span_loop(t_lo, t_hi);
+          }
         });
+      } else if (morsel) {
+        // A sequential morsel scan still pulls from the dispenser: this is
+        // how an interpreted prefix and a compiled suffix split one range.
+        auto [lo, hi] = span_of();
+        b.MorselLoop(lo, hi, I64(0), 1, span_loop);
       } else {
         auto [lo, hi] = span_of();
         span_loop(lo, hi);
@@ -648,6 +670,24 @@ Value<B> AggMerge(B& b, const plan::AggSpec& a, schema::FieldKind kind,
   return cur;
 }
 
+/// Flat i64 slots per seed row of a morsel handoff (engine/morsel.h): one
+/// slot per key field — except raw (undecoded) strings, which travel as a
+/// (ptr, len) pair — plus one slot per aggregate value. Doubles ride as bit
+/// patterns. Derived independently by the exporting interpreter and the
+/// importing compiled build; both see the same plan + dictionaries, so the
+/// layouts agree by construction.
+inline int MorselSeedStride(const schema::Schema& key_schema,
+                            const DictVec& key_dicts,
+                            const schema::Schema& val_schema) {
+  int stride = 0;
+  for (int i = 0; i < key_schema.size(); ++i) {
+    bool raw_str = key_schema.field(i).kind == schema::FieldKind::kString &&
+                   key_dicts[static_cast<size_t>(i)] == nullptr;
+    stride += raw_str ? 2 : 1;
+  }
+  return stride + val_schema.size();
+}
+
 template <typename B>
 class GroupAggOp final : public Op<B> {
  public:
@@ -676,10 +716,79 @@ class GroupAggOp final : public Op<B> {
     hm_.Init(b, key_schema, key_dicts, val_schema, val_dicts, capacity_,
              lanes);
     auto dl = child_->Prepare();
-    return [this, dl, ng, val_schema,
+    return [this, dl, ng, key_schema, key_dicts, val_schema,
             par](const typename Op<B>::Callback& cb) {
       B& b = *this->ctx_->b;
       using I64 = typename B::I64;
+      if constexpr (B::kIsStaged) {
+        // Seed import for a compiled suffix run: fold the interpreted
+        // prefix's partial groups into lane 0 before any morsel is claimed.
+        // Emitted unconditionally for morsel-marked plans but bounded by
+        // SeedRows() — zero without a dispenser, so the normal path skips
+        // it entirely at run time. Runs before the parallel region (dl
+        // spawns it), so the lane-0 updates are race-free, and first-sight
+        // merge-with-init equals the seed value exactly for every AggKind.
+        if (this->ctx_->IsMorsel(node_)) {
+          const int stride = MorselSeedStride(key_schema, key_dicts,
+                                              val_schema);
+          b.For(I64(0), b.SeedRows(), [&](I64 r) {
+            int slot = 0;
+            Record<B> skey;
+            for (int i = 0; i < key_schema.size(); ++i) {
+              const rt::Dictionary* dict = key_dicts[static_cast<size_t>(i)];
+              using K = schema::FieldKind;
+              switch (key_schema.field(i).kind) {
+                case K::kString:
+                  if (dict != nullptr) {
+                    skey.Add(key_schema.field(i),
+                             Value<B>::DictStr(b.SeedSlot(r, stride, slot++),
+                                               dict));
+                  } else {
+                    auto p = b.BitsPtr(b.SeedSlot(r, stride, slot++));
+                    auto n = b.CastI32(b.SeedSlot(r, stride, slot++));
+                    skey.Add(key_schema.field(i),
+                             Value<B>::Str(typename B::Str{p, n}));
+                  }
+                  break;
+                case K::kDouble:
+                  skey.Add(key_schema.field(i),
+                           Value<B>::F64(
+                               b.BitsF64(b.SeedSlot(r, stride, slot++))));
+                  break;
+                default:
+                  skey.Add(key_schema.field(i),
+                           Value<B>::I64(b.SeedSlot(r, stride, slot++)));
+                  break;
+              }
+            }
+            Record<B> init;
+            std::vector<Value<B>> seed_vals;
+            for (size_t a = 0; a < node_->aggs.size(); ++a) {
+              schema::FieldKind k = val_schema.field(static_cast<int>(a)).kind;
+              init.Add(val_schema.field(static_cast<int>(a)),
+                       AggInitValue(b, node_->aggs[a], k));
+              if (k == schema::FieldKind::kDouble) {
+                seed_vals.push_back(Value<B>::F64(
+                    b.BitsF64(b.SeedSlot(r, stride, slot++))));
+              } else {
+                seed_vals.push_back(
+                    Value<B>::I64(b.SeedSlot(r, stride, slot++)));
+              }
+            }
+            hm_.Update(b, I64(0), skey, init, [&](const Record<B>& cur) {
+              Record<B> next;
+              for (size_t a = 0; a < node_->aggs.size(); ++a) {
+                next.Add(val_schema.field(static_cast<int>(a)),
+                         AggMerge(b, node_->aggs[a],
+                                  val_schema.field(static_cast<int>(a)).kind,
+                                  cur.value(static_cast<int>(a)),
+                                  seed_vals[a]));
+              }
+              return next;
+            });
+          });
+        }
+      }
       dl([&](const Record<B>& rec) {
         Record<B> key;
         for (int i = 0; i < ng; ++i) {
@@ -738,6 +847,48 @@ class GroupAggOp final : public Op<B> {
             },
             init);
       }
+      if constexpr (!B::kIsStaged) {
+        // Seed export for an interpreted prefix that stopped at a morsel
+        // boundary: flatten the (merged) lane-0 groups into the handoff
+        // buffer and emit NO output — the compiled suffix folds the seed
+        // back in and produces the complete result itself.
+        if (this->ctx_->IsMorsel(node_)) {
+          MorselRun* run = this->ctx_->morsels;
+          if (run != nullptr && run->stopped) {
+            hm_.ForeachLane(b, I64(0), [&](const Record<B>& krec,
+                                           const Record<B>& vrec) {
+              for (int i = 0; i < krec.size(); ++i) {
+                Value<B> v = krec.value(i);
+                if (v.is_str() && v.str().is_dict) {
+                  run->seed.push_back(v.str().code);
+                } else if (v.is_str()) {
+                  auto s = v.str().s;
+                  run->seed_strings.emplace_back(s.p,
+                                                 static_cast<size_t>(s.n));
+                  const std::string& owned = run->seed_strings.back();
+                  run->seed.push_back(b.PtrBits(owned.data()));
+                  run->seed.push_back(
+                      static_cast<long long>(owned.size()));
+                } else if (v.is_f64()) {
+                  run->seed.push_back(b.F64Bits(v.f64()));
+                } else {
+                  run->seed.push_back(AsI64(b, v));
+                }
+              }
+              for (int i = 0; i < vrec.size(); ++i) {
+                Value<B> v = vrec.value(i);
+                if (v.is_f64()) {
+                  run->seed.push_back(b.F64Bits(v.f64()));
+                } else {
+                  run->seed.push_back(AsI64(b, v));
+                }
+              }
+              ++run->seed_rows;
+            });
+            return;
+          }
+        }
+      }
       hm_.Foreach(b, cb);
     };
   }
@@ -790,6 +941,25 @@ class ScalarAggOp final : public Op<B> {
     return [this, dl, lanes](const typename Op<B>::Callback& cb) {
       B& b = *this->ctx_->b;
       using I64 = typename B::I64;
+      if constexpr (B::kIsStaged) {
+        // Seed import (see GroupAggOp): merge the interpreted prefix's one
+        // exported accumulator row into lane 0. SeedRows() is 0 or 1 here.
+        if (this->ctx_->IsMorsel(node_)) {
+          const int stride = this->schema_.size();
+          b.For(I64(0), b.SeedRows(), [&](I64 r) {
+            for (int i = 0; i < this->schema_.size(); ++i) {
+              const auto& spec = node_->aggs[static_cast<size_t>(i)];
+              schema::FieldKind k = this->schema_.field(i).kind;
+              Value<B> sv =
+                  k == schema::FieldKind::kDouble
+                      ? Value<B>::F64(b.BitsF64(b.SeedSlot(r, stride, i)))
+                      : Value<B>::I64(b.SeedSlot(r, stride, i));
+              StoreLane(b, i, I64(0),
+                        AggMerge(b, spec, k, LaneValue(b, i, I64(0)), sv));
+            }
+          });
+        }
+      }
       dl([&](const Record<B>& rec) {
         I64 lane = lanes > 1 ? b.CurTid() : I64(0);
         for (int i = 0; i < this->schema_.size(); ++i) {
@@ -811,6 +981,27 @@ class ScalarAggOp final : public Op<B> {
           Value<B> merged = AggMerge(b, spec, k, LaneValue(b, i, I64(0)),
                                      LaneValue(b, i, I64(t)));
           StoreLane(b, i, I64(0), merged);
+        }
+      }
+      if constexpr (!B::kIsStaged) {
+        // Seed export on a stopped prefix: one row of lane-0 accumulators.
+        // With zero morsels claimed these are the init values — exact merge
+        // identities for every AggKind, so a switch at morsel 0 is correct.
+        if (this->ctx_->IsMorsel(node_)) {
+          MorselRun* run = this->ctx_->morsels;
+          if (run != nullptr && run->stopped) {
+            for (int i = 0; i < this->schema_.size(); ++i) {
+              Value<B> v = LaneValue(b, i, I64(0));
+              if (this->schema_.field(i).kind ==
+                  schema::FieldKind::kDouble) {
+                run->seed.push_back(b.F64Bits(v.f64()));
+              } else {
+                run->seed.push_back(AsI64(b, v));
+              }
+            }
+            run->seed_rows = 1;
+            return;
+          }
         }
       }
       Record<B> out;

@@ -61,6 +61,41 @@ inline void AnalyzeParallel(const plan::PlanRef& root,
   }
 }
 
+/// Marks the nodes of `q`'s main pipeline that run morsel-driven: the same
+/// aggregate-rooted spine AnalyzeParallel accepts, but independent of the
+/// thread count — a sequential compiled suffix must still pull from the
+/// shared dispenser to finish what an interpreted prefix started. Plans
+/// with scalar subqueries are skipped (their sinks share spine nodes and
+/// are not seed-exportable), as are non-aggregate roots (no merge-safe
+/// sink to fold an interpreted prefix's partial state into).
+inline void AnalyzeMorsel(const plan::Query& q,
+                          std::set<const plan::PlanNode*>* out) {
+  if (!q.scalar_subqueries.empty()) return;
+  const plan::PlanRef* p = &q.root;
+  while ((*p)->type == plan::OpType::kSort ||
+         (*p)->type == plan::OpType::kLimit ||
+         (*p)->type == plan::OpType::kProject ||
+         (*p)->type == plan::OpType::kSelect) {
+    p = &(*p)->children[0];
+  }
+  if ((*p)->type == plan::OpType::kGroupAgg ||
+      (*p)->type == plan::OpType::kScalarAgg) {
+    std::set<const plan::PlanNode*> marks;
+    if (MarkParSpine((*p)->children[0], &marks)) {
+      marks.insert(p->get());
+      out->insert(marks.begin(), marks.end());
+    }
+  }
+}
+
+/// True when `q` can run morsel-driven end to end — the precondition for a
+/// mid-query interpreted→compiled switch.
+inline bool MorselEligible(const plan::Query& q) {
+  std::set<const plan::PlanNode*> marks;
+  AnalyzeMorsel(q, &marks);
+  return !marks.empty();
+}
+
 }  // namespace lb2::engine
 
 #endif  // LB2_ENGINE_PARALLEL_H_

@@ -143,10 +143,11 @@ class VecScanFilterOp final : public Op<B> {
                                ColumnOptions{}));
     }
     bool par = this->ctx_->IsPar(scan_);
+    bool morsel = this->ctx_->IsMorsel(scan_);
     int lanes = par ? this->ctx_->num_threads : 1;
     flags_ = b.template AllocArr<uint8_t>(I64(lanes * kVecBatch));
     sel_ = b.template AllocArr<int32_t>(I64(lanes * kVecBatch));
-    return [this, par](const typename Op<B>::Callback& cb) {
+    return [this, par, morsel](const typename Op<B>::Callback& cb) {
       B& b = *this->ctx_->b;
       // Batch loop over [lo, hi); `off` is this lane's scratch offset.
       auto batch_range = [&](I64 lo, I64 hi, I64 off) {
@@ -184,10 +185,22 @@ class VecScanFilterOp final : public Op<B> {
         int nt = this->ctx_->num_threads;
         b.ParallelRegion(nt, [&](I64 tid) {
           I64 rows = b.TableRows(scan_->table);
-          I64 t_lo = (tid * rows) / I64(nt);
-          I64 t_hi = ((tid + I64(1)) * rows) / I64(nt);
-          batch_range(t_lo, t_hi, tid * I64(kVecBatch));
+          if (morsel) {
+            // Morsel bounds need not align to kVecBatch: batch_range clips
+            // the final partial batch, and the scratch slice stays keyed by
+            // tid, not morsel, so lanes never overlap.
+            b.MorselLoop(I64(0), rows, tid, nt, [&](I64 mlo, I64 mhi) {
+              batch_range(mlo, mhi, tid * I64(kVecBatch));
+            });
+          } else {
+            I64 t_lo = (tid * rows) / I64(nt);
+            I64 t_hi = ((tid + I64(1)) * rows) / I64(nt);
+            batch_range(t_lo, t_hi, tid * I64(kVecBatch));
+          }
         });
+      } else if (morsel) {
+        b.MorselLoop(I64(0), b.TableRows(scan_->table), I64(0), 1,
+                     [&](I64 mlo, I64 mhi) { batch_range(mlo, mhi, I64(0)); });
       } else {
         batch_range(I64(0), b.TableRows(scan_->table), I64(0));
       }

@@ -587,6 +587,7 @@ void NetServer::WorkerThread(int worker_idx) {
       t.params = std::move(r.params);
       t.fault = testing::FaultsFiredTotal() > faults_before;
       t.breaker = r.breaker_degraded;
+      t.switched = r.switched_mid_query;
       if (!r.prof_nodes.empty() && !r.prof.empty()) {
         t.profile = engine::RenderProfile(r.prof_nodes, r.prof);
       }

@@ -61,6 +61,11 @@ bool FlightRecorder::Record(int worker, RecordedTrace&& t) {
     keep = "breaker";
   } else if (t.fault) {
     keep = "fault";
+  } else if (t.switched) {
+    // Mid-query interpreted→compiled handoffs are rare (one per cold shape
+    // at most) and exactly the traces an operator wants to see: the span
+    // tree shows the interp prefix overlapping the background build.
+    keep = "switch";
   } else if (opts_.slow_ns > 0 && t.end_ns - t.begin_ns >= opts_.slow_ns) {
     keep = "slow";
   } else if (opts_.sample_every > 0 &&
@@ -108,13 +113,15 @@ std::string TracesJson(const std::vector<RecordedTrace>& traces) {
     out += StrPrintf(
         " {\"trace_id\": \"%016llx\", \"request_id\": %llu, \"worker\": %d, "
         "\"name\": \"%s\", \"status\": \"%s\", \"keep\": \"%s\", "
-        "\"latency_ms\": %.3f, \"fault\": %s, \"breaker\": %s",
+        "\"latency_ms\": %.3f, \"fault\": %s, \"breaker\": %s, "
+        "\"switched\": %s",
         static_cast<unsigned long long>(t.trace_id),
         static_cast<unsigned long long>(t.request_id), t.worker,
         JsonEscape(t.name).c_str(), JsonEscape(t.status).c_str(),
         JsonEscape(t.keep).c_str(),
         static_cast<double>(t.end_ns - t.begin_ns) / 1e6,
-        t.fault ? "true" : "false", t.breaker ? "true" : "false");
+        t.fault ? "true" : "false", t.breaker ? "true" : "false",
+        t.switched ? "true" : "false");
     if (!t.flavor.empty()) {
       out += ", \"flavor\": \"" + JsonEscape(t.flavor) + "\"";
     }

@@ -1,8 +1,9 @@
 // Tail-sampled flight recorder: every request assembles its span tree
 // cheaply (worker-local, no shared state), and *completion* decides
 // retention — slow requests (latency above LB2_SLOW_MS), ERROR/BUSY
-// responses, fault-degraded and breaker-served requests are always kept,
-// plus a deterministic 1-in-N of the rest (LB2_TRACE_SAMPLE). Kept traces
+// responses, fault-degraded, breaker-served and mid-query-switched
+// requests are always kept, plus a deterministic 1-in-N of the rest
+// (LB2_TRACE_SAMPLE). Kept traces
 // land in per-worker ring buffers (LB2_TRACE_RING slots each) so a scrape
 // of admin `GET /traces` — or the post-drain `--trace-out` flush — always
 // has the most recent interesting requests, not a firehose.
@@ -52,6 +53,7 @@ struct RecordedTrace {
   std::string profile;   // rendered per-operator tree (empty unless sampled)
   bool fault = false;    // a fault point fired while this request ran
   bool breaker = false;  // served degraded by an open circuit breaker
+  bool switched = false; // interpreted→compiled handoff at a morsel boundary
   SpanList spans;
 };
 

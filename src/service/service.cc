@@ -12,6 +12,8 @@
 #endif
 
 #include "compile/lb2_compiler.h"
+#include "engine/morsel.h"
+#include "engine/parallel.h"
 #include "obs/log.h"
 #include "sql/sql.h"
 #include "stage/jit.h"
@@ -119,6 +121,22 @@ int DefaultProfSampleEvery() {
   return 0;
 }
 
+int64_t DefaultMorselRows() {
+  const char* env = std::getenv("LB2_MORSEL_ROWS");
+  if (env != nullptr) {
+    long long v = std::atoll(env);
+    if (v >= 0) return static_cast<int64_t>(v);
+  }
+  return engine::kDefaultMorselRows;
+}
+
+bool DefaultMidquerySwitch() {
+  const char* env = std::getenv("LB2_MIDQUERY_SWITCH");
+  if (env == nullptr) return false;
+  std::string v = env;
+  return v == "1" || v == "true" || v == "on" || v == "yes";
+}
+
 bool ParseFlavorSpec(const std::string& spec, engine::Flavor* flavor,
                      uint64_t* blend) {
   if (spec == "data" || spec == "data-centric" || spec == "datacentric") {
@@ -196,7 +214,7 @@ std::string ServiceStats::ToString() const {
       "faults-injected=%lld drain-sheds=%lld "
       "param-hits=%lld param-bindings=%lld param-guard-fallbacks=%lld "
       "explore-runs=%lld explore-candidates=%lld flavor-overrides=%lld "
-      "prof-samples=%lld",
+      "prof-samples=%lld midquery-switches=%lld midquery-interp-wins=%lld",
       static_cast<long long>(requests), static_cast<long long>(hits),
       static_cast<long long>(misses), static_cast<long long>(compiles),
       static_cast<long long>(compile_failures),
@@ -229,7 +247,9 @@ std::string ServiceStats::ToString() const {
       static_cast<long long>(explore_runs),
       static_cast<long long>(explore_candidates),
       static_cast<long long>(flavor_overrides),
-      static_cast<long long>(prof_samples));
+      static_cast<long long>(prof_samples),
+      static_cast<long long>(midquery_switches),
+      static_cast<long long>(midquery_interp_wins));
 }
 
 QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
@@ -262,6 +282,12 @@ QueryService::QueryService(const rt::Database& db, ServiceOptions opts)
 
 QueryService::~QueryService() {
   {
+    // Outwait detached mid-query-switch builds: they touch the cache, the
+    // store and the stats, all of which die with this object.
+    std::unique_lock<std::mutex> lock(sw_mu_);
+    sw_cv_.wait(lock, [&] { return sw_builds_ == 0; });
+  }
+  {
     std::lock_guard<std::mutex> lock(bg_mu_);
     bg_stop_ = true;
   }
@@ -288,7 +314,18 @@ ServiceResult QueryService::RunCompiled(const CacheEntryPtr& entry,
   // No run lock: entries are reentrant (each Run() builds a private
   // execution context), so same-entry executions overlap freely.
   int64_t t0 = spans != nullptr ? NowNs() : 0;
-  compile::CompiledQuery::RunResult rr = entry->query.Run(params);
+  compile::CompiledQuery::RunResult rr;
+  if (opts_.morsel_rows > 0) {
+    // Work stealing for every compiled run: a fresh dispenser (no seed, no
+    // claim counters) makes the generated parallel region pull morsels
+    // instead of trusting its static split, so one slow core cannot strand
+    // a skewed range. Plans whose pipelines the morsel analysis left
+    // unmarked ignore the pointer entirely.
+    engine::MorselRun run(opts_.morsel_rows);
+    rr = entry->query.Run(params, &run.source);
+  } else {
+    rr = entry->query.Run(params);
+  }
   if (spans != nullptr) spans->push_back({"exec", t0, NowNs()});
   ServiceResult r;
   if (!rr.prof.empty() && opts_.metrics) {
@@ -585,6 +622,13 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
   if (leader) {
     stats_.misses.fetch_add(1, std::memory_order_relaxed);
     stats_.in_flight.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.midquery_switch && opts_.morsel_rows > 0 && !eopts.profile &&
+        engine::MorselEligible(q)) {
+      // Hybrid cold start: interpret over the shared morsel dispenser now,
+      // JIT in the background, hand off at a morsel boundary if the
+      // compiled entry lands mid-query.
+      return RunMorselSwitch(q, eopts, fp, params, spans, flight);
+    }
     std::string error;
     bool from_disk = false;
     CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk, spans);
@@ -635,6 +679,174 @@ ServiceResult QueryService::ExecuteAdmitted(const plan::Query& q,
   }
   stats_.interp_fallbacks.fetch_add(1, std::memory_order_relaxed);
   return RunInterp(q, eopts, fp, params, flight->error, spans);
+}
+
+ServiceResult QueryService::RunMorselSwitch(
+    const plan::Query& q, const engine::EngineOptions& eopts,
+    const Fingerprint& fp, const plan::ParamVec* params, obs::SpanList* spans,
+    const std::shared_ptr<InFlight>& flight) {
+  // Publishes a finished build exactly like the plain leader does: the
+  // cache already holds the entry (BuildEntry put it), the in-flight record
+  // retires, waiting followers wake. `ready` is the interpreted prefix's
+  // lock-free stop signal, stored last (release) so a reader that observes
+  // it also observes entry/error.
+  auto publish = [this, fp, flight](CacheEntryPtr entry, std::string error,
+                                    bool from_disk, obs::SpanList bspans) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(fp.hash);
+    }
+    stats_.in_flight.fetch_add(-1, std::memory_order_relaxed);
+    if (entry == nullptr) {
+      stats_.interp_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      if (opts_.log_compile_errors) {
+        LB2_LOG(Warn, "[lb2-service] %s: JIT failed, serving interpreted:\n%s",
+                fp.ToString().c_str(), error.c_str());
+      }
+    }
+    {
+      std::lock_guard<std::mutex> flock(flight->mu);
+      flight->done = true;
+      flight->entry = entry;
+      flight->error = std::move(error);
+      flight->from_disk = from_disk;
+      flight->build_spans = std::move(bspans);
+    }
+    flight->ready.store(true, std::memory_order_release);
+    flight->cv.notify_all();
+  };
+
+  // Forced-switch mode for the differential harness: LB2_SWITCH_AT=<k>
+  // builds synchronously (the switch point must not race the compiler) and
+  // stops the interpreter at exactly morsel boundary k — sweeping k over
+  // every boundary of a shape exercises every possible handoff state.
+  int64_t switch_at = -1;
+  if (const char* env = std::getenv("LB2_SWITCH_AT")) {
+    switch_at = std::atoll(env);
+  }
+
+  if (switch_at >= 0) {
+    std::string error;
+    bool from_disk = false;
+    CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk, spans);
+    publish(std::move(entry), std::move(error), from_disk, {});
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(sw_mu_);
+      ++sw_builds_;
+    }
+    // Copies, not references: the build outlives this frame whenever the
+    // interpreter wins the race, and the destructor outwaits sw_builds_.
+    std::thread([this, q, eopts, fp, publish,
+                 record = spans != nullptr] {
+      obs::SpanList bspans;
+      std::string error;
+      bool from_disk = false;
+      CacheEntryPtr entry = BuildEntry(q, eopts, fp, &error, &from_disk,
+                                       record ? &bspans : nullptr);
+      publish(std::move(entry), std::move(error), from_disk,
+              std::move(bspans));
+      {
+        std::lock_guard<std::mutex> lock(sw_mu_);
+        --sw_builds_;
+      }
+      sw_cv_.notify_all();
+    }).detach();
+  }
+
+  // The interpreted prefix: single-threaded (the seed export reads lane 0)
+  // over the shared dispenser. The stop poll runs once per morsel boundary.
+  engine::MorselRun run(opts_.morsel_rows);
+  if (switch_at >= 0) {
+    run.stop_poll = [&run, switch_at] { return run.claimed >= switch_at; };
+  } else {
+    run.stop_poll = [&flight] {
+      return flight->ready.load(std::memory_order_acquire) ||
+             testing::CheckFault(testing::FaultPoint::kMidquerySwitch).fail;
+    };
+  }
+  engine::EngineOptions iopts = eopts;
+  iopts.num_threads = 1;
+  int64_t t0 = spans != nullptr ? NowNs() : 0;
+  engine::InterpResult ir = engine::ExecuteInterp(q, db_, iopts, params, &run);
+  int64_t t1 = spans != nullptr ? NowNs() : 0;
+
+  int64_t nparams =
+      params != nullptr ? static_cast<int64_t>(params->size()) : 0;
+
+  if (!run.stopped) {
+    // The interpreter crossed the finish line before the JIT: serve its
+    // answer now. The background build keeps running and warms the cache
+    // behind this reply — the next request of this shape runs compiled.
+    if (spans != nullptr) spans->push_back({"exec", t0, t1});
+    stats_.midquery_interp_wins.fetch_add(1, std::memory_order_relaxed);
+    if (nparams > 0) {
+      stats_.param_bindings_total.fetch_add(nparams,
+                                            std::memory_order_relaxed);
+    }
+    ServiceResult r;
+    r.path = ServiceResult::Path::kInterpreted;
+    r.text = std::move(ir.text);
+    r.rows = ir.rows;
+    r.exec_ms = ir.exec_ms;
+    r.fingerprint = fp;
+    return r;
+  }
+
+  // Stopped at a morsel boundary: the sink exported its partial aggregate
+  // state as seed rows instead of emitting results.
+  if (spans != nullptr) spans->push_back({"interp-prefix", t0, t1});
+  if (!flight->ready.load(std::memory_order_acquire)) {
+    // An injected fault forced the stop before the build landed: wait —
+    // the dispenser's remaining morsels need an executor.
+    int64_t tw = spans != nullptr ? NowNs() : 0;
+    std::unique_lock<std::mutex> flock(flight->mu);
+    flight->cv.wait(flock, [&] { return flight->done; });
+    flock.unlock();
+    if (spans != nullptr) spans->push_back({"switch-wait", tw, NowNs()});
+  }
+  CacheEntryPtr entry;
+  std::string error;
+  bool from_disk = false;
+  {
+    std::lock_guard<std::mutex> flock(flight->mu);
+    entry = flight->entry;
+    error = flight->error;
+    from_disk = flight->from_disk;
+    if (spans != nullptr && !flight->build_spans.empty()) {
+      obs::GraftSpans(spans, flight->build_spans, -1);
+    }
+  }
+  if (entry == nullptr) {
+    // The build failed after the prefix already stopped: partial aggregate
+    // state has no compiled consumer, so rerun the whole query interpreted.
+    // Wasted prefix work, but this corner (a forced or faulted stop plus a
+    // compile failure) must still answer, and answer the same rows.
+    return RunInterp(q, eopts, fp, params, std::move(error), spans);
+  }
+
+  // The handoff: publish the seed rows on the dispenser and let the
+  // compiled entry fold them in and finish the remaining morsels. The
+  // cursor is never reset — every morsel executes exactly once across the
+  // two engines.
+  run.SealSeed();
+  int64_t t2 = spans != nullptr ? NowNs() : 0;
+  compile::CompiledQuery::RunResult rr = entry->query.Run(params, &run.source);
+  if (spans != nullptr) spans->push_back({"compiled-suffix", t2, NowNs()});
+  stats_.midquery_switches.fetch_add(1, std::memory_order_relaxed);
+  if (nparams > 0) {
+    stats_.param_bindings_total.fetch_add(nparams, std::memory_order_relaxed);
+  }
+  ServiceResult r;
+  r.path = from_disk ? ServiceResult::Path::kCompiledDisk
+                     : ServiceResult::Path::kCompiledCold;
+  r.switched_mid_query = true;
+  r.text = std::move(rr.text);
+  r.rows = rr.rows;
+  r.exec_ms = ir.exec_ms + rr.exec_ms;
+  r.compile_ms = entry->codegen_ms + entry->compile_ms;
+  r.fingerprint = fp;
+  return r;
 }
 
 CacheEntryPtr QueryService::BuildEntry(const plan::Query& q,
@@ -870,6 +1082,10 @@ void QueryService::DriftWorkerLoop() {
 }
 
 void QueryService::DrainBackground() {
+  {
+    std::unique_lock<std::mutex> lock(sw_mu_);
+    sw_cv_.wait(lock, [&] { return sw_builds_ == 0; });
+  }
   std::unique_lock<std::mutex> lock(bg_mu_);
   bg_cv_.wait(lock, [&] { return bg_queue_.empty() && !bg_busy_; });
 }
@@ -1157,6 +1373,10 @@ ServiceStats QueryService::Stats() const {
   s.flavor_overrides =
       stats_.flavor_overrides.load(std::memory_order_relaxed);
   s.prof_samples = stats_.prof_samples.load(std::memory_order_relaxed);
+  s.midquery_switches =
+      stats_.midquery_switches.load(std::memory_order_relaxed);
+  s.midquery_interp_wins =
+      stats_.midquery_interp_wins.load(std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(mu_);
     s.breaker_open = static_cast<int64_t>(breaker_open_.size());
@@ -1241,6 +1461,8 @@ std::vector<StatMetric> StatMetrics(const ServiceStats& s) {
       c("lb2_explore_candidates_total", s.explore_candidates),
       c("lb2_flavor_overrides_total", s.flavor_overrides),
       c("lb2_prof_samples_total", s.prof_samples),
+      c("lb2_midquery_switches_total", s.midquery_switches),
+      c("lb2_midquery_interp_wins_total", s.midquery_interp_wins),
   };
 }
 

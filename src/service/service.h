@@ -125,6 +125,15 @@ bool DefaultExploreEnabled();
 /// else 0 (per-operator sampling off).
 int DefaultProfSampleEvery();
 
+/// Default morsel size in rows: LB2_MORSEL_ROWS env var, else
+/// engine::kDefaultMorselRows (0 disables the shared dispenser — pipelines
+/// fall back to their static per-thread splits).
+int64_t DefaultMorselRows();
+
+/// Default for ServiceOptions::midquery_switch: LB2_MIDQUERY_SWITCH env var
+/// (1/true = on), else off.
+bool DefaultMidquerySwitch();
+
 /// Parses a codegen-flavor spec: "data" | "vec" | "blend:<hex-mask>"
 /// (e.g. "blend:0x5" vectorizes eligible sites 0 and 2). Returns false
 /// (outputs untouched) on anything else.
@@ -215,6 +224,26 @@ struct ServiceOptions {
   /// price of one extra artifact per shape and a sampled profiled run.
   /// Profiled runs are sequential (EngineOptions::profile contract).
   int prof_sample_every = DefaultProfSampleEvery();
+  /// Morsel size in rows for morsel-driven pipelines. When > 0, every
+  /// compiled execution of a morsel-eligible plan pulls fixed-size row
+  /// ranges from a shared atomic dispenser instead of a static per-thread
+  /// split — work stealing across threads for free — and the mid-query
+  /// switch below becomes possible. 0 restores static splits everywhere.
+  int64_t morsel_rows = DefaultMorselRows();
+  /// Mid-query interpreted→compiled switch: a cold leader starts its
+  /// request on the interpreter immediately, pulling morsels from the
+  /// shared dispenser, while the JIT runs on a background thread. If the
+  /// interpreter finishes first, its answer is served without waiting for
+  /// the compiler. If the compiled entry lands first, the interpreter stops
+  /// at the next morsel boundary, exports its partial aggregate state as
+  /// seed rows, and the compiled code — handed the *same* dispenser —
+  /// finishes the remaining morsels (ServiceResult::switched_mid_query).
+  /// Only morsel-eligible plans (aggregate-rooted pipelines, see
+  /// engine::MorselEligible) take this path; everything else keeps the
+  /// plain cold-leader behavior. Requires morsel_rows > 0. Off by default:
+  /// the interpreted prefix costs one core that a saturated server may not
+  /// want to spend on already-answered work.
+  bool midquery_switch = DefaultMidquerySwitch();
 };
 
 /// Point-in-time counters. `Snapshot`-style value type, filled by
@@ -271,6 +300,13 @@ struct ServiceStats {
   int64_t flavor_overrides = 0;    // requests served under a recorded winner
   // Per-operator latency sampling (ServiceOptions::prof_sample_every).
   int64_t prof_samples = 0;        // profiled runs folded into lb2_op_ns
+  // Mid-query execution switches (ServiceOptions::midquery_switch): cold
+  // requests whose interpreted prefix handed off to the compiled entry at a
+  // morsel boundary.
+  int64_t midquery_switches = 0;
+  // Cold requests whose interpreter finished before the background JIT —
+  // served without waiting for the compiler at all.
+  int64_t midquery_interp_wins = 0;
 
   /// One-line human-readable rendering for shells and drivers.
   std::string ToString() const;
@@ -313,6 +349,11 @@ struct ServiceResult {
   /// True when an open circuit breaker served this request interpreted —
   /// the flight recorder always keeps such traces.
   bool breaker_degraded = false;
+  /// True when this request started on the interpreter and handed off to
+  /// the freshly-compiled entry at a morsel boundary
+  /// (ServiceOptions::midquery_switch). The flight recorder always keeps
+  /// such traces; the span tree shows interp-prefix / compiled-suffix.
+  bool switched_mid_query = false;
   /// Rendered parameter bindings ("$0=24 $1='AIR'") when request
   /// canonicalization extracted literals and metrics are on; the slow-query
   /// log joins this into its EXPLAIN ANALYZE header.
@@ -440,6 +481,14 @@ class QueryService {
     bool done = false;
     CacheEntryPtr entry;  // null if the compile failed
     std::string error;
+    /// Lock-free mirror of `done`, set (release) after entry/error are
+    /// written: the morsel interpreter's stop poll reads it before every
+    /// claim, and a mutex there would serialize the whole prefix.
+    std::atomic<bool> ready{false};
+    /// Build span subtree recorded by a background build thread; grafted
+    /// into the request's span list when the request actually switches.
+    obs::SpanList build_spans;
+    bool from_disk = false;
   };
 
   /// One queued background recompile (database-identity drift).
@@ -462,6 +511,20 @@ class QueryService {
                           const Fingerprint& fp,
                           const plan::ParamVec* params,
                           std::string compile_error, obs::SpanList* spans);
+  /// The cold-leader body under ServiceOptions::midquery_switch for a
+  /// morsel-eligible plan: kicks the JIT onto a background thread (which
+  /// publishes `flight` exactly like a plain leader), runs the interpreted
+  /// prefix over the shared dispenser, and either returns the interpreter's
+  /// complete answer (the build keeps running; the cache warms behind the
+  /// reply) or seals the seed and finishes on the compiled entry.
+  /// LB2_SWITCH_AT=<k> is the differential harness's forced mode: build
+  /// synchronously, then stop the interpreter at exactly morsel boundary k.
+  ServiceResult RunMorselSwitch(const plan::Query& q,
+                                const engine::EngineOptions& eopts,
+                                const Fingerprint& fp,
+                                const plan::ParamVec* params,
+                                obs::SpanList* spans,
+                                const std::shared_ptr<InFlight>& flight);
   ServiceResult ExecuteAdmitted(const plan::Query& q,
                                 const engine::EngineOptions& eopts,
                                 const Fingerprint& fp,
@@ -567,6 +630,8 @@ class QueryService {
     std::atomic<int64_t> explore_candidates{0};
     std::atomic<int64_t> flavor_overrides{0};
     std::atomic<int64_t> prof_samples{0};
+    std::atomic<int64_t> midquery_switches{0};
+    std::atomic<int64_t> midquery_interp_wins{0};
     std::atomic<double> compile_ms_saved{0.0};
     std::atomic<double> compile_ms_paid{0.0};
   };
@@ -585,6 +650,13 @@ class QueryService {
   obs::Registry metrics_;
   obs::Histogram* lat_hist_[4] = {};  // indexed by ServiceResult::Path
   obs::Histogram* queue_wait_hist_ = nullptr;
+
+  // Mid-query-switch builds running on detached background threads. Each
+  // owns copies of its inputs but touches the cache, the store and the
+  // stats, so the destructor (and DrainBackground) must outwait them.
+  std::mutex sw_mu_;
+  std::condition_variable sw_cv_;
+  int sw_builds_ = 0;
 
   // Background drift-recompile worker: one dedicated low-priority thread,
   // started lazily on the first drift, joined in the destructor.

@@ -34,16 +34,18 @@ std::string CModule::Emit() const {
     out += "\n";
   }
   // The execution context: the entry's only channel to per-run state. The
-  // three-pointer header is a fixed ABI (stage::ExecCtxHeader); scratch
+  // four-pointer header is a fixed ABI (stage::ExecCtxHeader); scratch
   // fields discovered during staging follow. Always emitted — with the
   // exported lb2_ctx_bytes — so hosts can size a context without knowing
   // the fields. `params` carries the literals bound at Run() for
   // parameterized plans (unused, and left null, for modules staged without
-  // parameter references).
+  // parameter references); `morsels` points at the shared morsel dispenser
+  // when the run is morsel-driven, null for the static range split.
   out += "typedef struct {\n";
   out += "  void** env;\n";
   out += "  lb2_out* out;\n";
   out += "  const lb2_param* params;\n";
+  out += "  lb2_morsel_source* morsels;\n";
   for (const auto& f : ctx_fields_) {
     out += "  " + f.first + " " + f.second + ";\n";
   }

@@ -289,10 +289,31 @@ static_assert(sizeof(QueryOut) == 40, "QueryOut layout drifted from prelude");
 static_assert(offsetof(QueryOut, rows) == 24, "QueryOut layout drifted");
 
 // Layout contract with the generated `lb2_exec_ctx` header (ir.cc).
-static_assert(sizeof(ExecCtxHeader) == 24, "ExecCtxHeader layout drifted");
+static_assert(sizeof(ExecCtxHeader) == 32, "ExecCtxHeader layout drifted");
 static_assert(offsetof(ExecCtxHeader, out) == 8, "ExecCtxHeader layout drifted");
 static_assert(offsetof(ExecCtxHeader, params) == 16,
               "ExecCtxHeader layout drifted");
+static_assert(offsetof(ExecCtxHeader, morsels) == 24,
+              "ExecCtxHeader layout drifted");
+
+// Layout contract with the generated `lb2_morsel_source` struct (prelude.h).
+// The host uses std::atomic where generated C uses `volatile long long` +
+// __atomic builtins; the asserts pin the shared memory layout and lock-free
+// atomics guarantee both sides access it with plain 8-byte atomic ops.
+static_assert(sizeof(MorselSource) == 48,
+              "MorselSource layout drifted from prelude");
+static_assert(offsetof(MorselSource, morsel_rows) == 8,
+              "MorselSource layout drifted");
+static_assert(offsetof(MorselSource, seed_rows) == 16,
+              "MorselSource layout drifted");
+static_assert(offsetof(MorselSource, seed) == 24,
+              "MorselSource layout drifted");
+static_assert(offsetof(MorselSource, claims) == 32,
+              "MorselSource layout drifted");
+static_assert(offsetof(MorselSource, claims_len) == 40,
+              "MorselSource layout drifted");
+static_assert(std::atomic<long long>::is_always_lock_free,
+              "morsel dispenser needs lock-free 8-byte atomics");
 
 // Layout contract with the generated `lb2_param` struct (prelude.h).
 static_assert(sizeof(ParamSlot) == 32, "ParamSlot layout drifted from prelude");

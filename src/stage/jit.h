@@ -5,6 +5,7 @@
 #ifndef LB2_STAGE_JIT_H_
 #define LB2_STAGE_JIT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -33,17 +34,36 @@ struct ParamSlot {
   int32_t sn = 0;
 };
 
+/// Host-side mirror of the generated `lb2_morsel_source` struct (see
+/// prelude.h): the shared morsel dispenser. Generated code claims morsels
+/// with `__atomic_fetch_add` on `next`; the host side uses std::atomic.
+/// Both compile to the same plain fetch-add on every supported target, and
+/// the static_asserts in jit.cc pin the layout. `seed` carries partial
+/// aggregate rows exported by an interpreted prefix (flat i64 slots);
+/// `claims` is an optional per-morsel execution counter for tests.
+struct MorselSource {
+  std::atomic<long long> next{0};
+  long long morsel_rows = 0;
+  long long seed_rows = 0;
+  const long long* seed = nullptr;
+  std::atomic<long long>* claims = nullptr;
+  long long claims_len = 0;
+};
+
 /// Host-side mirror of the fixed header of the generated `lb2_exec_ctx`
 /// struct (see ir.cc). A caller sizes the full context with the module's
-/// exported `lb2_ctx_bytes`, zeroes it, and fills in this three-pointer
+/// exported `lb2_ctx_bytes`, zeroes it, and fills in this four-pointer
 /// header; the scratch fields that follow are private to the generated
 /// code. One context per execution makes the entry fully reentrant.
 /// `params` points at `lb2_param_count` bound literals for parameterized
-/// modules (may stay null when the module references no parameter slots).
+/// modules (may stay null when the module references no parameter slots);
+/// `morsels` points at the shared dispenser for morsel-driven runs (null
+/// selects the static per-thread range split inside generated code).
 struct ExecCtxHeader {
   void** env = nullptr;
   QueryOut* out = nullptr;
   const ParamSlot* params = nullptr;
+  MorselSource* morsels = nullptr;
 };
 
 /// A loaded query library. Owns the dlopen handle and the on-disk artifacts;

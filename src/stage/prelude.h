@@ -49,6 +49,26 @@ typedef struct {
   int64_t tid;
 } lb2_thread_arg;
 
+/* Shared morsel dispenser for morsel-driven pipelines. When non-null in the
+   execution context, driver loops claim fixed-size row ranges (morsels) via
+   an atomic fetch-add on `next` instead of splitting the scan statically per
+   thread — idle workers steal the next morsel, and an interpreted prefix and
+   a compiled suffix of the same query can drain one dispenser across a
+   mid-query switch. `seed` optionally carries partial aggregate state
+   exported by an interpreted prefix (seed_rows flat i64 rows; doubles as bit
+   patterns, strings as (ptr,len) slot pairs into host-owned storage), folded
+   in before the fill loop. `claims`, when non-null, counts executions per
+   morsel so tests can assert exactly-once claiming. The host mirror is
+   stage::MorselSource; layouts must match. */
+typedef struct {
+  volatile long long next;
+  long long morsel_rows;
+  long long seed_rows;
+  const long long* seed;
+  volatile long long* claims;
+  long long claims_len;
+} lb2_morsel_source;
+
 static void lb2_out_reserve(lb2_out* o, int64_t extra) {
   if (o->len + extra <= o->cap) return;
   int64_t cap = o->cap ? o->cap * 2 : 4096;

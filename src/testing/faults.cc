@@ -34,8 +34,8 @@ FaultState& State() {
 }
 
 constexpr const char* kPointNames[kFaultPointCount] = {
-    "cc_exec", "artifact_write", "artifact_rename",
-    "dlopen",  "disk",           "drift_rebuild"};
+    "cc_exec", "artifact_write", "artifact_rename", "dlopen",
+    "disk",    "drift_rebuild",  "midquery_switch"};
 
 bool PointFromName(const std::string& name, FaultPoint* out) {
   for (int i = 0; i < kFaultPointCount; ++i) {

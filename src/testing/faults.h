@@ -21,7 +21,7 @@
 //   rule   := point ':' action (':' sched)*
 //           | 'chaos' ':' <seed>
 //   point  := cc_exec | artifact_write | artifact_rename | dlopen | disk
-//           | drift_rebuild
+//           | drift_rebuild | midquery_switch
 //   action := fail                 # report failure at the site
 //           | short                # write only half the bytes (writes only)
 //           | full                 # behave as ENOSPC (disk only)
@@ -66,8 +66,11 @@ enum class FaultPoint : int {
   kDlopen,          // dlopen of a generated or persisted shared object
   kDisk,            // disk capacity at artifact-store writes
   kDriftRebuild,    // drift worker's background re-stage (service/service.cc)
+  kMidquerySwitch,  // morsel-boundary stop poll of an interpreted prefix:
+                    // `fail` forces the interpreted→compiled switch at the
+                    // next boundary (service/service.cc)
 };
-inline constexpr int kFaultPointCount = 6;
+inline constexpr int kFaultPointCount = 7;
 
 /// "cc_exec", "artifact_write", ... (the spec-grammar names).
 const char* FaultPointName(FaultPoint p);

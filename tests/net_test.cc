@@ -787,6 +787,63 @@ TEST_F(NetServerTest, DrainedServerRetainsKeptTracesForTheFlush) {
   EXPECT_FALSE(obs::TracesChrome(kept).empty());
 }
 
+TEST_F(NetServerTest, SigtermMidSwitchDrainsCleanly) {
+  // Mid-query interpreted→compiled switches in flight when SIGTERM lands:
+  // the drain must still flush a RESULT for every accepted request, with
+  // no torn rows, and the switch counter must agree with the flight
+  // recorder's kept "switch" traces. LB2_SWITCH_AT pins the handoff at
+  // boundary 3 of every cold morsel-eligible leader, so both shapes below
+  // deterministically switch; the synchronous in-request build (~seconds)
+  // guarantees the signal arrives while switches are being served.
+  ScopedEnv sw("LB2_MIDQUERY_SWITCH", "1");
+  ScopedEnv mr("LB2_MORSEL_ROWS", "512");
+  ScopedEnv at("LB2_SWITCH_AT", "3");
+  Loopback lb(*db_);
+  BlockingClient c = lb.Connect();
+  const int kN = 8;
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(c.SendQuery(static_cast<uint64_t>(i) + 1,
+                            i % 2 == 0 ? kSql : kSql2));
+  }
+  // Every request dispatched (so it counts as accepted work), then the
+  // signal: the cold leaders are still inside their switch at this point.
+  WaitFor([&] { return lb.server->stats().frames_in == kN; });
+  NetServer::InstallSignalHandlers(lb.server.get());
+  ASSERT_EQ(kill(getpid(), SIGTERM), 0);
+  std::map<uint64_t, Frame> got = CollectResponses(&c, kN);
+  ASSERT_EQ(got.size(), static_cast<size_t>(kN));
+  const std::string want1 = Oracle(kSql);
+  const std::string want2 = Oracle(kSql2);
+  for (auto& [id, f] : got) {
+    ASSERT_EQ(f.type, FrameType::kResult) << id;
+    ResultPayload rp;
+    ASSERT_TRUE(DecodeResultPayload(f.payload, &rp)) << id;
+    EXPECT_EQ(rp.text, id % 2 == 1 ? want1 : want2) << id;
+  }
+  Frame f;
+  EXPECT_EQ(c.ReadFrame(&f, 30000), BlockingClient::ReadStatus::kEof);
+  lb.server->Wait();
+  NetServer::InstallSignalHandlers(nullptr);
+  EXPECT_TRUE(lb.server->draining());
+  NetStats s = lb.server->stats();
+  EXPECT_EQ(s.responses_dropped, 0);
+  EXPECT_EQ(s.drain_forced_closes, 0);
+  // One switch per cold morsel-eligible shape; followers of the same shape
+  // were served off the published entry.
+  int64_t switches = lb.svc->Stats().midquery_switches;
+  EXPECT_GE(switches, 1);
+  // Counter ↔ recorder consistency: every switched request is a forced
+  // keep, so the kept "switch" traces enumerate the counter exactly.
+  int64_t kept_switch = 0;
+  for (const auto& t : lb.server->recorder().Snapshot()) {
+    if (t.switched) {
+      EXPECT_EQ(t.keep, "switch");
+      ++kept_switch;
+    }
+  }
+  EXPECT_EQ(kept_switch, switches);
+}
+
 TEST_F(NetServerTest, ManyConnectionsManyWorkersStayConsistent) {
   // A small in-process soak: 4 connections x 8 pipelined queries against a
   // 4-worker server, every response differentially checked.

@@ -20,6 +20,7 @@
 #include "compile/lb2_compiler.h"
 #include "engine/exec.h"
 #include "engine/interp_backend.h"
+#include "plan/plan.h"
 #include "service/fingerprint.h"
 #include "tpch/answers.h"
 #include "tpch/dbgen.h"
@@ -39,6 +40,22 @@ int FuzzRounds(int base, int suite_seeds) {
   int total = std::atoi(env);
   int rounds = total / suite_seeds;
   return rounds > base ? rounds : base;
+}
+
+/// Every fuzz failure must carry enough to replay it standalone: the gtest
+/// seed parameter, the round, and the generated plan itself. A failure
+/// printed under CI_FUZZ_SEEDS=64 reproduces with CI_FUZZ_SEEDS=1 by
+/// running the printed seed's test until the printed round (rounds draw
+/// from one rng stream, so earlier rounds must still execute).
+std::string FuzzShape(const Query& q, int seed, int round) {
+  std::string out =
+      "\nseed " + std::to_string(seed) + " round " + std::to_string(round) +
+      "\nshape:\n" + plan::PlanToString(q.root);
+  for (size_t i = 0; i < q.scalar_subqueries.size(); ++i) {
+    out += "scalar subquery " + std::to_string(i) + ":\n" +
+           plan::PlanToString(q.scalar_subqueries[i]);
+  }
+  return out;
 }
 
 class PropertyTest : public ::testing::TestWithParam<int> {
@@ -155,11 +172,11 @@ TEST_P(PropertyTest, RandomAggregatePlansAgreeAcrossEngines) {
     std::string oracle = volcano::Execute(q, *db_);
     auto interp = engine::ExecuteInterp(q, *db_);
     ASSERT_EQ(tpch::DiffResults(oracle, interp.text, false), "")
-        << "seed " << GetParam() << " round " << round;
+        << "interp" << FuzzShape(q, GetParam(), round);
     auto cq = compile::CompileQuery(
         q, *db_, {}, "prop" + std::to_string(GetParam()));
     ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, false), "")
-        << "seed " << GetParam() << " round " << round;
+        << "compiled" << FuzzShape(q, GetParam(), round);
   }
 }
 
@@ -180,10 +197,12 @@ TEST_P(PropertyTest, RandomJoinPlansAgreeAcrossEngines) {
                   {CountStar("n"), Sum(Col("ps_supplycost"), "sc")})};
   std::string oracle = volcano::Execute(q, *db_);
   auto interp = engine::ExecuteInterp(q, *db_);
-  EXPECT_EQ(tpch::DiffResults(oracle, interp.text, false), "");
+  EXPECT_EQ(tpch::DiffResults(oracle, interp.text, false), "")
+      << "interp" << FuzzShape(q, GetParam(), 0);
   auto cq = compile::CompileQuery(q, *db_, {},
                                   "propj" + std::to_string(GetParam()));
-  EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text, false), "");
+  EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text, false), "")
+      << "compiled" << FuzzShape(q, GetParam(), 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PropertyTest, ::testing::Range(1, 13));
@@ -273,8 +292,8 @@ TEST_P(FuzzMatrixTest, DictAndSortPlansAgreeAcrossEngineMatrix) {
         iopts.blend = fl.blend;
         auto interp = engine::ExecuteInterp(q, *db_, iopts);
         ASSERT_EQ(tpch::DiffResults(oracle, interp.text, true), "")
-            << "interp seed " << GetParam() << " round " << round
-            << " dict " << dict << " flavor " << fl.tag;
+            << "interp dict " << dict << " flavor " << fl.tag << " blend "
+            << fl.blend << FuzzShape(q, GetParam(), round);
         for (int threads : {1, 4}) {
           engine::EngineOptions copts = iopts;
           copts.num_threads = threads;
@@ -284,9 +303,9 @@ TEST_P(FuzzMatrixTest, DictAndSortPlansAgreeAcrossEngineMatrix) {
                   std::to_string(round) + (dict ? "_d" : "_n") +
                   std::to_string(threads) + fl.tag);
           ASSERT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
-              << "compiled seed " << GetParam() << " round " << round
-              << " dict " << dict << " threads " << threads << " flavor "
-              << fl.tag;
+              << "compiled dict " << dict << " threads " << threads
+              << " flavor " << fl.tag << " blend " << fl.blend
+              << FuzzShape(q, GetParam(), round);
         }
       }
     }
@@ -359,17 +378,21 @@ TEST_P(ParamFuzzTest, RandomLiteralsBindCorrectlyOnOneArtifact) {
           service::ParameterizeQuery(q, /*dict_sensitive=*/false);
       // Same shape: staging any family member reproduces the compiled
       // artifact's translation unit, byte for byte.
+      const std::string binding =
+          " bindings date_lo=" + std::to_string(date_lo) +
+          " qty=" + std::to_string(qty) + " disc=" + std::to_string(disc) +
+          " mode='" + mode + "'";
       ASSERT_EQ(compile::StageQuery(pq.query, *db_, copts).source,
                 canon_source)
-          << "seed " << GetParam() << " round " << round << " threads "
-          << threads;
+          << "threads " << threads << binding
+          << FuzzShape(q, GetParam(), round);
       std::string oracle = volcano::Execute(q, *db_);
       auto interp = engine::ExecuteInterp(pq.query, *db_, {}, &pq.params);
       ASSERT_EQ(tpch::DiffResults(oracle, interp.text, false), "")
-          << "interp seed " << GetParam() << " round " << round;
+          << "interp" << binding << FuzzShape(q, GetParam(), round);
       ASSERT_EQ(tpch::DiffResults(oracle, cq.Run(&pq.params).text, false), "")
-          << "compiled seed " << GetParam() << " round " << round
-          << " threads " << threads;
+          << "compiled threads " << threads << binding
+          << FuzzShape(q, GetParam(), round);
     }
   }
 }
@@ -392,6 +415,11 @@ TEST_P(HashMapModelTest, MatchesStdUnorderedMap) {
                             {"cnt", schema::FieldKind::kInt64}};
   int lanes = 1 + static_cast<int>(rng() % 4);
   int64_t distinct = 1 + static_cast<int64_t>(rng() % 500);
+  // Any failure below replays from this line alone: the seed parameter
+  // plus the derived shape of the map under test.
+  SCOPED_TRACE("seed " + std::to_string(GetParam()) + " lanes " +
+               std::to_string(lanes) + " distinct " +
+               std::to_string(distinct));
   engine::LB2HashMap<engine::InterpBackend> hm;
   hm.Init(b, key_schema, {nullptr}, val_schema, {nullptr, nullptr}, distinct,
           lanes);
@@ -469,9 +497,12 @@ TEST(SortPropertyTest, RandomOrderBysMatchOracle) {
   for (int round = 0; round < 6; ++round) {
     std::vector<SortKey> keys;
     int nk = 1 + static_cast<int>(rng() % 3);
+    std::string key_desc;
     for (int i = 0; i < nk; ++i) {
       const auto& f = ps.field(static_cast<int>(rng() % 5));
       keys.push_back({f.name, rng() % 2 == 0});
+      key_desc += (i > 0 ? ", " : "") + f.name +
+                  (keys.back().asc ? " asc" : " desc");
     }
     Query q{{}, Limit(OrderBy(Scan("partsupp"), keys), 50)};
     std::string oracle = volcano::Execute(q, db);
@@ -479,7 +510,7 @@ TEST(SortPropertyTest, RandomOrderBysMatchOracle) {
     // Order-sensitive comparison: the tiebreak contract makes engines
     // agree on total order, not just the multiset.
     EXPECT_EQ(tpch::DiffResults(oracle, cq.Run().text, true), "")
-        << "round " << round;
+        << FuzzShape(q, 99, round) << "keys: " << key_desc;
   }
 }
 
